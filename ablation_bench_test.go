@@ -1,0 +1,183 @@
+package act_test
+
+// Ablation benchmarks for the model's design choices: each sweeps one
+// modeling decision and reports the resulting embodied-carbon deltas as
+// custom metrics, so `go test -bench=Ablation` documents how sensitive the
+// results are to the paper's defaults.
+
+import (
+	"testing"
+	"time"
+
+	"act/internal/chiplet"
+	"act/internal/fab"
+	"act/internal/grid"
+	"act/internal/intensity"
+	"act/internal/units"
+	"act/internal/wafer"
+)
+
+// BenchmarkAblationYieldModel contrasts the paper's fixed 0.875 yield with
+// Poisson and Murphy defect models on a phone-class and a reticle-class
+// die.
+func BenchmarkAblationYieldModel(b *testing.B) {
+	models := []struct {
+		name  string
+		yield fab.YieldModel
+	}{
+		{"fixed", fab.FixedYield(fab.DefaultYield)},
+		{"poisson", fab.PoissonYield{D0: 0.2}},
+		{"murphy", fab.MurphyYield{D0: 0.2}},
+	}
+	dies := map[string]units.Area{"phone": units.MM2(100), "reticle": units.MM2(800)}
+	for i := 0; i < b.N; i++ {
+		for _, m := range models {
+			f, err := fab.New(fab.Node7, fab.WithYield(m.yield))
+			if err != nil {
+				b.Fatal(err)
+			}
+			for die, area := range dies {
+				e, err := f.Embodied(area)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(e.Kilograms(), m.name+"-"+die+"-kg")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkAblationAbatement sweeps gaseous abatement from the 95% to the
+// 99% bound (Table 7's band) at 3 nm, where the gas term is largest.
+func BenchmarkAblationAbatement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, a := range []float64{0.95, 0.97, 0.99} {
+			f, err := fab.New(fab.Node3, fab.WithAbatement(a))
+			if err != nil {
+				b.Fatal(err)
+			}
+			cpa, err := f.CPA(units.CM2(1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.ReportMetric(cpa.GramsPerCM2(), "cpa-g-per-cm2-at-"+percent(a))
+			}
+		}
+	}
+}
+
+func percent(a float64) string {
+	switch a {
+	case 0.95:
+		return "95"
+	case 0.97:
+		return "97"
+	case 0.99:
+		return "99"
+	}
+	return "x"
+}
+
+// BenchmarkAblationFabIntensity sweeps CIfab across the Figure 6 scenarios
+// at 5 nm.
+func BenchmarkAblationFabIntensity(b *testing.B) {
+	scenarios := []struct {
+		name string
+		ci   units.CarbonIntensity
+	}{
+		{"solar", intensity.Renewable},
+		{"default", intensity.DefaultFab()},
+		{"taiwan", intensity.TaiwanGrid},
+		{"coal", intensity.CoalGrid},
+	}
+	for i := 0; i < b.N; i++ {
+		for _, s := range scenarios {
+			f, err := fab.New(fab.Node5, fab.WithCarbonIntensity(s.ci))
+			if err != nil {
+				b.Fatal(err)
+			}
+			cpa, err := f.CPA(units.CM2(1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.ReportMetric(cpa.GramsPerCM2(), s.name+"-cpa")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationWaferVsFlat compares Eq. 4's per-area accounting with
+// the wafer-level model across die sizes.
+func BenchmarkAblationWaferVsFlat(b *testing.B) {
+	w := wafer.Default300()
+	f, err := fab.New(fab.Node7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dies := map[string]units.Area{"50mm2": units.MM2(50), "400mm2": units.MM2(400), "800mm2": units.MM2(800)}
+	for i := 0; i < b.N; i++ {
+		for name, die := range dies {
+			overhead, err := w.PackingOverhead(f, die)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.ReportMetric(overhead, "overhead-x-"+name)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationChipletSplit sweeps the chiplet count for a 700 mm²
+// design under defect-driven yield.
+func BenchmarkAblationChipletSplit(b *testing.B) {
+	p := chiplet.DefaultParams()
+	f, err := fab.New(fab.Node7, fab.WithYield(fab.MurphyYield{D0: 0.2}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		sweep, err := chiplet.Sweep(p, f, units.MM2(700), 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, s := range sweep {
+				if s.Chiplets == 1 || s.Chiplets == 4 || s.Chiplets == 8 {
+					b.ReportMetric(s.Total().Kilograms(), "kg-at-n"+itoa(s.Chiplets))
+				}
+			}
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n < 10 {
+		return string(rune('0' + n))
+	}
+	return string(rune('0'+n/10)) + string(rune('0'+n%10))
+}
+
+// BenchmarkAblationSchedulingWindow sweeps the scheduling flexibility of a
+// deferrable job on the dispatch-simulated grid.
+func BenchmarkAblationSchedulingWindow(b *testing.B) {
+	tr, err := grid.NewTrace(grid.Default(), grid.DiurnalDemand(9000, 2000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		for _, hours := range []int{2, 8} {
+			s, err := grid.Savings(tr, units.KilowattHours(100), hours, 24*time.Hour)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.ReportMetric(s, "savings-x-"+itoa(hours)+"h")
+			}
+		}
+	}
+}

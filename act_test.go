@@ -1,0 +1,105 @@
+package act_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"act"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	// Build an iPhone-11-class device through the public API and check
+	// the pieces compose: a 7nm SoC, LPDDR4, NAND, amortized over 3 years.
+	f, err := act.NewFab(act.Node7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	soc, err := act.NewLogic("SoC", act.MM2(98.5), f, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ram, err := act.NewDRAM("DRAM", act.LPDDR4, act.Gigabytes(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flash, err := act.NewStorage("NAND", act.NANDV3TLC, act.Gigabytes(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := act.NewDevice("phone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.AddLogic(soc).AddDRAM(ram).AddStorage(flash)
+
+	b, err := act.Embodied(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SoC ≈1.72 kg + DRAM 192 g + NAND 403 g + packaging 450 g ≈ 2.77 kg.
+	if b.Total().Kilograms() < 2.5 || b.Total().Kilograms() > 3.1 {
+		t.Errorf("embodied total = %v, want ≈2.8 kg", b.Total())
+	}
+
+	usage := act.UsageFromPower(act.Watts(3), time.Hour, act.USGrid)
+	a, err := act.Footprint(dev, usage, time.Hour, act.YearsDuration(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 Wh at 300 g/kWh = 0.9 g operational.
+	if math.Abs(a.Operational.Grams()-0.9) > 1e-9 {
+		t.Errorf("operational = %v, want 0.9 g", a.Operational)
+	}
+	if a.Total().Grams() <= a.Operational.Grams() {
+		t.Error("total should include an embodied share")
+	}
+}
+
+func TestFacadeMetrics(t *testing.T) {
+	lean := act.Candidate{Name: "lean", Embodied: act.Grams(1),
+		Energy: act.Joules(4), Delay: 4 * time.Second, Area: act.MM2(1)}
+	fast := act.Candidate{Name: "fast", Embodied: act.Grams(4),
+		Energy: act.Joules(1), Delay: time.Second, Area: act.MM2(1)}
+	best, err := act.BestByMetric(act.C2EP, []act.Candidate{lean, fast})
+	if err != nil || best.Candidate.Name != "lean" {
+		t.Errorf("C2EP best = %v, %v", best.Candidate.Name, err)
+	}
+	v, err := act.EvalMetric(act.CDP, lean)
+	if err != nil || v != 4 {
+		t.Errorf("EvalMetric(CDP) = %v, %v, want 4", v, err)
+	}
+}
+
+func TestFacadeParseNode(t *testing.T) {
+	n, err := act.ParseNode("16nm")
+	if err != nil || n.Node != act.Node14 {
+		t.Errorf("ParseNode(16nm) = %v, %v", n.Node, err)
+	}
+}
+
+func TestFacadeConstants(t *testing.T) {
+	if act.USGrid.GramsPerKWh() != 300 {
+		t.Errorf("USGrid = %v", act.USGrid)
+	}
+	if act.PackagingFootprint.Grams() != 150 {
+		t.Errorf("PackagingFootprint = %v", act.PackagingFootprint)
+	}
+	if got := act.DefaultFabIntensity.GramsPerKWh(); math.Abs(got-447.5) > 1e-9 {
+		t.Errorf("DefaultFabIntensity = %v, want 447.5", got)
+	}
+}
+
+// ExampleFootprint demonstrates the quick-start flow from the package doc.
+func ExampleFootprint() {
+	f, _ := act.NewFab(act.Node7)
+	soc, _ := act.NewLogic("SoC", act.MM2(100), f, 1)
+	dev, _ := act.NewDevice("widget")
+	dev.AddLogic(soc)
+	usage := act.UsageFromPower(act.Watts(1), time.Hour, act.USGrid)
+	a, _ := act.Footprint(dev, usage, time.Hour, act.YearsDuration(1))
+	fmt.Printf("operational: %s\n", a.Operational)
+	// Output:
+	// operational: 300 mg CO2
+}

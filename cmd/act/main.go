@@ -1,0 +1,111 @@
+// Command act evaluates the carbon footprint of a JSON-described device:
+// operational emissions, total embodied emissions, the lifetime-amortized
+// share, and a per-IC breakdown.
+//
+// Usage:
+//
+//	act -scenario device.json [-format ascii|csv|md]
+//	act -example                 # print a sample scenario
+//	cat device.json | act        # read the scenario from stdin
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"act/internal/core"
+	"act/internal/report"
+	"act/internal/scenario"
+)
+
+func main() {
+	var (
+		path    = flag.String("scenario", "", "path to a JSON scenario (default: stdin)")
+		format  = flag.String("format", "ascii", "output format: ascii, csv or md")
+		example = flag.Bool("example", false, "print a sample scenario and exit")
+	)
+	flag.Parse()
+
+	if err := run(*path, *format, *example, os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "act:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path, format string, example bool, stdin io.Reader, stdout io.Writer) error {
+	if example {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(scenario.Example())
+	}
+
+	in := stdin
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	spec, err := scenario.Parse(in)
+	if err != nil {
+		return err
+	}
+	a, err := spec.Assess()
+	if err != nil {
+		return err
+	}
+	tables := assessmentTables(a)
+	if spec.HasLifeCycle() {
+		r, err := spec.LifeCycle()
+		if err != nil {
+			return err
+		}
+		tables = append(tables, lifeCycleTable(r))
+	}
+	for _, t := range tables {
+		out, err := render(t, format)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, out)
+	}
+	return nil
+}
+
+// lifeCycleTable formats the four-phase product report.
+func lifeCycleTable(r core.PhaseReport) *report.Table {
+	t := report.NewTable("Life-cycle phases (whole lifetime)", "phase", "emissions", "share")
+	for _, p := range core.Phases() {
+		t.AddRow(string(p), r.Phases[p].String(), fmt.Sprintf("%.1f%%", r.Share(p)*100))
+	}
+	t.AddRow("TOTAL", r.Total().String(), "100%")
+	return t
+}
+
+// assessmentTables formats an assessment as report tables.
+func assessmentTables(a core.Assessment) []*report.Table {
+	summary := report.NewTable(fmt.Sprintf("Carbon footprint: %s", a.Device),
+		"quantity", "value")
+	summary.AddRow("application time", a.AppTime.String())
+	summary.AddRow("lifetime", a.Lifetime.String())
+	summary.AddRow("operational (OPCF)", a.Operational.String())
+	summary.AddRow("embodied total (ECF)", a.EmbodiedTotal.String())
+	summary.AddRow("embodied share (T/LT x ECF)", a.EmbodiedShare.String())
+	summary.AddRow("total (CF)", a.Total().String())
+
+	breakdown := report.NewTable("Embodied breakdown", "component", "kind", "embodied", "share")
+	for _, item := range a.Breakdown.Items {
+		breakdown.AddRow(item.Name, string(item.Kind), item.Embodied.String(),
+			fmt.Sprintf("%.1f%%", item.Embodied.Grams()/a.EmbodiedTotal.Grams()*100))
+	}
+	return []*report.Table{summary, breakdown}
+}
+
+func render(t *report.Table, format string) (string, error) {
+	return t.Render(report.Format(format))
+}

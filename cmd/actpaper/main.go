@@ -1,0 +1,126 @@
+// Command actpaper regenerates the tables and figures of the ACT paper
+// (ISCA 2022) from this library's models.
+//
+// Usage:
+//
+//	actpaper -list                 # list the available artifacts
+//	actpaper -id fig8              # regenerate one artifact
+//	actpaper                       # regenerate everything
+//	actpaper -id table4 -format csv
+//	actpaper -outdir results       # write one file per artifact
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"act/internal/experiments"
+	"act/internal/report"
+)
+
+func main() {
+	var (
+		id     = flag.String("id", "", "artifact id (e.g. fig8, table4); empty runs all")
+		format = flag.String("format", "ascii", "output format: ascii, csv or md")
+		list   = flag.Bool("list", false, "list available artifacts and exit")
+		outdir = flag.String("outdir", "", "write one file per artifact into this directory instead of stdout")
+	)
+	flag.Parse()
+
+	var err error
+	if *outdir != "" {
+		err = runToDir(*id, *format, *outdir)
+	} else {
+		err = run(*id, *format, *list, os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "actpaper:", err)
+		os.Exit(1)
+	}
+}
+
+// runToDir writes each selected artifact into <outdir>/<id>.<ext>.
+func runToDir(id, format, outdir string) error {
+	ext, ok := map[string]string{"ascii": "txt", "csv": "csv", "md": "md"}[format]
+	if !ok {
+		return fmt.Errorf("unknown format %q (want ascii, csv or md)", format)
+	}
+	if err := os.MkdirAll(outdir, 0o755); err != nil {
+		return err
+	}
+	var todo []experiments.Experiment
+	if id == "" {
+		todo = experiments.All()
+	} else {
+		e, err := experiments.ByID(id)
+		if err != nil {
+			return err
+		}
+		todo = []experiments.Experiment{e}
+	}
+	for _, e := range todo {
+		tables, err := e.Run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		f, err := os.Create(filepath.Join(outdir, e.ID+"."+ext))
+		if err != nil {
+			return err
+		}
+		for _, t := range tables {
+			s, err := render(t, format)
+			if err != nil {
+				f.Close()
+				return fmt.Errorf("%s: %w", e.ID, err)
+			}
+			fmt.Fprintln(f, s)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func run(id, format string, list bool, out io.Writer) error {
+	if list {
+		for _, e := range experiments.All() {
+			fmt.Fprintf(out, "%-8s  %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+
+	var todo []experiments.Experiment
+	if id == "" {
+		todo = experiments.All()
+	} else {
+		e, err := experiments.ByID(id)
+		if err != nil {
+			return err
+		}
+		todo = []experiments.Experiment{e}
+	}
+
+	for _, e := range todo {
+		fmt.Fprintf(out, "== %s: %s ==\n\n", e.ID, e.Title)
+		tables, err := e.Run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		for _, t := range tables {
+			s, err := render(t, format)
+			if err != nil {
+				return fmt.Errorf("%s: %w", e.ID, err)
+			}
+			fmt.Fprintln(out, s)
+		}
+	}
+	return nil
+}
+
+func render(t *report.Table, format string) (string, error) {
+	return t.Render(report.Format(format))
+}

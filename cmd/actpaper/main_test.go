@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run("", "ascii", true, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fig8", "table4", "table12", "fig15"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("list output missing %q", want)
+		}
+	}
+}
+
+func TestRunSingleArtifact(t *testing.T) {
+	var out bytes.Buffer
+	if err := run("table4", "ascii", false, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"== table4", "CPU", "DSP(+CPU)", "Break-even"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("table4 output missing %q", want)
+		}
+	}
+}
+
+func TestRunAllFormats(t *testing.T) {
+	for _, format := range []string{"ascii", "csv", "md"} {
+		var out bytes.Buffer
+		if err := run("fig6", format, false, &out); err != nil {
+			t.Errorf("format %s: %v", format, err)
+		}
+	}
+	var out bytes.Buffer
+	if err := run("fig6", "pdf", false, &out); err == nil {
+		t.Error("unknown format: expected error")
+	}
+}
+
+func TestRunEverything(t *testing.T) {
+	var out bytes.Buffer
+	if err := run("", "ascii", false, &out); err != nil {
+		t.Fatal(err)
+	}
+	// Every artifact header appears.
+	for _, id := range []string{"fig1", "fig17", "table1", "table12"} {
+		if !strings.Contains(out.String(), "== "+id+":") {
+			t.Errorf("full output missing artifact %s", id)
+		}
+	}
+}
+
+func TestRunUnknownArtifact(t *testing.T) {
+	var out bytes.Buffer
+	if err := run("fig99", "ascii", false, &out); err == nil {
+		t.Error("unknown artifact: expected error")
+	}
+}
+
+func TestRunToDir(t *testing.T) {
+	dir := t.TempDir()
+	if err := runToDir("fig8", "csv", dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig8.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Kirin 980") {
+		t.Errorf("fig8.csv missing expected content:\n%s", data)
+	}
+
+	// Everything at once produces one file per artifact.
+	all := t.TempDir()
+	if err := runToDir("", "md", all); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(listIDs(t)) {
+		t.Errorf("wrote %d files, want %d", len(entries), len(listIDs(t)))
+	}
+
+	if err := runToDir("fig8", "pdf", dir); err == nil {
+		t.Error("unknown format: expected error")
+	}
+	if err := runToDir("fig99", "csv", dir); err == nil {
+		t.Error("unknown artifact: expected error")
+	}
+}
+
+// listIDs counts the registry through the public list path.
+func listIDs(t *testing.T) []string {
+	t.Helper()
+	var out bytes.Buffer
+	if err := run("", "ascii", true, &out); err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for _, line := range strings.Split(strings.TrimSpace(out.String()), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) > 0 {
+			ids = append(ids, fields[0])
+		}
+	}
+	return ids
+}

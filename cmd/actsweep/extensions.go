@@ -1,0 +1,122 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"act/internal/chiplet"
+	"act/internal/datacenter"
+	"act/internal/dvfs"
+	"act/internal/fab"
+	"act/internal/report"
+	"act/internal/units"
+)
+
+func runChiplet(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("chiplet", flag.ContinueOnError)
+	area := fs.Float64("area-mm2", 700, "total logic area in mm²")
+	d0 := fs.Float64("d0", 0.2, "defect density in defects/cm²")
+	maxN := fs.Int("max", 8, "maximum chiplet count")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	f, err := fab.New(fab.Node7, fab.WithYield(fab.MurphyYield{D0: *d0}))
+	if err != nil {
+		return err
+	}
+	p := chiplet.DefaultParams()
+	sweep, err := chiplet.Sweep(p, f, units.MM2(*area), *maxN)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(fmt.Sprintf("Chiplet sweep: %.0f mm² logic at 7nm, D0=%.2g/cm²", *area, *d0),
+		"chiplets", "die (mm²)", "yield", "silicon (kg)", "interposer (kg)", "assembly (kg)", "total (kg)")
+	for _, s := range sweep {
+		t.AddRow(report.Num(float64(s.Chiplets)), report.Num(s.DieArea.MM2()),
+			fmt.Sprintf("%.0f%%", s.Yield*100),
+			report.Num(s.Silicon.Kilograms()), report.Num(s.Interposer.Kilograms()),
+			report.Num(s.Assembly.Kilograms()), report.Num(s.Total().Kilograms()))
+	}
+	best, err := chiplet.Optimal(p, f, units.MM2(*area), *maxN)
+	if err != nil {
+		return err
+	}
+	t.AddNote(fmt.Sprintf("optimal split: %d chiplets", best.Chiplets))
+	return printTable(out, t)
+}
+
+func runDVFS(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("dvfs", flag.ContinueOnError)
+	ci := fs.Float64("ci", 300, "use-phase carbon intensity in g CO2/kWh")
+	embodied := fs.Float64("embodied-kg", 17, "device embodied carbon in kg")
+	work := fs.Float64("gigacycles", 100, "task size in gigacycles")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p := dvfs.Default()
+	ctx := dvfs.CarbonContext{
+		Intensity:      units.GramsPerKWh(*ci),
+		DeviceEmbodied: units.Kilograms(*embodied),
+		Lifetime:       units.Years(3),
+	}
+	t := report.NewTable(fmt.Sprintf("DVFS sweep: %.0f Gcycles at %.0f g/kWh, %.0f kg embodied", *work, *ci, *embodied),
+		"GHz", "power (W)", "energy (J)", "carbon (mg)")
+	for f := p.FMinGHz; f <= p.FMaxGHz+1e-9; f += 0.2 {
+		if f > p.FMaxGHz {
+			f = p.FMaxGHz // clamp float accumulation error
+		}
+		pw, err := p.Power(f)
+		if err != nil {
+			return err
+		}
+		e, _, err := p.Task(f, *work)
+		if err != nil {
+			return err
+		}
+		c, err := p.TaskCarbon(ctx, f, *work)
+		if err != nil {
+			return err
+		}
+		t.AddRow(report.Num(f), report.Num(pw.Watts()),
+			report.Num(e.Joules()), report.Num(c.Grams()*1e3))
+	}
+	fOpt, _, err := p.CarbonOptimalFrequencyExact(ctx, *work, 1e-4)
+	if err != nil {
+		return err
+	}
+	fEnergy, _, err := p.EnergyOptimalFrequencyExact(*work, 1e-4)
+	if err != nil {
+		return err
+	}
+	t.AddNote(fmt.Sprintf("carbon-optimal %.2f GHz; energy-optimal %.2f GHz", fOpt, fEnergy))
+	return printTable(out, t)
+}
+
+func runFleet(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("fleet", flag.ContinueOnError)
+	base := fs.Float64("base-rps", 5000, "baseline load in requests/s")
+	swing := fs.Float64("swing-rps", 3000, "diurnal swing in requests/s")
+	pue := fs.Float64("pue", 1.3, "facility PUE")
+	maxN := fs.Int("max", 24, "maximum fleet size to sweep")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	load := datacenter.DiurnalLoad(*base, *swing)
+	spec := datacenter.DefaultServer()
+	best, sweep, err := datacenter.OptimalFleet(load, spec, *pue, units.GramsPerKWh(300), *maxN)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(fmt.Sprintf("Fleet sweep: %.0f±%.0f rps, PUE %.2f", *base, *swing, *pue),
+		"servers", "mean util", "embodied (t)", "operational (t)", "total (t)")
+	for _, a := range sweep {
+		t.AddRow(report.Num(float64(a.Servers)),
+			fmt.Sprintf("%.0f%%", a.MeanUtilization*100),
+			report.Num(a.Embodied.Tonnes()),
+			report.Num(a.Operational.Tonnes()),
+			report.Num(a.Total().Tonnes()))
+	}
+	t.AddNote(fmt.Sprintf("optimal fleet: %d servers", best.Servers))
+	return printTable(out, t)
+}

@@ -1,0 +1,139 @@
+// Accelerator design-space exploration (paper Figures 12-13): sweep an
+// NVDLA-style NPU from 64 to 2048 MACs, locate the optimum under each
+// optimization target, design against a 30 FPS QoS floor, and demonstrate
+// the Jevons paradox under fixed area budgets when moving 28 nm -> 16 nm.
+//
+// Run with: go run ./examples/accelerator-dse
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"act/internal/accel"
+	"act/internal/dse"
+	"act/internal/metrics"
+	"act/internal/report"
+	"act/internal/units"
+)
+
+func main() {
+	model, err := accel.NewModel()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The 16 nm sweep (Figure 12).
+	sweep, err := model.Sweep(accel.Process16nm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	t := report.NewTable("16nm NVDLA-style NPU sweep",
+		"MACs", "area (mm²)", "FPS", "energy/frame (mJ)", "embodied (g CO2)")
+	for _, d := range sweep {
+		e, err := d.Embodied()
+		if err != nil {
+			log.Fatal(err)
+		}
+		t.AddRow(report.Num(float64(d.MACs)), report.Num(d.Area().MM2()),
+			report.Num(d.FPS()), report.Num(d.EnergyPerFrame().Millijoules()),
+			report.Num(e.Grams()))
+	}
+	mustPrint(t)
+
+	// Optima per target (Figure 12): performance and EDP favor the most
+	// parallel design; the carbon metrics favor successively leaner ones.
+	opt := report.NewTable("Optimal MAC count per target", "target", "MACs")
+	perf, err := model.PerfOptimal(accel.Process16nm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt.AddRow("performance", report.Num(float64(perf.MACs)))
+	for _, m := range []metrics.Metric{metrics.EDP, metrics.CDP, metrics.CE2P, metrics.CEP, metrics.C2EP} {
+		d, err := model.MetricOptimal(accel.Process16nm, m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opt.AddRow(string(m), report.Num(float64(d.MACs)))
+	}
+	mustPrint(opt)
+
+	// QoS-driven design (Figure 13 left), expressed through the generic
+	// DSE layer: minimize embodied carbon subject to a 30 FPS floor.
+	cands, err := accel.Candidates(sweep)
+	if err != nil {
+		log.Fatal(err)
+	}
+	qos, err := dse.ConstrainedMinimize(cands, dse.Embodied, dse.MaxDelay(1.0/30))
+	if err != nil {
+		log.Fatal(err)
+	}
+	perfC, err := perf.Candidate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	energyOpt, err := model.EnergyOptimal(accel.Process16nm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	energyC, err := energyOpt.Candidate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("30 FPS QoS: carbon-optimal design %s at %v\n", qos.Name, qos.Embodied)
+	fmt.Printf("  perf-optimal (%s) embodied penalty:   %.2fx\n",
+		perfC.Name, perfC.Embodied.Grams()/qos.Embodied.Grams())
+	fmt.Printf("  energy-optimal (%s) embodied penalty: %.2fx\n\n",
+		energyC.Name, energyC.Embodied.Grams()/qos.Embodied.Grams())
+
+	// Pareto frontier over embodied carbon vs delay.
+	front, err := dse.ParetoFrontier(cands, []dse.Objective{dse.Embodied, dse.Delay})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print("Pareto frontier (embodied vs delay): ")
+	for i, c := range front {
+		if i > 0 {
+			fmt.Print(", ")
+		}
+		fmt.Print(c.Name)
+	}
+	fmt.Println()
+	fmt.Println()
+
+	// Jevons paradox under area budgets (Figure 13 right).
+	j := report.NewTable("Jevons paradox: fixed area budgets, 28nm vs 16nm",
+		"budget", "28nm design", "28nm g CO2", "16nm design", "16nm g CO2", "increase")
+	for _, budget := range []units.Area{units.MM2(1), units.MM2(2)} {
+		d28, err := model.BudgetOptimal(accel.Process28nm, budget)
+		if err != nil {
+			log.Fatal(err)
+		}
+		e28, err := d28.Embodied()
+		if err != nil {
+			log.Fatal(err)
+		}
+		d16, err := model.BudgetOptimal(accel.Process16nm, budget)
+		if err != nil {
+			log.Fatal(err)
+		}
+		e16, err := d16.Embodied()
+		if err != nil {
+			log.Fatal(err)
+		}
+		j.AddRow(budget.String(),
+			fmt.Sprintf("%d MACs", d28.MACs), report.Num(e28.Grams()),
+			fmt.Sprintf("%d MACs", d16.MACs), report.Num(e16.Grams()),
+			fmt.Sprintf("+%.0f%%", (e16.Grams()/e28.Grams()-1)*100))
+	}
+	j.AddNote("newer node, same budget, more capable silicon — and more embodied carbon (paper: +33%/+28%)")
+	mustPrint(j)
+}
+
+func mustPrint(t *report.Table) {
+	out, err := t.ASCII()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(out)
+}

@@ -1,0 +1,104 @@
+// Mobile SoC design space (paper Figure 8): characterize thirteen
+// commodity SoCs across three families and show that the optimal chip
+// differs between PPA metrics (EDP, EDAP) and carbon metrics (CDP, CEP,
+// C2EP, CE2P) — the paper's core argument that sustainability opens a new
+// design space.
+//
+// Run with: go run ./examples/mobile-soc-designspace
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"act/internal/metrics"
+	"act/internal/report"
+	"act/internal/soc"
+)
+
+func main() {
+	chips := soc.Catalog()
+
+	// Figure 8(a-c): performance, energy and embodied carbon per chip.
+	perf := report.NewSeries("aggregate mobile speed (geomean score)", "")
+	energy := report.NewSeries("suite energy", "J")
+	embodied := report.NewSeries("embodied carbon", "kg CO2")
+	for _, s := range chips {
+		perf.Add(s.Name, s.GeomeanScore())
+		energy.Add(s.Name, s.Energy().Joules())
+		e, err := s.Embodied()
+		if err != nil {
+			log.Fatal(err)
+		}
+		embodied.Add(s.Name, e.Kilograms())
+	}
+	for _, series := range []*report.Series{perf, energy, embodied} {
+		chart, err := series.Bars(40)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(chart)
+	}
+
+	// Figure 8(d): normalized metrics per family, baseline = the family's
+	// newest chip.
+	cands, err := soc.Candidates(chips)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, fam := range soc.Families() {
+		newest, err := soc.Newest(fam)
+		if err != nil {
+			log.Fatal(err)
+		}
+		famCands, err := soc.Candidates(soc.ByFamily(fam))
+		if err != nil {
+			log.Fatal(err)
+		}
+		t := report.NewTable(fmt.Sprintf("%s, normalized to %s", fam, newest.Name),
+			"SoC", "EDP", "EDAP", "CDP", "CEP", "C2EP")
+		cols := []metrics.Metric{metrics.EDP, metrics.EDAP, metrics.CDP, metrics.CEP, metrics.C2EP}
+		norm := map[metrics.Metric][]metrics.Scored{}
+		for _, m := range cols {
+			n, err := metrics.Normalized(m, famCands, newest.Name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			norm[m] = n
+		}
+		for i, c := range famCands {
+			row := []string{c.Name}
+			for _, m := range cols {
+				row = append(row, report.Num(norm[m][i].Value))
+			}
+			t.AddRow(row...)
+		}
+		out, err := t.ASCII()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(out)
+	}
+
+	// The headline: winners per metric across the whole catalog.
+	t := report.NewTable("Optimal SoC per optimization target", "metric", "winner")
+	for _, m := range metrics.All() {
+		best, err := metrics.Best(m, cands)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t.AddRow(string(m), best.Candidate.Name)
+	}
+	sorted, err := soc.SortedByEmbodied()
+	if err != nil {
+		log.Fatal(err)
+	}
+	t.AddRow("embodied carbon", sorted[0].Name)
+	out, err := t.ASCII()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(out)
+	fmt.Println("paper (Section 4.2): EDP->Kirin 990, EDAP->Snapdragon 865,")
+	fmt.Println("embodied->Snapdragon 835, CEP->Kirin 980, C2EP->Kirin 980")
+}

@@ -1,0 +1,89 @@
+// Quickstart: estimate the end-to-end carbon footprint of running a
+// measured workload on a phone-class device.
+//
+// It demonstrates the full ACT flow through the public API:
+//
+//  1. describe the hardware (a 7 nm SoC, LPDDR4, NAND flash),
+//  2. profile the software by actually running a synthetic AI-inference
+//     kernel to get the application execution time T,
+//  3. evaluate CF = OPCF + (T/LT)·ECF.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"act"
+	"act/internal/workloads"
+)
+
+func main() {
+	// 1. Hardware: a phone-class bill of materials.
+	fab, err := act.NewFab(act.Node7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	soc, err := act.NewLogic("application SoC", act.MM2(98.5), fab, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ram, err := act.NewDRAM("LPDDR4", act.LPDDR4, act.Gigabytes(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	flash, err := act.NewStorage("NAND flash", act.NANDV3TLC, act.Gigabytes(64))
+	if err != nil {
+		log.Fatal(err)
+	}
+	phone, err := act.NewDevice("phone")
+	if err != nil {
+		log.Fatal(err)
+	}
+	phone.AddLogic(soc).AddDRAM(ram).AddStorage(flash).AddExtraICs(10)
+
+	// 2. Software: profile a real (synthetic) AI-inference kernel — this
+	// is the "T from SW profiling" input of the model.
+	kernel, err := workloads.ByName("ai-image-classification")
+	if err != nil {
+		log.Fatal(err)
+	}
+	profile, err := workloads.Profile(kernel, 50)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("profiled %s: %d runs in %v (%v per inference)\n",
+		profile.Kernel, profile.Runs, profile.Duration.Round(1e6), profile.PerRun())
+
+	// Bonus: score this host against the suite's reference machine, the
+	// same geometric-mean aggregation the paper uses for mobile chips.
+	suite, err := workloads.ProfileSuite(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	score, err := workloads.Score(suite, workloads.DefaultReference())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("this host's suite score: %.0f (reference machine = 1000)\n\n", score)
+
+	// 3. Footprint: the workload draws 3 W on the US grid; embodied carbon
+	// is amortized against a 3-year device lifetime.
+	usage := profile.Usage(act.Watts(3), act.USGrid)
+	a, err := act.Footprint(phone, usage, profile.Duration, act.YearsDuration(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("device: %s\n", a.Device)
+	fmt.Printf("  operational (OPCF):        %v\n", a.Operational)
+	fmt.Printf("  embodied total (ECF):      %v\n", a.EmbodiedTotal)
+	fmt.Printf("  embodied share (T/LT·ECF): %v\n", a.EmbodiedShare)
+	fmt.Printf("  total (CF):                %v\n\n", a.Total())
+
+	fmt.Println("embodied breakdown:")
+	for _, item := range a.Breakdown.Items {
+		fmt.Printf("  %-22s %-10s %v\n", item.Name, item.Kind, item.Embodied)
+	}
+}

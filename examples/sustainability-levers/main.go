@@ -1,0 +1,150 @@
+// Sustainability levers: the Figure 1 directions the paper lists but does
+// not evaluate, quantified with this library's extension substrates.
+//
+//   - Reduce / DVFS: the carbon-optimal operating point shifts with grid
+//     intensity and embodied amortization.
+//   - Reduce / renewable-driven operation: carbon-aware scheduling of a
+//     deferrable job on a dispatch-simulated grid.
+//   - Reduce / eliminate wasted hardware + Reuse / co-location: fleet
+//     right-sizing against a diurnal load.
+//   - Reuse / chiplet design: the embodied crossover between monolithic
+//     and chiplet integration under defect-driven yield.
+//
+// Run with: go run ./examples/sustainability-levers
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"act/internal/chiplet"
+	"act/internal/datacenter"
+	"act/internal/dvfs"
+	"act/internal/fab"
+	"act/internal/grid"
+	"act/internal/intensity"
+	"act/internal/report"
+	"act/internal/units"
+)
+
+func main() {
+	dvfsStudy()
+	schedulingStudy()
+	fleetStudy()
+	chipletStudy()
+}
+
+func dvfsStudy() {
+	p := dvfs.Default()
+	const work = 100 // gigacycles
+	t := report.NewTable("DVFS: carbon-optimal frequency by environment",
+		"grid", "embodied", "optimal GHz", "task carbon")
+	for _, env := range []struct {
+		label string
+		ci    units.CarbonIntensity
+		kg    float64
+	}{
+		{"coal grid, cheap HW", intensity.CoalGrid, 2},
+		{"US grid, phone-class HW", intensity.USGrid, 17},
+		{"solar, phone-class HW", intensity.Renewable, 17},
+		{"carbon-free, dear HW", intensity.CarbonFree, 40},
+	} {
+		ctx := dvfs.CarbonContext{
+			Intensity:      env.ci,
+			DeviceEmbodied: units.Kilograms(env.kg),
+			Lifetime:       units.Years(3),
+		}
+		f, c, err := p.CarbonOptimalFrequency(ctx, work, 221)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t.AddRow(env.label, fmt.Sprintf("%.0f kg", env.kg), report.Num(f), c.String())
+	}
+	t.AddNote("greener grids and dearer hardware both push toward racing to idle")
+	mustPrint(t)
+}
+
+func schedulingStudy() {
+	tr, err := grid.NewTrace(grid.Default(), grid.DiurnalDemand(9000, 2000))
+	if err != nil {
+		log.Fatal(err)
+	}
+	energy := units.KilowattHours(500) // a nightly batch job
+	t := report.NewTable("Carbon-aware scheduling of a deferrable 500 kWh job",
+		"slots (h)", "immediate (kg)", "carbon-aware (kg)", "savings")
+	for _, hours := range []int{2, 4, 8, 12} {
+		naive, err := grid.Immediate(tr, energy, hours, 24*time.Hour)
+		if err != nil {
+			log.Fatal(err)
+		}
+		aware, err := grid.CarbonAware(tr, energy, hours, 24*time.Hour)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t.AddRow(report.Num(float64(hours)),
+			report.Num(naive.Emissions.Kilograms()),
+			report.Num(aware.Emissions.Kilograms()),
+			fmt.Sprintf("%.2fx", naive.Emissions.Grams()/aware.Emissions.Grams()))
+	}
+	t.AddNote("slots picked by dispatch-simulated grid intensity (solar absorbs midday demand)")
+	mustPrint(t)
+}
+
+func fleetStudy() {
+	load := datacenter.DiurnalLoad(5000, 3000)
+	spec := datacenter.DefaultServer()
+	best, sweep, err := datacenter.OptimalFleet(load, spec, 1.3, intensity.USGrid, 24)
+	if err != nil {
+		log.Fatal(err)
+	}
+	t := report.NewTable("Fleet right-sizing for a 8k-rps-peak diurnal load",
+		"servers", "mean util", "embodied (t)", "operational (t)", "total (t)")
+	for _, a := range sweep {
+		if a.Servers%4 != 0 && a.Servers != best.Servers {
+			continue
+		}
+		t.AddRow(report.Num(float64(a.Servers)),
+			fmt.Sprintf("%.0f%%", a.MeanUtilization*100),
+			report.Num(a.Embodied.Tonnes()),
+			report.Num(a.Operational.Tonnes()),
+			report.Num(a.Total().Tonnes()))
+	}
+	t.AddNote(fmt.Sprintf("optimal fleet: %d servers; over-provisioning pays in both embodied and idle carbon", best.Servers))
+	mustPrint(t)
+}
+
+func chipletStudy() {
+	p := chiplet.DefaultParams()
+	f, err := fab.New(fab.Node7, fab.WithYield(fab.MurphyYield{D0: 0.2}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	t := report.NewTable("Chiplet vs monolithic (7nm, D0=0.2/cm²)",
+		"logic area", "best split", "yield", "total embodied", "vs monolithic")
+	for _, area := range []float64{100, 300, 500, 700, 900} {
+		best, err := chiplet.Optimal(p, f, units.MM2(area), 8)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mono, err := chiplet.Evaluate(p, f, units.MM2(area), 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t.AddRow(fmt.Sprintf("%.0f mm²", area),
+			fmt.Sprintf("%d chiplets", best.Chiplets),
+			fmt.Sprintf("%.0f%%", best.Yield*100),
+			best.Total().String(),
+			fmt.Sprintf("%.2fx", best.Total().Grams()/mono.Total().Grams()))
+	}
+	t.AddNote("defect-driven yield makes splitting reticle-scale dies carbon-positive despite interposer and assembly overheads")
+	mustPrint(t)
+}
+
+func mustPrint(t *report.Table) {
+	out, err := t.ASCII()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(out)
+}

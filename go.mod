@@ -1,0 +1,3 @@
+module act
+
+go 1.24

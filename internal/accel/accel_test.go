@@ -1,0 +1,318 @@
+package accel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"act/internal/metrics"
+	"act/internal/units"
+)
+
+func newModel(t *testing.T) *Model {
+	t.Helper()
+	m, err := NewModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestDesignValidation(t *testing.T) {
+	m := newModel(t)
+	if _, err := m.Design(256, "12nm"); err == nil {
+		t.Error("unknown process: expected error")
+	}
+	if _, err := m.Design(8, Process16nm); err == nil {
+		t.Error("too few MACs: expected error")
+	}
+	if _, err := m.Design(100000, Process16nm); err == nil {
+		t.Error("too many MACs: expected error")
+	}
+	d, err := m.Design(256, Process16nm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name() != "nvdla-256mac-16nm" {
+		t.Errorf("Name() = %q", d.Name())
+	}
+}
+
+func TestNewModelWithFabs(t *testing.T) {
+	if _, err := NewModelWithFabs(nil, nil); err == nil {
+		t.Error("nil fabs: expected error")
+	}
+}
+
+func TestSweepShape(t *testing.T) {
+	m := newModel(t)
+	sweep, err := m.Sweep(Process16nm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{64, 128, 256, 512, 1024, 2048}
+	if len(sweep) != len(want) {
+		t.Fatalf("sweep has %d designs, want %d", len(sweep), len(want))
+	}
+	for i, d := range sweep {
+		if d.MACs != want[i] {
+			t.Errorf("sweep[%d] = %d MACs, want %d", i, d.MACs, want[i])
+		}
+	}
+}
+
+func TestAreaModel(t *testing.T) {
+	m := newModel(t)
+	d, _ := m.Design(256, Process16nm)
+	if got := d.Area().MM2(); math.Abs(got-(0.667+0.00127*256)) > 1e-9 {
+		t.Errorf("area(256, 16nm) = %v", got)
+	}
+	// Per MAC, 28 nm is less dense than 16 nm.
+	d16, _ := m.Design(2048, Process16nm)
+	d28, _ := m.Design(2048, Process28nm)
+	if d28.Area() <= d16.Area() {
+		t.Errorf("28nm (%v) should be larger than 16nm (%v) at equal MACs", d28.Area(), d16.Area())
+	}
+}
+
+func TestThroughputMonotoneAndCalibrated(t *testing.T) {
+	m := newModel(t)
+	sweep, _ := m.Sweep(Process16nm)
+	prev := 0.0
+	for _, d := range sweep {
+		if d.FPS() <= prev {
+			t.Errorf("FPS not strictly increasing at %d MACs", d.MACs)
+		}
+		prev = d.FPS()
+	}
+	// Calibration: 256 MACs ≈ 33 FPS (meets the 30 FPS QoS target).
+	d, _ := m.Design(256, Process16nm)
+	if fps := d.FPS(); fps < 30 || fps > 36 {
+		t.Errorf("FPS(256) = %v, want ≈33", fps)
+	}
+	// 128 MACs misses the target.
+	d128, _ := m.Design(128, Process16nm)
+	if fps := d128.FPS(); fps >= 30 {
+		t.Errorf("FPS(128) = %v, should miss the 30 FPS target", fps)
+	}
+}
+
+func TestEnergyUShape(t *testing.T) {
+	m := newModel(t)
+	opt, err := m.EnergyOptimal(Process16nm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 12: the energy-optimal configuration is mid-sized, not the
+	// most parallel one.
+	if opt.MACs != 512 {
+		t.Errorf("energy-optimal MACs = %d, want 512", opt.MACs)
+	}
+	// U-shape: both extremes are worse than the optimum.
+	d64, _ := m.Design(64, Process16nm)
+	d2048, _ := m.Design(2048, Process16nm)
+	if d64.EnergyPerFrame() <= opt.EnergyPerFrame() || d2048.EnergyPerFrame() <= opt.EnergyPerFrame() {
+		t.Errorf("energy curve not U-shaped: E(64)=%v E(512)=%v E(2048)=%v",
+			d64.EnergyPerFrame(), opt.EnergyPerFrame(), d2048.EnergyPerFrame())
+	}
+}
+
+func TestFigure12MetricOptima(t *testing.T) {
+	// Section 7: "the most parallel and compute-intensive design (2048
+	// MACs) achieves the optimal performance and EDP. However, the optimal
+	// configuration for CDP, CE2P, CEP, C2EP are 1024, 512, 256, 128 MACs."
+	m := newModel(t)
+	perf, err := m.PerfOptimal(Process16nm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perf.MACs != 2048 {
+		t.Errorf("perf optimum = %d MACs, want 2048", perf.MACs)
+	}
+	wants := map[metrics.Metric]int{
+		metrics.EDP:  2048,
+		metrics.CDP:  1024,
+		metrics.CE2P: 512,
+		metrics.CEP:  256,
+		metrics.C2EP: 128,
+	}
+	for metric, want := range wants {
+		d, err := m.MetricOptimal(Process16nm, metric)
+		if err != nil {
+			t.Fatalf("MetricOptimal(%s): %v", metric, err)
+		}
+		if d.MACs != want {
+			t.Errorf("%s optimum = %d MACs, want %d (paper Figure 12)", metric, d.MACs, want)
+		}
+	}
+}
+
+func TestFigure12OrderOfMagnitudeReduction(t *testing.T) {
+	// "designing the accelerator based on the sustainability target
+	// reduces the carbon-aware optimization target by up to an order of
+	// magnitude" vs the most parallel configuration.
+	m := newModel(t)
+	most, _ := m.Design(2048, Process16nm)
+	mostC, err := most.Candidate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := m.MetricOptimal(Process16nm, metrics.C2EP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestC, _ := best.Candidate()
+	vMost, _ := metrics.Eval(metrics.C2EP, mostC)
+	vBest, _ := metrics.Eval(metrics.C2EP, bestC)
+	if ratio := vMost / vBest; ratio < 8 {
+		t.Errorf("C2EP(2048)/C2EP(best) = %v, want ≥ 8 (paper: up to 10x)", ratio)
+	}
+}
+
+func TestFigure13QoSOptimum(t *testing.T) {
+	// Figure 13 (left): at 30 FPS the carbon-optimal design is 256 MACs at
+	// ≈16 g CO2; perf- and energy-optimal configs incur ≈3.3x and ≈1.4x.
+	m := newModel(t)
+	qos, err := m.QoSOptimal(Process16nm, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qos.MACs != 256 {
+		t.Errorf("QoS optimum = %d MACs, want 256", qos.MACs)
+	}
+	e, err := qos.Embodied()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Grams() < 12 || e.Grams() > 18 {
+		t.Errorf("QoS-optimal embodied = %v, want ≈14-16 g", e)
+	}
+
+	perf, _ := m.PerfOptimal(Process16nm)
+	ePerf, _ := perf.Embodied()
+	if ratio := ePerf.Grams() / e.Grams(); ratio < 3.0 || ratio > 3.6 {
+		t.Errorf("perf-opt embodied penalty = %vx, want ≈3.3x", ratio)
+	}
+
+	energy, _ := m.EnergyOptimal(Process16nm)
+	eEnergy, _ := energy.Embodied()
+	if ratio := eEnergy.Grams() / e.Grams(); ratio < 1.2 || ratio > 1.5 {
+		t.Errorf("energy-opt embodied penalty = %vx, want ≈1.3-1.4x", ratio)
+	}
+
+	if _, err := m.QoSOptimal(Process16nm, 1e9); err == nil {
+		t.Error("unreachable QoS: expected error")
+	}
+	if _, err := m.QoSOptimal(Process16nm, -1); err == nil {
+		t.Error("negative QoS: expected error")
+	}
+}
+
+func TestFigure13Jevons(t *testing.T) {
+	// Figure 13 (right): within 1 mm² and 2 mm² budgets, moving from 28 nm
+	// to 16 nm increases embodied carbon by ≈33% and ≈28% respectively.
+	m := newModel(t)
+	cases := []struct {
+		budget units.Area
+		wantLo float64
+		wantHi float64
+		macs16 int
+		macs28 int
+	}{
+		{units.MM2(1), 1.28, 1.38, 256, 128},
+		{units.MM2(2), 1.23, 1.33, 1024, 512},
+	}
+	for _, c := range cases {
+		d16, err := m.BudgetOptimal(Process16nm, c.budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d28, err := m.BudgetOptimal(Process28nm, c.budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d16.MACs != c.macs16 || d28.MACs != c.macs28 {
+			t.Errorf("budget %v: picked %d/%d MACs (16/28nm), want %d/%d",
+				c.budget, d16.MACs, d28.MACs, c.macs16, c.macs28)
+		}
+		e16, _ := d16.Embodied()
+		e28, _ := d28.Embodied()
+		ratio := e16.Grams() / e28.Grams()
+		if ratio < c.wantLo || ratio > c.wantHi {
+			t.Errorf("budget %v: 16nm/28nm embodied = %v, want in [%v, %v] (paper: +33%%/+28%%)",
+				c.budget, ratio, c.wantLo, c.wantHi)
+		}
+	}
+	if _, err := m.BudgetOptimal(Process16nm, units.MM2(0.1)); err == nil {
+		t.Error("impossible budget: expected error")
+	}
+	if _, err := m.BudgetOptimal(Process16nm, -1); err == nil {
+		t.Error("negative budget: expected error")
+	}
+}
+
+func TestAvgPowerPlausible(t *testing.T) {
+	m := newModel(t)
+	sweep, _ := m.Sweep(Process16nm)
+	for _, d := range sweep {
+		p := d.AvgPower().Watts()
+		if p < 0.05 || p > 3 {
+			t.Errorf("%s power = %v W, outside mobile NPU plausibility", d.Name(), p)
+		}
+	}
+}
+
+func TestCandidates(t *testing.T) {
+	m := newModel(t)
+	sweep, _ := m.Sweep(Process16nm)
+	cands, err := Candidates(sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != len(sweep) {
+		t.Fatalf("Candidates dropped designs")
+	}
+	for i, c := range cands {
+		if c.Name != sweep[i].Name() {
+			t.Errorf("candidate %d name mismatch", i)
+		}
+		if err := c.Validate(); err != nil {
+			t.Errorf("candidate %s invalid: %v", c.Name, err)
+		}
+	}
+}
+
+// Property: embodied carbon increases strictly with MAC count at fixed
+// process, and FPS·Delay ≈ 1 frame.
+func TestQuickMonotoneEmbodiedAndDelayInverse(t *testing.T) {
+	m := newModel(t)
+	f := func(aRaw, bRaw uint16) bool {
+		a := int(aRaw%4000) + MinMACs
+		b := int(bRaw%4000) + MinMACs
+		if a == b {
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		da, err1 := m.Design(a, Process16nm)
+		db, err2 := m.Design(b, Process16nm)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		ea, err1 := da.Embodied()
+		eb, err2 := db.Embodied()
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if eb <= ea {
+			return false
+		}
+		// Delay is the inverse of FPS.
+		product := da.FPS() * da.Delay().Seconds()
+		return math.Abs(product-1) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

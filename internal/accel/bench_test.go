@@ -1,0 +1,50 @@
+package accel
+
+import (
+	"testing"
+
+	"act/internal/metrics"
+)
+
+func BenchmarkSweepAndCandidates(b *testing.B) {
+	m, err := NewModel()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sweep, err := m.Sweep(Process16nm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Candidates(sweep); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMetricOptimal(b *testing.B) {
+	m, err := NewModel()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.MetricOptimal(Process16nm, metrics.CEP); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQoSOptimal(b *testing.B) {
+	m, err := NewModel()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.QoSOptimal(Process16nm, 30); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package accel_test
+
+import (
+	"fmt"
+
+	"act/internal/accel"
+	"act/internal/metrics"
+)
+
+// ExampleModel_QoSOptimal reproduces the Figure 13 (left) headline: the
+// leanest design meeting 30 FPS carries a third of the performance-optimal
+// design's embodied carbon.
+func ExampleModel_QoSOptimal() {
+	m, err := accel.NewModel()
+	if err != nil {
+		panic(err)
+	}
+	qos, err := m.QoSOptimal(accel.Process16nm, 30)
+	if err != nil {
+		panic(err)
+	}
+	perf, err := m.PerfOptimal(accel.Process16nm)
+	if err != nil {
+		panic(err)
+	}
+	eQoS, err := qos.Embodied()
+	if err != nil {
+		panic(err)
+	}
+	ePerf, err := perf.Embodied()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("QoS-optimal: %d MACs, %.1f g CO2\n", qos.MACs, eQoS.Grams())
+	fmt.Printf("perf-optimal: %d MACs, %.2fx more embodied carbon\n",
+		perf.MACs, ePerf.Grams()/eQoS.Grams())
+	// Output:
+	// QoS-optimal: 256 MACs, 14.0 g CO2
+	// perf-optimal: 2048 MACs, 3.29x more embodied carbon
+}
+
+// ExampleModel_MetricOptimal walks the Figure 12 optima.
+func ExampleModel_MetricOptimal() {
+	m, err := accel.NewModel()
+	if err != nil {
+		panic(err)
+	}
+	for _, metric := range []metrics.Metric{metrics.EDP, metrics.CDP, metrics.CE2P, metrics.CEP, metrics.C2EP} {
+		d, err := m.MetricOptimal(accel.Process16nm, metric)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s: %d MACs\n", metric, d.MACs)
+	}
+	// Output:
+	// EDP: 2048 MACs
+	// CDP: 1024 MACs
+	// CE2P: 512 MACs
+	// CEP: 256 MACs
+	// C2EP: 128 MACs
+}

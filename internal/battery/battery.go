@@ -1,0 +1,185 @@
+// Package battery models the component that usually decides a mobile
+// device's real lifetime: the battery. The paper's Recycle case study
+// extends device lifetimes in the abstract and cites repairability
+// programs (Apple Self Service Repair) as an enabler; this package
+// quantifies the underlying trade: batteries wear out by charge cycling
+// and calendar aging long before the silicon does, and replacing a
+// ≈1 kg-CO2e battery is far cheaper, in carbon, than replacing a
+// ≈70 kg-CO2e device.
+//
+// Aging follows the standard empirical shape for Li-ion: total energy
+// throughput before end-of-life grows as cycle depth shrinks
+// (cycles(DoD) = cycles(100%)·DoD^-k with k ≈ 1.1-1.5), bounded by a
+// calendar limit.
+package battery
+
+import (
+	"fmt"
+	"math"
+
+	"act/internal/replace"
+	"act/internal/units"
+)
+
+// Pack describes a battery pack.
+type Pack struct {
+	// CapacityWh is the nominal pack capacity.
+	CapacityWh float64
+	// EmbodiedPerKWh is the manufacturing footprint per kWh of capacity;
+	// Li-ion packs run ≈60-100 kg CO2e per kWh.
+	EmbodiedPerKWh units.CO2Mass
+	// CycleLife100 is the full-depth cycle count to end-of-life (80%
+	// state of health).
+	CycleLife100 float64
+	// DoDExponent is k in cycles(DoD) = CycleLife100·DoD^-k.
+	DoDExponent float64
+	// CalendarLifeYears bounds lifetime regardless of cycling.
+	CalendarLifeYears float64
+}
+
+// DefaultPhone returns a phone-class pack: 15 Wh, 75 kg CO2e/kWh
+// (≈1.1 kg), 500 full cycles, k = 1.3, 6-year calendar limit.
+func DefaultPhone() Pack {
+	return Pack{
+		CapacityWh:        15,
+		EmbodiedPerKWh:    units.Kilograms(75),
+		CycleLife100:      500,
+		DoDExponent:       1.3,
+		CalendarLifeYears: 6,
+	}
+}
+
+// Validate checks the pack parameters.
+func (p Pack) Validate() error {
+	if p.CapacityWh <= 0 {
+		return fmt.Errorf("battery: non-positive capacity %v Wh", p.CapacityWh)
+	}
+	if p.EmbodiedPerKWh < 0 {
+		return fmt.Errorf("battery: negative embodied intensity")
+	}
+	if p.CycleLife100 <= 0 {
+		return fmt.Errorf("battery: non-positive cycle life %v", p.CycleLife100)
+	}
+	if p.DoDExponent < 1 {
+		return fmt.Errorf("battery: DoD exponent %v below 1 (shallow cycling must not hurt)", p.DoDExponent)
+	}
+	if p.CalendarLifeYears <= 0 {
+		return fmt.Errorf("battery: non-positive calendar life %v", p.CalendarLifeYears)
+	}
+	return nil
+}
+
+// Embodied returns the pack's manufacturing footprint.
+func (p Pack) Embodied() (units.CO2Mass, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	return units.Grams(p.EmbodiedPerKWh.Grams() * p.CapacityWh / 1000), nil
+}
+
+// CyclesAt returns the cycle count to end-of-life at a depth of discharge
+// in (0, 1].
+func (p Pack) CyclesAt(dod float64) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if dod <= 0 || dod > 1 {
+		return 0, fmt.Errorf("battery: depth of discharge %v outside (0, 1]", dod)
+	}
+	return p.CycleLife100 * math.Pow(dod, -p.DoDExponent), nil
+}
+
+// LifetimeYears returns the pack lifetime for a daily energy draw at a
+// cycling depth: the cycle-limited life capped by the calendar limit.
+func (p Pack) LifetimeYears(dailyEnergyWh, dod float64) (float64, error) {
+	if dailyEnergyWh <= 0 {
+		return 0, fmt.Errorf("battery: non-positive daily energy %v Wh", dailyEnergyWh)
+	}
+	cycles, err := p.CyclesAt(dod)
+	if err != nil {
+		return 0, err
+	}
+	// Each "cycle" at depth dod delivers dod·capacity.
+	cyclesPerDay := dailyEnergyWh / (p.CapacityWh * dod)
+	if cyclesPerDay <= 0 {
+		return 0, fmt.Errorf("battery: degenerate cycling")
+	}
+	years := cycles / cyclesPerDay / 365.25
+	return math.Min(years, p.CalendarLifeYears), nil
+}
+
+// Strategy is one way to run a device fleet over a horizon.
+type Strategy struct {
+	Name string
+	// DeviceLifetimeYears is how long each device serves.
+	DeviceLifetimeYears float64
+	// BatteriesPerDevice counts packs consumed per device (1 = original
+	// only).
+	BatteriesPerDevice int
+	// Result is the horizon-total footprint including batteries.
+	Result replace.Result
+	// BatteryEmbodied is the battery share of the total.
+	BatteryEmbodied units.CO2Mass
+}
+
+// Total returns the strategy's horizon-total footprint.
+func (s Strategy) Total() units.CO2Mass {
+	return units.Grams(s.Result.Total().Grams() + s.BatteryEmbodied.Grams())
+}
+
+// CompareReplacement contrasts two fleet strategies over the replacement
+// scenario's horizon:
+//
+//   - "replace device": a device is discarded when its battery dies.
+//   - "replace battery": batteries are swapped so the device serves
+//     targetDeviceYears (capped by the scenario horizon).
+//
+// The scenario's DeviceEmbodied must exclude the battery; the pack's own
+// embodied footprint is accounted here.
+func CompareReplacement(s replace.Scenario, p Pack, dailyEnergyWh, dod, targetDeviceYears float64) (device, battery Strategy, err error) {
+	if err := s.Validate(); err != nil {
+		return Strategy{}, Strategy{}, err
+	}
+	battLife, err := p.LifetimeYears(dailyEnergyWh, dod)
+	if err != nil {
+		return Strategy{}, Strategy{}, err
+	}
+	packEmbodied, err := p.Embodied()
+	if err != nil {
+		return Strategy{}, Strategy{}, err
+	}
+	if targetDeviceYears < battLife {
+		return Strategy{}, Strategy{}, fmt.Errorf("battery: target device life %v below battery life %v — no swap needed", targetDeviceYears, battLife)
+	}
+	if targetDeviceYears > s.HorizonYears {
+		targetDeviceYears = s.HorizonYears
+	}
+
+	// Strategy 1: the device dies with its battery.
+	rDevice, err := s.Evaluate(battLife)
+	if err != nil {
+		return Strategy{}, Strategy{}, err
+	}
+	device = Strategy{
+		Name:                "replace device at battery death",
+		DeviceLifetimeYears: battLife,
+		BatteriesPerDevice:  1,
+		Result:              rDevice,
+		BatteryEmbodied:     units.Grams(packEmbodied.Grams() * float64(rDevice.Devices)),
+	}
+
+	// Strategy 2: swap batteries to reach the target device life.
+	rBattery, err := s.Evaluate(targetDeviceYears)
+	if err != nil {
+		return Strategy{}, Strategy{}, err
+	}
+	perDevice := int(math.Ceil(targetDeviceYears / battLife))
+	battery = Strategy{
+		Name:                "replace battery, keep device",
+		DeviceLifetimeYears: targetDeviceYears,
+		BatteriesPerDevice:  perDevice,
+		Result:              rBattery,
+		BatteryEmbodied:     units.Grams(packEmbodied.Grams() * float64(perDevice*rBattery.Devices)),
+	}
+	return device, battery, nil
+}

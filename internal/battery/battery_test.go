@@ -1,0 +1,175 @@
+package battery
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"act/internal/replace"
+	"act/internal/units"
+)
+
+func TestValidate(t *testing.T) {
+	if err := DefaultPhone().Validate(); err != nil {
+		t.Errorf("default pack invalid: %v", err)
+	}
+	bad := []Pack{
+		{CapacityWh: 0, EmbodiedPerKWh: 1, CycleLife100: 1, DoDExponent: 1, CalendarLifeYears: 1},
+		{CapacityWh: 1, EmbodiedPerKWh: -1, CycleLife100: 1, DoDExponent: 1, CalendarLifeYears: 1},
+		{CapacityWh: 1, EmbodiedPerKWh: 1, CycleLife100: 0, DoDExponent: 1, CalendarLifeYears: 1},
+		{CapacityWh: 1, EmbodiedPerKWh: 1, CycleLife100: 1, DoDExponent: 0.5, CalendarLifeYears: 1},
+		{CapacityWh: 1, EmbodiedPerKWh: 1, CycleLife100: 1, DoDExponent: 1, CalendarLifeYears: 0},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("pack %d: expected error", i)
+		}
+	}
+}
+
+func TestEmbodied(t *testing.T) {
+	// 15 Wh at 75 kg/kWh = 1.125 kg.
+	e, err := DefaultPhone().Embodied()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e.Kilograms()-1.125) > 1e-9 {
+		t.Errorf("embodied = %v, want 1.125 kg", e)
+	}
+}
+
+func TestCyclesAt(t *testing.T) {
+	p := DefaultPhone()
+	full, err := p.CyclesAt(1.0)
+	if err != nil || full != 500 {
+		t.Errorf("cycles at 100%% = %v, %v, want 500", full, err)
+	}
+	half, err := p.CyclesAt(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 500 × 0.5^-1.3 ≈ 1231 cycles.
+	if math.Abs(half-500*math.Pow(0.5, -1.3)) > 1e-9 {
+		t.Errorf("cycles at 50%% = %v", half)
+	}
+	// Shallow cycling delivers more total throughput.
+	if half*0.5 <= full*1.0 {
+		t.Errorf("50%% DoD throughput (%v) should beat 100%% (%v)", half*0.5, full)
+	}
+	for _, bad := range []float64{0, -0.5, 1.5} {
+		if _, err := p.CyclesAt(bad); err == nil {
+			t.Errorf("DoD %v: expected error", bad)
+		}
+	}
+}
+
+func TestLifetimeYears(t *testing.T) {
+	p := DefaultPhone()
+	// 7.5 Wh/day at 50% DoD: one half-cycle a day; cycles(0.5) ≈ 1231
+	// half-cycles → ≈3.37 years, under the calendar cap.
+	l, err := p.LifetimeYears(7.5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 500 * math.Pow(0.5, -1.3) / 365.25
+	if math.Abs(l-want) > 1e-9 {
+		t.Errorf("lifetime = %v, want %v", l, want)
+	}
+	// Tiny daily draw: calendar-limited.
+	l, err = p.LifetimeYears(0.5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l != p.CalendarLifeYears {
+		t.Errorf("calendar-limited lifetime = %v, want %v", l, p.CalendarLifeYears)
+	}
+	if _, err := p.LifetimeYears(0, 0.5); err == nil {
+		t.Error("zero draw: expected error")
+	}
+}
+
+func TestQuickLifetimeMonotoneInDraw(t *testing.T) {
+	// Property: more daily energy, shorter (or equal, when calendar-
+	// limited) battery life.
+	p := DefaultPhone()
+	f := func(aRaw, bRaw uint8) bool {
+		a := float64(aRaw%40) + 1
+		b := float64(bRaw%40) + 1
+		if a > b {
+			a, b = b, a
+		}
+		la, err1 := p.LifetimeYears(a, 0.6)
+		lb, err2 := p.LifetimeYears(b, 0.6)
+		return err1 == nil && err2 == nil && lb <= la+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareReplacement(t *testing.T) {
+	// A phone whose battery dies at ≈2.8 years: swapping batteries to
+	// reach the Figure 14 optimum (5 years) must beat discarding the
+	// device, because a pack costs ≈1.1 kg vs ≈17 kg for the device.
+	s := replace.Scenario{
+		HorizonYears:          10,
+		AnnualGain:            1.21,
+		DeviceEmbodied:        units.Kilograms(17),
+		BaseAnnualOperational: units.Kilograms(10.2),
+	}
+	p := DefaultPhone()
+	device, batt, err := CompareReplacement(s, p, 9, 0.6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if device.BatteriesPerDevice != 1 {
+		t.Errorf("device strategy batteries = %d, want 1", device.BatteriesPerDevice)
+	}
+	if batt.BatteriesPerDevice < 2 {
+		t.Errorf("battery strategy batteries = %d, want ≥ 2", batt.BatteriesPerDevice)
+	}
+	if batt.DeviceLifetimeYears != 5 {
+		t.Errorf("battery strategy lifetime = %v, want 5", batt.DeviceLifetimeYears)
+	}
+	if batt.Total().Grams() >= device.Total().Grams() {
+		t.Errorf("battery swap (%v) should beat device replacement (%v)",
+			batt.Total(), device.Total())
+	}
+	// The saving is material (> 10%).
+	if r := device.Total().Grams() / batt.Total().Grams(); r < 1.1 {
+		t.Errorf("swap saving = %vx, want ≥ 1.1x", r)
+	}
+	// Totals include the battery share.
+	if batt.Total().Grams() <= batt.Result.Total().Grams() {
+		t.Error("battery share missing from strategy total")
+	}
+}
+
+func TestCompareReplacementValidation(t *testing.T) {
+	s := replace.DefaultScenario()
+	p := DefaultPhone()
+	// Target below battery life is rejected.
+	if _, _, err := CompareReplacement(s, p, 9, 0.6, 1); err == nil {
+		t.Error("target below battery life: expected error")
+	}
+	// Invalid scenario surfaces.
+	bad := s
+	bad.HorizonYears = 0
+	if _, _, err := CompareReplacement(bad, p, 9, 0.6, 5); err == nil {
+		t.Error("invalid scenario: expected error")
+	}
+	// Invalid pack surfaces.
+	badPack := p
+	badPack.CapacityWh = 0
+	if _, _, err := CompareReplacement(s, badPack, 9, 0.6, 5); err == nil {
+		t.Error("invalid pack: expected error")
+	}
+	// Target beyond the horizon is clamped, not rejected.
+	_, batt, err := CompareReplacement(s, p, 9, 0.6, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batt.DeviceLifetimeYears != s.HorizonYears {
+		t.Errorf("clamped lifetime = %v, want horizon %v", batt.DeviceLifetimeYears, s.HorizonYears)
+	}
+}

@@ -1,0 +1,29 @@
+package battery_test
+
+import (
+	"fmt"
+
+	"act/internal/battery"
+	"act/internal/replace"
+	"act/internal/units"
+)
+
+// ExampleCompareReplacement quantifies the repairability lever: swapping a
+// ≈1 kg battery beats discarding a ≈17 kg device when the pack wears out.
+func ExampleCompareReplacement() {
+	s := replace.Scenario{
+		HorizonYears:          10,
+		AnnualGain:            1.21,
+		DeviceEmbodied:        units.Kilograms(17),
+		BaseAnnualOperational: units.Kilograms(10.2),
+	}
+	device, batt, err := battery.CompareReplacement(s, battery.DefaultPhone(), 9, 0.6, 5)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s: %.0f kg over 10 years\n", device.Name, device.Total().Kilograms())
+	fmt.Printf("%s: %.0f kg over 10 years\n", batt.Name, batt.Total().Kilograms())
+	// Output:
+	// replace device at battery death: 130 kg over 10 years
+	// replace battery, keep device: 109 kg over 10 years
+}

@@ -1,0 +1,180 @@
+// Package chiplet studies the embodied-carbon trade-off between a
+// monolithic die and a multi-chiplet package, one of the Reuse directions
+// the paper calls out (Figure 1: "chiplet design").
+//
+// Splitting a large design into N chiplets shrinks each die, which raises
+// yield sharply under a defect-density model and improves wafer packing —
+// both cut manufactured-silicon carbon. Against that, every split pays:
+// replicated interface logic on each chiplet (die-to-die PHYs, duplicated
+// power/clock infrastructure), a silicon interposer or advanced substrate
+// to stitch the package together, and per-die packaging/assembly. The
+// package quantifies both sides and finds the carbon-optimal split.
+package chiplet
+
+import (
+	"fmt"
+
+	"act/internal/fab"
+	"act/internal/units"
+	"act/internal/wafer"
+)
+
+// Params configure the chiplet cost model.
+type Params struct {
+	// InterfaceOverhead is the fraction of a chiplet's logic area added
+	// for die-to-die interfaces when the design is split (per chiplet).
+	// Industry D2D PHYs run ≈5-12% for reticle-scale designs.
+	InterfaceOverhead float64
+	// PackagingPerDie is the assembly footprint charged per die placed in
+	// the package (bump/bond/test), on top of the one package-level Kr.
+	PackagingPerDie units.CO2Mass
+	// InterposerCPA is the per-area footprint of the interposer silicon
+	// spanning the chiplets; interposers use mature, low-layer processes,
+	// so this is far below a logic CPA. Zero models an organic substrate.
+	InterposerCPA units.CarbonPerArea
+	// InterposerFill is the interposer area as a multiple of the summed
+	// chiplet area (routing margin).
+	InterposerFill float64
+	// Wafer is the substrate geometry for dies-per-wafer accounting.
+	Wafer wafer.Wafer
+}
+
+// DefaultParams returns a representative 2.5D integration cost model: 8%
+// interface overhead per chiplet, 30 g CO2 assembly per die, a mature-node
+// interposer at 150 g/cm² covering 1.1x the chiplet area.
+func DefaultParams() Params {
+	return Params{
+		InterfaceOverhead: 0.08,
+		PackagingPerDie:   units.Grams(30),
+		InterposerCPA:     units.GramsPerCM2(150),
+		InterposerFill:    1.1,
+		Wafer:             wafer.Default300(),
+	}
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if p.InterfaceOverhead < 0 || p.InterfaceOverhead > 1 {
+		return fmt.Errorf("chiplet: interface overhead %v outside [0, 1]", p.InterfaceOverhead)
+	}
+	if p.PackagingPerDie < 0 || p.InterposerCPA < 0 {
+		return fmt.Errorf("chiplet: negative packaging or interposer intensity")
+	}
+	if p.InterposerFill < 1 {
+		return fmt.Errorf("chiplet: interposer fill %v below 1", p.InterposerFill)
+	}
+	return p.Wafer.Validate()
+}
+
+// Split is one evaluated partitioning.
+type Split struct {
+	// Chiplets is the number of dies (1 = monolithic).
+	Chiplets int
+	// DieArea is each chiplet's area including interface overhead.
+	DieArea units.Area
+	// Silicon is the manufactured-silicon footprint (wafer-accounted,
+	// yield-discounted) over all chiplets.
+	Silicon units.CO2Mass
+	// Interposer is the interposer silicon footprint (zero when
+	// monolithic or organic).
+	Interposer units.CO2Mass
+	// Assembly is the per-die packaging footprint.
+	Assembly units.CO2Mass
+	// Yield is the per-chiplet yield.
+	Yield float64
+}
+
+// Total returns the split's full embodied footprint.
+func (s Split) Total() units.CO2Mass {
+	return units.Grams(s.Silicon.Grams() + s.Interposer.Grams() + s.Assembly.Grams())
+}
+
+// Evaluate computes the embodied footprint of splitting logicArea across n
+// chiplets manufactured in f.
+func Evaluate(p Params, f *fab.Fab, logicArea units.Area, n int) (Split, error) {
+	if err := p.Validate(); err != nil {
+		return Split{}, err
+	}
+	if f == nil {
+		return Split{}, fmt.Errorf("chiplet: nil fab")
+	}
+	if logicArea <= 0 {
+		return Split{}, fmt.Errorf("chiplet: non-positive logic area %v", logicArea)
+	}
+	if n < 1 {
+		return Split{}, fmt.Errorf("chiplet: need at least one chiplet, got %d", n)
+	}
+	perDie := logicArea.MM2() / float64(n)
+	if n > 1 {
+		perDie *= 1 + p.InterfaceOverhead
+	}
+	die := units.MM2(perDie)
+	perGood, err := p.Wafer.EmbodiedPerGoodDie(f, die)
+	if err != nil {
+		return Split{}, err
+	}
+	var interposer units.CO2Mass
+	if n > 1 && p.InterposerCPA > 0 {
+		span := units.MM2(perDie * float64(n) * p.InterposerFill)
+		interposer = p.InterposerCPA.For(span)
+	}
+	return Split{
+		Chiplets:   n,
+		DieArea:    die,
+		Silicon:    units.Grams(perGood.Grams() * float64(n)),
+		Interposer: interposer,
+		Assembly:   units.Grams(p.PackagingPerDie.Grams() * float64(n)),
+		Yield:      f.Yield(die),
+	}, nil
+}
+
+// Sweep evaluates splits from 1 (monolithic) to maxChiplets.
+func Sweep(p Params, f *fab.Fab, logicArea units.Area, maxChiplets int) ([]Split, error) {
+	if maxChiplets < 1 {
+		return nil, fmt.Errorf("chiplet: non-positive sweep bound %d", maxChiplets)
+	}
+	out := make([]Split, 0, maxChiplets)
+	for n := 1; n <= maxChiplets; n++ {
+		s, err := Evaluate(p, f, logicArea, n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Optimal returns the sweep split with the lowest total footprint; ties
+// resolve to fewer chiplets (simpler package).
+func Optimal(p Params, f *fab.Fab, logicArea units.Area, maxChiplets int) (Split, error) {
+	sweep, err := Sweep(p, f, logicArea, maxChiplets)
+	if err != nil {
+		return Split{}, err
+	}
+	best := sweep[0]
+	for _, s := range sweep[1:] {
+		if s.Total() < best.Total() {
+			best = s
+		}
+	}
+	return best, nil
+}
+
+// BreakEvenArea finds, by scanning the given logic-area grid, the smallest
+// area at which any multi-chiplet split beats the monolithic die. It
+// returns an error if the crossover lies outside the grid.
+func BreakEvenArea(p Params, f *fab.Fab, areas []units.Area, maxChiplets int) (units.Area, error) {
+	if len(areas) == 0 {
+		return 0, fmt.Errorf("chiplet: empty area grid")
+	}
+	for _, a := range areas {
+		best, err := Optimal(p, f, a, maxChiplets)
+		if err != nil {
+			return 0, err
+		}
+		if best.Chiplets > 1 {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("chiplet: no crossover within the grid (monolithic wins everywhere)")
+}

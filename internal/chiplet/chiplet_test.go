@@ -1,0 +1,224 @@
+package chiplet
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"act/internal/fab"
+	"act/internal/units"
+)
+
+// defectFab returns a 7nm fab with a realistic defect-density yield model,
+// the regime where chiplets pay off.
+func defectFab(t *testing.T) *fab.Fab {
+	t.Helper()
+	f, err := fab.New(fab.Node7, fab.WithYield(fab.MurphyYield{D0: 0.2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func fixedFab(t *testing.T) *fab.Fab {
+	t.Helper()
+	f, err := fab.New(fab.Node7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Errorf("default params invalid: %v", err)
+	}
+	bad := []Params{
+		func() Params { p := DefaultParams(); p.InterfaceOverhead = -0.1; return p }(),
+		func() Params { p := DefaultParams(); p.InterfaceOverhead = 1.5; return p }(),
+		func() Params { p := DefaultParams(); p.PackagingPerDie = -1; return p }(),
+		func() Params { p := DefaultParams(); p.InterposerFill = 0.5; return p }(),
+		func() Params { p := DefaultParams(); p.Wafer.DiameterMM = 0; return p }(),
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("params %d: expected error", i)
+		}
+	}
+}
+
+func TestEvaluateMonolithic(t *testing.T) {
+	p := DefaultParams()
+	f := fixedFab(t)
+	s, err := Evaluate(p, f, units.MM2(400), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Chiplets != 1 {
+		t.Errorf("chiplets = %d", s.Chiplets)
+	}
+	// Monolithic: no interface overhead, no interposer.
+	if s.DieArea != units.MM2(400) {
+		t.Errorf("die area = %v, want 400 mm²", s.DieArea)
+	}
+	if s.Interposer != 0 {
+		t.Errorf("monolithic interposer = %v, want 0", s.Interposer)
+	}
+	if math.Abs(s.Assembly.Grams()-30) > 1e-9 {
+		t.Errorf("assembly = %v, want 30 g", s.Assembly)
+	}
+}
+
+func TestEvaluateSplitGeometry(t *testing.T) {
+	p := DefaultParams()
+	f := fixedFab(t)
+	s, err := Evaluate(p, f, units.MM2(400), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-die area: 100 mm² × 1.08.
+	if math.Abs(s.DieArea.MM2()-108) > 1e-9 {
+		t.Errorf("die area = %v, want 108 mm²", s.DieArea)
+	}
+	if math.Abs(s.Assembly.Grams()-120) > 1e-9 {
+		t.Errorf("assembly = %v, want 120 g", s.Assembly)
+	}
+	// Interposer: 4 × 108 × 1.1 mm² at 1.5 g/mm²... 150 g/cm² = 1.5 g/mm².
+	wantInterposer := 4 * 108.0 * 1.1 / 100 * 150
+	if math.Abs(s.Interposer.Grams()-wantInterposer) > 1e-6 {
+		t.Errorf("interposer = %v, want %v g", s.Interposer, wantInterposer)
+	}
+	// Total = silicon + interposer + assembly.
+	if math.Abs(s.Total().Grams()-(s.Silicon.Grams()+s.Interposer.Grams()+s.Assembly.Grams())) > 1e-9 {
+		t.Error("total mismatch")
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	p := DefaultParams()
+	f := fixedFab(t)
+	if _, err := Evaluate(p, nil, units.MM2(100), 1); err == nil {
+		t.Error("nil fab: expected error")
+	}
+	if _, err := Evaluate(p, f, 0, 1); err == nil {
+		t.Error("zero area: expected error")
+	}
+	if _, err := Evaluate(p, f, units.MM2(100), 0); err == nil {
+		t.Error("zero chiplets: expected error")
+	}
+}
+
+func TestChipletsWinForLargeDefectProneDies(t *testing.T) {
+	// An 800 mm² reticle-scale design at D0 = 0.2/cm²: the monolithic
+	// yield is poor, so splitting must pay off.
+	p := DefaultParams()
+	f := defectFab(t)
+	mono, err := Evaluate(p, f, units.MM2(800), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := Optimal(p, f, units.MM2(800), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Chiplets <= 1 {
+		t.Fatalf("expected a multi-chiplet optimum for an 800 mm² die, got monolithic")
+	}
+	saving := mono.Total().Grams() / best.Total().Grams()
+	if saving < 1.1 {
+		t.Errorf("chiplet saving = %vx, want ≥ 1.1x", saving)
+	}
+	// Yield improves with the split.
+	if best.Yield <= mono.Yield {
+		t.Errorf("split yield %v should beat monolithic %v", best.Yield, mono.Yield)
+	}
+}
+
+func TestMonolithicWinsForSmallDies(t *testing.T) {
+	// A 50 mm² mobile-class die yields fine; the split only adds
+	// overheads.
+	p := DefaultParams()
+	f := defectFab(t)
+	best, err := Optimal(p, f, units.MM2(50), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Chiplets != 1 {
+		t.Errorf("small-die optimum = %d chiplets, want monolithic", best.Chiplets)
+	}
+}
+
+func TestBreakEvenArea(t *testing.T) {
+	p := DefaultParams()
+	f := defectFab(t)
+	var grid []units.Area
+	for a := 50.0; a <= 900; a += 50 {
+		grid = append(grid, units.MM2(a))
+	}
+	cross, err := BreakEvenArea(p, f, grid, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The crossover falls strictly inside the grid: chiplets should not
+	// pay at 50 mm² but must pay by 900 mm².
+	if cross <= units.MM2(50) || cross > units.MM2(900) {
+		t.Errorf("break-even area = %v, want within (50, 900] mm²", cross)
+	}
+
+	// Under a fixed (area-independent) yield the only incentive to split
+	// is wafer packing, so the crossover moves to much larger dies than
+	// under defect-driven yield.
+	crossFixed, err := BreakEvenArea(p, fixedFab(t), grid, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crossFixed <= cross {
+		t.Errorf("fixed-yield crossover (%v) should exceed defect-yield crossover (%v)",
+			crossFixed, cross)
+	}
+	if _, err := BreakEvenArea(p, f, nil, 8); err == nil {
+		t.Error("empty grid: expected error")
+	}
+}
+
+func TestSweepShape(t *testing.T) {
+	p := DefaultParams()
+	f := defectFab(t)
+	sweep, err := Sweep(p, f, units.MM2(600), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep) != 6 {
+		t.Fatalf("sweep has %d entries, want 6", len(sweep))
+	}
+	for i, s := range sweep {
+		if s.Chiplets != i+1 {
+			t.Errorf("sweep[%d].Chiplets = %d", i, s.Chiplets)
+		}
+	}
+	if _, err := Sweep(p, f, units.MM2(600), 0); err == nil {
+		t.Error("zero bound: expected error")
+	}
+}
+
+// Property: per-chiplet yield is non-decreasing in the chiplet count
+// (smaller dies always yield at least as well).
+func TestQuickYieldMonotoneInSplit(t *testing.T) {
+	p := DefaultParams()
+	f, err := fab.New(fab.Node7, fab.WithYield(fab.MurphyYield{D0: 0.25}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(nRaw uint8) bool {
+		n := int(nRaw%7) + 1
+		a, err1 := Evaluate(p, f, units.MM2(700), n)
+		b, err2 := Evaluate(p, f, units.MM2(700), n+1)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return b.Yield >= a.Yield-1e-12
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}

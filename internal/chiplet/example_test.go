@@ -1,0 +1,32 @@
+package chiplet_test
+
+import (
+	"fmt"
+
+	"act/internal/chiplet"
+	"act/internal/fab"
+	"act/internal/units"
+)
+
+// ExampleOptimal finds the carbon-optimal partitioning of a reticle-scale
+// 7nm design under defect-driven yield.
+func ExampleOptimal() {
+	f, err := fab.New(fab.Node7, fab.WithYield(fab.MurphyYield{D0: 0.2}))
+	if err != nil {
+		panic(err)
+	}
+	p := chiplet.DefaultParams()
+	best, err := chiplet.Optimal(p, f, units.MM2(800), 8)
+	if err != nil {
+		panic(err)
+	}
+	mono, err := chiplet.Evaluate(p, f, units.MM2(800), 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("optimal: %d chiplets at %.0f%% yield\n", best.Chiplets, best.Yield*100)
+	fmt.Printf("saving vs monolithic: %.1fx\n", mono.Total().Grams()/best.Total().Grams())
+	// Output:
+	// optimal: 8 chiplets at 81% yield
+	// saving vs monolithic: 3.4x
+}

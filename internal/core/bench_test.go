@@ -1,0 +1,84 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"act/internal/fab"
+	"act/internal/intensity"
+	"act/internal/memdb"
+	"act/internal/storagedb"
+	"act/internal/units"
+)
+
+// benchDevice builds a phone-class BOM once for the benchmarks.
+func benchDevice(b *testing.B) *Device {
+	b.Helper()
+	f, err := fab.New(fab.Node7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := NewDevice("phone")
+	if err != nil {
+		b.Fatal(err)
+	}
+	soc, err := NewLogic("soc", units.MM2(98.5), f, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ram, err := NewDRAM("ram", memdb.LPDDR4, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ssd, err := NewStorage("flash", storagedb.NANDV3TLC, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d.AddLogic(soc).AddDRAM(ram).AddStorage(ssd).AddExtraICs(10)
+}
+
+func BenchmarkEmbodied(b *testing.B) {
+	d := benchDevice(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Embodied(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFootprint(b *testing.B) {
+	d := benchDevice(b)
+	u := UsageFromPower(units.Watts(3), time.Hour, intensity.USGrid)
+	lt := units.Years(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Footprint(d, u, time.Hour, lt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLifeCycleAssess(b *testing.B) {
+	d := benchDevice(b)
+	u := Usage{Energy: units.KilowattHours(20), Intensity: intensity.USGrid}
+	eu, err := BatteryEfficiency(u, 0.85)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lc := LifeCycle{
+		Device: d,
+		Transport: []TransportLeg{
+			{Name: "air", MassKg: 0.3, DistanceKm: 9000, Mode: TransportAir},
+		},
+		EndOfLife: EndOfLife{Processing: units.Grams(400)},
+		Use:       eu,
+		Lifetime:  units.Years(3),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lc.Assess(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

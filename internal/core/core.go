@@ -1,0 +1,222 @@
+// Package core implements the ACT architectural carbon footprint model
+// (Section 3.1 of the paper). It combines operational emissions from
+// running software with embodied emissions from manufacturing the hardware:
+//
+//	CF   = OPCF + (T/LT)·ECF                  (Eq. 1)
+//	OPCF = CIuse × Energy                     (Eq. 2)
+//	ECF  = Nr·Kr + Σ_r E_r                    (Eq. 3)  r ∈ {SoC, DRAM, SSD, HDD}
+//	E_SoC  = Area × CPA                       (Eq. 4)  CPA from internal/fab
+//	E_DRAM = CPS_DRAM × Capacity_DRAM         (Eq. 6)  CPS from internal/memdb
+//	E_HDD  = CPS_HDD × Capacity_HDD           (Eq. 7)  CPS from internal/storagedb
+//	E_SSD  = CPS_SSD × Capacity_SSD           (Eq. 8)
+//
+// A Device is the bill of materials: logic dies with their fabs, DRAM
+// modules, and storage drives. Embodied returns the per-IC breakdown that
+// distinguishes ACT from opaque LCA totals (Figure 4); Footprint applies
+// the lifetime amortization of Eq. 1.
+//
+// The embodied model covers the direct impact of semiconductor fabrication;
+// secondary overheads (building fabs, EUV machines) are excluded, so, as
+// the paper notes, totals are a lower bound.
+package core
+
+import (
+	"fmt"
+
+	"act/internal/fab"
+	"act/internal/memdb"
+	"act/internal/storagedb"
+	"act/internal/units"
+)
+
+// PackagingFootprint is Kr, the per-IC packaging footprint (0.15 kg CO2,
+// from SPIL's environmental reporting).
+const PackagingFootprint units.CO2Mass = 150
+
+// Logic is an application processor, SoC, co-processor or any other logic
+// die manufactured in a characterized process.
+type Logic struct {
+	name  string
+	area  units.Area
+	fab   *fab.Fab
+	count int
+}
+
+// NewLogic describes count identical logic dies of the given area
+// manufactured in f.
+func NewLogic(name string, area units.Area, f *fab.Fab, count int) (*Logic, error) {
+	if name == "" {
+		return nil, fmt.Errorf("core: logic component needs a name")
+	}
+	if area <= 0 {
+		return nil, fmt.Errorf("core: logic %q: non-positive die area %v", name, area)
+	}
+	if f == nil {
+		return nil, fmt.Errorf("core: logic %q: nil fab", name)
+	}
+	if count <= 0 {
+		return nil, fmt.Errorf("core: logic %q: non-positive count %d", name, count)
+	}
+	return &Logic{name: name, area: area, fab: f, count: count}, nil
+}
+
+// Name returns the component name.
+func (l *Logic) Name() string { return l.name }
+
+// Area returns the per-die area.
+func (l *Logic) Area() units.Area { return l.area }
+
+// Fab returns the manufacturing fab.
+func (l *Logic) Fab() *fab.Fab { return l.fab }
+
+// Count returns the number of identical dies.
+func (l *Logic) Count() int { return l.count }
+
+// Embodied returns the embodied carbon of all dies, excluding packaging.
+func (l *Logic) Embodied() (units.CO2Mass, error) {
+	one, err := l.fab.Embodied(l.area)
+	if err != nil {
+		return 0, fmt.Errorf("core: logic %q: %w", l.name, err)
+	}
+	return units.CO2Mass(one.Grams() * float64(l.count)), nil
+}
+
+// DRAM is a DRAM module of a characterized technology.
+type DRAM struct {
+	name     string
+	entry    memdb.Entry
+	capacity units.Capacity
+}
+
+// NewDRAM describes a DRAM module.
+func NewDRAM(name string, tech memdb.Technology, capacity units.Capacity) (*DRAM, error) {
+	if name == "" {
+		return nil, fmt.Errorf("core: DRAM component needs a name")
+	}
+	if capacity <= 0 {
+		return nil, fmt.Errorf("core: DRAM %q: non-positive capacity %v", name, capacity)
+	}
+	entry, err := memdb.Lookup(tech)
+	if err != nil {
+		return nil, fmt.Errorf("core: DRAM %q: %w", name, err)
+	}
+	return &DRAM{name: name, entry: entry, capacity: capacity}, nil
+}
+
+// Name returns the component name.
+func (d *DRAM) Name() string { return d.name }
+
+// Technology returns the characterized DRAM technology.
+func (d *DRAM) Technology() memdb.Entry { return d.entry }
+
+// Capacity returns the module capacity.
+func (d *DRAM) Capacity() units.Capacity { return d.capacity }
+
+// Embodied returns the embodied carbon of the module, excluding packaging.
+func (d *DRAM) Embodied() units.CO2Mass { return d.entry.CPS.For(d.capacity) }
+
+// Storage is an SSD or HDD of a characterized technology.
+type Storage struct {
+	name     string
+	entry    storagedb.Entry
+	capacity units.Capacity
+}
+
+// NewStorage describes a storage drive.
+func NewStorage(name string, tech storagedb.Technology, capacity units.Capacity) (*Storage, error) {
+	if name == "" {
+		return nil, fmt.Errorf("core: storage component needs a name")
+	}
+	if capacity <= 0 {
+		return nil, fmt.Errorf("core: storage %q: non-positive capacity %v", name, capacity)
+	}
+	entry, err := storagedb.Lookup(tech)
+	if err != nil {
+		return nil, fmt.Errorf("core: storage %q: %w", name, err)
+	}
+	return &Storage{name: name, entry: entry, capacity: capacity}, nil
+}
+
+// Name returns the component name.
+func (s *Storage) Name() string { return s.name }
+
+// Technology returns the characterized storage technology.
+func (s *Storage) Technology() storagedb.Entry { return s.entry }
+
+// Capacity returns the drive capacity.
+func (s *Storage) Capacity() units.Capacity { return s.capacity }
+
+// Class reports whether the drive is an SSD or an HDD.
+func (s *Storage) Class() storagedb.Class { return s.entry.Class }
+
+// Embodied returns the embodied carbon of the drive, excluding packaging.
+func (s *Storage) Embodied() units.CO2Mass { return s.entry.CPS.For(s.capacity) }
+
+// Device is a hardware platform's bill of materials: the Nr integrated
+// circuits whose embodied emissions Eq. 3 aggregates.
+type Device struct {
+	name    string
+	logic   []*Logic
+	dram    []*DRAM
+	storage []*Storage
+	// extraICs counts ICs that contribute packaging (part of Nr) but whose
+	// die footprint is modeled elsewhere or negligible — e.g. the myriad
+	// small power-management and RF chips on a phone board.
+	extraICs int
+}
+
+// NewDevice creates an empty device. Components are attached with the Add
+// methods, which return the device for chaining.
+func NewDevice(name string) (*Device, error) {
+	if name == "" {
+		return nil, fmt.Errorf("core: device needs a name")
+	}
+	return &Device{name: name}, nil
+}
+
+// Name returns the device name.
+func (d *Device) Name() string { return d.name }
+
+// AddLogic attaches a logic component.
+func (d *Device) AddLogic(l *Logic) *Device {
+	d.logic = append(d.logic, l)
+	return d
+}
+
+// AddDRAM attaches a DRAM module.
+func (d *Device) AddDRAM(m *DRAM) *Device {
+	d.dram = append(d.dram, m)
+	return d
+}
+
+// AddStorage attaches a storage drive.
+func (d *Device) AddStorage(s *Storage) *Device {
+	d.storage = append(d.storage, s)
+	return d
+}
+
+// AddExtraICs counts n additional packaged ICs not modeled individually.
+func (d *Device) AddExtraICs(n int) *Device {
+	if n > 0 {
+		d.extraICs += n
+	}
+	return d
+}
+
+// Logic returns the attached logic components.
+func (d *Device) Logic() []*Logic { return d.logic }
+
+// DRAM returns the attached DRAM modules.
+func (d *Device) DRAM() []*DRAM { return d.dram }
+
+// Storage returns the attached storage drives.
+func (d *Device) Storage() []*Storage { return d.storage }
+
+// ICCount returns Nr, the number of packaged ICs on the device.
+func (d *Device) ICCount() int {
+	n := d.extraICs + len(d.dram) + len(d.storage)
+	for _, l := range d.logic {
+		n += l.count
+	}
+	return n
+}

@@ -1,0 +1,359 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"act/internal/fab"
+	"act/internal/intensity"
+	"act/internal/memdb"
+	"act/internal/storagedb"
+	"act/internal/units"
+)
+
+func mustFab(t *testing.T, n fab.Node, opts ...fab.Option) *fab.Fab {
+	t.Helper()
+	f, err := fab.New(n, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func approx(t *testing.T, got, want, rel float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > rel*math.Max(math.Abs(want), 1e-12) {
+		t.Errorf("%s: got %v, want %v", msg, got, want)
+	}
+}
+
+func TestNewLogicValidation(t *testing.T) {
+	f := mustFab(t, fab.Node7)
+	if _, err := NewLogic("", units.MM2(100), f, 1); err == nil {
+		t.Error("empty name: expected error")
+	}
+	if _, err := NewLogic("soc", units.MM2(0), f, 1); err == nil {
+		t.Error("zero area: expected error")
+	}
+	if _, err := NewLogic("soc", units.MM2(100), nil, 1); err == nil {
+		t.Error("nil fab: expected error")
+	}
+	if _, err := NewLogic("soc", units.MM2(100), f, 0); err == nil {
+		t.Error("zero count: expected error")
+	}
+	l, err := NewLogic("soc", units.MM2(100), f, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Name() != "soc" || l.Area() != units.MM2(100) || l.Count() != 2 || l.Fab() != f {
+		t.Errorf("accessors wrong: %+v", l)
+	}
+}
+
+func TestLogicEmbodiedCountScaling(t *testing.T) {
+	f := mustFab(t, fab.Node7)
+	one, _ := NewLogic("soc", units.MM2(100), f, 1)
+	two, _ := NewLogic("soc", units.MM2(100), f, 2)
+	e1, err := one.Embodied()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := two.Embodied()
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, e2.Grams(), 2*e1.Grams(), 1e-12, "count scaling")
+}
+
+func TestNewDRAMValidation(t *testing.T) {
+	if _, err := NewDRAM("", memdb.LPDDR4, 4); err == nil {
+		t.Error("empty name: expected error")
+	}
+	if _, err := NewDRAM("ram", memdb.LPDDR4, 0); err == nil {
+		t.Error("zero capacity: expected error")
+	}
+	if _, err := NewDRAM("ram", "hbm3", 4); err == nil {
+		t.Error("unknown tech: expected error")
+	}
+	d, err := NewDRAM("ram", memdb.LPDDR4, units.Gigabytes(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, d.Embodied().Grams(), 192, 1e-12, "4GB LPDDR4")
+	if d.Name() != "ram" || d.Capacity() != 4 || d.Technology().Technology != memdb.LPDDR4 {
+		t.Errorf("accessors wrong: %+v", d)
+	}
+}
+
+func TestNewStorageValidation(t *testing.T) {
+	if _, err := NewStorage("", storagedb.NANDV3TLC, 64); err == nil {
+		t.Error("empty name: expected error")
+	}
+	if _, err := NewStorage("ssd", storagedb.NANDV3TLC, -1); err == nil {
+		t.Error("negative capacity: expected error")
+	}
+	if _, err := NewStorage("ssd", "tape", 64); err == nil {
+		t.Error("unknown tech: expected error")
+	}
+	s, err := NewStorage("ssd", storagedb.NANDV3TLC, units.Gigabytes(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, s.Embodied().Grams(), 403.2, 1e-12, "64GB V3 TLC")
+	if s.Class() != storagedb.SSD {
+		t.Errorf("Class() = %v, want ssd", s.Class())
+	}
+	h, err := NewStorage("hdd", storagedb.Exosx16, units.Terabytes(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Class() != storagedb.HDD {
+		t.Errorf("Class() = %v, want hdd", h.Class())
+	}
+}
+
+func TestDeviceICCount(t *testing.T) {
+	d, err := NewDevice("phone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := mustFab(t, fab.Node7)
+	soc, _ := NewLogic("soc", units.MM2(98.5), f, 1)
+	copro, _ := NewLogic("copro", units.MM2(10), f, 2)
+	ram, _ := NewDRAM("ram", memdb.LPDDR4, 4)
+	ssd, _ := NewStorage("flash", storagedb.NANDV3TLC, 64)
+	d.AddLogic(soc).AddLogic(copro).AddDRAM(ram).AddStorage(ssd).AddExtraICs(5)
+	if got := d.ICCount(); got != 1+2+1+1+5 {
+		t.Errorf("ICCount() = %d, want 10", got)
+	}
+	// Negative extra ICs are ignored.
+	d.AddExtraICs(-3)
+	if got := d.ICCount(); got != 10 {
+		t.Errorf("ICCount() after negative add = %d, want 10", got)
+	}
+	if _, err := NewDevice(""); err == nil {
+		t.Error("empty device name: expected error")
+	}
+}
+
+func TestEmbodiedBreakdown(t *testing.T) {
+	d, _ := NewDevice("phone")
+	f := mustFab(t, fab.Node7)
+	soc, _ := NewLogic("soc", units.CM2(1), f, 1)
+	ram, _ := NewDRAM("ram", memdb.LPDDR4, 4)
+	ssd, _ := NewStorage("flash", storagedb.NANDV3TLC, 64)
+	hdd, _ := NewStorage("disk", storagedb.Exosx16, 1000)
+	d.AddLogic(soc).AddDRAM(ram).AddStorage(ssd).AddStorage(hdd)
+
+	b, err := Embodied(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Items) != 5 { // soc, ram, ssd, hdd, packaging
+		t.Fatalf("breakdown has %d items, want 5: %+v", len(b.Items), b.Items)
+	}
+
+	// Hand-compute: CPA(7nm default) = (447.5*1.52 + 350 + 500)/0.875
+	cpa := (447.5*1.52 + 350 + 500) / 0.875
+	wantSoC := cpa * 1.0 // 1 cm²
+	wantRAM := 48.0 * 4
+	wantSSD := 6.3 * 64
+	wantHDD := 1.33 * 1000
+	wantPkg := 150.0 * 4
+	want := wantSoC + wantRAM + wantSSD + wantHDD + wantPkg
+	approx(t, b.Total().Grams(), want, 1e-12, "breakdown total")
+
+	kinds := map[Kind]bool{}
+	for _, it := range b.Items {
+		kinds[it.Kind] = true
+	}
+	for _, k := range []Kind{KindLogic, KindDRAM, KindSSD, KindHDD, KindPackaging} {
+		if !kinds[k] {
+			t.Errorf("breakdown missing kind %s", k)
+		}
+	}
+
+	// Packaging item names the IC count.
+	var pkg Item
+	for _, it := range b.Items {
+		if it.Kind == KindPackaging {
+			pkg = it
+		}
+	}
+	if !strings.Contains(pkg.Name, "4 ICs") {
+		t.Errorf("packaging item name = %q, want it to mention 4 ICs", pkg.Name)
+	}
+
+	if _, err := Embodied(nil); err == nil {
+		t.Error("Embodied(nil): expected error")
+	}
+}
+
+func TestByKindAggregation(t *testing.T) {
+	d, _ := NewDevice("box")
+	f := mustFab(t, fab.Node7)
+	a, _ := NewLogic("a", units.MM2(50), f, 1)
+	b2, _ := NewLogic("b", units.MM2(50), f, 1)
+	d.AddLogic(a).AddLogic(b2)
+	b, err := Embodied(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := b.ByKind()
+	if len(agg) != 2 { // logic + packaging
+		t.Fatalf("ByKind() = %d entries, want 2", len(agg))
+	}
+	for i := 1; i < len(agg); i++ {
+		if agg[i].Embodied > agg[i-1].Embodied {
+			t.Error("ByKind() not sorted by descending share")
+		}
+	}
+	var logicSum float64
+	for _, it := range b.Items {
+		if it.Kind == KindLogic {
+			logicSum += it.Embodied.Grams()
+		}
+	}
+	for _, it := range agg {
+		if it.Kind == KindLogic {
+			approx(t, it.Embodied.Grams(), logicSum, 1e-12, "logic aggregation")
+		}
+	}
+}
+
+func TestOperational(t *testing.T) {
+	// Table 4: CPU at 6.6 W for 6 ms on the 300 g/kWh US grid = 3.3 µg.
+	u := UsageFromPower(units.Watts(6.6), 6*time.Millisecond, intensity.USGrid)
+	op, err := Operational(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, op.Grams(), 3.3e-6, 1e-9, "Table 4 CPU OPCF")
+
+	if _, err := Operational(Usage{Energy: -1, Intensity: 300}); err == nil {
+		t.Error("negative energy: expected error")
+	}
+	if _, err := Operational(Usage{Energy: 1, Intensity: -300}); err == nil {
+		t.Error("negative intensity: expected error")
+	}
+}
+
+func TestFootprintAmortization(t *testing.T) {
+	d, _ := NewDevice("phone")
+	f := mustFab(t, fab.Node7)
+	soc, _ := NewLogic("soc", units.CM2(1), f, 1)
+	d.AddLogic(soc)
+
+	u := Usage{Energy: units.KilowattHours(1), Intensity: intensity.USGrid}
+	lt := units.Years(3)
+
+	// Running for the full lifetime attributes the whole ECF.
+	full, err := Footprint(d, u, lt, lt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, full.EmbodiedShare.Grams(), full.EmbodiedTotal.Grams(), 1e-12, "full lifetime share")
+
+	// Running for a third of the lifetime attributes a third.
+	third, err := Footprint(d, u, lt/3, lt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, third.EmbodiedShare.Grams(), full.EmbodiedTotal.Grams()/3, 1e-9, "1/3 lifetime share")
+
+	// Total = OPCF + share.
+	approx(t, third.Total().Grams(), third.Operational.Grams()+third.EmbodiedShare.Grams(), 1e-12, "Eq. 1")
+	approx(t, third.Operational.Grams(), 300, 1e-12, "1 kWh at 300 g/kWh")
+}
+
+func TestFootprintValidation(t *testing.T) {
+	d, _ := NewDevice("phone")
+	u := Usage{Energy: 1, Intensity: 300}
+	if _, err := Footprint(d, u, time.Hour, 0); err == nil {
+		t.Error("zero lifetime: expected error")
+	}
+	if _, err := Footprint(d, u, -time.Hour, time.Hour); err == nil {
+		t.Error("negative app time: expected error")
+	}
+	if _, err := Footprint(d, u, 2*time.Hour, time.Hour); err == nil {
+		t.Error("app time > lifetime: expected error")
+	}
+}
+
+func TestLifetimeFootprint(t *testing.T) {
+	d, _ := NewDevice("phone")
+	f := mustFab(t, fab.Node7)
+	soc, _ := NewLogic("soc", units.CM2(1), f, 1)
+	d.AddLogic(soc)
+	u := Usage{Energy: units.KilowattHours(10), Intensity: intensity.USGrid}
+	a, err := LifetimeFootprint(d, u, units.Years(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, a.EmbodiedShare.Grams(), a.EmbodiedTotal.Grams(), 1e-12, "lifetime = full embodied")
+	approx(t, a.Operational.Grams(), 3000, 1e-12, "10 kWh at 300")
+}
+
+// Property: the embodied share is monotone and linear in app time.
+func TestQuickFootprintShareLinearInT(t *testing.T) {
+	d, _ := NewDevice("phone")
+	f, err := fab.New(fab.Node7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	soc, err := NewLogic("soc", units.CM2(1), f, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.AddLogic(soc)
+	u := Usage{Energy: 0, Intensity: 0}
+	lt := units.Years(3)
+	check := func(hours uint16) bool {
+		// Keep 2*tm within the 3-year (~26298 h) lifetime.
+		tm := time.Duration(hours%13000) * time.Hour
+		a1, err1 := Footprint(d, u, tm, lt)
+		a2, err2 := Footprint(d, u, 2*tm, lt)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(a2.EmbodiedShare.Grams()-2*a1.EmbodiedShare.Grams()) < 1e-9
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: adding a component never decreases the embodied total.
+func TestQuickEmbodiedMonotoneInComponents(t *testing.T) {
+	f, err := fab.New(fab.Node7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(nLogic, nDRAM uint8) bool {
+		d, _ := NewDevice("box")
+		for i := 0; i < int(nLogic%8); i++ {
+			l, _ := NewLogic("l", units.MM2(10), f, 1)
+			d.AddLogic(l)
+		}
+		prev := 0.0
+		for i := 0; i < int(nDRAM%8); i++ {
+			b, err := Embodied(d)
+			if err != nil {
+				return false
+			}
+			if b.Total().Grams() < prev {
+				return false
+			}
+			prev = b.Total().Grams()
+			m, _ := NewDRAM("m", memdb.LPDDR4, 4)
+			d.AddDRAM(m)
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"act/internal/storagedb"
+	"act/internal/units"
+)
+
+// Kind classifies an embodied-footprint line item by the component classes
+// of Eq. 3.
+type Kind string
+
+// Component kinds.
+const (
+	KindLogic     Kind = "logic"
+	KindDRAM      Kind = "dram"
+	KindSSD       Kind = "ssd"
+	KindHDD       Kind = "hdd"
+	KindPackaging Kind = "packaging"
+)
+
+// Item is one line of an embodied-footprint breakdown.
+type Item struct {
+	Name     string
+	Kind     Kind
+	Embodied units.CO2Mass
+}
+
+// Breakdown is a device's embodied footprint, itemized per IC — the level
+// of detail Figure 4 contrasts with opaque LCA totals.
+type Breakdown struct {
+	Device string
+	Items  []Item
+}
+
+// Total returns ECF, the device's total embodied carbon footprint (Eq. 3).
+func (b Breakdown) Total() units.CO2Mass {
+	var sum float64
+	for _, it := range b.Items {
+		sum += it.Embodied.Grams()
+	}
+	return units.Grams(sum)
+}
+
+// ByKind returns the footprint aggregated per component kind, sorted by
+// descending share, the categories of the Figure 4 bars.
+func (b Breakdown) ByKind() []Item {
+	agg := map[Kind]float64{}
+	for _, it := range b.Items {
+		agg[it.Kind] += it.Embodied.Grams()
+	}
+	out := make([]Item, 0, len(agg))
+	for k, g := range agg {
+		out = append(out, Item{Name: string(k), Kind: k, Embodied: units.Grams(g)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Embodied != out[j].Embodied {
+			return out[i].Embodied > out[j].Embodied
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out
+}
+
+// Embodied computes the device's embodied carbon footprint (Eq. 3) with a
+// per-component breakdown: every logic die, DRAM module and storage drive
+// individually, plus one aggregate packaging item (Nr · Kr).
+func Embodied(d *Device) (Breakdown, error) {
+	if d == nil {
+		return Breakdown{}, fmt.Errorf("core: nil device")
+	}
+	b := Breakdown{Device: d.name}
+	for _, l := range d.logic {
+		e, err := l.Embodied()
+		if err != nil {
+			return Breakdown{}, err
+		}
+		b.Items = append(b.Items, Item{Name: l.name, Kind: KindLogic, Embodied: e})
+	}
+	for _, m := range d.dram {
+		b.Items = append(b.Items, Item{Name: m.name, Kind: KindDRAM, Embodied: m.Embodied()})
+	}
+	for _, s := range d.storage {
+		kind := KindSSD
+		if s.Class() == storagedb.HDD {
+			kind = KindHDD
+		}
+		b.Items = append(b.Items, Item{Name: s.name, Kind: kind, Embodied: s.Embodied()})
+	}
+	if n := d.ICCount(); n > 0 {
+		b.Items = append(b.Items, Item{
+			Name:     fmt.Sprintf("packaging (%d ICs)", n),
+			Kind:     KindPackaging,
+			Embodied: units.CO2Mass(PackagingFootprint.Grams() * float64(n)),
+		})
+	}
+	return b, nil
+}
+
+// Usage describes the operational side of an assessment: the energy the
+// application run consumes and the carbon intensity of the energy supply
+// during use (CIuse).
+type Usage struct {
+	Energy    units.Energy
+	Intensity units.CarbonIntensity
+}
+
+// UsageFromPower builds a Usage from an average power draw over the
+// application execution time T.
+func UsageFromPower(p units.Power, t time.Duration, ci units.CarbonIntensity) Usage {
+	return Usage{Energy: p.Over(t), Intensity: ci}
+}
+
+// Operational computes OPCF (Eq. 2) for a usage.
+func Operational(u Usage) (units.CO2Mass, error) {
+	if u.Energy < 0 {
+		return 0, fmt.Errorf("core: negative operational energy %v", u.Energy)
+	}
+	if u.Intensity < 0 {
+		return 0, fmt.Errorf("core: negative use-phase carbon intensity %v", u.Intensity)
+	}
+	return u.Intensity.Emitted(u.Energy), nil
+}
+
+// Assessment is the result of an end-to-end footprint evaluation (Eq. 1).
+type Assessment struct {
+	Device string
+	// Operational is OPCF, emissions from energy consumed during the run.
+	Operational units.CO2Mass
+	// EmbodiedTotal is ECF, the device's full manufacturing footprint.
+	EmbodiedTotal units.CO2Mass
+	// EmbodiedShare is (T/LT)·ECF, the slice of ECF attributed to the run.
+	EmbodiedShare units.CO2Mass
+	// Breakdown itemizes EmbodiedTotal per IC.
+	Breakdown Breakdown
+	// AppTime and Lifetime echo T and LT.
+	AppTime  time.Duration
+	Lifetime time.Duration
+}
+
+// Total returns CF = OPCF + (T/LT)·ECF.
+func (a Assessment) Total() units.CO2Mass {
+	return units.Grams(a.Operational.Grams() + a.EmbodiedShare.Grams())
+}
+
+// Footprint evaluates the full model (Eq. 1) for running an application for
+// appTime on the device over its lifetime, with the given usage. The
+// embodied footprint is amortized by T/LT; appTime may not exceed the
+// lifetime (a run cannot use more than the whole device).
+func Footprint(d *Device, u Usage, appTime, lifetime time.Duration) (Assessment, error) {
+	if lifetime <= 0 {
+		return Assessment{}, fmt.Errorf("core: non-positive lifetime %v", lifetime)
+	}
+	if appTime < 0 {
+		return Assessment{}, fmt.Errorf("core: negative application time %v", appTime)
+	}
+	if appTime > lifetime {
+		return Assessment{}, fmt.Errorf("core: application time %v exceeds lifetime %v", appTime, lifetime)
+	}
+	op, err := Operational(u)
+	if err != nil {
+		return Assessment{}, err
+	}
+	b, err := Embodied(d)
+	if err != nil {
+		return Assessment{}, err
+	}
+	total := b.Total()
+	share := units.Grams(total.Grams() * (appTime.Seconds() / lifetime.Seconds()))
+	return Assessment{
+		Device:        d.Name(),
+		Operational:   op,
+		EmbodiedTotal: total,
+		EmbodiedShare: share,
+		Breakdown:     b,
+		AppTime:       appTime,
+		Lifetime:      lifetime,
+	}, nil
+}
+
+// LifetimeFootprint evaluates the device over its whole lifetime (T = LT):
+// the full embodied footprint plus operational emissions for the energy
+// consumed across the lifetime.
+func LifetimeFootprint(d *Device, u Usage, lifetime time.Duration) (Assessment, error) {
+	return Footprint(d, u, lifetime, lifetime)
+}

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"act/internal/units"
+)
+
+// This file extends the headline model (Eq. 1) to the four life-cycle
+// phases of Figure 3 — manufacturing, transport, use, end-of-life — and to
+// the utilization-effectiveness factors of Figure 5 (datacenter PUE,
+// mobile battery-charging efficiency). The paper's evaluation focuses on
+// manufacturing and use; transport and end-of-life are the remaining 4-6%
+// of product environmental reports, modeled here as per-device adders so a
+// Device can carry a complete product footprint.
+
+// Phase identifies a hardware life-cycle phase (Figure 3).
+type Phase string
+
+// Life-cycle phases.
+const (
+	PhaseManufacturing Phase = "manufacturing"
+	PhaseTransport     Phase = "transport"
+	PhaseUse           Phase = "use"
+	PhaseEndOfLife     Phase = "end-of-life"
+)
+
+// Phases returns the four phases in life-cycle order.
+func Phases() []Phase {
+	return []Phase{PhaseManufacturing, PhaseTransport, PhaseUse, PhaseEndOfLife}
+}
+
+// TransportLeg is one shipment step from fab to end user.
+type TransportLeg struct {
+	Name string
+	// MassKg is the shipped mass (device plus its packaging share).
+	MassKg float64
+	// DistanceKm is the leg distance.
+	DistanceKm float64
+	// Mode selects the emission factor.
+	Mode TransportMode
+}
+
+// TransportMode is a freight mode with a standard emission factor.
+type TransportMode string
+
+// Freight modes with GLEC-style emission factors (g CO2 per tonne-km).
+const (
+	TransportAir  TransportMode = "air"
+	TransportSea  TransportMode = "sea"
+	TransportRoad TransportMode = "road"
+	TransportRail TransportMode = "rail"
+)
+
+// gPerTonneKm are representative well-to-wheel freight emission factors.
+var gPerTonneKm = map[TransportMode]float64{
+	TransportAir:  600,
+	TransportSea:  10,
+	TransportRoad: 80,
+	TransportRail: 25,
+}
+
+// Emissions returns the leg's footprint.
+func (l TransportLeg) Emissions() (units.CO2Mass, error) {
+	factor, ok := gPerTonneKm[l.Mode]
+	if !ok {
+		return 0, fmt.Errorf("core: unknown transport mode %q", l.Mode)
+	}
+	if l.MassKg < 0 || l.DistanceKm < 0 {
+		return 0, fmt.Errorf("core: transport leg %q has negative mass or distance", l.Name)
+	}
+	tonneKm := l.MassKg / 1000 * l.DistanceKm
+	return units.Grams(factor * tonneKm), nil
+}
+
+// EndOfLife describes recycling/disposal processing.
+type EndOfLife struct {
+	// Processing is the direct footprint of collection and processing.
+	Processing units.CO2Mass
+	// RecyclingCredit is carbon avoided by recovered materials; it is
+	// subtracted, floored at zero net (a device cannot be carbon-negative
+	// through disposal in this model).
+	RecyclingCredit units.CO2Mass
+}
+
+// Net returns the end-of-life net footprint.
+func (e EndOfLife) Net() units.CO2Mass {
+	n := e.Processing.Grams() - e.RecyclingCredit.Grams()
+	if n < 0 {
+		n = 0
+	}
+	return units.Grams(n)
+}
+
+// EffectiveUsage extends Usage with the utilization-effectiveness factor
+// of Figure 5: a PUE-style multiplier ≥ 1 on delivered energy (datacenter
+// power distribution and cooling overheads) or the reciprocal of battery
+// charging efficiency for mobile devices.
+type EffectiveUsage struct {
+	Usage
+	// Effectiveness multiplies device energy into wall energy. 1 means no
+	// overhead; a typical datacenter PUE is 1.1-1.6; a battery charging
+	// path at 85% efficiency is 1/0.85 ≈ 1.18.
+	Effectiveness float64
+}
+
+// PUE builds an EffectiveUsage from a datacenter PUE.
+func PUE(u Usage, pue float64) (EffectiveUsage, error) {
+	if pue < 1 {
+		return EffectiveUsage{}, fmt.Errorf("core: PUE %v below 1", pue)
+	}
+	return EffectiveUsage{Usage: u, Effectiveness: pue}, nil
+}
+
+// BatteryEfficiency builds an EffectiveUsage from a charging efficiency in
+// (0, 1].
+func BatteryEfficiency(u Usage, eta float64) (EffectiveUsage, error) {
+	if eta <= 0 || eta > 1 {
+		return EffectiveUsage{}, fmt.Errorf("core: battery efficiency %v outside (0, 1]", eta)
+	}
+	return EffectiveUsage{Usage: u, Effectiveness: 1 / eta}, nil
+}
+
+// WallUsage returns the usage as seen at the wall: device energy scaled by
+// the effectiveness factor.
+func (e EffectiveUsage) WallUsage() (Usage, error) {
+	if e.Effectiveness < 1 {
+		return Usage{}, fmt.Errorf("core: effectiveness %v below 1", e.Effectiveness)
+	}
+	return Usage{
+		Energy:    units.Energy(e.Energy.Joules() * e.Effectiveness),
+		Intensity: e.Intensity,
+	}, nil
+}
+
+// LifeCycle is a device's complete product footprint input.
+type LifeCycle struct {
+	Device    *Device
+	Transport []TransportLeg
+	EndOfLife EndOfLife
+	// Use is the lifetime operational usage at the wall.
+	Use EffectiveUsage
+	// Lifetime is LT.
+	Lifetime time.Duration
+}
+
+// PhaseReport is a complete product footprint split by phase (the shape of
+// the paper's Figure 1 pies).
+type PhaseReport struct {
+	Device string
+	Phases map[Phase]units.CO2Mass
+}
+
+// Total sums the phases.
+func (r PhaseReport) Total() units.CO2Mass {
+	var g float64
+	for _, m := range r.Phases {
+		g += m.Grams()
+	}
+	return units.Grams(g)
+}
+
+// Share returns one phase's fraction of the total (0 if the total is 0).
+func (r PhaseReport) Share(p Phase) float64 {
+	t := r.Total().Grams()
+	if t == 0 {
+		return 0
+	}
+	return r.Phases[p].Grams() / t
+}
+
+// Assess evaluates the complete life cycle: manufacturing from the BOM,
+// transport from the legs, use from the wall-side usage, end-of-life net
+// of recycling credits.
+func (lc LifeCycle) Assess() (PhaseReport, error) {
+	if lc.Device == nil {
+		return PhaseReport{}, fmt.Errorf("core: life cycle without a device")
+	}
+	if lc.Lifetime <= 0 {
+		return PhaseReport{}, fmt.Errorf("core: non-positive lifetime %v", lc.Lifetime)
+	}
+	b, err := Embodied(lc.Device)
+	if err != nil {
+		return PhaseReport{}, err
+	}
+	var transport float64
+	for _, leg := range lc.Transport {
+		m, err := leg.Emissions()
+		if err != nil {
+			return PhaseReport{}, err
+		}
+		transport += m.Grams()
+	}
+	wall, err := lc.Use.WallUsage()
+	if err != nil {
+		return PhaseReport{}, err
+	}
+	op, err := Operational(wall)
+	if err != nil {
+		return PhaseReport{}, err
+	}
+	return PhaseReport{
+		Device: lc.Device.Name(),
+		Phases: map[Phase]units.CO2Mass{
+			PhaseManufacturing: b.Total(),
+			PhaseTransport:     units.Grams(transport),
+			PhaseUse:           op,
+			PhaseEndOfLife:     lc.EndOfLife.Net(),
+		},
+	}, nil
+}

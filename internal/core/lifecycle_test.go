@@ -1,0 +1,234 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"act/internal/fab"
+	"act/internal/intensity"
+	"act/internal/units"
+)
+
+func phoneDevice(t *testing.T) *Device {
+	t.Helper()
+	d, err := NewDevice("phone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := mustFab(t, fab.Node7)
+	soc, err := NewLogic("soc", units.CM2(1), f, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d.AddLogic(soc)
+}
+
+func TestTransportLegEmissions(t *testing.T) {
+	// 0.5 kg flown 10,000 km at 600 g/t-km = 3 kg CO2.
+	leg := TransportLeg{Name: "fab to user", MassKg: 0.5, DistanceKm: 10000, Mode: TransportAir}
+	m, err := leg.Emissions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Kilograms()-3) > 1e-9 {
+		t.Errorf("air leg = %v, want 3 kg", m)
+	}
+
+	// Sea freight is ~60x lighter per tonne-km than air.
+	sea := TransportLeg{Name: "sea", MassKg: 0.5, DistanceKm: 10000, Mode: TransportSea}
+	sm, err := sea.Emissions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := m.Grams() / sm.Grams(); math.Abs(r-60) > 1e-9 {
+		t.Errorf("air/sea ratio = %v, want 60", r)
+	}
+
+	if _, err := (TransportLeg{Mode: "teleport"}).Emissions(); err == nil {
+		t.Error("unknown mode: expected error")
+	}
+	if _, err := (TransportLeg{Mode: TransportAir, MassKg: -1}).Emissions(); err == nil {
+		t.Error("negative mass: expected error")
+	}
+}
+
+func TestEndOfLifeNet(t *testing.T) {
+	e := EndOfLife{Processing: units.Grams(100), RecyclingCredit: units.Grams(30)}
+	if got := e.Net().Grams(); got != 70 {
+		t.Errorf("net = %v, want 70", got)
+	}
+	// Credits cannot push a device carbon-negative.
+	e = EndOfLife{Processing: units.Grams(10), RecyclingCredit: units.Grams(30)}
+	if got := e.Net().Grams(); got != 0 {
+		t.Errorf("net = %v, want 0 (floored)", got)
+	}
+}
+
+func TestPUEAndBatteryEfficiency(t *testing.T) {
+	u := Usage{Energy: units.KilowattHours(1), Intensity: intensity.USGrid}
+
+	eu, err := PUE(u, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wall, err := eu.WallUsage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(wall.Energy.KilowattHours()-1.5) > 1e-9 {
+		t.Errorf("PUE 1.5 wall energy = %v, want 1.5 kWh", wall.Energy)
+	}
+
+	be, err := BatteryEfficiency(u, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wall, err = be.WallUsage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(wall.Energy.KilowattHours()-1.25) > 1e-9 {
+		t.Errorf("85%% battery wall energy = %v, want 1.25 kWh", wall.Energy)
+	}
+
+	if _, err := PUE(u, 0.9); err == nil {
+		t.Error("PUE < 1: expected error")
+	}
+	if _, err := BatteryEfficiency(u, 0); err == nil {
+		t.Error("zero efficiency: expected error")
+	}
+	if _, err := BatteryEfficiency(u, 1.2); err == nil {
+		t.Error("efficiency > 1: expected error")
+	}
+	bad := EffectiveUsage{Usage: u, Effectiveness: 0.5}
+	if _, err := bad.WallUsage(); err == nil {
+		t.Error("effectiveness < 1: expected error")
+	}
+}
+
+func TestLifeCycleAssess(t *testing.T) {
+	d := phoneDevice(t)
+	u := Usage{Energy: units.KilowattHours(20), Intensity: intensity.USGrid}
+	eu, err := BatteryEfficiency(u, 0.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc := LifeCycle{
+		Device: d,
+		Transport: []TransportLeg{
+			{Name: "air", MassKg: 0.3, DistanceKm: 9000, Mode: TransportAir},
+			{Name: "road", MassKg: 0.3, DistanceKm: 500, Mode: TransportRoad},
+		},
+		EndOfLife: EndOfLife{Processing: units.Grams(400), RecyclingCredit: units.Grams(100)},
+		Use:       eu,
+		Lifetime:  units.Years(3),
+	}
+	r, err := lc.Assess()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Phases) != 4 {
+		t.Fatalf("report has %d phases, want 4", len(r.Phases))
+	}
+	// Use = 20 kWh / 0.85 x 300 g = 7059 g.
+	if math.Abs(r.Phases[PhaseUse].Grams()-20/0.85*300) > 1e-6 {
+		t.Errorf("use phase = %v", r.Phases[PhaseUse])
+	}
+	// Transport = 0.3kg x (9000 x 0.6 + 500 x 0.08) g/kg... in grams:
+	// 0.0003 t x 9000 km x 600 + 0.0003 t x 500 km x 80 = 1620 + 12.
+	if math.Abs(r.Phases[PhaseTransport].Grams()-1632) > 1e-6 {
+		t.Errorf("transport phase = %v, want 1632 g", r.Phases[PhaseTransport])
+	}
+	if r.Phases[PhaseEndOfLife].Grams() != 300 {
+		t.Errorf("EOL phase = %v, want 300 g", r.Phases[PhaseEndOfLife])
+	}
+	// Shares sum to 1.
+	var sum float64
+	for _, p := range Phases() {
+		sum += r.Share(p)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("phase shares sum to %v", sum)
+	}
+	// Total = sum of phases.
+	var g float64
+	for _, m := range r.Phases {
+		g += m.Grams()
+	}
+	if math.Abs(r.Total().Grams()-g) > 1e-9 {
+		t.Errorf("total mismatch")
+	}
+}
+
+func TestLifeCycleValidation(t *testing.T) {
+	d := phoneDevice(t)
+	u := EffectiveUsage{Usage: Usage{}, Effectiveness: 1}
+	if _, err := (LifeCycle{Device: nil, Use: u, Lifetime: units.Years(1)}).Assess(); err == nil {
+		t.Error("nil device: expected error")
+	}
+	if _, err := (LifeCycle{Device: d, Use: u, Lifetime: 0}).Assess(); err == nil {
+		t.Error("zero lifetime: expected error")
+	}
+	bad := LifeCycle{Device: d, Use: u, Lifetime: units.Years(1),
+		Transport: []TransportLeg{{Mode: "catapult"}}}
+	if _, err := bad.Assess(); err == nil {
+		t.Error("bad transport mode: expected error")
+	}
+}
+
+func TestLifeCycleReproducesFigure1Shape(t *testing.T) {
+	// A manufacturing-heavy modern phone: with modest use-phase energy the
+	// manufacturing share dominates (iPhone 11 shape); scaling the use
+	// energy up flips dominance (iPhone 3 shape).
+	d := phoneDevice(t)
+	mk := func(kwh float64) PhaseReport {
+		u, err := BatteryEfficiency(Usage{Energy: units.KilowattHours(kwh), Intensity: intensity.USGrid}, 0.85)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lc := LifeCycle{
+			Device:    d,
+			Transport: []TransportLeg{{Name: "air", MassKg: 0.3, DistanceKm: 9000, Mode: TransportAir}},
+			EndOfLife: EndOfLife{Processing: units.Grams(200)},
+			Use:       u,
+			Lifetime:  units.Years(3),
+		}
+		r, err := lc.Assess()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	modern := mk(4) // ~4 kWh over the lifetime
+	if modern.Share(PhaseManufacturing) <= modern.Share(PhaseUse) {
+		t.Errorf("modern device should be manufacturing-dominated: %v vs %v",
+			modern.Share(PhaseManufacturing), modern.Share(PhaseUse))
+	}
+	legacy := mk(40)
+	if legacy.Share(PhaseUse) <= legacy.Share(PhaseManufacturing) {
+		t.Errorf("energy-hungry device should be use-dominated: %v vs %v",
+			legacy.Share(PhaseUse), legacy.Share(PhaseManufacturing))
+	}
+}
+
+// Property: wall energy scales linearly with the effectiveness factor.
+func TestQuickWallEnergyScaling(t *testing.T) {
+	f := func(eRaw, pRaw uint8) bool {
+		e := float64(eRaw%100) + 1
+		pue := 1 + float64(pRaw%50)/100
+		u := Usage{Energy: units.KilowattHours(e), Intensity: 300}
+		eu, err := PUE(u, pue)
+		if err != nil {
+			return false
+		}
+		wall, err := eu.WallUsage()
+		if err != nil {
+			return false
+		}
+		return math.Abs(wall.Energy.KilowattHours()-e*pue) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

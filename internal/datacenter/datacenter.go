@@ -1,0 +1,218 @@
+// Package datacenter models a server fleet serving a diurnal load, the
+// setting of two more levers from the paper's Figure 1: eliminating wasted
+// hardware (Reduce) and co-locating applications to raise utilization
+// (Reuse). Every provisioned server carries embodied carbon whether or not
+// it does work, and an idling server still burns a large fraction of its
+// peak power; consolidation onto fewer, busier machines cuts both.
+//
+// The power model is the standard linear one, P(u) = idle + (peak−idle)·u,
+// scaled by the facility PUE (core.EffectiveUsage); the carbon model is
+// ACT's Eq. 1 with the fleet's embodied footprint on one side and the
+// lifetime's dispatched energy on the other.
+package datacenter
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"act/internal/core"
+	"act/internal/units"
+)
+
+// ServerSpec characterizes one server model.
+type ServerSpec struct {
+	// IdlePower and PeakPower bound the linear utilization-power model.
+	IdlePower, PeakPower units.Power
+	// CapacityRPS is the request throughput at full utilization.
+	CapacityRPS float64
+	// Embodied is the server's manufacturing footprint (e.g. a
+	// core.Embodied total over its BOM).
+	Embodied units.CO2Mass
+	// Lifetime is the deployment lifetime.
+	Lifetime time.Duration
+}
+
+// DefaultServer returns an R740-class spec: 120 W idle, 450 W peak,
+// 1000 requests/s, ≈300 kg embodied, 4-year deployment.
+func DefaultServer() ServerSpec {
+	return ServerSpec{
+		IdlePower:   120,
+		PeakPower:   450,
+		CapacityRPS: 1000,
+		Embodied:    units.Kilograms(300),
+		Lifetime:    units.Years(4),
+	}
+}
+
+// Validate checks the spec.
+func (s ServerSpec) Validate() error {
+	if s.IdlePower < 0 || s.PeakPower <= 0 || s.PeakPower < s.IdlePower {
+		return fmt.Errorf("datacenter: bad power range [%v, %v]", s.IdlePower, s.PeakPower)
+	}
+	if s.CapacityRPS <= 0 {
+		return fmt.Errorf("datacenter: non-positive capacity %v rps", s.CapacityRPS)
+	}
+	if s.Embodied < 0 {
+		return fmt.Errorf("datacenter: negative embodied carbon")
+	}
+	if s.Lifetime <= 0 {
+		return fmt.Errorf("datacenter: non-positive lifetime %v", s.Lifetime)
+	}
+	return nil
+}
+
+// Power returns server power at utilization u in [0, 1].
+func (s ServerSpec) Power(u float64) (units.Power, error) {
+	if u < 0 || u > 1 {
+		return 0, fmt.Errorf("datacenter: utilization %v outside [0, 1]", u)
+	}
+	return units.Watts(s.IdlePower.Watts() + (s.PeakPower.Watts()-s.IdlePower.Watts())*u), nil
+}
+
+// LoadCurve maps hour-of-day to offered load in requests per second.
+type LoadCurve func(hour float64) float64
+
+// DiurnalLoad returns a load curve oscillating around base with the usual
+// evening peak; it never goes below 10% of base.
+func DiurnalLoad(baseRPS, swingRPS float64) LoadCurve {
+	return func(hour float64) float64 {
+		l := baseRPS + swingRPS*math.Sin(2*math.Pi*(hour-10)/24)
+		if min := baseRPS * 0.1; l < min {
+			l = min
+		}
+		return l
+	}
+}
+
+// PeakLoad samples the curve over a day at the given resolution.
+func PeakLoad(load LoadCurve, samplesPerDay int) (float64, error) {
+	if load == nil {
+		return 0, fmt.Errorf("datacenter: nil load curve")
+	}
+	if samplesPerDay < 1 {
+		return 0, fmt.Errorf("datacenter: need at least one sample, got %d", samplesPerDay)
+	}
+	peak := 0.0
+	for i := 0; i < samplesPerDay; i++ {
+		if l := load(24 * float64(i) / float64(samplesPerDay)); l > peak {
+			peak = l
+		}
+	}
+	if peak <= 0 {
+		return 0, fmt.Errorf("datacenter: load curve never positive")
+	}
+	return peak, nil
+}
+
+// MinServers returns the smallest fleet that serves the daily peak with
+// the given headroom factor (≥ 1, e.g. 1.2 for 20% slack).
+func MinServers(load LoadCurve, spec ServerSpec, headroom float64) (int, error) {
+	if err := spec.Validate(); err != nil {
+		return 0, err
+	}
+	if headroom < 1 {
+		return 0, fmt.Errorf("datacenter: headroom %v below 1", headroom)
+	}
+	peak, err := PeakLoad(load, 96)
+	if err != nil {
+		return 0, err
+	}
+	return int(math.Ceil(peak * headroom / spec.CapacityRPS)), nil
+}
+
+// Assessment is a fleet's lifetime footprint.
+type Assessment struct {
+	Servers int
+	// MeanUtilization is the load-weighted average utilization.
+	MeanUtilization float64
+	// Embodied is the fleet manufacturing footprint.
+	Embodied units.CO2Mass
+	// Operational is the lifetime energy footprint at the wall (with PUE).
+	Operational units.CO2Mass
+}
+
+// Total returns embodied plus operational carbon.
+func (a Assessment) Total() units.CO2Mass {
+	return units.Grams(a.Embodied.Grams() + a.Operational.Grams())
+}
+
+// Evaluate computes a fleet's lifetime footprint: the representative day
+// is integrated hourly, load spreads evenly over the fleet, and the result
+// scales to the server lifetime.
+func Evaluate(servers int, load LoadCurve, spec ServerSpec, pue float64, ci units.CarbonIntensity) (Assessment, error) {
+	if err := spec.Validate(); err != nil {
+		return Assessment{}, err
+	}
+	if servers < 1 {
+		return Assessment{}, fmt.Errorf("datacenter: need at least one server, got %d", servers)
+	}
+	if load == nil {
+		return Assessment{}, fmt.Errorf("datacenter: nil load curve")
+	}
+	var dayJoules, utilSum float64
+	for h := 0; h < 24; h++ {
+		demand := load(float64(h))
+		u := demand / (float64(servers) * spec.CapacityRPS)
+		if u > 1 {
+			return Assessment{}, fmt.Errorf("datacenter: %d servers overloaded at hour %d (utilization %.2f)", servers, h, u)
+		}
+		if u < 0 {
+			return Assessment{}, fmt.Errorf("datacenter: negative load at hour %d", h)
+		}
+		p, err := spec.Power(u)
+		if err != nil {
+			return Assessment{}, err
+		}
+		dayJoules += p.Watts() * 3600 * float64(servers)
+		utilSum += u
+	}
+	days := spec.Lifetime.Hours() / 24
+	deviceEnergy := units.Joules(dayJoules * days)
+	eu, err := core.PUE(core.Usage{Energy: deviceEnergy, Intensity: ci}, pue)
+	if err != nil {
+		return Assessment{}, err
+	}
+	wall, err := eu.WallUsage()
+	if err != nil {
+		return Assessment{}, err
+	}
+	op, err := core.Operational(wall)
+	if err != nil {
+		return Assessment{}, err
+	}
+	return Assessment{
+		Servers:         servers,
+		MeanUtilization: utilSum / 24,
+		Embodied:        units.Grams(spec.Embodied.Grams() * float64(servers)),
+		Operational:     op,
+	}, nil
+}
+
+// OptimalFleet sweeps fleet sizes from the peak-feasible minimum up to
+// maxServers and returns the size minimizing the lifetime footprint.
+// Because both embodied and idle power grow with fleet size, the optimum
+// is the smallest feasible fleet; the sweep exists to quantify the cost of
+// over-provisioning (the "wasted hardware" of Figure 1).
+func OptimalFleet(load LoadCurve, spec ServerSpec, pue float64, ci units.CarbonIntensity, maxServers int) (Assessment, []Assessment, error) {
+	minN, err := MinServers(load, spec, 1.0)
+	if err != nil {
+		return Assessment{}, nil, err
+	}
+	if maxServers < minN {
+		return Assessment{}, nil, fmt.Errorf("datacenter: max fleet %d below feasible minimum %d", maxServers, minN)
+	}
+	var sweep []Assessment
+	var best Assessment
+	for n := minN; n <= maxServers; n++ {
+		a, err := Evaluate(n, load, spec, pue, ci)
+		if err != nil {
+			return Assessment{}, nil, err
+		}
+		sweep = append(sweep, a)
+		if best.Servers == 0 || a.Total() < best.Total() {
+			best = a
+		}
+	}
+	return best, sweep, nil
+}

@@ -1,0 +1,223 @@
+package datacenter
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"act/internal/intensity"
+	"act/internal/units"
+)
+
+func TestSpecValidate(t *testing.T) {
+	if err := DefaultServer().Validate(); err != nil {
+		t.Errorf("default spec invalid: %v", err)
+	}
+	bad := []ServerSpec{
+		{IdlePower: -1, PeakPower: 100, CapacityRPS: 1, Embodied: 1, Lifetime: units.Years(1)},
+		{IdlePower: 200, PeakPower: 100, CapacityRPS: 1, Embodied: 1, Lifetime: units.Years(1)},
+		{IdlePower: 10, PeakPower: 100, CapacityRPS: 0, Embodied: 1, Lifetime: units.Years(1)},
+		{IdlePower: 10, PeakPower: 100, CapacityRPS: 1, Embodied: -1, Lifetime: units.Years(1)},
+		{IdlePower: 10, PeakPower: 100, CapacityRPS: 1, Embodied: 1, Lifetime: 0},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("spec %d: expected error", i)
+		}
+	}
+}
+
+func TestPowerModel(t *testing.T) {
+	s := DefaultServer()
+	idle, err := s.Power(0)
+	if err != nil || idle != s.IdlePower {
+		t.Errorf("P(0) = %v, %v", idle, err)
+	}
+	peak, err := s.Power(1)
+	if err != nil || peak != s.PeakPower {
+		t.Errorf("P(1) = %v, %v", peak, err)
+	}
+	mid, err := s.Power(0.5)
+	if err != nil || math.Abs(mid.Watts()-285) > 1e-9 {
+		t.Errorf("P(0.5) = %v, %v, want 285 W", mid, err)
+	}
+	if _, err := s.Power(1.5); err == nil {
+		t.Error("utilization > 1: expected error")
+	}
+	if _, err := s.Power(-0.1); err == nil {
+		t.Error("negative utilization: expected error")
+	}
+}
+
+func TestDiurnalLoadAndPeak(t *testing.T) {
+	load := DiurnalLoad(5000, 3000)
+	peak, err := PeakLoad(load, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak < 7900 || peak > 8000 {
+		t.Errorf("peak = %v, want ≈8000", peak)
+	}
+	// Floor: never below 10% of base.
+	deep := DiurnalLoad(1000, 5000)
+	for h := 0.0; h < 24; h++ {
+		if deep(h) < 100 {
+			t.Errorf("load at %v = %v, below the 10%% floor", h, deep(h))
+		}
+	}
+	if _, err := PeakLoad(nil, 96); err == nil {
+		t.Error("nil curve: expected error")
+	}
+	if _, err := PeakLoad(load, 0); err == nil {
+		t.Error("zero samples: expected error")
+	}
+}
+
+func TestMinServers(t *testing.T) {
+	load := DiurnalLoad(5000, 3000)
+	n, err := MinServers(load, DefaultServer(), 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 8 { // peak ≈8000 rps / 1000 rps per server
+		t.Errorf("MinServers = %d, want 8", n)
+	}
+	n, err = MinServers(load, DefaultServer(), 1.25)
+	if err != nil || n != 10 {
+		t.Errorf("MinServers with 25%% headroom = %d, %v, want 10", n, err)
+	}
+	if _, err := MinServers(load, DefaultServer(), 0.8); err == nil {
+		t.Error("headroom < 1: expected error")
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	load := DiurnalLoad(5000, 3000)
+	spec := DefaultServer()
+	a, err := Evaluate(10, load, spec, 1.3, intensity.USGrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Servers != 10 {
+		t.Errorf("servers = %d", a.Servers)
+	}
+	if a.MeanUtilization <= 0 || a.MeanUtilization >= 1 {
+		t.Errorf("mean utilization = %v", a.MeanUtilization)
+	}
+	if math.Abs(a.Embodied.Kilograms()-3000) > 1e-9 {
+		t.Errorf("embodied = %v, want 3000 kg", a.Embodied)
+	}
+	if a.Operational <= 0 {
+		t.Errorf("operational = %v", a.Operational)
+	}
+	if math.Abs(a.Total().Grams()-(a.Embodied.Grams()+a.Operational.Grams())) > 1e-6 {
+		t.Error("total mismatch")
+	}
+
+	// An undersized fleet is rejected, not silently saturated.
+	if _, err := Evaluate(5, load, spec, 1.3, intensity.USGrid); err == nil {
+		t.Error("overloaded fleet: expected error")
+	}
+	if _, err := Evaluate(0, load, spec, 1.3, intensity.USGrid); err == nil {
+		t.Error("zero servers: expected error")
+	}
+	if _, err := Evaluate(10, nil, spec, 1.3, intensity.USGrid); err == nil {
+		t.Error("nil load: expected error")
+	}
+	if _, err := Evaluate(10, load, spec, 0.8, intensity.USGrid); err == nil {
+		t.Error("PUE < 1: expected error")
+	}
+}
+
+func TestPUEScalesOperational(t *testing.T) {
+	load := DiurnalLoad(5000, 3000)
+	spec := DefaultServer()
+	lean, err := Evaluate(10, load, spec, 1.1, intensity.USGrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fat, err := Evaluate(10, load, spec, 1.6, intensity.USGrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := fat.Operational.Grams() / lean.Operational.Grams()
+	if math.Abs(ratio-1.6/1.1) > 1e-9 {
+		t.Errorf("PUE scaling = %v, want %v", ratio, 1.6/1.1)
+	}
+}
+
+func TestOptimalFleetIsSmallest(t *testing.T) {
+	// Both embodied and idle power grow with servers, so the smallest
+	// feasible fleet wins — the quantified version of "eliminate wasted
+	// hardware".
+	load := DiurnalLoad(5000, 3000)
+	spec := DefaultServer()
+	best, sweep, err := OptimalFleet(load, spec, 1.3, intensity.USGrid, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Servers != sweep[0].Servers {
+		t.Errorf("optimal fleet = %d servers, want the minimum %d", best.Servers, sweep[0].Servers)
+	}
+	// Over-provisioning 2x costs materially more.
+	var doubled Assessment
+	for _, a := range sweep {
+		if a.Servers == 2*best.Servers {
+			doubled = a
+		}
+	}
+	if doubled.Servers == 0 {
+		t.Fatal("sweep missing the doubled fleet")
+	}
+	waste := doubled.Total().Grams() / best.Total().Grams()
+	if waste < 1.3 {
+		t.Errorf("2x over-provisioning waste = %vx, want ≥ 1.3x", waste)
+	}
+	// Utilization falls as the fleet grows.
+	for i := 1; i < len(sweep); i++ {
+		if sweep[i].MeanUtilization >= sweep[i-1].MeanUtilization {
+			t.Errorf("utilization should fall with fleet size at %d servers", sweep[i].Servers)
+		}
+	}
+
+	if _, _, err := OptimalFleet(load, spec, 1.3, intensity.USGrid, 3); err == nil {
+		t.Error("max below feasible minimum: expected error")
+	}
+}
+
+func TestCleanGridShrinksOverprovisioningPenalty(t *testing.T) {
+	// On a carbon-free grid only embodied carbon distinguishes fleets;
+	// the over-provisioning waste is purely the embodied ratio.
+	load := DiurnalLoad(5000, 3000)
+	spec := DefaultServer()
+	a8, err := Evaluate(8, load, spec, 1.3, intensity.CarbonFree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a16, err := Evaluate(16, load, spec, 1.3, intensity.CarbonFree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a16.Total().Grams()/a8.Total().Grams()-2) > 1e-9 {
+		t.Errorf("carbon-free waste = %v, want exactly 2 (pure embodied)", a16.Total().Grams()/a8.Total().Grams())
+	}
+}
+
+// Property: fleet energy (and thus operational carbon) is monotone in
+// fleet size at fixed load — more idle servers never save energy.
+func TestQuickOperationalMonotoneInFleet(t *testing.T) {
+	load := DiurnalLoad(5000, 3000)
+	spec := DefaultServer()
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%20) + 8
+		a, err1 := Evaluate(n, load, spec, 1.3, intensity.USGrid)
+		b, err2 := Evaluate(n+1, load, spec, 1.3, intensity.USGrid)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return b.Operational >= a.Operational
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,226 @@
+// Package dse provides the design-space-exploration machinery ACT's case
+// studies share: lower-is-better objectives over candidate designs, Pareto
+// frontiers, constrained minimization (the QoS- and budget-driven
+// optimizations of Section 7), and sweep-grid helpers.
+package dse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"act/internal/metrics"
+)
+
+// Objective extracts a lower-is-better scalar from a candidate.
+type Objective struct {
+	Name string
+	Eval func(metrics.Candidate) float64
+}
+
+// Built-in objectives over the candidate axes.
+var (
+	Embodied = Objective{"embodied", func(c metrics.Candidate) float64 { return c.Embodied.Grams() }}
+	Energy   = Objective{"energy", func(c metrics.Candidate) float64 { return c.Energy.Joules() }}
+	Delay    = Objective{"delay", func(c metrics.Candidate) float64 { return c.Delay.Seconds() }}
+	Area     = Objective{"area", func(c metrics.Candidate) float64 { return c.Area.MM2() }}
+)
+
+// MetricObjective wraps a Table 2 metric as an objective.
+func MetricObjective(m metrics.Metric) Objective {
+	return Objective{string(m), func(c metrics.Candidate) float64 {
+		v, err := metrics.Eval(m, c)
+		if err != nil {
+			return math.Inf(1) // invalid candidates lose every comparison
+		}
+		return v
+	}}
+}
+
+// Dominates reports whether a is at least as good as b on every objective
+// and strictly better on at least one.
+func Dominates(a, b metrics.Candidate, objectives []Objective) bool {
+	strictly := false
+	for _, o := range objectives {
+		va, vb := o.Eval(a), o.Eval(b)
+		if va > vb {
+			return false
+		}
+		if va < vb {
+			strictly = true
+		}
+	}
+	return strictly
+}
+
+// ParetoFrontier returns the non-dominated candidates under the given
+// objectives, preserving input order. Duplicate points (equal on all
+// objectives) are all retained: none dominates the other.
+func ParetoFrontier(cands []metrics.Candidate, objectives []Objective) ([]metrics.Candidate, error) {
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("dse: no candidates")
+	}
+	if len(objectives) < 2 {
+		return nil, fmt.Errorf("dse: a Pareto frontier needs at least 2 objectives, got %d", len(objectives))
+	}
+	var out []metrics.Candidate
+	for i, c := range cands {
+		dominated := false
+		for j, other := range cands {
+			if i == j {
+				continue
+			}
+			if Dominates(other, c, objectives) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, c)
+		}
+	}
+	return out, nil
+}
+
+// Minimize returns the candidate with the lowest objective value; ties
+// preserve input order.
+func Minimize(cands []metrics.Candidate, o Objective) (metrics.Candidate, error) {
+	if len(cands) == 0 {
+		return metrics.Candidate{}, fmt.Errorf("dse: no candidates")
+	}
+	best := cands[0]
+	bestV := o.Eval(best)
+	for _, c := range cands[1:] {
+		if v := o.Eval(c); v < bestV {
+			best, bestV = c, v
+		}
+	}
+	if math.IsInf(bestV, 1) {
+		return metrics.Candidate{}, fmt.Errorf("dse: every candidate is invalid under %s", o.Name)
+	}
+	return best, nil
+}
+
+// Constraint accepts or rejects a candidate.
+type Constraint struct {
+	Name   string
+	Accept func(metrics.Candidate) bool
+}
+
+// MaxDelay constrains delay to at most d seconds — a QoS floor when d is
+// derived from a frame-rate target.
+func MaxDelay(seconds float64) Constraint {
+	return Constraint{
+		Name:   fmt.Sprintf("delay ≤ %gs", seconds),
+		Accept: func(c metrics.Candidate) bool { return c.Delay.Seconds() <= seconds },
+	}
+}
+
+// MaxArea constrains area to at most mm² — the resource budget of
+// Figure 13 (right).
+func MaxArea(mm2 float64) Constraint {
+	return Constraint{
+		Name:   fmt.Sprintf("area ≤ %gmm²", mm2),
+		Accept: func(c metrics.Candidate) bool { return c.Area.MM2() <= mm2 },
+	}
+}
+
+// ConstrainedMinimize returns the candidate minimizing the objective among
+// those satisfying every constraint.
+func ConstrainedMinimize(cands []metrics.Candidate, o Objective, constraints ...Constraint) (metrics.Candidate, error) {
+	var feasible []metrics.Candidate
+	for _, c := range cands {
+		ok := true
+		for _, con := range constraints {
+			if !con.Accept(c) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			feasible = append(feasible, c)
+		}
+	}
+	if len(feasible) == 0 {
+		names := make([]string, len(constraints))
+		for i, con := range constraints {
+			names[i] = con.Name
+		}
+		return metrics.Candidate{}, fmt.Errorf("dse: no candidate satisfies %v", names)
+	}
+	return Minimize(feasible, o)
+}
+
+// Linspace returns n evenly spaced values over [lo, hi] inclusive.
+func Linspace(lo, hi float64, n int) ([]float64, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("dse: linspace needs n ≥ 2, got %d", n)
+	}
+	if hi < lo {
+		return nil, fmt.Errorf("dse: linspace bounds inverted [%v, %v]", lo, hi)
+	}
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	out[n-1] = hi // exact upper bound despite accumulation error
+	return out, nil
+}
+
+// PowersOf2 returns the powers of two in [lo, hi], the paper's MAC sweep
+// shape.
+func PowersOf2(lo, hi int) ([]int, error) {
+	if lo <= 0 || hi < lo {
+		return nil, fmt.Errorf("dse: invalid power-of-2 range [%d, %d]", lo, hi)
+	}
+	var out []int
+	p := 1
+	for p < lo {
+		p *= 2
+	}
+	for ; p <= hi; p *= 2 {
+		out = append(out, p)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("dse: no powers of 2 in [%d, %d]", lo, hi)
+	}
+	return out, nil
+}
+
+// RankAll evaluates candidates under every Table 2 metric and returns, per
+// metric, the ordered winners — the summary Figure 8(d)/Figure 12 panels
+// present.
+func RankAll(cands []metrics.Candidate) (map[metrics.Metric][]metrics.Scored, error) {
+	out := make(map[metrics.Metric][]metrics.Scored, len(metrics.All()))
+	for _, m := range metrics.All() {
+		ranked, err := metrics.Rank(m, cands)
+		if err != nil {
+			return nil, err
+		}
+		out[m] = ranked
+	}
+	return out, nil
+}
+
+// Winners reduces RankAll to the winning candidate name per metric.
+func Winners(cands []metrics.Candidate) (map[metrics.Metric]string, error) {
+	ranked, err := RankAll(cands)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[metrics.Metric]string, len(ranked))
+	for m, r := range ranked {
+		out[m] = r[0].Candidate.Name
+	}
+	return out, nil
+}
+
+// SortByObjective returns the candidates sorted ascending by objective,
+// input preserved on ties.
+func SortByObjective(cands []metrics.Candidate, o Objective) []metrics.Candidate {
+	out := make([]metrics.Candidate, len(cands))
+	copy(out, cands)
+	sort.SliceStable(out, func(i, j int) bool { return o.Eval(out[i]) < o.Eval(out[j]) })
+	return out
+}

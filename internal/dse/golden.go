@@ -1,0 +1,72 @@
+package dse
+
+import (
+	"fmt"
+	"math"
+)
+
+// GoldenSection minimizes a unimodal function on [lo, hi] to the given
+// absolute tolerance on x, returning the minimizing x and f(x). It
+// evaluates f O(log((hi-lo)/tol)) times, making it the right tool for the
+// library's continuous design parameters (DVFS frequency, SSD
+// over-provisioning, lifetime) where grid sweeps waste evaluations or miss
+// the optimum between points. f must be unimodal on the interval; on
+// non-unimodal functions the result is a local minimum.
+func GoldenSection(lo, hi, tol float64, f func(x float64) (float64, error)) (x, fx float64, err error) {
+	if f == nil {
+		return 0, 0, fmt.Errorf("dse: nil objective")
+	}
+	if !(lo < hi) {
+		return 0, 0, fmt.Errorf("dse: empty interval [%v, %v]", lo, hi)
+	}
+	if tol <= 0 {
+		return 0, 0, fmt.Errorf("dse: non-positive tolerance %v", tol)
+	}
+	const invPhi = 0.6180339887498949 // 1/φ
+	a, b := lo, hi
+	c := b - (b-a)*invPhi
+	d := a + (b-a)*invPhi
+	fc, err := f(c)
+	if err != nil {
+		return 0, 0, err
+	}
+	fd, err := f(d)
+	if err != nil {
+		return 0, 0, err
+	}
+	for b-a > tol {
+		if fc < fd {
+			b, d, fd = d, c, fc
+			c = b - (b-a)*invPhi
+			if fc, err = f(c); err != nil {
+				return 0, 0, err
+			}
+		} else {
+			a, c, fc = c, d, fd
+			d = a + (b-a)*invPhi
+			if fd, err = f(d); err != nil {
+				return 0, 0, err
+			}
+		}
+		if math.IsNaN(fc) || math.IsNaN(fd) {
+			return 0, 0, fmt.Errorf("dse: objective returned NaN")
+		}
+	}
+	x = (a + b) / 2
+	fx, err = f(x)
+	if err != nil {
+		return 0, 0, err
+	}
+	// The endpoints can beat the interior when the minimum sits on the
+	// boundary; check both.
+	for _, cand := range []float64{lo, hi} {
+		v, err := f(cand)
+		if err != nil {
+			return 0, 0, err
+		}
+		if v < fx {
+			x, fx = cand, v
+		}
+	}
+	return x, fx, nil
+}

@@ -1,0 +1,86 @@
+package dse
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGoldenSectionQuadratic(t *testing.T) {
+	// Minimum of (x-3)² on [0, 10] is x=3.
+	x, fx, err := GoldenSection(0, 10, 1e-9, func(x float64) (float64, error) {
+		return (x - 3) * (x - 3), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x-3) > 1e-6 || fx > 1e-9 {
+		t.Errorf("golden section = (%v, %v), want (3, 0)", x, fx)
+	}
+}
+
+func TestGoldenSectionBoundaryMinimum(t *testing.T) {
+	// Monotone decreasing: minimum at the upper boundary.
+	x, _, err := GoldenSection(0, 5, 1e-9, func(x float64) (float64, error) {
+		return -x, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x != 5 {
+		t.Errorf("boundary minimum = %v, want 5", x)
+	}
+	// Monotone increasing: minimum at the lower boundary.
+	x, _, err = GoldenSection(2, 5, 1e-9, func(x float64) (float64, error) {
+		return x, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x != 2 {
+		t.Errorf("boundary minimum = %v, want 2", x)
+	}
+}
+
+func TestGoldenSectionErrors(t *testing.T) {
+	ok := func(x float64) (float64, error) { return x * x, nil }
+	if _, _, err := GoldenSection(1, 1, 1e-6, ok); err == nil {
+		t.Error("empty interval: expected error")
+	}
+	if _, _, err := GoldenSection(0, 1, 0, ok); err == nil {
+		t.Error("zero tolerance: expected error")
+	}
+	if _, _, err := GoldenSection(0, 1, 1e-6, nil); err == nil {
+		t.Error("nil objective: expected error")
+	}
+	if _, _, err := GoldenSection(0, 1, 1e-6, func(float64) (float64, error) {
+		return 0, fmt.Errorf("boom")
+	}); err == nil {
+		t.Error("objective error: expected propagation")
+	}
+	if _, _, err := GoldenSection(0, 1, 1e-6, func(float64) (float64, error) {
+		return math.NaN(), nil
+	}); err == nil {
+		t.Error("NaN objective: expected error")
+	}
+}
+
+// Property: for shifted quadratics the minimizer lands on the vertex
+// (clamped to the interval).
+func TestQuickGoldenSectionQuadratics(t *testing.T) {
+	f := func(vRaw uint8) bool {
+		v := float64(vRaw)/255*12 - 1 // vertex in [-1, 11], interval [0, 10]
+		x, _, err := GoldenSection(0, 10, 1e-9, func(x float64) (float64, error) {
+			return (x - v) * (x - v), nil
+		})
+		if err != nil {
+			return false
+		}
+		want := math.Max(0, math.Min(10, v))
+		return math.Abs(x-want) < 1e-5
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

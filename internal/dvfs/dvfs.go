@@ -1,0 +1,195 @@
+// Package dvfs models dynamic voltage and frequency scaling, the first
+// Reduce lever the paper lists (Figure 1: "DVFS"), and extends it with
+// carbon awareness: the operating point that minimizes a task's *carbon*
+// is not the one that minimizes its energy once embodied carbon is
+// amortized per unit of device time.
+//
+// The processor model is the standard CMOS one. Voltage tracks frequency
+// linearly across the DVFS range; dynamic power is Ceff·V²·f; static power
+// scales with voltage. A task of G gigacycles at frequency f takes G/f
+// seconds and consumes dynamic energy independent of time plus static
+// energy proportional to time — giving the classic interior energy
+// minimum. Carbon adds a second time-proportional term, the device's
+// embodied carbon per second of its lifetime (ECF/LT), which pushes the
+// carbon-optimal frequency above the energy-optimal one: finishing sooner
+// frees embodied-carbon-bearing hardware. Conversely a dirtier grid pulls
+// the optimum back down.
+package dvfs
+
+import (
+	"fmt"
+	"time"
+
+	"act/internal/units"
+)
+
+// Processor is a DVFS-capable core complex.
+type Processor struct {
+	// FMinGHz and FMaxGHz bound the frequency range.
+	FMinGHz, FMaxGHz float64
+	// VMin and VMax are the supply voltages at FMin and FMax; voltage
+	// interpolates linearly in between.
+	VMin, VMax float64
+	// CeffNF is the effective switched capacitance in nanofarads
+	// (P_dyn = Ceff·V²·f, watts when f is in GHz and V in volts).
+	CeffNF float64
+	// LeakW is the static power at VMax; static power scales linearly
+	// with voltage.
+	LeakW float64
+}
+
+// Default returns a mobile-class big-core complex: 0.6-2.8 GHz at
+// 0.60-1.05 V, 1.2 nF effective capacitance, 350 mW leakage at VMax.
+func Default() Processor {
+	return Processor{
+		FMinGHz: 0.6, FMaxGHz: 2.8,
+		VMin: 0.60, VMax: 1.05,
+		CeffNF: 1.2,
+		LeakW:  0.35,
+	}
+}
+
+// Validate checks the processor parameters.
+func (p Processor) Validate() error {
+	if p.FMinGHz <= 0 || p.FMaxGHz < p.FMinGHz {
+		return fmt.Errorf("dvfs: bad frequency range [%v, %v] GHz", p.FMinGHz, p.FMaxGHz)
+	}
+	if p.VMin <= 0 || p.VMax < p.VMin {
+		return fmt.Errorf("dvfs: bad voltage range [%v, %v] V", p.VMin, p.VMax)
+	}
+	if p.CeffNF <= 0 || p.LeakW < 0 {
+		return fmt.Errorf("dvfs: bad capacitance %v nF or leakage %v W", p.CeffNF, p.LeakW)
+	}
+	return nil
+}
+
+// Voltage returns the supply voltage at frequency f.
+func (p Processor) Voltage(fGHz float64) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if fGHz < p.FMinGHz || fGHz > p.FMaxGHz {
+		return 0, fmt.Errorf("dvfs: frequency %v GHz outside [%v, %v]", fGHz, p.FMinGHz, p.FMaxGHz)
+	}
+	if p.FMaxGHz == p.FMinGHz {
+		return p.VMax, nil
+	}
+	t := (fGHz - p.FMinGHz) / (p.FMaxGHz - p.FMinGHz)
+	return p.VMin + t*(p.VMax-p.VMin), nil
+}
+
+// Power returns total power at frequency f.
+func (p Processor) Power(fGHz float64) (units.Power, error) {
+	v, err := p.Voltage(fGHz)
+	if err != nil {
+		return 0, err
+	}
+	dyn := p.CeffNF * v * v * fGHz // nF·V²·GHz = W
+	static := p.LeakW * v / p.VMax
+	return units.Watts(dyn + static), nil
+}
+
+// Task runs gigacycles of work at frequency f, returning energy and delay.
+func (p Processor) Task(fGHz, gigacycles float64) (units.Energy, time.Duration, error) {
+	if gigacycles <= 0 {
+		return 0, 0, fmt.Errorf("dvfs: non-positive work %v Gcycles", gigacycles)
+	}
+	pw, err := p.Power(fGHz)
+	if err != nil {
+		return 0, 0, err
+	}
+	seconds := gigacycles / fGHz
+	d := time.Duration(seconds * float64(time.Second))
+	return pw.Over(d), d, nil
+}
+
+// CarbonContext fixes the environment of a carbon-optimal DVFS decision.
+type CarbonContext struct {
+	// Intensity is CIuse.
+	Intensity units.CarbonIntensity
+	// DeviceEmbodied and Lifetime set the embodied amortization rate
+	// ECF/LT charged per second the task occupies the device.
+	DeviceEmbodied units.CO2Mass
+	Lifetime       time.Duration
+}
+
+// Validate checks the context.
+func (c CarbonContext) Validate() error {
+	if c.Intensity < 0 {
+		return fmt.Errorf("dvfs: negative carbon intensity %v", c.Intensity)
+	}
+	if c.DeviceEmbodied < 0 {
+		return fmt.Errorf("dvfs: negative embodied carbon %v", c.DeviceEmbodied)
+	}
+	if c.Lifetime <= 0 {
+		return fmt.Errorf("dvfs: non-positive lifetime %v", c.Lifetime)
+	}
+	return nil
+}
+
+// embodiedRate returns grams charged per second of device occupancy.
+func (c CarbonContext) embodiedRate() float64 {
+	return c.DeviceEmbodied.Grams() / c.Lifetime.Seconds()
+}
+
+// TaskCarbon returns the carbon footprint of running the task at f:
+// operational energy carbon plus the embodied share of the occupancy time.
+func (p Processor) TaskCarbon(ctx CarbonContext, fGHz, gigacycles float64) (units.CO2Mass, error) {
+	if err := ctx.Validate(); err != nil {
+		return 0, err
+	}
+	e, d, err := p.Task(fGHz, gigacycles)
+	if err != nil {
+		return 0, err
+	}
+	op := ctx.Intensity.Emitted(e).Grams()
+	emb := ctx.embodiedRate() * d.Seconds()
+	return units.Grams(op + emb), nil
+}
+
+// sweep iterates the frequency range at the given resolution and returns
+// the frequency minimizing eval.
+func (p Processor) sweep(points int, eval func(f float64) (float64, error)) (float64, float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, 0, err
+	}
+	if points < 2 {
+		return 0, 0, fmt.Errorf("dvfs: need at least 2 sweep points, got %d", points)
+	}
+	bestF, bestV := 0.0, 0.0
+	found := false
+	step := (p.FMaxGHz - p.FMinGHz) / float64(points-1)
+	for i := 0; i < points; i++ {
+		f := p.FMinGHz + float64(i)*step
+		if i == points-1 {
+			f = p.FMaxGHz
+		}
+		v, err := eval(f)
+		if err != nil {
+			return 0, 0, err
+		}
+		if !found || v < bestV {
+			bestF, bestV, found = f, v, true
+		}
+	}
+	return bestF, bestV, nil
+}
+
+// EnergyOptimalFrequency returns the frequency minimizing task energy.
+func (p Processor) EnergyOptimalFrequency(gigacycles float64, points int) (float64, units.Energy, error) {
+	f, e, err := p.sweep(points, func(f float64) (float64, error) {
+		e, _, err := p.Task(f, gigacycles)
+		return e.Joules(), err
+	})
+	return f, units.Joules(e), err
+}
+
+// CarbonOptimalFrequency returns the frequency minimizing task carbon in
+// the given context.
+func (p Processor) CarbonOptimalFrequency(ctx CarbonContext, gigacycles float64, points int) (float64, units.CO2Mass, error) {
+	f, c, err := p.sweep(points, func(f float64) (float64, error) {
+		m, err := p.TaskCarbon(ctx, f, gigacycles)
+		return m.Grams(), err
+	})
+	return f, units.Grams(c), err
+}

@@ -1,0 +1,243 @@
+package dvfs
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"act/internal/units"
+)
+
+func TestValidate(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Errorf("default processor invalid: %v", err)
+	}
+	bad := []Processor{
+		{FMinGHz: 0, FMaxGHz: 2, VMin: 0.6, VMax: 1, CeffNF: 1},
+		{FMinGHz: 2, FMaxGHz: 1, VMin: 0.6, VMax: 1, CeffNF: 1},
+		{FMinGHz: 1, FMaxGHz: 2, VMin: 0, VMax: 1, CeffNF: 1},
+		{FMinGHz: 1, FMaxGHz: 2, VMin: 1, VMax: 0.5, CeffNF: 1},
+		{FMinGHz: 1, FMaxGHz: 2, VMin: 0.6, VMax: 1, CeffNF: 0},
+		{FMinGHz: 1, FMaxGHz: 2, VMin: 0.6, VMax: 1, CeffNF: 1, LeakW: -1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("processor %d: expected error", i)
+		}
+	}
+}
+
+func TestVoltageInterpolation(t *testing.T) {
+	p := Default()
+	v, err := p.Voltage(p.FMinGHz)
+	if err != nil || math.Abs(v-p.VMin) > 1e-12 {
+		t.Errorf("V(fmin) = %v, %v, want %v", v, err, p.VMin)
+	}
+	v, err = p.Voltage(p.FMaxGHz)
+	if err != nil || math.Abs(v-p.VMax) > 1e-12 {
+		t.Errorf("V(fmax) = %v, %v, want %v", v, err, p.VMax)
+	}
+	mid := (p.FMinGHz + p.FMaxGHz) / 2
+	v, err = p.Voltage(mid)
+	if err != nil || math.Abs(v-(p.VMin+p.VMax)/2) > 1e-12 {
+		t.Errorf("V(mid) = %v, %v", v, err)
+	}
+	if _, err := p.Voltage(10); err == nil {
+		t.Error("out-of-range frequency: expected error")
+	}
+}
+
+func TestPowerStrictlyIncreasing(t *testing.T) {
+	p := Default()
+	prev := -1.0
+	for f := p.FMinGHz; f <= p.FMaxGHz; f += 0.1 {
+		pw, err := p.Power(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pw.Watts() <= prev {
+			t.Errorf("power not increasing at %v GHz", f)
+		}
+		prev = pw.Watts()
+	}
+	// Superlinear: doubling frequency more than doubles dynamic power.
+	lo, _ := p.Power(1.0)
+	hi, _ := p.Power(2.0)
+	if hi.Watts() <= 2*lo.Watts() {
+		t.Errorf("P(2GHz)=%v should exceed 2xP(1GHz)=%v (V² scaling)", hi, lo)
+	}
+}
+
+func TestTaskDelayInverse(t *testing.T) {
+	p := Default()
+	_, d1, err := p.Task(1.0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, d2, err := p.Task(2.0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d1.Seconds()-10) > 1e-9 || math.Abs(d2.Seconds()-5) > 1e-9 {
+		t.Errorf("delays = %v, %v, want 10s, 5s", d1, d2)
+	}
+	if _, _, err := p.Task(1.0, 0); err == nil {
+		t.Error("zero work: expected error")
+	}
+}
+
+func TestEnergyOptimalInterior(t *testing.T) {
+	// Static power makes crawling wasteful; V² makes sprinting wasteful:
+	// the energy-optimal frequency is strictly inside the range.
+	p := Default()
+	f, e, err := p.EnergyOptimalFrequency(100, 221)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f <= p.FMinGHz || f >= p.FMaxGHz {
+		t.Errorf("energy-optimal f = %v GHz, want interior of [%v, %v]", f, p.FMinGHz, p.FMaxGHz)
+	}
+	// The optimum beats both extremes.
+	eMin, _, _ := p.Task(p.FMinGHz, 100)
+	eMax, _, _ := p.Task(p.FMaxGHz, 100)
+	if e.Joules() >= eMin.Joules() || e.Joules() >= eMax.Joules() {
+		t.Errorf("optimum %v not below extremes %v / %v", e, eMin, eMax)
+	}
+}
+
+func TestCarbonOptimalShiftsWithEmbodiedRate(t *testing.T) {
+	// The paper's framing: on a clean grid with carbon-expensive hardware,
+	// racing to idle amortizes embodied carbon; on a dirty grid with
+	// low-carbon hardware, the energy-optimal point wins.
+	p := Default()
+	const work = 100
+
+	cleanGridDearHW := CarbonContext{
+		Intensity:      units.GramsPerKWh(20),
+		DeviceEmbodied: units.Kilograms(20),
+		Lifetime:       units.Years(3),
+	}
+	dirtyGridCheapHW := CarbonContext{
+		Intensity:      units.GramsPerKWh(820),
+		DeviceEmbodied: units.Kilograms(1),
+		Lifetime:       units.Years(3),
+	}
+	fClean, _, err := p.CarbonOptimalFrequency(cleanGridDearHW, work, 221)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fDirty, _, err := p.CarbonOptimalFrequency(dirtyGridCheapHW, work, 221)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fClean <= fDirty {
+		t.Errorf("clean-grid optimum (%v GHz) should exceed dirty-grid optimum (%v GHz)", fClean, fDirty)
+	}
+
+	// With zero embodied weight the carbon optimum equals the energy
+	// optimum.
+	noHW := CarbonContext{Intensity: units.GramsPerKWh(300),
+		DeviceEmbodied: 0, Lifetime: units.Years(3)}
+	fCarbon, _, err := p.CarbonOptimalFrequency(noHW, work, 221)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fEnergy, _, err := p.EnergyOptimalFrequency(work, 221)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fCarbon-fEnergy) > 1e-9 {
+		t.Errorf("zero-embodied carbon optimum %v != energy optimum %v", fCarbon, fEnergy)
+	}
+
+	// With a carbon-free grid, race to idle: the optimum is FMax.
+	freeGrid := CarbonContext{Intensity: 0,
+		DeviceEmbodied: units.Kilograms(5), Lifetime: units.Years(3)}
+	fFree, _, err := p.CarbonOptimalFrequency(freeGrid, work, 221)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fFree != p.FMaxGHz {
+		t.Errorf("carbon-free optimum = %v GHz, want FMax %v", fFree, p.FMaxGHz)
+	}
+}
+
+func TestTaskCarbonComposition(t *testing.T) {
+	p := Default()
+	ctx := CarbonContext{
+		Intensity:      units.GramsPerKWh(300),
+		DeviceEmbodied: units.Kilograms(10),
+		Lifetime:       units.Years(3),
+	}
+	e, d, err := p.Task(2.0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.TaskCarbon(ctx, 2.0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ctx.Intensity.Emitted(e).Grams() +
+		ctx.DeviceEmbodied.Grams()/ctx.Lifetime.Seconds()*d.Seconds()
+	if math.Abs(got.Grams()-want) > 1e-12 {
+		t.Errorf("TaskCarbon = %v, want %v g", got, want)
+	}
+}
+
+func TestContextValidation(t *testing.T) {
+	p := Default()
+	bad := []CarbonContext{
+		{Intensity: -1, DeviceEmbodied: 1, Lifetime: units.Years(1)},
+		{Intensity: 1, DeviceEmbodied: -1, Lifetime: units.Years(1)},
+		{Intensity: 1, DeviceEmbodied: 1, Lifetime: 0},
+	}
+	for i, ctx := range bad {
+		if _, err := p.TaskCarbon(ctx, 1, 10); err == nil {
+			t.Errorf("context %d: expected error", i)
+		}
+	}
+	ok := CarbonContext{Intensity: 1, DeviceEmbodied: 1, Lifetime: units.Years(1)}
+	if _, _, err := p.CarbonOptimalFrequency(ok, 10, 1); err == nil {
+		t.Error("1 sweep point: expected error")
+	}
+}
+
+// Property: task energy is work-linear at fixed frequency.
+func TestQuickEnergyLinearInWork(t *testing.T) {
+	p := Default()
+	f := func(wRaw uint8) bool {
+		w := float64(wRaw%100) + 1
+		e1, _, err1 := p.Task(2.0, w)
+		e2, _, err2 := p.Task(2.0, 2*w)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(e2.Joules()-2*e1.Joules()) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the carbon-optimal frequency is non-decreasing in the embodied
+// amortization rate.
+func TestQuickOptimalFreqMonotoneInEmbodied(t *testing.T) {
+	p := Default()
+	f := func(aRaw, bRaw uint8) bool {
+		a := float64(aRaw%40) + 1
+		b := float64(bRaw%40) + 1
+		if a > b {
+			a, b = b, a
+		}
+		mk := func(kg float64) CarbonContext {
+			return CarbonContext{Intensity: units.GramsPerKWh(300),
+				DeviceEmbodied: units.Kilograms(kg), Lifetime: units.Years(3)}
+		}
+		fa, _, err1 := p.CarbonOptimalFrequency(mk(a), 100, 111)
+		fb, _, err2 := p.CarbonOptimalFrequency(mk(b), 100, 111)
+		return err1 == nil && err2 == nil && fb >= fa-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

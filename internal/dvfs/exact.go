@@ -1,0 +1,52 @@
+package dvfs
+
+import (
+	"act/internal/dse"
+	"act/internal/units"
+)
+
+// Continuous optimization of the DVFS operating point. The task-carbon
+// curve CF(f) is unimodal on the DVFS range (a convex energy bowl plus a
+// monotone embodied term), so golden-section search finds the exact
+// optimum with a handful of evaluations instead of a dense sweep.
+
+// CarbonOptimalFrequencyExact returns the continuous carbon-optimal
+// frequency to within tolGHz.
+func (p Processor) CarbonOptimalFrequencyExact(ctx CarbonContext, gigacycles, tolGHz float64) (float64, units.CO2Mass, error) {
+	if err := ctx.Validate(); err != nil {
+		return 0, 0, err
+	}
+	if err := p.Validate(); err != nil {
+		return 0, 0, err
+	}
+	f, c, err := dse.GoldenSection(p.FMinGHz, p.FMaxGHz, tolGHz, func(f float64) (float64, error) {
+		m, err := p.TaskCarbon(ctx, f, gigacycles)
+		if err != nil {
+			return 0, err
+		}
+		return m.Grams(), nil
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	return f, units.Grams(c), nil
+}
+
+// EnergyOptimalFrequencyExact returns the continuous energy-optimal
+// frequency to within tolGHz.
+func (p Processor) EnergyOptimalFrequencyExact(gigacycles, tolGHz float64) (float64, units.Energy, error) {
+	if err := p.Validate(); err != nil {
+		return 0, 0, err
+	}
+	f, e, err := dse.GoldenSection(p.FMinGHz, p.FMaxGHz, tolGHz, func(f float64) (float64, error) {
+		en, _, err := p.Task(f, gigacycles)
+		if err != nil {
+			return 0, err
+		}
+		return en.Joules(), err
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	return f, units.Joules(e), nil
+}

@@ -1,0 +1,69 @@
+package dvfs
+
+import (
+	"math"
+	"testing"
+
+	"act/internal/units"
+)
+
+func TestExactMatchesSweep(t *testing.T) {
+	p := Default()
+	ctx := CarbonContext{
+		Intensity:      units.GramsPerKWh(300),
+		DeviceEmbodied: units.Kilograms(17),
+		Lifetime:       units.Years(3),
+	}
+	fSweep, cSweep, err := p.CarbonOptimalFrequency(ctx, 100, 2201)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fExact, cExact, err := p.CarbonOptimalFrequencyExact(ctx, 100, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fExact-fSweep) > 0.01 {
+		t.Errorf("exact f = %v, sweep f = %v", fExact, fSweep)
+	}
+	// The continuous optimum is at least as good as the dense sweep's.
+	if cExact.Grams() > cSweep.Grams()+1e-12 {
+		t.Errorf("exact carbon %v worse than sweep %v", cExact, cSweep)
+	}
+}
+
+func TestEnergyExactInterior(t *testing.T) {
+	p := Default()
+	fSweep, _, err := p.EnergyOptimalFrequency(100, 2201)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fExact, eExact, err := p.EnergyOptimalFrequencyExact(100, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fExact-fSweep) > 0.01 {
+		t.Errorf("exact f = %v, sweep f = %v", fExact, fSweep)
+	}
+	if fExact <= p.FMinGHz || fExact >= p.FMaxGHz {
+		t.Errorf("energy optimum %v should be interior", fExact)
+	}
+	if eExact <= 0 {
+		t.Errorf("energy %v", eExact)
+	}
+}
+
+func TestExactValidation(t *testing.T) {
+	p := Default()
+	bad := CarbonContext{Intensity: -1}
+	if _, _, err := p.CarbonOptimalFrequencyExact(bad, 100, 1e-6); err == nil {
+		t.Error("invalid context: expected error")
+	}
+	ok := CarbonContext{Intensity: 300, DeviceEmbodied: 1, Lifetime: units.Years(1)}
+	if _, _, err := p.CarbonOptimalFrequencyExact(ok, 100, 0); err == nil {
+		t.Error("zero tolerance: expected error")
+	}
+	var zero Processor
+	if _, _, err := zero.EnergyOptimalFrequencyExact(100, 1e-6); err == nil {
+		t.Error("invalid processor: expected error")
+	}
+}

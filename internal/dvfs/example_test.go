@@ -1,0 +1,37 @@
+package dvfs_test
+
+import (
+	"fmt"
+
+	"act/internal/dvfs"
+	"act/internal/units"
+)
+
+// ExampleProcessor_CarbonOptimalFrequencyExact shows the carbon-aware
+// operating point moving with the environment: a carbon-free grid makes
+// racing to idle optimal, a coal grid pulls the frequency down toward the
+// energy minimum.
+func ExampleProcessor_CarbonOptimalFrequencyExact() {
+	p := dvfs.Default()
+	for _, env := range []struct {
+		name string
+		ci   units.CarbonIntensity
+	}{
+		{"coal grid", 820},
+		{"carbon-free", 0},
+	} {
+		ctx := dvfs.CarbonContext{
+			Intensity:      env.ci,
+			DeviceEmbodied: units.Kilograms(17),
+			Lifetime:       units.Years(3),
+		}
+		f, _, err := p.CarbonOptimalFrequencyExact(ctx, 100, 1e-4)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s: %.2f GHz\n", env.name, f)
+	}
+	// Output:
+	// coal grid: 1.56 GHz
+	// carbon-free: 2.80 GHz
+}

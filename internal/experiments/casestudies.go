@@ -1,0 +1,449 @@
+package experiments
+
+// Experiments for the design-space and case-study artifacts: Figure 8,
+// Table 4, Figures 9-15.
+
+import (
+	"fmt"
+	"time"
+
+	"act/internal/accel"
+	"act/internal/intensity"
+	"act/internal/metrics"
+	"act/internal/provision"
+	"act/internal/replace"
+	"act/internal/report"
+	"act/internal/soc"
+	"act/internal/ssdlife"
+	"act/internal/units"
+)
+
+func init() {
+	register(Experiment{ID: "fig8", Title: "Mobile SoC carbon-optimization design space", Run: figure8})
+	register(Experiment{ID: "table4", Title: "CPU/GPU/DSP mobile AI provisioning", Run: table4})
+	register(Experiment{ID: "fig9", Title: "Provisioning under carbon metrics", Run: figure9})
+	register(Experiment{ID: "fig10", Title: "Renewable energy during manufacturing and use", Run: figure10})
+	register(Experiment{ID: "fig11", Title: "CPU vs ASIC vs FPGA flexibility study", Run: figure11})
+	register(Experiment{ID: "fig12", Title: "NVDLA MAC sweep under PPA and carbon metrics", Run: figure12})
+	register(Experiment{ID: "fig13", Title: "QoS-driven and area-constrained accelerator design", Run: figure13})
+	register(Experiment{ID: "fig14", Title: "Mobile lifetime extension over a 10-year horizon", Run: figure14})
+	register(Experiment{ID: "fig15", Title: "SSD over-provisioning, lifetime and second life", Run: figure15})
+}
+
+func figure8() ([]*report.Table, error) {
+	chips := soc.Catalog()
+	main := report.NewTable("Figure 8(a-c): mobile SoC characteristics",
+		"SoC", "family", "node (nm)", "die (mm²)", "TDP (W)", "geomean score",
+		"suite energy (J)", "embodied (kg CO2)")
+	for _, s := range chips {
+		e, err := s.Embodied()
+		if err != nil {
+			return nil, err
+		}
+		main.AddRow(s.Name, s.Family, report.Num(s.NodeNM), report.Num(s.Die.MM2()),
+			report.Num(s.TDP.Watts()), report.Num(s.GeomeanScore()),
+			report.Num(s.Energy().Joules()), report.Num(e.Kilograms()))
+	}
+
+	cands, err := soc.Candidates(chips)
+	if err != nil {
+		return nil, err
+	}
+	winners := report.NewTable("Figure 8(d): optimal SoC per metric", "metric", "winner", "paper")
+	paper := map[metrics.Metric]string{
+		metrics.EDP:  "Kirin 990",
+		metrics.EDAP: "Snapdragon 865",
+		metrics.CEP:  "Kirin 980",
+		metrics.C2EP: "Kirin 980",
+	}
+	for _, m := range metrics.All() {
+		best, err := metrics.Best(m, cands)
+		if err != nil {
+			return nil, err
+		}
+		winners.AddRow(string(m), best.Candidate.Name, paper[m])
+	}
+	sorted, err := soc.SortedByEmbodied()
+	if err != nil {
+		return nil, err
+	}
+	winners.AddRow("embodied carbon", sorted[0].Name, "Snapdragon 835")
+
+	perWorkload := report.NewTable("Figure 8(a) detail: per-workload scores",
+		append([]string{"SoC"}, workloadHeaders()...)...)
+	for _, s := range chips {
+		row := []string{s.Name}
+		for _, w := range soc.Workloads() {
+			score, err := s.WorkloadScore(w)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, report.Num(score))
+		}
+		perWorkload.AddRow(row...)
+	}
+	return []*report.Table{main, winners, perWorkload}, nil
+}
+
+// workloadHeaders returns the seven workload column labels.
+func workloadHeaders() []string {
+	var out []string
+	for _, w := range soc.Workloads() {
+		out = append(out, string(w))
+	}
+	return out
+}
+
+func table4() ([]*report.Table, error) {
+	rows, err := provision.DefaultTable4()
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Table 4: mobile AI provisioning (US grid, default fab)",
+		"hardware", "latency (ms)", "power (W)", "OPCF (µg CO2)", "ECF (g CO2)")
+	for _, r := range rows {
+		ecf := report.Num(r.TotalECF().Grams())
+		if r.CoproECF > 0 {
+			ecf = fmt.Sprintf("%s (+%s host)", report.Num(r.CoproECF.Grams()), report.Num(r.HostECF.Grams()))
+		}
+		t.AddRow(r.Config.Name,
+			report.Num(float64(r.Config.Latency)/float64(time.Millisecond)),
+			report.Num(r.Config.Power.Watts()),
+			report.Num(r.OPCF.Grams()*1e6),
+			ecf)
+	}
+	t.AddNote("GPU/DSP rows follow the paper's prose (its Table 4 swaps the two labels); see EXPERIMENTS.md")
+
+	f, err := provision.DefaultFab()
+	if err != nil {
+		return nil, err
+	}
+	be := report.NewTable("Break-even lifetime utilization (3-year lifetime)",
+		"co-processor", "US grid", "solar")
+	for _, name := range []string{provision.DSP, provision.GPU} {
+		us, err := provision.BreakEvenUtilization(name, f, intensity.USGrid, units.Years(3))
+		if err != nil {
+			return nil, err
+		}
+		solar, err := provision.BreakEvenUtilization(name, f, intensity.Renewable, units.Years(3))
+		if err != nil {
+			return nil, err
+		}
+		be.AddRow(name, fmt.Sprintf("%.1f%%", us*100), fmt.Sprintf("%.1f%%", solar*100))
+	}
+	return []*report.Table{t, be}, nil
+}
+
+func figure9() ([]*report.Table, error) {
+	f, err := provision.DefaultFab()
+	if err != nil {
+		return nil, err
+	}
+	cands, err := provision.Candidates(f, intensity.USGrid)
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Figure 9: carbon metrics normalized to the CPU design",
+		"hardware", "CDP", "C2EP", "CEP", "CE2P")
+	cols := []metrics.Metric{metrics.CDP, metrics.C2EP, metrics.CEP, metrics.CE2P}
+	normalized := map[metrics.Metric][]metrics.Scored{}
+	for _, m := range cols {
+		n, err := metrics.Normalized(m, cands, provision.CPU)
+		if err != nil {
+			return nil, err
+		}
+		normalized[m] = n
+	}
+	for i, c := range cands {
+		row := []string{c.Name}
+		for _, m := range cols {
+			row = append(row, report.Num(normalized[m][i].Value))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("CPU optimal for embodied-centric CDP/C2EP; DSP optimal for operational-centric CEP/CE2P")
+	return []*report.Table{t}, nil
+}
+
+func figure10() ([]*report.Table, error) {
+	s := provision.DefaultScenario()
+	mk := func(title string, sweep map[string][]provision.ScenarioPoint, steps []provision.IntensityStep) (*report.Table, error) {
+		t := report.NewTable(title,
+			"intensity", "hardware", "embodied/inf (µg)", "operational/inf (µg)", "total (µg)", "winner")
+		for _, step := range steps {
+			pts := sweep[step.Label]
+			win, err := provision.Winner(pts)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range pts {
+				mark := ""
+				if p.Config.Name == win.Config.Name {
+					mark = "*"
+				}
+				t.AddRow(step.Label, p.Config.Name,
+					report.Num(p.EmbodiedPerInf.Grams()*1e6),
+					report.Num(p.OperationalPerInf.Grams()*1e6),
+					report.Num(p.Total().Grams()*1e6), mark)
+			}
+		}
+		return t, nil
+	}
+	useSweep, err := s.SweepUse()
+	if err != nil {
+		return nil, err
+	}
+	top, err := mk("Figure 10 (top): varying use-phase carbon intensity (Taiwan-grid fab)", useSweep, provision.UseSteps())
+	if err != nil {
+		return nil, err
+	}
+	fabSweep, err := s.SweepFab()
+	if err != nil {
+		return nil, err
+	}
+	bottom, err := mk("Figure 10 (bottom): varying fab carbon intensity (renewable use)", fabSweep, provision.FabSteps())
+	if err != nil {
+		return nil, err
+	}
+	return []*report.Table{top, bottom}, nil
+}
+
+func figure11() ([]*report.Table, error) {
+	results, err := provision.FlexStudy(nil)
+	if err != nil {
+		return nil, err
+	}
+	perApp := report.NewTable("Figure 11: CPU vs ASIC (Accel) vs FPGA",
+		"substrate", "app", "latency (ms)", "energy (mJ)")
+	for _, r := range results {
+		for _, p := range r.Points {
+			perApp.AddRow(string(r.Substrate), string(p.App),
+				report.Num(float64(p.Latency)/float64(time.Millisecond)),
+				report.Num(p.Energy.Millijoules()))
+		}
+	}
+	summary := report.NewTable("Figure 11 summary",
+		"substrate", "geomean latency (ms)", "geomean energy (mJ)", "embodied (g CO2)")
+	for _, r := range results {
+		summary.AddRow(string(r.Substrate),
+			report.Num(float64(r.GeomeanLatency())/float64(time.Millisecond)),
+			report.Num(r.GeomeanEnergy().Millijoules()),
+			report.Num(r.Embodied.Grams()))
+	}
+	cands, err := provision.FlexCandidates(results)
+	if err != nil {
+		return nil, err
+	}
+	winners := report.NewTable("Figure 11: metric winners (multi-workload)", "metric", "winner")
+	for _, m := range metrics.CarbonAware() {
+		best, err := metrics.Best(m, cands)
+		if err != nil {
+			return nil, err
+		}
+		winners.AddRow(string(m), best.Candidate.Name)
+	}
+	winners.AddNote("FPGA wins every carbon metric for multi-workload SoCs; for AI-only designs the ASIC wins")
+	return []*report.Table{perApp, summary, winners}, nil
+}
+
+func figure12() ([]*report.Table, error) {
+	m, err := accel.NewModel()
+	if err != nil {
+		return nil, err
+	}
+	sweep, err := m.Sweep(accel.Process16nm)
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Figure 12: 16nm NVDLA-style NPU MAC sweep",
+		"MACs", "area (mm²)", "FPS", "energy/frame (mJ)", "embodied (g CO2)")
+	for _, d := range sweep {
+		e, err := d.Embodied()
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(report.Num(float64(d.MACs)), report.Num(d.Area().MM2()),
+			report.Num(d.FPS()), report.Num(d.EnergyPerFrame().Millijoules()),
+			report.Num(e.Grams()))
+	}
+
+	optima := report.NewTable("Figure 12: optimal MAC count per target", "target", "MACs", "paper")
+	perf, err := m.PerfOptimal(accel.Process16nm)
+	if err != nil {
+		return nil, err
+	}
+	optima.AddRow("performance", report.Num(float64(perf.MACs)), "2048")
+	paper := map[metrics.Metric]string{
+		metrics.EDP: "2048", metrics.CDP: "1024", metrics.CE2P: "512",
+		metrics.CEP: "256", metrics.C2EP: "128",
+	}
+	for _, metric := range []metrics.Metric{metrics.EDP, metrics.CDP, metrics.CE2P, metrics.CEP, metrics.C2EP} {
+		d, err := m.MetricOptimal(accel.Process16nm, metric)
+		if err != nil {
+			return nil, err
+		}
+		optima.AddRow(string(metric), report.Num(float64(d.MACs)), paper[metric])
+	}
+	return []*report.Table{t, optima}, nil
+}
+
+func figure13() ([]*report.Table, error) {
+	m, err := accel.NewModel()
+	if err != nil {
+		return nil, err
+	}
+	qos, err := m.QoSOptimal(accel.Process16nm, 30)
+	if err != nil {
+		return nil, err
+	}
+	qosE, err := qos.Embodied()
+	if err != nil {
+		return nil, err
+	}
+	perf, err := m.PerfOptimal(accel.Process16nm)
+	if err != nil {
+		return nil, err
+	}
+	perfE, err := perf.Embodied()
+	if err != nil {
+		return nil, err
+	}
+	energy, err := m.EnergyOptimal(accel.Process16nm)
+	if err != nil {
+		return nil, err
+	}
+	energyE, err := energy.Embodied()
+	if err != nil {
+		return nil, err
+	}
+	left := report.NewTable("Figure 13 (left): 30 FPS QoS target, 16nm",
+		"design", "MACs", "FPS", "embodied (g CO2)", "vs carbon-opt")
+	left.AddRow("carbon-optimal @QoS", report.Num(float64(qos.MACs)), report.Num(qos.FPS()),
+		report.Num(qosE.Grams()), "1.00x")
+	left.AddRow("perf-optimal", report.Num(float64(perf.MACs)), report.Num(perf.FPS()),
+		report.Num(perfE.Grams()), fmt.Sprintf("%.2fx", perfE.Grams()/qosE.Grams()))
+	left.AddRow("energy-optimal", report.Num(float64(energy.MACs)), report.Num(energy.FPS()),
+		report.Num(energyE.Grams()), fmt.Sprintf("%.2fx", energyE.Grams()/qosE.Grams()))
+	left.AddNote("paper: 256 MACs at ≈16 g CO2; perf/energy optima incur 3.3x/1.4x")
+
+	right := report.NewTable("Figure 13 (right): area budgets, 28nm vs 16nm (Jevons paradox)",
+		"budget", "28nm pick", "28nm embodied (g)", "16nm pick", "16nm embodied (g)", "16nm/28nm")
+	for _, budget := range []units.Area{units.MM2(1), units.MM2(2)} {
+		d28, err := m.BudgetOptimal(accel.Process28nm, budget)
+		if err != nil {
+			return nil, err
+		}
+		e28, err := d28.Embodied()
+		if err != nil {
+			return nil, err
+		}
+		d16, err := m.BudgetOptimal(accel.Process16nm, budget)
+		if err != nil {
+			return nil, err
+		}
+		e16, err := d16.Embodied()
+		if err != nil {
+			return nil, err
+		}
+		right.AddRow(budget.String(),
+			fmt.Sprintf("%d MACs", d28.MACs), report.Num(e28.Grams()),
+			fmt.Sprintf("%d MACs", d16.MACs), report.Num(e16.Grams()),
+			fmt.Sprintf("%.2fx", e16.Grams()/e28.Grams()))
+	}
+	right.AddNote("paper: +33% at 1mm², +28% at 2mm²")
+	return []*report.Table{left, right}, nil
+}
+
+func figure14() ([]*report.Table, error) {
+	left := report.NewTable("Figure 14 (left): annual energy-efficiency improvement",
+		"family", "annual improvement")
+	for _, fam := range soc.Families() {
+		c, err := soc.EfficiencyCAGR(fam)
+		if err != nil {
+			return nil, err
+		}
+		left.AddRow(fam, fmt.Sprintf("%.2fx", c))
+	}
+	fleet, err := soc.FleetEfficiencyCAGR()
+	if err != nil {
+		return nil, err
+	}
+	left.AddRow("geomean", fmt.Sprintf("%.2fx", fleet))
+	left.AddNote("paper: 1.21x average")
+
+	s := replace.DefaultScenario()
+	sweep, err := s.Sweep()
+	if err != nil {
+		return nil, err
+	}
+	right := report.NewTable("Figure 14 (right): 10-year footprint vs replacement lifetime",
+		"lifetime (years)", "devices", "embodied (kg)", "operational (kg)", "total (kg)")
+	for _, r := range sweep {
+		right.AddRow(report.Num(r.LifetimeYears), report.Num(float64(r.Devices)),
+			report.Num(r.Embodied.Kilograms()), report.Num(r.Operational.Kilograms()),
+			report.Num(r.Total().Kilograms()))
+	}
+	opt, err := s.Optimal()
+	if err != nil {
+		return nil, err
+	}
+	imp2, err := s.ImprovementOver(2)
+	if err != nil {
+		return nil, err
+	}
+	imp3, err := s.ImprovementOver(3)
+	if err != nil {
+		return nil, err
+	}
+	right.AddNote(fmt.Sprintf("optimal lifetime %v years; %.2fx / %.2fx better than 2 / 3-year replacement (paper: ≈5 years, 1.26x)",
+		opt.LifetimeYears, imp2, imp3))
+	return []*report.Table{left, right}, nil
+}
+
+func figure15() ([]*report.Table, error) {
+	d := ssdlife.DefaultDrive()
+	grid := ssdlife.DefaultGrid()
+	pts, err := d.Sweep(grid, 2)
+	if err != nil {
+		return nil, err
+	}
+	top := report.NewTable("Figure 15 (top): write amplification and lifetime vs over-provisioning",
+		"over-provisioning", "write amplification", "lifetime (years)")
+	for _, p := range pts {
+		top.AddRow(fmt.Sprintf("%.0f%%", p.PF*100), report.Num(p.WA), report.Num(p.LifetimeYears))
+	}
+
+	bottom := report.NewTable("Figure 15 (bottom): effective embodied carbon per mission",
+		"over-provisioning", "first life (2y) drives", "first life embodied (x)", "second life (4y) drives", "second life embodied (x)")
+	base, err := d.Evaluate(0.04, 2)
+	if err != nil {
+		return nil, err
+	}
+	for _, pf := range grid {
+		p2, err := d.Evaluate(pf, 2)
+		if err != nil {
+			return nil, err
+		}
+		p4, err := d.Evaluate(pf, 4)
+		if err != nil {
+			return nil, err
+		}
+		bottom.AddRow(fmt.Sprintf("%.0f%%", pf*100),
+			report.Num(float64(p2.Replacements)),
+			report.Num(p2.EffectiveEmbodied.Grams()/base.Embodied.Grams()),
+			report.Num(float64(p4.Replacements)),
+			report.Num(p4.EffectiveEmbodied.Grams()/base.Embodied.Grams()))
+	}
+	first, err := d.Optimal(grid, 2)
+	if err != nil {
+		return nil, err
+	}
+	second, err := d.Optimal(grid, 4)
+	if err != nil {
+		return nil, err
+	}
+	ratio := (first.EffectiveEmbodied.Grams() / 2) / (second.EffectiveEmbodied.Grams() / 4)
+	bottom.AddNote(fmt.Sprintf("optimal OP: first life %.0f%%, second life %.0f%%; per-year embodied reduction %.2fx (paper: 16%%, 34%%, 1.8x)",
+		first.PF*100, second.PF*100, ratio))
+	return []*report.Table{top, bottom}, nil
+}

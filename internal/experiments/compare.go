@@ -1,0 +1,92 @@
+package experiments
+
+// Experiments comparing ACT with published LCAs: Figure 4, Table 12,
+// Figures 16-17.
+
+import (
+	"fmt"
+
+	"act/internal/platforms"
+	"act/internal/report"
+)
+
+func init() {
+	register(Experiment{ID: "fig4", Title: "iPhone 11 / iPad IC embodied carbon: ACT vs LCA", Run: figure4})
+	register(Experiment{ID: "table12", Title: "Per-IC LCA vs ACT comparison", Run: table12})
+	register(Experiment{ID: "fig16", Title: "Fairphone 3 LCA breakdown", Run: figure16})
+	register(Experiment{ID: "fig17", Title: "Dell R740 LCA breakdown", Run: figure17})
+}
+
+func figure4() ([]*report.Table, error) {
+	comps, err := platforms.Figure4()
+	if err != nil {
+		return nil, err
+	}
+	summary := report.NewTable("Figure 4: IC embodied carbon, top-down LCA vs bottom-up ACT",
+		"platform", "LCA estimate (kg)", "ACT estimate (kg)", "gap")
+	var tables []*report.Table
+	for _, c := range comps {
+		gap := (c.LCAEstimate.Grams() - c.ACTEstimate.Grams()) / c.ACTEstimate.Grams()
+		summary.AddRow(c.Platform, report.Num(c.LCAEstimate.Kilograms()),
+			report.Num(c.ACTEstimate.Kilograms()), fmt.Sprintf("%.0f%%", gap*100))
+
+		b := report.NewTable(fmt.Sprintf("Figure 4: %s ACT breakdown", c.Platform),
+			"category", "kg CO2", "share")
+		for _, cat := range []platforms.Category{
+			platforms.CategorySoC, platforms.CategoryCamera, platforms.CategoryOtherIC,
+			platforms.CategoryPackaging, platforms.CategoryFlash, platforms.CategoryDRAM,
+		} {
+			m := c.Breakdown[cat]
+			b.AddRow(string(cat), report.Num(m.Kilograms()),
+				fmt.Sprintf("%.0f%%", m.Grams()/c.ACTEstimate.Grams()*100))
+		}
+		tables = append(tables, b)
+	}
+	summary.AddNote("paper: iPhone 23 vs 17 kg (28%), iPad 28 vs 21 kg (33%)")
+	return append([]*report.Table{summary}, tables...), nil
+}
+
+func table12() ([]*report.Table, error) {
+	rows, err := platforms.Table12()
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Table 12: per-IC LCA vs ACT",
+		"IC", "device", "actual node", "LCA node", "LCA (kg)",
+		"ACT node 1", "ACT1 (kg)", "paper ACT1 (kg)",
+		"ACT node 2", "ACT2 (kg)", "paper ACT2 (kg)")
+	for _, r := range rows {
+		lca := ""
+		if r.LCACO2 > 0 {
+			lca = report.Num(r.LCACO2.Kilograms())
+		}
+		t.AddRow(r.IC, r.Device, r.ActualNode, r.LCANode, lca,
+			r.ACTNode1, report.Num(r.ACT1.Kilograms()), report.Num(r.PaperACT1.Kilograms()),
+			r.ACTNode2, report.Num(r.ACT2.Kilograms()), report.Num(r.PaperACT2.Kilograms()))
+	}
+	t.AddNote("ACT columns computed by this library; paper columns as published. Gaps catalogued in EXPERIMENTS.md")
+	return []*report.Table{t}, nil
+}
+
+func sharesTable(title string, shares []platforms.Share) *report.Table {
+	t := report.NewTable(title, "component", "share")
+	for _, s := range shares {
+		t.AddRow(s.Label, fmt.Sprintf("%.0f%%", s.Fraction*100))
+		for _, sub := range s.Sub {
+			t.AddRow("  · "+sub.Label, fmt.Sprintf("%.0f%% of %s", sub.Fraction*100, s.Label))
+		}
+	}
+	return t
+}
+
+func figure16() ([]*report.Table, error) {
+	t := sharesTable("Figure 16: Fairphone 3 LCA breakdown", platforms.Fairphone3Breakdown())
+	t.AddNote(fmt.Sprintf("ICs account for ≈%.0f%% of embodied emissions", platforms.Fairphone3ICShare*100))
+	return []*report.Table{t}, nil
+}
+
+func figure17() ([]*report.Table, error) {
+	t := sharesTable("Figure 17: Dell R740 LCA breakdown", platforms.DellR740Breakdown())
+	t.AddNote(fmt.Sprintf("ICs account for ≈%.0f%% of embodied emissions", platforms.DellR740ICShare*100))
+	return []*report.Table{t}, nil
+}

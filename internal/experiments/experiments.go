@@ -1,0 +1,92 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation from this library's models. Each experiment is registered
+// under the paper's artifact id (e.g. "fig8", "table4") and produces
+// report tables whose rows mirror what the paper presents; EXPERIMENTS.md
+// records the paper-vs-measured comparison for each.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"act/internal/report"
+)
+
+// Experiment regenerates one paper artifact.
+type Experiment struct {
+	// ID is the artifact id: "fig1".."fig17", "table1".."table12".
+	ID string
+	// Title is the artifact's one-line description.
+	Title string
+	// Run produces the artifact's tables.
+	Run func() ([]*report.Table, error)
+}
+
+// registry is populated by the init functions of the sibling files.
+var registry = map[string]Experiment{}
+
+// register adds an experiment; duplicate ids are a programming error.
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("experiments: duplicate id " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// All returns every experiment sorted by id (figures first, then tables,
+// each numerically).
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return lessID(out[i].ID, out[j].ID) })
+	return out
+}
+
+// ByID returns one experiment.
+func ByID(id string) (Experiment, error) {
+	e, ok := registry[id]
+	if !ok {
+		return Experiment{}, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	return e, nil
+}
+
+// IDs returns the sorted registry keys.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return lessID(out[i], out[j]) })
+	return out
+}
+
+// lessID orders "figN" before "tableN" and both numerically.
+func lessID(a, b string) bool {
+	pa, na := splitID(a)
+	pb, nb := splitID(b)
+	if pa != pb {
+		return pa < pb
+	}
+	if na != nb {
+		return na < nb
+	}
+	return a < b
+}
+
+func splitID(id string) (prefix string, n int) {
+	i := 0
+	for i < len(id) && (id[i] < '0' || id[i] > '9') {
+		i++
+	}
+	prefix = id[:i]
+	for _, c := range id[i:] {
+		if c < '0' || c > '9' {
+			break
+		}
+		n = n*10 + int(c-'0')
+	}
+	return prefix, n
+}

@@ -1,0 +1,189 @@
+package experiments
+
+// Extension experiments: the Figure 1 sustainability directions the paper
+// names but does not evaluate, quantified with this library's extension
+// substrates (wafer/chiplet/dvfs/grid/datacenter/usage).
+
+import (
+	"fmt"
+	"time"
+
+	"act/internal/chiplet"
+	"act/internal/datacenter"
+	"act/internal/dvfs"
+	"act/internal/fab"
+	"act/internal/grid"
+	"act/internal/intensity"
+	"act/internal/report"
+	"act/internal/units"
+	"act/internal/usage"
+	"act/internal/wafer"
+)
+
+func init() {
+	register(Experiment{ID: "ext1", Title: "Wafer-level packing overhead vs Eq. 4", Run: extWafer})
+	register(Experiment{ID: "ext2", Title: "Chiplet vs monolithic embodied crossover", Run: extChiplet})
+	register(Experiment{ID: "ext3", Title: "Carbon-aware DVFS operating points", Run: extDVFS})
+	register(Experiment{ID: "ext4", Title: "Carbon-aware scheduling on a dispatched grid", Run: extScheduling})
+	register(Experiment{ID: "ext5", Title: "Datacenter fleet right-sizing", Run: extFleet})
+	register(Experiment{ID: "ext6", Title: "Duty-cycle profiles under time-varying intensity", Run: extUsage})
+}
+
+func extWafer() ([]*report.Table, error) {
+	w := wafer.Default300()
+	f, err := fab.New(fab.Node7)
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Wafer-level accounting vs per-area Eq. 4 (7nm, 300mm wafer)",
+		"die (mm²)", "dies/wafer", "packing eff.", "Eq. 4 (g)", "wafer model (g)", "overhead")
+	for _, mm2 := range []float64{25, 50, 100, 200, 400, 800} {
+		die := units.MM2(mm2)
+		dpw, err := w.DiesPerWafer(die)
+		if err != nil {
+			return nil, err
+		}
+		eff, err := w.PackingEfficiency(die)
+		if err != nil {
+			return nil, err
+		}
+		flat, err := f.Embodied(die)
+		if err != nil {
+			return nil, err
+		}
+		per, err := w.EmbodiedPerGoodDie(f, die)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(report.Num(mm2), report.Num(float64(dpw)),
+			fmt.Sprintf("%.0f%%", eff*100),
+			report.Num(flat.Grams()), report.Num(per.Grams()),
+			fmt.Sprintf("+%.0f%%", (per.Grams()/flat.Grams()-1)*100))
+	}
+	return []*report.Table{t}, nil
+}
+
+func extChiplet() ([]*report.Table, error) {
+	p := chiplet.DefaultParams()
+	f, err := fab.New(fab.Node7, fab.WithYield(fab.MurphyYield{D0: 0.2}))
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Chiplet vs monolithic (7nm, Murphy D0=0.2/cm²)",
+		"logic (mm²)", "best split", "per-die yield", "best total (kg)", "monolithic (kg)", "saving")
+	for _, mm2 := range []float64{100, 300, 500, 700, 900} {
+		best, err := chiplet.Optimal(p, f, units.MM2(mm2), 8)
+		if err != nil {
+			return nil, err
+		}
+		mono, err := chiplet.Evaluate(p, f, units.MM2(mm2), 1)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(report.Num(mm2), fmt.Sprintf("%d", best.Chiplets),
+			fmt.Sprintf("%.0f%%", best.Yield*100),
+			report.Num(best.Total().Kilograms()), report.Num(mono.Total().Kilograms()),
+			fmt.Sprintf("%.2fx", mono.Total().Grams()/best.Total().Grams()))
+	}
+	return []*report.Table{t}, nil
+}
+
+func extDVFS() ([]*report.Table, error) {
+	p := dvfs.Default()
+	t := report.NewTable("Carbon-optimal DVFS point by environment (100 Gcycle task)",
+		"use-phase grid", "device embodied (kg)", "optimal GHz", "task carbon")
+	for _, env := range []struct {
+		label string
+		ci    units.CarbonIntensity
+		kg    float64
+	}{
+		{"coal (820)", intensity.CoalGrid, 2},
+		{"US grid (300)", intensity.USGrid, 17},
+		{"solar (41)", intensity.Renewable, 17},
+		{"carbon-free (0)", intensity.CarbonFree, 40},
+	} {
+		ctx := dvfs.CarbonContext{
+			Intensity:      env.ci,
+			DeviceEmbodied: units.Kilograms(env.kg),
+			Lifetime:       units.Years(3),
+		}
+		f, c, err := p.CarbonOptimalFrequency(ctx, 100, 221)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(env.label, report.Num(env.kg), report.Num(f), c.String())
+	}
+	fE, _, err := p.EnergyOptimalFrequency(100, 221)
+	if err != nil {
+		return nil, err
+	}
+	t.AddNote(fmt.Sprintf("energy-optimal frequency (carbon-blind): %.2f GHz", fE))
+	return []*report.Table{t}, nil
+}
+
+func extScheduling() ([]*report.Table, error) {
+	tr, err := grid.NewTrace(grid.Default(), grid.DiurnalDemand(9000, 2000))
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Deferrable 100 kWh job on the dispatched grid",
+		"job slots (h)", "immediate (kg)", "carbon-aware (kg)", "savings")
+	for _, hours := range []int{2, 4, 8, 12, 18} {
+		naive, err := grid.Immediate(tr, units.KilowattHours(100), hours, 24*time.Hour)
+		if err != nil {
+			return nil, err
+		}
+		aware, err := grid.CarbonAware(tr, units.KilowattHours(100), hours, 24*time.Hour)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(report.Num(float64(hours)),
+			report.Num(naive.Emissions.Kilograms()),
+			report.Num(aware.Emissions.Kilograms()),
+			fmt.Sprintf("%.2fx", naive.Emissions.Grams()/aware.Emissions.Grams()))
+	}
+	return []*report.Table{t}, nil
+}
+
+func extFleet() ([]*report.Table, error) {
+	load := datacenter.DiurnalLoad(5000, 3000)
+	spec := datacenter.DefaultServer()
+	best, sweep, err := datacenter.OptimalFleet(load, spec, 1.3, intensity.USGrid, 24)
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Fleet right-sizing (8k rps peak, PUE 1.3, US grid, 4-year life)",
+		"servers", "mean utilization", "embodied (t)", "operational (t)", "total (t)")
+	for _, a := range sweep {
+		t.AddRow(report.Num(float64(a.Servers)),
+			fmt.Sprintf("%.0f%%", a.MeanUtilization*100),
+			report.Num(a.Embodied.Tonnes()),
+			report.Num(a.Operational.Tonnes()),
+			report.Num(a.Total().Tonnes()))
+	}
+	t.AddNote(fmt.Sprintf("optimal fleet: %d servers", best.Servers))
+	return []*report.Table{t}, nil
+}
+
+func extUsage() ([]*report.Table, error) {
+	tr, err := grid.NewTrace(grid.Default(), grid.DiurnalDemand(9000, 2000))
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("One year of a mobile duty cycle under grid traces",
+		"trace", "operational CO2")
+	mobile := usage.Mobile()
+	flat, err := mobile.Usage(units.Years(1), intensity.USGrid)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("flat US grid", intensity.USGrid.Emitted(flat.Energy).String())
+	year := units.Years(1)
+	traced, err := mobile.OperationalOverTrace(year, tr, time.Hour)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("dispatched diurnal grid", traced.String())
+	t.AddNote("flat averages and dispatched traces disagree materially; when the active window aligns with solar output the traced footprint falls well below the flat-grid estimate")
+	return []*report.Table{t}, nil
+}

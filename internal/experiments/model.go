@@ -1,0 +1,203 @@
+package experiments
+
+// Experiments over the model's data substrates: Figures 1, 6, 7 and
+// Tables 1, 2, 5-11.
+
+import (
+	"fmt"
+
+	"act/internal/fab"
+	"act/internal/intensity"
+	"act/internal/memdb"
+	"act/internal/metrics"
+	"act/internal/platforms"
+	"act/internal/report"
+	"act/internal/storagedb"
+)
+
+func init() {
+	register(Experiment{ID: "fig1", Title: "iPhone 3 vs iPhone 11 life-cycle emission split", Run: figure1})
+	register(Experiment{ID: "fig6", Title: "Fab energy, gas and carbon per area across 28nm-3nm", Run: figure6})
+	register(Experiment{ID: "fig7", Title: "DRAM / SSD / HDD embodied carbon per GB", Run: figure7})
+	register(Experiment{ID: "table1", Title: "ACT model input parameters", Run: table1})
+	register(Experiment{ID: "table2", Title: "Sustainability optimization metrics and use cases", Run: table2})
+	register(Experiment{ID: "table5", Title: "Carbon intensity of energy sources", Run: table5})
+	register(Experiment{ID: "table6", Title: "Carbon intensity of regional grids", Run: table6})
+	register(Experiment{ID: "table7", Title: "EPA and GPA per process node", Run: table7})
+	register(Experiment{ID: "table8", Title: "Raw-material procurement carbon", Run: table8})
+	register(Experiment{ID: "table9", Title: "DRAM embodied carbon per GB", Run: table9})
+	register(Experiment{ID: "table10", Title: "SSD embodied carbon per GB", Run: table10})
+	register(Experiment{ID: "table11", Title: "HDD embodied carbon per GB", Run: table11})
+}
+
+func figure1() ([]*report.Table, error) {
+	t := report.NewTable("Figure 1: life-cycle emission shares",
+		"device", "total (kg CO2)", "manufacturing", "use", "transport+EOL")
+	for _, s := range []platforms.LifeCycleSplit{platforms.IPhone3Split(), platforms.IPhone11Split()} {
+		if err := s.Validate(); err != nil {
+			return nil, err
+		}
+		t.AddRow(s.Name, report.Num(s.Total.Kilograms()),
+			fmt.Sprintf("%.0f%%", s.Manufacturing*100),
+			fmt.Sprintf("%.0f%%", s.Use*100),
+			fmt.Sprintf("%.0f%%", s.TransportEOL*100))
+	}
+	t.AddNote("published Apple product environmental report splits; the dominating phase shifts from use to manufacturing")
+	return []*report.Table{t}, nil
+}
+
+func figure6() ([]*report.Table, error) {
+	top := report.NewTable("Figure 6 (top/middle): per-node fab intensities",
+		"node", "EPA (kWh/cm²)", "GPA@95% (g/cm²)", "GPA@99% (g/cm²)")
+	for _, n := range fab.ScalarNodes() {
+		top.AddRow(string(n.Node), report.Num(n.EPA.KWhPerCM2()),
+			report.Num(n.GPA95.GramsPerCM2()), report.Num(n.GPA99.GramsPerCM2()))
+	}
+
+	bottom := report.NewTable("Figure 6 (bottom): carbon per area across nodes",
+		"node", "lower: solar fab (g/cm²)", "default: Taiwan+25% renewable (g/cm²)", "upper: Taiwan grid (g/cm²)")
+	pts, err := fab.CPAAcrossNodes()
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range pts {
+		bottom.AddRow(string(p.Node.Node), report.Num(p.Lower.GramsPerCM2()),
+			report.Num(p.Default.GramsPerCM2()), report.Num(p.Upper.GramsPerCM2()))
+	}
+	bottom.AddNote("abatement 99% for the lower bound, 95% otherwise; yield 0.875")
+	return []*report.Table{top, bottom}, nil
+}
+
+func figure7() ([]*report.Table, error) {
+	dram := report.NewTable("Figure 7 (left): DRAM carbon per GB",
+		"technology", "g CO2/GB", "characterization")
+	for _, e := range memdb.ByCPS() {
+		src := "component-level"
+		if e.DeviceLevel {
+			src = "device-level"
+		}
+		dram.AddRow(e.Description, report.Num(e.CPS.GramsPerGB()), src)
+	}
+
+	ssd := report.NewTable("Figure 7 (center): SSD carbon per GB",
+		"technology", "g CO2/GB", "characterization")
+	for _, e := range storagedb.ByCPS(storagedb.SSD) {
+		src := "component-level"
+		if e.DeviceLevel {
+			src = "device-level"
+		}
+		ssd.AddRow(e.Description, report.Num(e.CPS.GramsPerGB()), src)
+	}
+
+	hdd := report.NewTable("Figure 7 (right): HDD carbon per GB",
+		"technology", "g CO2/GB", "class")
+	for _, e := range storagedb.ByCPS(storagedb.HDD) {
+		class := "consumer"
+		if e.Enterprise {
+			class = "enterprise"
+		}
+		hdd.AddRow(e.Description, report.Num(e.CPS.GramsPerGB()), class)
+	}
+	return []*report.Table{dram, ssd, hdd}, nil
+}
+
+func table1() ([]*report.Table, error) {
+	t := report.NewTable("Table 1: ACT model input parameters",
+		"parameter", "description", "range / default")
+	rows := [][3]string{
+		{"T", "application execution time", "from SW profiling (internal/workloads)"},
+		{"LT", "hardware lifetime", "1-10 years"},
+		{"Nr", "number of ICs", "from HW design (core.Device.ICCount)"},
+		{"Kr", "IC packaging footprint", "0.15 kg CO2 per IC"},
+		{"A", "IC area", "from HW design (cm²)"},
+		{"p", "process node", "3-28 nm (internal/fab)"},
+		{"MPA", "raw-material procurement", "0.50 kg CO2 per cm²"},
+		{"EPA", "fab energy per area", "0.8-3.5 kWh per cm²"},
+		{"CIuse", "use-phase carbon intensity", "30-700 g CO2 per kWh"},
+		{"CIfab", "fab carbon intensity", "30-700 g CO2 per kWh"},
+		{"GPA", "fab gas emissions per area", "0.1-0.5 kg CO2 per cm²"},
+		{"Y", "fab yield", "0-1 (default 0.875)"},
+		{"CPA", "fab carbon per area", "0.1-0.4 kg CO2 per cm² upward with EUV"},
+		{"E_DRAM", "DRAM embodied carbon", "0-0.6 kg CO2 per GB"},
+		{"E_SSD", "SSD embodied carbon", "0-0.03 kg CO2 per GB"},
+		{"E_HDD", "HDD embodied carbon", "0-0.12 kg CO2 per GB"},
+	}
+	for _, r := range rows {
+		t.AddRow(r[0], r[1], r[2])
+	}
+	return []*report.Table{t}, nil
+}
+
+func table2() ([]*report.Table, error) {
+	t := report.NewTable("Table 2: optimization metrics", "metric", "use case")
+	for _, m := range metrics.All() {
+		uc, err := metrics.UseCase(m)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(string(m), uc)
+	}
+	return []*report.Table{t}, nil
+}
+
+func table5() ([]*report.Table, error) {
+	t := report.NewTable("Table 5: carbon intensity of energy sources",
+		"source", "g CO2/kWh", "energy-payback (months)")
+	for _, s := range intensity.Sources() {
+		t.AddRow(string(s.Source), report.Num(s.Intensity.GramsPerKWh()), report.Num(s.PaybackMonths))
+	}
+	return []*report.Table{t}, nil
+}
+
+func table6() ([]*report.Table, error) {
+	t := report.NewTable("Table 6: carbon intensity of regional grids",
+		"region", "g CO2/kWh", "dominant source")
+	for _, r := range intensity.Regions() {
+		t.AddRow(string(r.Region), report.Num(r.Intensity.GramsPerKWh()), r.Dominant)
+	}
+	return []*report.Table{t}, nil
+}
+
+func table7() ([]*report.Table, error) {
+	t := report.NewTable("Table 7: application-processor fab intensities",
+		"node", "energy/area (kWh/cm²)", "gas@95% (g/cm²)", "gas@99% (g/cm²)")
+	for _, n := range fab.Nodes() {
+		t.AddRow(string(n.Node), report.Num(n.EPA.KWhPerCM2()),
+			report.Num(n.GPA95.GramsPerCM2()), report.Num(n.GPA99.GramsPerCM2()))
+	}
+	return []*report.Table{t}, nil
+}
+
+func table8() ([]*report.Table, error) {
+	t := report.NewTable("Table 8: raw-material procurement", "source", "g CO2/cm²")
+	t.AddRow("semiconductor LCA (Boyd)", report.Num(fab.MPA.GramsPerCM2()))
+	return []*report.Table{t}, nil
+}
+
+func table9() ([]*report.Table, error) {
+	t := report.NewTable("Table 9: DRAM embodied carbon", "technology", "g CO2/GB")
+	for _, e := range memdb.Entries() {
+		t.AddRow(e.Description, report.Num(e.CPS.GramsPerGB()))
+	}
+	return []*report.Table{t}, nil
+}
+
+func table10() ([]*report.Table, error) {
+	t := report.NewTable("Table 10: SSD embodied carbon", "technology", "g CO2/GB")
+	for _, e := range storagedb.SSDs() {
+		t.AddRow(e.Description, report.Num(e.CPS.GramsPerGB()))
+	}
+	return []*report.Table{t}, nil
+}
+
+func table11() ([]*report.Table, error) {
+	t := report.NewTable("Table 11: HDD embodied carbon", "technology", "type", "g CO2/GB")
+	for _, e := range storagedb.HDDs() {
+		class := "Consumer"
+		if e.Enterprise {
+			class = "Enterprise"
+		}
+		t.AddRow(e.Description, class, report.Num(e.CPS.GramsPerGB()))
+	}
+	return []*report.Table{t}, nil
+}

@@ -1,0 +1,65 @@
+package fab_test
+
+import (
+	"fmt"
+
+	"act/internal/fab"
+	"act/internal/intensity"
+	"act/internal/units"
+)
+
+// ExampleFab_Embodied computes the embodied carbon of an iPhone-class 7nm
+// die under the paper's default fab assumptions.
+func ExampleFab_Embodied() {
+	f, err := fab.New(fab.Node7)
+	if err != nil {
+		panic(err)
+	}
+	e, err := f.Embodied(units.MM2(98.5))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%.2f kg CO2\n", e.Kilograms())
+	// Output:
+	// 1.72 kg CO2
+}
+
+// ExampleNew_renewableFab shows how fab options change the footprint: a
+// solar-powered fab at maximum abatement cuts a die's embodied carbon
+// roughly in half.
+func ExampleNew_renewableFab() {
+	die := units.MM2(100)
+	def, err := fab.New(fab.Node7)
+	if err != nil {
+		panic(err)
+	}
+	green, err := fab.New(fab.Node7,
+		fab.WithCarbonIntensity(intensity.Renewable),
+		fab.WithAbatement(0.99),
+	)
+	if err != nil {
+		panic(err)
+	}
+	eDef, err := def.Embodied(die)
+	if err != nil {
+		panic(err)
+	}
+	eGreen, err := green.Embodied(die)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("default %.0f g, green fab %.0f g\n", eDef.Grams(), eGreen.Grams())
+	// Output:
+	// default 1749 g, green fab 871 g
+}
+
+// ExampleResolve snaps marketing node names onto the characterized table.
+func ExampleResolve() {
+	p, err := fab.Resolve(16)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(p.Node)
+	// Output:
+	// 14nm
+}

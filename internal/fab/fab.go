@@ -1,0 +1,202 @@
+package fab
+
+import (
+	"fmt"
+
+	"act/internal/intensity"
+	"act/internal/units"
+)
+
+// Fab describes a semiconductor fabrication facility: its process node, its
+// energy supply, its gaseous abatement effectiveness, its yield, and the
+// raw-material intensity of its supply chain. A zero Fab is not usable;
+// construct one with New and functional options.
+type Fab struct {
+	node      NodeParams
+	ci        units.CarbonIntensity
+	abatement float64
+	yield     YieldModel
+	mpa       units.CarbonPerArea
+}
+
+// Option configures a Fab.
+type Option func(*Fab) error
+
+// WithCarbonIntensity sets the fab's energy carbon intensity (CIfab). The
+// default is the paper's: Taiwan grid with 25% renewable energy.
+func WithCarbonIntensity(ci units.CarbonIntensity) Option {
+	return func(f *Fab) error {
+		if ci < 0 {
+			return fmt.Errorf("fab: negative carbon intensity %v", ci)
+		}
+		f.ci = ci
+		return nil
+	}
+}
+
+// WithAbatement sets the gaseous abatement effectiveness in [0.95, 0.99],
+// the range Table 7 characterizes. The default is 0.95, the conservative
+// bound; TSMC reports 97%.
+func WithAbatement(a float64) Option {
+	return func(f *Fab) error {
+		if a < 0.95 || a > 0.99 {
+			return fmt.Errorf("fab: abatement %v outside characterized range [0.95, 0.99]", a)
+		}
+		f.abatement = a
+		return nil
+	}
+}
+
+// WithYield sets the yield model. The default is the paper's fixed 0.875.
+func WithYield(y YieldModel) Option {
+	return func(f *Fab) error {
+		if y == nil {
+			return fmt.Errorf("fab: nil yield model")
+		}
+		if fy, ok := y.(FixedYield); ok && !ValidYield(float64(fy)) {
+			return fmt.Errorf("fab: fixed yield %v outside (0, 1]", float64(fy))
+		}
+		f.yield = y
+		return nil
+	}
+}
+
+// WithMPA overrides the raw-material procurement intensity (Table 8).
+func WithMPA(mpa units.CarbonPerArea) Option {
+	return func(f *Fab) error {
+		if mpa < 0 {
+			return fmt.Errorf("fab: negative MPA %v", mpa)
+		}
+		f.mpa = mpa
+		return nil
+	}
+}
+
+// New constructs a Fab for the given process node with the paper's default
+// parameters: CIfab = Taiwan grid + 25% renewable, 95% abatement, fixed
+// yield 0.875, MPA = 500 g CO2/cm².
+func New(node Node, opts ...Option) (*Fab, error) {
+	params, err := Params(node)
+	if err != nil {
+		return nil, err
+	}
+	f := &Fab{
+		node:      params,
+		ci:        intensity.DefaultFab(),
+		abatement: 0.95,
+		yield:     FixedYield(DefaultYield),
+		mpa:       MPA,
+	}
+	for _, opt := range opts {
+		if err := opt(f); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// Node returns the fab's process-node characterization.
+func (f *Fab) Node() NodeParams { return f.node }
+
+// CarbonIntensity returns the fab's energy carbon intensity (CIfab).
+func (f *Fab) CarbonIntensity() units.CarbonIntensity { return f.ci }
+
+// Abatement returns the gaseous abatement effectiveness.
+func (f *Fab) Abatement() float64 { return f.abatement }
+
+// EPA returns the fab energy per unit area (Table 7 for the node).
+func (f *Fab) EPA() units.EnergyPerArea { return f.node.EPA }
+
+// GPA returns the gas/chemical emissions per unit area at the fab's
+// abatement level, interpolated linearly between the 95% and 99% columns of
+// Table 7.
+func (f *Fab) GPA() units.CarbonPerArea {
+	return interpolateGPA(f.node, f.abatement)
+}
+
+// interpolateGPA linearly interpolates gas-per-area between the two
+// characterized abatement levels. Abatement must already be within
+// [0.95, 0.99].
+func interpolateGPA(n NodeParams, abatement float64) units.CarbonPerArea {
+	t := (abatement - 0.95) / (0.99 - 0.95)
+	g := n.GPA95.GramsPerCM2() + t*(n.GPA99.GramsPerCM2()-n.GPA95.GramsPerCM2())
+	return units.GramsPerCM2(g)
+}
+
+// MPA returns the raw-material procurement intensity.
+func (f *Fab) MPA() units.CarbonPerArea { return f.mpa }
+
+// Yield returns the expected yield for a die of the given area.
+func (f *Fab) Yield(area units.Area) float64 { return f.yield.Yield(area) }
+
+// CPA returns the carbon emitted per unit area manufactured for a die of
+// the given area (Eq. 5):
+//
+//	CPA = (CIfab·EPA + GPA + MPA) / Y
+//
+// The area parameter only matters under area-dependent yield models; under
+// the paper's fixed yield CPA is area-independent.
+func (f *Fab) CPA(area units.Area) (units.CarbonPerArea, error) {
+	y := f.yield.Yield(area)
+	if !ValidYield(y) {
+		return 0, fmt.Errorf("fab: yield model returned %v for area %v", y, area)
+	}
+	energyCarbon := f.ci.GramsPerKWh() * f.node.EPA.KWhPerCM2()
+	cpa := (energyCarbon + f.GPA().GramsPerCM2() + f.mpa.GramsPerCM2()) / y
+	return units.GramsPerCM2(cpa), nil
+}
+
+// Embodied returns the embodied carbon of manufacturing a die of the given
+// area (Eq. 4): E_SoC = Area × CPA.
+func (f *Fab) Embodied(area units.Area) (units.CO2Mass, error) {
+	if area < 0 {
+		return 0, fmt.Errorf("fab: negative die area %v", area)
+	}
+	cpa, err := f.CPA(area)
+	if err != nil {
+		return 0, err
+	}
+	return cpa.For(area), nil
+}
+
+// CPAPoint is one point of the Figure 6 (bottom) carbon-per-area series.
+type CPAPoint struct {
+	Node NodeParams
+	// Lower assumes a fully renewable (solar) powered fab at 99% abatement.
+	Lower units.CarbonPerArea
+	// Default assumes the paper's default fab (Taiwan grid + 25% renewable,
+	// 95% abatement) — the solid line of Figure 6.
+	Default units.CarbonPerArea
+	// Upper assumes the raw Taiwan power grid at 95% abatement.
+	Upper units.CarbonPerArea
+}
+
+// CPAAcrossNodes computes the Figure 6 (bottom) series: carbon per area for
+// every scalar node from 28 nm to 3 nm under the lower-bound, default, and
+// upper-bound fab scenarios.
+func CPAAcrossNodes() ([]CPAPoint, error) {
+	var out []CPAPoint
+	scenario := func(node Node, ci units.CarbonIntensity, abatement float64) (units.CarbonPerArea, error) {
+		f, err := New(node, WithCarbonIntensity(ci), WithAbatement(abatement))
+		if err != nil {
+			return 0, err
+		}
+		return f.CPA(0)
+	}
+	for _, n := range ScalarNodes() {
+		lower, err := scenario(n.Node, intensity.Renewable, 0.99)
+		if err != nil {
+			return nil, err
+		}
+		def, err := scenario(n.Node, intensity.DefaultFab(), 0.95)
+		if err != nil {
+			return nil, err
+		}
+		upper, err := scenario(n.Node, intensity.TaiwanGrid, 0.95)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, CPAPoint{Node: n, Lower: lower, Default: def, Upper: upper})
+	}
+	return out, nil
+}

@@ -1,0 +1,153 @@
+// Package fab models the semiconductor fabrication side of the ACT carbon
+// model: process-node manufacturing intensities (energy per area and gas per
+// area, Table 7 of the paper), raw-material procurement (Table 8), gaseous
+// abatement, fab yield, and the carbon-per-area equation
+//
+//	CPA = (CIfab·EPA + GPA + MPA) / Y        (Eq. 5)
+//
+// from which the embodied footprint of an application processor follows as
+// E_SoC = Area × CPA (Eq. 4).
+package fab
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"act/internal/units"
+)
+
+// Node identifies a characterized process technology from Table 7.
+type Node string
+
+// Process nodes characterized by Table 7 of the paper (iMec IEDM'20 data).
+const (
+	Node28     Node = "28nm"
+	Node20     Node = "20nm"
+	Node14     Node = "14nm"
+	Node10     Node = "10nm"
+	Node7      Node = "7nm"
+	Node7EUV   Node = "7nm-euv"
+	Node7EUVDP Node = "7nm-euv-dp"
+	Node5      Node = "5nm"
+	Node3      Node = "3nm"
+)
+
+// NodeParams carries the per-node manufacturing intensities of Table 7.
+type NodeParams struct {
+	Node Node
+	// FeatureNM is the nominal feature size in nanometers, used to snap
+	// uncharacterized nodes (e.g. 16 nm, 8 nm) to the nearest entry.
+	FeatureNM float64
+	// EPA is fab energy consumed per unit area manufactured.
+	EPA units.EnergyPerArea
+	// GPA95 and GPA99 bound the direct gas/chemical emissions per area at
+	// 95% and 99% gaseous abatement, the shaded band of Figure 6 (middle).
+	GPA95 units.CarbonPerArea
+	GPA99 units.CarbonPerArea
+}
+
+// nodeTable is Table 7 of the paper verbatim.
+var nodeTable = []NodeParams{
+	{Node28, 28, 0.90, 175, 100},
+	{Node20, 20, 1.2, 190, 110},
+	{Node14, 14, 1.2, 200, 125},
+	{Node10, 10, 1.475, 240, 150},
+	{Node7, 7, 1.52, 350, 200},
+	{Node7EUV, 7, 2.15, 350, 200},
+	{Node7EUVDP, 7, 2.15, 350, 200},
+	{Node5, 5, 2.75, 430, 225},
+	{Node3, 3, 2.75, 470, 275},
+}
+
+// MPA is the embodied carbon of raw-material procurement per unit area
+// (Table 8, from the Boyd semiconductor LCA).
+const MPA units.CarbonPerArea = 500
+
+// DefaultYield is the fab yield the paper's open-source release defaults
+// to; the model accepts any 0 < Y <= 1 (Table 1).
+const DefaultYield = 0.875
+
+// Params returns the Table 7 characterization of a node.
+func Params(n Node) (NodeParams, error) {
+	for _, p := range nodeTable {
+		if p.Node == n {
+			return p, nil
+		}
+	}
+	return NodeParams{}, fmt.Errorf("fab: unknown process node %q", n)
+}
+
+// Nodes returns all Table 7 entries from the oldest (28 nm) to the newest
+// (3 nm) node, the x-axis order of Figure 6.
+func Nodes() []NodeParams {
+	out := make([]NodeParams, len(nodeTable))
+	copy(out, nodeTable)
+	return out
+}
+
+// ScalarNodes returns one entry per nanometer value, preferring the non-EUV
+// characterization where Table 7 lists several 7 nm variants. This is the
+// series used when sweeping "28 nm down to 3 nm".
+func ScalarNodes() []NodeParams {
+	var out []NodeParams
+	seen := map[float64]bool{}
+	for _, p := range nodeTable {
+		if seen[p.FeatureNM] {
+			continue
+		}
+		seen[p.FeatureNM] = true
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].FeatureNM > out[j].FeatureNM })
+	return out
+}
+
+// Resolve snaps an arbitrary feature size in nanometers to the nearest
+// characterized node, the convention the paper uses for chips built on
+// uncharacterized processes (e.g. a 16 nm SoC uses the 14 nm entry, an 8 nm
+// SoC the 7 nm entry). Ties resolve to the older (larger) node, the
+// conservative direction for embodied carbon. Sizes outside 2x the
+// characterized range are rejected rather than extrapolated.
+func Resolve(nm float64) (NodeParams, error) {
+	if nm <= 0 {
+		return NodeParams{}, fmt.Errorf("fab: non-positive feature size %v nm", nm)
+	}
+	scalars := ScalarNodes()
+	if nm > 2*scalars[0].FeatureNM || nm < scalars[len(scalars)-1].FeatureNM/2 {
+		return NodeParams{}, fmt.Errorf("fab: feature size %v nm outside characterized range [%v, %v] nm",
+			nm, scalars[len(scalars)-1].FeatureNM, scalars[0].FeatureNM)
+	}
+	best := scalars[0]
+	bestDist := dist(nm, best.FeatureNM)
+	for _, p := range scalars[1:] {
+		d := dist(nm, p.FeatureNM)
+		if d < bestDist {
+			best, bestDist = p, d
+		}
+	}
+	return best, nil
+}
+
+func dist(a, b float64) float64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// ParseNode parses a node name such as "7nm", "7nm-euv", "16" or "16nm".
+// Exact Table 7 names resolve directly; bare nanometer values snap to the
+// nearest characterized node via Resolve.
+func ParseNode(s string) (NodeParams, error) {
+	name := strings.ToLower(strings.TrimSpace(s))
+	if p, err := Params(Node(name)); err == nil {
+		return p, nil
+	}
+	trimmed := strings.TrimSuffix(name, "nm")
+	var nm float64
+	if _, err := fmt.Sscanf(trimmed, "%g", &nm); err != nil {
+		return NodeParams{}, fmt.Errorf("fab: cannot parse process node %q", s)
+	}
+	return Resolve(nm)
+}

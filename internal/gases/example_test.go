@@ -1,0 +1,30 @@
+package gases_test
+
+import (
+	"fmt"
+
+	"act/internal/fab"
+	"act/internal/gases"
+)
+
+// ExampleInventory_CO2e reconstructs the gas inventory behind a node's GPA
+// parameter and shows what abatement destroys.
+func ExampleInventory_CO2e() {
+	inv, err := gases.For(fab.Node7)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("raw inventory: %.0f g CO2e/cm² (%.0f%% abatable)\n",
+		inv.RawCO2e().GramsPerCM2(), inv.AbatableShare()*100)
+	for _, alpha := range []float64{0.95, 0.99} {
+		released, err := inv.CO2e(alpha)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("released at %.0f%% abatement: %.0f g/cm²\n", alpha*100, released.GramsPerCM2())
+	}
+	// Output:
+	// raw inventory: 3912 g CO2e/cm² (96% abatable)
+	// released at 95% abatement: 350 g/cm²
+	// released at 99% abatement: 200 g/cm²
+}

@@ -1,0 +1,177 @@
+// Package gases opens up the GPA parameter of the ACT model: the per-area
+// "gas" footprint of Table 7 is really an inventory of high-GWP process
+// gases (PFCs like CF4 and C2F6, NF3 for chamber cleans, SF6, CHF3) plus
+// non-abatable direct emissions (N2O, process CO2), scrubbed by point-of-
+// use abatement before release.
+//
+// The package reconstructs a per-node inventory that is exactly consistent
+// with Table 7's two characterized abatement points: writing
+//
+//	GPA(α) = N + A·(1−α)
+//
+// with N the non-abatable CO2e per cm² and A the abatable raw CO2e per
+// cm², the 95% and 99% columns pin both constants per node. The abatable
+// mass is split across the PFC species with a representative mix, so users
+// can see *which* gases dominate and what a given abatement level destroys
+// — detail the paper calls on industry to publish.
+package gases
+
+import (
+	"fmt"
+	"sort"
+
+	"act/internal/fab"
+	"act/internal/units"
+)
+
+// Gas identifies a fab process gas.
+type Gas string
+
+// Process gases.
+const (
+	CF4  Gas = "CF4"
+	C2F6 Gas = "C2F6"
+	CHF3 Gas = "CHF3"
+	NF3  Gas = "NF3"
+	SF6  Gas = "SF6"
+	// Direct covers non-abatable direct emissions (N2O, combustion and
+	// process CO2), tracked as CO2e.
+	Direct Gas = "direct-CO2e"
+)
+
+// GWP100 is the 100-year global warming potential (AR5 values, g CO2e per
+// g of gas).
+var GWP100 = map[Gas]float64{
+	CF4:    6630,
+	C2F6:   11100,
+	CHF3:   12400,
+	NF3:    16100,
+	SF6:    23500,
+	Direct: 1,
+}
+
+// abatableMix is the representative split of abatable raw CO2e across PFC
+// species in a modern logic fab (etch-dominated CF4/CHF3, clean-dominated
+// NF3).
+var abatableMix = map[Gas]float64{
+	CF4:  0.35,
+	NF3:  0.30,
+	CHF3: 0.15,
+	C2F6: 0.12,
+	SF6:  0.08,
+}
+
+// Emission is one inventory line: a gas's contribution per wafer area.
+type Emission struct {
+	Gas Gas
+	// RawCO2e is the pre-abatement warming potential per cm².
+	RawCO2e units.CarbonPerArea
+	// RawMassGrams is the physical gas mass per cm² (RawCO2e / GWP).
+	RawMassGrams float64
+	// Abatable reports whether point-of-use abatement destroys this line.
+	Abatable bool
+}
+
+// Inventory is a node's full per-area gas inventory.
+type Inventory struct {
+	Node fab.NodeParams
+	// Lines are sorted by descending raw CO2e.
+	Lines []Emission
+}
+
+// For reconstructs the inventory of a characterized node from its Table 7
+// abatement band.
+func For(node fab.Node) (Inventory, error) {
+	params, err := fab.Params(node)
+	if err != nil {
+		return Inventory{}, err
+	}
+	g95 := params.GPA95.GramsPerCM2()
+	g99 := params.GPA99.GramsPerCM2()
+	if g99 > g95 {
+		return Inventory{}, fmt.Errorf("gases: node %s has inverted abatement band", node)
+	}
+	// GPA(α) = N + A(1-α): two points pin the abatable raw total A and
+	// the non-abatable floor N.
+	abatableRaw := (g95 - g99) / (0.99 - 0.95)
+	nonAbatable := g99 - abatableRaw*(1-0.99)
+	if nonAbatable < 0 {
+		return Inventory{}, fmt.Errorf("gases: node %s implies negative non-abatable emissions", node)
+	}
+	inv := Inventory{Node: params}
+	for gas, share := range abatableMix {
+		raw := abatableRaw * share
+		inv.Lines = append(inv.Lines, Emission{
+			Gas:          gas,
+			RawCO2e:      units.GramsPerCM2(raw),
+			RawMassGrams: raw / GWP100[gas],
+			Abatable:     true,
+		})
+	}
+	inv.Lines = append(inv.Lines, Emission{
+		Gas:          Direct,
+		RawCO2e:      units.GramsPerCM2(nonAbatable),
+		RawMassGrams: nonAbatable,
+		Abatable:     false,
+	})
+	sort.Slice(inv.Lines, func(i, j int) bool {
+		if inv.Lines[i].RawCO2e != inv.Lines[j].RawCO2e {
+			return inv.Lines[i].RawCO2e > inv.Lines[j].RawCO2e
+		}
+		return inv.Lines[i].Gas < inv.Lines[j].Gas
+	})
+	return inv, nil
+}
+
+// RawCO2e returns the pre-abatement warming potential per cm².
+func (inv Inventory) RawCO2e() units.CarbonPerArea {
+	var sum float64
+	for _, l := range inv.Lines {
+		sum += l.RawCO2e.GramsPerCM2()
+	}
+	return units.GramsPerCM2(sum)
+}
+
+// CO2e returns the released warming potential per cm² at an abatement
+// effectiveness in [0, 1): abatable lines are destroyed at rate α, the
+// direct line passes through.
+func (inv Inventory) CO2e(abatement float64) (units.CarbonPerArea, error) {
+	if abatement < 0 || abatement >= 1 {
+		return 0, fmt.Errorf("gases: abatement %v outside [0, 1)", abatement)
+	}
+	var sum float64
+	for _, l := range inv.Lines {
+		if l.Abatable {
+			sum += l.RawCO2e.GramsPerCM2() * (1 - abatement)
+		} else {
+			sum += l.RawCO2e.GramsPerCM2()
+		}
+	}
+	return units.GramsPerCM2(sum), nil
+}
+
+// DestroyedCO2e returns the warming potential the abatement system removes
+// per cm².
+func (inv Inventory) DestroyedCO2e(abatement float64) (units.CarbonPerArea, error) {
+	released, err := inv.CO2e(abatement)
+	if err != nil {
+		return 0, err
+	}
+	return units.GramsPerCM2(inv.RawCO2e().GramsPerCM2() - released.GramsPerCM2()), nil
+}
+
+// AbatableShare returns the fraction of the raw inventory that abatement
+// can reach.
+func (inv Inventory) AbatableShare() float64 {
+	raw := inv.RawCO2e().GramsPerCM2()
+	if raw == 0 {
+		return 0
+	}
+	var abatable float64
+	for _, l := range inv.Lines {
+		if l.Abatable {
+			abatable += l.RawCO2e.GramsPerCM2()
+		}
+	}
+	return abatable / raw
+}

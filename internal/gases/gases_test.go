@@ -1,0 +1,158 @@
+package gases
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"act/internal/fab"
+)
+
+func TestInventoryConsistentWithTable7(t *testing.T) {
+	// The reconstructed inventory must reproduce Table 7's GPA at both
+	// characterized abatement points, and the fab package's interpolation
+	// in between, for every node.
+	for _, node := range fab.Nodes() {
+		inv, err := For(node.Node)
+		if err != nil {
+			t.Fatalf("%s: %v", node.Node, err)
+		}
+		for _, alpha := range []float64{0.95, 0.96, 0.97, 0.98, 0.99} {
+			got, err := inv.CO2e(alpha)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f, err := fab.New(node.Node, fab.WithAbatement(alpha))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := f.GPA().GramsPerCM2()
+			if math.Abs(got.GramsPerCM2()-want) > 1e-6 {
+				t.Errorf("%s @ %.0f%%: inventory CO2e = %v, fab GPA = %v",
+					node.Node, alpha*100, got.GramsPerCM2(), want)
+			}
+		}
+	}
+}
+
+func TestInventoryShape(t *testing.T) {
+	inv, err := For(fab.Node7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Six lines: five PFC species plus the direct floor.
+	if len(inv.Lines) != 6 {
+		t.Fatalf("inventory has %d lines, want 6", len(inv.Lines))
+	}
+	// Sorted descending.
+	for i := 1; i < len(inv.Lines); i++ {
+		if inv.Lines[i].RawCO2e > inv.Lines[i-1].RawCO2e {
+			t.Error("inventory not sorted by descending CO2e")
+		}
+	}
+	// Physical masses follow GWP division: the SF6 mass is tiny despite a
+	// visible CO2e share.
+	for _, l := range inv.Lines {
+		want := l.RawCO2e.GramsPerCM2() / GWP100[l.Gas]
+		if math.Abs(l.RawMassGrams-want) > 1e-12 {
+			t.Errorf("%s mass = %v, want %v", l.Gas, l.RawMassGrams, want)
+		}
+		if l.Gas != Direct && !l.Abatable {
+			t.Errorf("%s should be abatable", l.Gas)
+		}
+	}
+}
+
+func TestAbatableShare(t *testing.T) {
+	// At 7nm: A = (350-200)/0.04 = 3750 raw abatable; N = 200-37.5 =
+	// 162.5; share = 3750/3912.5.
+	inv, err := For(fab.Node7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 3750.0 / 3912.5
+	if got := inv.AbatableShare(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("abatable share = %v, want %v", got, want)
+	}
+	if got := inv.RawCO2e().GramsPerCM2(); math.Abs(got-3912.5) > 1e-9 {
+		t.Errorf("raw CO2e = %v, want 3912.5", got)
+	}
+}
+
+func TestDestroyedPlusReleasedEqualsRaw(t *testing.T) {
+	inv, err := For(fab.Node5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alpha := range []float64{0, 0.5, 0.95, 0.99} {
+		released, err := inv.CO2e(alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		destroyed, err := inv.DestroyedCO2e(alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := released.GramsPerCM2() + destroyed.GramsPerCM2()
+		if math.Abs(sum-inv.RawCO2e().GramsPerCM2()) > 1e-9 {
+			t.Errorf("alpha %v: released+destroyed = %v, raw = %v", alpha, sum, inv.RawCO2e())
+		}
+	}
+}
+
+func TestCO2eValidation(t *testing.T) {
+	inv, err := For(fab.Node28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []float64{-0.1, 1.0, 1.5} {
+		if _, err := inv.CO2e(bad); err == nil {
+			t.Errorf("abatement %v: expected error", bad)
+		}
+	}
+	if _, err := For("1nm"); err == nil {
+		t.Error("unknown node: expected error")
+	}
+}
+
+func TestZeroAbatementReleasesEverything(t *testing.T) {
+	// Without abatement the full raw inventory escapes — an order of
+	// magnitude above the Table 7 values, which is the point the paper's
+	// abatement band makes.
+	inv, err := For(fab.Node3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := inv.CO2e(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw != inv.RawCO2e() {
+		t.Errorf("unabated release = %v, want raw %v", raw, inv.RawCO2e())
+	}
+	p, _ := fab.Params(fab.Node3)
+	if raw.GramsPerCM2() < 5*p.GPA95.GramsPerCM2() {
+		t.Errorf("raw inventory (%v) should dwarf the abated Table 7 value (%v)", raw, p.GPA95)
+	}
+}
+
+// Property: released CO2e is non-increasing in abatement.
+func TestQuickReleaseMonotone(t *testing.T) {
+	inv, err := For(fab.Node10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(aRaw, bRaw uint8) bool {
+		a := float64(aRaw) / 260 // within [0, ~0.98]
+		b := float64(bRaw) / 260
+		if a > b {
+			a, b = b, a
+		}
+		ra, err1 := inv.CO2e(a)
+		rb, err2 := inv.CO2e(b)
+		return err1 == nil && err2 == nil && rb <= ra+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

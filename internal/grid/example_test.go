@@ -1,0 +1,34 @@
+package grid_test
+
+import (
+	"fmt"
+	"time"
+
+	"act/internal/grid"
+	"act/internal/units"
+)
+
+// ExampleCarbonAware schedules a deferrable job into the cleanest hours of
+// a dispatch-simulated grid.
+func ExampleCarbonAware() {
+	tr, err := grid.NewTrace(grid.Default(), grid.DiurnalDemand(9000, 2000))
+	if err != nil {
+		panic(err)
+	}
+	aware, err := grid.CarbonAware(tr, units.KilowattHours(100), 4, 24*time.Hour)
+	if err != nil {
+		panic(err)
+	}
+	naive, err := grid.Immediate(tr, units.KilowattHours(100), 4, 24*time.Hour)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("immediate start: %.1f kg\n", naive.Emissions.Kilograms())
+	fmt.Printf("carbon-aware:    %.1f kg (slots at hours %v, %v, %v, %v)\n",
+		aware.Emissions.Kilograms(),
+		aware.Slots[0].Start.Hours(), aware.Slots[1].Start.Hours(),
+		aware.Slots[2].Start.Hours(), aware.Slots[3].Start.Hours())
+	// Output:
+	// immediate start: 13.1 kg
+	// carbon-aware:    10.1 kg (slots at hours 10, 11, 12, 13)
+}

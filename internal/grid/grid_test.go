@@ -1,0 +1,252 @@
+package grid
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"act/internal/intensity"
+	"act/internal/units"
+)
+
+func TestValidate(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Errorf("default grid invalid: %v", err)
+	}
+	if err := (Grid{}).Validate(); err == nil {
+		t.Error("empty fleet: expected error")
+	}
+	bad := Grid{Generators: []Generator{{Name: "x", CapacityMW: 0}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("zero capacity: expected error")
+	}
+	neg := Grid{Generators: []Generator{{Name: "x", CapacityMW: 10, Intensity: -1}}}
+	if err := neg.Validate(); err == nil {
+		t.Error("negative intensity: expected error")
+	}
+}
+
+func TestDispatchMeritOrder(t *testing.T) {
+	g := Grid{Generators: []Generator{
+		{Name: "clean", CapacityMW: 100, Intensity: 10},
+		{Name: "dirty", CapacityMW: 100, Intensity: 810},
+	}}
+	// Demand inside the clean unit: pure clean intensity.
+	ci, err := g.Dispatch(50, 0)
+	if err != nil || ci.GramsPerKWh() != 10 {
+		t.Errorf("Dispatch(50) = %v, %v, want 10", ci, err)
+	}
+	// Demand spilling into the dirty unit: weighted average.
+	ci, err = g.Dispatch(150, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (100*10 + 50*810) / 150.0
+	if math.Abs(ci.GramsPerKWh()-want) > 1e-9 {
+		t.Errorf("Dispatch(150) = %v, want %v", ci, want)
+	}
+	// Demand beyond capacity: error.
+	if _, err := g.Dispatch(500, 0); err == nil {
+		t.Error("over-capacity demand: expected error")
+	}
+	if _, err := g.Dispatch(0, 0); err == nil {
+		t.Error("zero demand: expected error")
+	}
+}
+
+func TestMarginalIntensity(t *testing.T) {
+	g := Grid{Generators: []Generator{
+		{Name: "clean", CapacityMW: 100, Intensity: 10},
+		{Name: "dirty", CapacityMW: 100, Intensity: 810},
+	}}
+	ci, err := g.MarginalIntensity(50, 0)
+	if err != nil || ci != 10 {
+		t.Errorf("marginal at 50MW = %v, %v, want 10", ci, err)
+	}
+	ci, err = g.MarginalIntensity(150, 0)
+	if err != nil || ci != 810 {
+		t.Errorf("marginal at 150MW = %v, %v, want 810", ci, err)
+	}
+	if _, err := g.MarginalIntensity(300, 0); err == nil {
+		t.Error("over capacity: expected error")
+	}
+	if _, err := g.MarginalIntensity(-1, 0); err == nil {
+		t.Error("negative demand: expected error")
+	}
+}
+
+func TestSolarAvailability(t *testing.T) {
+	avail := SolarAvailability(12, 12)
+	if got := avail(12); math.Abs(got-1) > 1e-12 {
+		t.Errorf("solar at noon = %v, want 1", got)
+	}
+	if got := avail(0); got != 0 {
+		t.Errorf("solar at midnight = %v, want 0", got)
+	}
+	if got := avail(36); math.Abs(got-1) > 1e-12 {
+		t.Errorf("solar periodic at 36h = %v, want 1", got)
+	}
+}
+
+func TestDefaultGridDiurnalIntensity(t *testing.T) {
+	// The dispatched default grid is cleaner at solar noon than at
+	// midnight for identical demand.
+	g := Default()
+	noon, err := g.Dispatch(9000, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	night, err := g.Dispatch(9000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noon >= night {
+		t.Errorf("noon intensity %v should be below midnight %v", noon, night)
+	}
+}
+
+func TestTrace(t *testing.T) {
+	tr, err := NewTrace(Default(), DiurnalDemand(9000, 2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Periodicity.
+	a := tr.At(3 * time.Hour)
+	b := tr.At(27 * time.Hour)
+	if math.Abs(a.GramsPerKWh()-b.GramsPerKWh()) > 1e-9 {
+		t.Errorf("trace not 24h periodic: %v vs %v", a, b)
+	}
+	// Integrates with the shared Average helper.
+	avg, err := intensity.Average(tr, 0, 24*time.Hour, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg <= 0 {
+		t.Errorf("average intensity %v", avg)
+	}
+
+	// Build-time validation.
+	if _, err := NewTrace(Default(), nil); err == nil {
+		t.Error("nil demand: expected error")
+	}
+	if _, err := NewTrace(Default(), DiurnalDemand(1e6, 0)); err == nil {
+		t.Error("impossible demand: expected error")
+	}
+	if _, err := NewTrace(Grid{}, DiurnalDemand(100, 0)); err == nil {
+		t.Error("empty grid: expected error")
+	}
+}
+
+func TestTraceOverloadFallsBackToWorst(t *testing.T) {
+	// A demand curve that fits at probe hours but overloads between them
+	// must degrade to the dirtiest generator, not zero.
+	g := Grid{Generators: []Generator{
+		{Name: "clean", CapacityMW: 100, Intensity: 10},
+		{Name: "dirty", CapacityMW: 100, Intensity: 810},
+	}}
+	demand := func(hour float64) float64 {
+		if hour == 2.5 { // only at the un-probed half hour
+			return 1e6
+		}
+		return 50
+	}
+	tr, err := NewTrace(g, demand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.At(2*time.Hour + 30*time.Minute); got != 810 {
+		t.Errorf("overload fallback = %v, want 810", got)
+	}
+}
+
+func TestCarbonAwareScheduling(t *testing.T) {
+	tr, err := NewTrace(Default(), DiurnalDemand(9000, 2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	energy := units.KilowattHours(100)
+	naive, err := Immediate(tr, energy, 4, 24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aware, err := CarbonAware(tr, energy, 4, 24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(naive.Slots) != 4 || len(aware.Slots) != 4 {
+		t.Fatalf("slot counts = %d, %d, want 4", len(naive.Slots), len(aware.Slots))
+	}
+	// The immediate schedule starts at hour 0 (midnight, coal-heavy); the
+	// aware one must do at least as well and here strictly better.
+	if aware.Emissions.Grams() >= naive.Emissions.Grams() {
+		t.Errorf("aware (%v) should beat immediate (%v)", aware.Emissions, naive.Emissions)
+	}
+	// Aware slots cluster around solar noon.
+	for _, s := range aware.Slots {
+		h := s.Start.Hours()
+		if h < 8 || h > 17 {
+			t.Errorf("aware slot at %v h, expected daylight hours", h)
+		}
+	}
+	savings, err := Savings(tr, energy, 4, 24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if savings < 1.25 {
+		t.Errorf("scheduling savings = %vx, want ≥ 1.25x on the default grid", savings)
+	}
+}
+
+func TestSchedulingValidation(t *testing.T) {
+	tr := intensity.Constant(300)
+	if _, err := CarbonAware(tr, 0, 2, 24*time.Hour); err == nil {
+		t.Error("zero energy: expected error")
+	}
+	if _, err := CarbonAware(tr, 100, 0, 24*time.Hour); err == nil {
+		t.Error("zero hours: expected error")
+	}
+	if _, err := CarbonAware(tr, 100, 48, 24*time.Hour); err == nil {
+		t.Error("job longer than window: expected error")
+	}
+	if _, err := Immediate(tr, 100, 2, 30*time.Minute); err == nil {
+		t.Error("sub-hour window: expected error")
+	}
+}
+
+func TestSchedulingOnFlatTraceIsNeutral(t *testing.T) {
+	tr := intensity.Constant(300)
+	s, err := Savings(tr, units.KilowattHours(10), 3, 24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-1) > 1e-9 {
+		t.Errorf("flat-trace savings = %v, want 1", s)
+	}
+	// Zero-intensity trace: both schedules are zero, savings defined as 1.
+	s, err = Savings(intensity.Constant(0), units.KilowattHours(10), 3, 24*time.Hour)
+	if err != nil || s != 1 {
+		t.Errorf("zero-trace savings = %v, %v, want 1", s, err)
+	}
+}
+
+// Property: carbon-aware never emits more than immediate.
+func TestQuickAwareNeverWorse(t *testing.T) {
+	tr, err := NewTrace(Default(), DiurnalDemand(9000, 2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(hRaw, eRaw uint8) bool {
+		hours := int(hRaw%23) + 1
+		energy := units.KilowattHours(float64(eRaw%100) + 1)
+		naive, err1 := Immediate(tr, energy, hours, 24*time.Hour)
+		aware, err2 := CarbonAware(tr, energy, hours, 24*time.Hour)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return aware.Emissions <= naive.Emissions+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,120 @@
+package grid
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"act/internal/intensity"
+	"act/internal/units"
+)
+
+// Carbon-aware scheduling: a deferrable job (a nightly batch train, a
+// backup, an update install) that needs a fixed amount of energy spread
+// over some number of hour slots can pick the cleanest hours inside its
+// deadline window instead of running immediately. This is the software
+// half of "renewable energy driven HW" (Figure 1, Reduce).
+
+// Slot is one scheduled hour.
+type Slot struct {
+	// Start is the slot's offset from the window origin.
+	Start time.Duration
+	// Intensity is the grid intensity during the slot.
+	Intensity units.CarbonIntensity
+}
+
+// Schedule is a chosen set of slots for a job.
+type Schedule struct {
+	Slots []Slot
+	// Emissions is the job's total operational carbon.
+	Emissions units.CO2Mass
+}
+
+// hourlySlots samples the trace at each whole hour of the window.
+func hourlySlots(tr intensity.Trace, window time.Duration) ([]Slot, error) {
+	hours := int(window.Hours())
+	if hours < 1 {
+		return nil, fmt.Errorf("grid: window %v shorter than one hour", window)
+	}
+	out := make([]Slot, hours)
+	for h := 0; h < hours; h++ {
+		at := time.Duration(h) * time.Hour
+		out[h] = Slot{Start: at, Intensity: tr.At(at)}
+	}
+	return out, nil
+}
+
+// schedule charges the job's energy evenly across the chosen slots.
+func schedule(slots []Slot, energy units.Energy) Schedule {
+	per := units.Energy(energy.Joules() / float64(len(slots)))
+	var grams float64
+	for _, s := range slots {
+		grams += s.Intensity.Emitted(per).Grams()
+	}
+	return Schedule{Slots: slots, Emissions: units.Grams(grams)}
+}
+
+// Immediate schedules the job into the first hours of the window — the
+// carbon-oblivious baseline.
+func Immediate(tr intensity.Trace, energy units.Energy, hours int, window time.Duration) (Schedule, error) {
+	if err := validateJob(energy, hours); err != nil {
+		return Schedule{}, err
+	}
+	slots, err := hourlySlots(tr, window)
+	if err != nil {
+		return Schedule{}, err
+	}
+	if hours > len(slots) {
+		return Schedule{}, fmt.Errorf("grid: job needs %d hours but the window has %d", hours, len(slots))
+	}
+	return schedule(slots[:hours], energy), nil
+}
+
+// CarbonAware schedules the job into the lowest-intensity hours of the
+// window.
+func CarbonAware(tr intensity.Trace, energy units.Energy, hours int, window time.Duration) (Schedule, error) {
+	if err := validateJob(energy, hours); err != nil {
+		return Schedule{}, err
+	}
+	slots, err := hourlySlots(tr, window)
+	if err != nil {
+		return Schedule{}, err
+	}
+	if hours > len(slots) {
+		return Schedule{}, fmt.Errorf("grid: job needs %d hours but the window has %d", hours, len(slots))
+	}
+	sort.SliceStable(slots, func(i, j int) bool { return slots[i].Intensity < slots[j].Intensity })
+	chosen := slots[:hours]
+	sort.Slice(chosen, func(i, j int) bool { return chosen[i].Start < chosen[j].Start })
+	return schedule(chosen, energy), nil
+}
+
+// Savings compares carbon-aware against immediate scheduling and returns
+// the emission ratio immediate/aware (≥ 1).
+func Savings(tr intensity.Trace, energy units.Energy, hours int, window time.Duration) (float64, error) {
+	naive, err := Immediate(tr, energy, hours, window)
+	if err != nil {
+		return 0, err
+	}
+	aware, err := CarbonAware(tr, energy, hours, window)
+	if err != nil {
+		return 0, err
+	}
+	if aware.Emissions == 0 {
+		if naive.Emissions == 0 {
+			return 1, nil
+		}
+		return 0, fmt.Errorf("grid: aware schedule has zero emissions but naive has %v", naive.Emissions)
+	}
+	return naive.Emissions.Grams() / aware.Emissions.Grams(), nil
+}
+
+func validateJob(energy units.Energy, hours int) error {
+	if energy <= 0 {
+		return fmt.Errorf("grid: non-positive job energy %v", energy)
+	}
+	if hours < 1 {
+		return fmt.Errorf("grid: job needs at least one hour, got %d", hours)
+	}
+	return nil
+}

@@ -1,0 +1,206 @@
+// Package intensity provides the carbon intensity of electricity used by
+// the ACT model, both for the operational phase (CIuse) and the hardware
+// manufacturing phase (CIfab).
+//
+// The package embeds the paper's two reference tables: the carbon intensity
+// of individual energy sources (Table 5: coal, gas, solar, ...) and the
+// average grid intensity of geographic regions (Table 6: Taiwan, the United
+// States, ...). On top of the static values, Mix composes weighted blends
+// (e.g. "Taiwan grid with 25% solar", the paper's default fab energy supply)
+// and Trace models time-varying intensity for scenario studies.
+package intensity
+
+import (
+	"fmt"
+	"sort"
+
+	"act/internal/units"
+)
+
+// Source identifies an energy generation source from Table 5 of the paper.
+type Source string
+
+// Energy sources from Table 5.
+const (
+	Coal       Source = "coal"
+	Gas        Source = "gas"
+	Biomass    Source = "biomass"
+	Solar      Source = "solar"
+	Geothermal Source = "geothermal"
+	Hydropower Source = "hydropower"
+	Nuclear    Source = "nuclear"
+	Wind       Source = "wind"
+)
+
+// SourceInfo carries the Table 5 characterization of an energy source.
+type SourceInfo struct {
+	Source Source
+	// Intensity is the life-cycle carbon intensity of generation.
+	Intensity units.CarbonIntensity
+	// PaybackMonths is the energy-payback time in months (the time a plant
+	// must run to produce the energy its construction consumed).
+	PaybackMonths float64
+}
+
+// sourceTable is Table 5 of the paper verbatim.
+var sourceTable = map[Source]SourceInfo{
+	Coal:       {Coal, 820, 2},
+	Gas:        {Gas, 490, 1},
+	Biomass:    {Biomass, 230, 12},
+	Solar:      {Solar, 41, 36},
+	Geothermal: {Geothermal, 38, 72},
+	Hydropower: {Hydropower, 24, 24},
+	Nuclear:    {Nuclear, 12, 2},
+	Wind:       {Wind, 11, 12},
+}
+
+// BySource returns the Table 5 characterization of an energy source.
+func BySource(s Source) (SourceInfo, error) {
+	info, ok := sourceTable[s]
+	if !ok {
+		return SourceInfo{}, fmt.Errorf("intensity: unknown energy source %q", s)
+	}
+	return info, nil
+}
+
+// Sources returns all Table 5 entries ordered by descending intensity,
+// matching the presentation in the paper.
+func Sources() []SourceInfo {
+	out := make([]SourceInfo, 0, len(sourceTable))
+	for _, info := range sourceTable {
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Intensity != out[j].Intensity {
+			return out[i].Intensity > out[j].Intensity
+		}
+		return out[i].Source < out[j].Source
+	})
+	return out
+}
+
+// Region identifies a geographic grid from Table 6 of the paper.
+type Region string
+
+// Regions from Table 6.
+const (
+	World        Region = "world"
+	India        Region = "india"
+	Australia    Region = "australia"
+	Taiwan       Region = "taiwan"
+	Singapore    Region = "singapore"
+	UnitedStates Region = "united-states"
+	Europe       Region = "europe"
+	Brazil       Region = "brazil"
+	Iceland      Region = "iceland"
+)
+
+// RegionInfo carries the Table 6 characterization of a regional grid.
+type RegionInfo struct {
+	Region    Region
+	Intensity units.CarbonIntensity
+	// Dominant names the dominant generation source(s), informational only.
+	Dominant string
+}
+
+// regionTable is Table 6 of the paper verbatim. The paper's reuse case
+// study (Table 4) rounds the United States to 300 g CO2/kWh; use USGrid for
+// that value.
+var regionTable = map[Region]RegionInfo{
+	World:        {World, 301, "mixed"},
+	India:        {India, 725, "coal/gas"},
+	Australia:    {Australia, 597, "coal"},
+	Taiwan:       {Taiwan, 583, "coal/gas"},
+	Singapore:    {Singapore, 495, "gas"},
+	UnitedStates: {UnitedStates, 380, "coal/gas"},
+	Europe:       {Europe, 295, "mixed"},
+	Brazil:       {Brazil, 82, "wind/hydropower"},
+	Iceland:      {Iceland, 28, "hydropower"},
+}
+
+// ByRegion returns the Table 6 characterization of a regional grid.
+func ByRegion(r Region) (RegionInfo, error) {
+	info, ok := regionTable[r]
+	if !ok {
+		return RegionInfo{}, fmt.Errorf("intensity: unknown region %q", r)
+	}
+	return info, nil
+}
+
+// Regions returns all Table 6 entries ordered by descending intensity,
+// matching the presentation in the paper.
+func Regions() []RegionInfo {
+	out := make([]RegionInfo, 0, len(regionTable))
+	for _, info := range regionTable {
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Intensity != out[j].Intensity {
+			return out[i].Intensity > out[j].Intensity
+		}
+		return out[i].Region < out[j].Region
+	})
+	return out
+}
+
+// Named scenario intensities used throughout the paper's case studies.
+var (
+	// USGrid is the rounded United States average used by Table 4.
+	USGrid = units.GramsPerKWh(300)
+	// CarbonFree is idealized zero-carbon energy ("carbon free" in Fig. 10).
+	CarbonFree = units.GramsPerKWh(0)
+	// Renewable is the representative renewable intensity used for the
+	// "renewable" points of Figure 10 (solar, Table 5).
+	Renewable = sourceTable[Solar].Intensity
+	// TaiwanGrid is the Taiwanese grid (Table 6), the default fab location.
+	TaiwanGrid = regionTable[Taiwan].Intensity
+	// CoalGrid is a pure coal grid (Table 5), the dirty end of Figure 10.
+	CoalGrid = sourceTable[Coal].Intensity
+)
+
+// Share is one component of an energy mix.
+type Share struct {
+	Intensity units.CarbonIntensity
+	Fraction  float64
+}
+
+// Mix returns the weighted average intensity of a blend of energy supplies.
+// Fractions must be non-negative and sum to 1 within 1e-9.
+func Mix(shares ...Share) (units.CarbonIntensity, error) {
+	var total, sum float64
+	for _, s := range shares {
+		if s.Fraction < 0 {
+			return 0, fmt.Errorf("intensity: negative mix fraction %v", s.Fraction)
+		}
+		total += s.Fraction
+		sum += s.Fraction * s.Intensity.GramsPerKWh()
+	}
+	if total < 1-1e-9 || total > 1+1e-9 {
+		return 0, fmt.Errorf("intensity: mix fractions sum to %v, want 1", total)
+	}
+	return units.GramsPerKWh(sum), nil
+}
+
+// WithRenewableFraction blends a base grid with a fraction of solar
+// generation. It models the paper's default fab energy supply: "a fab
+// powered by 25% renewable energy" on top of the Taiwan grid.
+func WithRenewableFraction(base units.CarbonIntensity, fraction float64) (units.CarbonIntensity, error) {
+	if fraction < 0 || fraction > 1 {
+		return 0, fmt.Errorf("intensity: renewable fraction %v outside [0,1]", fraction)
+	}
+	return Mix(
+		Share{Intensity: base, Fraction: 1 - fraction},
+		Share{Intensity: Renewable, Fraction: fraction},
+	)
+}
+
+// DefaultFab returns the paper's default manufacturing carbon intensity:
+// the Taiwan power grid blended with 25% renewable (solar) energy, the
+// solid line of Figure 6 (bottom).
+func DefaultFab() units.CarbonIntensity {
+	ci, err := WithRenewableFraction(TaiwanGrid, 0.25)
+	if err != nil {
+		panic("intensity: DefaultFab: " + err.Error()) // unreachable: constants
+	}
+	return ci
+}

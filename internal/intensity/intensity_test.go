@@ -1,0 +1,290 @@
+package intensity
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"act/internal/units"
+)
+
+func TestSourceTableValues(t *testing.T) {
+	// Table 5 of the paper.
+	cases := []struct {
+		s    Source
+		want float64
+	}{
+		{Coal, 820}, {Gas, 490}, {Biomass, 230}, {Solar, 41},
+		{Geothermal, 38}, {Hydropower, 24}, {Nuclear, 12}, {Wind, 11},
+	}
+	for _, c := range cases {
+		info, err := BySource(c.s)
+		if err != nil {
+			t.Fatalf("BySource(%s): %v", c.s, err)
+		}
+		if info.Intensity.GramsPerKWh() != c.want {
+			t.Errorf("%s intensity = %v, want %v", c.s, info.Intensity, c.want)
+		}
+	}
+	if _, err := BySource("fusion"); err == nil {
+		t.Error("BySource(fusion): expected error")
+	}
+}
+
+func TestRegionTableValues(t *testing.T) {
+	// Table 6 of the paper.
+	cases := []struct {
+		r    Region
+		want float64
+	}{
+		{World, 301}, {India, 725}, {Australia, 597}, {Taiwan, 583},
+		{Singapore, 495}, {UnitedStates, 380}, {Europe, 295},
+		{Brazil, 82}, {Iceland, 28},
+	}
+	for _, c := range cases {
+		info, err := ByRegion(c.r)
+		if err != nil {
+			t.Fatalf("ByRegion(%s): %v", c.r, err)
+		}
+		if info.Intensity.GramsPerKWh() != c.want {
+			t.Errorf("%s intensity = %v, want %v", c.r, info.Intensity, c.want)
+		}
+	}
+	if _, err := ByRegion("atlantis"); err == nil {
+		t.Error("ByRegion(atlantis): expected error")
+	}
+}
+
+func TestSourcesSortedDescending(t *testing.T) {
+	s := Sources()
+	if len(s) != 8 {
+		t.Fatalf("Sources() returned %d entries, want 8", len(s))
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i].Intensity > s[i-1].Intensity {
+			t.Errorf("Sources() not descending at %d: %v > %v", i, s[i], s[i-1])
+		}
+	}
+	if s[0].Source != Coal || s[len(s)-1].Source != Wind {
+		t.Errorf("Sources() extremes = %v ... %v, want coal ... wind", s[0].Source, s[len(s)-1].Source)
+	}
+}
+
+func TestRegionsSortedDescending(t *testing.T) {
+	r := Regions()
+	if len(r) != 9 {
+		t.Fatalf("Regions() returned %d entries, want 9", len(r))
+	}
+	for i := 1; i < len(r); i++ {
+		if r[i].Intensity > r[i-1].Intensity {
+			t.Errorf("Regions() not descending at %d", i)
+		}
+	}
+	if r[0].Region != India || r[len(r)-1].Region != Iceland {
+		t.Errorf("Regions() extremes = %v ... %v, want india ... iceland", r[0].Region, r[len(r)-1].Region)
+	}
+}
+
+func TestMix(t *testing.T) {
+	ci, err := Mix(
+		Share{Intensity: units.GramsPerKWh(800), Fraction: 0.5},
+		Share{Intensity: units.GramsPerKWh(0), Fraction: 0.5},
+	)
+	if err != nil || ci.GramsPerKWh() != 400 {
+		t.Errorf("Mix 50/50 = %v, %v, want 400", ci, err)
+	}
+
+	if _, err := Mix(Share{Intensity: 100, Fraction: 0.7}); err == nil {
+		t.Error("Mix with fractions summing to 0.7: expected error")
+	}
+	if _, err := Mix(
+		Share{Intensity: 100, Fraction: 1.5},
+		Share{Intensity: 100, Fraction: -0.5},
+	); err == nil {
+		t.Error("Mix with negative fraction: expected error")
+	}
+}
+
+func TestWithRenewableFraction(t *testing.T) {
+	// 0% renewable is the base grid; 100% is pure solar.
+	ci, err := WithRenewableFraction(TaiwanGrid, 0)
+	if err != nil || ci != TaiwanGrid {
+		t.Errorf("0%% renewable = %v, want Taiwan grid", ci)
+	}
+	ci, err = WithRenewableFraction(TaiwanGrid, 1)
+	if err != nil || ci != Renewable {
+		t.Errorf("100%% renewable = %v, want solar", ci)
+	}
+	if _, err := WithRenewableFraction(TaiwanGrid, 1.2); err == nil {
+		t.Error("fraction > 1: expected error")
+	}
+}
+
+func TestDefaultFab(t *testing.T) {
+	// The paper's default: Taiwan grid with 25% solar.
+	want := 0.75*583 + 0.25*41
+	got := DefaultFab().GramsPerKWh()
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("DefaultFab() = %v, want %v", got, want)
+	}
+	// Sanity: strictly between pure solar and the raw grid.
+	if got <= Renewable.GramsPerKWh() || got >= TaiwanGrid.GramsPerKWh() {
+		t.Errorf("DefaultFab() = %v outside (solar, Taiwan grid)", got)
+	}
+}
+
+func TestQuickMixBounds(t *testing.T) {
+	// Property: a two-way mix always lies between its components.
+	f := func(aRaw, bRaw uint16, fRaw uint8) bool {
+		a := units.GramsPerKWh(float64(aRaw % 1000))
+		b := units.GramsPerKWh(float64(bRaw % 1000))
+		frac := float64(fRaw) / 255
+		ci, err := Mix(Share{a, frac}, Share{b, 1 - frac})
+		if err != nil {
+			return false
+		}
+		lo := math.Min(a.GramsPerKWh(), b.GramsPerKWh())
+		hi := math.Max(a.GramsPerKWh(), b.GramsPerKWh())
+		return ci.GramsPerKWh() >= lo-1e-9 && ci.GramsPerKWh() <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConstantTrace(t *testing.T) {
+	tr := Constant(units.GramsPerKWh(300))
+	for _, d := range []time.Duration{0, time.Hour, 100 * time.Hour} {
+		if tr.At(d).GramsPerKWh() != 300 {
+			t.Errorf("Constant.At(%v) = %v, want 300", d, tr.At(d))
+		}
+	}
+}
+
+func TestDiurnalTrace(t *testing.T) {
+	tr := Diurnal{
+		Base:  units.GramsPerKWh(600),
+		Depth: units.GramsPerKWh(400),
+		Noon:  12 * time.Hour,
+	}
+	// Midnight: full base intensity.
+	if got := tr.At(0).GramsPerKWh(); got != 600 {
+		t.Errorf("Diurnal at midnight = %v, want 600", got)
+	}
+	// Solar noon: maximum dip.
+	if got := tr.At(12 * time.Hour).GramsPerKWh(); math.Abs(got-200) > 1e-9 {
+		t.Errorf("Diurnal at noon = %v, want 200", got)
+	}
+	// Periodic: same value 24h later.
+	a := tr.At(9 * time.Hour).GramsPerKWh()
+	b := tr.At(33 * time.Hour).GramsPerKWh()
+	if math.Abs(a-b) > 1e-9 {
+		t.Errorf("Diurnal not 24h-periodic: %v vs %v", a, b)
+	}
+	// Never negative even when Depth > Base.
+	deep := Diurnal{Base: 100, Depth: 400, Noon: 12 * time.Hour}
+	if got := deep.At(12 * time.Hour).GramsPerKWh(); got != 0 {
+		t.Errorf("Diurnal clipped = %v, want 0", got)
+	}
+}
+
+func TestStepTrace(t *testing.T) {
+	tr, err := NewStep(
+		[]time.Duration{0, time.Hour, 2 * time.Hour},
+		[]units.CarbonIntensity{100, 200, 300},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		at   time.Duration
+		want float64
+	}{
+		{-time.Minute, 100},
+		{0, 100},
+		{30 * time.Minute, 100},
+		{time.Hour, 200},
+		{90 * time.Minute, 200},
+		{2 * time.Hour, 300},
+		{100 * time.Hour, 300},
+	}
+	for _, c := range cases {
+		if got := tr.At(c.at).GramsPerKWh(); got != c.want {
+			t.Errorf("Step.At(%v) = %v, want %v", c.at, got, c.want)
+		}
+	}
+
+	if _, err := NewStep(nil, nil); err == nil {
+		t.Error("NewStep(empty): expected error")
+	}
+	if _, err := NewStep(
+		[]time.Duration{0, 0},
+		[]units.CarbonIntensity{1, 2},
+	); err == nil {
+		t.Error("NewStep(non-increasing): expected error")
+	}
+	if _, err := NewStep(
+		[]time.Duration{0},
+		[]units.CarbonIntensity{1, 2},
+	); err == nil {
+		t.Error("NewStep(length mismatch): expected error")
+	}
+}
+
+func TestAverage(t *testing.T) {
+	// Averaging a constant trace returns the constant.
+	avg, err := Average(Constant(units.GramsPerKWh(250)), 0, 24*time.Hour, time.Hour)
+	if err != nil || avg.GramsPerKWh() != 250 {
+		t.Errorf("Average(constant) = %v, %v", avg, err)
+	}
+
+	// A diurnal trace averaged over a full day sits between the extremes,
+	// and averaging only the night window returns the base.
+	tr := Diurnal{Base: 600, Depth: 400, Noon: 12 * time.Hour}
+	day, err := Average(tr, 0, 24*time.Hour, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if day.GramsPerKWh() <= 200 || day.GramsPerKWh() >= 600 {
+		t.Errorf("full-day diurnal average = %v, want within (200, 600)", day)
+	}
+	night, err := Average(tr, 0, 3*time.Hour, time.Minute)
+	if err != nil || math.Abs(night.GramsPerKWh()-600) > 1e-9 {
+		t.Errorf("night average = %v, %v, want 600", night, err)
+	}
+
+	if _, err := Average(tr, 0, 0, time.Minute); err == nil {
+		t.Error("Average(empty window): expected error")
+	}
+	if _, err := Average(tr, 0, time.Hour, 0); err == nil {
+		t.Error("Average(zero resolution): expected error")
+	}
+}
+
+func TestQuickStepTraceMatchesLinearScan(t *testing.T) {
+	// Property: binary search in Step.At agrees with a linear scan.
+	tr, err := NewStep(
+		[]time.Duration{0, 1 * time.Hour, 5 * time.Hour, 6 * time.Hour, 20 * time.Hour},
+		[]units.CarbonIntensity{10, 20, 30, 40, 50},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	linear := func(t time.Duration) units.CarbonIntensity {
+		v := tr.Values[0]
+		for i, bp := range tr.Times {
+			if t >= bp {
+				v = tr.Values[i]
+			}
+		}
+		return v
+	}
+	f := func(mins int16) bool {
+		at := time.Duration(mins) * time.Minute
+		return tr.At(at) == linear(at)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,132 @@
+package intensity
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"act/internal/units"
+)
+
+// A Trace models carbon intensity that varies over time, as the paper notes
+// real grids do ("while these are average values, carbon intensity can
+// fluctuate over time", Appendix A.1). Traces let scenario studies average
+// intensity over a usage window instead of assuming a flat grid.
+type Trace interface {
+	// At returns the intensity at time offset t from the trace origin.
+	At(t time.Duration) units.CarbonIntensity
+}
+
+// Constant is a flat trace pinned at a single intensity.
+type Constant units.CarbonIntensity
+
+// At implements Trace.
+func (c Constant) At(time.Duration) units.CarbonIntensity {
+	return units.CarbonIntensity(c)
+}
+
+// Diurnal models a grid whose intensity dips during daylight as solar
+// generation displaces the marginal fossil source. The intensity follows
+//
+//	CI(t) = Base - Depth/2 · (1 + cos(2π(t-Peak)/24h))·[daylight]
+//
+// clipped at the renewable floor. It is a deliberately simple synthetic
+// stand-in for an electricityMap-style feed (which the paper cites but is a
+// live proprietary service): it preserves the property the model consumes —
+// a daily window over which averaging matters.
+type Diurnal struct {
+	// Base is the overnight (fossil-dominated) intensity.
+	Base units.CarbonIntensity
+	// Depth is the maximum midday reduction from Base.
+	Depth units.CarbonIntensity
+	// Noon is the offset of solar noon from the trace origin.
+	Noon time.Duration
+	// DaylightHours is the width of the generation window (default 12).
+	DaylightHours float64
+}
+
+// At implements Trace.
+func (d Diurnal) At(t time.Duration) units.CarbonIntensity {
+	daylight := d.DaylightHours
+	if daylight <= 0 {
+		daylight = 12
+	}
+	const day = 24 * time.Hour
+	offset := math.Mod((t - d.Noon).Hours(), 24)
+	if offset < -12 {
+		offset += 24
+	} else if offset > 12 {
+		offset -= 24
+	}
+	if math.Abs(offset) > daylight/2 {
+		return d.Base
+	}
+	// Raised-cosine dip centered on solar noon.
+	dip := 0.5 * (1 + math.Cos(2*math.Pi*offset/daylight))
+	ci := d.Base.GramsPerKWh() - d.Depth.GramsPerKWh()*dip
+	if ci < 0 {
+		ci = 0
+	}
+	_ = day
+	return units.GramsPerKWh(ci)
+}
+
+// Step is a piecewise-constant trace built from breakpoints, useful for
+// replaying measured grid data.
+type Step struct {
+	// Times are strictly increasing offsets; Values[i] applies from
+	// Times[i] (inclusive) to Times[i+1] (exclusive). Before Times[0] the
+	// first value applies; after the last breakpoint the last value applies.
+	Times  []time.Duration
+	Values []units.CarbonIntensity
+}
+
+// NewStep validates and constructs a Step trace.
+func NewStep(times []time.Duration, values []units.CarbonIntensity) (*Step, error) {
+	if len(times) == 0 || len(times) != len(values) {
+		return nil, fmt.Errorf("intensity: step trace needs equal, non-zero times (%d) and values (%d)", len(times), len(values))
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i] <= times[i-1] {
+			return nil, fmt.Errorf("intensity: step trace times not strictly increasing at %d", i)
+		}
+	}
+	return &Step{Times: times, Values: values}, nil
+}
+
+// At implements Trace.
+func (s *Step) At(t time.Duration) units.CarbonIntensity {
+	// Binary search for the last breakpoint <= t.
+	lo, hi := 0, len(s.Times)-1
+	if t < s.Times[0] {
+		return s.Values[0]
+	}
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if s.Times[mid] <= t {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return s.Values[lo]
+}
+
+// Average integrates a trace over [from, to) by sampling at the given
+// resolution and returns the mean intensity. Resolution must be positive
+// and the window non-empty.
+func Average(tr Trace, from, to time.Duration, resolution time.Duration) (units.CarbonIntensity, error) {
+	if resolution <= 0 {
+		return 0, fmt.Errorf("intensity: non-positive resolution %v", resolution)
+	}
+	if to <= from {
+		return 0, fmt.Errorf("intensity: empty window [%v, %v)", from, to)
+	}
+	var sum float64
+	var n int
+	for t := from; t < to; t += resolution {
+		sum += tr.At(t).GramsPerKWh()
+		n++
+	}
+	return units.GramsPerKWh(sum / float64(n)), nil
+}

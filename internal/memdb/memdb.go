@@ -1,0 +1,125 @@
+// Package memdb is ACT's DRAM embodied-carbon database: the carbon-per-GB
+// characterization of DRAM technologies across process generations
+// (Table 9 of the paper, sourced from SK hynix sustainability reports and
+// component-level vendor analyses), and the translation
+//
+//	E_DRAM = CPS_DRAM × Capacity_DRAM        (Eq. 6)
+package memdb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"act/internal/units"
+)
+
+// Technology identifies a characterized DRAM technology from Table 9.
+type Technology string
+
+// DRAM technologies from Table 9 of the paper.
+const (
+	DDR3_50nm   Technology = "50nm-ddr3"
+	DDR3_40nm   Technology = "40nm-ddr3"
+	DDR3_30nm   Technology = "30nm-ddr3"
+	LPDDR3_30nm Technology = "30nm-lpddr3"
+	LPDDR3_20nm Technology = "20nm-lpddr3"
+	LPDDR2_20nm Technology = "20nm-lpddr2"
+	LPDDR4      Technology = "lpddr4"
+	DDR4_10nm   Technology = "10nm-ddr4"
+)
+
+// Entry is one row of the DRAM characterization table.
+type Entry struct {
+	Technology Technology
+	// Description is the row label used by Table 9 / Figure 7 (left).
+	Description string
+	// CPS is the embodied carbon per gigabyte.
+	CPS units.CarbonPerCapacity
+	// DeviceLevel is true for rows from device-level fab characterization
+	// (black bars of Figure 7) and false for component-level analyses
+	// (grey bars).
+	DeviceLevel bool
+}
+
+// table is Table 9 of the paper verbatim.
+var table = []Entry{
+	{DDR3_50nm, "50nm DDR3", 600, true},
+	{DDR3_40nm, "40nm DDR3", 315, true},
+	{DDR3_30nm, "30nm DDR3", 230, true},
+	{LPDDR3_30nm, "30nm LPDDR3", 201, true},
+	{LPDDR3_20nm, "20nm LPDDR3", 184, true},
+	{LPDDR2_20nm, "20nm LPDDR2", 159, true},
+	{LPDDR4, "LPDDR4", 48, false},
+	{DDR4_10nm, "10nm DDR4", 65, true},
+}
+
+// Lookup returns the characterization of a DRAM technology.
+func Lookup(t Technology) (Entry, error) {
+	for _, e := range table {
+		if e.Technology == t {
+			return e, nil
+		}
+	}
+	return Entry{}, fmt.Errorf("memdb: unknown DRAM technology %q", t)
+}
+
+// Entries returns all Table 9 rows in the paper's order (older to newer).
+func Entries() []Entry {
+	out := make([]Entry, len(table))
+	copy(out, table)
+	return out
+}
+
+// Parse resolves a free-form DRAM technology name ("LPDDR4", "10nm DDR4",
+// "1Xnm DDR4") to a characterized entry. Matching is case-insensitive and
+// ignores spaces; "1Xnm"/"1z" prefixes resolve to the 10 nm class.
+func Parse(s string) (Entry, error) {
+	key := strings.ToLower(strings.ReplaceAll(strings.TrimSpace(s), " ", "-"))
+	key = strings.ReplaceAll(key, "1xnm", "10nm")
+	key = strings.ReplaceAll(key, "1znm", "10nm")
+	key = strings.ReplaceAll(key, "1x-nm", "10nm")
+	if e, err := Lookup(Technology(key)); err == nil {
+		return e, nil
+	}
+	// Accept "ddr3-50nm" style reversals and bare family names.
+	for _, e := range table {
+		parts := strings.Split(string(e.Technology), "-")
+		if len(parts) == 2 && key == parts[1]+"-"+parts[0] {
+			return e, nil
+		}
+	}
+	// "lpddr4x" and similar minor variants resolve to their base family.
+	for _, e := range table {
+		if strings.HasPrefix(key, string(e.Technology)) {
+			return e, nil
+		}
+	}
+	return Entry{}, fmt.Errorf("memdb: cannot resolve DRAM technology %q", s)
+}
+
+// Embodied returns the embodied carbon for a DRAM module of the given
+// capacity on the given technology (Eq. 6).
+func Embodied(t Technology, capacity units.Capacity) (units.CO2Mass, error) {
+	if capacity < 0 {
+		return 0, fmt.Errorf("memdb: negative capacity %v", capacity)
+	}
+	e, err := Lookup(t)
+	if err != nil {
+		return 0, err
+	}
+	return e.CPS.For(capacity), nil
+}
+
+// ByCPS returns all rows sorted by descending carbon-per-GB, the bar order
+// of Figure 7 (left).
+func ByCPS() []Entry {
+	out := Entries()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].CPS != out[j].CPS {
+			return out[i].CPS > out[j].CPS
+		}
+		return out[i].Technology < out[j].Technology
+	})
+	return out
+}

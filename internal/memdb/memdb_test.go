@@ -1,0 +1,121 @@
+package memdb
+
+import (
+	"math"
+	"testing"
+
+	"act/internal/units"
+)
+
+func TestTable9Values(t *testing.T) {
+	cases := []struct {
+		tech Technology
+		want float64
+	}{
+		{DDR3_50nm, 600},
+		{DDR3_40nm, 315},
+		{DDR3_30nm, 230},
+		{LPDDR3_30nm, 201},
+		{LPDDR3_20nm, 184},
+		{LPDDR2_20nm, 159},
+		{LPDDR4, 48},
+		{DDR4_10nm, 65},
+	}
+	for _, c := range cases {
+		e, err := Lookup(c.tech)
+		if err != nil {
+			t.Fatalf("Lookup(%s): %v", c.tech, err)
+		}
+		if e.CPS.GramsPerGB() != c.want {
+			t.Errorf("%s CPS = %v, want %v", c.tech, e.CPS, c.want)
+		}
+	}
+	if _, err := Lookup("hbm3"); err == nil {
+		t.Error("Lookup(hbm3): expected error")
+	}
+	if len(Entries()) != 8 {
+		t.Errorf("Entries() = %d rows, want 8", len(Entries()))
+	}
+}
+
+func TestNewerDDRNodesCheaper(t *testing.T) {
+	// Figure 7 (left): within the DDR3 family, newer nodes have lower
+	// carbon per GB.
+	ddr3 := []Technology{DDR3_50nm, DDR3_40nm, DDR3_30nm}
+	for i := 1; i < len(ddr3); i++ {
+		prev, _ := Lookup(ddr3[i-1])
+		cur, _ := Lookup(ddr3[i])
+		if cur.CPS >= prev.CPS {
+			t.Errorf("%s (%v) should be below %s (%v)", cur.Technology, cur.CPS, prev.Technology, prev.CPS)
+		}
+	}
+}
+
+func TestEmbodied(t *testing.T) {
+	// 4 GB of LPDDR4 at 48 g/GB = 192 g.
+	m, err := Embodied(LPDDR4, units.Gigabytes(4))
+	if err != nil || math.Abs(m.Grams()-192) > 1e-9 {
+		t.Errorf("Embodied(LPDDR4, 4GB) = %v, %v, want 192 g", m, err)
+	}
+	// Table 12: 50nm DDR3 for the Fairphone 3's 4 GB ≈ 2.4 kg (paper
+	// reports 2.9 kg including overheads; same order).
+	m, err = Embodied(DDR3_50nm, units.Gigabytes(4))
+	if err != nil || math.Abs(m.Kilograms()-2.4) > 1e-9 {
+		t.Errorf("Embodied(50nm DDR3, 4GB) = %v, %v, want 2.4 kg", m, err)
+	}
+	if _, err := Embodied(LPDDR4, units.Gigabytes(-1)); err == nil {
+		t.Error("Embodied(negative): expected error")
+	}
+	if _, err := Embodied("hbm3", 1); err == nil {
+		t.Error("Embodied(unknown): expected error")
+	}
+}
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Technology
+	}{
+		{"LPDDR4", LPDDR4},
+		{"lpddr4x", LPDDR4},
+		{"10nm DDR4", DDR4_10nm},
+		{"1Xnm DDR4", DDR4_10nm},
+		{"1znm ddr4", DDR4_10nm},
+		{"50nm DDR3", DDR3_50nm},
+		{"ddr3-50nm", DDR3_50nm},
+		{"30nm LPDDR3", LPDDR3_30nm},
+	}
+	for _, c := range cases {
+		e, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		if e.Technology != c.want {
+			t.Errorf("Parse(%q) = %s, want %s", c.in, e.Technology, c.want)
+		}
+	}
+	for _, bad := range []string{"", "sram", "gddr6"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q): expected error", bad)
+		}
+	}
+}
+
+func TestByCPSDescending(t *testing.T) {
+	rows := ByCPS()
+	if len(rows) != len(Entries()) {
+		t.Fatalf("ByCPS() dropped rows: %d vs %d", len(rows), len(Entries()))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].CPS > rows[i-1].CPS {
+			t.Errorf("ByCPS() not descending at %d", i)
+		}
+	}
+	if rows[0].Technology != DDR3_50nm {
+		t.Errorf("highest-carbon DRAM = %s, want 50nm DDR3", rows[0].Technology)
+	}
+	if rows[len(rows)-1].Technology != LPDDR4 {
+		t.Errorf("lowest-carbon DRAM = %s, want LPDDR4", rows[len(rows)-1].Technology)
+	}
+}

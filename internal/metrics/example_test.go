@@ -1,0 +1,49 @@
+package metrics_test
+
+import (
+	"fmt"
+	"time"
+
+	"act/internal/metrics"
+	"act/internal/units"
+)
+
+// ExampleBest shows how the carbon-weighted and energy-weighted metrics
+// disagree about the same two designs.
+func ExampleBest() {
+	lean := metrics.Candidate{Name: "lean", Embodied: units.Grams(100),
+		Energy: units.Joules(4), Delay: 4 * time.Second, Area: units.MM2(10)}
+	fast := metrics.Candidate{Name: "fast", Embodied: units.Grams(400),
+		Energy: units.Joules(1), Delay: time.Second, Area: units.MM2(40)}
+	cands := []metrics.Candidate{lean, fast}
+
+	for _, m := range []metrics.Metric{metrics.C2EP, metrics.CE2P} {
+		best, err := metrics.Best(m, cands)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s: %s\n", m, best.Candidate.Name)
+	}
+	// Output:
+	// C2EP: lean
+	// CE2P: fast
+}
+
+// ExampleNormalized reproduces the presentation of the paper's Figure 9:
+// metric values scaled so a baseline design reads 1.0.
+func ExampleNormalized() {
+	cpu := metrics.Candidate{Name: "CPU", Embodied: units.Grams(253),
+		Energy: units.Millijoules(39.6), Delay: 6 * time.Millisecond, Area: units.MM2(16)}
+	dsp := metrics.Candidate{Name: "DSP", Embodied: units.Grams(442),
+		Energy: units.Millijoules(18.4), Delay: 9200 * time.Microsecond, Area: units.MM2(28)}
+	out, err := metrics.Normalized(metrics.CEP, []metrics.Candidate{cpu, dsp}, "CPU")
+	if err != nil {
+		panic(err)
+	}
+	for _, s := range out {
+		fmt.Printf("%s: %.2f\n", s.Candidate.Name, s.Value)
+	}
+	// Output:
+	// CPU: 1.00
+	// DSP: 0.81
+}

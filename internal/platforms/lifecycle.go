@@ -1,0 +1,189 @@
+package platforms
+
+import (
+	"fmt"
+	"math"
+
+	"act/internal/units"
+)
+
+// LifeCycleSplit is a device's published life-cycle emission shares
+// (Figure 1 and Section 2.2 of the paper).
+type LifeCycleSplit struct {
+	Name string
+	// Total is the device's published life-cycle footprint.
+	Total units.CO2Mass
+	// Shares over the four phases; they sum to 1.
+	Manufacturing float64
+	Use           float64
+	TransportEOL  float64
+}
+
+// Validate checks the shares form a distribution.
+func (s LifeCycleSplit) Validate() error {
+	sum := s.Manufacturing + s.Use + s.TransportEOL
+	if math.Abs(sum-1) > 1e-9 {
+		return fmt.Errorf("platforms: %s life-cycle shares sum to %v", s.Name, sum)
+	}
+	if s.Manufacturing < 0 || s.Use < 0 || s.TransportEOL < 0 {
+		return fmt.Errorf("platforms: %s has a negative share", s.Name)
+	}
+	return nil
+}
+
+// ManufacturingCO2 returns the absolute manufacturing-phase footprint.
+func (s LifeCycleSplit) ManufacturingCO2() units.CO2Mass {
+	return units.Grams(s.Total.Grams() * s.Manufacturing)
+}
+
+// IPhone3Split returns the iPhone 3 split of Figure 1: manufacturing and
+// use account for 45% and 49%, the rest transport and end-of-life.
+func IPhone3Split() LifeCycleSplit {
+	return LifeCycleSplit{Name: "iPhone 3", Total: units.Kilograms(55),
+		Manufacturing: 0.45, Use: 0.49, TransportEOL: 0.06}
+}
+
+// IPhone11Split returns the iPhone 11 split of Figure 1: manufacturing and
+// use account for 79% and 17%, the rest transport and recycling.
+func IPhone11Split() LifeCycleSplit {
+	return LifeCycleSplit{Name: "iPhone 11", Total: units.Kilograms(72),
+		Manufacturing: 0.79, Use: 0.17, TransportEOL: 0.04}
+}
+
+// ICShareOfManufacturing is the fraction of hardware-manufacturing
+// emissions owed to integrated circuits in Apple's fleet-wide reporting
+// (44%, Section 2.3), the factor the paper uses to back IC footprints out
+// of opaque LCA totals.
+const ICShareOfManufacturing = 0.44
+
+// LCAICEstimate derives a top-down IC footprint from a life-cycle split,
+// the "LCA-based top-down" bars of Figure 4.
+func LCAICEstimate(s LifeCycleSplit) units.CO2Mass {
+	return units.Grams(s.ManufacturingCO2().Grams() * ICShareOfManufacturing)
+}
+
+// Figure4Comparison contrasts an LCA-derived top-down IC estimate with
+// ACT's bottom-up per-IC model.
+type Figure4Comparison struct {
+	Platform string
+	// LCAEstimate is the paper's published top-down figure.
+	LCAEstimate units.CO2Mass
+	// ACTEstimate is our bottom-up total.
+	ACTEstimate units.CO2Mass
+	// Breakdown itemizes the ACT estimate by Figure 4 category.
+	Breakdown map[Category]units.CO2Mass
+}
+
+// Figure4 computes both comparisons of Figure 4: the iPhone 11 (LCA 23 kg
+// vs ACT ≈17 kg) and the iPad (LCA 28 kg vs ACT ≈21 kg). The LCA-side
+// values are the paper's published figures.
+func Figure4() ([]Figure4Comparison, error) {
+	var out []Figure4Comparison
+	for _, c := range []struct {
+		build func() (*Platform, error)
+		lca   units.CO2Mass
+	}{
+		{IPhone11, units.Kilograms(23)},
+		{IPad, units.Kilograms(28)},
+	} {
+		p, err := c.build()
+		if err != nil {
+			return nil, err
+		}
+		total, err := p.Embodied()
+		if err != nil {
+			return nil, err
+		}
+		breakdown, err := p.CategoryBreakdown()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Figure4Comparison{
+			Platform:    p.Name,
+			LCAEstimate: c.lca,
+			ACTEstimate: total,
+			Breakdown:   breakdown,
+		})
+	}
+	return out, nil
+}
+
+// Share is one slice of a published LCA breakdown (Figures 16-17). The
+// shares re-encode the paper's figures for presentation and tests; they
+// are not model outputs.
+type Share struct {
+	Label    string
+	Fraction float64
+	// Sub breaks the slice down further where the figure does.
+	Sub []Share
+}
+
+// validateShares checks a slice list forms a distribution.
+func validateShares(shares []Share) error {
+	var sum float64
+	for _, s := range shares {
+		if s.Fraction < 0 {
+			return fmt.Errorf("platforms: negative share %q", s.Label)
+		}
+		sum += s.Fraction
+		if s.Sub != nil {
+			if err := validateShares(s.Sub); err != nil {
+				return err
+			}
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return fmt.Errorf("platforms: shares sum to %v, want 1", sum)
+	}
+	return nil
+}
+
+// Fairphone3Breakdown returns the Figure 16 category breakdown: the core
+// module dominates, and within it the ICs (RAM+flash, processor, other
+// ICs) account for the bulk — ≈70% of the phone's embodied footprint comes
+// from ICs across modules.
+func Fairphone3Breakdown() []Share {
+	return []Share{
+		{Label: "core module", Fraction: 0.62, Sub: []Share{
+			{Label: "ram & flash", Fraction: 0.38},
+			{Label: "processor", Fraction: 0.22},
+			{Label: "other ics", Fraction: 0.26},
+			{Label: "pcbs", Fraction: 0.07},
+			{Label: "passive components", Fraction: 0.04},
+			{Label: "connectors & flex boards", Fraction: 0.03},
+		}},
+		{Label: "display", Fraction: 0.13},
+		{Label: "camera", Fraction: 0.09},
+		{Label: "battery", Fraction: 0.05},
+		{Label: "top module", Fraction: 0.04},
+		{Label: "bottom module", Fraction: 0.04},
+		{Label: "packaging & transport", Fraction: 0.03},
+	}
+}
+
+// Fairphone3ICShare is the paper's headline from Figure 16: ICs account
+// for roughly 70% of the Fairphone 3's embodied emissions.
+const Fairphone3ICShare = 0.70
+
+// DellR740Breakdown returns the Figure 17 breakdown of the Dell R740 LCA:
+// SSD storage dominates, then the mainboard (itself mostly CPU and PWB).
+func DellR740Breakdown() []Share {
+	return []Share{
+		{Label: "ssd", Fraction: 0.50},
+		{Label: "mainboard", Fraction: 0.22, Sub: []Share{
+			{Label: "cpu + housing", Fraction: 0.37},
+			{Label: "pwb", Fraction: 0.31},
+			{Label: "mainboard connectors", Fraction: 0.14},
+			{Label: "other", Fraction: 0.18},
+		}},
+		{Label: "pwb mixed", Fraction: 0.09},
+		{Label: "chassis", Fraction: 0.07},
+		{Label: "psu", Fraction: 0.05},
+		{Label: "fans", Fraction: 0.03},
+		{Label: "transport", Fraction: 0.04},
+	}
+}
+
+// DellR740ICShare is the paper's headline from Figure 17: ICs account for
+// roughly 80% of the Dell R740's embodied emissions.
+const DellR740ICShare = 0.80

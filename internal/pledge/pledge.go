@@ -1,0 +1,114 @@
+// Package pledge projects an organization's hardware carbon trajectory,
+// the setting of the paper's motivation (Section 2.1): Apple, Facebook,
+// Google and Microsoft have pledged carbon-neutral supply chains, and
+// "achieving carbon neutral supply-chains requires tackling ICT's
+// emissions across life cycle phases, from both hardware manufacturing
+// and use".
+//
+// The model is deliberately simple: a fleet ships a fixed device volume
+// per year; per-device embodied carbon falls as fabs decarbonize
+// (renewable procurement, abatement) and fleet operational carbon falls
+// as use-phase grids decarbonize. The projection shows the structural
+// effect the paper opens with — when grids decarbonize faster than fabs,
+// the embodied share of the remaining footprint grows, so manufacturing
+// becomes the binding constraint on any neutrality pledge.
+package pledge
+
+import (
+	"fmt"
+	"math"
+
+	"act/internal/units"
+)
+
+// Org describes the organization's year-zero position and decarbonization
+// rates.
+type Org struct {
+	// DevicesPerYear is the annual shipment volume.
+	DevicesPerYear float64
+	// DeviceEmbodied is the year-zero per-device manufacturing footprint.
+	DeviceEmbodied units.CO2Mass
+	// FleetOperational is the year-zero fleet-wide operational footprint
+	// per year.
+	FleetOperational units.CO2Mass
+	// FabDecarbRate is the annual fractional reduction of per-device
+	// embodied carbon (0.05 = 5%/year), from fab renewables and abatement.
+	FabDecarbRate float64
+	// GridDecarbRate is the annual fractional reduction of operational
+	// carbon, from use-phase grid decarbonization.
+	GridDecarbRate float64
+}
+
+// Validate checks the parameters.
+func (o Org) Validate() error {
+	if o.DevicesPerYear < 0 || o.DeviceEmbodied < 0 || o.FleetOperational < 0 {
+		return fmt.Errorf("pledge: negative fleet parameter")
+	}
+	if o.FabDecarbRate < 0 || o.FabDecarbRate >= 1 {
+		return fmt.Errorf("pledge: fab decarbonization rate %v outside [0, 1)", o.FabDecarbRate)
+	}
+	if o.GridDecarbRate < 0 || o.GridDecarbRate >= 1 {
+		return fmt.Errorf("pledge: grid decarbonization rate %v outside [0, 1)", o.GridDecarbRate)
+	}
+	return nil
+}
+
+// Year is one projected year.
+type Year struct {
+	Year        int
+	Embodied    units.CO2Mass
+	Operational units.CO2Mass
+}
+
+// Total returns the year's footprint.
+func (y Year) Total() units.CO2Mass {
+	return units.Grams(y.Embodied.Grams() + y.Operational.Grams())
+}
+
+// EmbodiedShare returns manufacturing's share of the year's footprint.
+func (y Year) EmbodiedShare() float64 {
+	t := y.Total().Grams()
+	if t == 0 {
+		return 0
+	}
+	return y.Embodied.Grams() / t
+}
+
+// Trajectory projects the organization's annual footprint for the given
+// number of years (year 0 inclusive).
+func (o Org) Trajectory(years int) ([]Year, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	if years < 1 {
+		return nil, fmt.Errorf("pledge: need at least one year, got %d", years)
+	}
+	out := make([]Year, years)
+	for t := 0; t < years; t++ {
+		emb := o.DeviceEmbodied.Grams() * o.DevicesPerYear * math.Pow(1-o.FabDecarbRate, float64(t))
+		op := o.FleetOperational.Grams() * math.Pow(1-o.GridDecarbRate, float64(t))
+		out[t] = Year{Year: t, Embodied: units.Grams(emb), Operational: units.Grams(op)}
+	}
+	return out, nil
+}
+
+// YearsToReduce returns the first year in which the total footprint falls
+// to the given fraction of year zero's (e.g. 0.5 for a 50% reduction
+// pledge), scanning up to maxYears.
+func (o Org) YearsToReduce(fraction float64, maxYears int) (int, error) {
+	if fraction <= 0 || fraction >= 1 {
+		return 0, fmt.Errorf("pledge: target fraction %v outside (0, 1)", fraction)
+	}
+	traj, err := o.Trajectory(maxYears + 1)
+	if err != nil {
+		return 0, err
+	}
+	target := traj[0].Total().Grams() * fraction
+	for _, y := range traj {
+		if y.Total().Grams() <= target {
+			return y.Year, nil
+		}
+	}
+	return 0, fmt.Errorf("pledge: %v%% reduction not reached within %d years (fab rate %v, grid rate %v)",
+		(1-fraction)*100, maxYears, o.FabDecarbRate, o.GridDecarbRate)
+}

@@ -1,0 +1,149 @@
+package pledge
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"act/internal/units"
+)
+
+// appleLike returns an org in the iPhone-11-era regime: manufacturing
+// already dominates, the grid decarbonizes faster than fabs.
+func appleLike() Org {
+	return Org{
+		DevicesPerYear:   100e6,
+		DeviceEmbodied:   units.Kilograms(60),
+		FleetOperational: units.Tonnes(1.5e6),
+		FabDecarbRate:    0.04,
+		GridDecarbRate:   0.10,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := appleLike().Validate(); err != nil {
+		t.Errorf("apple-like org invalid: %v", err)
+	}
+	bad := []Org{
+		{DevicesPerYear: -1},
+		{FabDecarbRate: 1},
+		{GridDecarbRate: -0.1},
+		{DeviceEmbodied: -1},
+	}
+	for i, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("org %d: expected error", i)
+		}
+	}
+}
+
+func TestTrajectoryShape(t *testing.T) {
+	o := appleLike()
+	traj, err := o.Trajectory(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traj) != 11 {
+		t.Fatalf("trajectory has %d years, want 11", len(traj))
+	}
+	// Year 0 matches the inputs.
+	if math.Abs(traj[0].Embodied.Tonnes()-6e6) > 1 {
+		t.Errorf("year-0 embodied = %v, want 6 Mt", traj[0].Embodied)
+	}
+	if math.Abs(traj[0].Operational.Tonnes()-1.5e6) > 1 {
+		t.Errorf("year-0 operational = %v", traj[0].Operational)
+	}
+	// Monotone decline on both sides.
+	for i := 1; i < len(traj); i++ {
+		if traj[i].Embodied >= traj[i-1].Embodied || traj[i].Operational >= traj[i-1].Operational {
+			t.Errorf("trajectory not declining at year %d", i)
+		}
+	}
+	// The paper's structural point: with grids decarbonizing faster than
+	// fabs, the embodied share grows over time.
+	if traj[10].EmbodiedShare() <= traj[0].EmbodiedShare() {
+		t.Errorf("embodied share should grow: %.2f -> %.2f",
+			traj[0].EmbodiedShare(), traj[10].EmbodiedShare())
+	}
+	if _, err := o.Trajectory(0); err == nil {
+		t.Error("zero years: expected error")
+	}
+}
+
+func TestZeroRatesAreFlat(t *testing.T) {
+	o := appleLike()
+	o.FabDecarbRate = 0
+	o.GridDecarbRate = 0
+	traj, err := o.Trajectory(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, y := range traj {
+		if y.Total() != traj[0].Total() {
+			t.Errorf("flat org changed at year %d", y.Year)
+		}
+	}
+}
+
+func TestYearsToReduce(t *testing.T) {
+	o := appleLike()
+	y, err := o.YearsToReduce(0.5, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dominated by the 4% fab rate: halving takes ≈15-17 years — the
+	// quantified reason supply-chain pledges hinge on fab decarbonization.
+	if y < 12 || y > 18 {
+		t.Errorf("years to halve = %d, want ≈15", y)
+	}
+
+	// A fab-decarbonization push (15%/yr) roughly dominates the timeline.
+	fast := o
+	fast.FabDecarbRate = 0.15
+	yf, err := fast.YearsToReduce(0.5, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if yf >= y {
+		t.Errorf("faster fabs (%d years) should beat slower (%d)", yf, y)
+	}
+
+	if _, err := o.YearsToReduce(0.5, 2); err == nil {
+		t.Error("unreachable within horizon: expected error")
+	}
+	if _, err := o.YearsToReduce(0, 40); err == nil {
+		t.Error("fraction 0: expected error")
+	}
+	if _, err := o.YearsToReduce(1, 40); err == nil {
+		t.Error("fraction 1: expected error")
+	}
+}
+
+func TestEmbodiedShareZeroTotal(t *testing.T) {
+	y := Year{}
+	if y.EmbodiedShare() != 0 {
+		t.Errorf("zero-total share = %v, want 0", y.EmbodiedShare())
+	}
+}
+
+// Property: totals are non-increasing year over year for any valid rates.
+func TestQuickTrajectoryMonotone(t *testing.T) {
+	f := func(fabRaw, gridRaw uint8) bool {
+		o := appleLike()
+		o.FabDecarbRate = float64(fabRaw%90) / 100
+		o.GridDecarbRate = float64(gridRaw%90) / 100
+		traj, err := o.Trajectory(8)
+		if err != nil {
+			return false
+		}
+		for i := 1; i < len(traj); i++ {
+			if traj[i].Total() > traj[i-1].Total()+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,194 @@
+package provision
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"act/internal/fab"
+	"act/internal/metrics"
+	"act/internal/units"
+)
+
+// Figure 11 compares three compute substrates on a 16 nm SMIV-style SoC —
+// dual-core Arm A53 CPUs, a specialized AI ASIC ("Accel"), and an embedded
+// FPGA — across three applications (FIR filtering, AES encryption, AI
+// inference). The ASIC only accelerates AI; FIR and AES fall back to the
+// host CPU. Speedup and energy-reduction factors follow the paper's
+// reported ratios (FPGA 50x/80x/24x faster; ASIC 26x on AI with 44x energy
+// reduction vs CPU and 5x vs FPGA; CPU embodied 1.3x/1.8x below ASIC/FPGA).
+
+// Substrate identifies a Figure 11 compute substrate.
+type Substrate string
+
+// Substrates of the flexibility study.
+const (
+	FlexCPU   Substrate = "CPU"
+	FlexAccel Substrate = "Accel"
+	FlexFPGA  Substrate = "FPGA"
+)
+
+// Substrates returns the three substrates in figure order.
+func Substrates() []Substrate { return []Substrate{FlexCPU, FlexAccel, FlexFPGA} }
+
+// FlexApp identifies a Figure 11 application.
+type FlexApp string
+
+// Applications of the flexibility study.
+const (
+	AppFIR FlexApp = "FIR"
+	AppAES FlexApp = "AES"
+	AppAI  FlexApp = "AI"
+)
+
+// FlexApps returns the three applications in figure order.
+func FlexApps() []FlexApp { return []FlexApp{AppFIR, AppAES, AppAI} }
+
+// Baseline CPU datapoints: per-run latency and average power on the
+// dual-core A53 host.
+var cpuBaseline = map[FlexApp]struct {
+	latency time.Duration
+	power   units.Power
+}{
+	AppFIR: {20 * time.Millisecond, units.Watts(0.8)},
+	AppAES: {40 * time.Millisecond, units.Watts(0.8)},
+	AppAI:  {400 * time.Millisecond, units.Watts(0.8)},
+}
+
+// speedup[s][a] is how many times faster substrate s runs application a
+// than the CPU; energyCut[s][a] is how many times less energy it uses.
+var (
+	speedup = map[Substrate]map[FlexApp]float64{
+		FlexCPU:   {AppFIR: 1, AppAES: 1, AppAI: 1},
+		FlexAccel: {AppFIR: 1, AppAES: 1, AppAI: 26},
+		FlexFPGA:  {AppFIR: 50, AppAES: 80, AppAI: 24},
+	}
+	energyCut = map[Substrate]map[FlexApp]float64{
+		FlexCPU:   {AppFIR: 1, AppAES: 1, AppAI: 1},
+		FlexAccel: {AppFIR: 1, AppAES: 1, AppAI: 44},
+		FlexFPGA:  {AppFIR: 10, AppAES: 10, AppAI: 8.8},
+	}
+)
+
+// Embodied area ratios: the full system (host + substrate) normalized to
+// the CPU-only system, per the paper's 1.3x and 1.8x.
+var areaRatio = map[Substrate]float64{
+	FlexCPU:   1.0,
+	FlexAccel: 1.3,
+	FlexFPGA:  1.8,
+}
+
+// flexCPUAreaMM2 is the CPU-only system's logic area on the 16 nm SMIV die.
+const flexCPUAreaMM2 = 4.5
+
+// FlexPoint is one (substrate, application) cell of Figure 11.
+type FlexPoint struct {
+	Substrate Substrate
+	App       FlexApp
+	Latency   time.Duration
+	Energy    units.Energy
+}
+
+// FlexResult is a substrate's full Figure 11 characterization.
+type FlexResult struct {
+	Substrate Substrate
+	Area      units.Area
+	Embodied  units.CO2Mass
+	Points    []FlexPoint
+}
+
+// GeomeanLatency returns the substrate's geometric-mean latency across the
+// three applications, the "Geo mean" group of Figure 11 (top).
+func (r FlexResult) GeomeanLatency() time.Duration {
+	logSum := 0.0
+	for _, p := range r.Points {
+		logSum += math.Log(p.Latency.Seconds())
+	}
+	return time.Duration(math.Exp(logSum/float64(len(r.Points))) * float64(time.Second))
+}
+
+// GeomeanEnergy returns the geometric-mean energy across applications.
+func (r FlexResult) GeomeanEnergy() units.Energy {
+	logSum := 0.0
+	for _, p := range r.Points {
+		logSum += math.Log(p.Energy.Joules())
+	}
+	return units.Joules(math.Exp(logSum / float64(len(r.Points))))
+}
+
+// FlexStudy evaluates the Figure 11 study in the given fab (nil selects
+// the default 16 nm-class fab).
+func FlexStudy(f *fab.Fab) ([]FlexResult, error) {
+	if f == nil {
+		var err error
+		f, err = fab.New(fab.Node14)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var out []FlexResult
+	for _, s := range Substrates() {
+		area := units.MM2(flexCPUAreaMM2 * areaRatio[s])
+		embodied, err := f.Embodied(area)
+		if err != nil {
+			return nil, err
+		}
+		res := FlexResult{Substrate: s, Area: area, Embodied: embodied}
+		for _, a := range FlexApps() {
+			base := cpuBaseline[a]
+			baseEnergy := base.power.Over(base.latency)
+			res.Points = append(res.Points, FlexPoint{
+				Substrate: s,
+				App:       a,
+				Latency:   time.Duration(float64(base.latency) / speedup[s][a]),
+				Energy:    units.Joules(baseEnergy.Joules() / energyCut[s][a]),
+			})
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// FlexCandidates converts the study into metrics candidates using geomean
+// latency and energy across the applications (how the paper aggregates
+// "designing SoC's for a variety of workloads").
+func FlexCandidates(results []FlexResult) ([]metrics.Candidate, error) {
+	if len(results) == 0 {
+		return nil, fmt.Errorf("provision: empty flexibility study")
+	}
+	out := make([]metrics.Candidate, len(results))
+	for i, r := range results {
+		out[i] = metrics.Candidate{
+			Name:     string(r.Substrate),
+			Embodied: r.Embodied,
+			Energy:   r.GeomeanEnergy(),
+			Delay:    r.GeomeanLatency(),
+			Area:     r.Area,
+		}
+	}
+	return out, nil
+}
+
+// FlexAICandidates converts the study into metrics candidates over the AI
+// application alone (the domain-specific design point of Section 6.2).
+func FlexAICandidates(results []FlexResult) ([]metrics.Candidate, error) {
+	if len(results) == 0 {
+		return nil, fmt.Errorf("provision: empty flexibility study")
+	}
+	var out []metrics.Candidate
+	for _, r := range results {
+		for _, p := range r.Points {
+			if p.App != AppAI {
+				continue
+			}
+			out = append(out, metrics.Candidate{
+				Name:     string(r.Substrate),
+				Embodied: r.Embodied,
+				Energy:   p.Energy,
+				Delay:    p.Latency,
+				Area:     r.Area,
+			})
+		}
+	}
+	return out, nil
+}

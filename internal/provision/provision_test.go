@@ -1,0 +1,354 @@
+package provision
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"act/internal/intensity"
+	"act/internal/metrics"
+	"act/internal/units"
+)
+
+func approx(t *testing.T, got, want, rel float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > rel*math.Max(math.Abs(want), 1e-12) {
+		t.Errorf("%s: got %v, want %v", msg, got, want)
+	}
+}
+
+func TestConfigs(t *testing.T) {
+	cs := Configs()
+	if len(cs) != 3 {
+		t.Fatalf("Configs() = %d options, want 3", len(cs))
+	}
+	cpu, err := ByName(CPU)
+	if err != nil || cpu.CoproArea != 0 {
+		t.Errorf("CPU config = %+v, %v", cpu, err)
+	}
+	if _, err := ByName("TPU"); err == nil {
+		t.Error("ByName(unknown): expected error")
+	}
+}
+
+func TestTable4Reproduction(t *testing.T) {
+	// Paper Table 4 (prose-consistent labels): per-inference OPCF at the
+	// US grid of 3.3 / 1.5 / 3.1 µg for CPU / DSP / GPU... the energies:
+	// CPU 39.6 mJ, DSP 18.4 mJ, GPU 35.1 mJ; embodied 253 / +189 / +205 g.
+	rows, err := DefaultTable4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("Table 4 has %d rows, want 3", len(rows))
+	}
+	byName := map[string]Table4Row{}
+	for _, r := range rows {
+		byName[r.Config.Name] = r
+	}
+
+	cpu := byName[CPU]
+	approx(t, cpu.Config.EnergyPerInference().Millijoules(), 39.6, 1e-9, "CPU energy")
+	approx(t, cpu.OPCF.Grams(), 3.3e-6, 1e-9, "CPU OPCF")
+	approx(t, cpu.TotalECF().Grams(), 253, 0.01, "CPU ECF")
+	if cpu.CoproECF != 0 {
+		t.Errorf("CPU co-processor ECF = %v, want 0", cpu.CoproECF)
+	}
+
+	dsp := byName[DSP]
+	approx(t, dsp.Config.EnergyPerInference().Millijoules(), 18.4, 1e-9, "DSP energy")
+	approx(t, dsp.CoproECF.Grams(), 189, 0.01, "DSP extra ECF")
+	approx(t, dsp.HostECF.Grams(), 253, 0.01, "DSP host ECF")
+
+	gpu := byName[GPU]
+	approx(t, gpu.Config.EnergyPerInference().Millijoules(), 35.09, 1e-3, "GPU energy")
+	approx(t, gpu.CoproECF.Grams(), 205, 0.01, "GPU extra ECF")
+
+	// Prose ratios: DSP ≈2.2x lower energy than CPU; embodied +1.75-1.9x.
+	if r := cpu.Config.EnergyPerInference().Joules() / dsp.Config.EnergyPerInference().Joules(); r < 2.0 || r > 2.3 {
+		t.Errorf("CPU/DSP energy ratio = %v, want ≈2.2", r)
+	}
+	if r := gpu.TotalECF().Grams() / cpu.TotalECF().Grams(); r < 1.7 || r > 1.95 {
+		t.Errorf("GPU/CPU embodied ratio = %v, want ≈1.8-1.9", r)
+	}
+}
+
+func TestFigure9MetricWinners(t *testing.T) {
+	// Figure 9: CPU optimal for embodied-centric metrics (CDP, C2EP); DSP
+	// optimal for operational-centric metrics (CEP, CE2P).
+	f, err := DefaultFab()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands, err := Candidates(f, intensity.USGrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := map[metrics.Metric]string{
+		metrics.CDP:  CPU,
+		metrics.C2EP: CPU,
+		metrics.CEP:  DSP,
+		metrics.CE2P: DSP,
+	}
+	for m, want := range wants {
+		best, err := metrics.Best(m, cands)
+		if err != nil {
+			t.Fatalf("Best(%s): %v", m, err)
+		}
+		if best.Candidate.Name != want {
+			t.Errorf("%s winner = %s, want %s (paper Figure 9)", m, best.Candidate.Name, want)
+		}
+	}
+}
+
+func TestBreakEvenUtilization(t *testing.T) {
+	f, err := DefaultFab()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lt := units.Years(3)
+
+	// DSP: +189 g embodied, 21.2 mJ saved per 9.2 ms inference at the US
+	// grid -> ≈1% of the lifetime (paper: "higher than 1%").
+	dsp, err := BreakEvenUtilization(DSP, f, intensity.USGrid, lt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dsp < 0.005 || dsp > 0.02 {
+		t.Errorf("DSP break-even utilization = %v, want ≈1%%", dsp)
+	}
+
+	// GPU: +205 g embodied, only 4.5 mJ saved per 12.1 ms inference ->
+	// ≈5-8% (paper: "higher than 5%").
+	gpu, err := BreakEvenUtilization(GPU, f, intensity.USGrid, lt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gpu < 0.04 || gpu > 0.10 {
+		t.Errorf("GPU break-even utilization = %v, want ≈5-8%%", gpu)
+	}
+
+	// Break-even rises as the grid gets greener (savings shrink).
+	gpuSolar, err := BreakEvenUtilization(GPU, f, intensity.Renewable, lt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gpuSolar <= gpu {
+		t.Errorf("solar break-even (%v) should exceed US-grid break-even (%v)", gpuSolar, gpu)
+	}
+
+	// Error paths.
+	if _, err := BreakEvenUtilization(CPU, f, intensity.USGrid, lt); err == nil {
+		t.Error("CPU has no co-processor: expected error")
+	}
+	if _, err := BreakEvenUtilization(DSP, f, intensity.CarbonFree, lt); err == nil {
+		t.Error("carbon-free use: expected error (no savings to amortize)")
+	}
+	if _, err := BreakEvenUtilization(DSP, f, intensity.USGrid, 0); err == nil {
+		t.Error("zero lifetime: expected error")
+	}
+	if _, err := BreakEvenUtilization("TPU", f, intensity.USGrid, lt); err == nil {
+		t.Error("unknown config: expected error")
+	}
+}
+
+func TestFigure10UseSweepCrossover(t *testing.T) {
+	// Figure 10 (top): with dirty operational energy the DSP wins; as the
+	// use phase approaches carbon-free the CPU wins, by ≈1.8x.
+	s := DefaultScenario()
+	sweep, err := s.SweepUse()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	coal, err := Winner(sweep["Coal"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coal.Config.Name != DSP {
+		t.Errorf("coal-use winner = %s, want DSP", coal.Config.Name)
+	}
+
+	free, err := Winner(sweep["Carbon Free"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free.Config.Name != CPU {
+		t.Errorf("carbon-free-use winner = %s, want CPU", free.Config.Name)
+	}
+
+	// CPU's advantage at carbon-free: ≈1.75x vs the DSP config.
+	var cpuTotal, dspTotal float64
+	for _, p := range sweep["Carbon Free"] {
+		switch p.Config.Name {
+		case CPU:
+			cpuTotal = p.Total().Grams()
+		case DSP:
+			dspTotal = p.Total().Grams()
+		}
+	}
+	if r := dspTotal / cpuTotal; r < 1.6 || r > 1.95 {
+		t.Errorf("carbon-free DSP/CPU ratio = %v, want ≈1.75-1.8 (paper: 1.8x)", r)
+	}
+}
+
+func TestFigure10FabSweepCrossover(t *testing.T) {
+	// Figure 10 (bottom): with coal-powered fabs the CPU wins (embodied
+	// overhead of extra silicon dominates); with carbon-free fabs the
+	// specialized DSP wins.
+	s := DefaultScenario()
+	sweep, err := s.SweepFab()
+	if err != nil {
+		t.Fatal(err)
+	}
+	coal, err := Winner(sweep["Coal"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coal.Config.Name != CPU {
+		t.Errorf("coal-fab winner = %s, want CPU", coal.Config.Name)
+	}
+	free, err := Winner(sweep["Carbon Free"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free.Config.Name != DSP {
+		t.Errorf("carbon-free-fab winner = %s, want DSP", free.Config.Name)
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	s := DefaultScenario()
+	s.Inferences = 0
+	if _, err := s.Evaluate(intensity.TaiwanGrid, intensity.USGrid); err == nil {
+		t.Error("zero inferences: expected error")
+	}
+	if _, err := Winner(nil); err == nil {
+		t.Error("Winner(empty): expected error")
+	}
+}
+
+func TestFlexStudyRatios(t *testing.T) {
+	results, err := FlexStudy(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("flex study has %d substrates, want 3", len(results))
+	}
+	byName := map[Substrate]FlexResult{}
+	for _, r := range results {
+		byName[r.Substrate] = r
+	}
+
+	cpu, accel, fpga := byName[FlexCPU], byName[FlexAccel], byName[FlexFPGA]
+
+	// Performance ratios (Figure 11 top): ASIC 26x on AI; FPGA 50/80/24x.
+	get := func(r FlexResult, a FlexApp) FlexPoint {
+		for _, p := range r.Points {
+			if p.App == a {
+				return p
+			}
+		}
+		t.Fatalf("missing %s point", a)
+		return FlexPoint{}
+	}
+	approx(t, float64(get(cpu, AppAI).Latency)/float64(get(accel, AppAI).Latency), 26, 1e-6, "ASIC AI speedup")
+	approx(t, float64(get(cpu, AppFIR).Latency)/float64(get(fpga, AppFIR).Latency), 50, 1e-6, "FPGA FIR speedup")
+	approx(t, float64(get(cpu, AppAES).Latency)/float64(get(fpga, AppAES).Latency), 80, 1e-6, "FPGA AES speedup")
+	approx(t, float64(get(cpu, AppAI).Latency)/float64(get(fpga, AppAI).Latency), 24, 1e-6, "FPGA AI speedup")
+
+	// FPGA geomean speedup ≈45x (paper).
+	geo := cpu.GeomeanLatency().Seconds() / fpga.GeomeanLatency().Seconds()
+	if geo < 40 || geo > 50 {
+		t.Errorf("FPGA geomean speedup = %v, want ≈45", geo)
+	}
+
+	// Energy (bottom left): ASIC 44x vs CPU and 5x vs FPGA on AI.
+	approx(t, get(cpu, AppAI).Energy.Joules()/get(accel, AppAI).Energy.Joules(), 44, 1e-9, "ASIC AI energy cut")
+	approx(t, get(fpga, AppAI).Energy.Joules()/get(accel, AppAI).Energy.Joules(), 5, 1e-9, "ASIC vs FPGA AI energy")
+
+	// Embodied (bottom right): CPU 1.3x and 1.8x below ASIC and FPGA.
+	approx(t, accel.Embodied.Grams()/cpu.Embodied.Grams(), 1.3, 1e-9, "ASIC embodied ratio")
+	approx(t, fpga.Embodied.Grams()/cpu.Embodied.Grams(), 1.8, 1e-9, "FPGA embodied ratio")
+}
+
+func TestFlexFPGAWinsCarbonMetrics(t *testing.T) {
+	// Section 6.2: "across CDP, CEP, CE2P, C2EP, FPGA outperforms CPU and
+	// ASIC-based designs" for multi-workload SoCs.
+	results, err := FlexStudy(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands, err := FlexCandidates(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range metrics.CarbonAware() {
+		best, err := metrics.Best(m, cands)
+		if err != nil {
+			t.Fatalf("Best(%s): %v", m, err)
+		}
+		if best.Candidate.Name != string(FlexFPGA) {
+			t.Errorf("%s winner = %s, want FPGA", m, best.Candidate.Name)
+		}
+	}
+}
+
+func TestFlexASICWinsForAIOnly(t *testing.T) {
+	// Section 6.2: for AI-only domain-specific SoCs, the specialized ASIC
+	// wins on performance, efficiency and the carbon metrics.
+	results, err := FlexStudy(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands, err := FlexAICandidates(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 3 {
+		t.Fatalf("AI candidates = %d, want 3", len(cands))
+	}
+	for _, m := range metrics.CarbonAware() {
+		best, err := metrics.Best(m, cands)
+		if err != nil {
+			t.Fatalf("Best(%s): %v", m, err)
+		}
+		if best.Candidate.Name != string(FlexAccel) {
+			t.Errorf("AI-only %s winner = %s, want Accel", m, best.Candidate.Name)
+		}
+	}
+}
+
+func TestFlexCandidatesValidation(t *testing.T) {
+	if _, err := FlexCandidates(nil); err == nil {
+		t.Error("FlexCandidates(empty): expected error")
+	}
+	if _, err := FlexAICandidates(nil); err == nil {
+		t.Error("FlexAICandidates(empty): expected error")
+	}
+}
+
+func TestEmbodiedNilFab(t *testing.T) {
+	cpu, _ := ByName(CPU)
+	if _, err := Embodied(cpu, nil); err == nil {
+		t.Error("Embodied(nil fab): expected error")
+	}
+	if _, err := Table4(nil, intensity.USGrid); err == nil {
+		t.Error("Table4(nil fab): expected error")
+	}
+}
+
+func TestLatencyOrdering(t *testing.T) {
+	// CPU is fastest per inference (6 ms); co-processors trade latency for
+	// energy (9.2, 12.1 ms).
+	cpu, _ := ByName(CPU)
+	dsp, _ := ByName(DSP)
+	gpu, _ := ByName(GPU)
+	if !(cpu.Latency < dsp.Latency && dsp.Latency < gpu.Latency) {
+		t.Errorf("latency ordering wrong: %v, %v, %v", cpu.Latency, dsp.Latency, gpu.Latency)
+	}
+	if cpu.Latency != 6*time.Millisecond {
+		t.Errorf("CPU latency = %v, want 6ms", cpu.Latency)
+	}
+}

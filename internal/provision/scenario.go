@@ -1,0 +1,144 @@
+package provision
+
+import (
+	"fmt"
+
+	"act/internal/fab"
+	"act/internal/intensity"
+	"act/internal/units"
+)
+
+// Figure 10 sweeps the carbon intensity of the energy consumed during
+// operation (top) and during manufacturing (bottom) and asks which
+// provisioning option minimizes the per-inference footprint. The device
+// serves a fixed inference demand over its lifetime — the same number of
+// inferences regardless of which hardware runs them — so the embodied
+// share per inference is ECF divided by that demand.
+
+// DefaultInferences is the lifetime inference demand of the Figure 10
+// scenario: one billion inferences over the 3-year lifetime (≈10.6/s on
+// average), an always-on vision workload.
+const DefaultInferences = 1e9
+
+// ScenarioPoint is one bar of Figure 10: a provisioning option evaluated
+// under one pair of manufacturing and use carbon intensities.
+type ScenarioPoint struct {
+	Config Config
+	// EmbodiedPerInf is the embodied share attributed to one inference.
+	EmbodiedPerInf units.CO2Mass
+	// OperationalPerInf is the operational footprint of one inference.
+	OperationalPerInf units.CO2Mass
+}
+
+// Total returns the per-inference footprint.
+func (p ScenarioPoint) Total() units.CO2Mass {
+	return units.Grams(p.EmbodiedPerInf.Grams() + p.OperationalPerInf.Grams())
+}
+
+// Scenario fixes the Figure 10 evaluation parameters.
+type Scenario struct {
+	// Inferences is the lifetime inference demand.
+	Inferences float64
+	// FabNode is the SoC process (the study uses the 10 nm class).
+	FabNode fab.Node
+}
+
+// DefaultScenario returns the paper's Figure 10 setup.
+func DefaultScenario() Scenario {
+	return Scenario{Inferences: DefaultInferences, FabNode: fab.Node10}
+}
+
+// Evaluate computes the per-inference footprint of every provisioning
+// option under the given manufacturing and use intensities.
+func (s Scenario) Evaluate(ciFab, ciUse units.CarbonIntensity) ([]ScenarioPoint, error) {
+	if s.Inferences <= 0 {
+		return nil, fmt.Errorf("provision: non-positive inference demand %v", s.Inferences)
+	}
+	f, err := fab.New(s.FabNode, fab.WithCarbonIntensity(ciFab))
+	if err != nil {
+		return nil, err
+	}
+	var out []ScenarioPoint
+	for _, c := range Configs() {
+		ecf, err := Embodied(c, f)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ScenarioPoint{
+			Config:            c,
+			EmbodiedPerInf:    units.Grams(ecf.Grams() / s.Inferences),
+			OperationalPerInf: ciUse.Emitted(c.EnergyPerInference()),
+		})
+	}
+	return out, nil
+}
+
+// Winner returns the option with the lowest per-inference footprint.
+func Winner(points []ScenarioPoint) (ScenarioPoint, error) {
+	if len(points) == 0 {
+		return ScenarioPoint{}, fmt.Errorf("provision: no scenario points")
+	}
+	best := points[0]
+	for _, p := range points[1:] {
+		if p.Total() < best.Total() {
+			best = p
+		}
+	}
+	return best, nil
+}
+
+// IntensityStep is one x-axis group of Figure 10.
+type IntensityStep struct {
+	Label     string
+	Intensity units.CarbonIntensity
+}
+
+// UseSteps returns the Figure 10 (top) x-axis: the carbon intensity of
+// operational energy from coal down to carbon-free.
+func UseSteps() []IntensityStep {
+	return []IntensityStep{
+		{"Coal", intensity.CoalGrid},
+		{"US grid", intensity.USGrid},
+		{"Renewable", intensity.Renewable},
+		{"Carbon Free", intensity.CarbonFree},
+	}
+}
+
+// FabSteps returns the Figure 10 (bottom) x-axis: the carbon intensity of
+// semiconductor manufacturing from coal down to carbon-free.
+func FabSteps() []IntensityStep {
+	return []IntensityStep{
+		{"Coal", intensity.CoalGrid},
+		{"Taiwan grid", intensity.TaiwanGrid},
+		{"Renewable", intensity.Renewable},
+		{"Carbon Free", intensity.CarbonFree},
+	}
+}
+
+// SweepUse evaluates Figure 10 (top): fixed manufacturing on the raw
+// Taiwan grid, varying operational intensity.
+func (s Scenario) SweepUse() (map[string][]ScenarioPoint, error) {
+	out := make(map[string][]ScenarioPoint)
+	for _, step := range UseSteps() {
+		pts, err := s.Evaluate(intensity.TaiwanGrid, step.Intensity)
+		if err != nil {
+			return nil, err
+		}
+		out[step.Label] = pts
+	}
+	return out, nil
+}
+
+// SweepFab evaluates Figure 10 (bottom): fixed operational supply on
+// renewable energy, varying manufacturing intensity.
+func (s Scenario) SweepFab() (map[string][]ScenarioPoint, error) {
+	out := make(map[string][]ScenarioPoint)
+	for _, step := range FabSteps() {
+		pts, err := s.Evaluate(step.Intensity, intensity.Renewable)
+		if err != nil {
+			return nil, err
+		}
+		out[step.Label] = pts
+	}
+	return out, nil
+}

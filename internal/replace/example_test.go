@@ -1,0 +1,28 @@
+package replace_test
+
+import (
+	"fmt"
+
+	"act/internal/replace"
+)
+
+// ExampleScenario_Optimal reproduces the Figure 14 (right) headline: over
+// a 10-year horizon, replacing phones every ~5 years minimizes the total
+// footprint.
+func ExampleScenario_Optimal() {
+	s := replace.DefaultScenario()
+	opt, err := s.Optimal()
+	if err != nil {
+		panic(err)
+	}
+	imp, err := s.ImprovementOver(2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("optimal lifetime: %.0f years (%d devices over the horizon)\n",
+		opt.LifetimeYears, opt.Devices)
+	fmt.Printf("improvement over 2-year replacement: %.2fx\n", imp)
+	// Output:
+	// optimal lifetime: 5 years (2 devices over the horizon)
+	// improvement over 2-year replacement: 1.34x
+}

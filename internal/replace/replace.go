@@ -1,0 +1,150 @@
+// Package replace models device replacement over a fixed horizon, the
+// paper's mobile-lifetime study (Section 8, Figure 14 right). Keeping
+// hardware longer amortizes embodied carbon over more years, but forgoes
+// the annual energy-efficiency improvement of newer hardware, raising
+// operational emissions. The package sweeps the replacement period to find
+// the footprint-optimal lifetime.
+//
+// The study fixes workloads, renewable-energy availability and user
+// behavior, as the paper does, leaving the single trade-off between
+// efficiency gains and embodied overheads.
+package replace
+
+import (
+	"fmt"
+	"math"
+
+	"act/internal/units"
+)
+
+// Scenario fixes the study's assumptions.
+type Scenario struct {
+	// HorizonYears is the total period studied (the paper uses 10 years).
+	HorizonYears float64
+	// AnnualGain is the yearly energy-efficiency improvement factor of new
+	// hardware (the paper measures ≈1.21 across mobile SoC families).
+	AnnualGain float64
+	// DeviceEmbodied is the embodied carbon of manufacturing one device.
+	DeviceEmbodied units.CO2Mass
+	// BaseAnnualOperational is the operational carbon per year of a device
+	// bought at the start of the horizon; a device bought t years in emits
+	// BaseAnnualOperational / AnnualGain^t per year.
+	BaseAnnualOperational units.CO2Mass
+}
+
+// DefaultScenario is the Figure 14 configuration: a 10-year horizon, the
+// 1.21x fleet efficiency trend, and an embodied-to-annual-operational
+// ratio calibrated so the optimum lands at the paper's ≈5-year lifetime.
+func DefaultScenario() Scenario {
+	return Scenario{
+		HorizonYears:          10,
+		AnnualGain:            1.21,
+		DeviceEmbodied:        units.Kilograms(17),
+		BaseAnnualOperational: units.Kilograms(10.2),
+	}
+}
+
+// Validate checks the scenario is usable.
+func (s Scenario) Validate() error {
+	if s.HorizonYears <= 0 {
+		return fmt.Errorf("replace: non-positive horizon %v", s.HorizonYears)
+	}
+	if s.AnnualGain < 1 {
+		return fmt.Errorf("replace: annual efficiency gain %v below 1 (hardware regressing)", s.AnnualGain)
+	}
+	if s.DeviceEmbodied < 0 || s.BaseAnnualOperational < 0 {
+		return fmt.Errorf("replace: negative carbon quantity")
+	}
+	return nil
+}
+
+// Result is the horizon-total footprint for one replacement period.
+type Result struct {
+	LifetimeYears float64
+	Devices       int
+	Embodied      units.CO2Mass
+	Operational   units.CO2Mass
+}
+
+// Total returns embodied plus operational carbon over the horizon.
+func (r Result) Total() units.CO2Mass {
+	return units.Grams(r.Embodied.Grams() + r.Operational.Grams())
+}
+
+// Evaluate computes the horizon-total footprint when every device is
+// replaced after lifetimeYears: devices are bought at 0, L, 2L, ...; each
+// serves until the next purchase or the end of the horizon; a device
+// bought at year t carries the efficiency of its generation (AnnualGain^t).
+func (s Scenario) Evaluate(lifetimeYears float64) (Result, error) {
+	if err := s.Validate(); err != nil {
+		return Result{}, err
+	}
+	if lifetimeYears <= 0 {
+		return Result{}, fmt.Errorf("replace: non-positive lifetime %v", lifetimeYears)
+	}
+	if lifetimeYears > s.HorizonYears {
+		lifetimeYears = s.HorizonYears
+	}
+	var devices int
+	var opGrams float64
+	for start := 0.0; start < s.HorizonYears-1e-9; start += lifetimeYears {
+		devices++
+		serve := math.Min(lifetimeYears, s.HorizonYears-start)
+		annual := s.BaseAnnualOperational.Grams() / math.Pow(s.AnnualGain, start)
+		opGrams += annual * serve
+	}
+	return Result{
+		LifetimeYears: lifetimeYears,
+		Devices:       devices,
+		Embodied:      units.Grams(s.DeviceEmbodied.Grams() * float64(devices)),
+		Operational:   units.Grams(opGrams),
+	}, nil
+}
+
+// Sweep evaluates integer lifetimes from 1 year up to the horizon, the
+// x-axis of Figure 14 (right).
+func (s Scenario) Sweep() ([]Result, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	var out []Result
+	for l := 1.0; l <= s.HorizonYears+1e-9; l++ {
+		r, err := s.Evaluate(l)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Optimal returns the sweep result with the lowest total footprint; ties
+// resolve to the shorter lifetime.
+func (s Scenario) Optimal() (Result, error) {
+	sweep, err := s.Sweep()
+	if err != nil {
+		return Result{}, err
+	}
+	best := sweep[0]
+	for _, r := range sweep[1:] {
+		if r.Total() < best.Total() {
+			best = r
+		}
+	}
+	return best, nil
+}
+
+// ImprovementOver returns how much lower the optimal lifetime's total
+// footprint is than the footprint at a reference lifetime (e.g. the
+// paper's current 2-3 year average), as a ratio ≥ 1.
+func (s Scenario) ImprovementOver(referenceYears float64) (float64, error) {
+	opt, err := s.Optimal()
+	if err != nil {
+		return 0, err
+	}
+	ref, err := s.Evaluate(referenceYears)
+	if err != nil {
+		return 0, err
+	}
+	return ref.Total().Grams() / opt.Total().Grams(), nil
+}

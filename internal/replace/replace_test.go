@@ -1,0 +1,196 @@
+package replace
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"act/internal/units"
+)
+
+func TestValidate(t *testing.T) {
+	if err := DefaultScenario().Validate(); err != nil {
+		t.Errorf("default scenario invalid: %v", err)
+	}
+	bad := []Scenario{
+		{HorizonYears: 0, AnnualGain: 1.2},
+		{HorizonYears: 10, AnnualGain: 0.9},
+		{HorizonYears: 10, AnnualGain: 1.2, DeviceEmbodied: -1},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("scenario %d: expected validation error", i)
+		}
+	}
+}
+
+func TestEvaluateDeviceCount(t *testing.T) {
+	s := DefaultScenario()
+	cases := []struct {
+		lifetime float64
+		devices  int
+	}{
+		{1, 10}, {2, 5}, {3, 4}, {4, 3}, {5, 2}, {6, 2}, {9, 2}, {10, 1},
+		{15, 1}, // clamped to the horizon
+	}
+	for _, c := range cases {
+		r, err := s.Evaluate(c.lifetime)
+		if err != nil {
+			t.Fatalf("Evaluate(%v): %v", c.lifetime, err)
+		}
+		if r.Devices != c.devices {
+			t.Errorf("Evaluate(%v) devices = %d, want %d", c.lifetime, r.Devices, c.devices)
+		}
+		wantEmb := s.DeviceEmbodied.Grams() * float64(c.devices)
+		if math.Abs(r.Embodied.Grams()-wantEmb) > 1e-9 {
+			t.Errorf("Evaluate(%v) embodied = %v, want %v g", c.lifetime, r.Embodied, wantEmb)
+		}
+	}
+	if _, err := s.Evaluate(0); err == nil {
+		t.Error("zero lifetime: expected error")
+	}
+}
+
+func TestOperationalHandComputed(t *testing.T) {
+	// Single 10-year device: 10 years at the base rate.
+	s := DefaultScenario()
+	r, err := s.Evaluate(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := s.BaseAnnualOperational.Grams() * 10
+	if math.Abs(r.Operational.Grams()-want) > 1e-6 {
+		t.Errorf("10-year operational = %v, want %v g", r.Operational, want)
+	}
+
+	// 5-year replacement: first device at base rate for 5 years, second at
+	// base/1.21^5 for 5 years.
+	r, err = s.Evaluate(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := s.BaseAnnualOperational.Grams()
+	want = base*5 + base/math.Pow(1.21, 5)*5
+	if math.Abs(r.Operational.Grams()-want) > 1e-6 {
+		t.Errorf("5-year operational = %v, want %v g", r.Operational, want)
+	}
+}
+
+func TestEmbodiedVsOperationalTrend(t *testing.T) {
+	// Figure 14 (right): longer lifetimes cut embodied but raise
+	// operational emissions.
+	s := DefaultScenario()
+	sweep, err := s.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep) != 10 {
+		t.Fatalf("sweep has %d points, want 10", len(sweep))
+	}
+	for i := 1; i < len(sweep); i++ {
+		if sweep[i].Embodied > sweep[i-1].Embodied {
+			t.Errorf("embodied should be non-increasing: L=%v", sweep[i].LifetimeYears)
+		}
+		if sweep[i].Operational < sweep[i-1].Operational-1e-9 {
+			t.Errorf("operational should be non-decreasing: L=%v", sweep[i].LifetimeYears)
+		}
+	}
+}
+
+func TestFigure14Optimum(t *testing.T) {
+	// "over a 10 year period we find the optimal lifetime for mobile SoC's
+	// to be around 5 years, lowering the overall footprint by 1.26x
+	// compared to current average lifetimes of 2-3 years."
+	s := DefaultScenario()
+	opt, err := s.Optimal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.LifetimeYears != 5 {
+		t.Errorf("optimal lifetime = %v years, want 5", opt.LifetimeYears)
+	}
+
+	imp2, err := s.ImprovementOver(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp3, err := s.ImprovementOver(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := (imp2 + imp3) / 2
+	if avg < 1.18 || avg < 1 || avg > 1.35 {
+		t.Errorf("improvement over 2-3 year lifetimes = %v/%v (avg %v), want ≈1.26", imp2, imp3, avg)
+	}
+}
+
+func TestHigherGainShortensOptimalLifetime(t *testing.T) {
+	// If hardware improves faster, replacing sooner pays off more.
+	slow := DefaultScenario()
+	slow.AnnualGain = 1.05
+	fast := DefaultScenario()
+	fast.AnnualGain = 1.6
+
+	so, err := slow.Optimal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fo, err := fast.Optimal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fo.LifetimeYears > so.LifetimeYears {
+		t.Errorf("faster gain (L=%v) should not favor longer lifetimes than slower gain (L=%v)",
+			fo.LifetimeYears, so.LifetimeYears)
+	}
+}
+
+func TestZeroOperationalFavorsLongestLifetime(t *testing.T) {
+	// With no operational cost, fewer devices is always better.
+	s := DefaultScenario()
+	s.BaseAnnualOperational = 0
+	opt, err := s.Optimal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.LifetimeYears != s.HorizonYears {
+		t.Errorf("optimal lifetime = %v, want full horizon %v", opt.LifetimeYears, s.HorizonYears)
+	}
+}
+
+func TestZeroEmbodiedFavorsShortestLifetime(t *testing.T) {
+	// With free hardware, always ride the efficiency curve.
+	s := DefaultScenario()
+	s.DeviceEmbodied = 0
+	opt, err := s.Optimal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.LifetimeYears != 1 {
+		t.Errorf("optimal lifetime = %v, want 1", opt.LifetimeYears)
+	}
+}
+
+// Property: total footprint is embodied + operational, and all components
+// are non-negative for any valid lifetime.
+func TestQuickTotals(t *testing.T) {
+	s := Scenario{
+		HorizonYears:          10,
+		AnnualGain:            1.21,
+		DeviceEmbodied:        units.Kilograms(17),
+		BaseAnnualOperational: units.Kilograms(8),
+	}
+	f := func(lRaw uint8) bool {
+		l := float64(lRaw%12) + 0.5
+		r, err := s.Evaluate(l)
+		if err != nil {
+			return false
+		}
+		sum := r.Embodied.Grams() + r.Operational.Grams()
+		return r.Embodied >= 0 && r.Operational >= 0 &&
+			math.Abs(r.Total().Grams()-sum) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

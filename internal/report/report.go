@@ -1,0 +1,261 @@
+// Package report renders the tables and figure series the experiment
+// harness regenerates: column-aligned ASCII for terminals, CSV for
+// downstream plotting, Markdown for documentation, and horizontal ASCII
+// bar charts for figure-shaped data.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Table is a titled grid of cells.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+	// Notes render under the table (provenance, deviations).
+	Notes []string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row. Short rows are padded; long rows are an error at
+// render time, so misuse is caught by tests rendering the table.
+func (t *Table) AddRow(cells ...string) *Table {
+	t.Rows = append(t.Rows, cells)
+	return t
+}
+
+// AddNote appends a footnote.
+func (t *Table) AddNote(note string) *Table {
+	t.Notes = append(t.Notes, note)
+	return t
+}
+
+// normalized returns rows padded to the header width, or an error if any
+// row is wider than the header.
+func (t *Table) normalized() ([][]string, error) {
+	out := make([][]string, len(t.Rows))
+	for i, row := range t.Rows {
+		if len(row) > len(t.Headers) {
+			return nil, fmt.Errorf("report: table %q row %d has %d cells for %d columns",
+				t.Title, i, len(row), len(t.Headers))
+		}
+		padded := make([]string, len(t.Headers))
+		copy(padded, row)
+		out[i] = padded
+	}
+	return out, nil
+}
+
+// ASCII renders the table column-aligned for terminals.
+func (t *Table) ASCII() (string, error) {
+	rows, err := t.normalized()
+	if err != nil {
+		return "", err
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len([]rune(h))
+	}
+	for _, row := range rows {
+		for i, c := range row {
+			if w := len([]rune(c)); w > widths[i] {
+				widths[i] = w
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-len([]rune(c))))
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total+2*(len(widths)-1)))
+	b.WriteString("\n")
+	for _, row := range rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String(), nil
+}
+
+// CSV renders the table as RFC-4180-style CSV (quoting cells containing
+// commas, quotes or newlines). Notes are omitted.
+func (t *Table) CSV() (string, error) {
+	rows, err := t.normalized()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteString(strconv.Quote(c))
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Headers)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String(), nil
+}
+
+// Markdown renders the table as a GitHub-flavored Markdown table.
+func (t *Table) Markdown() (string, error) {
+	rows, err := t.normalized()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "### %s\n\n", t.Title)
+	}
+	esc := func(s string) string { return strings.ReplaceAll(s, "|", "\\|") }
+	fmt.Fprintf(&b, "| %s |\n", strings.Join(mapStrings(t.Headers, esc), " | "))
+	b.WriteString("|")
+	for range t.Headers {
+		b.WriteString(" --- |")
+	}
+	b.WriteString("\n")
+	for _, row := range rows {
+		fmt.Fprintf(&b, "| %s |\n", strings.Join(mapStrings(row, esc), " | "))
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "\n*%s*\n", n)
+	}
+	return b.String(), nil
+}
+
+// Format identifies a rendering format.
+type Format string
+
+// Supported formats.
+const (
+	FormatASCII    Format = "ascii"
+	FormatCSV      Format = "csv"
+	FormatMarkdown Format = "md"
+)
+
+// Render renders the table in the named format.
+func (t *Table) Render(f Format) (string, error) {
+	switch f {
+	case FormatASCII:
+		return t.ASCII()
+	case FormatCSV:
+		return t.CSV()
+	case FormatMarkdown:
+		return t.Markdown()
+	}
+	return "", fmt.Errorf("report: unknown format %q (want ascii, csv or md)", f)
+}
+
+func mapStrings(in []string, f func(string) string) []string {
+	out := make([]string, len(in))
+	for i, s := range in {
+		out[i] = f(s)
+	}
+	return out
+}
+
+// Num formats a value compactly for table cells.
+func Num(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e7 {
+		return strconv.FormatFloat(v, 'f', 0, 64)
+	}
+	return strconv.FormatFloat(v, 'g', 4, 64)
+}
+
+// Point is one bar of a figure-shaped series.
+type Point struct {
+	Label string
+	Value float64
+}
+
+// Series is a titled list of labeled values — one panel of a paper figure.
+type Series struct {
+	Title  string
+	Unit   string
+	Points []Point
+}
+
+// NewSeries creates a series.
+func NewSeries(title, unit string) *Series {
+	return &Series{Title: title, Unit: unit}
+}
+
+// Add appends a point.
+func (s *Series) Add(label string, value float64) *Series {
+	s.Points = append(s.Points, Point{Label: label, Value: value})
+	return s
+}
+
+// Bars renders the series as a horizontal ASCII bar chart scaled to the
+// given width. Negative values are rejected; an all-zero series renders
+// empty bars.
+func (s *Series) Bars(width int) (string, error) {
+	if width < 1 {
+		return "", fmt.Errorf("report: non-positive bar width %d", width)
+	}
+	if len(s.Points) == 0 {
+		return "", fmt.Errorf("report: series %q has no points", s.Title)
+	}
+	maxLabel, maxVal := 0, 0.0
+	for _, p := range s.Points {
+		if p.Value < 0 || math.IsNaN(p.Value) || math.IsInf(p.Value, 0) {
+			return "", fmt.Errorf("report: series %q has unplottable value %v (%s)", s.Title, p.Value, p.Label)
+		}
+		if l := len([]rune(p.Label)); l > maxLabel {
+			maxLabel = l
+		}
+		if p.Value > maxVal {
+			maxVal = p.Value
+		}
+	}
+	var b strings.Builder
+	if s.Title != "" {
+		title := s.Title
+		if s.Unit != "" {
+			title += " (" + s.Unit + ")"
+		}
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	for _, p := range s.Points {
+		n := 0
+		if maxVal > 0 {
+			n = int(math.Round(p.Value / maxVal * float64(width)))
+		}
+		fmt.Fprintf(&b, "%s%s | %s %s\n",
+			p.Label, strings.Repeat(" ", maxLabel-len([]rune(p.Label))),
+			strings.Repeat("#", n), Num(p.Value))
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,166 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableASCII(t *testing.T) {
+	tab := NewTable("Demo", "name", "value").
+		AddRow("alpha", "1").
+		AddRow("b", "22").
+		AddNote("a note")
+	out, err := tab.ASCII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Demo", "name", "alpha", "22", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ASCII output missing %q:\n%s", want, out)
+		}
+	}
+	// Columns align: "alpha" and "b" rows start the value column at the
+	// same offset.
+	lines := strings.Split(out, "\n")
+	var alphaLine, bLine string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "alpha") {
+			alphaLine = l
+		}
+		if strings.HasPrefix(l, "b ") {
+			bLine = l
+		}
+	}
+	if strings.Index(alphaLine, "1") != strings.Index(bLine, "22") {
+		t.Errorf("columns misaligned:\n%q\n%q", alphaLine, bLine)
+	}
+}
+
+func TestTableRowWidthError(t *testing.T) {
+	tab := NewTable("Bad", "only").AddRow("a", "b")
+	if _, err := tab.ASCII(); err == nil {
+		t.Error("over-wide row: expected error")
+	}
+	if _, err := tab.CSV(); err == nil {
+		t.Error("over-wide row CSV: expected error")
+	}
+	if _, err := tab.Markdown(); err == nil {
+		t.Error("over-wide row Markdown: expected error")
+	}
+}
+
+func TestTableShortRowPadded(t *testing.T) {
+	tab := NewTable("Pad", "a", "b", "c").AddRow("x")
+	out, err := tab.CSV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "x,,\n") {
+		t.Errorf("short row not padded:\n%s", out)
+	}
+}
+
+func TestTableCSVQuoting(t *testing.T) {
+	tab := NewTable("Q", "name", "note").
+		AddRow("a,b", `say "hi"`)
+	out, err := tab.CSV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `"a,b"`) {
+		t.Errorf("comma cell not quoted:\n%s", out)
+	}
+	if !strings.Contains(out, `\"hi\"`) {
+		t.Errorf("quote cell not escaped:\n%s", out)
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tab := NewTable("MD", "col|1", "c2").AddRow("v|al", "x").AddNote("n")
+	out, err := tab.Markdown()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"### MD", "| col\\|1 | c2 |", "| --- | --- |", "v\\|al", "*n*"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNum(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{3, "3"},
+		{-12, "-12"},
+		{3.14159, "3.142"},
+		{0.00123456, "0.001235"},
+		{2048, "2048"},
+		{1.5e8, "1.5e+08"},
+	}
+	for _, c := range cases {
+		if got := Num(c.v); got != c.want {
+			t.Errorf("Num(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestSeriesBars(t *testing.T) {
+	s := NewSeries("Embodied", "g CO2").
+		Add("cpu", 253).
+		Add("dsp", 442)
+	out, err := s.Bars(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Embodied (g CO2)") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("bar chart has %d lines, want 3:\n%s", len(lines), out)
+	}
+	// The max bar fills the width; the smaller is proportional.
+	dspHashes := strings.Count(lines[2], "#")
+	cpuHashes := strings.Count(lines[1], "#")
+	if dspHashes != 20 {
+		t.Errorf("max bar = %d hashes, want 20", dspHashes)
+	}
+	want := int(math.Round(253.0 / 442 * 20))
+	if cpuHashes != want {
+		t.Errorf("cpu bar = %d hashes, want %d", cpuHashes, want)
+	}
+}
+
+func TestSeriesBarsErrors(t *testing.T) {
+	s := NewSeries("x", "")
+	if _, err := s.Bars(20); err == nil {
+		t.Error("empty series: expected error")
+	}
+	s.Add("neg", -1)
+	if _, err := s.Bars(20); err == nil {
+		t.Error("negative value: expected error")
+	}
+	ok := NewSeries("y", "").Add("a", 1)
+	if _, err := ok.Bars(0); err == nil {
+		t.Error("zero width: expected error")
+	}
+	nan := NewSeries("z", "").Add("a", math.NaN())
+	if _, err := nan.Bars(5); err == nil {
+		t.Error("NaN value: expected error")
+	}
+}
+
+func TestSeriesAllZero(t *testing.T) {
+	s := NewSeries("zeros", "").Add("a", 0).Add("b", 0)
+	out, err := s.Bars(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "#") {
+		t.Errorf("all-zero series should render empty bars:\n%s", out)
+	}
+}

@@ -1,0 +1,47 @@
+package scenario
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// FuzzParseAndAssess asserts that arbitrary scenario JSON never panics the
+// parser, the device builder, or the assessor, and that any scenario that
+// assesses successfully reports non-negative footprints.
+func FuzzParseAndAssess(f *testing.F) {
+	seeds := []string{
+		sample,
+		lifecycleSample,
+		`{}`,
+		`{"name":"x"}`,
+		`{"name":"x","logic":[{"name":"l","area_mm2":1e308,"node":"7nm"}],"usage":{"power_w":1,"app_hours":1}}`,
+		`{"name":"x","dram":[{"name":"d","technology":"lpddr4","capacity_gb":-1}]}`,
+		`{"name":"x","usage":{"power_w":-5,"app_hours":1}}`,
+		`[1,2,3]`,
+		`"just a string"`,
+	}
+	if data, err := json.Marshal(Example()); err == nil {
+		seeds = append(seeds, string(data))
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		spec, err := Parse(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		a, err := spec.Assess()
+		if err == nil {
+			if a.Operational < 0 || a.EmbodiedTotal < 0 || a.EmbodiedShare < 0 {
+				t.Errorf("negative footprint from %q: %+v", input, a)
+			}
+		}
+		if spec.HasLifeCycle() {
+			if r, err := spec.LifeCycle(); err == nil && r.Total() < 0 {
+				t.Errorf("negative life-cycle total from %q", input)
+			}
+		}
+	})
+}

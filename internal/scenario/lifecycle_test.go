@@ -1,0 +1,122 @@
+package scenario
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"act/internal/core"
+)
+
+const lifecycleSample = `{
+  "name": "phone",
+  "logic": [{"name": "soc", "area_mm2": 98.5, "node": "7nm"}],
+  "usage": {"power_w": 3, "app_hours": 1000, "battery_efficiency": 0.8},
+  "transport": [
+    {"name": "air", "mass_kg": 0.3, "distance_km": 9000, "mode": "air"}
+  ],
+  "end_of_life": {"processing_kg": 0.4, "recycling_credit_kg": 0.1},
+  "lifetime_years": 3
+}`
+
+func TestUsageEffectiveness(t *testing.T) {
+	// Battery efficiency scales operational emissions by 1/eta.
+	s, err := Parse(strings.NewReader(lifecycleSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.Assess()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 W x 1000 h = 3 kWh device-side; /0.8 = 3.75 kWh wall; x300 g.
+	if math.Abs(a.Operational.Grams()-1125) > 1e-6 {
+		t.Errorf("operational = %v, want 1125 g", a.Operational)
+	}
+
+	// PUE path.
+	pue := strings.ReplaceAll(lifecycleSample, `"battery_efficiency": 0.8`, `"pue": 1.5`)
+	s, err = Parse(strings.NewReader(pue))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err = s.Assess()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Operational.Grams()-3*1.5*300) > 1e-6 {
+		t.Errorf("PUE operational = %v, want 1350 g", a.Operational)
+	}
+
+	// Both set: rejected.
+	both := strings.ReplaceAll(lifecycleSample,
+		`"battery_efficiency": 0.8`, `"battery_efficiency": 0.8, "pue": 1.5`)
+	s, err = Parse(strings.NewReader(both))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Assess(); err == nil {
+		t.Error("pue + battery_efficiency: expected error")
+	}
+
+	// Invalid values surface.
+	badPUE := strings.ReplaceAll(lifecycleSample, `"battery_efficiency": 0.8`, `"pue": 0.5`)
+	s, _ = Parse(strings.NewReader(badPUE))
+	if _, err := s.Assess(); err == nil {
+		t.Error("PUE < 1: expected error")
+	}
+}
+
+func TestLifeCycleReport(t *testing.T) {
+	s, err := Parse(strings.NewReader(lifecycleSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.HasLifeCycle() {
+		t.Fatal("HasLifeCycle() = false")
+	}
+	r, err := s.LifeCycle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Transport: 0.3 kg x 9000 km x 600 g/t-km = 1620 g.
+	if math.Abs(r.Phases[core.PhaseTransport].Grams()-1620) > 1e-6 {
+		t.Errorf("transport = %v, want 1620 g", r.Phases[core.PhaseTransport])
+	}
+	// End of life: 400 - 100 = 300 g.
+	if math.Abs(r.Phases[core.PhaseEndOfLife].Grams()-300) > 1e-6 {
+		t.Errorf("EOL = %v, want 300 g", r.Phases[core.PhaseEndOfLife])
+	}
+	// Use matches the effectiveness-scaled assessment.
+	if math.Abs(r.Phases[core.PhaseUse].Grams()-1125) > 1e-6 {
+		t.Errorf("use = %v, want 1125 g", r.Phases[core.PhaseUse])
+	}
+	if r.Phases[core.PhaseManufacturing] <= 0 {
+		t.Error("manufacturing phase empty")
+	}
+}
+
+func TestLifeCycleBadTransportMode(t *testing.T) {
+	bad := strings.ReplaceAll(lifecycleSample, `"mode": "air"`, `"mode": "catapult"`)
+	s, err := Parse(strings.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.LifeCycle(); err == nil {
+		t.Error("bad transport mode: expected error")
+	}
+}
+
+func TestNoLifeCycleWithoutData(t *testing.T) {
+	s, err := Parse(strings.NewReader(`{
+	  "name": "x",
+	  "logic": [{"name": "l", "area_mm2": 10, "node": "7nm"}],
+	  "usage": {"power_w": 1, "app_hours": 1}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.HasLifeCycle() {
+		t.Error("HasLifeCycle() = true without transport/EOL data")
+	}
+}

@@ -1,0 +1,307 @@
+// Package scenario defines the JSON description of a footprint assessment
+// consumed by the act command line: a device bill of materials (logic dies
+// with fab parameters, DRAM modules, storage drives), the software usage,
+// and the lifetime over which embodied carbon is amortized.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"act/internal/core"
+	"act/internal/fab"
+	"act/internal/memdb"
+	"act/internal/storagedb"
+	"act/internal/units"
+)
+
+// FabSpec configures the fab manufacturing a logic die. Zero-valued
+// fields take the paper's defaults.
+type FabSpec struct {
+	// CarbonIntensity is CIfab in g CO2/kWh (default: Taiwan grid + 25%
+	// renewable).
+	CarbonIntensity float64 `json:"carbon_intensity,omitempty"`
+	// Abatement is the gaseous abatement effectiveness in [0.95, 0.99]
+	// (default 0.95).
+	Abatement float64 `json:"abatement,omitempty"`
+	// Yield is the fixed fab yield in (0, 1] (default 0.875).
+	Yield float64 `json:"yield,omitempty"`
+}
+
+// LogicSpec describes logic dies.
+type LogicSpec struct {
+	Name string `json:"name"`
+	// AreaMM2 is the per-die area in mm².
+	AreaMM2 float64 `json:"area_mm2"`
+	// Node is the process node: "28nm".."3nm", "7nm-euv", or any feature
+	// size to snap ("16nm").
+	Node string `json:"node"`
+	// Count is the number of identical dies (default 1).
+	Count int      `json:"count,omitempty"`
+	Fab   *FabSpec `json:"fab,omitempty"`
+}
+
+// DRAMSpec describes a DRAM module.
+type DRAMSpec struct {
+	Name string `json:"name"`
+	// Technology is a Table 9 name, e.g. "lpddr4", "10nm DDR4".
+	Technology string  `json:"technology"`
+	CapacityGB float64 `json:"capacity_gb"`
+}
+
+// StorageSpec describes an SSD or HDD.
+type StorageSpec struct {
+	Name string `json:"name"`
+	// Technology is a Table 10/11 name, e.g. "v3-nand-tlc", "exosx16".
+	Technology string  `json:"technology"`
+	CapacityGB float64 `json:"capacity_gb"`
+}
+
+// UsageSpec describes the operational side.
+type UsageSpec struct {
+	// PowerW is the average power draw while the application runs.
+	PowerW float64 `json:"power_w"`
+	// AppHours is T, the application execution time in hours.
+	AppHours float64 `json:"app_hours"`
+	// IntensityGPerKWh is CIuse (default: US grid, 300).
+	IntensityGPerKWh float64 `json:"intensity_g_per_kwh,omitempty"`
+	// PUE scales device energy to wall energy (≥ 1); mutually exclusive
+	// with BatteryEfficiency.
+	PUE float64 `json:"pue,omitempty"`
+	// BatteryEfficiency is the charging-path efficiency in (0, 1];
+	// mutually exclusive with PUE.
+	BatteryEfficiency float64 `json:"battery_efficiency,omitempty"`
+}
+
+// TransportSpec describes one shipment leg (Figure 3's transport phase).
+type TransportSpec struct {
+	Name       string  `json:"name"`
+	MassKg     float64 `json:"mass_kg"`
+	DistanceKm float64 `json:"distance_km"`
+	// Mode is "air", "sea", "road" or "rail".
+	Mode string `json:"mode"`
+}
+
+// EndOfLifeSpec describes recycling/disposal (Figure 3's final phase).
+type EndOfLifeSpec struct {
+	ProcessingKg      float64 `json:"processing_kg,omitempty"`
+	RecyclingCreditKg float64 `json:"recycling_credit_kg,omitempty"`
+}
+
+// Spec is the full scenario.
+type Spec struct {
+	Name     string        `json:"name"`
+	Logic    []LogicSpec   `json:"logic,omitempty"`
+	DRAM     []DRAMSpec    `json:"dram,omitempty"`
+	Storage  []StorageSpec `json:"storage,omitempty"`
+	ExtraICs int           `json:"extra_ics,omitempty"`
+	Usage    UsageSpec     `json:"usage"`
+	// Transport and EndOfLife enable the four-phase life-cycle report.
+	Transport []TransportSpec `json:"transport,omitempty"`
+	EndOfLife *EndOfLifeSpec  `json:"end_of_life,omitempty"`
+	// LifetimeYears is LT (default 3).
+	LifetimeYears float64 `json:"lifetime_years,omitempty"`
+}
+
+// Parse decodes a scenario from JSON, rejecting unknown fields so typos in
+// hand-written scenarios fail loudly.
+func Parse(r io.Reader) (*Spec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	return &s, nil
+}
+
+// buildFab constructs the fab for a logic spec.
+func buildFab(nodeName string, spec *FabSpec) (*fab.Fab, error) {
+	params, err := fab.ParseNode(nodeName)
+	if err != nil {
+		return nil, err
+	}
+	var opts []fab.Option
+	if spec != nil {
+		if spec.CarbonIntensity != 0 {
+			opts = append(opts, fab.WithCarbonIntensity(units.GramsPerKWh(spec.CarbonIntensity)))
+		}
+		if spec.Abatement != 0 {
+			opts = append(opts, fab.WithAbatement(spec.Abatement))
+		}
+		if spec.Yield != 0 {
+			opts = append(opts, fab.WithYield(fab.FixedYield(spec.Yield)))
+		}
+	}
+	return fab.New(params.Node, opts...)
+}
+
+// Device materializes the scenario's bill of materials.
+func (s *Spec) Device() (*core.Device, error) {
+	if s.Name == "" {
+		return nil, fmt.Errorf("scenario: missing device name")
+	}
+	if len(s.Logic)+len(s.DRAM)+len(s.Storage) == 0 {
+		return nil, fmt.Errorf("scenario: device %q has no components", s.Name)
+	}
+	d, err := core.NewDevice(s.Name)
+	if err != nil {
+		return nil, err
+	}
+	for _, l := range s.Logic {
+		f, err := buildFab(l.Node, l.Fab)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: logic %q: %w", l.Name, err)
+		}
+		count := l.Count
+		if count == 0 {
+			count = 1
+		}
+		logic, err := core.NewLogic(l.Name, units.MM2(l.AreaMM2), f, count)
+		if err != nil {
+			return nil, err
+		}
+		d.AddLogic(logic)
+	}
+	for _, m := range s.DRAM {
+		entry, err := memdb.Parse(m.Technology)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: dram %q: %w", m.Name, err)
+		}
+		dram, err := core.NewDRAM(m.Name, entry.Technology, units.Gigabytes(m.CapacityGB))
+		if err != nil {
+			return nil, err
+		}
+		d.AddDRAM(dram)
+	}
+	for _, st := range s.Storage {
+		entry, err := storagedb.Parse(st.Technology)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: storage %q: %w", st.Name, err)
+		}
+		drive, err := core.NewStorage(st.Name, entry.Technology, units.Gigabytes(st.CapacityGB))
+		if err != nil {
+			return nil, err
+		}
+		d.AddStorage(drive)
+	}
+	d.AddExtraICs(s.ExtraICs)
+	return d, nil
+}
+
+// usage builds the (possibly effectiveness-scaled) operational input.
+func (s *Spec) usage() (core.Usage, error) {
+	ci := s.Usage.IntensityGPerKWh
+	if ci == 0 {
+		ci = 300 // US grid default
+	}
+	if s.Usage.AppHours <= 0 {
+		return core.Usage{}, fmt.Errorf("scenario: non-positive app_hours %v", s.Usage.AppHours)
+	}
+	appTime := units.Years(s.Usage.AppHours / (365.25 * 24))
+	u := core.UsageFromPower(units.Watts(s.Usage.PowerW), appTime, units.GramsPerKWh(ci))
+	if s.Usage.PUE != 0 && s.Usage.BatteryEfficiency != 0 {
+		return core.Usage{}, fmt.Errorf("scenario: pue and battery_efficiency are mutually exclusive")
+	}
+	var eu core.EffectiveUsage
+	var err error
+	switch {
+	case s.Usage.PUE != 0:
+		eu, err = core.PUE(u, s.Usage.PUE)
+	case s.Usage.BatteryEfficiency != 0:
+		eu, err = core.BatteryEfficiency(u, s.Usage.BatteryEfficiency)
+	default:
+		return u, nil
+	}
+	if err != nil {
+		return core.Usage{}, err
+	}
+	return eu.WallUsage()
+}
+
+// lifetime returns LT with the 3-year default applied.
+func (s *Spec) lifetime() float64 {
+	if s.LifetimeYears == 0 {
+		return 3
+	}
+	return s.LifetimeYears
+}
+
+// Assess evaluates the scenario end to end (Eq. 1).
+func (s *Spec) Assess() (core.Assessment, error) {
+	d, err := s.Device()
+	if err != nil {
+		return core.Assessment{}, err
+	}
+	usage, err := s.usage()
+	if err != nil {
+		return core.Assessment{}, err
+	}
+	appTime := units.Years(s.Usage.AppHours / (365.25 * 24))
+	return core.Footprint(d, usage, appTime, units.Years(s.lifetime()))
+}
+
+// HasLifeCycle reports whether the scenario carries transport or
+// end-of-life data, enabling the four-phase report.
+func (s *Spec) HasLifeCycle() bool {
+	return len(s.Transport) > 0 || s.EndOfLife != nil
+}
+
+// LifeCycle evaluates the four-phase product footprint (Figure 3): the
+// usage is treated as the whole-lifetime operational profile.
+func (s *Spec) LifeCycle() (core.PhaseReport, error) {
+	d, err := s.Device()
+	if err != nil {
+		return core.PhaseReport{}, err
+	}
+	usage, err := s.usage()
+	if err != nil {
+		return core.PhaseReport{}, err
+	}
+	lc := core.LifeCycle{
+		Device:   d,
+		Use:      core.EffectiveUsage{Usage: usage, Effectiveness: 1},
+		Lifetime: units.Years(s.lifetime()),
+	}
+	for _, leg := range s.Transport {
+		lc.Transport = append(lc.Transport, core.TransportLeg{
+			Name:       leg.Name,
+			MassKg:     leg.MassKg,
+			DistanceKm: leg.DistanceKm,
+			Mode:       core.TransportMode(leg.Mode),
+		})
+	}
+	if s.EndOfLife != nil {
+		lc.EndOfLife = core.EndOfLife{
+			Processing:      units.Kilograms(s.EndOfLife.ProcessingKg),
+			RecyclingCredit: units.Kilograms(s.EndOfLife.RecyclingCreditKg),
+		}
+	}
+	return lc.Assess()
+}
+
+// Example returns a documented sample scenario (the act CLI's -example).
+func Example() *Spec {
+	return &Spec{
+		Name: "mobile-phone",
+		Logic: []LogicSpec{
+			{Name: "application SoC", AreaMM2: 98.5, Node: "7nm", Count: 1},
+			{Name: "board ICs", AreaMM2: 30, Node: "28nm", Count: 12},
+		},
+		DRAM:    []DRAMSpec{{Name: "LPDDR4", Technology: "lpddr4", CapacityGB: 4}},
+		Storage: []StorageSpec{{Name: "flash", Technology: "v3-nand-tlc", CapacityGB: 64}},
+		Usage: UsageSpec{
+			PowerW:            3,
+			AppHours:          2 * 365.25 * 24 * 0.05, // 5% duty over 2 years
+			IntensityGPerKWh:  300,
+			BatteryEfficiency: 0.85,
+		},
+		Transport: []TransportSpec{
+			{Name: "fab to assembly", MassKg: 0.2, DistanceKm: 1500, Mode: "road"},
+			{Name: "assembly to market", MassKg: 0.3, DistanceKm: 9000, Mode: "air"},
+		},
+		EndOfLife:     &EndOfLifeSpec{ProcessingKg: 0.4, RecyclingCreditKg: 0.1},
+		LifetimeYears: 3,
+	}
+}

@@ -1,0 +1,141 @@
+package scenario
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+const sample = `{
+  "name": "phone",
+  "logic": [
+    {"name": "soc", "area_mm2": 98.5, "node": "7nm"},
+    {"name": "pmic", "area_mm2": 20, "node": "28nm", "count": 3,
+     "fab": {"carbon_intensity": 41, "abatement": 0.99, "yield": 0.9}}
+  ],
+  "dram": [{"name": "ram", "technology": "lpddr4", "capacity_gb": 4}],
+  "storage": [{"name": "flash", "technology": "v3-nand-tlc", "capacity_gb": 64}],
+  "extra_ics": 5,
+  "usage": {"power_w": 3, "app_hours": 100, "intensity_g_per_kwh": 300},
+  "lifetime_years": 3
+}`
+
+func TestParseAndBuild(t *testing.T) {
+	s, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := s.Device()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ICs: 1 soc + 3 pmic + 1 dram + 1 flash + 5 extra = 11.
+	if got := d.ICCount(); got != 11 {
+		t.Errorf("ICCount = %d, want 11", got)
+	}
+	if len(d.Logic()) != 2 || len(d.DRAM()) != 1 || len(d.Storage()) != 1 {
+		t.Errorf("component counts wrong")
+	}
+}
+
+func TestAssess(t *testing.T) {
+	s, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.Assess()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Operational: 3 W x 100 h = 0.3 kWh x 300 g = 90 g.
+	if math.Abs(a.Operational.Grams()-90) > 1e-6 {
+		t.Errorf("operational = %v, want 90 g", a.Operational)
+	}
+	// Embodied share = total x (100h / 3y).
+	wantShare := a.EmbodiedTotal.Grams() * 100 / (3 * 365.25 * 24)
+	if math.Abs(a.EmbodiedShare.Grams()-wantShare) > 1e-6 {
+		t.Errorf("embodied share = %v, want %v g", a.EmbodiedShare, wantShare)
+	}
+}
+
+func TestParseRejectsUnknownFields(t *testing.T) {
+	bad := `{"name": "x", "logics": []}`
+	if _, err := Parse(strings.NewReader(bad)); err == nil {
+		t.Error("unknown field: expected error")
+	}
+}
+
+func TestDeviceValidation(t *testing.T) {
+	cases := []string{
+		`{"usage": {"power_w": 1, "app_hours": 1}}`,                                          // no name
+		`{"name": "x", "usage": {"power_w": 1, "app_hours": 1}}`,                             // no components
+		`{"name": "x", "logic": [{"name": "l", "area_mm2": 10, "node": "1nm"}]}`,             // bad node
+		`{"name": "x", "dram": [{"name": "d", "technology": "hbm9", "capacity_gb": 4}]}`,     // bad dram
+		`{"name": "x", "storage": [{"name": "s", "technology": "tape", "capacity_gb": 4}]}`,  // bad storage
+		`{"name": "x", "logic": [{"name": "l", "area_mm2": -1, "node": "7nm"}]}`,             // bad area
+		`{"name": "x", "logic": [{"name": "l", "area_mm2": 1, "node": "7nm", "count": -2}]}`, // bad count
+		`{"name": "x", "dram": [{"name": "d", "technology": "lpddr4", "capacity_gb": -4}]}`,  // bad capacity
+	}
+	for i, c := range cases {
+		s, err := Parse(strings.NewReader(c))
+		if err != nil {
+			continue // parse-level rejection is fine too
+		}
+		if _, err := s.Device(); err == nil {
+			t.Errorf("case %d: expected device build error", i)
+		}
+	}
+}
+
+func TestAssessValidation(t *testing.T) {
+	s, err := Parse(strings.NewReader(`{
+	  "name": "x",
+	  "logic": [{"name": "l", "area_mm2": 10, "node": "7nm"}],
+	  "usage": {"power_w": 1, "app_hours": 0}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Assess(); err == nil {
+		t.Error("zero app_hours: expected error")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	s, err := Parse(strings.NewReader(`{
+	  "name": "x",
+	  "logic": [{"name": "l", "area_mm2": 10, "node": "7nm"}],
+	  "usage": {"power_w": 1, "app_hours": 24}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.Assess()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Default intensity 300 g/kWh: 24 Wh = 7.2 g.
+	if math.Abs(a.Operational.Grams()-7.2) > 1e-9 {
+		t.Errorf("default-intensity operational = %v, want 7.2 g", a.Operational)
+	}
+	// Default lifetime 3 years.
+	if y := a.Lifetime.Hours() / (365.25 * 24); math.Abs(y-3) > 1e-9 {
+		t.Errorf("default lifetime = %v years, want 3", y)
+	}
+}
+
+func TestExampleRoundTrips(t *testing.T) {
+	ex := Example()
+	data, err := json.Marshal(ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := Parse(strings.NewReader(string(data)))
+	if err != nil {
+		t.Fatalf("example does not round-trip: %v", err)
+	}
+	if _, err := parsed.Assess(); err != nil {
+		t.Fatalf("example does not assess: %v", err)
+	}
+}

@@ -1,0 +1,41 @@
+package soc_test
+
+import (
+	"fmt"
+
+	"act/internal/metrics"
+	"act/internal/soc"
+)
+
+// ExampleCandidates reproduces the Figure 8(d) headline: the optimal chip
+// depends on the optimization metric.
+func ExampleCandidates() {
+	cands, err := soc.Candidates(soc.Catalog())
+	if err != nil {
+		panic(err)
+	}
+	for _, m := range []metrics.Metric{metrics.EDP, metrics.EDAP, metrics.CEP, metrics.C2EP} {
+		best, err := metrics.Best(m, cands)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s: %s\n", m, best.Candidate.Name)
+	}
+	// Output:
+	// EDP: Kirin 990
+	// EDAP: Snapdragon 865
+	// CEP: Kirin 980
+	// C2EP: Kirin 980
+}
+
+// ExampleFleetEfficiencyCAGR measures the annual energy-efficiency trend
+// Figure 14 (left) reports.
+func ExampleFleetEfficiencyCAGR() {
+	c, err := soc.FleetEfficiencyCAGR()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("fleet efficiency improves %.2fx per year\n", c)
+	// Output:
+	// fleet efficiency improves 1.21x per year
+}

@@ -1,0 +1,251 @@
+package soc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"act/internal/metrics"
+)
+
+func TestCatalogShape(t *testing.T) {
+	chips := Catalog()
+	if len(chips) != 13 {
+		t.Fatalf("catalog has %d chips, want 13", len(chips))
+	}
+	counts := map[string]int{}
+	for _, s := range chips {
+		counts[s.Family]++
+		if s.BaseScore <= 0 || s.TDP <= 0 || s.Die <= 0 || s.DRAMCapacity <= 0 {
+			t.Errorf("%s has a non-positive field: %+v", s.Name, s)
+		}
+		if s.Year < 2014 || s.Year > 2021 {
+			t.Errorf("%s has implausible year %d", s.Name, s.Year)
+		}
+	}
+	if counts[FamilyExynos] != 4 || counts[FamilySnapdragon] != 5 || counts[FamilyKirin] != 4 {
+		t.Errorf("family counts = %v, want Exynos 4 / Snapdragon 5 / Kirin 4", counts)
+	}
+}
+
+func TestByNameAndFamily(t *testing.T) {
+	s, err := ByName("Snapdragon 845")
+	if err != nil || s.Family != FamilySnapdragon {
+		t.Errorf("ByName(Snapdragon 845) = %+v, %v", s, err)
+	}
+	if _, err := ByName("Apple A13"); err == nil {
+		t.Error("ByName(unknown): expected error")
+	}
+	for _, f := range Families() {
+		if len(ByFamily(f)) == 0 {
+			t.Errorf("ByFamily(%s) empty", f)
+		}
+	}
+	if got := ByFamily("MediaTek"); got != nil {
+		t.Errorf("ByFamily(unknown) = %v, want nil", got)
+	}
+}
+
+func TestNewest(t *testing.T) {
+	cases := map[string]string{
+		FamilyExynos:     "Exynos 9820",
+		FamilySnapdragon: "Snapdragon 865",
+		FamilyKirin:      "Kirin 990",
+	}
+	for fam, want := range cases {
+		s, err := Newest(fam)
+		if err != nil || s.Name != want {
+			t.Errorf("Newest(%s) = %v, %v, want %s", fam, s.Name, err, want)
+		}
+	}
+	if _, err := Newest("MediaTek"); err == nil {
+		t.Error("Newest(unknown): expected error")
+	}
+}
+
+func TestWorkloadScores(t *testing.T) {
+	s, _ := ByName("Kirin 980") // NPU chip
+	plain, _ := ByName("Snapdragon 835")
+
+	// Geomean equals base score by construction.
+	if g := s.GeomeanScore(); math.Abs(g-s.BaseScore) > 1e-6*s.BaseScore {
+		t.Errorf("geomean = %v, want base %v", g, s.BaseScore)
+	}
+
+	// NPU chips are relatively better at AI than non-NPU chips.
+	aiNPU, err := s.WorkloadScore(AIClassify)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aiPlain, _ := plain.WorkloadScore(AIClassify)
+	if aiNPU/s.BaseScore <= aiPlain/plain.BaseScore {
+		t.Errorf("NPU AI ratio %v should exceed non-NPU ratio %v",
+			aiNPU/s.BaseScore, aiPlain/plain.BaseScore)
+	}
+
+	// All seven workloads have positive scores.
+	for _, w := range Workloads() {
+		v, err := s.WorkloadScore(w)
+		if err != nil || v <= 0 {
+			t.Errorf("WorkloadScore(%s) = %v, %v", w, v, err)
+		}
+	}
+	if _, err := s.WorkloadScore("crysis"); err == nil {
+		t.Error("WorkloadScore(unknown): expected error")
+	}
+}
+
+func TestDelayEnergyEfficiency(t *testing.T) {
+	s, _ := ByName("Snapdragon 865")
+	// Score 3300 -> reference delay 1000/3300 s.
+	wantDelay := 1000.0 / 3300
+	if got := s.Delay().Seconds(); math.Abs(got-wantDelay) > 1e-6 {
+		t.Errorf("Delay = %v s, want %v", got, wantDelay)
+	}
+	// Energy = TDP * delay.
+	wantE := 6.0 * wantDelay
+	if got := s.Energy().Joules(); math.Abs(got-wantE) > 1e-6 {
+		t.Errorf("Energy = %v J, want %v", got, wantE)
+	}
+	if got := s.Efficiency(); math.Abs(got-3300.0/6.0) > 1e-9 {
+		t.Errorf("Efficiency = %v, want 550", got)
+	}
+}
+
+func TestEmbodiedPositiveAndOrdered(t *testing.T) {
+	for _, s := range Catalog() {
+		e, err := s.Embodied()
+		if err != nil {
+			t.Fatalf("%s Embodied: %v", s.Name, err)
+		}
+		// Sanity window: mobile SoC+DRAM packages run 1-4 kg CO2.
+		if e.Kilograms() < 1 || e.Kilograms() > 4 {
+			t.Errorf("%s embodied = %v, outside 1-4 kg plausibility window", s.Name, e)
+		}
+	}
+}
+
+func TestFigure8MetricWinners(t *testing.T) {
+	// Section 4.2: "The optimal hardware in terms of EDP, EDAP, embodied
+	// carbon, CEP, and C2EP are the Kirin 990, Snapdragon 865, Snapdragon
+	// 835, Kirin 980, and Kirin 980, respectively."
+	cands, err := Candidates(Catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := map[metrics.Metric]string{
+		metrics.EDP:  "Kirin 990",
+		metrics.EDAP: "Snapdragon 865",
+		metrics.CEP:  "Kirin 980",
+		metrics.C2EP: "Kirin 980",
+	}
+	for m, want := range wants {
+		best, err := metrics.Best(m, cands)
+		if err != nil {
+			t.Fatalf("Best(%s): %v", m, err)
+		}
+		if best.Candidate.Name != want {
+			t.Errorf("%s optimum = %s, want %s (paper Section 4.2)", m, best.Candidate.Name, want)
+		}
+	}
+
+	// Embodied-carbon optimum: Snapdragon 835.
+	sorted, err := SortedByEmbodied()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sorted[0].Name != "Snapdragon 835" {
+		t.Errorf("embodied optimum = %s, want Snapdragon 835 (paper Section 4.2)", sorted[0].Name)
+	}
+}
+
+func TestMetricWinnersDiffer(t *testing.T) {
+	// The headline of Section 4: optimizing for carbon yields different
+	// designs than optimizing for energy. EDP and CEP winners must differ.
+	cands, err := Candidates(Catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	edp, _ := metrics.Best(metrics.EDP, cands)
+	cep, _ := metrics.Best(metrics.CEP, cands)
+	if edp.Candidate.Name == cep.Candidate.Name {
+		t.Errorf("EDP and CEP optima coincide (%s); the carbon design space should differ", edp.Candidate.Name)
+	}
+}
+
+func TestEfficiencyCAGR(t *testing.T) {
+	// Figure 14 (left): per-family annual efficiency improvements with a
+	// fleet average around 1.21x.
+	for _, f := range Families() {
+		c, err := EfficiencyCAGR(f)
+		if err != nil {
+			t.Fatalf("EfficiencyCAGR(%s): %v", f, err)
+		}
+		if c < 1.05 || c > 1.40 {
+			t.Errorf("%s CAGR = %v, outside plausible band [1.05, 1.40]", f, c)
+		}
+	}
+	fleet, err := FleetEfficiencyCAGR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fleet < 1.15 || fleet > 1.28 {
+		t.Errorf("fleet CAGR = %v, want ≈1.21 (within [1.15, 1.28])", fleet)
+	}
+	if _, err := EfficiencyCAGR("MediaTek"); err == nil {
+		t.Error("EfficiencyCAGR(unknown): expected error")
+	}
+}
+
+func TestNewerChipsFaster(t *testing.T) {
+	// Figure 8(a): within each family, newer architectures score higher.
+	for _, f := range Families() {
+		chips := ByFamily(f)
+		for i := 1; i < len(chips); i++ {
+			// Catalog is newest-first.
+			if chips[i].BaseScore >= chips[i-1].BaseScore {
+				t.Errorf("%s: %s (%v) should outscore %s (%v)",
+					f, chips[i-1].Name, chips[i-1].BaseScore, chips[i].Name, chips[i].BaseScore)
+			}
+		}
+	}
+}
+
+func TestSortedByEmbodiedAscending(t *testing.T) {
+	sorted, err := SortedByEmbodied()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for _, s := range sorted {
+		e, _ := s.Embodied()
+		if e.Grams() < prev {
+			t.Fatalf("SortedByEmbodied not ascending at %s", s.Name)
+		}
+		prev = e.Grams()
+	}
+}
+
+// Property: for every chip, Candidate() mirrors the individual accessors.
+func TestQuickCandidateConsistency(t *testing.T) {
+	chips := Catalog()
+	f := func(idx uint8) bool {
+		s := chips[int(idx)%len(chips)]
+		c, err := s.Candidate()
+		if err != nil {
+			return false
+		}
+		e, err := s.Embodied()
+		if err != nil {
+			return false
+		}
+		return c.Name == s.Name &&
+			c.Embodied == e &&
+			c.Area == s.Die &&
+			math.Abs(c.Energy.Joules()-s.Energy().Joules()) < 1e-9 &&
+			c.Delay == s.Delay()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

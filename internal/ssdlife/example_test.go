@@ -1,0 +1,44 @@
+package ssdlife_test
+
+import (
+	"fmt"
+
+	"act/internal/ssdlife"
+)
+
+// ExampleDrive_Optimal reproduces the paper's Figure 15 optima: 16%
+// over-provisioning for a 2-year first life, 34% for a 4-year second life.
+func ExampleDrive_Optimal() {
+	d := ssdlife.DefaultDrive()
+	grid := ssdlife.DefaultGrid()
+
+	first, err := d.Optimal(grid, 2)
+	if err != nil {
+		panic(err)
+	}
+	second, err := d.Optimal(grid, 4)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("first life: %.0f%% OP, %.2f-year drive\n", first.PF*100, first.LifetimeYears)
+	fmt.Printf("second life: %.0f%% OP, %.2f-year drive\n", second.PF*100, second.LifetimeYears)
+	// Output:
+	// first life: 16% OP, 2.00-year drive
+	// second life: 34% OP, 4.26-year drive
+}
+
+// ExampleWriteAmplification shows the greedy-GC approximation the model
+// uses.
+func ExampleWriteAmplification() {
+	for _, pf := range []float64{0.04, 0.16, 0.34} {
+		wa, err := ssdlife.WriteAmplification(pf)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("OP %.0f%%: WA %.2f\n", pf*100, wa)
+	}
+	// Output:
+	// OP 4%: WA 13.00
+	// OP 16%: WA 3.62
+	// OP 34%: WA 1.97
+}

@@ -1,0 +1,193 @@
+// Package ssdlife models SSD reliability and lifetime for the paper's
+// Recycle case study (Section 8, Figure 15). Following Meza et al.'s
+// field-failure model, drive lifetime is
+//
+//	Lifetime (years) = PEC·(1+PF) / (365·DWPD·WA·Rcompress)
+//
+// where PEC is the rated program-erase cycle count, PF the
+// over-provisioning factor, DWPD full physical disk writes per day, WA the
+// write-amplification factor and Rcompress the storage compression rate.
+// Write amplification itself falls with over-provisioning; the package uses
+// the standard greedy garbage-collection approximation
+//
+//	WA(PF) = (1 + PF) / (2·PF)
+//
+// so extra spare area extends lifetime, at the cost of manufacturing extra
+// flash capacity — the trade-off Figure 15 sweeps.
+package ssdlife
+
+import (
+	"fmt"
+	"math"
+
+	"act/internal/storagedb"
+	"act/internal/units"
+)
+
+// Params are the fixed reliability constants of the lifetime equation.
+// The paper fixes PEC, DWPD and Rcompress from prior work [Meza et al.].
+type Params struct {
+	// PEC is the rated program-erase cycle count of the flash.
+	PEC float64
+	// DWPD is the number of full physical disk writes per day.
+	DWPD float64
+	// CompressRatio is Rcompress, the storage compression rate.
+	CompressRatio float64
+}
+
+// DefaultParams reproduce the paper's operating point: a 4% over-
+// provisioned drive survives ≈6 months, 16% reaches the ≈2-year single
+// mobile lifetime, and 34% reaches the ≈4-year second-life target.
+func DefaultParams() Params {
+	return Params{PEC: 3000, DWPD: 1.05, CompressRatio: 1.25}
+}
+
+// Validate checks the constants are usable.
+func (p Params) Validate() error {
+	if p.PEC <= 0 || p.DWPD <= 0 || p.CompressRatio <= 0 {
+		return fmt.Errorf("ssdlife: non-positive parameter in %+v", p)
+	}
+	return nil
+}
+
+// WriteAmplification returns WA(PF) under the greedy garbage-collection
+// approximation. PF must be strictly positive (a drive with zero spare
+// area cannot garbage-collect).
+func WriteAmplification(pf float64) (float64, error) {
+	if pf <= 0 {
+		return 0, fmt.Errorf("ssdlife: non-positive over-provisioning factor %v", pf)
+	}
+	return (1 + pf) / (2 * pf), nil
+}
+
+// Lifetime returns the drive lifetime in years at over-provisioning pf.
+func Lifetime(p Params, pf float64) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	wa, err := WriteAmplification(pf)
+	if err != nil {
+		return 0, err
+	}
+	return p.PEC * (1 + pf) / (365 * p.DWPD * wa * p.CompressRatio), nil
+}
+
+// Drive describes the SSD under study.
+type Drive struct {
+	// UserCapacity is the capacity exposed to the host; the manufactured
+	// capacity is UserCapacity·(1+PF).
+	UserCapacity units.Capacity
+	// Tech selects the flash technology's carbon-per-GB.
+	Tech storagedb.Technology
+	// Params are the reliability constants.
+	Params Params
+}
+
+// DefaultDrive is the reference drive of the Figure 15 study: a 128 GB
+// mobile flash package in modern 3D TLC.
+func DefaultDrive() Drive {
+	return Drive{
+		UserCapacity: units.Gigabytes(128),
+		Tech:         storagedb.NANDV3TLC,
+		Params:       DefaultParams(),
+	}
+}
+
+// Embodied returns the embodied carbon of manufacturing the drive at
+// over-provisioning pf (user capacity plus spare area).
+func (d Drive) Embodied(pf float64) (units.CO2Mass, error) {
+	if pf < 0 {
+		return 0, fmt.Errorf("ssdlife: negative over-provisioning %v", pf)
+	}
+	manufactured := units.Capacity(d.UserCapacity.Gigabytes() * (1 + pf))
+	return storagedb.Embodied(d.Tech, manufactured)
+}
+
+// Point is one sample of the Figure 15 sweep.
+type Point struct {
+	PF float64
+	// WA is the write-amplification factor (Figure 15 top, black).
+	WA float64
+	// LifetimeYears is the drive lifetime (Figure 15 top, red).
+	LifetimeYears float64
+	// Embodied is the manufactured embodied carbon.
+	Embodied units.CO2Mass
+	// Replacements is how many drives the mission consumes.
+	Replacements int
+	// EffectiveEmbodied is Replacements × Embodied: the embodied carbon of
+	// keeping the mission stored for its whole duration.
+	EffectiveEmbodied units.CO2Mass
+}
+
+// Evaluate computes one sweep point for a storage mission of the given
+// duration in years: the drive is replaced whenever its reliability
+// lifetime expires.
+func (d Drive) Evaluate(pf, missionYears float64) (Point, error) {
+	if missionYears <= 0 {
+		return Point{}, fmt.Errorf("ssdlife: non-positive mission %v years", missionYears)
+	}
+	wa, err := WriteAmplification(pf)
+	if err != nil {
+		return Point{}, err
+	}
+	life, err := Lifetime(d.Params, pf)
+	if err != nil {
+		return Point{}, err
+	}
+	embodied, err := d.Embodied(pf)
+	if err != nil {
+		return Point{}, err
+	}
+	repl := int(math.Ceil(missionYears / life))
+	return Point{
+		PF:                pf,
+		WA:                wa,
+		LifetimeYears:     life,
+		Embodied:          embodied,
+		Replacements:      repl,
+		EffectiveEmbodied: units.Grams(embodied.Grams() * float64(repl)),
+	}, nil
+}
+
+// Sweep evaluates a grid of over-provisioning factors for a mission. The
+// paper's sweep runs 4% to 49% in 3% steps.
+func (d Drive) Sweep(pfs []float64, missionYears float64) ([]Point, error) {
+	if len(pfs) == 0 {
+		return nil, fmt.Errorf("ssdlife: empty over-provisioning grid")
+	}
+	out := make([]Point, 0, len(pfs))
+	for _, pf := range pfs {
+		pt, err := d.Evaluate(pf, missionYears)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// DefaultGrid returns the paper's over-provisioning sweep: 4% to 49% in 3%
+// steps (4%, 7%, ..., 49%).
+func DefaultGrid() []float64 {
+	var out []float64
+	for pf := 0.04; pf < 0.50; pf += 0.03 {
+		out = append(out, math.Round(pf*100)/100)
+	}
+	return out
+}
+
+// Optimal returns the sweep point minimizing effective embodied carbon for
+// the mission; ties resolve to the smaller over-provisioning factor.
+func (d Drive) Optimal(pfs []float64, missionYears float64) (Point, error) {
+	pts, err := d.Sweep(pfs, missionYears)
+	if err != nil {
+		return Point{}, err
+	}
+	best := pts[0]
+	for _, pt := range pts[1:] {
+		if pt.EffectiveEmbodied < best.EffectiveEmbodied {
+			best = pt
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,217 @@
+package ssdlife
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteAmplification(t *testing.T) {
+	cases := []struct {
+		pf, want float64
+	}{
+		{0.04, 13},
+		{0.16, 3.625},
+		{0.34, 1.9705882352941178},
+		{0.5, 1.5},
+		{1.0, 1.0},
+	}
+	for _, c := range cases {
+		wa, err := WriteAmplification(c.pf)
+		if err != nil {
+			t.Fatalf("WriteAmplification(%v): %v", c.pf, err)
+		}
+		if math.Abs(wa-c.want) > 1e-9 {
+			t.Errorf("WA(%v) = %v, want %v", c.pf, wa, c.want)
+		}
+	}
+	for _, bad := range []float64{0, -0.1} {
+		if _, err := WriteAmplification(bad); err == nil {
+			t.Errorf("WA(%v): expected error", bad)
+		}
+	}
+}
+
+func TestQuickWAMonotoneDecreasing(t *testing.T) {
+	// Figure 15 (top, black): WA falls as over-provisioning grows.
+	f := func(aRaw, bRaw uint8) bool {
+		a := float64(aRaw%100)/100 + 0.01
+		b := float64(bRaw%100)/100 + 0.01
+		if a > b {
+			a, b = b, a
+		}
+		wa, err1 := WriteAmplification(a)
+		wb, err2 := WriteAmplification(b)
+		return err1 == nil && err2 == nil && wa >= wb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLifetimeCalibration(t *testing.T) {
+	p := DefaultParams()
+	cases := []struct {
+		pf, wantYears, tol float64
+	}{
+		{0.04, 0.5, 0.02},  // baseline drives fail fast
+		{0.16, 2.0, 0.05},  // first mobile life
+		{0.34, 4.26, 0.05}, // second life
+	}
+	for _, c := range cases {
+		l, err := Lifetime(p, c.pf)
+		if err != nil {
+			t.Fatalf("Lifetime(%v): %v", c.pf, err)
+		}
+		if math.Abs(l-c.wantYears) > c.tol {
+			t.Errorf("Lifetime(%v) = %v years, want ≈%v", c.pf, l, c.wantYears)
+		}
+	}
+	if _, err := Lifetime(Params{}, 0.1); err == nil {
+		t.Error("invalid params: expected error")
+	}
+	if _, err := Lifetime(p, 0); err == nil {
+		t.Error("zero PF: expected error")
+	}
+}
+
+func TestQuickLifetimeMonotoneInPF(t *testing.T) {
+	// Figure 15 (top, red): lifetime grows with over-provisioning.
+	p := DefaultParams()
+	f := func(aRaw, bRaw uint8) bool {
+		a := float64(aRaw%100)/100 + 0.01
+		b := float64(bRaw%100)/100 + 0.01
+		if a > b {
+			a, b = b, a
+		}
+		la, err1 := Lifetime(p, a)
+		lb, err2 := Lifetime(p, b)
+		return err1 == nil && err2 == nil && la <= lb+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmbodiedGrowsWithPF(t *testing.T) {
+	d := DefaultDrive()
+	e4, err := d.Embodied(0.04)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e34, err := d.Embodied(0.34)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e34 <= e4 {
+		t.Errorf("embodied should grow with PF: %v vs %v", e4, e34)
+	}
+	// 128 GB of V3 TLC at 6.3 g/GB, +4% spare: 838.7 g.
+	if math.Abs(e4.Grams()-128*1.04*6.3) > 1e-9 {
+		t.Errorf("embodied(4%%) = %v", e4)
+	}
+	if _, err := d.Embodied(-0.1); err == nil {
+		t.Error("negative PF: expected error")
+	}
+}
+
+func TestDefaultGrid(t *testing.T) {
+	grid := DefaultGrid()
+	if len(grid) == 0 || grid[0] != 0.04 {
+		t.Fatalf("grid starts at %v, want 0.04", grid)
+	}
+	if grid[len(grid)-1] != 0.49 {
+		t.Errorf("grid ends at %v, want 0.49", grid[len(grid)-1])
+	}
+	for i := 1; i < len(grid); i++ {
+		if math.Abs(grid[i]-grid[i-1]-0.03) > 1e-9 {
+			t.Errorf("grid step at %d = %v, want 0.03", i, grid[i]-grid[i-1])
+		}
+	}
+	// 0.16 and 0.34, the paper's two optima, are on the grid.
+	found16, found34 := false, false
+	for _, pf := range grid {
+		if pf == 0.16 {
+			found16 = true
+		}
+		if pf == 0.34 {
+			found34 = true
+		}
+	}
+	if !found16 || !found34 {
+		t.Errorf("grid %v missing 0.16 or 0.34", grid)
+	}
+}
+
+func TestFigure15Optima(t *testing.T) {
+	// Figure 15 (bottom): "for a single mobile lifetime of about 2 years,
+	// the optimal over-provisioning factor is 16%; ... extending hardware
+	// lifetime to a second life ... requires increasing the
+	// over-provisioning factor to 34%."
+	d := DefaultDrive()
+	grid := DefaultGrid()
+
+	first, err := d.Optimal(grid, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.PF != 0.16 {
+		t.Errorf("first-life optimal PF = %v, want 0.16", first.PF)
+	}
+	if first.Replacements != 1 {
+		t.Errorf("first-life optimum needs %d drives, want 1", first.Replacements)
+	}
+
+	second, err := d.Optimal(grid, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.PF != 0.34 {
+		t.Errorf("second-life optimal PF = %v, want 0.34", second.PF)
+	}
+
+	// "Extending hardware lifetime to a second life reduces the embodied
+	// footprint by 1.8x" — per year of service.
+	perYearFirst := first.EffectiveEmbodied.Grams() / 2
+	perYearSecond := second.EffectiveEmbodied.Grams() / 4
+	ratio := perYearFirst / perYearSecond
+	if ratio < 1.6 || ratio > 2.0 {
+		t.Errorf("second-life per-year embodied reduction = %vx, want ≈1.8x", ratio)
+	}
+}
+
+func TestUnderProvisionedNeedsReplacements(t *testing.T) {
+	// The 4% baseline drive only lasts ~6 months; a 2-year mission
+	// consumes four of them.
+	d := DefaultDrive()
+	pt, err := d.Evaluate(0.04, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Replacements != 4 {
+		t.Errorf("4%% drive over 2 years needs %d replacements, want 4", pt.Replacements)
+	}
+	if pt.EffectiveEmbodied.Grams() <= pt.Embodied.Grams() {
+		t.Error("effective embodied should exceed single-drive embodied")
+	}
+}
+
+func TestEvaluateAndSweepValidation(t *testing.T) {
+	d := DefaultDrive()
+	if _, err := d.Evaluate(0.1, 0); err == nil {
+		t.Error("zero mission: expected error")
+	}
+	if _, err := d.Evaluate(0, 2); err == nil {
+		t.Error("zero PF: expected error")
+	}
+	if _, err := d.Sweep(nil, 2); err == nil {
+		t.Error("empty grid: expected error")
+	}
+	pts, err := d.Sweep(DefaultGrid(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(DefaultGrid()) {
+		t.Errorf("sweep dropped points: %d vs %d", len(pts), len(DefaultGrid()))
+	}
+}

@@ -1,0 +1,189 @@
+// Package storagedb is ACT's storage embodied-carbon database: the
+// carbon-per-GB characterization of NAND-Flash SSDs (Table 10 of the paper)
+// and hard disk drives (Table 11), and the translations
+//
+//	E_SSD = CPS_SSD × Capacity_SSD           (Eq. 8)
+//	E_HDD = CPS_HDD × Capacity_HDD           (Eq. 7)
+//
+// Rows come from device-level fab characterization (SK hynix) and from
+// vendor life-cycle analyses (Western Digital, Seagate).
+package storagedb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"act/internal/units"
+)
+
+// Class distinguishes SSD from HDD rows.
+type Class string
+
+// Storage classes.
+const (
+	SSD Class = "ssd"
+	HDD Class = "hdd"
+)
+
+// Technology identifies a characterized storage technology.
+type Technology string
+
+// SSD technologies from Table 10 of the paper.
+const (
+	NAND30nm  Technology = "30nm-nand"
+	NAND20nm  Technology = "20nm-nand"
+	NAND10nm  Technology = "10nm-nand"
+	NAND1zTLC Technology = "1z-nand-tlc"
+	NANDV3TLC Technology = "v3-nand-tlc"
+	WD2016    Technology = "wd-2016"
+	WD2017    Technology = "wd-2017"
+	WD2018    Technology = "wd-2018"
+	WD2019    Technology = "wd-2019"
+	Nytro1551 Technology = "nytro-1551"
+	Nytro3530 Technology = "nytro-3530"
+	Nytro3331 Technology = "nytro-3331"
+)
+
+// HDD technologies from Table 11 of the paper.
+const (
+	BarraCuda    Technology = "barracuda"
+	BarraCuda2   Technology = "barracuda2"
+	BarraCudaPro Technology = "barracuda-pro"
+	FireCuda     Technology = "firecuda"
+	FireCuda2    Technology = "firecuda2"
+	Exos2x14     Technology = "exos2x14"
+	Exosx12      Technology = "exosx12"
+	Exosx16      Technology = "exosx16"
+	Exos15e900   Technology = "exos15e900"
+	Exos10e2400  Technology = "exos10e2400"
+)
+
+// Entry is one row of the storage characterization tables.
+type Entry struct {
+	Technology Technology
+	// Description is the row label used by Tables 10-11 / Figure 7.
+	Description string
+	Class       Class
+	// CPS is the embodied carbon per gigabyte.
+	CPS units.CarbonPerCapacity
+	// DeviceLevel is true for device-level fab characterization (black
+	// bars of Figure 7), false for vendor component-level LCAs (grey).
+	DeviceLevel bool
+	// Enterprise marks Table 11 enterprise-class drives.
+	Enterprise bool
+}
+
+// ssdTable is Table 10 of the paper verbatim.
+var ssdTable = []Entry{
+	{NAND30nm, "30nm NAND", SSD, 30, true, false},
+	{NAND20nm, "20nm NAND", SSD, 15, true, false},
+	{NAND10nm, "10nm NAND", SSD, 10, true, false},
+	{NAND1zTLC, "1z NAND TLC", SSD, 5.6, true, false},
+	{NANDV3TLC, "V3 NAND TLC", SSD, 6.3, true, false},
+	{WD2016, "Western Digital 2016", SSD, 24.4, false, false},
+	{WD2017, "Western Digital 2017", SSD, 17.9, false, false},
+	{WD2018, "Western Digital 2018", SSD, 12.5, false, false},
+	{WD2019, "Western Digital 2019", SSD, 10.7, false, false},
+	{Nytro1551, "Seagate Nytro 1551", SSD, 3.95, false, false},
+	{Nytro3530, "Seagate Nytro 3530", SSD, 6.21, false, false},
+	{Nytro3331, "Seagate Nytro 3331", SSD, 16.92, false, false},
+}
+
+// hddTable is Table 11 of the paper verbatim.
+var hddTable = []Entry{
+	{BarraCuda, "BarraCuda", HDD, 4.57, false, false},
+	{BarraCuda2, "BarraCuda2", HDD, 10.32, false, false},
+	{BarraCudaPro, "BarraCuda Pro", HDD, 2.35, false, false},
+	{FireCuda, "FireCuda", HDD, 5.1, false, false},
+	{FireCuda2, "FireCuda 2", HDD, 9.1, false, false},
+	{Exos2x14, "Exos2x14", HDD, 1.65, false, true},
+	{Exosx12, "Exosx12", HDD, 1.14, false, true},
+	{Exosx16, "Exosx16", HDD, 1.33, false, true},
+	{Exos15e900, "Exos15e900", HDD, 20.5, false, true},
+	{Exos10e2400, "Exos10e2400", HDD, 10.3, false, true},
+}
+
+// Lookup returns the characterization of a storage technology from either
+// table.
+func Lookup(t Technology) (Entry, error) {
+	for _, e := range ssdTable {
+		if e.Technology == t {
+			return e, nil
+		}
+	}
+	for _, e := range hddTable {
+		if e.Technology == t {
+			return e, nil
+		}
+	}
+	return Entry{}, fmt.Errorf("storagedb: unknown storage technology %q", t)
+}
+
+// SSDs returns all Table 10 rows in the paper's order.
+func SSDs() []Entry {
+	out := make([]Entry, len(ssdTable))
+	copy(out, ssdTable)
+	return out
+}
+
+// HDDs returns all Table 11 rows in the paper's order.
+func HDDs() []Entry {
+	out := make([]Entry, len(hddTable))
+	copy(out, hddTable)
+	return out
+}
+
+// Parse resolves a free-form storage technology name ("V3 TLC", "30nm NAND",
+// "Seagate Nytro 1551") to a characterized entry.
+func Parse(s string) (Entry, error) {
+	key := strings.ToLower(strings.ReplaceAll(strings.TrimSpace(s), " ", "-"))
+	key = strings.TrimPrefix(key, "seagate-")
+	key = strings.TrimPrefix(key, "western-digital-")
+	if key == "v3-tlc" || key == "3v3-tlc" { // Table 12 uses both spellings
+		key = string(NANDV3TLC)
+	}
+	if e, err := Lookup(Technology(key)); err == nil {
+		return e, nil
+	}
+	for _, e := range append(SSDs(), HDDs()...) {
+		desc := strings.ToLower(strings.ReplaceAll(e.Description, " ", "-"))
+		if key == desc || key == strings.TrimPrefix(desc, "seagate-") ||
+			key == strings.TrimPrefix(desc, "western-digital-") {
+			return e, nil
+		}
+	}
+	return Entry{}, fmt.Errorf("storagedb: cannot resolve storage technology %q", s)
+}
+
+// Embodied returns the embodied carbon for a drive of the given capacity on
+// the given technology (Eq. 7 for HDDs, Eq. 8 for SSDs).
+func Embodied(t Technology, capacity units.Capacity) (units.CO2Mass, error) {
+	if capacity < 0 {
+		return 0, fmt.Errorf("storagedb: negative capacity %v", capacity)
+	}
+	e, err := Lookup(t)
+	if err != nil {
+		return 0, err
+	}
+	return e.CPS.For(capacity), nil
+}
+
+// ByCPS returns the rows of the given class sorted by descending
+// carbon-per-GB, the bar order of Figure 7 (center and right).
+func ByCPS(c Class) []Entry {
+	var out []Entry
+	switch c {
+	case SSD:
+		out = SSDs()
+	case HDD:
+		out = HDDs()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].CPS != out[j].CPS {
+			return out[i].CPS > out[j].CPS
+		}
+		return out[i].Technology < out[j].Technology
+	})
+	return out
+}

@@ -1,0 +1,165 @@
+package storagedb
+
+import (
+	"math"
+	"testing"
+
+	"act/internal/units"
+)
+
+func TestTable10Values(t *testing.T) {
+	cases := []struct {
+		tech Technology
+		want float64
+	}{
+		{NAND30nm, 30}, {NAND20nm, 15}, {NAND10nm, 10},
+		{NAND1zTLC, 5.6}, {NANDV3TLC, 6.3},
+		{WD2016, 24.4}, {WD2017, 17.9}, {WD2018, 12.5}, {WD2019, 10.7},
+		{Nytro1551, 3.95}, {Nytro3530, 6.21}, {Nytro3331, 16.92},
+	}
+	for _, c := range cases {
+		e, err := Lookup(c.tech)
+		if err != nil {
+			t.Fatalf("Lookup(%s): %v", c.tech, err)
+		}
+		if e.CPS.GramsPerGB() != c.want {
+			t.Errorf("%s CPS = %v, want %v", c.tech, e.CPS, c.want)
+		}
+		if e.Class != SSD {
+			t.Errorf("%s class = %s, want ssd", c.tech, e.Class)
+		}
+	}
+	if len(SSDs()) != 12 {
+		t.Errorf("SSDs() = %d rows, want 12", len(SSDs()))
+	}
+}
+
+func TestTable11Values(t *testing.T) {
+	cases := []struct {
+		tech       Technology
+		want       float64
+		enterprise bool
+	}{
+		{BarraCuda, 4.57, false}, {BarraCuda2, 10.32, false},
+		{BarraCudaPro, 2.35, false}, {FireCuda, 5.1, false},
+		{FireCuda2, 9.1, false},
+		{Exos2x14, 1.65, true}, {Exosx12, 1.14, true}, {Exosx16, 1.33, true},
+		{Exos15e900, 20.5, true}, {Exos10e2400, 10.3, true},
+	}
+	for _, c := range cases {
+		e, err := Lookup(c.tech)
+		if err != nil {
+			t.Fatalf("Lookup(%s): %v", c.tech, err)
+		}
+		if e.CPS.GramsPerGB() != c.want {
+			t.Errorf("%s CPS = %v, want %v", c.tech, e.CPS, c.want)
+		}
+		if e.Class != HDD || e.Enterprise != c.enterprise {
+			t.Errorf("%s class/enterprise = %s/%v, want hdd/%v", c.tech, e.Class, e.Enterprise, c.enterprise)
+		}
+	}
+	if len(HDDs()) != 10 {
+		t.Errorf("HDDs() = %d rows, want 10", len(HDDs()))
+	}
+	if _, err := Lookup("tape"); err == nil {
+		t.Error("Lookup(tape): expected error")
+	}
+}
+
+func TestNewerNANDNodesCheaper(t *testing.T) {
+	// Figure 7 (center): within the raw NAND series, newer nodes have
+	// lower carbon per GB.
+	series := []Technology{NAND30nm, NAND20nm, NAND10nm, NAND1zTLC}
+	for i := 1; i < len(series); i++ {
+		prev, _ := Lookup(series[i-1])
+		cur, _ := Lookup(series[i])
+		if cur.CPS >= prev.CPS {
+			t.Errorf("%s (%v) should be below %s (%v)", cur.Technology, cur.CPS, prev.Technology, prev.CPS)
+		}
+	}
+}
+
+func TestEmbodied(t *testing.T) {
+	// 64 GB of V3 TLC NAND at 6.3 g/GB ≈ 403 g (iPhone 11 flash in Table 12:
+	// 0.48 kg at V3 TLC for its capacity class).
+	m, err := Embodied(NANDV3TLC, units.Gigabytes(64))
+	if err != nil || math.Abs(m.Grams()-403.2) > 1e-9 {
+		t.Errorf("Embodied(V3 TLC, 64GB) = %v, %v, want 403.2 g", m, err)
+	}
+	// Dell R740 31 TB at V3 TLC: 31000 GB × 6.3 g ≈ 195 kg of raw NAND.
+	m, err = Embodied(NANDV3TLC, units.Terabytes(31))
+	if err != nil || math.Abs(m.Kilograms()-195.3) > 1e-6 {
+		t.Errorf("Embodied(V3 TLC, 31TB) = %v, %v, want 195.3 kg", m, err)
+	}
+	if _, err := Embodied(NANDV3TLC, units.Gigabytes(-1)); err == nil {
+		t.Error("Embodied(negative): expected error")
+	}
+	if _, err := Embodied("tape", 1); err == nil {
+		t.Error("Embodied(unknown): expected error")
+	}
+}
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Technology
+	}{
+		{"V3 TLC", NANDV3TLC},
+		{"3V3 TLC", NANDV3TLC}, // Table 12's spelling
+		{"v3 nand tlc", NANDV3TLC},
+		{"30nm NAND", NAND30nm},
+		{"Seagate Nytro 1551", Nytro1551},
+		{"nytro-1551", Nytro1551},
+		{"Western Digital 2019", WD2019},
+		{"BarraCuda Pro", BarraCudaPro},
+		{"exos2x14", Exos2x14},
+	}
+	for _, c := range cases {
+		e, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		if e.Technology != c.want {
+			t.Errorf("Parse(%q) = %s, want %s", c.in, e.Technology, c.want)
+		}
+	}
+	for _, bad := range []string{"", "floppy", "optane"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q): expected error", bad)
+		}
+	}
+}
+
+func TestByCPSDescending(t *testing.T) {
+	for _, class := range []Class{SSD, HDD} {
+		rows := ByCPS(class)
+		if len(rows) == 0 {
+			t.Fatalf("ByCPS(%s) empty", class)
+		}
+		for i := 1; i < len(rows); i++ {
+			if rows[i].CPS > rows[i-1].CPS {
+				t.Errorf("ByCPS(%s) not descending at %d", class, i)
+			}
+		}
+	}
+	if got := ByCPS(SSD)[0].Technology; got != NAND30nm {
+		t.Errorf("highest-carbon SSD = %s, want 30nm NAND", got)
+	}
+	if got := ByCPS(HDD)[0].Technology; got != Exos15e900 {
+		t.Errorf("highest-carbon HDD = %s, want Exos15e900", got)
+	}
+	if got := ByCPS("nvram"); got != nil {
+		t.Errorf("ByCPS(unknown) = %v, want nil", got)
+	}
+}
+
+func TestDRAMDominatesSSDAndHDDAtCommensurateNodes(t *testing.T) {
+	// Paper, Section 3.1: "At commensurate technology nodes, the carbon
+	// intensity of DRAM is higher than that of SSD and HDD."
+	// 30nm class: DRAM 230 g/GB (see memdb) vs NAND 30 g/GB here.
+	nand, _ := Lookup(NAND30nm)
+	if nand.CPS.GramsPerGB() >= 230 {
+		t.Errorf("30nm NAND (%v) should be far below 30nm DRAM (230 g/GB)", nand.CPS)
+	}
+}

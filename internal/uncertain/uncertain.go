@@ -1,0 +1,234 @@
+// Package uncertain propagates parameter uncertainty through the ACT
+// model. Table 1 gives most inputs as *ranges* (fab energy 0.8-3.5
+// kWh/cm², carbon intensity 30-700 g/kWh, yield 0-1, ...); a point
+// estimate built from the defaults hides how wide the resulting footprint
+// band really is. The package provides simple distributions, a
+// deterministic sampler, and a Monte Carlo driver returning summary
+// quantiles — plus a canonical study propagating the Table 1 ranges
+// through the CPA equation.
+package uncertain
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"act/internal/fab"
+	"act/internal/units"
+)
+
+// RNG is a small deterministic generator (SplitMix64) so studies are
+// reproducible from a seed.
+type RNG struct{ state uint64 }
+
+// NewRNG seeds a generator.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Float64 returns a uniform sample in [0, 1).
+func (r *RNG) Float64() float64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / float64(1<<53)
+}
+
+// Dist is a sampleable distribution.
+type Dist interface {
+	// Sample draws one value.
+	Sample(r *RNG) float64
+	// Mean returns the distribution mean.
+	Mean() float64
+	// Validate checks the parameters.
+	Validate() error
+}
+
+// Point is a degenerate distribution at a single value.
+type Point float64
+
+// Sample implements Dist.
+func (p Point) Sample(*RNG) float64 { return float64(p) }
+
+// Mean implements Dist.
+func (p Point) Mean() float64 { return float64(p) }
+
+// Validate implements Dist.
+func (p Point) Validate() error { return nil }
+
+// Uniform is a uniform distribution on [Lo, Hi].
+type Uniform struct{ Lo, Hi float64 }
+
+// Sample implements Dist.
+func (u Uniform) Sample(r *RNG) float64 { return u.Lo + (u.Hi-u.Lo)*r.Float64() }
+
+// Mean implements Dist.
+func (u Uniform) Mean() float64 { return (u.Lo + u.Hi) / 2 }
+
+// Validate implements Dist.
+func (u Uniform) Validate() error {
+	if u.Hi < u.Lo {
+		return fmt.Errorf("uncertain: uniform bounds inverted [%v, %v]", u.Lo, u.Hi)
+	}
+	return nil
+}
+
+// Triangular is a triangular distribution on [Lo, Hi] with the given mode
+// — the standard LCA shape for "best available estimate plus bounds".
+type Triangular struct{ Lo, Mode, Hi float64 }
+
+// Sample implements Dist (inverse-CDF method).
+func (t Triangular) Sample(r *RNG) float64 {
+	u := r.Float64()
+	fc := (t.Mode - t.Lo) / (t.Hi - t.Lo)
+	if u < fc {
+		return t.Lo + math.Sqrt(u*(t.Hi-t.Lo)*(t.Mode-t.Lo))
+	}
+	return t.Hi - math.Sqrt((1-u)*(t.Hi-t.Lo)*(t.Hi-t.Mode))
+}
+
+// Mean implements Dist.
+func (t Triangular) Mean() float64 { return (t.Lo + t.Mode + t.Hi) / 3 }
+
+// Validate implements Dist.
+func (t Triangular) Validate() error {
+	if !(t.Lo <= t.Mode && t.Mode <= t.Hi) || t.Hi == t.Lo {
+		return fmt.Errorf("uncertain: bad triangular (%v, %v, %v)", t.Lo, t.Mode, t.Hi)
+	}
+	return nil
+}
+
+// Summary condenses a Monte Carlo sample.
+type Summary struct {
+	N                int
+	Mean             float64
+	P05, Median, P95 float64
+	Min, Max         float64
+}
+
+// Summarize computes the summary of a sample.
+func Summarize(samples []float64) (Summary, error) {
+	if len(samples) == 0 {
+		return Summary{}, fmt.Errorf("uncertain: empty sample")
+	}
+	sorted := make([]float64, len(samples))
+	copy(sorted, samples)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, v := range sorted {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return Summary{}, fmt.Errorf("uncertain: non-finite sample %v", v)
+		}
+		sum += v
+	}
+	q := func(p float64) float64 {
+		idx := p * float64(len(sorted)-1)
+		lo := int(idx)
+		if lo >= len(sorted)-1 {
+			return sorted[len(sorted)-1]
+		}
+		frac := idx - float64(lo)
+		return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+	}
+	return Summary{
+		N:      len(sorted),
+		Mean:   sum / float64(len(sorted)),
+		P05:    q(0.05),
+		Median: q(0.50),
+		P95:    q(0.95),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+	}, nil
+}
+
+// MonteCarlo runs n evaluations of a model over a deterministic sample
+// stream and summarizes the results. The model receives a draw function
+// that samples any distribution.
+func MonteCarlo(n int, seed uint64, model func(draw func(Dist) float64) (float64, error)) (Summary, error) {
+	if n < 1 {
+		return Summary{}, fmt.Errorf("uncertain: need at least one sample, got %d", n)
+	}
+	if model == nil {
+		return Summary{}, fmt.Errorf("uncertain: nil model")
+	}
+	rng := NewRNG(seed)
+	samples := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		v, err := model(func(d Dist) float64 { return d.Sample(rng) })
+		if err != nil {
+			return Summary{}, err
+		}
+		samples = append(samples, v)
+	}
+	return Summarize(samples)
+}
+
+// CPAStudy propagates uncertainty through the CPA equation (Eq. 5) for a
+// node: CPA = (CI·EPA + GPA + MPA) / Y.
+type CPAStudy struct {
+	// CI is the fab carbon intensity distribution (g/kWh).
+	CI Dist
+	// EPA is the fab energy per area distribution (kWh/cm²).
+	EPA Dist
+	// GPA is the gas emissions distribution (g/cm²).
+	GPA Dist
+	// MPA is the raw-material distribution (g/cm²).
+	MPA Dist
+	// Yield is the fab yield distribution in (0, 1].
+	Yield Dist
+}
+
+// DefaultCPAStudy builds a study for a characterized node: CI triangular
+// between solar and the Taiwan grid with the paper's default as mode, the
+// node's abatement band as the GPA range, EPA and MPA ±10%, and yield
+// triangular around 0.875.
+func DefaultCPAStudy(node fab.Node) (CPAStudy, error) {
+	p, err := fab.Params(node)
+	if err != nil {
+		return CPAStudy{}, err
+	}
+	epa := p.EPA.KWhPerCM2()
+	mpa := fab.MPA.GramsPerCM2()
+	return CPAStudy{
+		CI:    Triangular{Lo: 41, Mode: 447.5, Hi: 583},
+		EPA:   Uniform{Lo: epa * 0.9, Hi: epa * 1.1},
+		GPA:   Uniform{Lo: p.GPA99.GramsPerCM2(), Hi: p.GPA95.GramsPerCM2()},
+		MPA:   Uniform{Lo: mpa * 0.9, Hi: mpa * 1.1},
+		Yield: Triangular{Lo: 0.7, Mode: 0.875, Hi: 0.98},
+	}, nil
+}
+
+// Validate checks every distribution.
+func (s CPAStudy) Validate() error {
+	for _, d := range []Dist{s.CI, s.EPA, s.GPA, s.MPA, s.Yield} {
+		if d == nil {
+			return fmt.Errorf("uncertain: CPA study has a nil distribution")
+		}
+		if err := d.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run evaluates the study and returns the CPA summary in g/cm².
+func (s CPAStudy) Run(n int, seed uint64) (Summary, error) {
+	if err := s.Validate(); err != nil {
+		return Summary{}, err
+	}
+	return MonteCarlo(n, seed, func(draw func(Dist) float64) (float64, error) {
+		y := draw(s.Yield)
+		if !fab.ValidYield(y) {
+			return 0, fmt.Errorf("uncertain: sampled yield %v outside (0, 1]", y)
+		}
+		cpa := (draw(s.CI)*draw(s.EPA) + draw(s.GPA) + draw(s.MPA)) / y
+		return cpa, nil
+	})
+}
+
+// EmbodiedBand converts a CPA summary into an embodied-carbon band for a
+// die of the given area.
+func EmbodiedBand(s Summary, die units.Area) (lo, mid, hi units.CO2Mass) {
+	cm2 := die.CM2()
+	return units.Grams(s.P05 * cm2), units.Grams(s.Median * cm2), units.Grams(s.P95 * cm2)
+}

@@ -1,0 +1,229 @@
+package uncertain
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"act/internal/fab"
+	"act/internal/units"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		va, vb := a.Float64(), b.Float64()
+		if va != vb {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, va, vb)
+		}
+		if va < 0 || va >= 1 {
+			t.Fatalf("sample %v outside [0, 1)", va)
+		}
+	}
+	// Different seeds differ.
+	c := NewRNG(43)
+	same := true
+	a2 := NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a2.Float64() != c.Float64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestDistributions(t *testing.T) {
+	rng := NewRNG(1)
+
+	if v := (Point(3.5)).Sample(rng); v != 3.5 {
+		t.Errorf("Point sample = %v", v)
+	}
+	if (Point(3.5)).Mean() != 3.5 {
+		t.Error("Point mean")
+	}
+
+	u := Uniform{Lo: 2, Hi: 4}
+	if u.Mean() != 3 {
+		t.Errorf("Uniform mean = %v", u.Mean())
+	}
+	for i := 0; i < 1000; i++ {
+		v := u.Sample(rng)
+		if v < 2 || v > 4 {
+			t.Fatalf("Uniform sample %v outside bounds", v)
+		}
+	}
+	if err := (Uniform{Lo: 4, Hi: 2}).Validate(); err == nil {
+		t.Error("inverted uniform: expected error")
+	}
+
+	tr := Triangular{Lo: 0, Mode: 1, Hi: 4}
+	if math.Abs(tr.Mean()-5.0/3) > 1e-12 {
+		t.Errorf("Triangular mean = %v", tr.Mean())
+	}
+	var sum float64
+	for i := 0; i < 20000; i++ {
+		v := tr.Sample(rng)
+		if v < 0 || v > 4 {
+			t.Fatalf("Triangular sample %v outside bounds", v)
+		}
+		sum += v
+	}
+	if got := sum / 20000; math.Abs(got-tr.Mean()) > 0.05 {
+		t.Errorf("Triangular sample mean = %v, want ≈%v", got, tr.Mean())
+	}
+	if err := (Triangular{Lo: 0, Mode: 5, Hi: 4}).Validate(); err == nil {
+		t.Error("mode outside bounds: expected error")
+	}
+	if err := (Triangular{Lo: 1, Mode: 1, Hi: 1}).Validate(); err == nil {
+		t.Error("degenerate triangular: expected error")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{5, 1, 3, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 5 || s.Mean != 3 || s.Median != 3 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("summary = %+v", s)
+	}
+	if !(s.P05 <= s.Median && s.Median <= s.P95) {
+		t.Errorf("quantiles unordered: %+v", s)
+	}
+	if _, err := Summarize(nil); err == nil {
+		t.Error("empty sample: expected error")
+	}
+	if _, err := Summarize([]float64{1, math.NaN()}); err == nil {
+		t.Error("NaN sample: expected error")
+	}
+}
+
+func TestMonteCarloDeterministicAndExact(t *testing.T) {
+	model := func(draw func(Dist) float64) (float64, error) {
+		return draw(Uniform{Lo: 0, Hi: 10}), nil
+	}
+	a, err := MonteCarlo(5000, 7, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MonteCarlo(5000, 7, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("same seed gave different summaries")
+	}
+	if math.Abs(a.Mean-5) > 0.2 {
+		t.Errorf("uniform mean = %v, want ≈5", a.Mean)
+	}
+
+	// A point model collapses the summary.
+	s, err := MonteCarlo(100, 1, func(draw func(Dist) float64) (float64, error) {
+		return draw(Point(2.5)), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Min != 2.5 || s.Max != 2.5 || s.Mean != 2.5 {
+		t.Errorf("point summary = %+v", s)
+	}
+
+	if _, err := MonteCarlo(0, 1, model); err == nil {
+		t.Error("zero samples: expected error")
+	}
+	if _, err := MonteCarlo(10, 1, nil); err == nil {
+		t.Error("nil model: expected error")
+	}
+}
+
+func TestDefaultCPAStudy(t *testing.T) {
+	study, err := DefaultCPAStudy(fab.Node7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := study.Run(20000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The deterministic default CPA at 7nm is 1748.8 g/cm²; it must fall
+	// inside the study's 5-95% band.
+	f, err := fab.New(fab.Node7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := f.CPA(units.CM2(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.GramsPerCM2() < s.P05 || det.GramsPerCM2() > s.P95 {
+		t.Errorf("deterministic CPA %v outside the uncertainty band [%v, %v]",
+			det.GramsPerCM2(), s.P05, s.P95)
+	}
+	// The band is genuinely wide: the P95/P05 ratio reflects the Table 1
+	// ranges (CI alone spans 14x).
+	if s.P95/s.P05 < 1.2 {
+		t.Errorf("band suspiciously narrow: %v", s.P95/s.P05)
+	}
+	// Physical lower bound: even the min exceeds MPA's floor.
+	if s.Min < 400 {
+		t.Errorf("min CPA %v below any plausible value", s.Min)
+	}
+
+	if _, err := DefaultCPAStudy("1nm"); err == nil {
+		t.Error("unknown node: expected error")
+	}
+}
+
+func TestCPAStudyValidation(t *testing.T) {
+	study, err := DefaultCPAStudy(fab.Node7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	study.CI = nil
+	if _, err := study.Run(10, 1); err == nil {
+		t.Error("nil dist: expected error")
+	}
+	study, _ = DefaultCPAStudy(fab.Node7)
+	study.Yield = Point(0) // invalid yield must surface
+	if _, err := study.Run(10, 1); err == nil {
+		t.Error("zero yield: expected error")
+	}
+	study, _ = DefaultCPAStudy(fab.Node7)
+	study.EPA = Uniform{Lo: 2, Hi: 1}
+	if _, err := study.Run(10, 1); err == nil {
+		t.Error("invalid distribution: expected error")
+	}
+}
+
+func TestEmbodiedBand(t *testing.T) {
+	s := Summary{P05: 1000, Median: 1500, P95: 2000}
+	lo, mid, hi := EmbodiedBand(s, units.CM2(1))
+	if lo.Grams() != 1000 || mid.Grams() != 1500 || hi.Grams() != 2000 {
+		t.Errorf("band = %v, %v, %v", lo, mid, hi)
+	}
+}
+
+// Property: Summarize respects ordering invariants on arbitrary samples.
+func TestQuickSummaryInvariants(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		samples := make([]float64, len(raw))
+		for i, v := range raw {
+			samples[i] = float64(v)
+		}
+		s, err := Summarize(samples)
+		if err != nil {
+			return false
+		}
+		return s.Min <= s.P05 && s.P05 <= s.Median &&
+			s.Median <= s.P95 && s.P95 <= s.Max &&
+			s.Mean >= s.Min && s.Mean <= s.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,75 @@
+package units
+
+import (
+	"math"
+	"testing"
+)
+
+// The fuzz targets assert the parsers never panic and that any accepted
+// input produces a finite quantity. `go test` runs the seed corpus; use
+// `go test -fuzz=FuzzParseMass ./internal/units` to explore further.
+
+func FuzzParseMass(f *testing.F) {
+	for _, seed := range []string{"250g", "1.5 kg", "0.02t", "3.3µg", "17 kgCO2",
+		"", "kg", "1e309kg", "-12mg", "NaN g", "1e-5 t", "++2g"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		m, err := ParseMass(s)
+		if err != nil {
+			return
+		}
+		if math.IsNaN(m.Grams()) {
+			t.Errorf("ParseMass(%q) accepted NaN", s)
+		}
+		// Round trip through String stays parseable.
+		if _, err := ParseMass(m.String()); err != nil && !math.IsInf(m.Grams(), 0) {
+			t.Errorf("ParseMass(%q).String() = %q does not re-parse: %v", s, m.String(), err)
+		}
+	})
+}
+
+func FuzzParseEnergy(f *testing.F) {
+	for _, seed := range []string{"40mJ", "3 J", "5Wh", "1.2kWh", "x", "1e400J", "-5 kWh"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		e, err := ParseEnergy(s)
+		if err != nil {
+			return
+		}
+		if math.IsNaN(e.Joules()) {
+			t.Errorf("ParseEnergy(%q) accepted NaN", s)
+		}
+	})
+}
+
+func FuzzParseArea(f *testing.F) {
+	for _, seed := range []string{"83.5mm2", "1 cm²", "", "2 acres", "-1mm2"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		a, err := ParseArea(s)
+		if err != nil {
+			return
+		}
+		if math.IsNaN(a.MM2()) {
+			t.Errorf("ParseArea(%q) accepted NaN", s)
+		}
+	})
+}
+
+func FuzzParseCapacity(f *testing.F) {
+	for _, seed := range []string{"64GB", "31TB", "512MB", "", "12KiB"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		c, err := ParseCapacity(s)
+		if err != nil {
+			return
+		}
+		if math.IsNaN(c.Gigabytes()) {
+			t.Errorf("ParseCapacity(%q) accepted NaN", s)
+		}
+	})
+}

@@ -1,0 +1,156 @@
+package units
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// splitQuantity splits a textual quantity like "1.5 kg" or "300gCO2/kWh"
+// into its numeric value and unit suffix. The unit comparison downstream is
+// case-sensitive where SI requires it (m vs M), so the suffix is returned
+// with whitespace stripped but case preserved.
+func splitQuantity(s string) (float64, string, error) {
+	s = strings.TrimSpace(s)
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		if (c >= '0' && c <= '9') || c == '.' || c == '-' || c == '+' ||
+			c == 'e' || c == 'E' {
+			// Accept an exponent only if preceded by a digit; otherwise "e"
+			// starts the unit (e.g. no unit begins with a digit).
+			if (c == 'e' || c == 'E') && (i == 0 || !isDigit(s[i-1]) ||
+				i+1 >= len(s) || !(isDigit(s[i+1]) || s[i+1] == '-' || s[i+1] == '+')) {
+				break
+			}
+			i++
+			continue
+		}
+		break
+	}
+	if i == 0 {
+		return 0, "", fmt.Errorf("units: no numeric value in %q", s)
+	}
+	v, err := strconv.ParseFloat(s[:i], 64)
+	if err != nil {
+		return 0, "", fmt.Errorf("units: bad numeric value in %q: %v", s, err)
+	}
+	unit := strings.ReplaceAll(strings.TrimSpace(s[i:]), " ", "")
+	return v, unit, nil
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// ParseMass parses a CO2 mass such as "250g", "1.5 kg", "0.02t" or
+// "3.3ug". An optional "CO2" suffix is accepted: "17 kgCO2".
+func ParseMass(s string) (CO2Mass, error) {
+	v, unit, err := splitQuantity(s)
+	if err != nil {
+		return 0, err
+	}
+	unit = strings.TrimSuffix(unit, "CO2e")
+	unit = strings.TrimSuffix(unit, "CO2")
+	switch unit {
+	case "ug", "µg":
+		return CO2Mass(v * 1e-6), nil
+	case "mg":
+		return CO2Mass(v * 1e-3), nil
+	case "g", "":
+		return Grams(v), nil
+	case "kg":
+		return Kilograms(v), nil
+	case "t":
+		return Tonnes(v), nil
+	}
+	return 0, fmt.Errorf("units: unknown mass unit %q in %q", unit, s)
+}
+
+// ParseEnergy parses an energy such as "40mJ", "3 J", "5Wh" or "1.2kWh".
+func ParseEnergy(s string) (Energy, error) {
+	v, unit, err := splitQuantity(s)
+	if err != nil {
+		return 0, err
+	}
+	switch unit {
+	case "mJ":
+		return Millijoules(v), nil
+	case "J", "":
+		return Joules(v), nil
+	case "kJ":
+		return Joules(v * 1e3), nil
+	case "Wh":
+		return WattHours(v), nil
+	case "kWh":
+		return KilowattHours(v), nil
+	case "MWh":
+		return KilowattHours(v * 1e3), nil
+	}
+	return 0, fmt.Errorf("units: unknown energy unit %q in %q", unit, s)
+}
+
+// ParsePower parses a power such as "6.6W", "450 mW" or "1.1kW".
+func ParsePower(s string) (Power, error) {
+	v, unit, err := splitQuantity(s)
+	if err != nil {
+		return 0, err
+	}
+	switch unit {
+	case "mW":
+		return Milliwatts(v), nil
+	case "W", "":
+		return Watts(v), nil
+	case "kW":
+		return Watts(v * 1e3), nil
+	}
+	return 0, fmt.Errorf("units: unknown power unit %q in %q", unit, s)
+}
+
+// ParseArea parses an area such as "83.5mm2", "1 cm²" or "0.985cm2".
+func ParseArea(s string) (Area, error) {
+	v, unit, err := splitQuantity(s)
+	if err != nil {
+		return 0, err
+	}
+	unit = strings.ReplaceAll(unit, "²", "2")
+	switch unit {
+	case "mm2", "":
+		return MM2(v), nil
+	case "cm2":
+		return CM2(v), nil
+	}
+	return 0, fmt.Errorf("units: unknown area unit %q in %q", unit, s)
+}
+
+// ParseCapacity parses a capacity such as "64GB", "4 GB", "31TB" or "512MB".
+func ParseCapacity(s string) (Capacity, error) {
+	v, unit, err := splitQuantity(s)
+	if err != nil {
+		return 0, err
+	}
+	switch unit {
+	case "MB":
+		return Megabytes(v), nil
+	case "GB", "":
+		return Gigabytes(v), nil
+	case "TB":
+		return Terabytes(v), nil
+	}
+	return 0, fmt.Errorf("units: unknown capacity unit %q in %q", unit, s)
+}
+
+// ParseCarbonIntensity parses a carbon intensity such as "300", "300g/kWh"
+// or "41 gCO2/kWh".
+func ParseCarbonIntensity(s string) (CarbonIntensity, error) {
+	v, unit, err := splitQuantity(s)
+	if err != nil {
+		return 0, err
+	}
+	unit = strings.ReplaceAll(unit, "CO2", "")
+	switch unit {
+	case "", "g/kWh":
+		return GramsPerKWh(v), nil
+	case "kg/MWh": // numerically identical to g/kWh
+		return GramsPerKWh(v), nil
+	}
+	return 0, fmt.Errorf("units: unknown carbon intensity unit %q in %q", unit, s)
+}

@@ -1,0 +1,274 @@
+// Package units defines the typed physical quantities used throughout the
+// ACT carbon model: CO2 mass, energy, power, silicon area, storage capacity,
+// and the derived intensities (carbon per kWh, per area, per GB) that appear
+// as parameters in the model (Table 1 of the paper).
+//
+// Each quantity is a defined float64 type with a fixed canonical unit
+// (documented per type). Constructors convert from common units, accessor
+// methods convert back, and String renders with an adaptive human scale.
+// Using distinct types keeps the model equations honest: the compiler
+// rejects, for example, adding an energy to a carbon mass.
+package units
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// CO2Mass is a mass of CO2-equivalent emissions. Canonical unit: grams.
+type CO2Mass float64
+
+// Common CO2 mass constructors.
+func Grams(g float64) CO2Mass      { return CO2Mass(g) }
+func Kilograms(kg float64) CO2Mass { return CO2Mass(kg * 1e3) }
+func Tonnes(t float64) CO2Mass     { return CO2Mass(t * 1e6) }
+
+// Grams returns the mass in grams.
+func (m CO2Mass) Grams() float64 { return float64(m) }
+
+// Kilograms returns the mass in kilograms.
+func (m CO2Mass) Kilograms() float64 { return float64(m) / 1e3 }
+
+// Tonnes returns the mass in metric tonnes.
+func (m CO2Mass) Tonnes() float64 { return float64(m) / 1e6 }
+
+// String renders the mass with an adaptive unit (µg, mg, g, kg, t).
+func (m CO2Mass) String() string {
+	g := float64(m)
+	abs := math.Abs(g)
+	switch {
+	case abs == 0:
+		return "0 g CO2"
+	case abs < 1e-3:
+		return fmt.Sprintf("%.3g µg CO2", g*1e6)
+	case abs < 1:
+		return fmt.Sprintf("%.3g mg CO2", g*1e3)
+	case abs < 1e3:
+		return fmt.Sprintf("%.3g g CO2", g)
+	case abs < 1e6:
+		return fmt.Sprintf("%.3g kg CO2", g/1e3)
+	default:
+		return fmt.Sprintf("%.3g t CO2", g/1e6)
+	}
+}
+
+// Energy is an amount of energy. Canonical unit: joules.
+type Energy float64
+
+// Common energy constructors.
+func Joules(j float64) Energy          { return Energy(j) }
+func Millijoules(mj float64) Energy    { return Energy(mj * 1e-3) }
+func KilowattHours(kwh float64) Energy { return Energy(kwh * 3.6e6) }
+func WattHours(wh float64) Energy      { return Energy(wh * 3.6e3) }
+
+// Joules returns the energy in joules.
+func (e Energy) Joules() float64 { return float64(e) }
+
+// Millijoules returns the energy in millijoules.
+func (e Energy) Millijoules() float64 { return float64(e) * 1e3 }
+
+// KilowattHours returns the energy in kilowatt-hours.
+func (e Energy) KilowattHours() float64 { return float64(e) / 3.6e6 }
+
+// String renders the energy with an adaptive unit.
+func (e Energy) String() string {
+	j := float64(e)
+	abs := math.Abs(j)
+	switch {
+	case abs == 0:
+		return "0 J"
+	case abs < 1:
+		return fmt.Sprintf("%.3g mJ", j*1e3)
+	case abs < 3.6e3:
+		return fmt.Sprintf("%.3g J", j)
+	case abs < 3.6e6:
+		return fmt.Sprintf("%.3g Wh", j/3.6e3)
+	default:
+		return fmt.Sprintf("%.3g kWh", j/3.6e6)
+	}
+}
+
+// Power is an instantaneous power draw. Canonical unit: watts.
+type Power float64
+
+// Common power constructors.
+func Watts(w float64) Power       { return Power(w) }
+func Milliwatts(mw float64) Power { return Power(mw * 1e-3) }
+
+// Watts returns the power in watts.
+func (p Power) Watts() float64 { return float64(p) }
+
+// Milliwatts returns the power in milliwatts.
+func (p Power) Milliwatts() float64 { return float64(p) * 1e3 }
+
+// Over returns the energy consumed drawing power p for duration d.
+func (p Power) Over(d time.Duration) Energy {
+	return Energy(float64(p) * d.Seconds())
+}
+
+// String renders the power with an adaptive unit.
+func (p Power) String() string {
+	w := float64(p)
+	abs := math.Abs(w)
+	switch {
+	case abs == 0:
+		return "0 W"
+	case abs < 1:
+		return fmt.Sprintf("%.3g mW", w*1e3)
+	case abs < 1e3:
+		return fmt.Sprintf("%.3g W", w)
+	default:
+		return fmt.Sprintf("%.3g kW", w/1e3)
+	}
+}
+
+// Area is a silicon die area. Canonical unit: square millimeters.
+type Area float64
+
+// Common area constructors.
+func MM2(mm2 float64) Area { return Area(mm2) }
+func CM2(cm2 float64) Area { return Area(cm2 * 100) }
+
+// MM2 returns the area in square millimeters.
+func (a Area) MM2() float64 { return float64(a) }
+
+// CM2 returns the area in square centimeters.
+func (a Area) CM2() float64 { return float64(a) / 100 }
+
+// String renders the area in mm² or cm².
+func (a Area) String() string {
+	if math.Abs(float64(a)) >= 100 {
+		return fmt.Sprintf("%.3g cm²", a.CM2())
+	}
+	return fmt.Sprintf("%.3g mm²", a.MM2())
+}
+
+// Capacity is a memory or storage capacity. Canonical unit: gigabytes.
+type Capacity float64
+
+// Common capacity constructors.
+func Gigabytes(gb float64) Capacity { return Capacity(gb) }
+func Terabytes(tb float64) Capacity { return Capacity(tb * 1e3) }
+func Megabytes(mb float64) Capacity { return Capacity(mb / 1e3) }
+
+// Gigabytes returns the capacity in gigabytes.
+func (c Capacity) Gigabytes() float64 { return float64(c) }
+
+// Terabytes returns the capacity in terabytes.
+func (c Capacity) Terabytes() float64 { return float64(c) / 1e3 }
+
+// String renders the capacity with an adaptive unit.
+func (c Capacity) String() string {
+	gb := float64(c)
+	abs := math.Abs(gb)
+	switch {
+	case abs == 0:
+		return "0 GB"
+	case abs < 1:
+		return fmt.Sprintf("%.3g MB", gb*1e3)
+	case abs < 1e3:
+		return fmt.Sprintf("%.3g GB", gb)
+	default:
+		return fmt.Sprintf("%.3g TB", gb/1e3)
+	}
+}
+
+// CarbonIntensity is the carbon emitted per unit of energy generated.
+// Canonical unit: grams of CO2 per kilowatt-hour. This is the CIuse / CIfab
+// parameter of the ACT model.
+type CarbonIntensity float64
+
+// GramsPerKWh constructs a carbon intensity from g CO2/kWh.
+func GramsPerKWh(g float64) CarbonIntensity { return CarbonIntensity(g) }
+
+// GramsPerKWh returns the intensity in g CO2/kWh.
+func (ci CarbonIntensity) GramsPerKWh() float64 { return float64(ci) }
+
+// Emitted returns the CO2 mass emitted generating energy e at intensity ci.
+func (ci CarbonIntensity) Emitted(e Energy) CO2Mass {
+	return CO2Mass(float64(ci) * e.KilowattHours())
+}
+
+// String renders the intensity in g CO2/kWh.
+func (ci CarbonIntensity) String() string {
+	return fmt.Sprintf("%.3g g CO2/kWh", float64(ci))
+}
+
+// CarbonPerArea is embodied carbon per unit of wafer area processed (the CPA
+// parameter, and the GPA/MPA fab parameters). Canonical unit: grams of CO2
+// per square centimeter.
+type CarbonPerArea float64
+
+// GramsPerCM2 constructs a per-area carbon intensity from g CO2/cm².
+func GramsPerCM2(g float64) CarbonPerArea { return CarbonPerArea(g) }
+
+// KilogramsPerCM2 constructs a per-area carbon intensity from kg CO2/cm².
+func KilogramsPerCM2(kg float64) CarbonPerArea { return CarbonPerArea(kg * 1e3) }
+
+// GramsPerCM2 returns the intensity in g CO2/cm².
+func (cpa CarbonPerArea) GramsPerCM2() float64 { return float64(cpa) }
+
+// For returns the embodied carbon for manufacturing area a at intensity cpa.
+func (cpa CarbonPerArea) For(a Area) CO2Mass {
+	return CO2Mass(float64(cpa) * a.CM2())
+}
+
+// String renders the intensity in g or kg CO2/cm².
+func (cpa CarbonPerArea) String() string {
+	if math.Abs(float64(cpa)) >= 1e3 {
+		return fmt.Sprintf("%.3g kg CO2/cm²", float64(cpa)/1e3)
+	}
+	return fmt.Sprintf("%.3g g CO2/cm²", float64(cpa))
+}
+
+// EnergyPerArea is fab energy consumed per unit of wafer area processed (the
+// EPA parameter). Canonical unit: kWh per square centimeter.
+type EnergyPerArea float64
+
+// KWhPerCM2 constructs a per-area energy intensity from kWh/cm².
+func KWhPerCM2(kwh float64) EnergyPerArea { return EnergyPerArea(kwh) }
+
+// KWhPerCM2 returns the intensity in kWh/cm².
+func (epa EnergyPerArea) KWhPerCM2() float64 { return float64(epa) }
+
+// For returns the fab energy consumed manufacturing area a.
+func (epa EnergyPerArea) For(a Area) Energy {
+	return KilowattHours(float64(epa) * a.CM2())
+}
+
+// String renders the intensity in kWh/cm².
+func (epa EnergyPerArea) String() string {
+	return fmt.Sprintf("%.3g kWh/cm²", float64(epa))
+}
+
+// CarbonPerCapacity is embodied carbon per unit of memory or storage
+// capacity (the CPS parameter). Canonical unit: grams of CO2 per gigabyte.
+type CarbonPerCapacity float64
+
+// GramsPerGB constructs a per-capacity carbon intensity from g CO2/GB.
+func GramsPerGB(g float64) CarbonPerCapacity { return CarbonPerCapacity(g) }
+
+// GramsPerGB returns the intensity in g CO2/GB.
+func (cps CarbonPerCapacity) GramsPerGB() float64 { return float64(cps) }
+
+// For returns the embodied carbon for capacity c at intensity cps.
+func (cps CarbonPerCapacity) For(c Capacity) CO2Mass {
+	return CO2Mass(float64(cps) * c.Gigabytes())
+}
+
+// String renders the intensity in g CO2/GB.
+func (cps CarbonPerCapacity) String() string {
+	return fmt.Sprintf("%.3g g CO2/GB", float64(cps))
+}
+
+// Years converts a number of years to a time.Duration using the Julian year
+// (365.25 days), the convention used for hardware lifetimes in the model.
+func Years(y float64) time.Duration {
+	return time.Duration(y * 365.25 * 24 * float64(time.Hour))
+}
+
+// InYears converts a duration to fractional Julian years.
+func InYears(d time.Duration) float64 {
+	return d.Hours() / (365.25 * 24)
+}

@@ -1,0 +1,126 @@
+// Package usage models how devices are actually used over their lifetime —
+// the "HW/SW profiling" input of the ACT model (Figure 5). A duty-cycle
+// profile splits the day into active and idle time with distinct power
+// draws; from it follow daily and lifetime energy and, combined with a
+// carbon intensity (flat or time-varying), the operational footprint that
+// Eq. 1 adds to the amortized embodied share.
+package usage
+
+import (
+	"fmt"
+	"time"
+
+	"act/internal/core"
+	"act/internal/intensity"
+	"act/internal/units"
+)
+
+// DutyCycle describes a device's average day.
+type DutyCycle struct {
+	// ActivePower is the draw while in use; IdlePower while standing by.
+	ActivePower, IdlePower units.Power
+	// ActiveHoursPerDay is the daily usage time; the remaining hours idle.
+	ActiveHoursPerDay float64
+}
+
+// Mobile returns a phone-like profile: 3 W active for the paper's
+// "typical usage behavior of mobile platforms" (a few hours a day),
+// 30 mW standby.
+func Mobile() DutyCycle {
+	return DutyCycle{
+		ActivePower:       units.Watts(3),
+		IdlePower:         units.Milliwatts(30),
+		ActiveHoursPerDay: 3,
+	}
+}
+
+// Server returns an always-on profile at a fixed average utilization
+// power.
+func Server(avg units.Power) DutyCycle {
+	return DutyCycle{ActivePower: avg, IdlePower: avg, ActiveHoursPerDay: 24}
+}
+
+// Validate checks the profile.
+func (d DutyCycle) Validate() error {
+	if d.ActivePower < 0 || d.IdlePower < 0 {
+		return fmt.Errorf("usage: negative power in %+v", d)
+	}
+	if d.ActiveHoursPerDay < 0 || d.ActiveHoursPerDay > 24 {
+		return fmt.Errorf("usage: active hours %v outside [0, 24]", d.ActiveHoursPerDay)
+	}
+	return nil
+}
+
+// DailyEnergy returns one day's energy.
+func (d DutyCycle) DailyEnergy() (units.Energy, error) {
+	if err := d.Validate(); err != nil {
+		return 0, err
+	}
+	activeSec := d.ActiveHoursPerDay * 3600
+	idleSec := (24 - d.ActiveHoursPerDay) * 3600
+	j := d.ActivePower.Watts()*activeSec + d.IdlePower.Watts()*idleSec
+	return units.Joules(j), nil
+}
+
+// EnergyOver returns the energy consumed over an arbitrary span.
+func (d DutyCycle) EnergyOver(span time.Duration) (units.Energy, error) {
+	if span < 0 {
+		return 0, fmt.Errorf("usage: negative span %v", span)
+	}
+	daily, err := d.DailyEnergy()
+	if err != nil {
+		return 0, err
+	}
+	days := span.Hours() / 24
+	return units.Joules(daily.Joules() * days), nil
+}
+
+// Usage converts the profile over a span into the core model's
+// operational input at a flat carbon intensity.
+func (d DutyCycle) Usage(span time.Duration, ci units.CarbonIntensity) (core.Usage, error) {
+	e, err := d.EnergyOver(span)
+	if err != nil {
+		return core.Usage{}, err
+	}
+	return core.Usage{Energy: e, Intensity: ci}, nil
+}
+
+// Utilization returns the active fraction of the day — the "reuse
+// frequency" of the paper's break-even analysis.
+func (d DutyCycle) Utilization() float64 {
+	return d.ActiveHoursPerDay / 24
+}
+
+// OperationalOverTrace integrates the profile against a time-varying
+// carbon intensity: each day is walked at the given resolution, the
+// instantaneous power is active during [0, ActiveHours) of the day (a
+// stylized usage window) and idle otherwise, and each step's energy is
+// charged at the trace's intensity. The span must cover whole steps.
+func (d DutyCycle) OperationalOverTrace(span time.Duration, tr intensity.Trace, step time.Duration) (units.CO2Mass, error) {
+	if err := d.Validate(); err != nil {
+		return 0, err
+	}
+	if tr == nil {
+		return 0, fmt.Errorf("usage: nil intensity trace")
+	}
+	if step <= 0 {
+		return 0, fmt.Errorf("usage: non-positive step %v", step)
+	}
+	if span <= 0 {
+		return 0, fmt.Errorf("usage: non-positive span %v", span)
+	}
+	if span < step {
+		return 0, fmt.Errorf("usage: span %v shorter than step %v", span, step)
+	}
+	var grams float64
+	for t := time.Duration(0); t+step <= span; t += step {
+		hourOfDay := t.Hours() - 24*float64(int(t.Hours()/24))
+		p := d.IdlePower
+		if hourOfDay < d.ActiveHoursPerDay {
+			p = d.ActivePower
+		}
+		e := p.Over(step)
+		grams += tr.At(t).Emitted(e).Grams()
+	}
+	return units.Grams(grams), nil
+}

@@ -1,0 +1,160 @@
+package usage
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"act/internal/intensity"
+	"act/internal/units"
+)
+
+func TestValidate(t *testing.T) {
+	if err := Mobile().Validate(); err != nil {
+		t.Errorf("mobile profile invalid: %v", err)
+	}
+	if err := Server(units.Watts(300)).Validate(); err != nil {
+		t.Errorf("server profile invalid: %v", err)
+	}
+	bad := []DutyCycle{
+		{ActivePower: -1, IdlePower: 0, ActiveHoursPerDay: 1},
+		{ActivePower: 1, IdlePower: -1, ActiveHoursPerDay: 1},
+		{ActivePower: 1, IdlePower: 0, ActiveHoursPerDay: 25},
+		{ActivePower: 1, IdlePower: 0, ActiveHoursPerDay: -1},
+	}
+	for i, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("profile %d: expected error", i)
+		}
+	}
+}
+
+func TestDailyEnergy(t *testing.T) {
+	// 3 W x 3 h + 0.03 W x 21 h = 9.63 Wh/day.
+	e, err := Mobile().DailyEnergy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 3*3*3600 + 0.03*21*3600.0
+	if math.Abs(e.Joules()-want) > 1e-6 {
+		t.Errorf("daily energy = %v J, want %v", e.Joules(), want)
+	}
+	// An always-on server: 24 h at the average power.
+	e, err = Server(units.Watts(300)).DailyEnergy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e.KilowattHours()-7.2) > 1e-9 {
+		t.Errorf("server daily = %v, want 7.2 kWh", e)
+	}
+}
+
+func TestEnergyOverAndUsage(t *testing.T) {
+	d := Mobile()
+	daily, _ := d.DailyEnergy()
+	year, err := d.EnergyOver(units.Years(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(year.Joules()-daily.Joules()*365.25) > 1 {
+		t.Errorf("annual energy = %v, want %v", year.Joules(), daily.Joules()*365.25)
+	}
+	u, err := d.Usage(units.Years(1), intensity.USGrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Intensity != intensity.USGrid || u.Energy != year {
+		t.Errorf("usage = %+v", u)
+	}
+	if _, err := d.EnergyOver(-time.Hour); err == nil {
+		t.Error("negative span: expected error")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	if got := Mobile().Utilization(); math.Abs(got-0.125) > 1e-12 {
+		t.Errorf("mobile utilization = %v, want 0.125", got)
+	}
+	if got := Server(1).Utilization(); got != 1 {
+		t.Errorf("server utilization = %v, want 1", got)
+	}
+}
+
+func TestOperationalOverTraceFlatMatchesUsage(t *testing.T) {
+	// On a constant trace, the integral equals the flat computation.
+	d := Mobile()
+	span := 48 * time.Hour
+	tr := intensity.Constant(units.GramsPerKWh(300))
+	integrated, err := d.OperationalOverTrace(span, tr, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := d.EnergyOver(span)
+	flat := units.GramsPerKWh(300).Emitted(e)
+	if math.Abs(integrated.Grams()-flat.Grams()) > 1e-6 {
+		t.Errorf("integrated %v vs flat %v", integrated, flat)
+	}
+}
+
+func TestOperationalOverTraceDiurnalAlignment(t *testing.T) {
+	// A device active in the first hours of the day benefits from a trace
+	// whose dip covers those hours and suffers from one that does not.
+	d := DutyCycle{ActivePower: units.Watts(10), IdlePower: 0, ActiveHoursPerDay: 4}
+	span := 24 * time.Hour
+	morningDip := intensity.Diurnal{Base: 600, Depth: 500, Noon: 2 * time.Hour}
+	eveningDip := intensity.Diurnal{Base: 600, Depth: 500, Noon: 18 * time.Hour}
+	aligned, err := d.OperationalOverTrace(span, morningDip, 15*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	misaligned, err := d.OperationalOverTrace(span, eveningDip, 15*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aligned.Grams() >= misaligned.Grams() {
+		t.Errorf("aligned usage (%v) should beat misaligned (%v)", aligned, misaligned)
+	}
+}
+
+func TestOperationalOverTraceValidation(t *testing.T) {
+	d := Mobile()
+	tr := intensity.Constant(300)
+	if _, err := d.OperationalOverTrace(24*time.Hour, nil, time.Hour); err == nil {
+		t.Error("nil trace: expected error")
+	}
+	if _, err := d.OperationalOverTrace(24*time.Hour, tr, 0); err == nil {
+		t.Error("zero step: expected error")
+	}
+	if _, err := d.OperationalOverTrace(0, tr, time.Hour); err == nil {
+		t.Error("zero span: expected error")
+	}
+	if _, err := d.OperationalOverTrace(time.Minute, tr, time.Hour); err == nil {
+		t.Error("span < step: expected error")
+	}
+	bad := DutyCycle{ActivePower: -1}
+	if _, err := bad.OperationalOverTrace(24*time.Hour, tr, time.Hour); err == nil {
+		t.Error("invalid profile: expected error")
+	}
+}
+
+// Property: daily energy is monotone in active hours when active power
+// exceeds idle power.
+func TestQuickEnergyMonotoneInActivity(t *testing.T) {
+	f := func(aRaw, bRaw uint8) bool {
+		a := float64(aRaw%25) * 24 / 25
+		b := float64(bRaw%25) * 24 / 25
+		if a > b {
+			a, b = b, a
+		}
+		mk := func(h float64) DutyCycle {
+			return DutyCycle{ActivePower: units.Watts(5), IdlePower: units.Watts(1), ActiveHoursPerDay: h}
+		}
+		ea, err1 := mk(a).DailyEnergy()
+		eb, err2 := mk(b).DailyEnergy()
+		return err1 == nil && err2 == nil && eb >= ea-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

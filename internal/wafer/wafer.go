@@ -1,0 +1,160 @@
+// Package wafer refines the ACT manufacturing model from per-area to
+// per-wafer accounting. The headline model charges a die Area × CPA
+// (Eq. 4), implicitly assuming wafers tile perfectly into dies. Real
+// wafers lose area to edge exclusion, saw streets and rectangular-on-
+// circular packing, so the area of wafer processed per good die exceeds
+// the die area — increasingly so for large dies. This package computes
+// dies-per-wafer with the classic De Vries estimate, charges the whole
+// processed wafer to the good dies, and therefore gives a (slightly)
+// higher, more faithful embodied footprint that converges to Eq. 4 for
+// small dies.
+package wafer
+
+import (
+	"fmt"
+	"math"
+
+	"act/internal/fab"
+	"act/internal/units"
+)
+
+// Wafer describes the processed substrate.
+type Wafer struct {
+	// DiameterMM is the wafer diameter (300 for modern logic).
+	DiameterMM float64
+	// EdgeExclusionMM is the unusable rim.
+	EdgeExclusionMM float64
+	// ScribeMM is the saw street added to each die edge.
+	ScribeMM float64
+}
+
+// Default300 returns a standard 300 mm wafer with a 3 mm edge exclusion
+// and 0.1 mm saw streets.
+func Default300() Wafer {
+	return Wafer{DiameterMM: 300, EdgeExclusionMM: 3, ScribeMM: 0.1}
+}
+
+// Validate checks the geometry is usable.
+func (w Wafer) Validate() error {
+	if w.DiameterMM <= 0 {
+		return fmt.Errorf("wafer: non-positive diameter %v", w.DiameterMM)
+	}
+	if w.EdgeExclusionMM < 0 || w.ScribeMM < 0 {
+		return fmt.Errorf("wafer: negative edge exclusion or scribe")
+	}
+	if 2*w.EdgeExclusionMM >= w.DiameterMM {
+		return fmt.Errorf("wafer: edge exclusion %v consumes the whole %v mm wafer",
+			w.EdgeExclusionMM, w.DiameterMM)
+	}
+	return nil
+}
+
+// usableRadiusMM returns the printable radius.
+func (w Wafer) usableRadiusMM() float64 {
+	return w.DiameterMM/2 - w.EdgeExclusionMM
+}
+
+// Area returns the full wafer area (the area the fab processes).
+func (w Wafer) Area() units.Area {
+	r := w.DiameterMM / 2
+	return units.MM2(math.Pi * r * r)
+}
+
+// UsableArea returns the printable area inside the edge exclusion.
+func (w Wafer) UsableArea() units.Area {
+	r := w.usableRadiusMM()
+	return units.MM2(math.Pi * r * r)
+}
+
+// DiesPerWafer estimates the number of whole dies that fit the usable
+// area, for a square die of the given logic area, using the De Vries
+// formula DPW = πr²/S − πd/√(2S) with S the die area including scribe.
+func (w Wafer) DiesPerWafer(die units.Area) (int, error) {
+	if err := w.Validate(); err != nil {
+		return 0, err
+	}
+	if die <= 0 {
+		return 0, fmt.Errorf("wafer: non-positive die area %v", die)
+	}
+	edge := math.Sqrt(die.MM2()) + w.ScribeMM
+	s := edge * edge
+	r := w.usableRadiusMM()
+	if s > r*r { // die cannot possibly fit
+		return 0, fmt.Errorf("wafer: die %v larger than the usable wafer", die)
+	}
+	dpw := math.Pi*r*r/s - math.Pi*2*r/math.Sqrt(2*s)
+	if dpw < 1 {
+		return 0, fmt.Errorf("wafer: die %v too large to yield a whole die", die)
+	}
+	return int(dpw), nil
+}
+
+// PackingEfficiency returns the fraction of the processed wafer that ends
+// up inside dies: DPW × die area ÷ full wafer area.
+func (w Wafer) PackingEfficiency(die units.Area) (float64, error) {
+	dpw, err := w.DiesPerWafer(die)
+	if err != nil {
+		return 0, err
+	}
+	return float64(dpw) * die.MM2() / w.Area().MM2(), nil
+}
+
+// EmbodiedPerGoodDie charges the whole processed wafer to the wafer's
+// good dies:
+//
+//	E = WaferArea × (CIfab·EPA + GPA + MPA) / (DPW × Y(die))
+//
+// where Y comes from the fab's yield model. For small dies this converges
+// to Eq. 4 (Area × CPA); for reticle-sized dies it exceeds it by the
+// packing loss.
+func (w Wafer) EmbodiedPerGoodDie(f *fab.Fab, die units.Area) (units.CO2Mass, error) {
+	if f == nil {
+		return 0, fmt.Errorf("wafer: nil fab")
+	}
+	dpw, err := w.DiesPerWafer(die)
+	if err != nil {
+		return 0, err
+	}
+	y := f.Yield(die)
+	if !fab.ValidYield(y) {
+		return 0, fmt.Errorf("wafer: yield model returned %v for die %v", y, die)
+	}
+	// Per-area manufacturing intensity without the yield discount: CPA at
+	// yield 1 equals the raw intensity.
+	perArea := f.CarbonIntensity().GramsPerKWh()*f.EPA().KWhPerCM2() +
+		f.GPA().GramsPerCM2() + f.MPA().GramsPerCM2()
+	waferGrams := perArea * w.Area().CM2()
+	good := float64(dpw) * y
+	return units.Grams(waferGrams / good), nil
+}
+
+// PackingOverhead returns the ratio of the wafer-level embodied estimate
+// to the headline Eq. 4 estimate for the same die and fab — how much the
+// per-area model understates manufacturing for this die size.
+func (w Wafer) PackingOverhead(f *fab.Fab, die units.Area) (float64, error) {
+	waferE, err := w.EmbodiedPerGoodDie(f, die)
+	if err != nil {
+		return 0, err
+	}
+	flatE, err := f.Embodied(die)
+	if err != nil {
+		return 0, err
+	}
+	return waferE.Grams() / flatE.Grams(), nil
+}
+
+// GoodDiesPerWafer returns the expected count of functional dies.
+func (w Wafer) GoodDiesPerWafer(f *fab.Fab, die units.Area) (float64, error) {
+	if f == nil {
+		return 0, fmt.Errorf("wafer: nil fab")
+	}
+	dpw, err := w.DiesPerWafer(die)
+	if err != nil {
+		return 0, err
+	}
+	y := f.Yield(die)
+	if !fab.ValidYield(y) {
+		return 0, fmt.Errorf("wafer: yield model returned %v for die %v", y, die)
+	}
+	return float64(dpw) * y, nil
+}

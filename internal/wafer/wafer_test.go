@@ -1,0 +1,204 @@
+package wafer
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"act/internal/fab"
+	"act/internal/units"
+)
+
+func defaultFab(t *testing.T, opts ...fab.Option) *fab.Fab {
+	t.Helper()
+	f, err := fab.New(fab.Node7, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestValidate(t *testing.T) {
+	if err := Default300().Validate(); err != nil {
+		t.Errorf("default wafer invalid: %v", err)
+	}
+	bad := []Wafer{
+		{DiameterMM: 0},
+		{DiameterMM: 300, EdgeExclusionMM: -1},
+		{DiameterMM: 300, ScribeMM: -1},
+		{DiameterMM: 10, EdgeExclusionMM: 5},
+	}
+	for i, w := range bad {
+		if err := w.Validate(); err == nil {
+			t.Errorf("wafer %d: expected error", i)
+		}
+	}
+}
+
+func TestAreas(t *testing.T) {
+	w := Default300()
+	// Full area: π × 150².
+	if got := w.Area().MM2(); math.Abs(got-math.Pi*150*150) > 1e-9 {
+		t.Errorf("Area = %v", got)
+	}
+	// Usable radius 147 mm.
+	if got := w.UsableArea().MM2(); math.Abs(got-math.Pi*147*147) > 1e-9 {
+		t.Errorf("UsableArea = %v", got)
+	}
+}
+
+func TestDiesPerWafer(t *testing.T) {
+	w := Default300()
+	// A 100 mm² die on a 300 mm wafer: industry calculators give ≈600
+	// gross dies.
+	dpw, err := w.DiesPerWafer(units.MM2(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dpw < 540 || dpw > 640 {
+		t.Errorf("DPW(100mm²) = %d, want ≈600", dpw)
+	}
+	// An 800 mm² reticle-limited die: ≈60.
+	dpw, err = w.DiesPerWafer(units.MM2(800))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dpw < 50 || dpw > 72 {
+		t.Errorf("DPW(800mm²) = %d, want ≈60", dpw)
+	}
+
+	if _, err := w.DiesPerWafer(0); err == nil {
+		t.Error("zero die: expected error")
+	}
+	if _, err := w.DiesPerWafer(units.MM2(200000)); err == nil {
+		t.Error("die larger than wafer: expected error")
+	}
+}
+
+func TestQuickDPWMonotone(t *testing.T) {
+	// Property: more area per die, fewer dies per wafer.
+	w := Default300()
+	f := func(aRaw, bRaw uint16) bool {
+		a := float64(aRaw%900) + 10
+		b := float64(bRaw%900) + 10
+		if a > b {
+			a, b = b, a
+		}
+		da, err1 := w.DiesPerWafer(units.MM2(a))
+		db, err2 := w.DiesPerWafer(units.MM2(b))
+		return err1 == nil && err2 == nil && da >= db
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPackingEfficiency(t *testing.T) {
+	w := Default300()
+	small, err := w.PackingEfficiency(units.MM2(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := w.PackingEfficiency(units.MM2(800))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Efficiency is a fraction and decreases for huge dies.
+	if small <= 0 || small >= 1 || large <= 0 || large >= 1 {
+		t.Errorf("efficiencies out of (0,1): %v, %v", small, large)
+	}
+	if large >= small {
+		t.Errorf("large dies should pack worse: %v vs %v", large, small)
+	}
+	// Small dies pack well: > 80%.
+	if small < 0.8 {
+		t.Errorf("small-die packing = %v, want > 0.8", small)
+	}
+}
+
+func TestEmbodiedPerGoodDieConvergesToEq4(t *testing.T) {
+	// For a small die the wafer model converges to Area × CPA within the
+	// packing overhead (≈10-15%).
+	w := Default300()
+	f := defaultFab(t)
+	die := units.MM2(50)
+	waferE, err := w.EmbodiedPerGoodDie(f, die)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flatE, err := f.Embodied(die)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := waferE.Grams() / flatE.Grams()
+	if ratio < 1.0 || ratio > 1.25 {
+		t.Errorf("wafer/flat ratio for a small die = %v, want 1.0-1.25", ratio)
+	}
+}
+
+func TestPackingOverheadGrowsWithDieSize(t *testing.T) {
+	w := Default300()
+	f := defaultFab(t)
+	small, err := w.PackingOverhead(f, units.MM2(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := w.PackingOverhead(f, units.MM2(800))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large <= small {
+		t.Errorf("packing overhead should grow with die size: %v vs %v", small, large)
+	}
+	if small < 1 {
+		t.Errorf("overhead below 1 (%v): the wafer model cannot beat perfect tiling", small)
+	}
+}
+
+func TestEmbodiedWithDefectYield(t *testing.T) {
+	// Under Murphy yield, the per-good-die footprint grows superlinearly
+	// with die area: doubling area more than doubles embodied carbon.
+	w := Default300()
+	f := defaultFab(t, fab.WithYield(fab.MurphyYield{D0: 0.2}))
+	e1, err := w.EmbodiedPerGoodDie(f, units.MM2(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := w.EmbodiedPerGoodDie(f, units.MM2(400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.Grams() <= 2*e1.Grams() {
+		t.Errorf("defect yield should penalize large dies superlinearly: %v vs 2x%v", e2, e1)
+	}
+}
+
+func TestGoodDiesPerWafer(t *testing.T) {
+	w := Default300()
+	f := defaultFab(t) // fixed yield 0.875
+	dpw, err := w.DiesPerWafer(units.MM2(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := w.GoodDiesPerWafer(f, units.MM2(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(good-float64(dpw)*0.875) > 1e-9 {
+		t.Errorf("good dies = %v, want %v", good, float64(dpw)*0.875)
+	}
+	if _, err := w.GoodDiesPerWafer(nil, units.MM2(100)); err == nil {
+		t.Error("nil fab: expected error")
+	}
+}
+
+func TestEmbodiedErrors(t *testing.T) {
+	w := Default300()
+	if _, err := w.EmbodiedPerGoodDie(nil, units.MM2(100)); err == nil {
+		t.Error("nil fab: expected error")
+	}
+	f := defaultFab(t, fab.WithYield(fab.PoissonYield{D0: 1e6}))
+	if _, err := w.EmbodiedPerGoodDie(f, units.MM2(500)); err == nil {
+		t.Error("degenerate yield: expected error")
+	}
+}

@@ -1,0 +1,517 @@
+package workloads
+
+import (
+	"bytes"
+	"compress/flate"
+	"crypto/aes"
+	"crypto/cipher"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// lcg is a tiny deterministic generator so every kernel's input is
+// reproducible without seeding global state.
+type lcg uint64
+
+func (l *lcg) next() uint64 {
+	*l = (*l)*6364136223846793005 + 1442695040888963407
+	return uint64(*l)
+}
+
+func (l *lcg) bytes(n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(l.next() >> 33)
+	}
+	return out
+}
+
+func (l *lcg) floats(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(l.next()>>11)/float64(1<<53)*2 - 1
+	}
+	return out
+}
+
+// checksum folds a byte slice into a FNV-style digest.
+func checksum(b []byte) uint64 {
+	var h uint64 = 14695981039346656037
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+func checksumFloats(fs []float64) uint64 {
+	var h uint64 = 14695981039346656037
+	for _, f := range fs {
+		h ^= math.Float64bits(f)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// htmlRender tokenizes and lays out a synthetic HTML document: it parses
+// tags, builds a node tree, and accumulates a box-model layout pass.
+type htmlRender struct{ doc string }
+
+// NewHTMLRender builds the HTML-rendering kernel.
+func NewHTMLRender() Kernel {
+	var b strings.Builder
+	b.WriteString("<html><body>")
+	rng := lcg(1)
+	for i := 0; i < 400; i++ {
+		switch rng.next() % 4 {
+		case 0:
+			fmt.Fprintf(&b, "<div class=\"c%d\"><p>paragraph %d with some text</p></div>", i%7, i)
+		case 1:
+			fmt.Fprintf(&b, "<span>inline %d</span>", i)
+		case 2:
+			fmt.Fprintf(&b, "<ul><li>item a%d</li><li>item b%d</li></ul>", i, i)
+		default:
+			fmt.Fprintf(&b, "<table><tr><td>%d</td><td>%d</td></tr></table>", i, i*3)
+		}
+	}
+	b.WriteString("</body></html>")
+	return &htmlRender{doc: b.String()}
+}
+
+func (h *htmlRender) Name() string { return "html5-rendering" }
+
+func (h *htmlRender) Run() uint64 {
+	// Tokenize.
+	type node struct {
+		tag      string
+		depth    int
+		textLen  int
+		children int
+	}
+	var stack []int
+	var nodes []node
+	s := h.doc
+	for i := 0; i < len(s); {
+		if s[i] == '<' {
+			j := strings.IndexByte(s[i:], '>')
+			if j < 0 {
+				break
+			}
+			tag := s[i+1 : i+j]
+			if strings.HasPrefix(tag, "/") {
+				if len(stack) > 0 {
+					stack = stack[:len(stack)-1]
+				}
+			} else {
+				name, _, _ := strings.Cut(tag, " ")
+				nodes = append(nodes, node{tag: name, depth: len(stack)})
+				if len(stack) > 0 {
+					nodes[stack[len(stack)-1]].children++
+				}
+				stack = append(stack, len(nodes)-1)
+			}
+			i += j + 1
+		} else {
+			j := strings.IndexByte(s[i:], '<')
+			if j < 0 {
+				j = len(s) - i
+			}
+			if len(stack) > 0 {
+				nodes[stack[len(stack)-1]].textLen += j
+			}
+			i += j
+		}
+	}
+	// Layout pass: accumulate box widths per depth.
+	var h64 uint64 = 1469598103934665603
+	for _, n := range nodes {
+		w := 960 >> uint(n.depth%5)
+		box := w*(n.textLen+1) + 13*n.children
+		h64 ^= uint64(box) * uint64(len(n.tag)+1)
+		h64 *= 1099511628211
+	}
+	return h64
+}
+
+// aesKernel encrypts a buffer with AES-CTR, the Geekbench AES workload's
+// computation class.
+type aesKernel struct {
+	block cipher.Block
+	iv    []byte
+	buf   []byte
+}
+
+// NewAES builds the AES-encryption kernel.
+func NewAES() Kernel {
+	rng := lcg(2)
+	key := rng.bytes(32)
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		panic("workloads: aes: " + err.Error()) // unreachable: 32-byte key
+	}
+	return &aesKernel{block: block, iv: rng.bytes(16), buf: rng.bytes(64 << 10)}
+}
+
+func (a *aesKernel) Name() string { return "aes-encryption" }
+
+func (a *aesKernel) Run() uint64 {
+	dst := make([]byte, len(a.buf))
+	cipher.NewCTR(a.block, a.iv).XORKeyStream(dst, a.buf)
+	return checksum(dst)
+}
+
+// textCompress deflates a synthetic natural-text corpus.
+type textCompress struct{ text []byte }
+
+// NewTextCompress builds the text-compression kernel.
+func NewTextCompress() Kernel {
+	words := []string{"carbon", "footprint", "sustainable", "architecture",
+		"embodied", "operational", "hardware", "lifetime", "the", "of",
+		"and", "to", "renewable", "energy", "fabrication", "silicon"}
+	var b bytes.Buffer
+	rng := lcg(3)
+	for b.Len() < 96<<10 {
+		b.WriteString(words[rng.next()%uint64(len(words))])
+		if rng.next()%12 == 0 {
+			b.WriteString(".\n")
+		} else {
+			b.WriteByte(' ')
+		}
+	}
+	return &textCompress{text: b.Bytes()}
+}
+
+func (t *textCompress) Name() string { return "text-compression" }
+
+func (t *textCompress) Run() uint64 {
+	var out bytes.Buffer
+	w, err := flate.NewWriter(&out, flate.BestSpeed)
+	if err != nil {
+		panic("workloads: flate: " + err.Error()) // unreachable: valid level
+	}
+	if _, err := w.Write(t.text); err != nil {
+		panic("workloads: flate write: " + err.Error()) // bytes.Buffer cannot fail
+	}
+	w.Close()
+	return checksum(out.Bytes()) ^ uint64(out.Len())
+}
+
+// imageCompress runs a DCT-quantization pipeline (the JPEG computation
+// class) over a synthetic grayscale image.
+type imageCompress struct {
+	img  []float64
+	side int
+}
+
+// NewImageCompress builds the image-compression kernel.
+func NewImageCompress() Kernel {
+	const side = 128
+	img := make([]float64, side*side)
+	for y := 0; y < side; y++ {
+		for x := 0; x < side; x++ {
+			// Smooth gradients plus texture, JPEG-friendly content.
+			img[y*side+x] = 128 + 100*math.Sin(float64(x)/9)*math.Cos(float64(y)/13) +
+				20*math.Sin(float64(x*y)/97)
+		}
+	}
+	return &imageCompress{img: img, side: side}
+}
+
+func (ic *imageCompress) Name() string { return "image-compression" }
+
+func (ic *imageCompress) Run() uint64 {
+	const n = 8
+	side := ic.side
+	// Precompute DCT basis.
+	var basis [n][n]float64
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			basis[k][i] = math.Cos(math.Pi * float64(k) * (2*float64(i) + 1) / (2 * n))
+		}
+	}
+	var h uint64 = 1099511628211
+	coeffs := make([]float64, n*n)
+	for by := 0; by+n <= side; by += n {
+		for bx := 0; bx+n <= side; bx += n {
+			// 2D DCT of the block.
+			for u := 0; u < n; u++ {
+				for v := 0; v < n; v++ {
+					var sum float64
+					for y := 0; y < n; y++ {
+						for x := 0; x < n; x++ {
+							sum += ic.img[(by+y)*side+bx+x] * basis[u][y] * basis[v][x]
+						}
+					}
+					coeffs[u*n+v] = sum
+				}
+			}
+			// Quantize and fold.
+			for i, c := range coeffs {
+				q := int64(c / (8 + float64(i)))
+				h ^= uint64(q)
+				h *= 16777619
+			}
+		}
+	}
+	return h
+}
+
+// faceDetect runs a Viola-Jones-style pass: integral image plus Haar-like
+// rectangle features over a sliding window.
+type faceDetect struct {
+	img  []float64
+	side int
+}
+
+// NewFaceDetect builds the face-detection kernel.
+func NewFaceDetect() Kernel {
+	const side = 160
+	rng := lcg(5)
+	img := rng.floats(side * side)
+	// Plant a few bright blobs so the detector has structure to find.
+	for _, c := range []struct{ x, y int }{{40, 40}, {100, 60}, {70, 120}} {
+		for dy := -8; dy <= 8; dy++ {
+			for dx := -8; dx <= 8; dx++ {
+				img[(c.y+dy)*side+c.x+dx] += 2 - 0.02*float64(dx*dx+dy*dy)
+			}
+		}
+	}
+	return &faceDetect{img: img, side: side}
+}
+
+func (fd *faceDetect) Name() string { return "face-detection" }
+
+func (fd *faceDetect) Run() uint64 {
+	side := fd.side
+	// Integral image.
+	ii := make([]float64, (side+1)*(side+1))
+	for y := 1; y <= side; y++ {
+		var row float64
+		for x := 1; x <= side; x++ {
+			row += fd.img[(y-1)*side+x-1]
+			ii[y*(side+1)+x] = ii[(y-1)*(side+1)+x] + row
+		}
+	}
+	rect := func(x, y, w, h int) float64 {
+		return ii[(y+h)*(side+1)+x+w] - ii[y*(side+1)+x+w] -
+			ii[(y+h)*(side+1)+x] + ii[y*(side+1)+x]
+	}
+	// Haar features: two-rectangle horizontal and vertical, sliding window.
+	var detections int
+	var h uint64 = 2166136261
+	const win = 16
+	for y := 0; y+win <= side; y += 2 {
+		for x := 0; x+win <= side; x += 2 {
+			horiz := rect(x, y, win, win/2) - rect(x, y+win/2, win, win/2)
+			vert := rect(x, y, win/2, win) - rect(x+win/2, y, win/2, win)
+			score := math.Abs(horiz) + math.Abs(vert)
+			if score > 30 {
+				detections++
+				h ^= uint64(x*31 + y)
+				h *= 16777619
+			}
+		}
+	}
+	return h ^ uint64(detections)
+}
+
+// speechRecog runs the front half of a classic speech pipeline: framed FFT
+// power spectra followed by DTW alignment against a template.
+type speechRecog struct {
+	signal   []float64
+	template [][]float64
+}
+
+// NewSpeechRecog builds the speech-recognition kernel.
+func NewSpeechRecog() Kernel {
+	const n = 8192
+	sig := make([]float64, n)
+	for i := range sig {
+		tm := float64(i) / 8000
+		sig[i] = math.Sin(2*math.Pi*440*tm) + 0.5*math.Sin(2*math.Pi*880*tm+0.3) +
+			0.25*math.Sin(2*math.Pi*1760*tm)
+	}
+	k := &speechRecog{signal: sig}
+	k.template = k.spectrogram(sig[:n/2])
+	return k
+}
+
+func (sr *speechRecog) Name() string { return "speech-recognition" }
+
+// fft computes an in-place radix-2 FFT over interleaved re/im pairs.
+func fft(re, im []float64) {
+	n := len(re)
+	// Bit reversal.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			re[i], re[j] = re[j], re[i]
+			im[i], im[j] = im[j], im[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := -2 * math.Pi / float64(length)
+		wr, wi := math.Cos(ang), math.Sin(ang)
+		for i := 0; i < n; i += length {
+			cr, ci := 1.0, 0.0
+			for j := 0; j < length/2; j++ {
+				ur, ui := re[i+j], im[i+j]
+				vr := re[i+j+length/2]*cr - im[i+j+length/2]*ci
+				vi := re[i+j+length/2]*ci + im[i+j+length/2]*cr
+				re[i+j], im[i+j] = ur+vr, ui+vi
+				re[i+j+length/2], im[i+j+length/2] = ur-vr, ui-vi
+				cr, ci = cr*wr-ci*wi, cr*wi+ci*wr
+			}
+		}
+	}
+}
+
+// spectrogram frames the signal and returns per-frame power spectra.
+func (sr *speechRecog) spectrogram(sig []float64) [][]float64 {
+	const frame = 256
+	var out [][]float64
+	for off := 0; off+frame <= len(sig); off += frame / 2 {
+		re := make([]float64, frame)
+		im := make([]float64, frame)
+		copy(re, sig[off:off+frame])
+		fft(re, im)
+		spec := make([]float64, frame/2)
+		for i := range spec {
+			spec[i] = re[i]*re[i] + im[i]*im[i]
+		}
+		out = append(out, spec)
+	}
+	return out
+}
+
+func (sr *speechRecog) Run() uint64 {
+	spec := sr.spectrogram(sr.signal)
+	// DTW against the template.
+	n, m := len(spec), len(sr.template)
+	dist := func(a, b []float64) float64 {
+		var d float64
+		for i := range a {
+			diff := a[i] - b[i]
+			d += diff * diff
+		}
+		return d
+	}
+	prev := make([]float64, m+1)
+	cur := make([]float64, m+1)
+	for j := 1; j <= m; j++ {
+		prev[j] = math.Inf(1)
+	}
+	for i := 1; i <= n; i++ {
+		cur[0] = math.Inf(1)
+		for j := 1; j <= m; j++ {
+			c := dist(spec[i-1], sr.template[j-1])
+			cur[j] = c + math.Min(prev[j], math.Min(cur[j-1], prev[j-1]))
+		}
+		prev, cur = cur, prev
+	}
+	return math.Float64bits(prev[m])
+}
+
+// aiClassify runs a small dense neural network forward pass: three GEMM
+// layers with ReLU, the computation class of mobile AI inference.
+type aiClassify struct {
+	input            []float64
+	w1, w2, w3       []float64
+	d0, d1, d2, dOut int
+}
+
+// NewAIClassify builds the AI-classification kernel.
+func NewAIClassify() Kernel {
+	rng := lcg(7)
+	k := &aiClassify{d0: 256, d1: 192, d2: 128, dOut: 10}
+	k.input = rng.floats(k.d0)
+	k.w1 = rng.floats(k.d0 * k.d1)
+	k.w2 = rng.floats(k.d1 * k.d2)
+	k.w3 = rng.floats(k.d2 * k.dOut)
+	return k
+}
+
+func (ai *aiClassify) Name() string { return "ai-image-classification" }
+
+func gemv(w, x []float64, rows, cols int, relu bool) []float64 {
+	out := make([]float64, rows)
+	for r := 0; r < rows; r++ {
+		var sum float64
+		row := w[r*cols : (r+1)*cols]
+		for c, v := range x {
+			sum += row[c] * v
+		}
+		if relu && sum < 0 {
+			sum = 0
+		}
+		out[r] = sum
+	}
+	return out
+}
+
+func (ai *aiClassify) Run() uint64 {
+	// Batch of 16 inputs derived from the base input.
+	var h uint64 = 14695981039346656037
+	for b := 0; b < 16; b++ {
+		x := make([]float64, ai.d0)
+		for i, v := range ai.input {
+			x[i] = v * (1 + float64(b)/16)
+		}
+		h1 := gemv(ai.w1, x, ai.d1, ai.d0, true)
+		h2 := gemv(ai.w2, h1, ai.d2, ai.d1, true)
+		out := gemv(ai.w3, h2, ai.dOut, ai.d2, false)
+		// Argmax.
+		best := 0
+		for i, v := range out {
+			if v > out[best] {
+				best = i
+			}
+		}
+		h ^= uint64(best+1) * checksumFloats(out[:1])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// fir runs a 64-tap finite impulse response filter, the third application
+// of the Figure 11 flexibility study.
+type fir struct {
+	signal []float64
+	taps   []float64
+}
+
+// NewFIR builds the FIR-filter kernel.
+func NewFIR() Kernel {
+	rng := lcg(11)
+	k := &fir{signal: rng.floats(32 << 10), taps: make([]float64, 64)}
+	// Windowed-sinc low-pass taps.
+	for i := range k.taps {
+		x := float64(i) - 31.5
+		sinc := 1.0
+		if x != 0 {
+			sinc = math.Sin(0.3*math.Pi*x) / (0.3 * math.Pi * x)
+		}
+		window := 0.54 - 0.46*math.Cos(2*math.Pi*float64(i)/63)
+		k.taps[i] = sinc * window
+	}
+	return k
+}
+
+func (f *fir) Name() string { return "fir-filter" }
+
+func (f *fir) Run() uint64 {
+	out := make([]float64, len(f.signal)-len(f.taps))
+	for i := range out {
+		var acc float64
+		for j, t := range f.taps {
+			acc += t * f.signal[i+j]
+		}
+		out[i] = acc
+	}
+	return checksumFloats(out)
+}

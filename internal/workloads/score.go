@@ -1,0 +1,61 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Scoring turns measured kernel runtimes into a Geekbench-style score so a
+// live host can be placed on the same axes as the SoC catalog: a machine
+// matching the reference durations scores 1000, one twice as fast scores
+// 2000, and the aggregate is the geometric mean across kernels — the same
+// aggregation the paper uses for its mobile suite.
+
+// Reference maps kernel names to the per-run duration of the score-1000
+// reference machine.
+type Reference map[string]time.Duration
+
+// DefaultReference returns a fixed reference calibrated to a mid-2010s
+// mobile-class core, so typical hosts land in the catalog's score range.
+func DefaultReference() Reference {
+	return Reference{
+		"html5-rendering":         2 * time.Millisecond,
+		"aes-encryption":          1 * time.Millisecond,
+		"text-compression":        6 * time.Millisecond,
+		"image-compression":       25 * time.Millisecond,
+		"face-detection":          1 * time.Millisecond,
+		"speech-recognition":      8 * time.Millisecond,
+		"ai-image-classification": 12 * time.Millisecond,
+	}
+}
+
+// KernelScore returns one kernel's score against the reference.
+func KernelScore(m Measurement, ref Reference) (float64, error) {
+	want, ok := ref[m.Kernel]
+	if !ok {
+		return 0, fmt.Errorf("workloads: kernel %q has no reference duration", m.Kernel)
+	}
+	per := m.PerRun()
+	if per <= 0 {
+		return 0, fmt.Errorf("workloads: measurement for %q has no duration", m.Kernel)
+	}
+	return 1000 * float64(want) / float64(per), nil
+}
+
+// Score aggregates measurements into the suite score: the geometric mean
+// of the per-kernel scores. Every measured kernel must have a reference.
+func Score(ms []Measurement, ref Reference) (float64, error) {
+	if len(ms) == 0 {
+		return 0, fmt.Errorf("workloads: no measurements to score")
+	}
+	var logSum float64
+	for _, m := range ms {
+		s, err := KernelScore(m, ref)
+		if err != nil {
+			return 0, err
+		}
+		logSum += math.Log(s)
+	}
+	return math.Exp(logSum / float64(len(ms))), nil
+}

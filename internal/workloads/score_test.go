@@ -1,0 +1,80 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// synthetic builds a measurement with an exact per-run duration.
+func synthetic(kernel string, perRun time.Duration) Measurement {
+	return Measurement{Kernel: kernel, Runs: 1, Duration: perRun}
+}
+
+func TestKernelScore(t *testing.T) {
+	ref := DefaultReference()
+	// Matching the reference scores exactly 1000.
+	m := synthetic("aes-encryption", ref["aes-encryption"])
+	s, err := KernelScore(m, ref)
+	if err != nil || math.Abs(s-1000) > 1e-9 {
+		t.Errorf("reference-speed score = %v, %v, want 1000", s, err)
+	}
+	// Twice as fast doubles the score.
+	m = synthetic("aes-encryption", ref["aes-encryption"]/2)
+	s, err = KernelScore(m, ref)
+	if err != nil || math.Abs(s-2000) > 1e-9 {
+		t.Errorf("2x-speed score = %v, %v, want 2000", s, err)
+	}
+	// Unknown kernels and empty measurements are rejected.
+	if _, err := KernelScore(synthetic("ray-tracing", time.Millisecond), ref); err == nil {
+		t.Error("unknown kernel: expected error")
+	}
+	if _, err := KernelScore(Measurement{Kernel: "aes-encryption"}, ref); err == nil {
+		t.Error("zero duration: expected error")
+	}
+}
+
+func TestScoreGeomean(t *testing.T) {
+	ref := DefaultReference()
+	// One kernel at reference speed, one at 4x: geomean = sqrt(1000*4000).
+	ms := []Measurement{
+		synthetic("aes-encryption", ref["aes-encryption"]),
+		synthetic("text-compression", ref["text-compression"]/4),
+	}
+	s, err := Score(ms, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Sqrt(1000 * 4000)
+	if math.Abs(s-want) > 1e-6 {
+		t.Errorf("score = %v, want %v", s, want)
+	}
+	if _, err := Score(nil, ref); err == nil {
+		t.Error("no measurements: expected error")
+	}
+}
+
+func TestDefaultReferenceCoversSuite(t *testing.T) {
+	ref := DefaultReference()
+	for _, k := range Suite() {
+		if _, ok := ref[k.Name()]; !ok {
+			t.Errorf("reference missing suite kernel %q", k.Name())
+		}
+	}
+}
+
+func TestScoreLiveSuite(t *testing.T) {
+	// Profile the real suite once and score it: the result must be a
+	// positive, finite score (hardware-dependent, so no absolute bound).
+	ms, err := ProfileSuite(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Score(ms, DefaultReference())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s <= 0 || math.IsInf(s, 0) || math.IsNaN(s) {
+		t.Errorf("live score = %v", s)
+	}
+}

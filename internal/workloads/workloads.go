@@ -1,0 +1,113 @@
+// Package workloads provides a runnable, synthetic stand-in for the
+// Geekbench 5 mobile suite the paper profiles (Section 4.2): seven
+// deterministic kernels — HTML rendering, AES encryption, text compression,
+// image compression, face detection, speech recognition, and AI image
+// classification — plus the FIR filter used by the reconfigurable-hardware
+// study (Figure 11).
+//
+// The kernels exist to exercise the software-profiling input path of the
+// carbon model (the application execution time T of Table 1): examples run
+// them, measure wall time, and feed the measured profile into the model.
+// They are not performance-accurate reproductions of Geekbench; each
+// performs the same class of computation with a deterministic input so
+// repeated runs are comparable.
+package workloads
+
+import (
+	"fmt"
+	"time"
+
+	"act/internal/core"
+	"act/internal/units"
+)
+
+// Kernel is one runnable workload.
+type Kernel interface {
+	// Name returns the kernel's identifier.
+	Name() string
+	// Run executes one unit of work and returns a checksum that prevents
+	// the computation from being optimized away. The same kernel always
+	// returns the same checksum.
+	Run() uint64
+}
+
+// Suite returns the seven Geekbench-style kernels in the paper's order.
+func Suite() []Kernel {
+	return []Kernel{
+		NewHTMLRender(),
+		NewAES(),
+		NewTextCompress(),
+		NewImageCompress(),
+		NewFaceDetect(),
+		NewSpeechRecog(),
+		NewAIClassify(),
+	}
+}
+
+// ByName returns a kernel from the full registry (the suite plus FIR).
+func ByName(name string) (Kernel, error) {
+	for _, k := range append(Suite(), NewFIR()) {
+		if k.Name() == name {
+			return k, nil
+		}
+	}
+	return nil, fmt.Errorf("workloads: unknown kernel %q", name)
+}
+
+// Measurement is the profiled execution of one kernel.
+type Measurement struct {
+	Kernel   string
+	Runs     int
+	Duration time.Duration
+	Checksum uint64
+}
+
+// PerRun returns the mean duration of one run.
+func (m Measurement) PerRun() time.Duration {
+	if m.Runs == 0 {
+		return 0
+	}
+	return m.Duration / time.Duration(m.Runs)
+}
+
+// Profile runs a kernel the given number of times and measures total wall
+// time. The checksum of the last run is retained for verification.
+func Profile(k Kernel, runs int) (Measurement, error) {
+	if k == nil {
+		return Measurement{}, fmt.Errorf("workloads: nil kernel")
+	}
+	if runs <= 0 {
+		return Measurement{}, fmt.Errorf("workloads: non-positive run count %d", runs)
+	}
+	var sum uint64
+	start := time.Now()
+	for i := 0; i < runs; i++ {
+		sum = k.Run()
+	}
+	return Measurement{
+		Kernel:   k.Name(),
+		Runs:     runs,
+		Duration: time.Since(start),
+		Checksum: sum,
+	}, nil
+}
+
+// ProfileSuite profiles every suite kernel.
+func ProfileSuite(runs int) ([]Measurement, error) {
+	var out []Measurement
+	for _, k := range Suite() {
+		m, err := Profile(k, runs)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// Usage converts a measured profile into the operational side of the
+// carbon model, assuming the device draws avg power for the profiled
+// duration on a supply with the given carbon intensity.
+func (m Measurement) Usage(avg units.Power, ci units.CarbonIntensity) core.Usage {
+	return core.UsageFromPower(avg, m.Duration, ci)
+}

@@ -1,0 +1,129 @@
+package workloads
+
+import (
+	"testing"
+	"time"
+
+	"act/internal/units"
+)
+
+func TestSuiteShape(t *testing.T) {
+	suite := Suite()
+	if len(suite) != 7 {
+		t.Fatalf("suite has %d kernels, want 7", len(suite))
+	}
+	names := map[string]bool{}
+	for _, k := range suite {
+		if k.Name() == "" {
+			t.Error("kernel with empty name")
+		}
+		if names[k.Name()] {
+			t.Errorf("duplicate kernel name %q", k.Name())
+		}
+		names[k.Name()] = true
+	}
+}
+
+func TestKernelsDeterministic(t *testing.T) {
+	for _, k := range append(Suite(), NewFIR()) {
+		k := k
+		t.Run(k.Name(), func(t *testing.T) {
+			a := k.Run()
+			b := k.Run()
+			if a != b {
+				t.Errorf("%s not deterministic: %x vs %x", k.Name(), a, b)
+			}
+			if a == 0 {
+				t.Errorf("%s checksum is zero; suspicious", k.Name())
+			}
+			// A fresh instance produces the same checksum (stable inputs).
+			fresh, err := ByName(k.Name())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fresh.Run() != a {
+				t.Errorf("%s fresh instance differs", k.Name())
+			}
+		})
+	}
+}
+
+func TestKernelsDistinct(t *testing.T) {
+	seen := map[uint64]string{}
+	for _, k := range append(Suite(), NewFIR()) {
+		sum := k.Run()
+		if prev, ok := seen[sum]; ok {
+			t.Errorf("kernels %s and %s share checksum %x", prev, k.Name(), sum)
+		}
+		seen[sum] = k.Name()
+	}
+}
+
+func TestByName(t *testing.T) {
+	k, err := ByName("aes-encryption")
+	if err != nil || k.Name() != "aes-encryption" {
+		t.Errorf("ByName(aes-encryption) = %v, %v", k, err)
+	}
+	if _, err := ByName("ray-tracing"); err == nil {
+		t.Error("ByName(unknown): expected error")
+	}
+}
+
+func TestProfile(t *testing.T) {
+	k := NewFIR()
+	m, err := Profile(k, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Runs != 3 || m.Kernel != "fir-filter" {
+		t.Errorf("measurement = %+v", m)
+	}
+	if m.Duration <= 0 {
+		t.Errorf("non-positive duration %v", m.Duration)
+	}
+	if m.PerRun() <= 0 || m.PerRun() > m.Duration {
+		t.Errorf("PerRun() = %v outside (0, %v]", m.PerRun(), m.Duration)
+	}
+	if m.Checksum != k.Run() {
+		t.Error("profile checksum differs from direct run")
+	}
+
+	if _, err := Profile(nil, 1); err == nil {
+		t.Error("Profile(nil): expected error")
+	}
+	if _, err := Profile(k, 0); err == nil {
+		t.Error("Profile(runs=0): expected error")
+	}
+}
+
+func TestPerRunZeroRuns(t *testing.T) {
+	if got := (Measurement{}).PerRun(); got != 0 {
+		t.Errorf("PerRun on zero measurement = %v, want 0", got)
+	}
+}
+
+func TestProfileSuite(t *testing.T) {
+	ms, err := ProfileSuite(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 7 {
+		t.Fatalf("ProfileSuite returned %d measurements, want 7", len(ms))
+	}
+	for _, m := range ms {
+		if m.Duration <= 0 {
+			t.Errorf("%s duration %v", m.Kernel, m.Duration)
+		}
+	}
+}
+
+func TestMeasurementUsage(t *testing.T) {
+	m := Measurement{Kernel: "x", Runs: 1, Duration: 100 * time.Millisecond}
+	u := m.Usage(units.Watts(5), units.GramsPerKWh(300))
+	if got := u.Energy.Joules(); got != 0.5 {
+		t.Errorf("usage energy = %v J, want 0.5", got)
+	}
+	if u.Intensity.GramsPerKWh() != 300 {
+		t.Errorf("usage intensity = %v, want 300", u.Intensity)
+	}
+}

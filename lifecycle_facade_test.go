@@ -1,0 +1,72 @@
+package act_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"act"
+)
+
+func TestFacadeLifeCycle(t *testing.T) {
+	f, err := act.NewFab(act.Node7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	soc, err := act.NewLogic("SoC", act.MM2(100), f, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := act.NewDevice("phone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.AddLogic(soc)
+
+	u := act.UsageFromPower(act.Watts(3), 1000*time.Hour, act.USGrid)
+	eu, err := act.WithBatteryEfficiency(u, 0.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc := act.LifeCycle{
+		Device: dev,
+		Transport: []act.TransportLeg{
+			{Name: "air", MassKg: 0.3, DistanceKm: 9000, Mode: act.TransportAir},
+		},
+		EndOfLife: act.EndOfLife{Processing: act.Grams(400), RecyclingCredit: act.Grams(100)},
+		Use:       eu,
+		Lifetime:  act.YearsDuration(3),
+	}
+	r, err := lc.Assess()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(act.Phases()) != 4 {
+		t.Fatalf("Phases() = %d, want 4", len(act.Phases()))
+	}
+	var sum float64
+	for _, p := range act.Phases() {
+		sum += r.Share(p)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("phase shares sum to %v", sum)
+	}
+	if r.Phases[act.PhaseManufacturing] <= 0 || r.Phases[act.PhaseTransport] <= 0 {
+		t.Error("missing manufacturing or transport phase")
+	}
+}
+
+func TestFacadePUE(t *testing.T) {
+	u := act.UsageFromPower(act.Watts(100), time.Hour, act.USGrid)
+	eu, err := act.WithPUE(u, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wall, err := eu.WallUsage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(wall.Energy.KilowattHours()-0.15) > 1e-9 {
+		t.Errorf("wall energy = %v, want 0.15 kWh", wall.Energy)
+	}
+}
