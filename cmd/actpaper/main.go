@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -51,30 +52,20 @@ func runToDir(id, format, outdir string) error {
 	if err := os.MkdirAll(outdir, 0o755); err != nil {
 		return err
 	}
-	var todo []experiments.Experiment
-	if id == "" {
-		todo = experiments.All()
-	} else {
-		e, err := experiments.ByID(id)
-		if err != nil {
-			return err
-		}
-		todo = []experiments.Experiment{e}
+	results, err := selectAndRun(id)
+	if err != nil {
+		return err
 	}
-	for _, e := range todo {
-		tables, err := e.Run()
-		if err != nil {
-			return fmt.Errorf("%s: %w", e.ID, err)
-		}
-		f, err := os.Create(filepath.Join(outdir, e.ID+"."+ext))
+	for _, r := range results {
+		f, err := os.Create(filepath.Join(outdir, r.Experiment.ID+"."+ext))
 		if err != nil {
 			return err
 		}
-		for _, t := range tables {
+		for _, t := range r.Tables {
 			s, err := render(t, format)
 			if err != nil {
 				f.Close()
-				return fmt.Errorf("%s: %w", e.ID, err)
+				return fmt.Errorf("%s: %w", r.Experiment.ID, err)
 			}
 			fmt.Fprintln(f, s)
 		}
@@ -85,6 +76,24 @@ func runToDir(id, format, outdir string) error {
 	return nil
 }
 
+// selectAndRun evaluates the requested artifact, or — for the run-
+// everything case — the whole registry across a worker pool, returning
+// results in registry order either way.
+func selectAndRun(id string) ([]experiments.Result, error) {
+	if id == "" {
+		return experiments.RunAll(context.Background(), 0)
+	}
+	e, err := experiments.ByID(id)
+	if err != nil {
+		return nil, err
+	}
+	tables, err := e.Run()
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", e.ID, err)
+	}
+	return []experiments.Result{{Experiment: e, Tables: tables}}, nil
+}
+
 func run(id, format string, list bool, out io.Writer) error {
 	if list {
 		for _, e := range experiments.All() {
@@ -93,27 +102,16 @@ func run(id, format string, list bool, out io.Writer) error {
 		return nil
 	}
 
-	var todo []experiments.Experiment
-	if id == "" {
-		todo = experiments.All()
-	} else {
-		e, err := experiments.ByID(id)
-		if err != nil {
-			return err
-		}
-		todo = []experiments.Experiment{e}
+	results, err := selectAndRun(id)
+	if err != nil {
+		return err
 	}
-
-	for _, e := range todo {
-		fmt.Fprintf(out, "== %s: %s ==\n\n", e.ID, e.Title)
-		tables, err := e.Run()
-		if err != nil {
-			return fmt.Errorf("%s: %w", e.ID, err)
-		}
-		for _, t := range tables {
+	for _, r := range results {
+		fmt.Fprintf(out, "== %s: %s ==\n\n", r.Experiment.ID, r.Experiment.Title)
+		for _, t := range r.Tables {
 			s, err := render(t, format)
 			if err != nil {
-				return fmt.Errorf("%s: %w", e.ID, err)
+				return fmt.Errorf("%s: %w", r.Experiment.ID, err)
 			}
 			fmt.Fprintln(out, s)
 		}

@@ -14,12 +14,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	"act/internal/accel"
+	"act/internal/dse"
 	"act/internal/metrics"
 	"act/internal/replace"
 	"act/internal/report"
@@ -84,16 +86,20 @@ func runAccel(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
+		// Fan the model evaluations out across the worker pool; the
+		// candidates come back in sweep order, identical to a sequential
+		// run.
+		cands, err := accel.CandidatesParallel(context.Background(), 0, sweep)
+		if err != nil {
+			return err
+		}
 		t := report.NewTable(fmt.Sprintf("NVDLA-style NPU sweep, %s", p),
 			"MACs", "area (mm²)", "FPS", "energy/frame (mJ)", "embodied (g CO2)")
-		for _, d := range sweep {
-			e, err := d.Embodied()
-			if err != nil {
-				return err
-			}
-			t.AddRow(report.Num(float64(d.MACs)), report.Num(d.Area().MM2()),
-				report.Num(d.FPS()), report.Num(d.EnergyPerFrame().Millijoules()),
-				report.Num(e.Grams()))
+		for i, d := range sweep {
+			c := cands[i]
+			t.AddRow(report.Num(float64(d.MACs)), report.Num(c.Area.MM2()),
+				report.Num(d.FPS()), report.Num(c.Energy.Millijoules()),
+				report.Num(c.Embodied.Grams()))
 		}
 		if err := printTable(out, t); err != nil {
 			return err
@@ -202,13 +208,15 @@ func runSoC(out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	// WinnersOrdered walks metrics.All() order, so the table is stable
+	// across runs (the map-keyed dse.Winners is not).
+	winners, err := dse.WinnersOrdered(cands)
+	if err != nil {
+		return err
+	}
 	w := report.NewTable("Metric winners", "metric", "SoC")
-	for _, m := range metrics.All() {
-		best, err := metrics.Best(m, cands)
-		if err != nil {
-			return err
-		}
-		w.AddRow(string(m), best.Candidate.Name)
+	for _, win := range winners {
+		w.AddRow(string(win.Metric), win.Name)
 	}
 	return printTable(out, w)
 }

@@ -26,11 +26,14 @@
 package accel
 
 import (
+	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"act/internal/fab"
 	"act/internal/metrics"
+	"act/internal/parsweep"
 	"act/internal/units"
 )
 
@@ -89,9 +92,22 @@ const (
 )
 
 // Model evaluates designs against configurable fabs (one per process).
-// The zero Model is not usable; construct with NewModel.
+// The zero Model is not usable; construct with NewModel. A Model is safe
+// for concurrent use: the fab map is read-only after construction, and the
+// candidate cache is a sync.Map.
 type Model struct {
 	fabs map[Process]*fab.Fab
+	// cands memoizes fully evaluated candidates per design point. A design
+	// is pure given its (MACs, Process) key and the model's fabs, so a 10k-
+	// point exploration computes each distinct point once across all
+	// goroutines.
+	cands sync.Map // designKey -> metrics.Candidate
+}
+
+// designKey identifies a design point within one Model's cache.
+type designKey struct {
+	macs int
+	p    Process
 }
 
 // NewModel builds a model with the paper's default fab for each process
@@ -154,6 +170,43 @@ func (m *Model) Sweep(p Process) ([]Design, error) {
 	return out, nil
 }
 
+// SweepAll returns the paper's design sweep crossed with every supported
+// process — MAC counts × process nodes, processes in Processes() order —
+// the fan-out unit of the parallel exploration drivers.
+func (m *Model) SweepAll() ([]Design, error) {
+	var out []Design
+	for _, p := range Processes() {
+		sweep, err := m.Sweep(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sweep...)
+	}
+	return out, nil
+}
+
+// SweepRange returns designs for every MAC count in [lo, hi] with the given
+// stride, for one process — the dense exploration grid the parallel engine
+// is sized for (the paper's powers-of-two sweep is the sparse special
+// case).
+func (m *Model) SweepRange(p Process, lo, hi, step int) ([]Design, error) {
+	if step <= 0 {
+		return nil, fmt.Errorf("accel: non-positive sweep step %d", step)
+	}
+	if lo > hi {
+		return nil, fmt.Errorf("accel: inverted sweep range [%d, %d]", lo, hi)
+	}
+	var out []Design
+	for macs := lo; macs <= hi; macs += step {
+		d, err := m.Design(macs, p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
 // Name labels the design.
 func (d Design) Name() string {
 	return fmt.Sprintf("nvdla-%dmac-%s", d.MACs, d.Process)
@@ -196,18 +249,27 @@ func (d Design) AvgPower() units.Power {
 }
 
 // Candidate converts the design into a metrics candidate over one frame.
+// The result is memoized in the owning Model, so repeated evaluations of
+// the same design point (Pareto scans, metric rankings, QoS searches) hit
+// the cache.
 func (d Design) Candidate() (metrics.Candidate, error) {
+	key := designKey{d.MACs, d.Process}
+	if v, ok := d.model.cands.Load(key); ok {
+		return v.(metrics.Candidate), nil
+	}
 	e, err := d.Embodied()
 	if err != nil {
 		return metrics.Candidate{}, err
 	}
-	return metrics.Candidate{
+	c := metrics.Candidate{
 		Name:     d.Name(),
 		Embodied: e,
 		Energy:   d.EnergyPerFrame(),
 		Delay:    d.Delay(),
 		Area:     d.Area(),
-	}, nil
+	}
+	d.model.cands.Store(key, c)
+	return c, nil
 }
 
 // Candidates converts a sweep into metrics candidates.
@@ -221,6 +283,16 @@ func Candidates(designs []Design) ([]metrics.Candidate, error) {
 		out[i] = c
 	}
 	return out, nil
+}
+
+// CandidatesParallel converts designs into metrics candidates across a
+// bounded worker pool. The output is identical to Candidates — same values,
+// same input-preserving order — for any worker count; workers ≤ 0 selects
+// GOMAXPROCS.
+func CandidatesParallel(ctx context.Context, workers int, designs []Design) ([]metrics.Candidate, error) {
+	return parsweep.MapErr(ctx, workers, designs, func(_ context.Context, _ int, d Design) (metrics.Candidate, error) {
+		return d.Candidate()
+	})
 }
 
 // QoSOptimal returns the sweep design with minimum embodied carbon that

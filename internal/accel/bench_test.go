@@ -1,7 +1,9 @@
 package accel
 
 import (
+	"context"
 	"testing"
+	"time"
 
 	"act/internal/metrics"
 )
@@ -32,6 +34,75 @@ func BenchmarkMetricOptimal(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := m.MetricOptimal(Process16nm, metrics.CEP); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// benchDesigns builds the dense MAC × process grid (every count in
+// [MinMACs, MaxMACs] for both processes) against a fresh, cold-cache model.
+func benchDesigns(b *testing.B) []Design {
+	b.Helper()
+	m, err := NewModel()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var out []Design
+	for _, p := range Processes() {
+		ds, err := m.SweepRange(p, MinMACs, MaxMACs, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = append(out, ds...)
+	}
+	return out
+}
+
+// BenchmarkAccelSweepSeq is the sequential baseline: evaluate the dense
+// design grid from a cold cache with the plain loop.
+func BenchmarkAccelSweepSeq(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		designs := benchDesigns(b)
+		b.StartTimer()
+		if _, err := Candidates(designs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAccelSweepPar evaluates the same cold-cache grid through the
+// worker pool and reports the speedup over a measured sequential baseline
+// (≈1x on a single-core runner, scaling with GOMAXPROCS elsewhere).
+func BenchmarkAccelSweepPar(b *testing.B) {
+	b.ReportAllocs()
+	// Sequential baseline for the speedup metric.
+	const baselineIters = 3
+	var seqTotal time.Duration
+	for i := 0; i < baselineIters; i++ {
+		designs := benchDesigns(b)
+		start := time.Now()
+		if _, err := Candidates(designs); err != nil {
+			b.Fatal(err)
+		}
+		seqTotal += time.Since(start)
+	}
+	seqPerOp := seqTotal / baselineIters
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		designs := benchDesigns(b)
+		b.StartTimer()
+		if _, err := CandidatesParallel(context.Background(), 0, designs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if b.N > 0 && b.Elapsed() > 0 {
+		perOp := b.Elapsed() / time.Duration(b.N)
+		if perOp > 0 {
+			b.ReportMetric(float64(seqPerOp)/float64(perOp), "speedup")
 		}
 	}
 }

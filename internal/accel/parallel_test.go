@@ -1,0 +1,115 @@
+package accel
+
+import (
+	"context"
+	"testing"
+)
+
+// TestCandidatesParallelGolden pins the acceptance criterion: the parallel
+// sweep produces byte-identical results to the sequential path, for any
+// worker count, over the full MAC × process fan-out.
+func TestCandidatesParallelGolden(t *testing.T) {
+	m, err := NewModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	designs, err := m.SweepAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(designs) != 6*len(Processes()) {
+		t.Fatalf("SweepAll returned %d designs", len(designs))
+	}
+	want, err := Candidates(designs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 5, 0} {
+		// A fresh model per worker count proves the equivalence holds from
+		// a cold cache, not just via memoized results.
+		mw, err := NewModel()
+		if err != nil {
+			t.Fatal(err)
+		}
+		dw, err := mw.SweepAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := CandidatesParallel(context.Background(), workers, dw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d candidates, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("workers=%d: candidate[%d] = %+v, want %+v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestCandidateCache checks the memo returns identical values on repeat
+// evaluation and distinguishes models (a scenario fab must not leak into
+// the default model's cache).
+func TestCandidateCache(t *testing.T) {
+	m, err := NewModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := m.Design(256, Process16nm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := d.Candidate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := d.Candidate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("cached candidate differs: %+v vs %+v", a, b)
+	}
+
+	m2, err := NewModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := m2.Design(256, Process16nm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := d2.Candidate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != c {
+		t.Errorf("same design in a fresh default model differs: %+v vs %+v", a, c)
+	}
+}
+
+func TestSweepRange(t *testing.T) {
+	m, err := NewModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := m.SweepRange(Process16nm, 64, 128, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 3 || ds[0].MACs != 64 || ds[2].MACs != 128 {
+		t.Errorf("SweepRange = %v", ds)
+	}
+	if _, err := m.SweepRange(Process16nm, 64, 128, 0); err == nil {
+		t.Error("zero step: expected error")
+	}
+	if _, err := m.SweepRange(Process16nm, 128, 64, 32); err == nil {
+		t.Error("inverted range: expected error")
+	}
+	if _, err := m.SweepRange(Process16nm, 1, 10, 1); err == nil {
+		t.Error("below MinMACs: expected error")
+	}
+}

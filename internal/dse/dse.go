@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"act/internal/metrics"
+	"act/internal/parsweep"
 )
 
 // Objective extracts a lower-is-better scalar from a candidate.
@@ -53,9 +54,42 @@ func Dominates(a, b metrics.Candidate, objectives []Objective) bool {
 	return strictly
 }
 
+// saneEval evaluates an objective, coercing NaN to +Inf so an undefined
+// value always loses comparisons instead of silently surviving them (every
+// `<` against NaN is false).
+func saneEval(o Objective, c metrics.Candidate) float64 {
+	v := o.Eval(c)
+	if math.IsNaN(v) {
+		return math.Inf(1)
+	}
+	return v
+}
+
+// evalMatrix computes the n×k objective matrix with exactly one Eval per
+// (candidate, objective) pair. All downstream dominance work runs on this
+// matrix, so model evaluations stay n·k even though dominance checking is
+// O(n²) in the worst case.
+func evalMatrix(cands []metrics.Candidate, objectives []Objective) [][]float64 {
+	vals := make([][]float64, len(cands))
+	for i, c := range cands {
+		row := make([]float64, len(objectives))
+		for j, o := range objectives {
+			row[j] = saneEval(o, c)
+		}
+		vals[i] = row
+	}
+	return vals
+}
+
 // ParetoFrontier returns the non-dominated candidates under the given
 // objectives, preserving input order. Duplicate points (equal on all
-// objectives) are all retained: none dominates the other.
+// objectives) are all retained: none dominates the other. NaN objective
+// values are treated as +Inf, so they lose like any other invalid point.
+//
+// Each objective is evaluated exactly once per candidate. The 2-objective
+// case runs in O(n log n) via a sort; higher dimensions fall back to
+// pairwise dominance over the precomputed matrix, parallelized across
+// candidates for large inputs.
 func ParetoFrontier(cands []metrics.Candidate, objectives []Objective) ([]metrics.Candidate, error) {
 	if len(cands) == 0 {
 		return nil, fmt.Errorf("dse: no candidates")
@@ -63,35 +97,114 @@ func ParetoFrontier(cands []metrics.Candidate, objectives []Objective) ([]metric
 	if len(objectives) < 2 {
 		return nil, fmt.Errorf("dse: a Pareto frontier needs at least 2 objectives, got %d", len(objectives))
 	}
+	vals := evalMatrix(cands, objectives)
+	var keep []bool
+	if len(objectives) == 2 {
+		keep = pareto2D(vals)
+	} else {
+		keep = paretoND(vals)
+	}
 	var out []metrics.Candidate
-	for i, c := range cands {
-		dominated := false
-		for j, other := range cands {
-			if i == j {
-				continue
-			}
-			if Dominates(other, c, objectives) {
-				dominated = true
-				break
-			}
-		}
-		if !dominated {
-			out = append(out, c)
+	for i, k := range keep {
+		if k {
+			out = append(out, cands[i])
 		}
 	}
 	return out, nil
 }
 
+// pareto2D marks the non-dominated rows of an n×2 matrix in O(n log n):
+// sort by (x asc, y asc), then a point survives iff its y is minimal within
+// its x group and strictly below the best y of every strictly-smaller x.
+func pareto2D(vals [][]float64) []bool {
+	n := len(vals)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ia, ib := idx[a], idx[b]
+		if vals[ia][0] != vals[ib][0] {
+			return vals[ia][0] < vals[ib][0]
+		}
+		return vals[ia][1] < vals[ib][1]
+	})
+	keep := make([]bool, n)
+	bestPrev := math.Inf(1) // min y over all strictly-smaller x values
+	hasPrev := false
+	for i := 0; i < n; {
+		x := vals[idx[i]][0]
+		groupMin := vals[idx[i]][1] // group is y-sorted, first entry is min
+		j := i
+		for ; j < n && vals[idx[j]][0] == x; j++ {
+			y := vals[idx[j]][1]
+			if y == groupMin && (!hasPrev || y < bestPrev) {
+				keep[idx[j]] = true
+			}
+		}
+		if !hasPrev || groupMin < bestPrev {
+			bestPrev, hasPrev = groupMin, true
+		}
+		i = j
+	}
+	return keep
+}
+
+// paretoNDParallelCutoff is the candidate count beyond which the pairwise
+// dominance scan fans out across workers; below it the pool overhead
+// outweighs the O(n²) work.
+const paretoNDParallelCutoff = 512
+
+// paretoND marks the non-dominated rows of an n×k matrix by pairwise scan.
+// Each row's verdict is independent, so large inputs are checked in
+// parallel (each worker writes only its own keep[i]).
+func paretoND(vals [][]float64) []bool {
+	n := len(vals)
+	dominatedRow := func(i int, row []float64) bool {
+		for j := 0; j < n; j++ {
+			if i != j && dominatesVals(vals[j], row) {
+				return true
+			}
+		}
+		return false
+	}
+	if n >= paretoNDParallelCutoff {
+		return parsweep.Map(0, vals, func(i int, row []float64) bool {
+			return !dominatedRow(i, row)
+		})
+	}
+	keep := make([]bool, n)
+	for i, row := range vals {
+		keep[i] = !dominatedRow(i, row)
+	}
+	return keep
+}
+
+// dominatesVals is Dominates over precomputed objective rows.
+func dominatesVals(a, b []float64) bool {
+	strictly := false
+	for j := range a {
+		if a[j] > b[j] {
+			return false
+		}
+		if a[j] < b[j] {
+			strictly = true
+		}
+	}
+	return strictly
+}
+
 // Minimize returns the candidate with the lowest objective value; ties
-// preserve input order.
+// preserve input order. NaN objective values are treated as +Inf (always
+// lose), so a NaN first candidate cannot silently survive as "best".
 func Minimize(cands []metrics.Candidate, o Objective) (metrics.Candidate, error) {
 	if len(cands) == 0 {
 		return metrics.Candidate{}, fmt.Errorf("dse: no candidates")
 	}
 	best := cands[0]
-	bestV := o.Eval(best)
+	bestV := saneEval(o, best)
 	for _, c := range cands[1:] {
-		if v := o.Eval(c); v < bestV {
+		if v := saneEval(o, c); v < bestV {
 			best, bestV = c, v
 		}
 	}
@@ -188,39 +301,95 @@ func PowersOf2(lo, hi int) ([]int, error) {
 	return out, nil
 }
 
-// RankAll evaluates candidates under every Table 2 metric and returns, per
-// metric, the ordered winners — the summary Figure 8(d)/Figure 12 panels
-// present.
-func RankAll(cands []metrics.Candidate) (map[metrics.Metric][]metrics.Scored, error) {
-	out := make(map[metrics.Metric][]metrics.Scored, len(metrics.All()))
+// MetricRanking pairs a Table 2 metric with its ranked candidates.
+type MetricRanking struct {
+	Metric metrics.Metric
+	Ranked []metrics.Scored
+}
+
+// RankAllOrdered evaluates candidates under every Table 2 metric and
+// returns the per-metric rankings in metrics.All() order — the stable
+// iteration the map-returning RankAll cannot provide to printers.
+func RankAllOrdered(cands []metrics.Candidate) ([]MetricRanking, error) {
+	out := make([]MetricRanking, 0, len(metrics.All()))
 	for _, m := range metrics.All() {
 		ranked, err := metrics.Rank(m, cands)
 		if err != nil {
 			return nil, err
 		}
-		out[m] = ranked
+		out = append(out, MetricRanking{Metric: m, Ranked: ranked})
+	}
+	return out, nil
+}
+
+// RankAll evaluates candidates under every Table 2 metric and returns, per
+// metric, the ordered winners — the summary Figure 8(d)/Figure 12 panels
+// present. Callers that print should prefer RankAllOrdered: map iteration
+// order is nondeterministic.
+func RankAll(cands []metrics.Candidate) (map[metrics.Metric][]metrics.Scored, error) {
+	ordered, err := RankAllOrdered(cands)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[metrics.Metric][]metrics.Scored, len(ordered))
+	for _, r := range ordered {
+		out[r.Metric] = r.Ranked
+	}
+	return out, nil
+}
+
+// MetricWinner pairs a metric with the name of its winning candidate.
+type MetricWinner struct {
+	Metric metrics.Metric
+	Name   string
+}
+
+// WinnersOrdered reduces RankAllOrdered to the winning candidate per
+// metric, in metrics.All() order, for deterministic presentation.
+func WinnersOrdered(cands []metrics.Candidate) ([]MetricWinner, error) {
+	ordered, err := RankAllOrdered(cands)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]MetricWinner, len(ordered))
+	for i, r := range ordered {
+		out[i] = MetricWinner{Metric: r.Metric, Name: r.Ranked[0].Candidate.Name}
 	}
 	return out, nil
 }
 
 // Winners reduces RankAll to the winning candidate name per metric.
+// Callers that print should prefer WinnersOrdered.
 func Winners(cands []metrics.Candidate) (map[metrics.Metric]string, error) {
-	ranked, err := RankAll(cands)
+	ordered, err := WinnersOrdered(cands)
 	if err != nil {
 		return nil, err
 	}
-	out := make(map[metrics.Metric]string, len(ranked))
-	for m, r := range ranked {
-		out[m] = r[0].Candidate.Name
+	out := make(map[metrics.Metric]string, len(ordered))
+	for _, w := range ordered {
+		out[w.Metric] = w.Name
 	}
 	return out, nil
 }
 
 // SortByObjective returns the candidates sorted ascending by objective,
-// input preserved on ties.
+// input preserved on ties. NaN objective values sort as +Inf (last), and
+// each objective is evaluated exactly once per candidate rather than once
+// per comparison.
 func SortByObjective(cands []metrics.Candidate, o Objective) []metrics.Candidate {
 	out := make([]metrics.Candidate, len(cands))
 	copy(out, cands)
-	sort.SliceStable(out, func(i, j int) bool { return o.Eval(out[i]) < o.Eval(out[j]) })
+	vals := make([]float64, len(cands))
+	for i, c := range cands {
+		vals[i] = saneEval(o, c)
+	}
+	idx := make([]int, len(cands))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(i, j int) bool { return vals[idx[i]] < vals[idx[j]] })
+	for i, j := range idx {
+		out[i] = cands[j]
+	}
 	return out
 }

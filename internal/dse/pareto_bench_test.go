@@ -1,0 +1,74 @@
+package dse
+
+import (
+	"testing"
+	"time"
+
+	"act/internal/metrics"
+)
+
+const benchFrontierN = 2000
+
+// benchFrontierCands builds a trade-off-shaped dataset: half the points
+// sit on an anti-correlated embodied/delay curve (all mutually
+// non-dominated), half are random fill. Design-space data clusters around
+// such trade-off fronts, and a large frontier is exactly where the old
+// O(n²·k)-evaluation scan collapses — early exits are rare because most
+// comparisons are between mutually non-dominated points.
+func benchFrontierCands(n int) []metrics.Candidate {
+	g := lcg(2022)
+	out := make([]metrics.Candidate, n)
+	for i := range out {
+		if i%2 == 0 {
+			x := 1 + 99*g.next()
+			out[i] = cand("front", x, 1, 101-x, 1)
+		} else {
+			out[i] = cand("fill", 50+50*g.next(), 1, 50+50*g.next(), 1)
+		}
+	}
+	return out
+}
+
+// BenchmarkParetoFrontierSeq measures the pre-optimization frontier: the
+// O(n²) dominance scan that re-invokes Objective.Eval inside the loop.
+func BenchmarkParetoFrontierSeq(b *testing.B) {
+	cands := benchFrontierCands(benchFrontierN)
+	objs := []Objective{Embodied, Delay}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := paretoReference(cands, objs); len(out) == 0 {
+			b.Fatal("empty frontier")
+		}
+	}
+}
+
+// BenchmarkParetoFrontierFast measures the shipped ParetoFrontier (n·k
+// evaluations, sorted 2-objective path) and reports its speedup over the
+// sequential reference.
+func BenchmarkParetoFrontierFast(b *testing.B) {
+	cands := benchFrontierCands(benchFrontierN)
+	objs := []Objective{Embodied, Delay}
+
+	// Sequential baseline for the speedup metric.
+	const baselineIters = 3
+	start := time.Now()
+	for i := 0; i < baselineIters; i++ {
+		paretoReference(cands, objs)
+	}
+	seqPerOp := time.Since(start) / baselineIters
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := ParetoFrontier(cands, objs)
+		if err != nil || len(out) == 0 {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if b.N > 0 && b.Elapsed() > 0 {
+		perOp := b.Elapsed() / time.Duration(b.N)
+		if perOp > 0 {
+			b.ReportMetric(float64(seqPerOp)/float64(perOp), "speedup")
+		}
+	}
+}

@@ -6,9 +6,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"act/internal/parsweep"
 	"act/internal/report"
 )
 
@@ -42,6 +44,36 @@ func All() []Experiment {
 	}
 	sort.Slice(out, func(i, j int) bool { return lessID(out[i].ID, out[j].ID) })
 	return out
+}
+
+// Result pairs an experiment with the tables one run produced.
+type Result struct {
+	Experiment Experiment
+	Tables     []*report.Table
+}
+
+// RunAll runs every registered experiment across a bounded worker pool and
+// returns the results in All() order, so output is deterministic no matter
+// how the work was scheduled. The first experiment error cancels the
+// remaining work and is returned, tagged with the artifact id. workers ≤ 0
+// selects GOMAXPROCS.
+func RunAll(ctx context.Context, workers int) ([]Result, error) {
+	all := All()
+	tables, err := parsweep.MapErr(ctx, workers, all, func(_ context.Context, _ int, e Experiment) ([]*report.Table, error) {
+		ts, err := e.Run()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", e.ID, err)
+		}
+		return ts, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, len(all))
+	for i, e := range all {
+		out[i] = Result{Experiment: e, Tables: tables[i]}
+	}
+	return out, nil
 }
 
 // ByID returns one experiment.

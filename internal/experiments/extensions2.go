@@ -4,6 +4,7 @@ package experiments
 // uncertainty over the Table 1 parameter ranges.
 
 import (
+	"context"
 	"fmt"
 
 	"act/internal/fab"
@@ -66,7 +67,9 @@ func extUncertainty() ([]*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		s, err := study.Run(20000, 2022)
+		// Per-sample RNG streams keep this bit-identical to a workers=1 run
+		// no matter how many cores execute it.
+		s, err := study.RunParallel(context.Background(), 0, 20000, 2022)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// renderAll flattens results to one ASCII blob per experiment for byte
+// comparison.
+func renderAll(t *testing.T, results []Result) []string {
+	t.Helper()
+	out := make([]string, len(results))
+	for i, r := range results {
+		var sb strings.Builder
+		sb.WriteString(r.Experiment.ID + "\n")
+		for _, tab := range r.Tables {
+			s, err := tab.ASCII()
+			if err != nil {
+				t.Fatalf("%s: %v", r.Experiment.ID, err)
+			}
+			sb.WriteString(s + "\n")
+		}
+		out[i] = sb.String()
+	}
+	return out
+}
+
+// TestRunAllGolden pins the acceptance criterion for the experiment
+// harness: the parallel RunAll renders byte-identically to a sequential
+// loop over All(), in the same order.
+func TestRunAllGolden(t *testing.T) {
+	var seq []Result
+	for _, e := range All() {
+		tables, err := e.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		seq = append(seq, Result{Experiment: e, Tables: tables})
+	}
+	wantBlobs := renderAll(t, seq)
+
+	for _, workers := range []int{1, 4} {
+		got, err := RunAll(context.Background(), workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(seq) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(got), len(seq))
+		}
+		gotBlobs := renderAll(t, got)
+		for i := range wantBlobs {
+			if gotBlobs[i] != wantBlobs[i] {
+				t.Errorf("workers=%d: %s output differs from sequential run",
+					workers, got[i].Experiment.ID)
+			}
+		}
+	}
+}
+
+func TestRunAllCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunAll(ctx, 2); err == nil {
+		t.Error("cancelled context: expected error")
+	}
+}

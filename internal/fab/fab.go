@@ -2,6 +2,7 @@ package fab
 
 import (
 	"fmt"
+	"sync"
 
 	"act/internal/intensity"
 	"act/internal/units"
@@ -11,12 +12,20 @@ import (
 // energy supply, its gaseous abatement effectiveness, its yield, and the
 // raw-material intensity of its supply chain. A zero Fab is not usable;
 // construct one with New and functional options.
+//
+// A Fab is immutable after New returns and safe for concurrent use: sweep
+// code shares one *Fab across workers, and the CPA numerator (the
+// yield-independent part of Eq. 5, including the GPA interpolation) is
+// computed once and cached rather than re-derived on every evaluation.
 type Fab struct {
 	node      NodeParams
 	ci        units.CarbonIntensity
 	abatement float64
 	yield     YieldModel
 	mpa       units.CarbonPerArea
+
+	numOnce sync.Once
+	num     float64 // cached CPA numerator CIfab·EPA + GPA + MPA, in g/cm²
 }
 
 // Option configures a Fab.
@@ -129,21 +138,32 @@ func (f *Fab) MPA() units.CarbonPerArea { return f.mpa }
 // Yield returns the expected yield for a die of the given area.
 func (f *Fab) Yield(area units.Area) float64 { return f.yield.Yield(area) }
 
+// numerator returns the yield-independent part of Eq. 5,
+// CIfab·EPA + GPA + MPA in g/cm², computing it once per Fab. In a 10k-point
+// sweep every evaluation after the first reduces to one division by yield.
+func (f *Fab) numerator() float64 {
+	f.numOnce.Do(func() {
+		f.num = f.ci.GramsPerKWh()*f.node.EPA.KWhPerCM2() +
+			f.GPA().GramsPerCM2() + f.mpa.GramsPerCM2()
+	})
+	return f.num
+}
+
 // CPA returns the carbon emitted per unit area manufactured for a die of
 // the given area (Eq. 5):
 //
 //	CPA = (CIfab·EPA + GPA + MPA) / Y
 //
 // The area parameter only matters under area-dependent yield models; under
-// the paper's fixed yield CPA is area-independent.
+// the paper's fixed yield CPA is area-independent. The numerator is
+// memoized per Fab, so repeated evaluations cost one yield lookup and one
+// division.
 func (f *Fab) CPA(area units.Area) (units.CarbonPerArea, error) {
 	y := f.yield.Yield(area)
 	if !ValidYield(y) {
 		return 0, fmt.Errorf("fab: yield model returned %v for area %v", y, area)
 	}
-	energyCarbon := f.ci.GramsPerKWh() * f.node.EPA.KWhPerCM2()
-	cpa := (energyCarbon + f.GPA().GramsPerCM2() + f.mpa.GramsPerCM2()) / y
-	return units.GramsPerCM2(cpa), nil
+	return units.GramsPerCM2(f.numerator() / y), nil
 }
 
 // Embodied returns the embodied carbon of manufacturing a die of the given

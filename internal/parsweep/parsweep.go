@@ -1,0 +1,141 @@
+// Package parsweep provides the bounded worker pool behind the library's
+// parallel sweeps. ACT-style studies — MAC-array sweeps, SoC catalog
+// rankings, Monte Carlo uncertainty propagation, the full experiment
+// harness — are embarrassingly parallel: thousands of independent,
+// pure model evaluations. This package fans such work out across a fixed
+// number of goroutines while keeping the results indistinguishable from a
+// sequential run:
+//
+//   - Output ordering is deterministic: result i always corresponds to
+//     input i, regardless of which worker evaluated it or when.
+//   - The first error cancels the remaining work via context; workers stop
+//     picking up new items once any item has failed.
+//   - A panic in a worker is captured and re-raised on the calling
+//     goroutine, so a crashing model function behaves like it would in a
+//     plain loop rather than killing the process from a nameless goroutine.
+//   - The worker count defaults to GOMAXPROCS and is overridable, which
+//     tests use to pin the pool to one worker and compare against the
+//     sequential path.
+package parsweep
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count: n when positive, otherwise
+// GOMAXPROCS — the hardware parallelism actually available to the process.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map applies fn to every item on a bounded worker pool and returns the
+// results in input order. workers ≤ 0 selects GOMAXPROCS. fn must be safe
+// for concurrent use; a panic in fn propagates to the caller.
+func Map[T, R any](workers int, items []T, fn func(i int, item T) R) []R {
+	out := make([]R, len(items))
+	// fn cannot fail, so the error plumbing is inert here.
+	_, _ = MapN(context.Background(), workers, len(items), func(_ context.Context, i int) (struct{}, error) {
+		out[i] = fn(i, items[i])
+		return struct{}{}, nil
+	})
+	return out
+}
+
+// MapErr applies fn to every item on a bounded worker pool and returns the
+// results in input order. The first failure (lowest item index among the
+// errors observed) cancels the context passed to in-flight calls, stops
+// the pool from starting new items, and is returned; the partial results
+// are discarded. workers ≤ 0 selects GOMAXPROCS.
+func MapErr[T, R any](ctx context.Context, workers int, items []T, fn func(ctx context.Context, i int, item T) (R, error)) ([]R, error) {
+	return MapN(ctx, workers, len(items), func(ctx context.Context, i int) (R, error) {
+		return fn(ctx, i, items[i])
+	})
+}
+
+// MapN is MapErr over the index range [0, n) for work that is naturally
+// indexed rather than materialized as a slice (e.g. Monte Carlo sample
+// streams).
+func MapN[R any](ctx context.Context, workers, n int, fn func(ctx context.Context, i int) (R, error)) ([]R, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("parsweep: negative item count %d", n)
+	}
+	out := make([]R, n)
+	if n == 0 {
+		return out, ctx.Err()
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		next    atomic.Int64
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		errIdx  = -1
+		firstEr error
+		panicV  any
+		panicSt []byte
+	)
+	// fail records the failure of item i, keeping the lowest-indexed error
+	// so single-failure runs report deterministically.
+	fail := func(i int, err error) {
+		mu.Lock()
+		if errIdx == -1 || i < errIdx {
+			errIdx, firstEr = i, err
+		}
+		mu.Unlock()
+		cancel()
+	}
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n || ctx.Err() != nil {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							mu.Lock()
+							if panicV == nil {
+								panicV, panicSt = r, debug.Stack()
+							}
+							mu.Unlock()
+							cancel()
+						}
+					}()
+					v, err := fn(ctx, i)
+					if err != nil {
+						fail(i, fmt.Errorf("parsweep: item %d: %w", i, err))
+						return
+					}
+					out[i] = v
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if panicV != nil {
+		panic(fmt.Sprintf("parsweep: worker panic: %v\n%s", panicV, panicSt))
+	}
+	if firstEr != nil {
+		return nil, firstEr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

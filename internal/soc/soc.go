@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"act/internal/core"
@@ -248,9 +249,20 @@ func (s SoC) Device() (*core.Device, error) {
 	return d, nil
 }
 
+// embodiedCache memoizes per-chip embodied footprints. The computation is
+// pure (it depends only on the SoC's comparable fields and the constant
+// default fab parameters), so one footprint per distinct chip serves every
+// sweep, ranking, and experiment — concurrently: sync.Map makes the cache
+// safe under the parallel sweep engine.
+var embodiedCache sync.Map // SoC -> units.CO2Mass
+
 // Embodied returns the chip's embodied footprint: die, DRAM, and packaging
-// for both ICs.
+// for both ICs. The result is memoized per chip, so catalog-wide sweeps
+// build each bill of materials once rather than per evaluation.
 func (s SoC) Embodied() (units.CO2Mass, error) {
+	if v, ok := embodiedCache.Load(s); ok {
+		return v.(units.CO2Mass), nil
+	}
 	d, err := s.Device()
 	if err != nil {
 		return 0, err
@@ -259,7 +271,9 @@ func (s SoC) Embodied() (units.CO2Mass, error) {
 	if err != nil {
 		return 0, err
 	}
-	return b.Total(), nil
+	total := b.Total()
+	embodiedCache.Store(s, total)
+	return total, nil
 }
 
 // Candidate converts the chip into a metrics candidate over the reference

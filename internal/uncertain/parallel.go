@@ -1,0 +1,64 @@
+package uncertain
+
+import (
+	"context"
+	"fmt"
+
+	"act/internal/fab"
+	"act/internal/parsweep"
+)
+
+// sampleSeed derives the RNG seed of sample i from the study seed with a
+// SplitMix64 finalizer. Every sample owns an independent stream, so the
+// draw sequence a sample sees does not depend on which worker runs it or
+// in what order — the property that makes MonteCarloParallel bit-identical
+// across worker counts.
+func sampleSeed(seed uint64, i int) uint64 {
+	z := seed + 0x9e3779b97f4a7c15*uint64(i+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// MonteCarloParallel runs n evaluations of a model across a bounded worker
+// pool and summarizes the results. Unlike MonteCarlo — which threads one
+// RNG stream through the samples in order and is therefore inherently
+// sequential — each sample draws from its own SplitMix64-derived stream
+// keyed by (seed, index). The summary is bit-identical for every worker
+// count, including workers=1, which is the sequential reference the golden
+// tests compare against. workers ≤ 0 selects GOMAXPROCS.
+func MonteCarloParallel(ctx context.Context, workers, n int, seed uint64, model func(draw func(Dist) float64) (float64, error)) (Summary, error) {
+	if n < 1 {
+		return Summary{}, fmt.Errorf("uncertain: need at least one sample, got %d", n)
+	}
+	if model == nil {
+		return Summary{}, fmt.Errorf("uncertain: nil model")
+	}
+	samples, err := parsweep.MapN(ctx, workers, n, func(_ context.Context, i int) (float64, error) {
+		rng := NewRNG(sampleSeed(seed, i))
+		return model(func(d Dist) float64 { return d.Sample(rng) })
+	})
+	if err != nil {
+		return Summary{}, err
+	}
+	return Summarize(samples)
+}
+
+// RunParallel evaluates the study across a bounded worker pool and returns
+// the CPA summary in g/cm². Results are bit-identical for any worker
+// count; see MonteCarloParallel.
+func (s CPAStudy) RunParallel(ctx context.Context, workers, n int, seed uint64) (Summary, error) {
+	if err := s.Validate(); err != nil {
+		return Summary{}, err
+	}
+	return MonteCarloParallel(ctx, workers, n, seed, s.sampleCPA)
+}
+
+// sampleCPA draws one CPA evaluation of the study (Eq. 5).
+func (s CPAStudy) sampleCPA(draw func(Dist) float64) (float64, error) {
+	y := draw(s.Yield)
+	if !fab.ValidYield(y) {
+		return 0, fmt.Errorf("uncertain: sampled yield %v outside (0, 1]", y)
+	}
+	return (draw(s.CI)*draw(s.EPA) + draw(s.GPA) + draw(s.MPA)) / y, nil
+}

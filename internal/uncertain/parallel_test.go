@@ -1,0 +1,95 @@
+package uncertain
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"act/internal/fab"
+)
+
+// TestMonteCarloParallelGolden pins the acceptance criterion: the parallel
+// Monte Carlo summary is bit-identical to the sequential (workers=1) run
+// for every worker count, because sample i's RNG stream depends only on
+// (seed, i).
+func TestMonteCarloParallelGolden(t *testing.T) {
+	model := func(draw func(Dist) float64) (float64, error) {
+		return draw(Triangular{Lo: 0, Mode: 2, Hi: 10}) + draw(Uniform{Lo: 0, Hi: 1}), nil
+	}
+	seq, err := MonteCarloParallel(context.Background(), 1, 5000, 99, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8, 0} {
+		par, err := MonteCarloParallel(context.Background(), workers, 5000, 99, model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par != seq {
+			t.Errorf("workers=%d summary %+v differs from sequential %+v", workers, par, seq)
+		}
+	}
+}
+
+// TestRunParallelGolden repeats the check through the ext8 path: the full
+// CPA study over Table 1 ranges.
+func TestRunParallelGolden(t *testing.T) {
+	study, err := DefaultCPAStudy(fab.Node7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := study.RunParallel(context.Background(), 1, 20000, 2022)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := study.RunParallel(context.Background(), 8, 20000, 2022)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != par {
+		t.Errorf("parallel CPA study %+v differs from sequential %+v", par, seq)
+	}
+	// Statistically consistent with the single-stream sampler: same
+	// distribution, so the medians agree within Monte Carlo noise.
+	single, err := study.Run(20000, 2022)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := par.Median / single.Median; ratio < 0.95 || ratio > 1.05 {
+		t.Errorf("per-sample-stream median %v far from single-stream %v", par.Median, single.Median)
+	}
+}
+
+func TestMonteCarloParallelErrors(t *testing.T) {
+	boom := errors.New("bad sample")
+	_, err := MonteCarloParallel(context.Background(), 4, 100, 1, func(draw func(Dist) float64) (float64, error) {
+		if draw(Uniform{Lo: 0, Hi: 1}) > 0.5 {
+			return 0, boom
+		}
+		return 1, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v, want wrapped model error", err)
+	}
+	if _, err := MonteCarloParallel(context.Background(), 4, 0, 1, nil); err == nil {
+		t.Error("zero samples: expected error")
+	}
+	if _, err := MonteCarloParallel(context.Background(), 4, 10, 1, nil); err == nil {
+		t.Error("nil model: expected error")
+	}
+}
+
+func TestSampleSeedSpread(t *testing.T) {
+	// Adjacent indices and seeds must give distinct, well-mixed seeds.
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		s := sampleSeed(7, i)
+		if seen[s] {
+			t.Fatalf("duplicate derived seed at index %d", i)
+		}
+		seen[s] = true
+	}
+	if sampleSeed(1, 0) == sampleSeed(2, 0) {
+		t.Error("different study seeds collide at index 0")
+	}
+}

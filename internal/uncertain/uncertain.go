@@ -211,19 +211,14 @@ func (s CPAStudy) Validate() error {
 	return nil
 }
 
-// Run evaluates the study and returns the CPA summary in g/cm².
+// Run evaluates the study and returns the CPA summary in g/cm². It
+// consumes one sequential RNG stream; RunParallel uses per-sample streams
+// and a worker pool for large n.
 func (s CPAStudy) Run(n int, seed uint64) (Summary, error) {
 	if err := s.Validate(); err != nil {
 		return Summary{}, err
 	}
-	return MonteCarlo(n, seed, func(draw func(Dist) float64) (float64, error) {
-		y := draw(s.Yield)
-		if !fab.ValidYield(y) {
-			return 0, fmt.Errorf("uncertain: sampled yield %v outside (0, 1]", y)
-		}
-		cpa := (draw(s.CI)*draw(s.EPA) + draw(s.GPA) + draw(s.MPA)) / y
-		return cpa, nil
-	})
+	return MonteCarlo(n, seed, s.sampleCPA)
 }
 
 // EmbodiedBand converts a CPA summary into an embodied-carbon band for a
