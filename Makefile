@@ -1,0 +1,37 @@
+# ACT build/verify entry points. Stdlib-only Go module; everything here is
+# a thin, documented wrapper so CI and humans run the same commands.
+
+GO ?= go
+
+.PHONY: all build test verify verify-extended bench bench-cache run-actd clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Tier-1 verification: what must stay green on every commit.
+verify: build
+	$(GO) vet ./...
+	$(GO) test ./...
+
+# Extended verification: race detector across the concurrent paths
+# (sweep pool, footprint cache, graceful drain).
+verify-extended: verify
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# The service-cache acceptance pair: cached must be >=10x cheaper than cold.
+bench-cache:
+	$(GO) test -run XXX -bench 'Footprint(Cold|Cached)' -benchmem ./internal/serve/
+
+run-actd:
+	$(GO) run ./cmd/actd -addr :8080
+
+clean:
+	$(GO) clean ./...

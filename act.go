@@ -30,14 +30,19 @@
 package act
 
 import (
+	"context"
 	"time"
 
+	"act/internal/acterr"
 	"act/internal/core"
+	"act/internal/dse"
 	"act/internal/fab"
 	"act/internal/intensity"
 	"act/internal/memdb"
 	"act/internal/metrics"
+	"act/internal/parsweep"
 	"act/internal/storagedb"
+	"act/internal/uncertain"
 	"act/internal/units"
 )
 
@@ -245,3 +250,80 @@ var (
 	// Phases lists the four life-cycle phases in order.
 	Phases = core.Phases
 )
+
+// Typed validation errors. Constructors and the CLI/service surface them
+// with errors.Is / errors.As; every scenario- and constructor-level failure
+// a caller can fix by editing their input matches one of these.
+type (
+	// InvalidSpecError reports a validation failure at a field path
+	// ("logic[0].area_mm2").
+	InvalidSpecError = acterr.InvalidSpecError
+	// UnsupportedVersionError reports a scenario envelope version this
+	// library does not speak.
+	UnsupportedVersionError = acterr.UnsupportedVersionError
+)
+
+var (
+	// ErrUnknownNode matches (via errors.Is) failures to resolve a process
+	// node or memory/storage technology name.
+	ErrUnknownNode = acterr.ErrUnknownNode
+	// ErrUnsupportedVersion matches (via errors.Is) scenario envelope
+	// versions other than 1.
+	ErrUnsupportedVersion = acterr.ErrUnsupportedVersion
+	// IsInvalidSpec reports whether an error is a client-fixable input
+	// problem (invalid field, unknown node, unsupported version).
+	IsInvalidSpec = acterr.IsInvalid
+)
+
+// Design-space exploration types (Section 7 case studies).
+type (
+	// Objective extracts a lower-is-better scalar from a candidate.
+	Objective = dse.Objective
+	// MetricRanking pairs a Table 2 metric with its ranked candidates.
+	MetricRanking = dse.MetricRanking
+	// Scored is a candidate with its metric value.
+	Scored = metrics.Scored
+)
+
+// Design-space exploration entry points.
+var (
+	// ParetoFrontier reduces candidates to the non-dominated set under the
+	// given objectives.
+	ParetoFrontier = dse.ParetoFrontier
+	// RankAllOrdered ranks candidates under every Table 2 metric, in
+	// metrics.All() order.
+	RankAllOrdered = dse.RankAllOrdered
+	// MetricObjective wraps a Table 2 metric as an objective.
+	MetricObjective = dse.MetricObjective
+	// Built-in lower-is-better objectives over the candidate axes.
+	ObjectiveEmbodied = dse.Embodied
+	ObjectiveEnergy   = dse.Energy
+	ObjectiveDelay    = dse.Delay
+	ObjectiveArea     = dse.Area
+)
+
+// ParallelMap evaluates fn over items on a bounded worker pool (workers ≤ 0
+// means GOMAXPROCS) and returns the results in input order — the fan-out
+// primitive behind actd batches and the sweep harness.
+func ParallelMap[T, R any](workers int, items []T, fn func(i int, item T) R) []R {
+	return parsweep.Map(workers, items, fn)
+}
+
+// Uncertainty analysis types (Section 5 fab-parameter uncertainty).
+type (
+	// Dist is a sampleable parameter distribution.
+	Dist = uncertain.Dist
+	// UncertaintySummary holds Monte-Carlo sample statistics.
+	UncertaintySummary = uncertain.Summary
+	// Uniform is a uniform distribution on [Lo, Hi].
+	Uniform = uncertain.Uniform
+	// Triangular is a triangular distribution on [Lo, Hi] with a Mode.
+	Triangular = uncertain.Triangular
+)
+
+// MonteCarloParallel runs n draws of model across a bounded worker pool
+// with a deterministic per-sample RNG, so results are reproducible for a
+// given seed regardless of worker count.
+func MonteCarloParallel(ctx context.Context, workers, n int, seed uint64, model func(draw func(Dist) float64) (float64, error)) (UncertaintySummary, error) {
+	return uncertain.MonteCarloParallel(ctx, workers, n, seed, model)
+}

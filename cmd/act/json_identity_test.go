@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"act/internal/scenario"
+	"act/internal/serve"
+)
+
+// TestJSONByteIdentityWithService is the cross-surface acceptance check:
+// a 1000-scenario batch served by actd must be byte-identical, element by
+// element, to sequential `act -format json` runs over the same scenarios.
+func TestJSONByteIdentityWithService(t *testing.T) {
+	const total, distinct = 1000, 50
+	specs := make([][]byte, total)
+	for i := range specs {
+		s := &scenario.Spec{
+			Name:  fmt.Sprintf("device-%d", i%distinct),
+			Logic: []scenario.LogicSpec{{Name: "soc", AreaMM2: float64(10 + i%distinct), Node: "7nm"}},
+			DRAM:  []scenario.DRAMSpec{{Name: "ram", Technology: "lpddr4", CapacityGB: 4}},
+			Usage: scenario.UsageSpec{PowerW: 2, AppHours: 876.6},
+		}
+		data, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs[i] = data
+	}
+
+	// Sequential ground truth: one CLI run per scenario.
+	cli := make([][]byte, total)
+	for i, raw := range specs {
+		var out bytes.Buffer
+		if err := run("", "json", false, bytes.NewReader(raw), &out); err != nil {
+			t.Fatalf("cli run %d: %v", i, err)
+		}
+		cli[i] = out.Bytes()
+	}
+
+	// One batch request against the service.
+	srv := serve.New(serve.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	var batch bytes.Buffer
+	batch.WriteByte('[')
+	for i, raw := range specs {
+		if i > 0 {
+			batch.WriteByte(',')
+		}
+		batch.Write(raw)
+	}
+	batch.WriteByte(']')
+	resp, err := http.Post(ts.URL+"/v1/footprint", "application/json", &batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %.200s", resp.StatusCode, body)
+	}
+	var results []json.RawMessage
+	if err := json.Unmarshal(body, &results); err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != total {
+		t.Fatalf("got %d results, want %d", len(results), total)
+	}
+	for i := range results {
+		// The CLI document ends with the encoder's trailing newline; batch
+		// elements are the same bytes without it.
+		want := bytes.TrimRight(cli[i], "\n")
+		if !bytes.Equal(bytes.TrimSpace(results[i]), want) {
+			t.Fatalf("scenario %d: service bytes differ from cli -format json:\n%s\nwant:\n%s", i, results[i], want)
+		}
+	}
+}

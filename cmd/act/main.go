@@ -4,18 +4,24 @@
 //
 // Usage:
 //
-//	act -scenario device.json [-format ascii|csv|md]
+//	act -scenario device.json [-format ascii|csv|md|json]
 //	act -example                 # print a sample scenario
 //	cat device.json | act        # read the scenario from stdin
+//
+// The json format emits the same result document actd serves from
+// POST /v1/footprint, byte for byte, so pipelines can swap between the CLI
+// and the service without re-parsing.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
+	"act/internal/acterr"
 	"act/internal/core"
 	"act/internal/report"
 	"act/internal/scenario"
@@ -24,13 +30,19 @@ import (
 func main() {
 	var (
 		path    = flag.String("scenario", "", "path to a JSON scenario (default: stdin)")
-		format  = flag.String("format", "ascii", "output format: ascii, csv or md")
+		format  = flag.String("format", "ascii", "output format: ascii, csv, md or json")
 		example = flag.Bool("example", false, "print a sample scenario and exit")
 	)
 	flag.Parse()
 
 	if err := run(*path, *format, *example, os.Stdin, os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "act:", err)
+		var inv *acterr.InvalidSpecError
+		if errors.As(err, &inv) && inv.Field != "" {
+			// Point at the offending scenario field.
+			fmt.Fprintf(os.Stderr, "act: scenario field %s: %s\n", inv.Field, inv.Message())
+		} else {
+			fmt.Fprintln(os.Stderr, "act:", err)
+		}
 		os.Exit(1)
 	}
 }
@@ -54,6 +66,15 @@ func run(path, format string, example bool, stdin io.Reader, stdout io.Writer) e
 	spec, err := scenario.Parse(in)
 	if err != nil {
 		return err
+	}
+	if format == "json" {
+		res, err := spec.Result()
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
 	}
 	a, err := spec.Assess()
 	if err != nil {

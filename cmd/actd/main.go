@@ -1,0 +1,81 @@
+// Command actd serves the ACT carbon model over HTTP. It speaks the same
+// version-1 scenario JSON as cmd/act and returns identical result
+// documents, plus batch evaluation, metric sweeps, Prometheus metrics and
+// graceful shutdown.
+//
+// Usage:
+//
+//	actd [-addr :8080] [-workers N] [-max-batch N] [-cache-size N]
+//	     [-timeout 30s] [-grace 15s]
+//
+// Endpoints:
+//
+//	POST /v1/footprint   evaluate one scenario object or a batch array
+//	POST /v1/sweep       rank candidates / Pareto frontier
+//	GET  /healthz        liveness (503 while draining)
+//	GET  /metrics        Prometheus text metrics
+//
+// SIGINT/SIGTERM start a graceful drain: new requests get 503, in-flight
+// requests finish (up to -grace), then the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"act/internal/serve"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 0, "scenario fan-out workers per request (0 = GOMAXPROCS)")
+		maxBatch  = flag.Int("max-batch", 0, "max scenarios per request (0 = default 10000)")
+		cacheSize = flag.Int("cache-size", 0, "footprint cache entries (0 = default 4096, negative disables)")
+		timeout   = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+		grace     = flag.Duration("grace", 15*time.Second, "shutdown drain deadline")
+	)
+	flag.Parse()
+
+	if err := run(*addr, *workers, *maxBatch, *cacheSize, *timeout, *grace); err != nil {
+		fmt.Fprintln(os.Stderr, "actd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, workers, maxBatch, cacheSize int, timeout, grace time.Duration) error {
+	log := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	srv := serve.New(serve.Config{
+		Addr:           addr,
+		Workers:        workers,
+		MaxBatch:       maxBatch,
+		CacheSize:      cacheSize,
+		RequestTimeout: timeout,
+		Logger:         log,
+	})
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		log.Info("signal received, draining", "signal", sig.String())
+		ctx, cancel := context.WithTimeout(context.Background(), grace)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		return <-errc
+	}
+}

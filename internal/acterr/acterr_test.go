@@ -1,0 +1,92 @@
+package acterr
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestInvalidSpecError(t *testing.T) {
+	e := Invalid("logic[0].area_mm2", "non-positive die area %v", -1.5)
+	if got := e.Error(); !strings.Contains(got, "logic[0].area_mm2") || !strings.Contains(got, "-1.5") {
+		t.Errorf("Error() = %q", got)
+	}
+	if e.Message() != "non-positive die area -1.5" {
+		t.Errorf("Message() = %q", e.Message())
+	}
+
+	// As sees through fmt.Errorf wrapping.
+	wrapped := fmt.Errorf("scenario: %w", e)
+	var inv *InvalidSpecError
+	if !errors.As(wrapped, &inv) || inv.Field != "logic[0].area_mm2" {
+		t.Errorf("As failed on wrapped error: %v", wrapped)
+	}
+}
+
+func TestInvalidSpecErrorNoField(t *testing.T) {
+	e := &InvalidSpecError{Reason: "device has no components"}
+	if got := e.Error(); got != "invalid spec: device has no components" {
+		t.Errorf("Error() = %q", got)
+	}
+	if (&InvalidSpecError{}).Message() != "invalid value" {
+		t.Error("empty error has no fallback message")
+	}
+}
+
+func TestPrefix(t *testing.T) {
+	inner := Invalid("area_mm2", "non-positive")
+	err := Prefix("logic[2]", fmt.Errorf("core: %w", inner))
+	var inv *InvalidSpecError
+	if !errors.As(err, &inv) {
+		t.Fatalf("Prefix lost the typed error: %v", err)
+	}
+	if inv.Field != "logic[2].area_mm2" {
+		t.Errorf("Field = %q, want logic[2].area_mm2", inv.Field)
+	}
+
+	// A plain error becomes an InvalidSpecError rooted at the prefix.
+	err = Prefix("dram[0].technology", errors.New("memdb: unknown DRAM technology"))
+	if !errors.As(err, &inv) || inv.Field != "dram[0].technology" {
+		t.Errorf("plain error not re-rooted: %v", err)
+	}
+	if !strings.Contains(inv.Message(), "unknown DRAM technology") {
+		t.Errorf("cause lost: %q", inv.Message())
+	}
+
+	if Prefix("x", nil) != nil {
+		t.Error("Prefix(nil) != nil")
+	}
+}
+
+func TestUnsupportedVersionError(t *testing.T) {
+	err := fmt.Errorf("scenario: %w", &UnsupportedVersionError{Version: 9})
+	if !errors.Is(err, ErrUnsupportedVersion) {
+		t.Error("Is(ErrUnsupportedVersion) = false")
+	}
+	var uv *UnsupportedVersionError
+	if !errors.As(err, &uv) || uv.Version != 9 {
+		t.Errorf("As failed: %v", err)
+	}
+	if !strings.Contains(err.Error(), "version 9") {
+		t.Errorf("Error() = %q", err)
+	}
+}
+
+func TestIsInvalid(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{Invalid("f", "bad"), true},
+		{fmt.Errorf("fab: %w %q", ErrUnknownNode, "99nm"), true},
+		{fmt.Errorf("scenario: %w", &UnsupportedVersionError{Version: 2}), true},
+		{errors.New("disk on fire"), false},
+		{nil, false},
+	}
+	for i, c := range cases {
+		if got := IsInvalid(c.err); got != c.want {
+			t.Errorf("case %d: IsInvalid(%v) = %v, want %v", i, c.err, got, c.want)
+		}
+	}
+}

@@ -23,6 +23,7 @@ package core
 import (
 	"fmt"
 
+	"act/internal/acterr"
 	"act/internal/fab"
 	"act/internal/memdb"
 	"act/internal/storagedb"
@@ -46,16 +47,16 @@ type Logic struct {
 // manufactured in f.
 func NewLogic(name string, area units.Area, f *fab.Fab, count int) (*Logic, error) {
 	if name == "" {
-		return nil, fmt.Errorf("core: logic component needs a name")
+		return nil, acterr.Invalid("name", "logic component needs a name")
 	}
 	if area <= 0 {
-		return nil, fmt.Errorf("core: logic %q: non-positive die area %v", name, area)
+		return nil, acterr.Invalid("area_mm2", "logic %q: non-positive die area %v", name, area)
 	}
 	if f == nil {
 		return nil, fmt.Errorf("core: logic %q: nil fab", name)
 	}
 	if count <= 0 {
-		return nil, fmt.Errorf("core: logic %q: non-positive count %d", name, count)
+		return nil, acterr.Invalid("count", "logic %q: non-positive count %d", name, count)
 	}
 	return &Logic{name: name, area: area, fab: f, count: count}, nil
 }
@@ -91,14 +92,14 @@ type DRAM struct {
 // NewDRAM describes a DRAM module.
 func NewDRAM(name string, tech memdb.Technology, capacity units.Capacity) (*DRAM, error) {
 	if name == "" {
-		return nil, fmt.Errorf("core: DRAM component needs a name")
+		return nil, acterr.Invalid("name", "DRAM component needs a name")
 	}
 	if capacity <= 0 {
-		return nil, fmt.Errorf("core: DRAM %q: non-positive capacity %v", name, capacity)
+		return nil, acterr.Invalid("capacity_gb", "DRAM %q: non-positive capacity %v", name, capacity)
 	}
 	entry, err := memdb.Lookup(tech)
 	if err != nil {
-		return nil, fmt.Errorf("core: DRAM %q: %w", name, err)
+		return nil, acterr.Prefix("technology", fmt.Errorf("DRAM %q: %w", name, err))
 	}
 	return &DRAM{name: name, entry: entry, capacity: capacity}, nil
 }
@@ -125,14 +126,14 @@ type Storage struct {
 // NewStorage describes a storage drive.
 func NewStorage(name string, tech storagedb.Technology, capacity units.Capacity) (*Storage, error) {
 	if name == "" {
-		return nil, fmt.Errorf("core: storage component needs a name")
+		return nil, acterr.Invalid("name", "storage component needs a name")
 	}
 	if capacity <= 0 {
-		return nil, fmt.Errorf("core: storage %q: non-positive capacity %v", name, capacity)
+		return nil, acterr.Invalid("capacity_gb", "storage %q: non-positive capacity %v", name, capacity)
 	}
 	entry, err := storagedb.Lookup(tech)
 	if err != nil {
-		return nil, fmt.Errorf("core: storage %q: %w", name, err)
+		return nil, acterr.Prefix("technology", fmt.Errorf("storage %q: %w", name, err))
 	}
 	return &Storage{name: name, entry: entry, capacity: capacity}, nil
 }
@@ -169,7 +170,7 @@ type Device struct {
 // methods, which return the device for chaining.
 func NewDevice(name string) (*Device, error) {
 	if name == "" {
-		return nil, fmt.Errorf("core: device needs a name")
+		return nil, acterr.Invalid("name", "device needs a name")
 	}
 	return &Device{name: name}, nil
 }

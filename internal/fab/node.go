@@ -14,6 +14,7 @@ import (
 	"sort"
 	"strings"
 
+	"act/internal/acterr"
 	"act/internal/units"
 )
 
@@ -75,7 +76,7 @@ func Params(n Node) (NodeParams, error) {
 			return p, nil
 		}
 	}
-	return NodeParams{}, fmt.Errorf("fab: unknown process node %q", n)
+	return NodeParams{}, fmt.Errorf("fab: %w %q", acterr.ErrUnknownNode, n)
 }
 
 // Nodes returns all Table 7 entries from the oldest (28 nm) to the newest
@@ -111,12 +112,12 @@ func ScalarNodes() []NodeParams {
 // characterized range are rejected rather than extrapolated.
 func Resolve(nm float64) (NodeParams, error) {
 	if nm <= 0 {
-		return NodeParams{}, fmt.Errorf("fab: non-positive feature size %v nm", nm)
+		return NodeParams{}, fmt.Errorf("fab: %w: non-positive feature size %v nm", acterr.ErrUnknownNode, nm)
 	}
 	scalars := ScalarNodes()
 	if nm > 2*scalars[0].FeatureNM || nm < scalars[len(scalars)-1].FeatureNM/2 {
-		return NodeParams{}, fmt.Errorf("fab: feature size %v nm outside characterized range [%v, %v] nm",
-			nm, scalars[len(scalars)-1].FeatureNM, scalars[0].FeatureNM)
+		return NodeParams{}, fmt.Errorf("fab: %w: feature size %v nm outside characterized range [%v, %v] nm",
+			acterr.ErrUnknownNode, nm, scalars[len(scalars)-1].FeatureNM, scalars[0].FeatureNM)
 	}
 	best := scalars[0]
 	bestDist := dist(nm, best.FeatureNM)
@@ -147,7 +148,7 @@ func ParseNode(s string) (NodeParams, error) {
 	trimmed := strings.TrimSuffix(name, "nm")
 	var nm float64
 	if _, err := fmt.Sscanf(trimmed, "%g", &nm); err != nil {
-		return NodeParams{}, fmt.Errorf("fab: cannot parse process node %q", s)
+		return NodeParams{}, fmt.Errorf("fab: %w: cannot parse %q", acterr.ErrUnknownNode, s)
 	}
 	return Resolve(nm)
 }

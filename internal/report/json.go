@@ -1,0 +1,87 @@
+// JSON output format. These are the wire shapes of an assessment shared by
+// cmd/act -format json and the actd /v1/footprint response: plain structs
+// of SI-suffixed numbers (grams, hours, years) with a fixed field order,
+// so the CLI and the service emit byte-identical results for the same
+// scenario. Frozen by json_test.go.
+
+package report
+
+import (
+	"act/internal/core"
+)
+
+// BreakdownItemJSON is one line of the embodied itemization.
+type BreakdownItemJSON struct {
+	Name      string  `json:"name"`
+	Kind      string  `json:"kind"`
+	EmbodiedG float64 `json:"embodied_g"`
+}
+
+// AssessmentJSON is the wire form of a core.Assessment (Eq. 1).
+type AssessmentJSON struct {
+	Device         string              `json:"device"`
+	AppHours       float64             `json:"app_hours"`
+	LifetimeYears  float64             `json:"lifetime_years"`
+	OperationalG   float64             `json:"operational_g"`
+	EmbodiedTotalG float64             `json:"embodied_total_g"`
+	EmbodiedShareG float64             `json:"embodied_share_g"`
+	TotalG         float64             `json:"total_g"`
+	Breakdown      []BreakdownItemJSON `json:"breakdown"`
+}
+
+// JSONAssessment converts an assessment to its wire form.
+func JSONAssessment(a core.Assessment) AssessmentJSON {
+	out := AssessmentJSON{
+		Device:         a.Device,
+		AppHours:       a.AppTime.Hours(),
+		LifetimeYears:  a.Lifetime.Hours() / (365.25 * 24),
+		OperationalG:   a.Operational.Grams(),
+		EmbodiedTotalG: a.EmbodiedTotal.Grams(),
+		EmbodiedShareG: a.EmbodiedShare.Grams(),
+		TotalG:         a.Total().Grams(),
+		Breakdown:      make([]BreakdownItemJSON, 0, len(a.Breakdown.Items)),
+	}
+	for _, it := range a.Breakdown.Items {
+		out.Breakdown = append(out.Breakdown, BreakdownItemJSON{
+			Name:      it.Name,
+			Kind:      string(it.Kind),
+			EmbodiedG: it.Embodied.Grams(),
+		})
+	}
+	return out
+}
+
+// PhaseJSON is one life-cycle phase line.
+type PhaseJSON struct {
+	Phase      string  `json:"phase"`
+	EmissionsG float64 `json:"emissions_g"`
+	Share      float64 `json:"share"`
+}
+
+// LifeCycleJSON is the wire form of a four-phase product report, phases in
+// core.Phases() order.
+type LifeCycleJSON struct {
+	Phases []PhaseJSON `json:"phases"`
+	TotalG float64     `json:"total_g"`
+}
+
+// JSONLifeCycle converts a phase report to its wire form.
+func JSONLifeCycle(r core.PhaseReport) LifeCycleJSON {
+	out := LifeCycleJSON{Phases: make([]PhaseJSON, 0, len(r.Phases))}
+	for _, p := range core.Phases() {
+		out.Phases = append(out.Phases, PhaseJSON{
+			Phase:      string(p),
+			EmissionsG: r.Phases[p].Grams(),
+			Share:      r.Share(p),
+		})
+	}
+	out.TotalG = r.Total().Grams()
+	return out
+}
+
+// ResultJSON is the complete per-scenario result: the assessment, plus the
+// four-phase report when the scenario carries life-cycle data.
+type ResultJSON struct {
+	AssessmentJSON
+	LifeCycle *LifeCycleJSON `json:"life_cycle,omitempty"`
+}

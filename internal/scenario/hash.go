@@ -1,0 +1,148 @@
+// Canonical scenario hashing. actd's footprint cache is keyed on
+// Spec.CanonicalKey, so the definition of "the same scenario" lives here
+// next to the wire format: two specs key equal iff they assess identically
+// under the documented defaults. The encoder appends a fixed-order binary
+// form of every field into one buffer — no JSON round trip — because the
+// cache-hit path pays this cost on every request and must stay far cheaper
+// than a model evaluation. Spec.Hash (SHA-256 of the same encoding) is the
+// printable canonical identity.
+
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+	"strings"
+)
+
+// CanonicalKey returns the canonical encoding of the scenario as an opaque
+// string — the form actd's cache uses as its map key (Go's map hashes it
+// natively, far faster than a cryptographic digest on the per-request hit
+// path). The documented defaults are made explicit before encoding
+// (version 1, die count 1, 3-year lifetime, US-grid use intensity,
+// case-insensitive technology names), so specs that differ only in how
+// they spell a default — `"count": 1` versus omitting it — key equal. That
+// is what lets a fleet batch of identical BoMs collapse to one evaluation.
+func (s *Spec) CanonicalKey() string {
+	return string(s.appendCanonical(make([]byte, 0, 512)))
+}
+
+// HashKey returns the canonical scenario hash: the SHA-256 of the
+// canonical encoding, the stable printable identity for logs and ETags.
+func (s *Spec) HashKey() [sha256.Size]byte {
+	return sha256.Sum256(s.appendCanonical(make([]byte, 0, 512)))
+}
+
+// appendCanonical appends the fixed-order, length-prefixed binary encoding
+// of the spec with defaults normalized.
+func (s *Spec) appendCanonical(b []byte) []byte {
+	b = appendStr(b, "act/scenario")
+	version := s.Version
+	if version == 0 {
+		version = Version
+	}
+	b = appendInt(b, version)
+	b = appendStr(b, s.Name)
+
+	b = appendInt(b, len(s.Logic))
+	for _, l := range s.Logic {
+		b = appendStr(b, l.Name)
+		b = appendF64(b, l.AreaMM2)
+		b = appendStr(b, canonName(l.Node))
+		count := l.Count
+		if count == 0 {
+			count = 1
+		}
+		b = appendInt(b, count)
+		// A nil fab spec and an all-zero fab spec both mean "paper
+		// defaults", so they encode identically.
+		var f FabSpec
+		if l.Fab != nil {
+			f = *l.Fab
+		}
+		b = appendF64(b, f.CarbonIntensity)
+		b = appendF64(b, f.Abatement)
+		b = appendF64(b, f.Yield)
+	}
+
+	b = appendInt(b, len(s.DRAM))
+	for _, m := range s.DRAM {
+		b = appendStr(b, m.Name)
+		b = appendStr(b, canonName(m.Technology))
+		b = appendF64(b, m.CapacityGB)
+	}
+
+	b = appendInt(b, len(s.Storage))
+	for _, st := range s.Storage {
+		b = appendStr(b, st.Name)
+		b = appendStr(b, canonName(st.Technology))
+		b = appendF64(b, st.CapacityGB)
+	}
+
+	b = appendInt(b, s.ExtraICs)
+
+	b = appendF64(b, s.Usage.PowerW)
+	b = appendF64(b, s.Usage.AppHours)
+	intensity := s.Usage.IntensityGPerKWh
+	if intensity == 0 {
+		intensity = 300 // US grid, the scenario default
+	}
+	b = appendF64(b, intensity)
+	b = appendF64(b, s.Usage.PUE)
+	b = appendF64(b, s.Usage.BatteryEfficiency)
+
+	b = appendInt(b, len(s.Transport))
+	for _, leg := range s.Transport {
+		b = appendStr(b, leg.Name)
+		b = appendF64(b, leg.MassKg)
+		b = appendF64(b, leg.DistanceKm)
+		b = appendStr(b, canonName(leg.Mode))
+	}
+
+	if s.EndOfLife != nil {
+		b = appendInt(b, 1)
+		b = appendF64(b, s.EndOfLife.ProcessingKg)
+		b = appendF64(b, s.EndOfLife.RecyclingCreditKg)
+	} else {
+		b = appendInt(b, 0)
+	}
+
+	lifetime := s.LifetimeYears
+	if lifetime == 0 {
+		lifetime = 3 // LT default
+	}
+	b = appendF64(b, lifetime)
+
+	return b
+}
+
+// Hash returns HashKey hex-encoded — the printable canonical hash for
+// logs, ETags and debugging.
+func (s *Spec) Hash() string {
+	key := s.HashKey()
+	return hex.EncodeToString(key[:])
+}
+
+// canonName normalizes a technology/node/mode name the way the parsers do:
+// surrounding space stripped, case folded.
+func canonName(s string) string {
+	return strings.ToLower(strings.TrimSpace(s))
+}
+
+// The appenders emit length-prefixed fields, making the encoding
+// injective: ("ab","c") and ("a","bc") digest differently.
+
+func appendStr(b []byte, s string) []byte {
+	b = appendInt(b, len(s))
+	return append(b, s...)
+}
+
+func appendInt(b []byte, v int) []byte {
+	return binary.LittleEndian.AppendUint64(b, uint64(int64(v)))
+}
+
+func appendF64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}

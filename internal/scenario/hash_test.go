@@ -1,0 +1,122 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHashDeterministic(t *testing.T) {
+	a, b := Example(), Example()
+	if a.Hash() != b.Hash() {
+		t.Error("identical specs hash differently")
+	}
+	if len(a.Hash()) != 64 {
+		t.Errorf("hash length %d, want 64 hex chars", len(a.Hash()))
+	}
+	if a.CanonicalKey() != b.CanonicalKey() {
+		t.Error("identical specs key differently")
+	}
+}
+
+func TestHashNormalizesDefaults(t *testing.T) {
+	base := func() *Spec {
+		return &Spec{
+			Name:  "x",
+			Logic: []LogicSpec{{Name: "l", AreaMM2: 10, Node: "7nm"}},
+			Usage: UsageSpec{PowerW: 1, AppHours: 24},
+		}
+	}
+	want := base().Hash()
+
+	explicit := base()
+	explicit.Version = 1
+	explicit.Logic[0].Count = 1
+	explicit.Logic[0].Node = " 7NM "
+	explicit.Logic[0].Fab = &FabSpec{}
+	explicit.Usage.IntensityGPerKWh = 300
+	explicit.LifetimeYears = 3
+	if got := explicit.Hash(); got != want {
+		t.Error("explicitly spelled defaults hash differently from omitted defaults")
+	}
+	if explicit.CanonicalKey() != base().CanonicalKey() {
+		t.Error("explicitly spelled defaults key differently from omitted defaults")
+	}
+}
+
+func TestHashDiscriminates(t *testing.T) {
+	base := func() *Spec {
+		return &Spec{
+			Name:  "x",
+			Logic: []LogicSpec{{Name: "l", AreaMM2: 10, Node: "7nm"}},
+			Usage: UsageSpec{PowerW: 1, AppHours: 24},
+		}
+	}
+	want := base().Hash()
+	mutate := map[string]func(*Spec){
+		"name":      func(s *Spec) { s.Name = "y" },
+		"area":      func(s *Spec) { s.Logic[0].AreaMM2 = 11 },
+		"node":      func(s *Spec) { s.Logic[0].Node = "5nm" },
+		"count":     func(s *Spec) { s.Logic[0].Count = 2 },
+		"fab yield": func(s *Spec) { s.Logic[0].Fab = &FabSpec{Yield: 0.9} },
+		"dram":      func(s *Spec) { s.DRAM = []DRAMSpec{{Name: "d", Technology: "lpddr4", CapacityGB: 4}} },
+		"storage":   func(s *Spec) { s.Storage = []StorageSpec{{Name: "s", Technology: "v3-nand-tlc", CapacityGB: 64}} },
+		"extra ics": func(s *Spec) { s.ExtraICs = 1 },
+		"power":     func(s *Spec) { s.Usage.PowerW = 2 },
+		"app hours": func(s *Spec) { s.Usage.AppHours = 48 },
+		"intensity": func(s *Spec) { s.Usage.IntensityGPerKWh = 41 },
+		"pue":       func(s *Spec) { s.Usage.PUE = 1.3 },
+		"battery":   func(s *Spec) { s.Usage.BatteryEfficiency = 0.85 },
+		"transport": func(s *Spec) { s.Transport = []TransportSpec{{Name: "t", MassKg: 1, DistanceKm: 2, Mode: "air"}} },
+		"eol":       func(s *Spec) { s.EndOfLife = &EndOfLifeSpec{ProcessingKg: 0.1} },
+		"lifetime":  func(s *Spec) { s.LifetimeYears = 5 },
+	}
+	wantKey := base().CanonicalKey()
+	for name, f := range mutate {
+		s := base()
+		f(s)
+		if s.Hash() == want {
+			t.Errorf("mutating %s does not change the hash", name)
+		}
+		if s.CanonicalKey() == wantKey {
+			t.Errorf("mutating %s does not change the canonical key", name)
+		}
+	}
+}
+
+// TestHashInjectiveAcrossFieldBoundaries guards the length-prefixed
+// encoding: shifting bytes between adjacent string fields must change the
+// digest.
+func TestHashInjectiveAcrossFieldBoundaries(t *testing.T) {
+	a := &Spec{Name: "ab", Logic: []LogicSpec{{Name: "c", AreaMM2: 1, Node: "7nm"}}, Usage: UsageSpec{PowerW: 1, AppHours: 1}}
+	b := &Spec{Name: "a", Logic: []LogicSpec{{Name: "bc", AreaMM2: 1, Node: "7nm"}}, Usage: UsageSpec{PowerW: 1, AppHours: 1}}
+	if a.Hash() == b.Hash() {
+		t.Error("boundary shift collides")
+	}
+}
+
+func TestHashDoesNotMutate(t *testing.T) {
+	s, err := Parse(strings.NewReader(`{"name":"x","logic":[{"name":"l","area_mm2":1,"node":"7nm"}],"usage":{"power_w":1,"app_hours":1}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = s.Hash()
+	if s.Logic[0].Count != 0 || s.LifetimeYears != 0 || s.Usage.IntensityGPerKWh != 0 {
+		t.Error("Hash mutated the spec while normalizing defaults")
+	}
+}
+
+func BenchmarkHash(b *testing.B) {
+	s := Example()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = s.Hash()
+	}
+}
+
+func BenchmarkCanonicalKey(b *testing.B) {
+	s := Example()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = s.CanonicalKey()
+	}
+}

@@ -1,0 +1,27 @@
+package scenario
+
+import (
+	"act/internal/report"
+)
+
+// Result evaluates the scenario end to end and renders the shared wire
+// result: the assessment plus the four-phase life-cycle report when the
+// scenario carries transport or end-of-life data. cmd/act -format json and
+// actd's /v1/footprint both emit exactly this struct, which is what makes
+// the CLI and the service byte-comparable.
+func (s *Spec) Result() (report.ResultJSON, error) {
+	a, err := s.Assess()
+	if err != nil {
+		return report.ResultJSON{}, err
+	}
+	out := report.ResultJSON{AssessmentJSON: report.JSONAssessment(a)}
+	if s.HasLifeCycle() {
+		r, err := s.LifeCycle()
+		if err != nil {
+			return report.ResultJSON{}, err
+		}
+		lc := report.JSONLifeCycle(r)
+		out.LifeCycle = &lc
+	}
+	return out, nil
+}

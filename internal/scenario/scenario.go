@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 
+	"act/internal/acterr"
 	"act/internal/core"
 	"act/internal/fab"
 	"act/internal/memdb"
@@ -91,6 +92,10 @@ type EndOfLifeSpec struct {
 
 // Spec is the full scenario.
 type Spec struct {
+	// Version is the wire-format envelope version. Zero (a pre-envelope
+	// scenario) means Version 1; any other value is rejected with
+	// acterr.UnsupportedVersionError. See wire.go for the frozen format.
+	Version  int           `json:"version,omitempty"`
 	Name     string        `json:"name"`
 	Logic    []LogicSpec   `json:"logic,omitempty"`
 	DRAM     []DRAMSpec    `json:"dram,omitempty"`
@@ -105,7 +110,8 @@ type Spec struct {
 }
 
 // Parse decodes a scenario from JSON, rejecting unknown fields so typos in
-// hand-written scenarios fail loudly.
+// hand-written scenarios fail loudly, and normalizes the envelope version
+// (missing defaults to 1, anything else is a typed error).
 func Parse(r io.Reader) (*Spec, error) {
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
@@ -113,7 +119,23 @@ func Parse(r io.Reader) (*Spec, error) {
 	if err := dec.Decode(&s); err != nil {
 		return nil, fmt.Errorf("scenario: %w", err)
 	}
+	if err := s.checkVersion(); err != nil {
+		return nil, err
+	}
 	return &s, nil
+}
+
+// checkVersion normalizes a missing version to 1 and rejects versions this
+// library does not speak.
+func (s *Spec) checkVersion() error {
+	switch s.Version {
+	case 0:
+		s.Version = Version
+	case Version:
+	default:
+		return fmt.Errorf("scenario: %w", &acterr.UnsupportedVersionError{Version: s.Version})
+	}
+	return nil
 }
 
 // buildFab constructs the fab for a logic spec.
@@ -137,22 +159,24 @@ func buildFab(nodeName string, spec *FabSpec) (*fab.Fab, error) {
 	return fab.New(params.Node, opts...)
 }
 
-// Device materializes the scenario's bill of materials.
+// Device materializes the scenario's bill of materials. Validation
+// failures carry their JSON field path (acterr.InvalidSpecError), so both
+// the CLI and the service can point at the offending field.
 func (s *Spec) Device() (*core.Device, error) {
 	if s.Name == "" {
-		return nil, fmt.Errorf("scenario: missing device name")
+		return nil, fmt.Errorf("scenario: %w", acterr.Invalid("name", "missing device name"))
 	}
 	if len(s.Logic)+len(s.DRAM)+len(s.Storage) == 0 {
-		return nil, fmt.Errorf("scenario: device %q has no components", s.Name)
+		return nil, fmt.Errorf("scenario: %w", acterr.Invalid("", "device %q has no components", s.Name))
 	}
 	d, err := core.NewDevice(s.Name)
 	if err != nil {
 		return nil, err
 	}
-	for _, l := range s.Logic {
+	for i, l := range s.Logic {
 		f, err := buildFab(l.Node, l.Fab)
 		if err != nil {
-			return nil, fmt.Errorf("scenario: logic %q: %w", l.Name, err)
+			return nil, fmt.Errorf("scenario: logic %q: %w", l.Name, acterr.Prefix(fmt.Sprintf("logic[%d]", i), err))
 		}
 		count := l.Count
 		if count == 0 {
@@ -160,29 +184,29 @@ func (s *Spec) Device() (*core.Device, error) {
 		}
 		logic, err := core.NewLogic(l.Name, units.MM2(l.AreaMM2), f, count)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("scenario: %w", acterr.Prefix(fmt.Sprintf("logic[%d]", i), err))
 		}
 		d.AddLogic(logic)
 	}
-	for _, m := range s.DRAM {
+	for i, m := range s.DRAM {
 		entry, err := memdb.Parse(m.Technology)
 		if err != nil {
-			return nil, fmt.Errorf("scenario: dram %q: %w", m.Name, err)
+			return nil, fmt.Errorf("scenario: dram %q: %w", m.Name, acterr.Prefix(fmt.Sprintf("dram[%d].technology", i), err))
 		}
 		dram, err := core.NewDRAM(m.Name, entry.Technology, units.Gigabytes(m.CapacityGB))
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("scenario: %w", acterr.Prefix(fmt.Sprintf("dram[%d]", i), err))
 		}
 		d.AddDRAM(dram)
 	}
-	for _, st := range s.Storage {
+	for i, st := range s.Storage {
 		entry, err := storagedb.Parse(st.Technology)
 		if err != nil {
-			return nil, fmt.Errorf("scenario: storage %q: %w", st.Name, err)
+			return nil, fmt.Errorf("scenario: storage %q: %w", st.Name, acterr.Prefix(fmt.Sprintf("storage[%d].technology", i), err))
 		}
 		drive, err := core.NewStorage(st.Name, entry.Technology, units.Gigabytes(st.CapacityGB))
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("scenario: %w", acterr.Prefix(fmt.Sprintf("storage[%d]", i), err))
 		}
 		d.AddStorage(drive)
 	}
@@ -197,25 +221,26 @@ func (s *Spec) usage() (core.Usage, error) {
 		ci = 300 // US grid default
 	}
 	if s.Usage.AppHours <= 0 {
-		return core.Usage{}, fmt.Errorf("scenario: non-positive app_hours %v", s.Usage.AppHours)
+		return core.Usage{}, fmt.Errorf("scenario: %w", acterr.Invalid("usage.app_hours", "non-positive app_hours %v", s.Usage.AppHours))
 	}
 	appTime := units.Years(s.Usage.AppHours / (365.25 * 24))
 	u := core.UsageFromPower(units.Watts(s.Usage.PowerW), appTime, units.GramsPerKWh(ci))
 	if s.Usage.PUE != 0 && s.Usage.BatteryEfficiency != 0 {
-		return core.Usage{}, fmt.Errorf("scenario: pue and battery_efficiency are mutually exclusive")
+		return core.Usage{}, fmt.Errorf("scenario: %w", acterr.Invalid("usage", "pue and battery_efficiency are mutually exclusive"))
 	}
 	var eu core.EffectiveUsage
 	var err error
 	switch {
 	case s.Usage.PUE != 0:
-		eu, err = core.PUE(u, s.Usage.PUE)
+		if eu, err = core.PUE(u, s.Usage.PUE); err != nil {
+			return core.Usage{}, fmt.Errorf("scenario: %w", acterr.Prefix("usage.pue", err))
+		}
 	case s.Usage.BatteryEfficiency != 0:
-		eu, err = core.BatteryEfficiency(u, s.Usage.BatteryEfficiency)
+		if eu, err = core.BatteryEfficiency(u, s.Usage.BatteryEfficiency); err != nil {
+			return core.Usage{}, fmt.Errorf("scenario: %w", acterr.Prefix("usage.battery_efficiency", err))
+		}
 	default:
 		return u, nil
-	}
-	if err != nil {
-		return core.Usage{}, err
 	}
 	return eu.WallUsage()
 }

@@ -1,0 +1,136 @@
+// The footprint cache: a bounded LRU with singleflight admission. Fleet
+// assessments ("Chasing Carbon" style) batch thousands of device BoMs of
+// which only a handful are distinct, so the common case is that a
+// scenario's result is already resident — or being computed right now by
+// another request's worker. The LRU answers the first case, the flight
+// table the second: concurrent callers of the same key coalesce onto one
+// computation instead of evaluating the model N times.
+
+package serve
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync"
+)
+
+// Cache is a bounded LRU keyed by string with singleflight admission. The
+// zero value is not usable; see NewCache. All methods are safe for
+// concurrent use.
+type Cache[V any] struct {
+	capacity int
+
+	mu      sync.Mutex
+	ll      *list.List // front = most recently used
+	items   map[string]*list.Element
+	flights map[string]*flight[V]
+}
+
+type lruEntry[V any] struct {
+	key string
+	val V
+}
+
+type flight[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// NewCache creates a cache holding at most capacity entries. A capacity
+// below 1 disables residency — every Do computes (still coalesced by the
+// flight table), nothing is stored.
+func NewCache[V any](capacity int) *Cache[V] {
+	return &Cache[V]{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    map[string]*list.Element{},
+		flights:  map[string]*flight[V]{},
+	}
+}
+
+// Do returns the value for key, computing it with fn on a miss. Concurrent
+// calls for the same key run fn exactly once: latecomers block until the
+// leader finishes (or their ctx is done, in which case they abandon the
+// wait — the leader still completes and populates the cache). hit reports
+// whether this call avoided running fn, i.e. the value came from residency
+// or a coalesced flight. Errors are propagated to every waiter and are not
+// cached, so a transiently failing key can be retried.
+func (c *Cache[V]) Do(ctx context.Context, key string, fn func() (V, error)) (v V, hit bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		v = el.Value.(*lruEntry[V]).val
+		c.mu.Unlock()
+		return v, true, nil
+	}
+	if f, ok := c.flights[key]; ok {
+		c.mu.Unlock()
+		select {
+		case <-f.done:
+			// hit only when the flight produced a usable value.
+			return f.val, f.err == nil, f.err
+		case <-ctx.Done():
+			return v, false, ctx.Err()
+		}
+	}
+	f := &flight[V]{done: make(chan struct{})}
+	c.flights[key] = f
+	c.mu.Unlock()
+
+	// Leader path. The deferred cleanup keeps waiters from blocking forever
+	// if fn panics: the flight finishes with an error so waiters fail
+	// cleanly, then the panic continues on the leader's goroutine.
+	defer func() {
+		if r := recover(); r != nil {
+			f.err = fmt.Errorf("serve: cache compute panicked: %v", r)
+			c.finish(key, f)
+			panic(r)
+		}
+	}()
+	f.val, f.err = fn()
+	v, err = f.val, f.err
+	if err == nil {
+		c.store(key, v)
+	}
+	c.finish(key, f)
+	return v, false, err
+}
+
+// finish removes the flight and wakes its waiters.
+func (c *Cache[V]) finish(key string, f *flight[V]) {
+	c.mu.Lock()
+	delete(c.flights, key)
+	c.mu.Unlock()
+	close(f.done)
+}
+
+// store inserts a computed value, evicting from the cold end when full.
+func (c *Cache[V]) store(key string, v V) {
+	if c.capacity < 1 {
+		return
+	}
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		// A concurrent leader for the same key can race us here; keep the
+		// freshest value and bump it.
+		el.Value.(*lruEntry[V]).val = v
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&lruEntry[V]{key: key, val: v})
+		for c.ll.Len() > c.capacity {
+			oldest := c.ll.Back()
+			c.ll.Remove(oldest)
+			delete(c.items, oldest.Value.(*lruEntry[V]).key)
+		}
+	}
+	c.mu.Unlock()
+}
+
+// Len returns the number of resident entries.
+func (c *Cache[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"act/internal/acterr"
+	"act/internal/parsweep"
+	"act/internal/scenario"
+)
+
+// handleFootprint evaluates one scenario (a JSON object) or a batch of them
+// (a JSON array). The response mirrors the request shape: a single result
+// object, or an array of results in request order. Every evaluation runs
+// through the footprint cache, so a batch of mostly identical BoMs costs as
+// many model evaluations as there are distinct scenarios; distinct ones fan
+// out across the worker pool.
+func (s *Server) handleFootprint(w http.ResponseWriter, r *http.Request) {
+	specs, batch, err := scenario.ParseRequest(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{
+				Error: fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit),
+			})
+			return
+		}
+		// Anything else unparseable is the client's to fix, typed or not.
+		writeJSON(w, http.StatusBadRequest, toErrorResponse(err))
+		return
+	}
+	if len(specs) > s.cfg.MaxBatch {
+		writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{
+			Error: fmt.Sprintf("batch of %d scenarios exceeds the limit of %d", len(specs), s.cfg.MaxBatch),
+		})
+		return
+	}
+
+	results, err := parsweep.MapErr(r.Context(), s.cfg.Workers, specs,
+		func(ctx context.Context, i int, spec *scenario.Spec) (json.RawMessage, error) {
+			s.mPoolDepth.Inc()
+			defer s.mPoolDepth.Dec()
+			raw, err := s.evalOne(ctx, spec)
+			if err != nil && batch {
+				return nil, acterr.Prefix(fmt.Sprintf("[%d]", i), err)
+			}
+			return raw, err
+		})
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/json")
+	if !batch {
+		_, _ = w.Write(results[0])
+		return
+	}
+	var buf bytes.Buffer
+	buf.WriteByte('[')
+	for i, raw := range results {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		buf.Write(bytes.TrimRight(raw, "\n"))
+	}
+	buf.WriteString("]\n")
+	_, _ = w.Write(buf.Bytes())
+}
+
+// evalOne resolves one scenario through the cache. The cached value is the
+// fully marshaled result document — cmd/act's -format json output — so a
+// hit skips both the model evaluation and the JSON encoding.
+func (s *Server) evalOne(ctx context.Context, spec *scenario.Spec) (json.RawMessage, error) {
+	s.mScenarios.Inc()
+	raw, hit, err := s.cache.Do(ctx, spec.CanonicalKey(), func() (json.RawMessage, error) {
+		res, err := spec.Result()
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if hit {
+		s.mCacheHits.Inc()
+	} else {
+		s.mCacheMisses.Inc()
+	}
+	return raw, nil
+}
+
+// toErrorResponse builds the error body, lifting the field path out of a
+// typed validation error when there is one.
+func toErrorResponse(err error) errorResponse {
+	resp := errorResponse{Error: err.Error()}
+	var inv *acterr.InvalidSpecError
+	if errors.As(err, &inv) {
+		resp.Field = inv.Field
+	}
+	return resp
+}

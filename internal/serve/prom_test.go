@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCounterRender(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("widgets_total", "Widgets made.")
+	c.Inc()
+	c.Add(4)
+	want := "# HELP widgets_total Widgets made.\n# TYPE widgets_total counter\nwidgets_total 5\n"
+	if got := r.Render(); got != want {
+		t.Errorf("render:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestCounterVecRenderSortedAndEscaped(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("reqs_total", "Requests.", "handler", "code")
+	v.With("sweep", "200").Add(2)
+	v.With("footprint", "200").Add(7)
+	v.With(`we"ird`, "500").Add(1)
+	got := r.Render()
+	lines := strings.Split(strings.TrimSuffix(got, "\n"), "\n")
+	want := []string{
+		"# HELP reqs_total Requests.",
+		"# TYPE reqs_total counter",
+		`reqs_total{handler="footprint",code="200"} 7`,
+		`reqs_total{handler="sweep",code="200"} 2`,
+		`reqs_total{handler="we\"ird",code="500"} 1`,
+	}
+	if len(lines) != len(want) {
+		t.Fatalf("got %d lines:\n%s", len(lines), got)
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Errorf("line %d = %q, want %q", i, lines[i], want[i])
+		}
+	}
+	if v.Value("footprint", "200") != 7 {
+		t.Errorf("Value = %d, want 7", v.Value("footprint", "200"))
+	}
+}
+
+func TestCounterVecWrongArity(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("x_total", "X.", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong label arity did not panic")
+		}
+	}()
+	v.With("only-one")
+}
+
+func TestGaugeRender(t *testing.T) {
+	r := NewRegistry()
+	g := r.NewGauge("inflight", "In flight.")
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	g.Add(3)
+	if g.Value() != 4 {
+		t.Fatalf("value = %d, want 4", g.Value())
+	}
+	g.Set(-2)
+	want := "# HELP inflight In flight.\n# TYPE inflight gauge\ninflight -2\n"
+	if got := r.Render(); got != want {
+		t.Errorf("render:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestHistogramRenderCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("lat_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(99) // above every bound: only +Inf
+	got := r.Render()
+	for _, line := range []string{
+		`lat_seconds_bucket{le="0.1"} 2`,
+		`lat_seconds_bucket{le="1"} 3`,
+		`lat_seconds_bucket{le="+Inf"} 4`,
+		`lat_seconds_sum 99.6`,
+		`lat_seconds_count 4`,
+	} {
+		if !strings.Contains(got, line+"\n") {
+			t.Errorf("render missing %q:\n%s", line, got)
+		}
+	}
+	if h.Count() != 4 {
+		t.Errorf("count = %d, want 4", h.Count())
+	}
+}
+
+func TestRegistryRendersInRegistrationOrder(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("b_total", "B.")
+	r.NewCounter("a_total", "A.")
+	got := r.Render()
+	if strings.Index(got, "b_total") > strings.Index(got, "a_total") {
+		t.Error("instruments rendered out of registration order")
+	}
+}

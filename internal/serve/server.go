@@ -1,0 +1,278 @@
+// Package serve implements actd, the carbon-assessment HTTP service: the
+// ACT model (Gupta et al., ISCA 2022) behind a long-lived, observable
+// endpoint instead of a one-shot CLI. The service speaks the same
+// version-1 scenario wire format as cmd/act and returns the same JSON
+// results byte-for-byte, so a fleet assessment can move between the two
+// freely.
+//
+// Endpoints:
+//
+//	POST /v1/footprint  one scenario object or a batch array of them
+//	POST /v1/sweep      metric rankings / Pareto frontier over candidates
+//	GET  /healthz       liveness (503 while draining)
+//	GET  /metrics       Prometheus text exposition
+//
+// Batch requests fan out across the parsweep worker pool under a
+// per-request concurrency bound; every scenario evaluation goes through an
+// LRU + singleflight cache keyed on the canonical scenario encoding
+// (scenario.CanonicalKey), so a fleet batch of identical BoMs costs one
+// model evaluation. Requests carry a server-imposed timeout (exceeded →
+// 504) and shutdown is graceful: in-flight requests drain, new ones are
+// rejected with 503.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"act/internal/acterr"
+)
+
+// Config tunes a Server. Zero fields take the documented defaults.
+type Config struct {
+	// Addr is the listen address (default ":8080").
+	Addr string
+	// Workers bounds the per-request scenario fan-out (default GOMAXPROCS).
+	Workers int
+	// MaxBatch caps scenarios per request (default 10000; exceeded → 413).
+	MaxBatch int
+	// CacheSize is the footprint LRU capacity in entries (default 4096;
+	// negative disables residency).
+	CacheSize int
+	// RequestTimeout bounds each API request (default 30s; exceeded → 504).
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps the request body (default 32 MiB).
+	MaxBodyBytes int64
+	// Logger receives structured request logs (default JSON to stderr).
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = ":8080"
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 10000
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 4096
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	return c
+}
+
+// Server is the actd HTTP service.
+type Server struct {
+	cfg      Config
+	log      *slog.Logger
+	cache    *Cache[json.RawMessage]
+	reg      *Registry
+	mux      *http.ServeMux
+	httpSrv  *http.Server
+	draining atomic.Bool
+
+	mRequests    *CounterVec // actd_requests_total{handler,code}
+	mLatency     *Histogram  // actd_request_duration_seconds
+	mCacheHits   *Counter    // actd_cache_hits_total
+	mCacheMisses *Counter    // actd_cache_misses_total
+	mInflight    *Gauge      // actd_inflight_requests
+	mPoolDepth   *Gauge      // actd_pool_depth
+	mScenarios   *Counter    // actd_scenarios_total
+}
+
+// New builds a Server from the config. Call ListenAndServe (or Serve on an
+// existing listener) to run it, Handler to mount it under a test server.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		log:   cfg.Logger,
+		cache: NewCache[json.RawMessage](cfg.CacheSize),
+		reg:   NewRegistry(),
+		mux:   http.NewServeMux(),
+	}
+	s.mRequests = s.reg.NewCounterVec("actd_requests_total",
+		"API requests served, by handler and HTTP status code.", "handler", "code")
+	s.mLatency = s.reg.NewHistogram("actd_request_duration_seconds",
+		"API request latency in seconds.", DefaultLatencyBuckets)
+	s.mCacheHits = s.reg.NewCounter("actd_cache_hits_total",
+		"Scenario evaluations answered from the footprint cache.")
+	s.mCacheMisses = s.reg.NewCounter("actd_cache_misses_total",
+		"Scenario evaluations that ran the model.")
+	s.mInflight = s.reg.NewGauge("actd_inflight_requests",
+		"API requests currently being served.")
+	s.mPoolDepth = s.reg.NewGauge("actd_pool_depth",
+		"Scenario evaluations queued or running on the worker pool.")
+	s.mScenarios = s.reg.NewCounter("actd_scenarios_total",
+		"Scenarios evaluated across all requests, cached or not.")
+
+	s.mux.Handle("POST /v1/footprint", s.api("footprint", s.handleFootprint))
+	s.mux.Handle("POST /v1/sweep", s.api("sweep", s.handleSweep))
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+
+	s.httpSrv = &http.Server{
+		Addr:              cfg.Addr,
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return s
+}
+
+// Handler returns the service's HTTP handler, for mounting under httptest.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ListenAndServe serves on the configured address until Shutdown. A clean
+// shutdown returns nil.
+func (s *Server) ListenAndServe() error {
+	l, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Serve serves on l until Shutdown. A clean shutdown returns nil.
+func (s *Server) Serve(l net.Listener) error {
+	s.log.Info("actd serving", "addr", l.Addr().String())
+	err := s.httpSrv.Serve(l)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Shutdown drains the server gracefully: new API requests are rejected
+// with 503 immediately, listeners close, and in-flight requests run to
+// completion (bounded by ctx — a lapsed ctx abandons stragglers the way
+// net/http.Server.Shutdown does).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.log.Info("actd draining")
+	return s.httpSrv.Shutdown(ctx)
+}
+
+// api wraps an API handler with the service middleware: drain rejection,
+// in-flight accounting, the per-request timeout, metrics and structured
+// request logging.
+func (s *Server) api(name string, h func(http.ResponseWriter, *http.Request)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			s.mRequests.With(name, "503").Add(1)
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server is draining"})
+			return
+		}
+		s.mInflight.Inc()
+		defer s.mInflight.Dec()
+
+		ctx := r.Context()
+		if s.cfg.RequestTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+			defer cancel()
+		}
+
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		h(rec, r.WithContext(ctx))
+		dur := time.Since(start)
+
+		s.mRequests.With(name, strconv.Itoa(rec.code)).Add(1)
+		s.mLatency.Observe(dur.Seconds())
+		s.log.Info("request",
+			"handler", name,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"code", rec.code,
+			"duration_ms", float64(dur.Microseconds())/1e3,
+			"remote", r.RemoteAddr,
+		)
+	})
+}
+
+// statusRecorder captures the response code for logging and metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if !r.wrote {
+		r.code = code
+		r.wrote = true
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	r.wrote = true
+	return r.ResponseWriter.Write(p)
+}
+
+// errorResponse is the JSON error body for every non-2xx API response.
+type errorResponse struct {
+	Error string `json:"error"`
+	// Field is the offending scenario field path when the failure is a
+	// validation error ("logic[0].node", "[3].usage.app_hours").
+	Field string `json:"field,omitempty"`
+}
+
+// writeJSON writes v as the response with the given status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// writeError classifies err into an HTTP status and writes the error body:
+// client-fixable spec problems are 400, timeouts 504, everything else 500.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	resp := errorResponse{Error: err.Error()}
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		code = http.StatusGatewayTimeout
+		resp.Error = "request timed out: " + err.Error()
+	case acterr.IsInvalid(err):
+		code = http.StatusBadRequest
+		var inv *acterr.InvalidSpecError
+		if errors.As(err, &inv) {
+			resp.Field = inv.Field
+		}
+	}
+	writeJSON(w, code, resp)
+}
+
+// handleHealthz is the liveness probe: 200 while serving, 503 once
+// draining so load balancers stop routing here during shutdown.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleMetrics serves the Prometheus text exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(s.reg.Render()))
+}
