@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test verify verify-extended bench bench-cache run-actd clean
+.PHONY: all build test verify verify-extended verify-chaos bench bench-cache run-actd clean
 
 all: build
 
@@ -22,6 +22,13 @@ verify: build
 # (sweep pool, footprint cache, graceful drain).
 verify-extended: verify
 	$(GO) test -race ./...
+
+# Chaos verification: rebuild with the faultinject tag (hooks compiled in)
+# and run everything — including the seeded fault storm against a live
+# actd — under the race detector.
+verify-chaos:
+	$(GO) vet -tags faultinject ./...
+	$(GO) test -race -tags faultinject ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

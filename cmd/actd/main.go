@@ -6,15 +6,19 @@
 // Usage:
 //
 //	actd [-addr :8080] [-workers N] [-max-batch N] [-cache-size N]
-//	     [-timeout 30s] [-grace 15s]
+//	     [-timeout 30s] [-grace 15s] [-max-inflight N] [-max-queue N]
+//	     [-retries N] [-breaker-threshold N] [-breaker-open 5s]
 //
 // Endpoints:
 //
 //	POST /v1/footprint   evaluate one scenario object or a batch array
 //	POST /v1/sweep       rank candidates / Pareto frontier
-//	GET  /healthz        liveness (503 while draining)
+//	GET  /healthz        liveness (always 200 while the process serves)
+//	GET  /readyz         readiness (503 while draining or a breaker is open)
 //	GET  /metrics        Prometheus text metrics
 //
+// Overload is shed before work is accepted: beyond -max-inflight running
+// requests plus -max-queue waiters, requests get 429 with Retry-After.
 // SIGINT/SIGTERM start a graceful drain: new requests get 503, in-flight
 // requests finish (up to -grace), then the process exits.
 package main
@@ -34,31 +38,42 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		workers   = flag.Int("workers", 0, "scenario fan-out workers per request (0 = GOMAXPROCS)")
-		maxBatch  = flag.Int("max-batch", 0, "max scenarios per request (0 = default 10000)")
-		cacheSize = flag.Int("cache-size", 0, "footprint cache entries (0 = default 4096, negative disables)")
-		timeout   = flag.Duration("timeout", 30*time.Second, "per-request timeout")
-		grace     = flag.Duration("grace", 15*time.Second, "shutdown drain deadline")
+		addr       = flag.String("addr", ":8080", "listen address")
+		workers    = flag.Int("workers", 0, "scenario fan-out workers per request (0 = GOMAXPROCS)")
+		maxBatch   = flag.Int("max-batch", 0, "max scenarios per request (0 = default 10000)")
+		cacheSize  = flag.Int("cache-size", 0, "footprint cache entries (0 = default 4096, negative disables)")
+		timeout    = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+		grace      = flag.Duration("grace", 15*time.Second, "shutdown drain deadline")
+		maxInFl    = flag.Int("max-inflight", 0, "max concurrently running requests (0 = default 256, negative disables admission control)")
+		maxQueue   = flag.Int("max-queue", 0, "max requests waiting for a slot (0 = default 2x max-inflight)")
+		retries    = flag.Int("retries", 0, "attempts per transient-fault retry loop (0 = default 3, 1 disables retries)")
+		brkThresh  = flag.Int("breaker-threshold", 0, "consecutive 5xx before a handler's breaker opens (0 = default 5, negative disables)")
+		brkOpenFor = flag.Duration("breaker-open", 0, "how long an open breaker rejects before probing (0 = default 5s)")
 	)
 	flag.Parse()
 
-	if err := run(*addr, *workers, *maxBatch, *cacheSize, *timeout, *grace); err != nil {
+	cfg := serve.Config{
+		Addr:             *addr,
+		Workers:          *workers,
+		MaxBatch:         *maxBatch,
+		CacheSize:        *cacheSize,
+		RequestTimeout:   *timeout,
+		MaxInFlight:      *maxInFl,
+		MaxQueue:         *maxQueue,
+		RetryAttempts:    *retries,
+		BreakerThreshold: *brkThresh,
+		BreakerOpenFor:   *brkOpenFor,
+	}
+	if err := run(cfg, *grace); err != nil {
 		fmt.Fprintln(os.Stderr, "actd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, maxBatch, cacheSize int, timeout, grace time.Duration) error {
+func run(cfg serve.Config, grace time.Duration) error {
 	log := slog.New(slog.NewJSONHandler(os.Stderr, nil))
-	srv := serve.New(serve.Config{
-		Addr:           addr,
-		Workers:        workers,
-		MaxBatch:       maxBatch,
-		CacheSize:      cacheSize,
-		RequestTimeout: timeout,
-		Logger:         log,
-	})
+	cfg.Logger = log
+	srv := serve.New(cfg)
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()

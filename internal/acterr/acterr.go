@@ -8,6 +8,7 @@
 package acterr
 
 import (
+	"context"
 	"errors"
 	"fmt"
 )
@@ -73,10 +74,17 @@ func Invalid(field, format string, args ...any) *InvalidSpecError {
 // InvalidSpecError the inner path is appended ("logic[0]" + "area_mm2" →
 // "logic[0].area_mm2"); any other error becomes an InvalidSpecError at
 // prefix wrapping err — use it only where err is known to be the client's
-// fault (a failed technology lookup, a bad fab option).
+// fault (a failed technology lookup, a bad fab option). Transient
+// infrastructure faults and context cancellations keep their class: they
+// gain the path as plain context but are never re-labelled as the
+// client's mistake.
 func Prefix(prefix string, err error) error {
 	if err == nil {
 		return nil
+	}
+	if IsTransient(err) ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("%s: %w", prefix, err)
 	}
 	var inv *InvalidSpecError
 	if errors.As(err, &inv) {
@@ -91,10 +99,48 @@ func Prefix(prefix string, err error) error {
 
 // IsInvalid reports whether err is a client-fixable spec problem — an
 // invalid field, an unknown node, or an unsupported version — rather than
-// an internal failure. This is the 400-vs-500 split actd serves.
+// an internal failure. This is the 400-vs-500 split actd serves. A
+// transient infrastructure fault is never the client's fault, so it is
+// excluded even when some layer wrapped it in an InvalidSpecError.
 func IsInvalid(err error) bool {
+	if IsTransient(err) {
+		return false
+	}
 	var inv *InvalidSpecError
 	return errors.As(err, &inv) ||
 		errors.Is(err, ErrUnknownNode) ||
 		errors.Is(err, ErrUnsupportedVersion)
+}
+
+// TransientError marks a failure as transient infrastructure trouble — a
+// fault in the worker pool, the footprint cache, or a characterization
+// lookup that is expected to succeed if simply tried again. The resilience
+// layer retries exactly this class and nothing else; validation errors are
+// deterministic and must never be retried.
+type TransientError struct {
+	Err error
+}
+
+func (e *TransientError) Error() string {
+	if e.Err == nil {
+		return "transient fault"
+	}
+	return "transient: " + e.Err.Error()
+}
+
+func (e *TransientError) Unwrap() error { return e.Err }
+
+// Transient wraps err as a TransientError. A nil err stays nil.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &TransientError{Err: err}
+}
+
+// IsTransient reports whether err carries a TransientError anywhere in its
+// chain — the "safe to retry" class.
+func IsTransient(err error) bool {
+	var t *TransientError
+	return errors.As(err, &t)
 }

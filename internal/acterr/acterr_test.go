@@ -1,6 +1,7 @@
 package acterr
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -87,6 +88,70 @@ func TestIsInvalid(t *testing.T) {
 	for i, c := range cases {
 		if got := IsInvalid(c.err); got != c.want {
 			t.Errorf("case %d: IsInvalid(%v) = %v, want %v", i, c.err, got, c.want)
+		}
+	}
+}
+
+func TestTransient(t *testing.T) {
+	if Transient(nil) != nil {
+		t.Error("Transient(nil) != nil")
+	}
+	base := errors.New("pool worker fault")
+	err := Transient(base)
+	if !IsTransient(err) {
+		t.Error("IsTransient misses a direct TransientError")
+	}
+	if !errors.Is(err, base) {
+		t.Error("TransientError does not unwrap to its cause")
+	}
+	wrapped := fmt.Errorf("evaluating scenario: %w", err)
+	if !IsTransient(wrapped) {
+		t.Error("IsTransient misses a wrapped TransientError")
+	}
+	if IsTransient(base) {
+		t.Error("IsTransient matches an unmarked error")
+	}
+	if got := err.Error(); !strings.Contains(got, "transient") || !strings.Contains(got, "pool worker fault") {
+		t.Errorf("Error() = %q", got)
+	}
+}
+
+// A transient fault is infrastructure trouble, never the client's mistake:
+// it must not classify as invalid, and Prefix must not re-label it.
+func TestTransientIsNotInvalid(t *testing.T) {
+	err := Transient(errors.New("cache compute fault"))
+	if IsInvalid(err) {
+		t.Error("IsInvalid claims a transient fault is the client's fault")
+	}
+	rooted := Prefix("dram[0].technology", err)
+	if !IsTransient(rooted) {
+		t.Error("Prefix lost the transient class")
+	}
+	if IsInvalid(rooted) {
+		t.Error("Prefix converted a transient fault into a client error")
+	}
+	if !strings.Contains(rooted.Error(), "dram[0].technology") {
+		t.Errorf("Prefix dropped the path context: %q", rooted.Error())
+	}
+	// Even an InvalidSpecError that wraps a transient cause stays retryable
+	// rather than client-blamed.
+	mixed := &InvalidSpecError{Field: "x", Err: Transient(errors.New("flaky"))}
+	if IsInvalid(mixed) {
+		t.Error("IsInvalid ignores a transient cause inside an InvalidSpecError")
+	}
+}
+
+// TestPrefixPassesContextErrorsThrough pins the chaos-found fix: a
+// cancellation-induced item failure re-rooted by Prefix must stay a ctx
+// error (504 material), not become an InvalidSpecError (400 material).
+func TestPrefixPassesContextErrorsThrough(t *testing.T) {
+	for _, cause := range []error{context.Canceled, context.DeadlineExceeded} {
+		wrapped := Prefix("[3]", fmt.Errorf("item 3: %w", cause))
+		if !errors.Is(wrapped, cause) {
+			t.Errorf("Prefix lost the %v cause", cause)
+		}
+		if IsInvalid(wrapped) {
+			t.Errorf("Prefix re-labelled %v as a client error", cause)
 		}
 	}
 }

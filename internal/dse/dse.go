@@ -5,6 +5,7 @@
 package dse
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -91,18 +92,33 @@ func evalMatrix(cands []metrics.Candidate, objectives []Objective) [][]float64 {
 // pairwise dominance over the precomputed matrix, parallelized across
 // candidates for large inputs.
 func ParetoFrontier(cands []metrics.Candidate, objectives []Objective) ([]metrics.Candidate, error) {
+	return ParetoFrontierCtx(context.Background(), cands, objectives)
+}
+
+// ParetoFrontierCtx is ParetoFrontier with cancellation: a done ctx stops
+// the dominance scan between candidates and returns ctx.Err(). This is the
+// entry point actd's sweep handler uses, so a request whose deadline
+// lapses (504) releases the frontier workers instead of letting an O(n²)
+// scan run to completion for nobody.
+func ParetoFrontierCtx(ctx context.Context, cands []metrics.Candidate, objectives []Objective) ([]metrics.Candidate, error) {
 	if len(cands) == 0 {
 		return nil, fmt.Errorf("dse: no candidates")
 	}
 	if len(objectives) < 2 {
 		return nil, fmt.Errorf("dse: a Pareto frontier needs at least 2 objectives, got %d", len(objectives))
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	vals := evalMatrix(cands, objectives)
 	var keep []bool
 	if len(objectives) == 2 {
 		keep = pareto2D(vals)
 	} else {
-		keep = paretoND(vals)
+		var err error
+		if keep, err = paretoNDCtx(ctx, vals); err != nil {
+			return nil, err
+		}
 	}
 	var out []metrics.Candidate
 	for i, k := range keep {
@@ -159,6 +175,12 @@ const paretoNDParallelCutoff = 512
 // Each row's verdict is independent, so large inputs are checked in
 // parallel (each worker writes only its own keep[i]).
 func paretoND(vals [][]float64) []bool {
+	keep, _ := paretoNDCtx(context.Background(), vals)
+	return keep
+}
+
+// paretoNDCtx is paretoND with cancellation between per-candidate checks.
+func paretoNDCtx(ctx context.Context, vals [][]float64) ([]bool, error) {
 	n := len(vals)
 	dominatedRow := func(i int, row []float64) bool {
 		for j := 0; j < n; j++ {
@@ -169,15 +191,20 @@ func paretoND(vals [][]float64) []bool {
 		return false
 	}
 	if n >= paretoNDParallelCutoff {
-		return parsweep.Map(0, vals, func(i int, row []float64) bool {
+		return parsweep.MapCtx(ctx, 0, vals, func(_ context.Context, i int, row []float64) bool {
 			return !dominatedRow(i, row)
 		})
 	}
 	keep := make([]bool, n)
 	for i, row := range vals {
+		if i%64 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		keep[i] = !dominatedRow(i, row)
 	}
-	return keep
+	return keep, nil
 }
 
 // dominatesVals is Dominates over precomputed objective rows.

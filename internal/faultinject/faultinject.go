@@ -1,0 +1,66 @@
+// Package faultinject is the chaos-testing seam of the serving stack: a
+// registry of named injection sites at which tests can make the system
+// misbehave — added latency, transient errors, outright panics — without
+// touching production code paths.
+//
+// The package has two builds. Under the `faultinject` build tag
+// (`go test -tags faultinject`), Visit consults the registered hooks and
+// injects whatever fault the hook returns. In the default build every
+// entry point is an inlineable no-op and the hook registry does not exist,
+// so production binaries pay nothing for the seam.
+//
+// Sites are plain strings so new ones cost a constant; the canonical sites
+// wired today are the footprint-cache compute path, the parsweep worker
+// loop, and the memdb characterization lookups.
+package faultinject
+
+import (
+	"context"
+	"time"
+)
+
+// The canonical injection sites. A hook registered for one of these fires
+// every time the corresponding code path is visited.
+const (
+	// SiteCacheCompute fires in the footprint cache's leader path, before
+	// the model evaluation that populates a cache entry.
+	SiteCacheCompute = "serve.cache.compute"
+	// SitePoolWorker fires in every parsweep worker immediately before it
+	// runs an item.
+	SitePoolWorker = "parsweep.worker"
+	// SiteMemdbLookup fires inside memdb technology resolution (Parse and
+	// Embodied), the characterization-database dependency of every DRAM
+	// assessment.
+	SiteMemdbLookup = "memdb.lookup"
+)
+
+// Fault is what a hook asks the site to do, applied in order: sleep for
+// Latency (cancellably, when the site has a context), then panic with
+// Panic if non-nil, then return Err. The zero Fault is "do nothing".
+type Fault struct {
+	Latency time.Duration
+	Err     error
+	Panic   any
+}
+
+// Hook decides the fault for one visit of a site. Hooks run on the visiting
+// goroutine (often many concurrently) and must be safe for concurrent use;
+// deterministic chaos tests give them a seeded, locked PRNG.
+type Hook func(site string) Fault
+
+// sleep waits d or until ctx is done, whichever comes first, and reports
+// the context's error if it cut the sleep short. It is shared by both
+// builds' tests; the no-op build never calls it from Visit.
+func sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,36 @@
+package faultinject
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// The off-build contract: Visit is free and Fired stays zero. The on-build
+// contract is exercised in hooks_on_test.go (and by the chaos suite).
+func TestVisitWithoutHooks(t *testing.T) {
+	if err := Visit(context.Background(), SiteCacheCompute); err != nil {
+		t.Fatalf("Visit with no hook = %v", err)
+	}
+	if err := VisitNoCtx(SiteMemdbLookup); err != nil {
+		t.Fatalf("VisitNoCtx with no hook = %v", err)
+	}
+	if Fired(SitePoolWorker) != 0 {
+		t.Error("Fired counted a visit that injected nothing")
+	}
+}
+
+func TestSleepCancellable(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if err := sleep(ctx, time.Hour); err != context.Canceled {
+		t.Fatalf("sleep on a cancelled ctx = %v, want context.Canceled", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Error("cancelled sleep did not return promptly")
+	}
+	if err := sleep(context.Background(), 0); err != nil {
+		t.Errorf("zero sleep = %v", err)
+	}
+}

@@ -1,0 +1,25 @@
+//go:build !faultinject
+
+package faultinject
+
+import "context"
+
+// Enabled reports whether this binary was built with the faultinject tag —
+// false here: every entry point below is an inlineable no-op and no hook
+// registry exists.
+const Enabled = false
+
+// Register is a no-op without the faultinject build tag.
+func Register(site string, hook Hook) {}
+
+// Reset is a no-op without the faultinject build tag.
+func Reset() {}
+
+// Fired always reports zero without the faultinject build tag.
+func Fired(site string) uint64 { return 0 }
+
+// Visit is a no-op without the faultinject build tag.
+func Visit(ctx context.Context, site string) error { return nil }
+
+// VisitNoCtx is a no-op without the faultinject build tag.
+func VisitNoCtx(site string) error { return nil }

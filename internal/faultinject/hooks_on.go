@@ -1,0 +1,97 @@
+//go:build faultinject
+
+package faultinject
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// Enabled reports whether this binary was built with the faultinject tag —
+// true here; tests use it to skip chaos assertions in the no-op build.
+const Enabled = true
+
+var (
+	mu    sync.RWMutex
+	hooks = map[string]Hook{}
+
+	// fired counts injected (non-zero) faults per site, for test
+	// assertions that a chaos run actually exercised its hooks.
+	firedMu sync.Mutex
+	fired   = map[string]*atomic.Uint64{}
+)
+
+// Register installs hook at site, replacing any previous hook. A nil hook
+// clears the site.
+func Register(site string, hook Hook) {
+	mu.Lock()
+	defer mu.Unlock()
+	if hook == nil {
+		delete(hooks, site)
+		return
+	}
+	hooks[site] = hook
+}
+
+// Reset clears every registered hook and every fired counter.
+func Reset() {
+	mu.Lock()
+	hooks = map[string]Hook{}
+	mu.Unlock()
+	firedMu.Lock()
+	fired = map[string]*atomic.Uint64{}
+	firedMu.Unlock()
+}
+
+// Fired returns how many visits of site injected a non-zero fault.
+func Fired(site string) uint64 {
+	firedMu.Lock()
+	defer firedMu.Unlock()
+	if c, ok := fired[site]; ok {
+		return c.Load()
+	}
+	return 0
+}
+
+func recordFired(site string) {
+	firedMu.Lock()
+	c, ok := fired[site]
+	if !ok {
+		c = &atomic.Uint64{}
+		fired[site] = c
+	}
+	firedMu.Unlock()
+	c.Add(1)
+}
+
+// Visit fires the hook registered at site, if any: it sleeps the fault's
+// latency (cancellably — a done ctx cuts the sleep short and its error is
+// returned), panics if the fault says to, and returns the fault's error.
+// With no hook registered it is a cheap read-locked lookup.
+func Visit(ctx context.Context, site string) error {
+	mu.RLock()
+	hook := hooks[site]
+	mu.RUnlock()
+	if hook == nil {
+		return nil
+	}
+	f := hook(site)
+	if f.Latency == 0 && f.Err == nil && f.Panic == nil {
+		return nil
+	}
+	recordFired(site)
+	if err := sleep(ctx, f.Latency); err != nil {
+		return err
+	}
+	if f.Panic != nil {
+		panic(f.Panic)
+	}
+	return f.Err
+}
+
+// VisitNoCtx is Visit for call sites that have no context (memdb's pure
+// lookup functions); injected latency is not cancellable there.
+func VisitNoCtx(site string) error {
+	return Visit(context.Background(), site)
+}

@@ -1,0 +1,85 @@
+//go:build faultinject
+
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestRegistryInjectsAndResets(t *testing.T) {
+	t.Cleanup(Reset)
+	Reset()
+
+	injected := errors.New("injected fault")
+	Register(SitePoolWorker, func(site string) Fault {
+		if site != SitePoolWorker {
+			t.Errorf("hook saw site %q", site)
+		}
+		return Fault{Err: injected}
+	})
+	if err := Visit(context.Background(), SitePoolWorker); !errors.Is(err, injected) {
+		t.Fatalf("Visit = %v, want the injected error", err)
+	}
+	if Fired(SitePoolWorker) != 1 {
+		t.Errorf("Fired = %d, want 1", Fired(SitePoolWorker))
+	}
+	// An unhooked site stays silent.
+	if err := Visit(context.Background(), SiteMemdbLookup); err != nil {
+		t.Errorf("unhooked Visit = %v", err)
+	}
+
+	Reset()
+	if err := Visit(context.Background(), SitePoolWorker); err != nil {
+		t.Errorf("Visit after Reset = %v", err)
+	}
+	if Fired(SitePoolWorker) != 0 {
+		t.Error("Reset did not clear the fired counters")
+	}
+}
+
+func TestInjectedLatencyHonorsContext(t *testing.T) {
+	t.Cleanup(Reset)
+	Reset()
+	Register(SiteCacheCompute, func(string) Fault { return Fault{Latency: time.Hour} })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := Visit(ctx, SiteCacheCompute)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Visit = %v, want DeadlineExceeded", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("injected latency ignored the context deadline")
+	}
+}
+
+func TestInjectedPanic(t *testing.T) {
+	t.Cleanup(Reset)
+	Reset()
+	Register(SitePoolWorker, func(string) Fault { return Fault{Panic: "boom"} })
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Errorf("recovered %v, want the injected panic value", r)
+		}
+	}()
+	_ = Visit(context.Background(), SitePoolWorker)
+	t.Fatal("Visit did not panic")
+}
+
+// A hook that returns the zero Fault is a pure observation and must not
+// count as fired.
+func TestZeroFaultNotCounted(t *testing.T) {
+	t.Cleanup(Reset)
+	Reset()
+	Register(SitePoolWorker, func(string) Fault { return Fault{} })
+	if err := Visit(context.Background(), SitePoolWorker); err != nil {
+		t.Fatal(err)
+	}
+	if Fired(SitePoolWorker) != 0 {
+		t.Error("zero fault counted as fired")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 
+	"act/internal/faultinject"
 	"act/internal/units"
 )
 
@@ -75,6 +76,12 @@ func Entries() []Entry {
 // "1Xnm DDR4") to a characterized entry. Matching is case-insensitive and
 // ignores spaces; "1Xnm"/"1z" prefixes resolve to the 10 nm class.
 func Parse(s string) (Entry, error) {
+	// Chaos-test seam: the injected error surfaces directly (typically
+	// marked transient) instead of being swallowed by the fallback
+	// matching below and misread as an unknown technology.
+	if err := faultinject.VisitNoCtx(faultinject.SiteMemdbLookup); err != nil {
+		return Entry{}, err
+	}
 	key := strings.ToLower(strings.ReplaceAll(strings.TrimSpace(s), " ", "-"))
 	key = strings.ReplaceAll(key, "1xnm", "10nm")
 	key = strings.ReplaceAll(key, "1znm", "10nm")
@@ -101,6 +108,9 @@ func Parse(s string) (Entry, error) {
 // Embodied returns the embodied carbon for a DRAM module of the given
 // capacity on the given technology (Eq. 6).
 func Embodied(t Technology, capacity units.Capacity) (units.CO2Mass, error) {
+	if err := faultinject.VisitNoCtx(faultinject.SiteMemdbLookup); err != nil {
+		return 0, err
+	}
 	if capacity < 0 {
 		return 0, fmt.Errorf("memdb: negative capacity %v", capacity)
 	}

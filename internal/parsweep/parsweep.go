@@ -20,11 +20,14 @@ package parsweep
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"act/internal/faultinject"
 )
 
 // Workers resolves a requested worker count: n when positive, otherwise
@@ -38,29 +41,53 @@ func Workers(n int) int {
 
 // Map applies fn to every item on a bounded worker pool and returns the
 // results in input order. workers ≤ 0 selects GOMAXPROCS. fn must be safe
-// for concurrent use; a panic in fn propagates to the caller.
+// for concurrent use; a panic in fn propagates to the caller. Map is not
+// cancellable; a sweep serving a deadline-bound request should use MapCtx.
 func Map[T, R any](workers int, items []T, fn func(i int, item T) R) []R {
-	out := make([]R, len(items))
-	// fn cannot fail, so the error plumbing is inert here.
-	_, _ = MapN(context.Background(), workers, len(items), func(_ context.Context, i int) (struct{}, error) {
-		out[i] = fn(i, items[i])
-		return struct{}{}, nil
+	out, _ := MapCtx(context.Background(), workers, items, func(_ context.Context, i int, item T) R {
+		return fn(i, item)
 	})
 	return out
 }
 
+// MapCtx is the cancellable Map: fn cannot fail, but a done ctx stops the
+// pool from starting new items, and MapCtx then returns ctx.Err() with the
+// partial results discarded. This is how a request deadline propagates into
+// an otherwise infallible sweep — a 504 stops the remaining work instead of
+// letting it run to completion for nobody.
+func MapCtx[T, R any](ctx context.Context, workers int, items []T, fn func(ctx context.Context, i int, item T) R) ([]R, error) {
+	return MapN(ctx, workers, len(items), func(ctx context.Context, i int) (R, error) {
+		return fn(ctx, i, items[i]), nil
+	})
+}
+
 // MapErr applies fn to every item on a bounded worker pool and returns the
-// results in input order. The first failure (lowest item index among the
-// errors observed) cancels the context passed to in-flight calls, stops
-// the pool from starting new items, and is returned; the partial results
-// are discarded. workers ≤ 0 selects GOMAXPROCS.
+// results in input order. It is MapErrCtx under its historical name; see
+// MapErrCtx for the error and cancellation contract.
 func MapErr[T, R any](ctx context.Context, workers int, items []T, fn func(ctx context.Context, i int, item T) (R, error)) ([]R, error) {
+	return MapErrCtx(ctx, workers, items, fn)
+}
+
+// MapErrCtx applies fn to every item on a bounded worker pool and returns
+// the results in input order. The first failure (lowest item index among
+// the errors observed) cancels the context passed to in-flight calls,
+// stops the pool from starting new items, and is returned; the partial
+// results are discarded. workers ≤ 0 selects GOMAXPROCS.
+//
+// Cancellation contract: when the caller's ctx ends, workers stop picking
+// up new items, in-flight fn calls see their ctx done (fn must honor it
+// for the wind-down to be prompt), and MapErrCtx returns ctx.Err() —
+// cancellation takes precedence over item errors that the cancellation
+// itself induced, so a lapsed request deadline always surfaces as the
+// deadline error, not as a masked per-item failure. MapErrCtx returns
+// only after every worker has exited: no goroutine outlives the call.
+func MapErrCtx[T, R any](ctx context.Context, workers int, items []T, fn func(ctx context.Context, i int, item T) (R, error)) ([]R, error) {
 	return MapN(ctx, workers, len(items), func(ctx context.Context, i int) (R, error) {
 		return fn(ctx, i, items[i])
 	})
 }
 
-// MapN is MapErr over the index range [0, n) for work that is naturally
+// MapN is MapErrCtx over the index range [0, n) for work that is naturally
 // indexed rather than materialized as a slice (e.g. Monte Carlo sample
 // streams).
 func MapN[R any](ctx context.Context, workers, n int, fn func(ctx context.Context, i int) (R, error)) ([]R, error) {
@@ -75,6 +102,7 @@ func MapN[R any](ctx context.Context, workers, n int, fn func(ctx context.Contex
 	if w > n {
 		w = n
 	}
+	parent := ctx
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -87,11 +115,20 @@ func MapN[R any](ctx context.Context, workers, n int, fn func(ctx context.Contex
 		panicV  any
 		panicSt []byte
 	)
-	// fail records the failure of item i, keeping the lowest-indexed error
-	// so single-failure runs report deterministically.
+	// fail records the failure of item i. The first failure cancels the
+	// pool's ctx, which makes in-flight siblings fail with ctx-derived
+	// errors; those are bookkeeping, not causes, so a root-cause (non-ctx)
+	// error always displaces them. Within the same class the lowest index
+	// wins, so single-failure runs report deterministically.
 	fail := func(i int, err error) {
+		isCtx := errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 		mu.Lock()
-		if errIdx == -1 || i < errIdx {
+		hadCtx := errIdx == -1 ||
+			errors.Is(firstEr, context.Canceled) || errors.Is(firstEr, context.DeadlineExceeded)
+		switch {
+		case errIdx == -1,
+			hadCtx && !isCtx,
+			hadCtx == isCtx && i < errIdx:
 			errIdx, firstEr = i, err
 		}
 		mu.Unlock()
@@ -117,6 +154,10 @@ func MapN[R any](ctx context.Context, workers, n int, fn func(ctx context.Contex
 							cancel()
 						}
 					}()
+					if err := faultinject.Visit(ctx, faultinject.SitePoolWorker); err != nil {
+						fail(i, fmt.Errorf("parsweep: item %d: %w", i, err))
+						return
+					}
 					v, err := fn(ctx, i)
 					if err != nil {
 						fail(i, fmt.Errorf("parsweep: item %d: %w", i, err))
@@ -130,6 +171,12 @@ func MapN[R any](ctx context.Context, workers, n int, fn func(ctx context.Contex
 	wg.Wait()
 	if panicV != nil {
 		panic(fmt.Sprintf("parsweep: worker panic: %v\n%s", panicV, panicSt))
+	}
+	// Cancellation of the caller's context outranks item errors: a lapsed
+	// deadline makes in-flight fn calls fail with ctx-derived errors, and
+	// reporting one of those as "item i failed" would mask the real cause.
+	if err := parent.Err(); err != nil {
+		return nil, err
 	}
 	if firstEr != nil {
 		return nil, firstEr

@@ -7,7 +7,9 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestWorkers(t *testing.T) {
@@ -180,4 +182,91 @@ func TestSharedCacheStress(t *testing.T) {
 			t.Fatalf("cached result[%d] = %d, want %d", i, got[i], k*k)
 		}
 	}
+}
+
+// TestMapCtxMatchesMap pins that the cancellable form of the infallible
+// map produces the same results as Map when nothing cancels.
+func TestMapCtxMatchesMap(t *testing.T) {
+	items := []int{5, 6, 7, 8, 9}
+	want := Map(3, items, func(_ int, v int) int { return v * v })
+	got, err := MapCtx(context.Background(), 3, items, func(_ context.Context, _ int, v int) int { return v * v })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestMapCtxCancellation checks a mid-sweep cancellation stops an
+// infallible map: the call returns the ctx error and does not start every
+// item.
+func TestMapCtxCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	_, err := MapCtx(ctx, 2, make([]int, 10000), func(ctx context.Context, i int, _ int) int {
+		if started.Add(1) == 5 {
+			cancel()
+		}
+		select {
+		case <-ctx.Done():
+		case <-time.After(time.Millisecond):
+		}
+		return i
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := started.Load(); n == 10000 {
+		t.Error("cancellation did not stop the pool from starting every item")
+	}
+}
+
+// TestMapErrCtxCancellationOutranksItemError pins the cancellation-first
+// contract: when the parent ctx dies mid-sweep, the parent's error is
+// reported even if in-flight items failed first because of that very
+// cancellation — a 504 must surface as a deadline, not a masked item
+// failure.
+func TestMapErrCtxCancellationOutranksItemError(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	_, err := MapErrCtx(ctx, 4, make([]int, 1000), func(ctx context.Context, i int, _ int) (int, error) {
+		if started.Add(1) == 3 {
+			cancel()
+		}
+		<-ctx.Done()
+		return 0, fmt.Errorf("item %d saw %w", i, ctx.Err())
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled to outrank item errors", err)
+	}
+}
+
+// TestMapErrCtxDeadlineReleasesWorkers checks no worker goroutine outlives
+// a deadline-cancelled sweep.
+func TestMapErrCtxDeadlineReleasesWorkers(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	_, err := MapErrCtx(ctx, 8, make([]int, 100000), func(ctx context.Context, i int, _ int) (int, error) {
+		select {
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		case <-time.After(100 * time.Microsecond):
+		}
+		return i, nil
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked after cancelled sweep: before=%d now=%d", before, runtime.NumGoroutine())
 }

@@ -1,0 +1,184 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAdmissionFastPath(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxInFlight: 2})
+	r1, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.InFlight(); got != 2 {
+		t.Errorf("InFlight = %d, want 2", got)
+	}
+	r1()
+	r1() // double release must be harmless
+	if got := a.InFlight(); got != 1 {
+		t.Errorf("InFlight after release = %d, want 1", got)
+	}
+	r2()
+	if got := a.InFlight(); got != 0 {
+		t.Errorf("InFlight = %d, want 0", got)
+	}
+}
+
+func TestAdmissionShedsQueueFull(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxInFlight: 1, MaxQueue: 1, RetryAfter: 7 * time.Second})
+	release, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	// Park one waiter in the queue.
+	waiterCtx, cancelWaiter := context.WithCancel(context.Background())
+	defer cancelWaiter()
+	queued := make(chan error, 1)
+	go func() {
+		_, err := a.Acquire(waiterCtx)
+		queued <- err
+	}()
+	waitFor(t, func() bool { return a.Queued() == 1 })
+
+	// The queue is full: the next request is shed immediately.
+	_, err = a.Acquire(context.Background())
+	shed, ok := IsShed(err)
+	if !ok {
+		t.Fatalf("Acquire past a full queue = %v, want ShedError", err)
+	}
+	if shed.Reason != ShedQueueFull {
+		t.Errorf("reason = %q, want %q", shed.Reason, ShedQueueFull)
+	}
+	if shed.RetryAfter != 7*time.Second {
+		t.Errorf("RetryAfter = %v, want the configured 7s", shed.RetryAfter)
+	}
+	if a.ShedTotal() != 1 {
+		t.Errorf("ShedTotal = %d, want 1", a.ShedTotal())
+	}
+
+	cancelWaiter()
+	if err := <-queued; err == nil {
+		t.Error("cancelled waiter was admitted")
+	} else if shed, ok := IsShed(err); !ok || shed.Reason != ShedDeadline {
+		t.Errorf("cancelled waiter error = %v, want deadline shed", err)
+	}
+}
+
+func TestAdmissionShedsHopelessDeadline(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxInFlight: 1, MinBudget: time.Hour})
+	release, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	// A request whose deadline is nearer than MinBudget never queues.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	_, err = a.Acquire(ctx)
+	if shed, ok := IsShed(err); !ok || shed.Reason != ShedDeadline {
+		t.Fatalf("Acquire with a hopeless deadline = %v, want deadline shed", err)
+	}
+}
+
+func TestAdmissionQueueAdmitsWhenSlotFrees(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxInFlight: 1, MaxQueue: 4})
+	release, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	admitted := make(chan func(), 1)
+	go func() {
+		r, err := a.Acquire(context.Background())
+		if err != nil {
+			t.Errorf("queued Acquire = %v", err)
+		}
+		admitted <- r
+	}()
+	waitFor(t, func() bool { return a.Queued() == 1 })
+	release()
+	select {
+	case r := <-admitted:
+		r()
+	case <-time.After(5 * time.Second):
+		t.Fatal("freed slot never admitted the waiter")
+	}
+}
+
+// A saturation storm: many goroutines race a tiny controller. Everything
+// must either be admitted (and released) or shed; counters return to zero.
+func TestAdmissionStorm(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxInFlight: 4, MaxQueue: 4})
+	var (
+		wg               sync.WaitGroup
+		mu               sync.Mutex
+		admitted, shedby int
+	)
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				release, err := a.Acquire(context.Background())
+				if err != nil {
+					if _, ok := IsShed(err); !ok {
+						t.Errorf("non-shed error: %v", err)
+						return
+					}
+					mu.Lock()
+					shedby++
+					mu.Unlock()
+					continue
+				}
+				mu.Lock()
+				admitted++
+				mu.Unlock()
+				release()
+			}
+		}()
+	}
+	wg.Wait()
+	if a.InFlight() != 0 || a.Queued() != 0 {
+		t.Errorf("counters after storm: inflight=%d queued=%d, want 0/0", a.InFlight(), a.Queued())
+	}
+	if admitted == 0 {
+		t.Error("storm admitted nothing")
+	}
+	t.Logf("storm: %d admitted, %d shed", admitted, shedby)
+}
+
+func TestIsShed(t *testing.T) {
+	if _, ok := IsShed(nil); ok {
+		t.Error("IsShed(nil)")
+	}
+	if _, ok := IsShed(errors.New("x")); ok {
+		t.Error("IsShed on an unrelated error")
+	}
+	wrapped := fmt.Errorf("admitting: %w", &ShedError{Reason: ShedQueueFull, RetryAfter: time.Second})
+	if shed, ok := IsShed(wrapped); !ok || shed.Reason != ShedQueueFull {
+		t.Errorf("IsShed failed through wrapping: %v", wrapped)
+	}
+}
+
+// waitFor polls cond until it holds or the test times out.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never held")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

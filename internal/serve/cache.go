@@ -13,6 +13,8 @@ import (
 	"context"
 	"fmt"
 	"sync"
+
+	"act/internal/faultinject"
 )
 
 // Cache is a bounded LRU keyed by string with singleflight admission. The
@@ -57,7 +59,12 @@ func NewCache[V any](capacity int) *Cache[V] {
 // whether this call avoided running fn, i.e. the value came from residency
 // or a coalesced flight. Errors are propagated to every waiter and are not
 // cached, so a transiently failing key can be retried.
-func (c *Cache[V]) Do(ctx context.Context, key string, fn func() (V, error)) (v V, hit bool, err error) {
+//
+// fn receives the leader's ctx so the computation can honor the request
+// deadline: a leader whose deadline lapses fails its flight with the ctx
+// error (not cached — the next request recomputes) instead of holding a
+// worker on a result nobody is waiting for.
+func (c *Cache[V]) Do(ctx context.Context, key string, fn func(ctx context.Context) (V, error)) (v V, hit bool, err error) {
 	c.mu.Lock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
@@ -89,7 +96,11 @@ func (c *Cache[V]) Do(ctx context.Context, key string, fn func() (V, error)) (v 
 			panic(r)
 		}
 	}()
-	f.val, f.err = fn()
+	if ierr := faultinject.Visit(ctx, faultinject.SiteCacheCompute); ierr != nil {
+		f.err = ierr
+	} else {
+		f.val, f.err = fn(ctx)
+	}
 	v, err = f.val, f.err
 	if err == nil {
 		c.store(key, v)

@@ -16,7 +16,7 @@ func TestCacheHitAndEviction(t *testing.T) {
 	ctx := context.Background()
 	calls := 0
 	get := func(key string) (int, bool) {
-		v, hit, err := c.Do(ctx, key, func() (int, error) {
+		v, hit, err := c.Do(ctx, key, func(context.Context) (int, error) {
 			calls++
 			return len(key), nil
 		})
@@ -54,7 +54,7 @@ func TestCacheDisabledResidency(t *testing.T) {
 	ctx := context.Background()
 	calls := 0
 	for i := 0; i < 3; i++ {
-		_, hit, err := c.Do(ctx, "k", func() (int, error) { calls++; return 7, nil })
+		_, hit, err := c.Do(ctx, "k", func(context.Context) (int, error) { calls++; return 7, nil })
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -81,7 +81,7 @@ func TestCacheSingleflightCoalesce(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			v, hit, err := c.Do(ctx, "k", func() (int, error) {
+			v, hit, err := c.Do(ctx, "k", func(context.Context) (int, error) {
 				calls.Add(1)
 				close(started)
 				<-release
@@ -110,14 +110,14 @@ func TestCacheErrorNotCached(t *testing.T) {
 	c := NewCache[int](8)
 	ctx := context.Background()
 	boom := errors.New("boom")
-	_, hit, err := c.Do(ctx, "k", func() (int, error) { return 0, boom })
+	_, hit, err := c.Do(ctx, "k", func(context.Context) (int, error) { return 0, boom })
 	if !errors.Is(err, boom) || hit {
 		t.Fatalf("Do = (hit=%v, err=%v), want the error and no hit", hit, err)
 	}
 	if c.Len() != 0 {
 		t.Fatal("error was cached")
 	}
-	v, hit, err := c.Do(ctx, "k", func() (int, error) { return 9, nil })
+	v, hit, err := c.Do(ctx, "k", func(context.Context) (int, error) { return 9, nil })
 	if err != nil || hit || v != 9 {
 		t.Fatalf("retry = (%d, %v, %v), want fresh computation", v, hit, err)
 	}
@@ -134,7 +134,7 @@ func TestCachePanicPropagates(t *testing.T) {
 	waiterErr := make(chan error, 1)
 	go func() {
 		defer func() { recover() }()
-		_, _, _ = c.Do(ctx, "k", func() (int, error) {
+		_, _, _ = c.Do(ctx, "k", func(context.Context) (int, error) {
 			close(entered)
 			<-release
 			panic("kaboom")
@@ -142,7 +142,7 @@ func TestCachePanicPropagates(t *testing.T) {
 	}()
 	<-entered
 	go func() {
-		_, hit, err := c.Do(ctx, "k", func() (int, error) { return 1, nil })
+		_, hit, err := c.Do(ctx, "k", func(context.Context) (int, error) { return 1, nil })
 		if hit {
 			err = fmt.Errorf("waiter saw hit=true after a panicked flight")
 		}
@@ -156,7 +156,7 @@ func TestCachePanicPropagates(t *testing.T) {
 		t.Fatalf("waiter error = %v, want a compute-panicked error", err)
 	}
 	// The flight is gone; the key computes fresh.
-	v, _, err := c.Do(ctx, "k", func() (int, error) { return 5, nil })
+	v, _, err := c.Do(ctx, "k", func(context.Context) (int, error) { return 5, nil })
 	if err != nil || v != 5 {
 		t.Fatalf("post-panic Do = (%d, %v)", v, err)
 	}
@@ -167,7 +167,7 @@ func TestCacheWaiterContextCancel(t *testing.T) {
 	release := make(chan struct{})
 	entered := make(chan struct{})
 	go func() {
-		_, _, _ = c.Do(context.Background(), "k", func() (int, error) {
+		_, _, _ = c.Do(context.Background(), "k", func(context.Context) (int, error) {
 			close(entered)
 			<-release
 			return 1, nil
@@ -176,7 +176,7 @@ func TestCacheWaiterContextCancel(t *testing.T) {
 	<-entered
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	_, _, err := c.Do(ctx, "k", func() (int, error) { return 2, nil })
+	_, _, err := c.Do(ctx, "k", func(context.Context) (int, error) { return 2, nil })
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("waiter err = %v, want context.Canceled", err)
 	}
@@ -196,7 +196,7 @@ func TestCacheStress(t *testing.T) {
 			for i := 0; i < 500; i++ {
 				key := fmt.Sprintf("k%d", (g+i)%13)
 				want := len(key) + (g+i)%13
-				v, _, err := c.Do(ctx, key, func() (int, error) {
+				v, _, err := c.Do(ctx, key, func(context.Context) (int, error) {
 					return want, nil
 				})
 				if err != nil {

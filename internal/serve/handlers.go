@@ -6,10 +6,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"net/http"
 
 	"act/internal/acterr"
 	"act/internal/parsweep"
+	"act/internal/resilience"
 	"act/internal/scenario"
 )
 
@@ -18,40 +20,45 @@ import (
 // object, or an array of results in request order. Every evaluation runs
 // through the footprint cache, so a batch of mostly identical BoMs costs as
 // many model evaluations as there are distinct scenarios; distinct ones fan
-// out across the worker pool.
+// out across the worker pool. A batch that fails with a transient
+// infrastructure fault is retried whole (cache hits make the replay cheap);
+// validation failures never are.
 func (s *Server) handleFootprint(w http.ResponseWriter, r *http.Request) {
 	specs, batch, err := scenario.ParseRequest(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{
+			s.writeJSONError(w, r, http.StatusRequestEntityTooLarge, errorResponse{
 				Error: fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit),
 			})
 			return
 		}
 		// Anything else unparseable is the client's to fix, typed or not.
-		writeJSON(w, http.StatusBadRequest, toErrorResponse(err))
+		s.writeJSONError(w, r, http.StatusBadRequest, toErrorResponse(err))
 		return
 	}
 	if len(specs) > s.cfg.MaxBatch {
-		writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{
+		s.writeJSONError(w, r, http.StatusRequestEntityTooLarge, errorResponse{
 			Error: fmt.Sprintf("batch of %d scenarios exceeds the limit of %d", len(specs), s.cfg.MaxBatch),
 		})
 		return
 	}
 
-	results, err := parsweep.MapErr(r.Context(), s.cfg.Workers, specs,
-		func(ctx context.Context, i int, spec *scenario.Spec) (json.RawMessage, error) {
-			s.mPoolDepth.Inc()
-			defer s.mPoolDepth.Dec()
-			raw, err := s.evalOne(ctx, spec)
-			if err != nil && batch {
-				return nil, acterr.Prefix(fmt.Sprintf("[%d]", i), err)
-			}
-			return raw, err
+	results, err := resilience.Retry(r.Context(), s.retryPolicy(uint64(len(specs))),
+		func(ctx context.Context, _ int) ([]json.RawMessage, error) {
+			return parsweep.MapErrCtx(ctx, s.cfg.Workers, specs,
+				func(ctx context.Context, i int, spec *scenario.Spec) (json.RawMessage, error) {
+					s.mPoolDepth.Inc()
+					defer s.mPoolDepth.Dec()
+					raw, err := s.evalOne(ctx, spec)
+					if err != nil && batch {
+						return nil, acterr.Prefix(fmt.Sprintf("[%d]", i), err)
+					}
+					return raw, err
+				})
 		})
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 
@@ -72,33 +79,65 @@ func (s *Server) handleFootprint(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(buf.Bytes())
 }
 
+// retryPolicy is the server's transient-fault retry policy. The seed folds
+// the request's shape into the deterministic jitter stream so two
+// identical requests back off identically — chaos runs reproduce.
+func (s *Server) retryPolicy(seed uint64) resilience.RetryPolicy {
+	return resilience.RetryPolicy{
+		MaxAttempts: s.cfg.RetryAttempts,
+		Seed:        seed + 1, // never 0: 0 selects the package default
+		OnRetry:     func(int, error) { s.mRetries.Inc() },
+	}
+}
+
 // evalOne resolves one scenario through the cache. The cached value is the
 // fully marshaled result document — cmd/act's -format json output — so a
-// hit skips both the model evaluation and the JSON encoding.
+// hit skips both the model evaluation and the JSON encoding. A transient
+// fault in the cache or the lookup tables below it is retried under the
+// server's policy before it is allowed to fail the scenario.
 func (s *Server) evalOne(ctx context.Context, spec *scenario.Spec) (json.RawMessage, error) {
 	s.mScenarios.Inc()
-	raw, hit, err := s.cache.Do(ctx, spec.CanonicalKey(), func() (json.RawMessage, error) {
-		res, err := spec.Result()
-		if err != nil {
-			return nil, err
-		}
-		var buf bytes.Buffer
-		enc := json.NewEncoder(&buf)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(res); err != nil {
-			return nil, err
-		}
-		return buf.Bytes(), nil
-	})
+	key := spec.CanonicalKey()
+	type outcome struct {
+		raw json.RawMessage
+		hit bool
+	}
+	out, err := resilience.Retry(ctx, s.retryPolicy(fnvHash(key)),
+		func(ctx context.Context, _ int) (outcome, error) {
+			raw, hit, err := s.cache.Do(ctx, key, func(ctx context.Context) (json.RawMessage, error) {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				res, err := spec.Result()
+				if err != nil {
+					return nil, err
+				}
+				var buf bytes.Buffer
+				enc := json.NewEncoder(&buf)
+				enc.SetIndent("", "  ")
+				if err := enc.Encode(res); err != nil {
+					return nil, err
+				}
+				return buf.Bytes(), nil
+			})
+			return outcome{raw, hit}, err
+		})
 	if err != nil {
 		return nil, err
 	}
-	if hit {
+	if out.hit {
 		s.mCacheHits.Inc()
 	} else {
 		s.mCacheMisses.Inc()
 	}
-	return raw, nil
+	return out.raw, nil
+}
+
+// fnvHash folds a canonical key into a 64-bit retry-jitter seed.
+func fnvHash(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	return h.Sum64()
 }
 
 // toErrorResponse builds the error body, lifting the field path out of a

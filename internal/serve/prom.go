@@ -189,6 +189,85 @@ func (g *Gauge) render(b *strings.Builder) {
 	fmt.Fprintf(b, "%s %d\n", g.name, g.Value())
 }
 
+// GaugeVec is a family of gauges split by a fixed label set.
+type GaugeVec struct {
+	name, help string
+	labels     []string
+	mu         sync.Mutex
+	children   map[string]*atomic.Int64 // key: rendered label pairs
+}
+
+// NewGaugeVec creates and registers a labeled gauge family.
+func (r *Registry) NewGaugeVec(name, help string, labels ...string) *GaugeVec {
+	v := &GaugeVec{name: name, help: help, labels: labels, children: map[string]*atomic.Int64{}}
+	r.register(v)
+	return v
+}
+
+// With returns the child gauge for the given label values (one per
+// declared label, in order), creating it on first use.
+func (v *GaugeVec) With(values ...string) *atomic.Int64 {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("serve: %s wants %d label values, got %d", v.name, len(v.labels), len(values)))
+	}
+	pairs := make([]string, len(values))
+	for i, val := range values {
+		pairs[i] = v.labels[i] + `="` + escapeLabel(val) + `"`
+	}
+	key := strings.Join(pairs, ",")
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	g, ok := v.children[key]
+	if !ok {
+		g = &atomic.Int64{}
+		v.children[key] = g
+	}
+	return g
+}
+
+// Value returns the current value for the given label values — a test
+// convenience.
+func (v *GaugeVec) Value(values ...string) int64 {
+	return v.With(values...).Load()
+}
+
+func (v *GaugeVec) render(b *strings.Builder) {
+	header(b, v.name, v.help, "gauge")
+	v.mu.Lock()
+	keys := make([]string, 0, len(v.children))
+	for k := range v.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(b, "%s{%s} %d\n", v.name, k, v.children[k].Load())
+	}
+	v.mu.Unlock()
+}
+
+// GaugeFunc is a gauge whose value is read from a callback at render time —
+// for values some other component already tracks (queue depth, pool
+// occupancy) that would otherwise need redundant bookkeeping.
+type GaugeFunc struct {
+	name, help string
+	fn         func() int64
+}
+
+// NewGaugeFunc creates and registers a callback gauge.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() int64) *GaugeFunc {
+	g := &GaugeFunc{name: name, help: help, fn: fn}
+	r.register(g)
+	return g
+}
+
+// Value returns the callback's current value.
+func (g *GaugeFunc) Value() int64 { return g.fn() }
+
+func (g *GaugeFunc) render(b *strings.Builder) {
+	header(b, g.name, g.help, "gauge")
+	fmt.Fprintf(b, "%s %d\n", g.name, g.fn())
+}
+
 // DefaultLatencyBuckets are the upper bounds (seconds) of the request
 // latency histogram — the Prometheus client default spread.
 var DefaultLatencyBuckets = []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}

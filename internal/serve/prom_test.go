@@ -105,3 +105,47 @@ func TestRegistryRendersInRegistrationOrder(t *testing.T) {
 		t.Error("instruments rendered out of registration order")
 	}
 }
+
+func TestGaugeVecRenderSorted(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewGaugeVec("actd_breaker_state", "Breaker position.", "handler")
+	v.With("sweep").Store(2)
+	v.With("footprint").Store(1)
+	want := `# HELP actd_breaker_state Breaker position.
+# TYPE actd_breaker_state gauge
+actd_breaker_state{handler="footprint"} 1
+actd_breaker_state{handler="sweep"} 2
+`
+	if got := r.Render(); got != want {
+		t.Errorf("render mismatch:\n got %q\nwant %q", got, want)
+	}
+	if v.Value("sweep") != 2 {
+		t.Errorf("Value(sweep) = %d, want 2", v.Value("sweep"))
+	}
+}
+
+func TestGaugeVecWrongArity(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewGaugeVec("g", "h", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong label arity did not panic")
+		}
+	}()
+	v.With("only-one")
+}
+
+func TestGaugeFuncRendersLiveValue(t *testing.T) {
+	r := NewRegistry()
+	depth := int64(0)
+	g := r.NewGaugeFunc("actd_queue_depth", "Waiters.", func() int64 { return depth })
+	depth = 7
+	want := "# HELP actd_queue_depth Waiters.\n# TYPE actd_queue_depth gauge\nactd_queue_depth 7\n"
+	if got := r.Render(); got != want {
+		t.Errorf("render mismatch:\n got %q\nwant %q", got, want)
+	}
+	depth = 9
+	if g.Value() != 9 {
+		t.Errorf("Value() = %d, want the callback's current 9", g.Value())
+	}
+}

@@ -1,0 +1,62 @@
+// Request-ID propagation. Every API request carries an X-Request-Id: the
+// client's own (when it sends a sane one) or a server-generated id. The id
+// rides the request context, appears in the response headers, in every
+// structured log line, and in every JSON error body — which is what makes
+// a failure in a thousand-request chaos run attributable to one request.
+
+package serve
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+)
+
+type reqIDKey struct{}
+
+// RequestIDFrom returns the request id carried by ctx, or "" outside a
+// request.
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(reqIDKey{}).(string)
+	return id
+}
+
+func withRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, reqIDKey{}, id)
+}
+
+// reqIDSource mints process-unique request ids: a random per-server nonce
+// plus a sequence number. Cheaper than per-request crypto randomness and
+// trivially greppable in logs.
+type reqIDSource struct {
+	nonce string
+	seq   atomic.Uint64
+}
+
+func newReqIDSource() *reqIDSource {
+	var b [4]byte
+	_, _ = rand.Read(b[:])
+	return &reqIDSource{nonce: hex.EncodeToString(b[:])}
+}
+
+func (g *reqIDSource) next() string {
+	return fmt.Sprintf("%s-%06d", g.nonce, g.seq.Add(1))
+}
+
+// requestID returns the client's X-Request-Id when it is sane (non-empty,
+// bounded, printable ASCII without spaces), else a freshly minted id.
+func (g *reqIDSource) requestID(r *http.Request) string {
+	id := r.Header.Get("X-Request-Id")
+	if id == "" || len(id) > 64 {
+		return g.next()
+	}
+	for i := 0; i < len(id); i++ {
+		if id[i] <= ' ' || id[i] > '~' || id[i] == '"' {
+			return g.next()
+		}
+	}
+	return id
+}

@@ -1,0 +1,282 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"act/internal/resilience"
+	"act/internal/scenario"
+)
+
+func getBody(t *testing.T, url string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var b strings.Builder
+	if _, err := fmt.Fprint(&b, readAll(t, resp)); err != nil {
+		t.Fatal(err)
+	}
+	return resp, b.String()
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	var b strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		b.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return b.String()
+}
+
+// distinctBatch builds n specs with n distinct canonical keys.
+func distinctBatch(t *testing.T, n, offset int) []byte {
+	t.Helper()
+	specs := make([]*scenario.Spec, n)
+	for i := range specs {
+		specs[i] = testSpec(float64(1000 + offset + i))
+	}
+	return mustJSON(t, specs)
+}
+
+// TestRequestIDMinting checks every API response carries an X-Request-Id,
+// a sane client-provided id is echoed, a hostile one is replaced, and
+// error bodies carry the id for log correlation.
+func TestRequestIDMinting(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	resp, _ := postJSON(t, ts.URL+"/v1/footprint", mustJSON(t, testSpec(11)))
+	minted := resp.Header.Get("X-Request-Id")
+	if minted == "" {
+		t.Fatal("no X-Request-Id on a minted response")
+	}
+
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/footprint", strings.NewReader(`{"name":`))
+	req.Header.Set("X-Request-Id", "client-abc-123")
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp2)
+	resp2.Body.Close()
+	if got := resp2.Header.Get("X-Request-Id"); got != "client-abc-123" {
+		t.Errorf("sane client id not echoed: got %q", got)
+	}
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("truncated body: status %d, want 400", resp2.StatusCode)
+	}
+	var e errorResponse
+	if err := json.Unmarshal([]byte(body), &e); err != nil {
+		t.Fatalf("error body not JSON: %v (%s)", err, body)
+	}
+	if e.RequestID != "client-abc-123" {
+		t.Errorf("error body request_id = %q, want the request's id", e.RequestID)
+	}
+
+	req, _ = http.NewRequest("POST", ts.URL+"/v1/footprint", strings.NewReader("{}"))
+	req.Header.Set("X-Request-Id", "bad id with spaces\"")
+	resp3, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if got := resp3.Header.Get("X-Request-Id"); got == "" || strings.Contains(got, " ") {
+		t.Errorf("hostile client id not replaced: got %q", got)
+	}
+}
+
+// TestSaturationSheds429 is the acceptance check for admission control:
+// under a burst far beyond capacity, some requests complete (200) while
+// the rest are shed with 429 + Retry-After before any work was accepted —
+// and nothing else in the taxonomy appears.
+func TestSaturationSheds429(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		MaxInFlight: 1,
+		MaxQueue:    -1, // no wait queue: overflow sheds immediately
+		Workers:     1,
+		CacheSize:   -1, // every scenario runs the model, lengthening each request
+	})
+
+	const clients = 20
+	codes := make([]int, clients)
+	retryAfter := make([]string, clients)
+	var start, done sync.WaitGroup
+	start.Add(1)
+	done.Add(clients)
+	for c := 0; c < clients; c++ {
+		go func(c int) {
+			defer done.Done()
+			body := distinctBatch(t, 3000, c*3000)
+			start.Wait()
+			resp, err := http.Post(ts.URL+"/v1/footprint", "application/json", strings.NewReader(string(body)))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			readAll(t, resp)
+			resp.Body.Close()
+			codes[c] = resp.StatusCode
+			retryAfter[c] = resp.Header.Get("Retry-After")
+		}(c)
+	}
+	start.Done()
+	done.Wait()
+
+	var ok200, shed429 int
+	for c, code := range codes {
+		switch code {
+		case http.StatusOK:
+			ok200++
+		case http.StatusTooManyRequests:
+			shed429++
+			if secs, err := strconv.Atoi(retryAfter[c]); err != nil || secs < 1 {
+				t.Errorf("429 without a usable Retry-After: %q", retryAfter[c])
+			}
+		default:
+			t.Errorf("client %d: status %d, want 200 or 429", c, code)
+		}
+	}
+	if ok200 == 0 {
+		t.Error("no request completed under saturation")
+	}
+	if shed429 == 0 {
+		t.Error("no request was shed under saturation")
+	}
+	if got := s.mShed.Value(resilience.ShedQueueFull); got < uint64(shed429) {
+		t.Errorf("actd_shed_total{queue_full} = %d, want >= %d", got, shed429)
+	}
+
+	_, metrics := getBody(t, ts.URL+"/metrics")
+	if !strings.Contains(metrics, `actd_shed_total{reason="queue_full"}`) {
+		t.Error("shed counter missing from /metrics exposition")
+	}
+	if !strings.Contains(metrics, "actd_queue_depth 0") {
+		t.Error("queue depth gauge missing or non-zero at rest")
+	}
+}
+
+// TestCancelledBatchReleasesWorkers is the acceptance check for deadline
+// propagation: a batch that cannot finish inside the request timeout
+// answers 504 and every pool worker unwinds — no goroutine keeps
+// evaluating scenarios for a request nobody is waiting on.
+func TestCancelledBatchReleasesWorkers(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		RequestTimeout: 15 * time.Millisecond,
+		Workers:        1,
+		CacheSize:      -1,
+		RetryAttempts:  1,
+	})
+	// Warm up so httptest's accept loop and the keep-alive conn goroutines
+	// are part of the leak baseline.
+	if resp, _ := postJSON(t, ts.URL+"/v1/footprint", mustJSON(t, testSpec(9))); resp.StatusCode != http.StatusOK {
+		t.Fatalf("warmup failed: %d", resp.StatusCode)
+	}
+	before := runtime.NumGoroutine()
+
+	resp, body := postJSON(t, ts.URL+"/v1/footprint", distinctBatch(t, 10000, 0))
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504; body %.200s", resp.StatusCode, body)
+	}
+	var e errorResponse
+	if err := json.Unmarshal(body, &e); err != nil || e.RequestID == "" {
+		t.Errorf("504 body missing request_id: %s", body)
+	}
+
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 { // +2: httptest keep-alive slack
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked after 504: before=%d now=%d", before, runtime.NumGoroutine())
+}
+
+// TestBreakerOpensRejectsAndRecovers trips the footprint breaker the way a
+// fault streak would, then checks the full surface: 503 + Retry-After on
+// the API, 503 on /readyz, the state gauge at open — and after OpenFor
+// plus one successful probe, full recovery.
+func TestBreakerOpensRejectsAndRecovers(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		BreakerThreshold: 5,
+		BreakerOpenFor:   50 * time.Millisecond,
+	})
+	brk := s.breakers["footprint"]
+	if brk == nil {
+		t.Fatal("footprint breaker not wired")
+	}
+	for i := 0; i < 5; i++ {
+		done, err := brk.Allow()
+		if err != nil {
+			t.Fatalf("breaker rejected before threshold: %v", err)
+		}
+		done(false)
+	}
+
+	resp, _ := postJSON(t, ts.URL+"/v1/footprint", mustJSON(t, testSpec(12)))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("open breaker: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("open-breaker 503 missing Retry-After")
+	}
+	if got := s.mShed.Value(resilience.ShedBreaker); got == 0 {
+		t.Error("breaker rejection not counted in actd_shed_total")
+	}
+	if got := s.mBreakerState.Value("footprint"); got != int64(resilience.Open) {
+		t.Errorf("breaker gauge = %d, want open (%d)", got, resilience.Open)
+	}
+	if r, _ := getBody(t, ts.URL+"/readyz"); r.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("readyz with open breaker = %d, want 503", r.StatusCode)
+	}
+	if r, _ := getBody(t, ts.URL+"/healthz"); r.StatusCode != http.StatusOK {
+		t.Errorf("healthz with open breaker = %d, want 200 (liveness is not readiness)", r.StatusCode)
+	}
+
+	time.Sleep(60 * time.Millisecond)
+	resp, body := postJSON(t, ts.URL+"/v1/footprint", mustJSON(t, testSpec(12)))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("half-open probe: status %d, want 200; body %.200s", resp.StatusCode, body)
+	}
+	if r, _ := getBody(t, ts.URL+"/readyz"); r.StatusCode != http.StatusOK {
+		t.Errorf("readyz after recovery = %d, want 200", r.StatusCode)
+	}
+	if got := s.mBreakerState.Value("footprint"); got != int64(resilience.Closed) {
+		t.Errorf("breaker gauge after recovery = %d, want closed", got)
+	}
+}
+
+// TestResilienceMetricsExposed pins the new instruments' presence and
+// shape in the exposition output.
+func TestResilienceMetricsExposed(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	_, _ = postJSON(t, ts.URL+"/v1/footprint", mustJSON(t, testSpec(13)))
+	_, metrics := getBody(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		"# TYPE actd_shed_total counter",
+		"# TYPE actd_retries_total counter",
+		"actd_retries_total 0",
+		"# TYPE actd_breaker_state gauge",
+		`actd_breaker_state{handler="footprint"} 0`,
+		`actd_breaker_state{handler="sweep"} 0`,
+		"# TYPE actd_queue_depth gauge",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}

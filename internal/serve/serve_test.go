@@ -326,14 +326,33 @@ func TestHealthzAndMethodRouting(t *testing.T) {
 		t.Errorf("GET footprint = %d, want 405", resp.StatusCode)
 	}
 
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("readyz = %d, want 200", resp.StatusCode)
+	}
+
+	// Draining flips readiness but never liveness: the process is still
+	// alive and finishing in-flight work.
 	s.draining.Store(true)
 	resp, err = http.Get(ts.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("draining healthz = %d, want 200", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
 	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Errorf("draining healthz = %d, want 503", resp.StatusCode)
+		t.Errorf("draining readyz = %d, want 503", resp.StatusCode)
 	}
 }
 

@@ -9,7 +9,8 @@
 //
 //	POST /v1/footprint  one scenario object or a batch array of them
 //	POST /v1/sweep      metric rankings / Pareto frontier over candidates
-//	GET  /healthz       liveness (503 while draining)
+//	GET  /healthz       liveness (always 200 while the process serves)
+//	GET  /readyz        readiness (503 while draining or a breaker is open)
 //	GET  /metrics       Prometheus text exposition
 //
 // Batch requests fan out across the parsweep worker pool under a
@@ -19,21 +20,39 @@
 // model evaluation. Requests carry a server-imposed timeout (exceeded →
 // 504) and shutdown is graceful: in-flight requests drain, new ones are
 // rejected with 503.
+//
+// The resilience layer sits between the router and the handlers. The full
+// status taxonomy a client can observe:
+//
+//	200  evaluated
+//	400  the request is the client's to fix (validation, parse, version)
+//	413  body or batch over the configured limit
+//	429  shed before any work was accepted (admission queue full, or the
+//	     deadline could not survive the queue) — carries Retry-After
+//	500  internal fault (a panic, or a transient fault that survived the
+//	     retry budget)
+//	503  draining, or the handler's circuit breaker is open — Retry-After
+//	504  the request deadline lapsed after work was accepted; the deadline
+//	     propagates so in-flight workers stop rather than run for nobody
 package serve
 
 import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"log/slog"
+	"math"
 	"net"
 	"net/http"
 	"os"
+	"runtime/debug"
 	"strconv"
 	"sync/atomic"
 	"time"
 
 	"act/internal/acterr"
+	"act/internal/resilience"
 )
 
 // Config tunes a Server. Zero fields take the documented defaults.
@@ -53,6 +72,24 @@ type Config struct {
 	MaxBodyBytes int64
 	// Logger receives structured request logs (default JSON to stderr).
 	Logger *slog.Logger
+
+	// MaxInFlight bounds concurrently admitted API requests (default 256;
+	// negative disables admission control entirely).
+	MaxInFlight int
+	// MaxQueue bounds requests waiting for an admission slot (default
+	// 2×MaxInFlight); beyond it requests shed immediately with 429.
+	MaxQueue int
+	// RetryAttempts is the total attempts (first try included) given to a
+	// scenario evaluation or batch fan-out that fails with a transient
+	// fault (default 3; 1 disables retries). Validation errors are never
+	// retried.
+	RetryAttempts int
+	// BreakerThreshold is the run of consecutive 5xx responses that trips
+	// a handler's circuit breaker (default 5; negative disables breakers).
+	BreakerThreshold int
+	// BreakerOpenFor is how long a tripped breaker rejects with 503 before
+	// probing (default 5s).
+	BreakerOpenFor time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -74,6 +111,21 @@ func (c Config) withDefaults() Config {
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	}
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = 256
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 2 * c.MaxInFlight
+	}
+	if c.RetryAttempts == 0 {
+		c.RetryAttempts = 3
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerOpenFor == 0 {
+		c.BreakerOpenFor = 5 * time.Second
+	}
 	return c
 }
 
@@ -87,13 +139,20 @@ type Server struct {
 	httpSrv  *http.Server
 	draining atomic.Bool
 
-	mRequests    *CounterVec // actd_requests_total{handler,code}
-	mLatency     *Histogram  // actd_request_duration_seconds
-	mCacheHits   *Counter    // actd_cache_hits_total
-	mCacheMisses *Counter    // actd_cache_misses_total
-	mInflight    *Gauge      // actd_inflight_requests
-	mPoolDepth   *Gauge      // actd_pool_depth
-	mScenarios   *Counter    // actd_scenarios_total
+	admit    *resilience.Admission          // nil when disabled
+	breakers map[string]*resilience.Breaker // per API handler; nil when disabled
+	reqIDs   *reqIDSource
+
+	mRequests     *CounterVec // actd_requests_total{handler,code}
+	mLatency      *Histogram  // actd_request_duration_seconds
+	mCacheHits    *Counter    // actd_cache_hits_total
+	mCacheMisses  *Counter    // actd_cache_misses_total
+	mInflight     *Gauge      // actd_inflight_requests
+	mPoolDepth    *Gauge      // actd_pool_depth
+	mScenarios    *Counter    // actd_scenarios_total
+	mShed         *CounterVec // actd_shed_total{reason}
+	mRetries      *Counter    // actd_retries_total
+	mBreakerState *GaugeVec   // actd_breaker_state{handler}
 }
 
 // New builds a Server from the config. Call ListenAndServe (or Serve on an
@@ -101,11 +160,12 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg,
-		log:   cfg.Logger,
-		cache: NewCache[json.RawMessage](cfg.CacheSize),
-		reg:   NewRegistry(),
-		mux:   http.NewServeMux(),
+		cfg:    cfg,
+		log:    cfg.Logger,
+		cache:  NewCache[json.RawMessage](cfg.CacheSize),
+		reg:    NewRegistry(),
+		mux:    http.NewServeMux(),
+		reqIDs: newReqIDSource(),
 	}
 	s.mRequests = s.reg.NewCounterVec("actd_requests_total",
 		"API requests served, by handler and HTTP status code.", "handler", "code")
@@ -121,10 +181,48 @@ func New(cfg Config) *Server {
 		"Scenario evaluations queued or running on the worker pool.")
 	s.mScenarios = s.reg.NewCounter("actd_scenarios_total",
 		"Scenarios evaluated across all requests, cached or not.")
+	s.mShed = s.reg.NewCounterVec("actd_shed_total",
+		"Requests turned away before any work was accepted, by reason.", "reason")
+	s.mRetries = s.reg.NewCounter("actd_retries_total",
+		"Transient-fault retries across scenario evaluations and batch fan-outs.")
+	s.mBreakerState = s.reg.NewGaugeVec("actd_breaker_state",
+		"Circuit breaker position per handler (0 closed, 1 open, 2 half-open).", "handler")
+
+	if cfg.MaxInFlight > 0 {
+		s.admit = resilience.NewAdmission(resilience.AdmissionConfig{
+			MaxInFlight: cfg.MaxInFlight,
+			MaxQueue:    cfg.MaxQueue,
+		})
+	}
+	s.reg.NewGaugeFunc("actd_queue_depth",
+		"Requests waiting for an admission slot.", func() int64 {
+			if s.admit == nil {
+				return 0
+			}
+			return s.admit.Queued()
+		})
+
+	if cfg.BreakerThreshold > 0 {
+		s.breakers = map[string]*resilience.Breaker{}
+		for _, name := range []string{"footprint", "sweep"} {
+			name := name
+			s.mBreakerState.With(name).Store(int64(resilience.Closed))
+			s.breakers[name] = resilience.NewBreaker(resilience.BreakerConfig{
+				FailureThreshold: cfg.BreakerThreshold,
+				OpenFor:          cfg.BreakerOpenFor,
+				OnStateChange: func(from, to resilience.State) {
+					s.mBreakerState.With(name).Store(int64(to))
+					s.log.Warn("breaker state change", "handler", name,
+						"from", from.String(), "to", to.String())
+				},
+			})
+		}
+	}
 
 	s.mux.Handle("POST /v1/footprint", s.api("footprint", s.handleFootprint))
 	s.mux.Handle("POST /v1/sweep", s.api("sweep", s.handleSweep))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 
 	s.httpSrv = &http.Server{
@@ -168,30 +266,23 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return s.httpSrv.Shutdown(ctx)
 }
 
-// api wraps an API handler with the service middleware: drain rejection,
-// in-flight accounting, the per-request timeout, metrics and structured
-// request logging.
+// api wraps an API handler with the service middleware, outermost first:
+// request-id propagation, drain rejection, in-flight accounting, the
+// per-request timeout, admission control (shed with 429 before any work),
+// the handler's circuit breaker (503 while open), a panic barrier (500),
+// metrics and structured request logging.
 func (s *Server) api(name string, h func(http.ResponseWriter, *http.Request)) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if s.draining.Load() {
-			s.mRequests.With(name, "503").Add(1)
-			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server is draining"})
-			return
-		}
+		reqID := s.reqIDs.requestID(r)
+		w.Header().Set("X-Request-Id", reqID)
+		r = r.WithContext(withRequestID(r.Context(), reqID))
+
 		s.mInflight.Inc()
-		defer s.mInflight.Dec()
-
-		ctx := r.Context()
-		if s.cfg.RequestTimeout > 0 {
-			var cancel context.CancelFunc
-			ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
-			defer cancel()
-		}
-
 		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
-		h(rec, r.WithContext(ctx))
+		s.dispatch(name, rec, r, h)
 		dur := time.Since(start)
+		s.mInflight.Dec()
 
 		s.mRequests.With(name, strconv.Itoa(rec.code)).Add(1)
 		s.mLatency.Observe(dur.Seconds())
@@ -202,8 +293,92 @@ func (s *Server) api(name string, h func(http.ResponseWriter, *http.Request)) ht
 			"code", rec.code,
 			"duration_ms", float64(dur.Microseconds())/1e3,
 			"remote", r.RemoteAddr,
+			"request_id", reqID,
 		)
 	})
+}
+
+// dispatch runs one admitted-or-shed request through the resilience layers
+// and the handler. It always writes a complete response to rec.
+func (s *Server) dispatch(name string, rec *statusRecorder, r *http.Request, h func(http.ResponseWriter, *http.Request)) {
+	if s.draining.Load() {
+		s.writeJSONError(rec, r, http.StatusServiceUnavailable, errorResponse{Error: "server is draining"})
+		return
+	}
+
+	ctx := r.Context()
+	if s.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+	}
+
+	// Admission: shed before any work is accepted, so an overloaded server
+	// answers cheaply instead of queueing work it cannot finish.
+	if s.admit != nil {
+		release, err := s.admit.Acquire(ctx)
+		if err != nil {
+			shed, _ := resilience.IsShed(err)
+			s.mShed.With(shed.Reason).Add(1)
+			rec.Header().Set("Retry-After", retryAfterSeconds(shed.RetryAfter))
+			s.writeJSONError(rec, r, http.StatusTooManyRequests, errorResponse{
+				Error: "overloaded: " + shed.Error(),
+			})
+			return
+		}
+		defer release()
+	}
+
+	// Circuit breaker around everything the handler computes.
+	if brk := s.breakers[name]; brk != nil {
+		done, err := brk.Allow()
+		if err != nil {
+			s.mShed.With(resilience.ShedBreaker).Add(1)
+			if ra := brk.RetryAfter(); ra > 0 {
+				rec.Header().Set("Retry-After", retryAfterSeconds(ra))
+			}
+			s.writeJSONError(rec, r, http.StatusServiceUnavailable, errorResponse{
+				Error: "service temporarily unavailable: " + err.Error(),
+			})
+			return
+		}
+		// The panic barrier below runs first (deferred later), so rec.code
+		// is final — a panic counts as the 500 it produced.
+		defer func() { done(rec.code < 500) }()
+	}
+
+	// Panic barrier: a crashing evaluation answers 500 with the request id
+	// instead of killing the connection (or, unrecovered, the process).
+	defer func() {
+		if p := recover(); p != nil {
+			s.log.Error("handler panic",
+				"handler", name,
+				"request_id", RequestIDFrom(r.Context()),
+				"panic", fmt.Sprint(p),
+				"stack", string(debug.Stack()),
+			)
+			if !rec.wrote {
+				s.writeJSONError(rec, r, http.StatusInternalServerError, errorResponse{
+					Error: "internal error",
+				})
+			} else {
+				rec.code = http.StatusInternalServerError // for metrics/breaker
+			}
+		}
+	}()
+
+	h(rec, r)
+}
+
+// retryAfterSeconds renders a Retry-After header value (whole seconds,
+// at least 1).
+func retryAfterSeconds(d time.Duration) string {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
 }
 
 // statusRecorder captures the response code for logging and metrics.
@@ -232,6 +407,8 @@ type errorResponse struct {
 	// Field is the offending scenario field path when the failure is a
 	// validation error ("logic[0].node", "[3].usage.app_hours").
 	Field string `json:"field,omitempty"`
+	// RequestID attributes the failure to one request in the server logs.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // writeJSON writes v as the response with the given status code.
@@ -242,9 +419,18 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
+// writeJSONError writes an error body with the request id filled in.
+func (s *Server) writeJSONError(w http.ResponseWriter, r *http.Request, code int, resp errorResponse) {
+	if resp.RequestID == "" {
+		resp.RequestID = RequestIDFrom(r.Context())
+	}
+	writeJSON(w, code, resp)
+}
+
 // writeError classifies err into an HTTP status and writes the error body:
-// client-fixable spec problems are 400, timeouts 504, everything else 500.
-func (s *Server) writeError(w http.ResponseWriter, err error) {
+// client-fixable spec problems are 400, timeouts 504, everything else
+// (including transient faults that survived the retry budget) 500.
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, err error) {
 	resp := errorResponse{Error: err.Error()}
 	code := http.StatusInternalServerError
 	switch {
@@ -258,17 +444,34 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 			resp.Field = inv.Field
 		}
 	}
-	writeJSON(w, code, resp)
+	s.writeJSONError(w, r, code, resp)
 }
 
-// handleHealthz is the liveness probe: 200 while serving, 503 once
-// draining so load balancers stop routing here during shutdown.
+// handleHealthz is the liveness probe: 200 for as long as the process can
+// answer at all — even while draining, the process is alive. Routability
+// is /readyz's job.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is the readiness probe: 503 while draining or while any
+// handler's circuit breaker is open, so load balancers route around a
+// server that would only shed or reject; 200 otherwise.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	for name, brk := range s.breakers {
+		if brk.State() == resilience.Open {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+				"status":  "breaker-open",
+				"handler": name,
+			})
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
 // handleMetrics serves the Prometheus text exposition.

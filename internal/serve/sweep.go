@@ -1,7 +1,9 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -64,26 +66,26 @@ var builtinObjectives = map[string]dse.Objective{
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "reading request body: " + err.Error()})
+		s.writeJSONError(w, r, http.StatusBadRequest, errorResponse{Error: "reading request body: " + err.Error()})
 		return
 	}
 	var req sweepRequest
 	dec := json.NewDecoder(strings.NewReader(string(body)))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "parsing sweep request: " + err.Error()})
+		s.writeJSONError(w, r, http.StatusBadRequest, errorResponse{Error: "parsing sweep request: " + err.Error()})
 		return
 	}
 	if req.Version != 0 && req.Version != scenario.Version {
-		s.writeError(w, &acterr.UnsupportedVersionError{Version: req.Version})
+		s.writeError(w, r, &acterr.UnsupportedVersionError{Version: req.Version})
 		return
 	}
 	if len(req.Candidates) == 0 {
-		s.writeError(w, acterr.Invalid("candidates", "at least one candidate is required"))
+		s.writeError(w, r, acterr.Invalid("candidates", "at least one candidate is required"))
 		return
 	}
 	if len(req.Rank) == 0 && len(req.Pareto) == 0 {
-		s.writeError(w, acterr.Invalid("rank", `request asks for nothing: set "rank" and/or "pareto"`))
+		s.writeError(w, r, acterr.Invalid("rank", `request asks for nothing: set "rank" and/or "pareto"`))
 		return
 	}
 
@@ -97,11 +99,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			Area:     units.MM2(c.AreaMM2),
 		}
 		if cands[i].Name == "" {
-			s.writeError(w, acterr.Invalid(fmt.Sprintf("candidates[%d].name", i), "name is required"))
+			s.writeError(w, r, acterr.Invalid(fmt.Sprintf("candidates[%d].name", i), "name is required"))
 			return
 		}
 		if err := cands[i].Validate(); err != nil {
-			s.writeError(w, acterr.Prefix(fmt.Sprintf("candidates[%d]", i), err))
+			s.writeError(w, r, acterr.Prefix(fmt.Sprintf("candidates[%d]", i), err))
 			return
 		}
 	}
@@ -112,7 +114,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		m := metrics.Metric(strings.ToUpper(strings.TrimSpace(name)))
 		ranked, err := metrics.Rank(m, cands)
 		if err != nil {
-			s.writeError(w, acterr.Invalid("rank", "%v", err))
+			s.writeError(w, r, acterr.Invalid("rank", "%v", err))
 			return
 		}
 		sr := sweepRanking{Metric: string(m), Ranked: make([]sweepScore, len(ranked))}
@@ -124,22 +126,28 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 
 	if len(req.Pareto) > 0 {
 		if len(req.Pareto) < 2 {
-			s.writeError(w, acterr.Invalid("pareto", "a Pareto frontier needs at least two objectives, got %d", len(req.Pareto)))
+			s.writeError(w, r, acterr.Invalid("pareto", "a Pareto frontier needs at least two objectives, got %d", len(req.Pareto)))
 			return
 		}
 		objectives := make([]dse.Objective, len(req.Pareto))
 		for i, axis := range req.Pareto {
 			o, ok := builtinObjectives[strings.ToLower(strings.TrimSpace(axis))]
 			if !ok {
-				s.writeError(w, acterr.Invalid(fmt.Sprintf("pareto[%d]", i),
+				s.writeError(w, r, acterr.Invalid(fmt.Sprintf("pareto[%d]", i),
 					"unknown objective %q (want embodied, energy, delay or area)", axis))
 				return
 			}
 			objectives[i] = o
 		}
-		frontier, err := dse.ParetoFrontier(cands, objectives)
+		frontier, err := dse.ParetoFrontierCtx(r.Context(), cands, objectives)
 		if err != nil {
-			s.writeError(w, acterr.Invalid("pareto", "%v", err))
+			// A lapsed request deadline must surface as 504, not as a
+			// candidate-validation 400.
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				s.writeError(w, r, err)
+				return
+			}
+			s.writeError(w, r, acterr.Invalid("pareto", "%v", err))
 			return
 		}
 		resp.Pareto = make([]string, len(frontier))
