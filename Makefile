@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test verify verify-extended verify-chaos bench bench-cache run-actd clean
+.PHONY: all build test verify verify-extended verify-chaos bench bench-cache bench-fleet run-actd clean
 
 all: build
 
@@ -25,10 +25,13 @@ verify-extended: verify
 
 # Chaos verification: rebuild with the faultinject tag (hooks compiled in)
 # and run everything — including the seeded fault storm against a live
-# actd — under the race detector.
+# actd and the fleet shard/snapshot chaos suite — under the race
+# detector, then give the fleet ingest fuzzer a short budget beyond its
+# seed corpus.
 verify-chaos:
 	$(GO) vet -tags faultinject ./...
 	$(GO) test -race -tags faultinject ./...
+	$(GO) test -run FuzzFleetIngestNDJSON -fuzz FuzzFleetIngestNDJSON -fuzztime 10s ./internal/fleet/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -36,6 +39,11 @@ bench:
 # The service-cache acceptance pair: cached must be >=10x cheaper than cold.
 bench-cache:
 	$(GO) test -run XXX -bench 'Footprint(Cold|Cached)' -benchmem ./internal/serve/
+
+# Fleet acceptance benchmarks: builds a one-million-device registry and
+# pins the O(shards) summary bound (<10ms) plus ingest/top-K costs.
+bench-fleet:
+	$(GO) test -run XXX -bench 'Fleet(Ingest|Summary|SummaryGrouped|TopK)' -benchmem ./internal/fleet/
 
 run-actd:
 	$(GO) run ./cmd/actd -addr :8080

@@ -1,0 +1,53 @@
+// The fleet subcommand: load an NDJSON fleet file into an in-process
+// fleet registry and print the aggregate summary document.
+//
+//	act fleet -file fleet.ndjson [-top K] [-by region|node] [-shards N]
+//	cat fleet.ndjson | act fleet
+//
+// The output is the exact byte stream actd serves from
+// GET /v1/fleet/summary for the same fleet and query, so offline analysis
+// of a fleet file and the live service are interchangeable.
+
+package main
+
+import (
+	"flag"
+	"io"
+	"os"
+
+	"act/internal/fleet"
+	"act/internal/report"
+)
+
+func runFleet(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("act fleet", flag.ContinueOnError)
+	var (
+		file   = fs.String("file", "", "path to an NDJSON fleet file (default: stdin)")
+		top    = fs.Int("top", 0, "include the K largest per-device emitters")
+		by     = fs.String("by", "", "add per-group rows: region or node")
+		shards = fs.Int("shards", 0, "registry shard count (0 = default 64)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	in := stdin
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+
+	reg := fleet.New(fleet.Config{Shards: *shards})
+	if _, err := reg.IngestNDJSON(in, 0); err != nil {
+		return err
+	}
+	doc, err := reg.Query(fleet.Query{TopK: *top, GroupBy: *by})
+	if err != nil {
+		return err
+	}
+	return report.Encode(stdout, doc)
+}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"act/internal/scenario"
+	"act/internal/serve"
+)
+
+// fleetNDJSON builds an n-device fleet over `distinct` scenario shapes,
+// spread across regions and utilizations.
+func fleetNDJSON(t *testing.T, n, distinct int) []byte {
+	t.Helper()
+	regions := []string{"united-states", "europe", "india", "world"}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for i := 0; i < n; i++ {
+		spec := &scenario.Spec{
+			Name:  fmt.Sprintf("bom-%d", i%distinct),
+			Logic: []scenario.LogicSpec{{Name: "soc", AreaMM2: float64(10 + i%distinct), Node: "7nm"}},
+			DRAM:  []scenario.DRAMSpec{{Name: "ram", Technology: "lpddr4", CapacityGB: 4}},
+			Usage: scenario.UsageSpec{PowerW: 2, AppHours: 876.6},
+		}
+		raw, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		line := map[string]any{
+			"id":          fmt.Sprintf("dev-%04d", i),
+			"region":      regions[i%len(regions)],
+			"deployed":    "2024-01-01",
+			"utilization": 0.25 + 0.5*float64(i%3)/2,
+			"scenario":    json.RawMessage(raw),
+		}
+		if err := enc.Encode(line); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestFleetByteIdentityWithService is the fleet cross-surface acceptance
+// check: `act fleet` over an NDJSON file must produce the exact bytes
+// actd serves from GET /v1/fleet/summary after ingesting the same stream,
+// for the plain summary and for every query variant.
+func TestFleetByteIdentityWithService(t *testing.T) {
+	ndjson := fleetNDJSON(t, 200, 7)
+
+	srv := serve.New(serve.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/v1/fleet/devices", "application/x-ndjson", bytes.NewReader(ndjson))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status = %d, body %.200s", resp.StatusCode, body)
+	}
+
+	for _, tc := range []struct {
+		name  string
+		args  []string
+		query string
+	}{
+		{"summary", nil, ""},
+		{"top", []string{"-top", "5"}, "?top=5"},
+		{"by-region", []string{"-by", "region"}, "?by=region"},
+		{"top-by-node", []string{"-top", "3", "-by", "node"}, "?top=3&by=node"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var cli bytes.Buffer
+			if err := runFleet(tc.args, bytes.NewReader(ndjson), &cli); err != nil {
+				t.Fatalf("act fleet: %v", err)
+			}
+			resp, err := http.Get(ts.URL + "/v1/fleet/summary" + tc.query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			got, err := io.ReadAll(resp.Body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status = %d, body %.200s", resp.StatusCode, got)
+			}
+			if !bytes.Equal(got, cli.Bytes()) {
+				t.Fatalf("service bytes differ from act fleet:\n%s\nwant:\n%s", got, cli.Bytes())
+			}
+		})
+	}
+}

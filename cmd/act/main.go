@@ -7,10 +7,13 @@
 //	act -scenario device.json [-format ascii|csv|md|json]
 //	act -example                 # print a sample scenario
 //	cat device.json | act        # read the scenario from stdin
+//	act fleet -file fleet.ndjson [-top K] [-by region|node]
 //
 // The json format emits the same result document actd serves from
 // POST /v1/footprint, byte for byte, so pipelines can swap between the CLI
-// and the service without re-parsing.
+// and the service without re-parsing. The fleet subcommand aggregates an
+// NDJSON fleet file the same way: its output matches actd's
+// GET /v1/fleet/summary body byte for byte.
 package main
 
 import (
@@ -28,6 +31,18 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "fleet" {
+		if err := runFleet(os.Args[2:], os.Stdin, os.Stdout); err != nil {
+			var inv *acterr.InvalidSpecError
+			if errors.As(err, &inv) && inv.Field != "" {
+				fmt.Fprintf(os.Stderr, "act: fleet field %s: %s\n", inv.Field, inv.Message())
+			} else {
+				fmt.Fprintln(os.Stderr, "act:", err)
+			}
+			os.Exit(1)
+		}
+		return
+	}
 	var (
 		path    = flag.String("scenario", "", "path to a JSON scenario (default: stdin)")
 		format  = flag.String("format", "ascii", "output format: ascii, csv, md or json")

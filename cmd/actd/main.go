@@ -8,14 +8,24 @@
 //	actd [-addr :8080] [-workers N] [-max-batch N] [-cache-size N]
 //	     [-timeout 30s] [-grace 15s] [-max-inflight N] [-max-queue N]
 //	     [-retries N] [-breaker-threshold N] [-breaker-open 5s]
+//	     [-fleet-shards N] [-fleet-snapshot PATH] [-fleet-wal PATH]
 //
 // Endpoints:
 //
-//	POST /v1/footprint   evaluate one scenario object or a batch array
-//	POST /v1/sweep       rank candidates / Pareto frontier
-//	GET  /healthz        liveness (always 200 while the process serves)
-//	GET  /readyz         readiness (503 while draining or a breaker is open)
-//	GET  /metrics        Prometheus text metrics
+//	POST   /v1/footprint          evaluate one scenario object or a batch array
+//	POST   /v1/sweep              rank candidates / Pareto frontier
+//	POST   /v1/fleet/devices      ingest NDJSON fleet devices
+//	GET    /v1/fleet/summary      fleet-wide totals (?top=K&by=region|node)
+//	DELETE /v1/fleet/devices/{id} unregister one device
+//	POST   /v1/fleet/recompute    re-price the fleet against current tables
+//	GET    /healthz               liveness (always 200 while the process serves)
+//	GET    /readyz                readiness (503 while draining or a breaker is open)
+//	GET    /metrics               Prometheus text metrics
+//
+// With -fleet-snapshot/-fleet-wal the fleet registry is durable: boot
+// restores the snapshot and replays the write-ahead log, every mutation
+// appends to the log, and a graceful shutdown checkpoints a fresh
+// snapshot and truncates the log.
 //
 // Overload is shed before work is accepted: beyond -max-inflight running
 // requests plus -max-queue waiters, requests get 429 with Retry-After.
@@ -49,6 +59,9 @@ func main() {
 		retries    = flag.Int("retries", 0, "attempts per transient-fault retry loop (0 = default 3, 1 disables retries)")
 		brkThresh  = flag.Int("breaker-threshold", 0, "consecutive 5xx before a handler's breaker opens (0 = default 5, negative disables)")
 		brkOpenFor = flag.Duration("breaker-open", 0, "how long an open breaker rejects before probing (0 = default 5s)")
+		flShards   = flag.Int("fleet-shards", 0, "fleet registry shard count (0 = default 64)")
+		flSnapshot = flag.String("fleet-snapshot", "", "fleet snapshot path (empty = no snapshot persistence)")
+		flWAL      = flag.String("fleet-wal", "", "fleet write-ahead log path (empty = no logging)")
 	)
 	flag.Parse()
 
@@ -63,17 +76,22 @@ func main() {
 		RetryAttempts:    *retries,
 		BreakerThreshold: *brkThresh,
 		BreakerOpenFor:   *brkOpenFor,
+		FleetShards:      *flShards,
 	}
-	if err := run(cfg, *grace); err != nil {
+	if err := run(cfg, *grace, *flSnapshot, *flWAL); err != nil {
 		fmt.Fprintln(os.Stderr, "actd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(cfg serve.Config, grace time.Duration) error {
+func run(cfg serve.Config, grace time.Duration, fleetSnapshot, fleetWAL string) error {
 	log := slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	cfg.Logger = log
 	srv := serve.New(cfg)
+
+	if err := srv.OpenFleet(context.Background(), fleetSnapshot, fleetWAL); err != nil {
+		return fmt.Errorf("fleet state: %w", err)
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
@@ -90,6 +108,14 @@ func run(cfg serve.Config, grace time.Duration) error {
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
 			return fmt.Errorf("shutdown: %w", err)
+		}
+		if fleetSnapshot != "" {
+			if err := srv.SaveFleetSnapshot(fleetSnapshot); err != nil {
+				return fmt.Errorf("fleet snapshot: %w", err)
+			}
+		}
+		if err := srv.CloseFleet(); err != nil {
+			return fmt.Errorf("fleet close: %w", err)
 		}
 		return <-errc
 	}

@@ -32,6 +32,14 @@ const (
 	// Embodied), the characterization-database dependency of every DRAM
 	// assessment.
 	SiteMemdbLookup = "memdb.lookup"
+	// SiteFleetShard fires inside a fleet shard's apply section, after a
+	// device's contribution is computed but before the registry mutates —
+	// a fault here must leave the shard's totals untouched.
+	SiteFleetShard = "fleet.shard.apply"
+	// SiteFleetSnapshot fires in the fleet snapshot writer before each
+	// shard's frame is written, so chaos tests can fail a snapshot
+	// mid-stream and assert no torn state survives.
+	SiteFleetSnapshot = "fleet.snapshot.write"
 )
 
 // Fault is what a hook asks the site to do, applied in order: sleep for

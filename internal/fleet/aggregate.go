@@ -1,0 +1,153 @@
+// Incremental aggregation queries. A summary folds the per-shard running
+// totals in shard order — O(shards) work however many devices are
+// registered — and group-by merges the per-shard group maps the same way.
+// Top-K is the one O(devices) query: it fans the per-shard scans out
+// through parsweep and merges the per-shard winners.
+
+package fleet
+
+import (
+	"sort"
+
+	"act/internal/acterr"
+	"act/internal/parsweep"
+	"act/internal/report"
+)
+
+// Query selects the optional sections of a fleet summary document.
+type Query struct {
+	// TopK asks for the K largest per-device emitters (0 omits the
+	// section).
+	TopK int
+	// GroupBy adds per-group rows: "region" or "node" ("" omits).
+	GroupBy string
+}
+
+// Validate checks the query. Failures are typed acterr.InvalidSpecError
+// values so the HTTP layer answers 400.
+func (q Query) Validate() error {
+	if q.TopK < 0 {
+		return acterr.Invalid("top", "negative top-K %d", q.TopK)
+	}
+	switch q.GroupBy {
+	case "", "region", "node":
+		return nil
+	}
+	return acterr.Invalid("by", "unknown grouping %q (want region or node)", q.GroupBy)
+}
+
+// Summary returns the aggregate fleet document from the incremental
+// totals: O(shards), no per-device work.
+func (r *Registry) Summary() report.FleetSummaryJSON {
+	doc, _ := r.Query(Query{})
+	return doc
+}
+
+// Query returns the fleet document with the requested optional sections.
+func (r *Registry) Query(q Query) (report.FleetSummaryJSON, error) {
+	if err := q.Validate(); err != nil {
+		return report.FleetSummaryJSON{}, err
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+
+	var doc report.FleetSummaryJSON
+	groups := map[string]*groupAgg{}
+	for _, sh := range r.shards {
+		sh.mu.Lock()
+		doc.Devices += int(sh.agg.devices)
+		doc.EmbodiedTotalG += sh.agg.embodiedG
+		doc.EmbodiedShareG += sh.agg.embodiedShareG
+		doc.OperationalG += sh.agg.operationalG
+		if q.GroupBy != "" {
+			dim := sh.byRegion
+			if q.GroupBy == "node" {
+				dim = sh.byNode
+			}
+			for key, g := range dim {
+				m, ok := groups[key]
+				if !ok {
+					m = &groupAgg{}
+					groups[key] = m
+				}
+				m.devices += g.devices
+				m.embodiedShareG += g.embodiedShareG
+				m.operationalG += g.operationalG
+			}
+		}
+		sh.mu.Unlock()
+	}
+	doc.TotalG = doc.EmbodiedShareG + doc.OperationalG
+	doc.DistinctBoMs = r.evals.len()
+
+	if q.GroupBy != "" {
+		doc.GroupBy = q.GroupBy
+		keys := make([]string, 0, len(groups))
+		for k := range groups {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		doc.Groups = make([]report.FleetGroupJSON, 0, len(keys))
+		for _, k := range keys {
+			g := groups[k]
+			doc.Groups = append(doc.Groups, report.FleetGroupJSON{
+				Key:            k,
+				Devices:        int(g.devices),
+				EmbodiedShareG: g.embodiedShareG,
+				OperationalG:   g.operationalG,
+				TotalG:         g.embodiedShareG + g.operationalG,
+			})
+		}
+	}
+	if q.TopK > 0 {
+		doc.Top = r.topK(q.TopK)
+	}
+	return doc, nil
+}
+
+// topK returns the K largest emitters (per-device total grams, ties broken
+// by id so the answer is deterministic). Each shard scans its own records
+// on a parsweep worker; the merge keeps the best K. The caller read-holds
+// r.mu.
+func (r *Registry) topK(k int) []report.FleetDeviceJSON {
+	perShard := parsweep.Map(r.cfg.Workers, r.shards, func(_ int, sh *shard) []report.FleetDeviceJSON {
+		sh.mu.Lock()
+		local := make([]report.FleetDeviceJSON, 0, len(sh.recs))
+		for _, rec := range sh.recs {
+			local = append(local, report.FleetDeviceJSON{
+				ID:             rec.dev.ID,
+				Region:         canonRegion(rec.dev.Region),
+				Node:           rec.node,
+				EmbodiedG:      rec.contrib.embodiedG,
+				EmbodiedShareG: rec.contrib.embodiedShareG,
+				OperationalG:   rec.contrib.operationalG,
+				TotalG:         rec.contrib.totalG(),
+			})
+		}
+		sh.mu.Unlock()
+		sortEmitters(local)
+		if len(local) > k {
+			local = local[:k]
+		}
+		return local
+	})
+	merged := make([]report.FleetDeviceJSON, 0, k*2)
+	for _, s := range perShard {
+		merged = append(merged, s...)
+	}
+	sortEmitters(merged)
+	if len(merged) > k {
+		merged = merged[:k]
+	}
+	return merged
+}
+
+// sortEmitters orders devices by descending total, ties by ascending id.
+func sortEmitters(devs []report.FleetDeviceJSON) {
+	sort.Slice(devs, func(i, j int) bool {
+		if devs[i].TotalG != devs[j].TotalG {
+			return devs[i].TotalG > devs[j].TotalG
+		}
+		return devs[i].ID < devs[j].ID
+	})
+}

@@ -1,0 +1,108 @@
+//go:build faultinject
+
+// Fleet chaos suite (make verify-chaos): seeded faults at the two fleet
+// injection sites — the shard-apply critical section and the snapshot
+// frame writer — must surface as clean errors that leave the registry's
+// state and totals untouched.
+
+package fleet
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"act/internal/acterr"
+	"act/internal/faultinject"
+)
+
+func TestChaosShardApply(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	reg := New(Config{Shards: 4})
+	if _, err := reg.Upsert(testDevice("keeper", 0, "united-states")); err != nil {
+		t.Fatal(err)
+	}
+	before := reg.Summary()
+
+	faultinject.Register(faultinject.SiteFleetShard, func(string) faultinject.Fault {
+		return faultinject.Fault{Err: acterr.Transient(errors.New("injected shard fault"))}
+	})
+
+	if _, err := reg.Upsert(testDevice("victim", 1, "europe")); err == nil {
+		t.Fatal("upsert succeeded through an injected shard fault")
+	} else if acterr.IsInvalid(err) {
+		t.Fatalf("infrastructure fault %v classified as a client error", err)
+	}
+	if _, err := reg.Remove("keeper"); err == nil {
+		t.Fatal("remove succeeded through an injected shard fault")
+	}
+	if faultinject.Fired(faultinject.SiteFleetShard) == 0 {
+		t.Fatal("shard hook never fired")
+	}
+
+	// The failed operations left nothing behind: same device set, same
+	// totals, no eval-cache residue.
+	after := reg.Summary()
+	if after.Devices != before.Devices || after.DistinctBoMs != before.DistinctBoMs ||
+		after.TotalG != before.TotalG {
+		t.Fatalf("faulted operations mutated state: %+v vs %+v", after, before)
+	}
+
+	// Faults cleared: the same operations go through.
+	faultinject.Register(faultinject.SiteFleetShard, nil)
+	if _, err := reg.Upsert(testDevice("victim", 1, "europe")); err != nil {
+		t.Fatalf("upsert after clearing faults: %v", err)
+	}
+	if found, err := reg.Remove("keeper"); err != nil || !found {
+		t.Fatalf("remove after clearing faults: found=%v err=%v", found, err)
+	}
+}
+
+func TestChaosSnapshotWrite(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	reg := New(Config{Shards: 4})
+	for i := 0; i < 8; i++ {
+		if _, err := reg.Upsert(testDevice(fmt.Sprintf("dev-%d", i), i%3, "united-states")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Fail on the third shard frame: the snapshot errors out mid-write and
+	// the partial bytes must not restore.
+	visits := 0
+	faultinject.Register(faultinject.SiteFleetSnapshot, func(string) faultinject.Fault {
+		visits++
+		if visits == 3 {
+			return faultinject.Fault{Err: errors.New("injected snapshot fault")}
+		}
+		return faultinject.Fault{}
+	})
+	var partial bytes.Buffer
+	if err := reg.Snapshot(&partial); err == nil {
+		t.Fatal("snapshot succeeded through an injected write fault")
+	}
+	if faultinject.Fired(faultinject.SiteFleetSnapshot) == 0 {
+		t.Fatal("snapshot hook never fired")
+	}
+	if partial.Len() > 0 {
+		if _, err := New(Config{}).Restore(bytes.NewReader(partial.Bytes())); err == nil {
+			t.Fatal("partial snapshot restored cleanly")
+		}
+	}
+
+	// The registry itself is untouched and snapshots cleanly once the
+	// fault clears.
+	faultinject.Register(faultinject.SiteFleetSnapshot, nil)
+	var snap bytes.Buffer
+	if err := reg.Snapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	reg2 := New(Config{})
+	if _, err := reg2.Restore(bytes.NewReader(snap.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if reg2.Len() != reg.Len() {
+		t.Fatalf("restored Len %d != %d", reg2.Len(), reg.Len())
+	}
+}

@@ -1,0 +1,352 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"act/internal/report"
+	"act/internal/units"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenFleet is a fixed 50-device fleet across regions, BoMs, windows and
+// utilizations — the persistence suite's shared fixture.
+func goldenFleet(t *testing.T) *Registry {
+	t.Helper()
+	reg := New(Config{Shards: 8})
+	regions := []string{"united-states", "europe", "india", "world", "brazil"}
+	for i := 0; i < 50; i++ {
+		dev := testDevice(fmt.Sprintf("dev-%02d", i), i%7, regions[i%len(regions)])
+		dev.Retired = testEpoch.Add(units.Years(0.5 + float64(i%6)))
+		dev.Utilization = 0.2 + 0.15*float64(i%5)
+		if _, err := reg.Upsert(dev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return reg
+}
+
+func summaryBytes(t *testing.T, reg *Registry) []byte {
+	t.Helper()
+	doc, err := reg.Query(Query{TopK: 5, GroupBy: "region"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := report.Encode(&buf, doc); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSnapshotRoundTrip is the persistence acceptance check: snapshot →
+// restore into a fresh registry → snapshot again must be byte-identical,
+// and the restored registry must answer the summary with the exact bytes
+// the original produced.
+func TestSnapshotRoundTrip(t *testing.T) {
+	reg := goldenFleet(t)
+	var snap1 bytes.Buffer
+	if err := reg.Snapshot(&snap1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restore adopts the snapshot's shard count even when built differently.
+	reg2 := New(Config{Shards: 3})
+	stale, err := reg2.Restore(bytes.NewReader(snap1.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stale {
+		t.Fatal("same-binary snapshot reported stale")
+	}
+	if reg2.Len() != reg.Len() {
+		t.Fatalf("restored Len = %d, want %d", reg2.Len(), reg.Len())
+	}
+
+	var snap2 bytes.Buffer
+	if err := reg2.Snapshot(&snap2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(snap1.Bytes(), snap2.Bytes()) {
+		t.Fatal("snapshot → restore → snapshot is not byte-identical")
+	}
+	if a, b := summaryBytes(t, reg), summaryBytes(t, reg2); !bytes.Equal(a, b) {
+		t.Fatalf("restored summary differs:\n%s\nwant:\n%s", b, a)
+	}
+}
+
+// TestSummaryGolden pins the full summary document (totals, groups, top
+// emitters) for the fixed fleet against a committed golden file, so an
+// accidental change to the aggregation math or the document encoding
+// shows up as a diff.
+func TestSummaryGolden(t *testing.T) {
+	got := summaryBytes(t, goldenFleet(t))
+	path := filepath.Join("testdata", "summary.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to write it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("summary differs from golden:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestRestoreRejectsCorruption(t *testing.T) {
+	reg := goldenFleet(t)
+	var snap bytes.Buffer
+	if err := reg.Snapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	data := snap.Bytes()
+
+	t.Run("flipped byte", func(t *testing.T) {
+		bad := bytes.Clone(data)
+		bad[len(bad)/2] ^= 0x40
+		if _, err := New(Config{}).Restore(bytes.NewReader(bad)); err == nil {
+			t.Fatal("corrupted snapshot restored")
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		if _, err := New(Config{}).Restore(bytes.NewReader(data[:len(data)-9])); err == nil {
+			t.Fatal("truncated snapshot restored")
+		}
+	})
+	t.Run("bad magic", func(t *testing.T) {
+		bad := bytes.Clone(data)
+		bad[0] = 'X'
+		if _, err := New(Config{}).Restore(bytes.NewReader(bad)); err == nil {
+			t.Fatal("wrong magic restored")
+		}
+	})
+}
+
+// walScript drives a registry through a mixed history — creates, replaces,
+// removes — while every operation logs to w.
+func walScript(t *testing.T, reg *Registry) {
+	t.Helper()
+	regions := []string{"united-states", "europe", "india"}
+	for i := 0; i < 30; i++ {
+		dev := testDevice(fmt.Sprintf("dev-%02d", i), i%5, regions[i%3])
+		dev.Utilization = 0.5
+		if _, err := reg.Upsert(dev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i += 2 { // replace a few with a different BoM
+		if _, err := reg.Upsert(testDevice(fmt.Sprintf("dev-%02d", i), 7, "world")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 20; i < 25; i++ {
+		if _, err := reg.Remove(fmt.Sprintf("dev-%02d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestWALReplay(t *testing.T) {
+	var log bytes.Buffer
+	reg := New(Config{Shards: 8})
+	reg.AttachLog(&log)
+	walScript(t, reg)
+
+	reg2 := New(Config{Shards: 8})
+	applied, offset, err := reg2.Replay(context.Background(), bytes.NewReader(log.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 30+5+5 {
+		t.Fatalf("replayed %d operations, want 40", applied)
+	}
+	if offset != int64(log.Len()) {
+		t.Fatalf("consumed offset %d, want the full log %d", offset, log.Len())
+	}
+	if a, b := summaryBytes(t, reg), summaryBytes(t, reg2); !bytes.Equal(a, b) {
+		t.Fatalf("replayed summary differs:\n%s\nwant:\n%s", b, a)
+	}
+}
+
+func TestWALTornTail(t *testing.T) {
+	var log bytes.Buffer
+	reg := New(Config{Shards: 4})
+	reg.AttachLog(&log)
+	if _, err := reg.Upsert(testDevice("a", 0, "united-states")); err != nil {
+		t.Fatal(err)
+	}
+	good := log.Len()
+	if _, err := reg.Upsert(testDevice("b", 1, "europe")); err != nil {
+		t.Fatal(err)
+	}
+	// Crash mid-append: the second frame is cut in half.
+	torn := log.Bytes()[:good+(log.Len()-good)/2]
+
+	reg2 := New(Config{Shards: 4})
+	applied, offset, err := reg2.Replay(context.Background(), bytes.NewReader(torn))
+	if err != nil {
+		t.Fatalf("torn tail must be tolerated, got %v", err)
+	}
+	if applied != 1 || offset != int64(good) {
+		t.Fatalf("applied=%d offset=%d, want 1 and %d (the last complete frame)", applied, offset, good)
+	}
+	if reg2.Len() != 1 {
+		t.Fatalf("Len after torn replay = %d, want 1", reg2.Len())
+	}
+}
+
+func TestWALRejectsMidStreamCorruption(t *testing.T) {
+	var log bytes.Buffer
+	reg := New(Config{Shards: 4})
+	reg.AttachLog(&log)
+	if _, err := reg.Upsert(testDevice("a", 0, "united-states")); err != nil {
+		t.Fatal(err)
+	}
+	first := log.Len()
+	if _, err := reg.Upsert(testDevice("b", 1, "europe")); err != nil {
+		t.Fatal(err)
+	}
+	bad := bytes.Clone(log.Bytes())
+	bad[first/2] ^= 0x01 // inside the first frame: corruption, not a torn tail
+
+	if _, _, err := New(Config{Shards: 4}).Replay(context.Background(), bytes.NewReader(bad)); err == nil {
+		t.Fatal("corrupted frame replayed")
+	}
+}
+
+// TestRecomputeEquivalence: recomputation refolds each shard in sorted id
+// order, so its totals are byte-identical to a registry built by upserting
+// the same devices in sorted order.
+func TestRecomputeEquivalence(t *testing.T) {
+	reg := New(Config{Shards: 8})
+	// Insertion order deliberately scrambled.
+	var devs []Device
+	regions := []string{"united-states", "europe", "india"}
+	for i := 0; i < 40; i++ {
+		dev := testDevice(fmt.Sprintf("dev-%02d", (i*17)%40), ((i*17)%40)%6, regions[i%3])
+		dev.Utilization = 0.7
+		devs = append(devs, dev)
+	}
+	for _, d := range devs {
+		if _, err := reg.Upsert(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := reg.Recompute(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	sorted := New(Config{Shards: 8})
+	ordered := append([]Device(nil), devs...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].ID < ordered[j].ID })
+	for _, d := range ordered {
+		if _, err := sorted.Upsert(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a, b := summaryBytes(t, sorted), summaryBytes(t, reg); !bytes.Equal(a, b) {
+		t.Fatalf("recomputed summary differs from the sorted fold:\n%s\nwant:\n%s", b, a)
+	}
+}
+
+// TestRecomputeFailureLeavesStateIntact: a resolver failure mid-recompute
+// must not tear the registry — the staged shards are discarded whole.
+func TestRecomputeFailureLeavesStateIntact(t *testing.T) {
+	fail := false
+	resolver := func(region string) (units.CarbonIntensity, error) {
+		if fail {
+			return 0, fmt.Errorf("resolver offline")
+		}
+		return StaticRegions()(region)
+	}
+	reg := New(Config{Shards: 4, Resolver: resolver})
+	for i := 0; i < 10; i++ {
+		if _, err := reg.Upsert(testDevice(fmt.Sprintf("dev-%d", i), i%3, "united-states")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := summaryBytes(t, reg)
+
+	fail = true
+	if err := reg.Recompute(context.Background()); err == nil {
+		t.Fatal("recompute with a failing resolver succeeded")
+	}
+	fail = false
+	if after := summaryBytes(t, reg); !bytes.Equal(before, after) {
+		t.Fatalf("failed recompute changed state:\n%s\nwant:\n%s", after, before)
+	}
+}
+
+// TestWALRecomputeMarker: a logged recompute replays as a recompute, so a
+// log written after a model-table change reproduces the repriced state.
+func TestWALRecomputeMarker(t *testing.T) {
+	var log bytes.Buffer
+	reg := New(Config{Shards: 4})
+	reg.AttachLog(&log)
+	for i := 0; i < 10; i++ {
+		if _, err := reg.Upsert(testDevice(fmt.Sprintf("dev-%d", i), i%3, "europe")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := reg.Recompute(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	reg2 := New(Config{Shards: 4})
+	applied, _, err := reg2.Replay(context.Background(), bytes.NewReader(log.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 11 {
+		t.Fatalf("replayed %d operations, want 11 (10 upserts + recompute)", applied)
+	}
+	if a, b := summaryBytes(t, reg), summaryBytes(t, reg2); !bytes.Equal(a, b) {
+		t.Fatalf("replayed summary differs:\n%s\nwant:\n%s", b, a)
+	}
+}
+
+// TestCheckpoint: Checkpoint writes the snapshot and resets the log under
+// one lock, so snapshot + emptied log together reproduce the state.
+func TestCheckpoint(t *testing.T) {
+	var log bytes.Buffer
+	reg := New(Config{Shards: 4})
+	reg.AttachLog(&log)
+	walScript(t, reg)
+
+	var snap bytes.Buffer
+	if err := reg.Checkpoint(&snap, func() error { log.Reset(); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if log.Len() != 0 {
+		t.Fatalf("log not reset: %d bytes remain", log.Len())
+	}
+
+	// Post-checkpoint mutations land only in the fresh log.
+	if _, err := reg.Upsert(testDevice("late", 9, "india")); err != nil {
+		t.Fatal(err)
+	}
+
+	reg2 := New(Config{Shards: 4})
+	if _, err := reg2.Restore(bytes.NewReader(snap.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := reg2.Replay(context.Background(), bytes.NewReader(log.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if a, b := summaryBytes(t, reg), summaryBytes(t, reg2); !bytes.Equal(a, b) {
+		t.Fatalf("snapshot+log summary differs:\n%s\nwant:\n%s", b, a)
+	}
+}

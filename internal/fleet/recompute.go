@@ -1,0 +1,116 @@
+// Full recomputation. The incremental totals stay exact as long as the
+// model tables behind core.Embodied are the ones the contributions were
+// priced under; when the tables change (a new binary with a revised
+// Table 9, say), every embodied figure in the registry is stale at once.
+// Recompute re-evaluates each distinct BoM exactly once — fanned out
+// through parsweep — reprices every record, and rebuilds all shard totals
+// from scratch in sorted id order, the canonical fold. It is the only
+// O(devices) mutation in the package, which is the point: it runs on
+// table change, not on ingest.
+
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"act/internal/parsweep"
+	"act/internal/scenario"
+)
+
+// Recompute re-evaluates every registered BoM against the current model
+// tables and rebuilds all shard totals. The registry is locked for the
+// duration; on failure (cancellation, a resolver error) it is left
+// unchanged.
+func (r *Registry) Recompute(ctx context.Context) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.recomputeLocked(ctx); err != nil {
+		return err
+	}
+	if r.log != nil {
+		if err := r.log.append([]byte{opRecompute}); err != nil {
+			return fmt.Errorf("fleet: write-ahead log: %w", err)
+		}
+	}
+	return nil
+}
+
+// recomputeLocked does the work with r.mu write-held (no readers hold
+// shard locks, so shard state is touched directly).
+func (r *Registry) recomputeLocked(ctx context.Context) error {
+	// One representative spec per distinct BoM, evaluated once each.
+	reps := map[string]*scenario.Spec{}
+	for _, sh := range r.shards {
+		for _, rec := range sh.recs {
+			if _, ok := reps[rec.key]; !ok {
+				reps[rec.key] = rec.dev.Spec
+			}
+		}
+	}
+	keys := make([]string, 0, len(reps))
+	for k := range reps {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	vals, err := parsweep.MapErrCtx(ctx, r.cfg.Workers, keys, func(_ context.Context, _ int, key string) (float64, error) {
+		return embodiedOf(reps[key])
+	})
+	if err != nil {
+		return fmt.Errorf("fleet: recompute: %w", err)
+	}
+	embodied := make(map[string]float64, len(keys))
+	for i, k := range keys {
+		embodied[k] = vals[i]
+	}
+
+	// Stage replacement shards — nothing mutates until every record has
+	// repriced cleanly, so a resolver failure leaves the registry intact.
+	staged, err := parsweep.MapErrCtx(ctx, r.cfg.Workers, r.shards, func(_ context.Context, _ int, sh *shard) (*shard, error) {
+		ns := newShard()
+		ids := make([]string, 0, len(sh.recs))
+		for id := range sh.recs {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			old := sh.recs[id]
+			ci, err := r.cfg.Resolver(old.dev.Region)
+			if err != nil {
+				return nil, fmt.Errorf("fleet: recompute device %q: %w", id, err)
+			}
+			rec := &record{
+				dev:      old.dev,
+				specJSON: old.specJSON,
+				key:      old.key,
+				node:     old.node,
+				contrib:  contributionOf(&old.dev, embodied[old.key], ci),
+			}
+			ns.recs[id] = rec
+			ns.applyLocked(rec, +1)
+		}
+		return ns, nil
+	})
+	if err != nil {
+		return err
+	}
+
+	entries := map[string]*evalEntry{}
+	var count int64
+	for i, ns := range staged {
+		r.shards[i] = ns
+		count += ns.agg.devices
+		for _, rec := range ns.recs {
+			e, ok := entries[rec.key]
+			if !ok {
+				e = &evalEntry{embodiedG: rec.contrib.embodiedG}
+				entries[rec.key] = e
+			}
+			e.refs++
+		}
+	}
+	r.evals.reset(entries)
+	r.count.Store(count)
+	return nil
+}

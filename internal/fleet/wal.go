@@ -1,0 +1,164 @@
+// Append-only write-ahead log. Every mutation is framed and appended
+// before the shard's in-memory state changes, so a crash between a
+// snapshot and now loses nothing: boot restores the snapshot, then
+// replays the log's tail.
+//
+// Frame layout (little-endian, see codec.go):
+//
+//	u32 payload length | payload | u64 FNV-64a checksum of the payload
+//
+// The payload's first byte is the operation:
+//
+//	1 upsert    — one encoded record, contribution included, applied
+//	              verbatim on replay (no re-evaluation, so replay lands on
+//	              byte-identical totals)
+//	2 remove    — the device id
+//	3 recompute — no body; replay re-runs the model-table recomputation at
+//	              this point in the history
+//
+// Appends happen under the owning shard's lock (fleet.go), which fixes
+// the relative order of operations on any one device; the log writer's
+// own mutex serializes frames from different shards.
+//
+// Replay tolerates a torn tail — a frame cut short by a crash mid-append.
+// It applies every complete, checksummed frame and reports the byte
+// offset after the last good one so the caller can truncate the file
+// there before appending again. A frame that is complete but fails its
+// checksum is corruption, not a torn tail, and is an error.
+
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sync"
+)
+
+const (
+	opUpsert    = 1
+	opRemove    = 2
+	opRecompute = 3
+)
+
+// walWriter serializes frame appends to the underlying writer.
+type walWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// append frames the payload and writes it in one Write call, so a torn
+// tail can only come from the storage layer, not from interleaving.
+func (l *walWriter) append(payload []byte) error {
+	frame := make([]byte, 0, len(payload)+12)
+	frame = appendU32(frame, uint32(len(payload)))
+	frame = append(frame, payload...)
+	h := fnv.New64a()
+	_, _ = h.Write(payload)
+	frame = appendU64(frame, h.Sum64())
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, err := l.w.Write(frame); err != nil {
+		return fmt.Errorf("fleet: wal append: %w", err)
+	}
+	return nil
+}
+
+func encodeUpsert(rec *record) []byte {
+	b := []byte{opUpsert}
+	return encodeRecord(b, rec)
+}
+
+func encodeRemove(id string) []byte {
+	b := []byte{opRemove}
+	return appendString(b, id)
+}
+
+// AttachLog starts logging every subsequent mutation to w. Attach after
+// Restore and Replay — the log should record only operations newer than
+// the state already loaded. Passing nil detaches.
+func (r *Registry) AttachLog(w io.Writer) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if w == nil {
+		r.log = nil
+		return
+	}
+	r.log = &walWriter{w: w}
+}
+
+// Replay applies a write-ahead log to the registry. It returns the number
+// of operations applied and the byte offset just past the last complete
+// frame: a torn final frame (crash mid-append) is tolerated and excluded
+// from offset, so the caller truncates the file to offset before
+// re-attaching an appender. Mid-stream corruption — a complete frame
+// whose checksum does not match — is an error.
+func (r *Registry) Replay(ctx context.Context, rd io.Reader) (applied int, offset int64, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for {
+		payload, frameLen, err := readFrame(rd)
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return applied, offset, nil // torn or clean tail: stop here
+			}
+			return applied, offset, fmt.Errorf("fleet: wal replay at offset %d: %w", offset, err)
+		}
+		if err := r.applyFrame(ctx, payload); err != nil {
+			return applied, offset, fmt.Errorf("fleet: wal replay at offset %d: %w", offset, err)
+		}
+		applied++
+		offset += frameLen
+	}
+}
+
+// readFrame reads one complete frame and verifies its checksum. io.EOF at
+// the frame boundary means a clean end; io.ErrUnexpectedEOF anywhere
+// inside the frame means a torn tail.
+func readFrame(rd io.Reader) (payload []byte, frameLen int64, err error) {
+	d := &reader{r: rd}
+	payload = d.bytes()
+	sum := d.u64()
+	if d.err != nil {
+		return nil, 0, d.err
+	}
+	if len(payload) == 0 {
+		return nil, 0, fmt.Errorf("empty frame")
+	}
+	h := fnv.New64a()
+	_, _ = h.Write(payload)
+	if h.Sum64() != sum {
+		return nil, 0, fmt.Errorf("frame checksum mismatch")
+	}
+	return payload, int64(len(payload)) + 12, nil
+}
+
+// applyFrame performs one logged operation without re-logging it. The
+// caller write-holds r.mu.
+func (r *Registry) applyFrame(ctx context.Context, payload []byte) error {
+	op, body := payload[0], payload[1:]
+	switch op {
+	case opUpsert:
+		rec, err := decodeRecord(&reader{r: bytes.NewReader(body)})
+		if err != nil {
+			return err
+		}
+		_, err = r.apply(rec, false)
+		return err
+	case opRemove:
+		d := &reader{r: bytes.NewReader(body)}
+		id := d.str()
+		if d.err != nil {
+			return d.err
+		}
+		_, err := r.remove(id, false)
+		return err
+	case opRecompute:
+		return r.recomputeLocked(ctx)
+	default:
+		return fmt.Errorf("unknown wal op %d", op)
+	}
+}

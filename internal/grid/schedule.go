@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"act/internal/acterr"
 	"act/internal/intensity"
 	"act/internal/units"
 )
@@ -30,11 +31,19 @@ type Schedule struct {
 	Emissions units.CO2Mass
 }
 
-// hourlySlots samples the trace at each whole hour of the window.
+// hourlySlots samples the trace at each whole hour of the window. A window
+// reaching past a bounded trace's measured coverage is a typed validation
+// error: sampling there would silently schedule against extrapolated
+// intensities, which for a replayed feed is an answer the data does not
+// support.
 func hourlySlots(tr intensity.Trace, window time.Duration) ([]Slot, error) {
 	hours := int(window.Hours())
 	if hours < 1 {
 		return nil, fmt.Errorf("grid: window %v shorter than one hour", window)
+	}
+	if b, ok := tr.(intensity.Bounded); ok && window > b.Bound() {
+		return nil, fmt.Errorf("grid: %w", acterr.Invalid("window",
+			"window %v exceeds the trace's measured coverage %v", window, b.Bound()))
 	}
 	out := make([]Slot, hours)
 	for h := 0; h < hours; h++ {

@@ -1,0 +1,62 @@
+package grid
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"act/internal/acterr"
+	"act/internal/intensity"
+	"act/internal/units"
+)
+
+// TestScheduleWindowBound pins the bounded-trace contract on both edges:
+// a scheduling window equal to the trace's measured coverage is served,
+// one past it is a typed validation error naming the window field —
+// never a silent truncation to the data that happens to exist.
+func TestScheduleWindowBound(t *testing.T) {
+	tr, err := NewTrace(Default(), DiurnalDemand(9000, 2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clipped, err := intensity.Clip(tr, 24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	energy := units.KilowattHours(10)
+
+	// Edge 1: window == bound is inside the measured data.
+	for name, f := range map[string]func() error{
+		"immediate": func() error { _, err := Immediate(clipped, energy, 2, 24*time.Hour); return err },
+		"aware":     func() error { _, err := CarbonAware(clipped, energy, 2, 24*time.Hour); return err },
+		"savings":   func() error { _, err := Savings(clipped, energy, 2, 24*time.Hour); return err },
+	} {
+		if err := f(); err != nil {
+			t.Errorf("%s at window == bound: unexpected error %v", name, err)
+		}
+	}
+
+	// Edge 2: one hour past the bound is a typed validation error.
+	for name, f := range map[string]func() error{
+		"immediate": func() error { _, err := Immediate(clipped, energy, 2, 25*time.Hour); return err },
+		"aware":     func() error { _, err := CarbonAware(clipped, energy, 2, 25*time.Hour); return err },
+		"savings":   func() error { _, err := Savings(clipped, energy, 2, 25*time.Hour); return err },
+	} {
+		err := f()
+		if err == nil {
+			t.Fatalf("%s at window > bound: no error", name)
+		}
+		if !acterr.IsInvalid(err) {
+			t.Fatalf("%s at window > bound: error %v is not a typed validation error", name, err)
+		}
+		var inv *acterr.InvalidSpecError
+		if !errors.As(err, &inv) || inv.Field != "window" {
+			t.Fatalf("%s at window > bound: error %v does not name the window field", name, err)
+		}
+	}
+
+	// An unbounded trace still extrapolates freely past one day.
+	if _, err := CarbonAware(tr, energy, 2, 48*time.Hour); err != nil {
+		t.Fatalf("unbounded trace over 48h: %v", err)
+	}
+}

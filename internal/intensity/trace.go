@@ -112,6 +112,43 @@ func (s *Step) At(t time.Duration) units.CarbonIntensity {
 	return s.Values[lo]
 }
 
+// Bounded is a Trace with finite measured coverage: Bound returns the
+// length of the window the trace actually describes. At remains defined
+// for any offset (traces extrapolate), but consumers that schedule work
+// against measured data — grid.Immediate, grid.CarbonAware — treat a
+// request past the bound as an error rather than silently reading
+// extrapolated values.
+type Bounded interface {
+	Trace
+	// Bound is the measured coverage of the trace from its origin.
+	Bound() time.Duration
+}
+
+// Clipped wraps a trace with an explicit measured bound. It is how a
+// replayed feed (a Step trace built from an electricityMap-style export)
+// declares where its data ends: At past the bound still answers (the
+// underlying trace's extrapolation), but Bounded consumers reject windows
+// that would read past it.
+type Clipped struct {
+	Trace
+	// Length is the measured coverage from the trace origin.
+	Length time.Duration
+}
+
+// Clip bounds a trace at length. Length must be positive.
+func Clip(tr Trace, length time.Duration) (*Clipped, error) {
+	if tr == nil {
+		return nil, fmt.Errorf("intensity: clip of nil trace")
+	}
+	if length <= 0 {
+		return nil, fmt.Errorf("intensity: non-positive clip length %v", length)
+	}
+	return &Clipped{Trace: tr, Length: length}, nil
+}
+
+// Bound implements Bounded.
+func (c *Clipped) Bound() time.Duration { return c.Length }
+
 // Average integrates a trace over [from, to) by sampling at the given
 // resolution and returns the mean intensity. Resolution must be positive
 // and the window non-empty.

@@ -1,0 +1,35 @@
+package intensity
+
+import (
+	"testing"
+	"time"
+
+	"act/internal/units"
+)
+
+func TestClip(t *testing.T) {
+	base := Constant(units.GramsPerKWh(400))
+	c, err := Clip(base, 6*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Bound(); got != 6*time.Hour {
+		t.Fatalf("Bound() = %v, want 6h", got)
+	}
+	// At stays defined past the bound — the bound is advisory metadata for
+	// Bounded-aware consumers, not a panic line.
+	if got := c.At(100 * time.Hour); got != units.GramsPerKWh(400) {
+		t.Fatalf("At past bound = %v, want the underlying trace's value", got)
+	}
+	var _ Bounded = c
+
+	if _, err := Clip(nil, time.Hour); err == nil {
+		t.Fatal("Clip(nil) accepted")
+	}
+	if _, err := Clip(base, 0); err == nil {
+		t.Fatal("Clip with zero length accepted")
+	}
+	if _, err := Clip(base, -time.Hour); err == nil {
+		t.Fatal("Clip with negative length accepted")
+	}
+}

@@ -1,0 +1,17 @@
+package memdb
+
+import "testing"
+
+// TestFingerprint pins the table fingerprint's two properties: it is
+// stable across calls (fleet snapshots written and reread by the same
+// binary always agree), and it is non-zero (a zeroed stamp would make
+// every snapshot look stale).
+func TestFingerprint(t *testing.T) {
+	a, b := Fingerprint(), Fingerprint()
+	if a != b {
+		t.Fatalf("Fingerprint not stable: %x vs %x", a, b)
+	}
+	if a == 0 {
+		t.Fatal("Fingerprint is zero")
+	}
+}

@@ -8,6 +8,7 @@ package memdb
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"strings"
 
@@ -132,4 +133,18 @@ func ByCPS() []Entry {
 		return out[i].Technology < out[j].Technology
 	})
 	return out
+}
+
+// Fingerprint returns a 64-bit FNV-1a digest of the characterization
+// table's contents. The fleet registry stamps it into snapshots: a restore
+// whose stored fingerprint differs from the running binary's was computed
+// against different model tables, so the restored totals are stale and the
+// fleet must be recomputed rather than trusted. The digest folds every row
+// field in table order, so any edit to Table 9 changes it.
+func Fingerprint() uint64 {
+	h := fnv.New64a()
+	for _, e := range table {
+		_, _ = fmt.Fprintf(h, "%s|%s|%g|%t\n", e.Technology, e.Description, float64(e.CPS), e.DeviceLevel)
+	}
+	return h.Sum64()
 }

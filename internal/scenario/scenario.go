@@ -245,8 +245,10 @@ func (s *Spec) usage() (core.Usage, error) {
 	return eu.WallUsage()
 }
 
-// lifetime returns LT with the 3-year default applied.
-func (s *Spec) lifetime() float64 {
+// Lifetime returns LT in years with the 3-year default applied — the
+// amortization horizon of Eq. 1 that fleet accounting shares with the
+// single-device assessment.
+func (s *Spec) Lifetime() float64 {
 	if s.LifetimeYears == 0 {
 		return 3
 	}
@@ -264,7 +266,7 @@ func (s *Spec) Assess() (core.Assessment, error) {
 		return core.Assessment{}, err
 	}
 	appTime := units.Years(s.Usage.AppHours / (365.25 * 24))
-	return core.Footprint(d, usage, appTime, units.Years(s.lifetime()))
+	return core.Footprint(d, usage, appTime, units.Years(s.Lifetime()))
 }
 
 // HasLifeCycle reports whether the scenario carries transport or
@@ -287,7 +289,7 @@ func (s *Spec) LifeCycle() (core.PhaseReport, error) {
 	lc := core.LifeCycle{
 		Device:   d,
 		Use:      core.EffectiveUsage{Usage: usage, Effectiveness: 1},
-		Lifetime: units.Years(s.lifetime()),
+		Lifetime: units.Years(s.Lifetime()),
 	}
 	for _, leg := range s.Transport {
 		lc.Transport = append(lc.Transport, core.TransportLeg{

@@ -1,0 +1,237 @@
+// The /v1/fleet API: streaming NDJSON ingest into the fleet registry,
+// O(shards) summaries, device removal, and model-table recomputation —
+// plus the snapshot/write-ahead-log persistence glue actd uses across
+// restarts. Summary responses are written through report.Encode, the same
+// encoder `act fleet` uses, so the service body and the CLI output are
+// byte-identical.
+
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	"act/internal/acterr"
+	"act/internal/fleet"
+	"act/internal/report"
+)
+
+// Fleet exposes the server's fleet registry (tests and cmd/actd).
+func (s *Server) Fleet() *fleet.Registry { return s.fleet }
+
+// handleFleetIngest streams NDJSON device objects into the registry.
+// Ingest is incremental: records apply in order and stay applied when a
+// later record fails, and the error names the failing record's index.
+// Outcome counts land in actd_fleet_ingest_total{code}: created, replaced,
+// invalid (a 4xx the client can fix), error (an internal fault).
+func (s *Server) handleFleetIngest(w http.ResponseWriter, r *http.Request) {
+	res, err := s.fleet.IngestNDJSON(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes), s.cfg.MaxBatch)
+	if created := res.Upserted - res.Replaced; created > 0 {
+		s.mFleetIngest.With("created").Add(uint64(created))
+	}
+	if res.Replaced > 0 {
+		s.mFleetIngest.With("replaced").Add(uint64(res.Replaced))
+	}
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		switch {
+		case errors.As(err, &tooBig):
+			s.mFleetIngest.With("invalid").Add(1)
+			s.writeJSONError(w, r, http.StatusRequestEntityTooLarge, errorResponse{
+				Error: fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit),
+			})
+		case errors.Is(err, fleet.ErrTooMany):
+			s.mFleetIngest.With("invalid").Add(1)
+			s.writeJSONError(w, r, http.StatusRequestEntityTooLarge, errorResponse{
+				Error: err.Error(),
+			})
+		case acterr.IsInvalid(err):
+			s.mFleetIngest.With("invalid").Add(1)
+			s.writeError(w, r, err)
+		default:
+			s.mFleetIngest.With("error").Add(1)
+			s.writeError(w, r, err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// handleFleetSummary answers the aggregate fleet document. Optional query
+// parameters: top=K adds the K largest per-device emitters, by=region|node
+// adds per-group rows.
+func (s *Server) handleFleetSummary(w http.ResponseWriter, r *http.Request) {
+	q := fleet.Query{GroupBy: r.URL.Query().Get("by")}
+	if v := r.URL.Query().Get("top"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			s.writeError(w, r, acterr.Invalid("top", "cannot parse top-K %q", v))
+			return
+		}
+		q.TopK = n
+	}
+	doc, err := s.fleet.Query(q)
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = report.Encode(w, doc)
+}
+
+// handleFleetDelete unregisters one device by id; 404 when absent.
+func (s *Server) handleFleetDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	found, err := s.fleet.Remove(id)
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	if !found {
+		s.writeJSONError(w, r, http.StatusNotFound, errorResponse{
+			Error: fmt.Sprintf("no device %q", id),
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"removed": id})
+}
+
+// handleFleetRecompute re-evaluates every registered BoM against the
+// current model tables and answers with the fresh summary. Latency lands
+// in actd_fleet_recompute_seconds.
+func (s *Server) handleFleetRecompute(w http.ResponseWriter, r *http.Request) {
+	if err := s.recomputeFleet(r.Context()); err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = report.Encode(w, s.fleet.Summary())
+}
+
+// recomputeFleet runs one observed recomputation.
+func (s *Server) recomputeFleet(ctx context.Context) error {
+	start := time.Now()
+	err := s.fleet.Recompute(ctx)
+	s.mFleetRecompute.Observe(time.Since(start).Seconds())
+	return err
+}
+
+// OpenFleet loads fleet state from disk and arranges durability for
+// everything that follows: restore the snapshot (if one exists), replay
+// the write-ahead log's tail (truncating a torn final frame), attach the
+// log appender, and — when the snapshot was written against different
+// model tables than this binary carries — recompute. Either path may be
+// "" to skip it; with both "" the fleet is purely in-memory.
+func (s *Server) OpenFleet(ctx context.Context, snapshotPath, walPath string) error {
+	if snapshotPath != "" {
+		f, err := os.Open(snapshotPath)
+		switch {
+		case err == nil:
+			stale, rerr := s.fleet.Restore(f)
+			f.Close()
+			if rerr != nil {
+				return rerr
+			}
+			s.log.Info("fleet snapshot restored",
+				"path", snapshotPath, "devices", s.fleet.Len(), "stale", stale)
+			if stale {
+				defer func() {
+					// Deferred so the WAL is attached first: the recompute is
+					// then logged and survives a crash before the next snapshot.
+					if err := s.recomputeFleet(ctx); err != nil {
+						s.log.Error("fleet recompute after stale restore", "error", err)
+					}
+				}()
+			}
+		case errors.Is(err, fs.ErrNotExist):
+			// First boot: nothing to restore.
+		default:
+			return err
+		}
+	}
+	if walPath != "" {
+		f, err := os.OpenFile(walPath, os.O_CREATE|os.O_RDWR, 0o644)
+		if err != nil {
+			return err
+		}
+		applied, offset, err := s.fleet.Replay(ctx, f)
+		if err != nil {
+			f.Close()
+			return err
+		}
+		// Drop a torn final frame so the appender continues from the last
+		// complete one.
+		if err := f.Truncate(offset); err != nil {
+			f.Close()
+			return err
+		}
+		if _, err := f.Seek(offset, io.SeekStart); err != nil {
+			f.Close()
+			return err
+		}
+		s.fleetWAL = f
+		s.fleet.AttachLog(f)
+		if applied > 0 {
+			s.log.Info("fleet write-ahead log replayed",
+				"path", walPath, "operations", applied, "devices", s.fleet.Len())
+		}
+	}
+	return nil
+}
+
+// SaveFleetSnapshot checkpoints the fleet to path: the snapshot is written
+// to a temporary sibling, synced, renamed into place, and the write-ahead
+// log truncated — the last three under the registry lock, so no operation
+// slips between the snapshot and the log reset.
+func (s *Server) SaveFleetSnapshot(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	err = s.fleet.Checkpoint(f, func() error {
+		if err := f.Sync(); err != nil {
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		if err := os.Rename(tmp, path); err != nil {
+			return err
+		}
+		if s.fleetWAL == nil {
+			return nil
+		}
+		if err := s.fleetWAL.Truncate(0); err != nil {
+			return err
+		}
+		_, err := s.fleetWAL.Seek(0, io.SeekStart)
+		return err
+	})
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	s.log.Info("fleet snapshot saved", "path", path, "devices", s.fleet.Len())
+	return nil
+}
+
+// CloseFleet releases the write-ahead log handle (after SaveFleetSnapshot
+// on shutdown).
+func (s *Server) CloseFleet() error {
+	if s.fleetWAL == nil {
+		return nil
+	}
+	err := s.fleetWAL.Close()
+	s.fleetWAL = nil
+	s.fleet.AttachLog(nil)
+	return err
+}

@@ -1,0 +1,326 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fleetLine renders one NDJSON device over the shared testSpec shape.
+func fleetLine(t *testing.T, id string, area float64, region string) string {
+	t.Helper()
+	raw, err := json.Marshal(testSpec(area))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fmt.Sprintf(`{"id":%q,"region":%q,"deployed":"2024-01-01","utilization":0.5,"scenario":%s}`,
+		id, region, raw)
+}
+
+func ingestFleet(t *testing.T, ts string, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(ts+"/v1/fleet/devices", "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func TestFleetAPILifecycle(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	// Ingest three devices, one of them twice (a replace).
+	body := strings.Join([]string{
+		fleetLine(t, "a", 10, "united-states"),
+		fleetLine(t, "b", 20, "europe"),
+		fleetLine(t, "c", 30, "india"),
+		fleetLine(t, "a", 40, "united-states"),
+	}, "\n")
+	resp := ingestFleet(t, ts.URL, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status = %d", resp.StatusCode)
+	}
+	var res struct {
+		Upserted int `json:"upserted"`
+		Replaced int `json:"replaced"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Upserted != 4 || res.Replaced != 1 {
+		t.Fatalf("ingest result = %+v, want 4 upserted / 1 replaced", res)
+	}
+
+	// Summary with every optional section.
+	get, err := http.Get(ts.URL + "/v1/fleet/summary?top=2&by=region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer get.Body.Close()
+	var doc struct {
+		Devices      int `json:"devices"`
+		DistinctBoMs int `json:"distinct_boms"`
+		Groups       []struct {
+			Key string `json:"key"`
+		} `json:"groups"`
+		Top []struct {
+			ID string `json:"id"`
+		} `json:"top"`
+	}
+	if err := json.NewDecoder(get.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Devices != 3 || doc.DistinctBoMs != 3 {
+		t.Fatalf("summary = %+v, want 3 devices / 3 BoMs", doc)
+	}
+	if len(doc.Groups) != 3 || len(doc.Top) != 2 {
+		t.Fatalf("summary sections = %d groups / %d top, want 3/2", len(doc.Groups), len(doc.Top))
+	}
+	if doc.Top[0].ID != "c" { // india's grid intensity makes operational dominate
+		t.Fatalf("top emitter = %q, want c", doc.Top[0].ID)
+	}
+
+	// Delete one; a second delete of the same id is 404.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/fleet/devices/b", nil)
+	del, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	del.Body.Close()
+	if del.StatusCode != http.StatusOK {
+		t.Fatalf("delete status = %d", del.StatusCode)
+	}
+	del2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	del2.Body.Close()
+	if del2.StatusCode != http.StatusNotFound {
+		t.Fatalf("second delete status = %d, want 404", del2.StatusCode)
+	}
+
+	// Recompute answers the fresh summary.
+	rec, err := http.Post(ts.URL+"/v1/fleet/recompute", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Body.Close()
+	var after struct {
+		Devices int `json:"devices"`
+	}
+	if err := json.NewDecoder(rec.Body).Decode(&after); err != nil {
+		t.Fatal(err)
+	}
+	if rec.StatusCode != http.StatusOK || after.Devices != 2 {
+		t.Fatalf("recompute: status %d devices %d, want 200/2", rec.StatusCode, after.Devices)
+	}
+}
+
+func TestFleetAPIErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBatch: 2, MaxBodyBytes: 1 << 20})
+
+	t.Run("invalid device is 400 with field and index", func(t *testing.T) {
+		bad := strings.Replace(fleetLine(t, "x", 10, "united-states"), `"2024-01-01"`, `"soon"`, 1)
+		resp := ingestFleet(t, ts.URL, bad)
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+		}
+		var e struct {
+			Field string `json:"field"`
+		}
+		if err := json.Unmarshal(body, &e); err != nil {
+			t.Fatal(err)
+		}
+		if e.Field != "device[0].deployed" {
+			t.Fatalf("field = %q, want device[0].deployed", e.Field)
+		}
+	})
+
+	t.Run("unknown region is 400", func(t *testing.T) {
+		resp := ingestFleet(t, ts.URL, fleetLine(t, "x", 10, "atlantis"))
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status = %d", resp.StatusCode)
+		}
+	})
+
+	t.Run("over max batch is 413", func(t *testing.T) {
+		body := strings.Join([]string{
+			fleetLine(t, "a", 10, "europe"),
+			fleetLine(t, "b", 11, "europe"),
+			fleetLine(t, "c", 12, "europe"),
+		}, "\n")
+		resp := ingestFleet(t, ts.URL, body)
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Fatalf("status = %d, want 413", resp.StatusCode)
+		}
+	})
+
+	t.Run("bad query is 400", func(t *testing.T) {
+		for _, q := range []string{"?top=x", "?top=-3", "?by=color"} {
+			resp, err := http.Get(ts.URL + "/v1/fleet/summary" + q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("%s: status = %d, want 400", q, resp.StatusCode)
+			}
+		}
+	})
+}
+
+// TestFleetMetricsExposition drives the fleet API and asserts the three
+// fleet series render in /metrics with the values the traffic implies.
+func TestFleetMetricsExposition(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	body := strings.Join([]string{
+		fleetLine(t, "a", 10, "united-states"),
+		fleetLine(t, "b", 20, "europe"),
+		fleetLine(t, "a", 30, "united-states"),
+	}, "\n")
+	if resp := ingestFleet(t, ts.URL, body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status = %d", resp.StatusCode)
+	}
+	if resp := ingestFleet(t, ts.URL, fleetLine(t, "x", 10, "atlantis")); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad ingest status = %d", resp.StatusCode)
+	}
+	rec, err := http.Post(ts.URL+"/v1/fleet/recompute", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Body.Close()
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	exposition, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE actd_fleet_devices gauge",
+		"actd_fleet_devices 2",
+		"# TYPE actd_fleet_ingest_total counter",
+		`actd_fleet_ingest_total{code="created"} 2`,
+		`actd_fleet_ingest_total{code="replaced"} 1`,
+		`actd_fleet_ingest_total{code="invalid"} 1`,
+		"# TYPE actd_fleet_recompute_seconds histogram",
+		"actd_fleet_recompute_seconds_count 1",
+	} {
+		if !strings.Contains(string(exposition), want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestFleetPersistenceAcrossRestart is the durability acceptance path: a
+// server with a snapshot and a write-ahead log is killed (state saved),
+// a second server boots from the same paths, and its summary is
+// byte-identical — including mutations that only ever hit the log.
+func TestFleetPersistenceAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "fleet.snapshot")
+	wal := filepath.Join(dir, "fleet.wal")
+	ctx := context.Background()
+
+	s1, ts1 := newTestServer(t, Config{})
+	if err := s1.OpenFleet(ctx, snap, wal); err != nil {
+		t.Fatal(err)
+	}
+	if resp := ingestFleet(t, ts1.URL, strings.Join([]string{
+		fleetLine(t, "a", 10, "united-states"),
+		fleetLine(t, "b", 20, "europe"),
+	}, "\n")); resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status = %d", resp.StatusCode)
+	}
+	if err := s1.SaveFleetSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	// Post-snapshot traffic lands only in the write-ahead log.
+	if resp := ingestFleet(t, ts1.URL, fleetLine(t, "c", 30, "india")); resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status = %d", resp.StatusCode)
+	}
+	want, err := http.Get(ts1.URL + "/v1/fleet/summary?top=3&by=region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBody, _ := io.ReadAll(want.Body)
+	want.Body.Close()
+	if err := s1.CloseFleet(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": a fresh server boots from the same paths.
+	s2, ts2 := newTestServer(t, Config{})
+	if err := s2.OpenFleet(ctx, snap, wal); err != nil {
+		t.Fatal(err)
+	}
+	got, err := http.Get(ts2.URL + "/v1/fleet/summary?top=3&by=region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotBody, _ := io.ReadAll(got.Body)
+	got.Body.Close()
+	if !bytes.Equal(gotBody, wantBody) {
+		t.Fatalf("summary after restart differs:\n%s\nwant:\n%s", gotBody, wantBody)
+	}
+	if err := s2.CloseFleet(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The snapshot file round-trips byte-identically through a checkpoint
+	// of the restored state.
+	s3, _ := newTestServer(t, Config{})
+	if err := s3.OpenFleet(ctx, snap, wal); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The WAL holds device c; checkpointing folds it into the new snapshot.
+	if err := s3.SaveFleetSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(wal); err != nil || fi.Size() != 0 {
+		t.Fatalf("write-ahead log not truncated after checkpoint: %v, %d bytes", err, fi.Size())
+	}
+	after, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(before, after) {
+		t.Fatal("checkpoint did not fold the write-ahead log into the snapshot")
+	}
+	if err := s3.CloseFleet(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Final boot from the checkpointed snapshot alone reproduces the
+	// summary bytes again.
+	s4, ts4 := newTestServer(t, Config{})
+	if err := s4.OpenFleet(ctx, snap, wal); err != nil {
+		t.Fatal(err)
+	}
+	final, err := http.Get(ts4.URL + "/v1/fleet/summary?top=3&by=region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	finalBody, _ := io.ReadAll(final.Body)
+	final.Body.Close()
+	if !bytes.Equal(finalBody, wantBody) {
+		t.Fatalf("summary after checkpointed restart differs:\n%s\nwant:\n%s", finalBody, wantBody)
+	}
+}

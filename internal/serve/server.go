@@ -52,6 +52,7 @@ import (
 	"time"
 
 	"act/internal/acterr"
+	"act/internal/fleet"
 	"act/internal/resilience"
 )
 
@@ -90,6 +91,12 @@ type Config struct {
 	// BreakerOpenFor is how long a tripped breaker rejects with 503 before
 	// probing (default 5s).
 	BreakerOpenFor time.Duration
+
+	// FleetShards is the fleet registry's lock-domain count (default 64).
+	FleetShards int
+	// FleetResolver maps fleet device regions to operational grid
+	// intensity (default the paper's Table 6 averages).
+	FleetResolver fleet.IntensityResolver
 }
 
 func (c Config) withDefaults() Config {
@@ -143,6 +150,9 @@ type Server struct {
 	breakers map[string]*resilience.Breaker // per API handler; nil when disabled
 	reqIDs   *reqIDSource
 
+	fleet    *fleet.Registry
+	fleetWAL *os.File // nil until OpenFleet attaches a write-ahead log
+
 	mRequests     *CounterVec // actd_requests_total{handler,code}
 	mLatency      *Histogram  // actd_request_duration_seconds
 	mCacheHits    *Counter    // actd_cache_hits_total
@@ -153,6 +163,9 @@ type Server struct {
 	mShed         *CounterVec // actd_shed_total{reason}
 	mRetries      *Counter    // actd_retries_total
 	mBreakerState *GaugeVec   // actd_breaker_state{handler}
+
+	mFleetIngest    *CounterVec // actd_fleet_ingest_total{code}
+	mFleetRecompute *Histogram  // actd_fleet_recompute_seconds
 }
 
 // New builds a Server from the config. Call ListenAndServe (or Serve on an
@@ -167,6 +180,11 @@ func New(cfg Config) *Server {
 		mux:    http.NewServeMux(),
 		reqIDs: newReqIDSource(),
 	}
+	s.fleet = fleet.New(fleet.Config{
+		Shards:   cfg.FleetShards,
+		Resolver: cfg.FleetResolver,
+		Workers:  cfg.Workers,
+	})
 	s.mRequests = s.reg.NewCounterVec("actd_requests_total",
 		"API requests served, by handler and HTTP status code.", "handler", "code")
 	s.mLatency = s.reg.NewHistogram("actd_request_duration_seconds",
@@ -187,6 +205,14 @@ func New(cfg Config) *Server {
 		"Transient-fault retries across scenario evaluations and batch fan-outs.")
 	s.mBreakerState = s.reg.NewGaugeVec("actd_breaker_state",
 		"Circuit breaker position per handler (0 closed, 1 open, 2 half-open).", "handler")
+	s.reg.NewGaugeFunc("actd_fleet_devices",
+		"Devices registered in the fleet registry.", func() int64 {
+			return int64(s.fleet.Len())
+		})
+	s.mFleetIngest = s.reg.NewCounterVec("actd_fleet_ingest_total",
+		"Fleet ingest outcomes, by device disposition.", "code")
+	s.mFleetRecompute = s.reg.NewHistogram("actd_fleet_recompute_seconds",
+		"Latency of full fleet recomputations in seconds.", DefaultLatencyBuckets)
 
 	if cfg.MaxInFlight > 0 {
 		s.admit = resilience.NewAdmission(resilience.AdmissionConfig{
@@ -204,7 +230,7 @@ func New(cfg Config) *Server {
 
 	if cfg.BreakerThreshold > 0 {
 		s.breakers = map[string]*resilience.Breaker{}
-		for _, name := range []string{"footprint", "sweep"} {
+		for _, name := range []string{"footprint", "sweep", "fleet_ingest", "fleet_recompute"} {
 			name := name
 			s.mBreakerState.With(name).Store(int64(resilience.Closed))
 			s.breakers[name] = resilience.NewBreaker(resilience.BreakerConfig{
@@ -221,6 +247,10 @@ func New(cfg Config) *Server {
 
 	s.mux.Handle("POST /v1/footprint", s.api("footprint", s.handleFootprint))
 	s.mux.Handle("POST /v1/sweep", s.api("sweep", s.handleSweep))
+	s.mux.Handle("POST /v1/fleet/devices", s.api("fleet_ingest", s.handleFleetIngest))
+	s.mux.Handle("GET /v1/fleet/summary", s.api("fleet_summary", s.handleFleetSummary))
+	s.mux.Handle("DELETE /v1/fleet/devices/{id}", s.api("fleet_delete", s.handleFleetDelete))
+	s.mux.Handle("POST /v1/fleet/recompute", s.api("fleet_recompute", s.handleFleetRecompute))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
