@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test verify verify-extended verify-chaos bench bench-cache bench-fleet run-actd clean
+.PHONY: all build test verify verify-extended verify-conform verify-chaos cover bench bench-cache bench-fleet run-actd clean
 
 all: build
 
@@ -19,19 +19,39 @@ verify: build
 	$(GO) test ./...
 
 # Extended verification: race detector across the concurrent paths
-# (sweep pool, footprint cache, graceful drain).
+# (sweep pool, footprint cache, graceful drain), then the full-size
+# cross-surface conformance run and the model-layer coverage floor.
 verify-extended: verify
 	$(GO) test -race ./...
+	$(MAKE) verify-conform
+	$(MAKE) cover
+
+# Cross-surface conformance at acceptance size: a 1000-scenario seeded
+# corpus (plus committed repros) evaluated through all four surfaces —
+# direct library, wire round trip, actd single and batch HTTP, fleet
+# refold — asserting byte-identical result documents, under the race
+# detector. Custom test-binary flags must follow the package path.
+verify-conform:
+	$(GO) test -race ./internal/conform/ -run TestConformCorpus -conform.n 1000 -conform.mutants 200
+
+# Coverage floor on the conformance harness and the wire layer it leans
+# on: the harness only protects what it executes, so its own coverage
+# regressing is a conformance gap, not a style nit.
+cover:
+	./scripts/coverfloor.sh ./internal/conform 80
+	./scripts/coverfloor.sh ./internal/scenario 85
 
 # Chaos verification: rebuild with the faultinject tag (hooks compiled in)
 # and run everything — including the seeded fault storm against a live
 # actd and the fleet shard/snapshot chaos suite — under the race
-# detector, then give the fleet ingest fuzzer a short budget beyond its
-# seed corpus.
+# detector, then give each fuzzer a short budget beyond its committed
+# seed corpus: the fleet ingest stream and both wire-envelope fuzzers.
 verify-chaos:
 	$(GO) vet -tags faultinject ./...
 	$(GO) test -race -tags faultinject ./...
 	$(GO) test -run FuzzFleetIngestNDJSON -fuzz FuzzFleetIngestNDJSON -fuzztime 10s ./internal/fleet/
+	$(GO) test -run FuzzScenarioUnmarshal -fuzz FuzzScenarioUnmarshal -fuzztime 10s ./internal/scenario/
+	$(GO) test -run FuzzCanonicalKey -fuzz FuzzCanonicalKey -fuzztime 10s ./internal/scenario/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -1,0 +1,55 @@
+// The conform subcommand: run the cross-surface conformance harness from
+// the CLI — the seeded corpus through the library, the wire round trip and
+// an embedded actd, the mutant catalogs, the fleet refold and the
+// paper-equation invariant suite.
+//
+//	act conform [-seed S] [-n N] [-mutants M] [-repro DIR]
+//
+// Exit status is non-zero when any surface disagrees, any mutant is
+// misclassified, or any invariant fails; diverging scenarios are shrunk
+// and, with -repro, written as minimal JSON repro files.
+
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"act/internal/conform"
+)
+
+func runConform(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("act conform", flag.ContinueOnError)
+	var (
+		seed    = fs.Uint64("seed", 1, "corpus seed (same seed, same corpus)")
+		n       = fs.Int("n", 200, "valid-corpus size")
+		mutants = fs.Int("mutants", 0, "randomized mutant trials (0 = twice the catalog)")
+		repro   = fs.String("repro", "", "directory to write shrunk divergence repros to")
+		quiet   = fs.Bool("quiet", false, "suppress progress lines")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := conform.Config{Seed: *seed, N: *n, Mutants: *mutants, ReproDir: *repro}
+	if !*quiet {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	e := conform.New(cfg)
+	defer e.Close()
+
+	rep, err := e.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, rep.Summary())
+	if !rep.Ok() {
+		fmt.Fprint(stdout, rep.Failures())
+		return fmt.Errorf("conformance failed")
+	}
+	return nil
+}

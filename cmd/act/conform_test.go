@@ -1,0 +1,27 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunConform(t *testing.T) {
+	var out bytes.Buffer
+	if err := runConform([]string{"-seed", "11", "-n", "25", "-mutants", "5", "-quiet"}, &out); err != nil {
+		t.Fatalf("runConform: %v\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{"conform:", "25 scenarios", "4 surfaces", "ok"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("summary missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunConformBadFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := runConform([]string{"-definitely-not-a-flag"}, &out); err == nil {
+		t.Fatal("unknown flag was accepted")
+	}
+}

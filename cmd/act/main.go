@@ -8,6 +8,7 @@
 //	act -example                 # print a sample scenario
 //	cat device.json | act        # read the scenario from stdin
 //	act fleet -file fleet.ndjson [-top K] [-by region|node]
+//	act conform [-seed S] [-n N]  # cross-surface conformance harness
 //
 // The json format emits the same result document actd serves from
 // POST /v1/footprint, byte for byte, so pipelines can swap between the CLI
@@ -39,6 +40,13 @@ func main() {
 			} else {
 				fmt.Fprintln(os.Stderr, "act:", err)
 			}
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "conform" {
+		if err := runConform(os.Args[2:], os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "act:", err)
 			os.Exit(1)
 		}
 		return

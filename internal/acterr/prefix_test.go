@@ -1,0 +1,151 @@
+package acterr
+
+// Table-driven edge cases for Prefix re-rooting. Prefix is the one function
+// every layer boundary leans on — scenario re-roots core errors under
+// component paths, actd re-roots element errors under batch indices — so
+// each composition rule is pinned here: empty inner fields, already-prefixed
+// paths, nested batch indices, sentinel preservation, and the transient /
+// context classes that must never be re-labelled as the client's fault.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestPrefixReRootingTable(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		// wantField is the InvalidSpecError field after Prefix.
+		wantField string
+		// wantMsg must appear in the resulting Message().
+		wantMsg string
+	}{
+		{
+			name:      "inner-field-appended",
+			err:       Invalid("area_mm2", "non-positive"),
+			wantField: "logic[0].area_mm2",
+			wantMsg:   "non-positive",
+		},
+		{
+			name: "empty-inner-field-keeps-prefix-only",
+			// An inner error with no field roots at the prefix itself, not
+			// at "prefix." with a dangling dot.
+			err:       Invalid("", "no components"),
+			wantField: "logic[0]",
+			wantMsg:   "no components",
+		},
+		{
+			name:      "already-prefixed-path-composes",
+			err:       Invalid("fab.yield", "outside (0, 1]"),
+			wantField: "logic[0].fab.yield",
+			wantMsg:   "outside (0, 1]",
+		},
+		{
+			name:      "plain-error-rooted-at-prefix",
+			err:       errors.New("memdb: unknown DRAM technology"),
+			wantField: "logic[0]",
+			wantMsg:   "unknown DRAM technology",
+		},
+		{
+			name:      "wrapped-invalid-found-through-chain",
+			err:       fmt.Errorf("evaluating: %w", Invalid("node", "unknown")),
+			wantField: "logic[0].node",
+			wantMsg:   "unknown",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := Prefix("logic[0]", c.err)
+			var inv *InvalidSpecError
+			if !errors.As(err, &inv) {
+				t.Fatalf("Prefix result is not an InvalidSpecError: %v", err)
+			}
+			if inv.Field != c.wantField {
+				t.Errorf("Field = %q, want %q", inv.Field, c.wantField)
+			}
+			if !strings.Contains(inv.Message(), c.wantMsg) {
+				t.Errorf("Message = %q, want it to contain %q", inv.Message(), c.wantMsg)
+			}
+			if !IsInvalid(err) {
+				t.Error("re-rooted error stopped being client-fixable")
+			}
+		})
+	}
+}
+
+// TestPrefixNestedBatchIndices: actd prefixes batch elements with "[i]" on
+// top of the scenario layer's component paths; the full path must compose
+// left to right through arbitrarily deep nesting.
+func TestPrefixNestedBatchIndices(t *testing.T) {
+	inner := Invalid("technology", "unknown")
+	err := Prefix("[1]", Prefix("dram[2]", inner))
+	var inv *InvalidSpecError
+	if !errors.As(err, &inv) {
+		t.Fatalf("nested Prefix lost the type: %v", err)
+	}
+	if inv.Field != "[1].dram[2].technology" {
+		t.Errorf("Field = %q, want [1].dram[2].technology", inv.Field)
+	}
+	// One more level, as a sweep-of-batches layer would add.
+	err = Prefix("sweep[0]", err)
+	if !errors.As(err, &inv) || inv.Field != "sweep[0].[1].dram[2].technology" {
+		t.Errorf("third level composed to %q", inv.Field)
+	}
+}
+
+// TestPrefixPreservesSentinels: errors.Is identities survive re-rooting, so
+// callers can still switch on ErrUnknownNode / ErrUnsupportedVersion after
+// any number of Prefix layers.
+func TestPrefixPreservesSentinels(t *testing.T) {
+	err := Prefix("logic[0]", fmt.Errorf("fab: %w 1nm", ErrUnknownNode))
+	if !errors.Is(err, ErrUnknownNode) {
+		t.Error("ErrUnknownNode identity lost through Prefix")
+	}
+	if !IsInvalid(err) {
+		t.Error("unknown node stopped being client-fixable")
+	}
+
+	uve := &UnsupportedVersionError{Version: 2}
+	err = Prefix("[3]", uve)
+	if !errors.Is(err, ErrUnsupportedVersion) {
+		t.Error("ErrUnsupportedVersion identity lost through Prefix")
+	}
+	var inv *InvalidSpecError
+	if !errors.As(err, &inv) || inv.Field != "[3]" {
+		t.Errorf("version error not rooted at the batch index: %v", err)
+	}
+}
+
+// TestPrefixNeverBlamesInfrastructure: transient faults and context
+// cancellations gain the path as message context only — they keep their
+// class and must not become 400s.
+func TestPrefixNeverBlamesInfrastructure(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		is   func(error) bool
+	}{
+		{"transient", Transient(errors.New("pool sick")), IsTransient},
+		{"canceled", context.Canceled, func(e error) bool { return errors.Is(e, context.Canceled) }},
+		{"deadline", fmt.Errorf("eval: %w", context.DeadlineExceeded),
+			func(e error) bool { return errors.Is(e, context.DeadlineExceeded) }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := Prefix("[7]", c.err)
+			if !c.is(err) {
+				t.Fatalf("class lost through Prefix: %v", err)
+			}
+			if IsInvalid(err) {
+				t.Error("infrastructure fault re-labelled as the client's mistake")
+			}
+			if !strings.Contains(err.Error(), "[7]") {
+				t.Errorf("path context missing from %q", err)
+			}
+		})
+	}
+}

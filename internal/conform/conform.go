@@ -1,0 +1,528 @@
+// Package conform is the cross-surface conformance harness. Four surfaces
+// now price the same ACT model (Gupta et al., ISCA 2022): the library, the
+// cmd/act wire pipeline, actd's /v1/footprint (single and batch), and the
+// fleet registry's ingest→summary refold. Each grew its own spot checks;
+// none proves the four still agree as the model gains capability. This
+// package does, generatively:
+//
+//   - a seeded corpus (corpus.go) spans the characterized tables,
+//   - a differential engine (this file) runs every scenario through all
+//     surfaces and demands byte-identical result documents,
+//   - near-valid mutants (mutants.go) must be rejected identically with
+//     the same typed field path,
+//   - the paper's equations hold as metamorphic invariants
+//     (invariants.go),
+//   - any divergence is shrunk to a minimal spec (shrink.go) and written
+//     to testdata/ as a permanent regression input.
+//
+// The entry points are Engine.Run (driven by `act conform` and
+// `make verify-conform`) and the package tests.
+
+package conform
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+
+	"act/internal/acterr"
+	"act/internal/parsweep"
+	"act/internal/scenario"
+	"act/internal/serve"
+)
+
+// Config tunes a conformance run. Zero fields take the documented
+// defaults.
+type Config struct {
+	// Seed derives the whole corpus; the same seed reproduces the same run
+	// bit-for-bit.
+	Seed uint64
+	// N is the valid-corpus size (default 200).
+	N int
+	// Mutants is the number of randomized mutant trials layered on top of
+	// the full deterministic catalog sweep (default 2× the catalog).
+	Mutants int
+	// Workers bounds the differential fan-out (default GOMAXPROCS).
+	Workers int
+	// ReproDir is where shrunk divergences are written and committed
+	// repros are re-checked from ("" disables both).
+	ReproDir string
+	// MaxDivergences caps how many divergences are shrunk and reported
+	// before the run stops collecting (default 5).
+	MaxDivergences int
+	// BatchChunk sizes the whole-corpus batch requests (default 256).
+	BatchChunk int
+	// Surfaces overrides the compared surfaces; index 0 is the reference.
+	// Default: direct, wire, actd-single, actd-batch.
+	Surfaces []Surface
+	// Logf receives progress lines (default discard).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.N == 0 {
+		c.N = 200
+	}
+	if c.Mutants == 0 {
+		c.Mutants = 2 * len(SpecMutants())
+	}
+	if c.MaxDivergences == 0 {
+		c.MaxDivergences = 5
+	}
+	if c.BatchChunk == 0 {
+		c.BatchChunk = 256
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Divergence is one scenario two surfaces disagree on, before and after
+// shrinking.
+type Divergence struct {
+	// Surface names the disagreeing surface (the reference is surface 0).
+	Surface string
+	// Index is the corpus index, or -1 for a committed repro input.
+	Index int
+	// Spec is the original diverging scenario.
+	Spec *scenario.Spec
+	// Want and Got describe the disagreement: result documents, or error
+	// strings prefixed "error: ".
+	Want, Got string
+	// Shrunk is the minimized scenario that still diverges.
+	Shrunk *scenario.Spec
+	// ReproPath is where the shrunk repro was written ("" when ReproDir
+	// is unset).
+	ReproPath string
+}
+
+func (d *Divergence) String() string {
+	return fmt.Sprintf("scenario %d diverges on %s:\n  want: %.200s\n  got:  %.200s",
+		d.Index, d.Surface, d.Want, d.Got)
+}
+
+// Report is the outcome of one conformance run.
+type Report struct {
+	Scenarios    int // valid corpus size (committed repros included)
+	Repros       int // committed repro inputs re-checked
+	BatchChunks  int // whole-corpus batch requests compared
+	SpecMutants  int // spec-level mutant trials
+	WireMutants  int // raw-body mutant trials
+	Invariants   int // invariant checks evaluated
+	FleetDevices int // devices pushed through the fleet refold
+
+	Divergences       []*Divergence
+	MutantFailures    []string
+	InvariantFailures []string
+	FleetFailures     []string
+}
+
+// Ok reports whether every check passed.
+func (r *Report) Ok() bool {
+	return len(r.Divergences) == 0 && len(r.MutantFailures) == 0 &&
+		len(r.InvariantFailures) == 0 && len(r.FleetFailures) == 0
+}
+
+// Failures renders every failure, one block per finding.
+func (r *Report) Failures() string {
+	var b strings.Builder
+	for _, d := range r.Divergences {
+		fmt.Fprintf(&b, "[differential] %s\n", d)
+		if d.ReproPath != "" {
+			fmt.Fprintf(&b, "  repro: %s\n", d.ReproPath)
+		}
+	}
+	for _, m := range r.MutantFailures {
+		fmt.Fprintf(&b, "[mutant] %s\n", m)
+	}
+	for _, m := range r.InvariantFailures {
+		fmt.Fprintf(&b, "[invariant] %s\n", m)
+	}
+	for _, m := range r.FleetFailures {
+		fmt.Fprintf(&b, "[fleet] %s\n", m)
+	}
+	return b.String()
+}
+
+// Summary is the one-line outcome for logs and the CLI.
+func (r *Report) Summary() string {
+	status := "ok"
+	if !r.Ok() {
+		status = fmt.Sprintf("FAIL (%d differential, %d mutant, %d invariant, %d fleet)",
+			len(r.Divergences), len(r.MutantFailures), len(r.InvariantFailures), len(r.FleetFailures))
+	}
+	return fmt.Sprintf("conform: %d scenarios (%d repros) x 4 surfaces, %d batch chunks, %d+%d mutants, %d invariant checks, %d fleet devices: %s",
+		r.Scenarios, r.Repros, r.BatchChunks, r.SpecMutants, r.WireMutants, r.Invariants, r.FleetDevices, status)
+}
+
+// Engine owns the shared actd instance the HTTP surfaces talk to and runs
+// the conformance passes against it.
+type Engine struct {
+	cfg      Config
+	srv      *serve.Server
+	ts       *httptest.Server
+	surfaces []Surface
+}
+
+// New builds an engine with a private in-process actd. Close releases it.
+func New(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	srv := serve.New(serve.Config{
+		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+		// The conformance corpus must never trip service-level limits:
+		// those are covered by explicit mutants, not ambient config.
+		MaxBatch:     1 << 20,
+		MaxBodyBytes: 1 << 30,
+		Workers:      cfg.Workers,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	e := &Engine{cfg: cfg, srv: srv, ts: ts}
+	e.surfaces = cfg.Surfaces
+	if e.surfaces == nil {
+		e.surfaces = []Surface{
+			Direct{},
+			WireRoundTrip{},
+			httpSingle{client: ts.Client(), url: ts.URL + "/v1/footprint"},
+			httpBatchOne{client: ts.Client(), url: ts.URL + "/v1/footprint"},
+		}
+	}
+	return e
+}
+
+// Close shuts the embedded service down.
+func (e *Engine) Close() { e.ts.Close() }
+
+// URL exposes the embedded actd base URL (the fleet refold and tests).
+func (e *Engine) URL() string { return e.ts.URL }
+
+// Client returns the embedded server's HTTP client.
+func (e *Engine) Client() *http.Client { return e.ts.Client() }
+
+// Run executes the full conformance pass: differential identity over the
+// corpus and committed repros, the whole-corpus batch check, mutant
+// classification, the fleet refold, and the invariant suite. The error
+// return is reserved for harness trouble (an unreachable server, an
+// unwritable repro dir); model disagreements land in the Report.
+func (e *Engine) Run() (*Report, error) {
+	rep := &Report{}
+	corpus := GenerateCorpus(e.cfg.Seed, e.cfg.N)
+
+	repros, err := LoadRepros(e.cfg.ReproDir)
+	if err != nil {
+		return nil, err
+	}
+	// Committed repros run first at negative indices so corpus indices
+	// keep meaning "generate(seed, i)".
+	rep.Repros = len(repros)
+	rep.Scenarios = len(corpus) + len(repros)
+
+	e.cfg.Logf("conform: differential pass over %d scenarios (%d committed repros)", rep.Scenarios, len(repros))
+	e.differential(rep, repros, -1)
+	e.differential(rep, corpus, 0)
+	e.batchIdentity(rep, corpus)
+
+	e.cfg.Logf("conform: mutant classification")
+	e.specMutants(rep, corpus)
+	e.wireMutants(rep)
+
+	e.cfg.Logf("conform: fleet refold over %d devices", len(corpus))
+	e.fleetRefold(rep, corpus)
+
+	e.cfg.Logf("conform: invariant suite")
+	CheckInvariants(rep, e.cfg.Seed, corpus)
+
+	if err := e.shrinkDivergences(rep); err != nil {
+		return nil, err
+	}
+	e.cfg.Logf("%s", rep.Summary())
+	return rep, nil
+}
+
+// outcome is one surface's answer for one scenario, normalized so error
+// answers compare like documents.
+func outcomeOf(s Surface, spec *scenario.Spec) string {
+	doc, err := s.Eval(spec)
+	if err != nil {
+		return "error: " + err.Error()
+	}
+	return string(doc)
+}
+
+// differential compares every scenario across all surfaces against the
+// reference (surface 0). base offsets the reported index (-1 marks
+// committed repros).
+func (e *Engine) differential(rep *Report, specs []*scenario.Spec, base int) {
+	var mu sync.Mutex
+	parsweep.Map(e.cfg.Workers, specs, func(i int, spec *scenario.Spec) struct{} {
+		want := outcomeOf(e.surfaces[0], spec)
+		for _, s := range e.surfaces[1:] {
+			got := outcomeOf(s, spec)
+			// Error answers legitimately render differently per surface
+			// (HTTP carries a status, the library a wrapped chain); both
+			// erring counts as agreement here — mutant classification
+			// owns the error contract.
+			if got == want || (strings.HasPrefix(got, "error: ") && strings.HasPrefix(want, "error: ")) {
+				continue
+			}
+			idx := base
+			if base >= 0 {
+				idx = base + i
+			}
+			mu.Lock()
+			if len(rep.Divergences) < e.cfg.MaxDivergences {
+				rep.Divergences = append(rep.Divergences, &Divergence{
+					Surface: s.Name(), Index: idx, Spec: spec, Want: want, Got: got,
+				})
+			}
+			mu.Unlock()
+		}
+		return struct{}{}
+	})
+	// parsweep preserves input order for results but the append above is
+	// arrival-ordered; sort so runs are reproducible.
+	sort.SliceStable(rep.Divergences, func(i, j int) bool {
+		return rep.Divergences[i].Index < rep.Divergences[j].Index
+	})
+}
+
+// batchIdentity POSTs the corpus in chunks as real batches and compares
+// each element against the reference document — the fan-out, cache and
+// join paths that a one-element batch cannot exercise.
+func (e *Engine) batchIdentity(rep *Report, corpus []*scenario.Spec) {
+	post := httpSingle{client: e.ts.Client(), url: e.ts.URL + "/v1/footprint"}
+	for start := 0; start < len(corpus); start += e.cfg.BatchChunk {
+		chunk := corpus[start:min(start+e.cfg.BatchChunk, len(corpus))]
+		var body bytes.Buffer
+		body.WriteByte('[')
+		for i, spec := range chunk {
+			data, err := scenario.Marshal(spec)
+			if err != nil {
+				rep.Divergences = append(rep.Divergences, &Divergence{
+					Surface: "actd-batch-chunk", Index: start + i,
+					Spec: spec, Want: "a marshalable corpus scenario", Got: "error: " + err.Error(),
+				})
+				return
+			}
+			if i > 0 {
+				body.WriteByte(',')
+			}
+			body.Write(bytes.TrimRight(data, "\n"))
+		}
+		body.WriteByte(']')
+		out, err := post.post(body.Bytes())
+		if err != nil {
+			rep.Divergences = append(rep.Divergences, &Divergence{
+				Surface: "actd-batch-chunk", Index: start,
+				Spec: chunk[0], Want: "a 200 batch response", Got: "error: " + err.Error(),
+			})
+			return
+		}
+		elems, err := splitBatch(out)
+		if err != nil || len(elems) != len(chunk) {
+			rep.Divergences = append(rep.Divergences, &Divergence{
+				Surface: "actd-batch-chunk", Index: start,
+				Spec: chunk[0], Want: fmt.Sprintf("%d elements", len(chunk)), Got: fmt.Sprintf("%d elements, err=%v", len(elems), err),
+			})
+			return
+		}
+		rep.BatchChunks++
+		for i, elem := range elems {
+			if len(rep.Divergences) >= e.cfg.MaxDivergences {
+				return
+			}
+			want := outcomeOf(e.surfaces[0], chunk[i])
+			got := string(elem) + "\n"
+			if got != want {
+				rep.Divergences = append(rep.Divergences, &Divergence{
+					Surface: "actd-batch-chunk", Index: start + i, Spec: chunk[i], Want: want, Got: got,
+				})
+			}
+		}
+	}
+}
+
+// specMutants sweeps the full mutant catalog over the fixed base spec,
+// then runs randomized trials grafting mutants onto corpus scenarios. A
+// mutant passes when the library rejects it with a typed client error
+// carrying the expected field and actd answers 400 with the same field.
+func (e *Engine) specMutants(rep *Report, corpus []*scenario.Spec) {
+	catalog := SpecMutants()
+	single := httpSingle{client: e.ts.Client(), url: e.ts.URL + "/v1/footprint"}
+
+	trial := func(name, wantField string, spec *scenario.Spec) {
+		rep.SpecMutants++
+		fail := func(format string, args ...any) {
+			rep.MutantFailures = append(rep.MutantFailures,
+				fmt.Sprintf("%s: %s", name, fmt.Sprintf(format, args...)))
+		}
+		// Library contract: a typed, client-fixable rejection at the field.
+		_, err := spec.Result()
+		if err == nil {
+			fail("library accepted the mutant")
+			return
+		}
+		if !acterr.IsInvalid(err) {
+			fail("library error is not client-fixable: %v", err)
+			return
+		}
+		var inv *acterr.InvalidSpecError
+		if !errors.As(err, &inv) {
+			fail("library error carries no field path: %v", err)
+			return
+		}
+		if inv.Field != wantField {
+			fail("library field %q, want %q (%v)", inv.Field, wantField, err)
+			return
+		}
+		// Service contract: 400 with the identical field.
+		_, err = single.Eval(spec)
+		var he *HTTPError
+		switch {
+		case err == nil:
+			fail("actd accepted the mutant")
+		case !errors.As(err, &he):
+			fail("actd transport error: %v", err)
+		case he.Code != http.StatusBadRequest:
+			fail("actd answered %d, want 400 (%s)", he.Code, he.Message)
+		case he.Field != wantField:
+			fail("actd field %q, want %q", he.Field, wantField)
+		}
+	}
+
+	for _, m := range catalog {
+		spec := baseMutantSpec()
+		m.Apply(spec)
+		trial("spec/"+m.Name+"/base", m.Field, spec)
+	}
+	for t := 0; t < e.cfg.Mutants; t++ {
+		r := newStream(e.cfg.Seed^0x6d757461, t)
+		m := catalog[r.intn(len(catalog))]
+		spec, err := cloneSpec(corpus[r.intn(len(corpus))])
+		if err != nil {
+			rep.MutantFailures = append(rep.MutantFailures, fmt.Sprintf("spec/%s/trial-%d: clone: %v", m.Name, t, err))
+			continue
+		}
+		graftBase(spec)
+		m.Apply(spec)
+		trial(fmt.Sprintf("spec/%s/trial-%d", m.Name, t), m.Field, spec)
+	}
+}
+
+// graftBase guarantees the component shapes every mutant edits: one logic
+// die, one DRAM part, one storage part at index 0, no pre-set fab override
+// or effectiveness scaling that could shadow the mutant's field. The spec
+// stays valid; the mutant's edit is then the only invalid thing about it.
+func graftBase(s *scenario.Spec) {
+	base := baseMutantSpec()
+	if len(s.Logic) == 0 {
+		s.Logic = base.Logic
+	}
+	s.Logic[0].Fab = nil
+	s.Logic[0].Node = "7nm"
+	if len(s.DRAM) == 0 {
+		s.DRAM = base.DRAM
+	}
+	if len(s.Storage) == 0 {
+		s.Storage = base.Storage
+	}
+	s.Usage.PUE = 0
+	s.Usage.BatteryEfficiency = 0
+	s.Transport = nil
+}
+
+// wireMutants POSTs each raw-body mutant and checks the 400 + field
+// contract, plus that the wire parser itself rejects the body.
+func (e *Engine) wireMutants(rep *Report) {
+	single := httpSingle{client: e.ts.Client(), url: e.ts.URL + "/v1/footprint"}
+	for _, m := range WireMutants() {
+		rep.WireMutants++
+		fail := func(format string, args ...any) {
+			rep.MutantFailures = append(rep.MutantFailures,
+				fmt.Sprintf("wire/%s: %s", m.Name, fmt.Sprintf(format, args...)))
+		}
+		if specs, _, err := scenario.ParseRequest(bytes.NewReader(m.Body)); err == nil {
+			// Parsing may legitimately succeed (batch-bad-element fails at
+			// evaluation); then evaluation must reject an element.
+			ok := false
+			for _, s := range specs {
+				if _, rerr := s.Result(); rerr != nil {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				fail("wire parser and evaluation both accepted the body")
+				continue
+			}
+		}
+		_, err := single.post(m.Body)
+		var he *HTTPError
+		switch {
+		case err == nil:
+			fail("actd accepted the body")
+		case !errors.As(err, &he):
+			fail("actd transport error: %v", err)
+		case he.Code != http.StatusBadRequest:
+			fail("actd answered %d, want 400 (%s)", he.Code, he.Message)
+		case he.Field != m.Field:
+			fail("actd field %q, want %q", he.Field, m.Field)
+		}
+	}
+}
+
+// shrinkDivergences minimizes each collected divergence and writes repro
+// files. The keep predicate re-runs only the two disagreeing surfaces.
+func (e *Engine) shrinkDivergences(rep *Report) error {
+	for _, d := range rep.Divergences {
+		target := e.surfaceByName(d.Surface)
+		if target == nil || d.Spec == nil {
+			continue
+		}
+		ref := e.surfaces[0]
+		d.Shrunk = Shrink(d.Spec, func(s *scenario.Spec) bool {
+			return diverges(ref, target, s)
+		})
+		if e.cfg.ReproDir == "" {
+			continue
+		}
+		path, err := WriteRepro(e.cfg.ReproDir, d.Shrunk)
+		if err != nil {
+			return err
+		}
+		d.ReproPath = path
+	}
+	return nil
+}
+
+// diverges reports whether two surfaces disagree on spec, with the same
+// both-error tolerance as the differential pass.
+func diverges(ref, target Surface, spec *scenario.Spec) bool {
+	want := outcomeOf(ref, spec)
+	got := outcomeOf(target, spec)
+	if got == want {
+		return false
+	}
+	return !(strings.HasPrefix(got, "error: ") && strings.HasPrefix(want, "error: "))
+}
+
+func (e *Engine) surfaceByName(name string) Surface {
+	for _, s := range e.surfaces {
+		if s.Name() == name {
+			return s
+		}
+	}
+	// Batch-chunk divergences shrink against the one-element batch
+	// surface, the closest single-scenario proxy for the join path.
+	if name == "actd-batch-chunk" {
+		return e.surfaceByName("actd-batch")
+	}
+	return nil
+}

@@ -1,0 +1,264 @@
+package conform
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"testing"
+
+	"act/internal/scenario"
+)
+
+// The tier-1 run keeps CI fast; `make verify-conform` raises both knobs
+// (-conform.n 1000 -conform.mutants 200) for the full corpus under -race.
+var (
+	conformN       = flag.Int("conform.n", 150, "conformance corpus size")
+	conformMutants = flag.Int("conform.mutants", 48, "randomized mutant trials")
+)
+
+// TestConformCorpus is the tentpole: the seeded corpus through all four
+// surfaces byte-identically, the mutant catalogs, the fleet refold and the
+// invariant suite, in one run against one embedded actd.
+func TestConformCorpus(t *testing.T) {
+	e := New(Config{
+		Seed:     1,
+		N:        *conformN,
+		Mutants:  *conformMutants,
+		ReproDir: "testdata",
+		Logf:     t.Logf,
+	})
+	defer e.Close()
+
+	rep, err := e.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("conformance failures:\n%s", rep.Failures())
+	}
+	if rep.Scenarios < *conformN {
+		t.Errorf("ran %d scenarios, want >= %d", rep.Scenarios, *conformN)
+	}
+	if rep.BatchChunks == 0 {
+		t.Error("no whole-corpus batch chunks were compared")
+	}
+	if rep.SpecMutants < len(SpecMutants()) {
+		t.Errorf("ran %d spec-mutant trials, want at least the %d-entry catalog", rep.SpecMutants, len(SpecMutants()))
+	}
+	if rep.WireMutants != len(WireMutants()) {
+		t.Errorf("ran %d wire-mutant trials, want %d", rep.WireMutants, len(WireMutants()))
+	}
+	if rep.Invariants == 0 {
+		t.Error("no invariants were checked")
+	}
+	if rep.FleetDevices != *conformN {
+		t.Errorf("fleet refold covered %d devices, want %d", rep.FleetDevices, *conformN)
+	}
+	t.Log(rep.Summary())
+}
+
+// TestCorpusDeterminism: the same seed reproduces the same corpus
+// bit-for-bit, and scenario i depends only on (seed, i) — not on n or on
+// generation order.
+func TestCorpusDeterminism(t *testing.T) {
+	a := GenerateCorpus(7, 50)
+	b := GenerateCorpus(7, 50)
+	for i := range a {
+		da, err := scenario.Marshal(a[i])
+		if err != nil {
+			t.Fatalf("marshal a[%d]: %v", i, err)
+		}
+		db, err := scenario.Marshal(b[i])
+		if err != nil {
+			t.Fatalf("marshal b[%d]: %v", i, err)
+		}
+		if !bytes.Equal(da, db) {
+			t.Fatalf("scenario %d differs across identical runs", i)
+		}
+	}
+	// Prefix independence: the first 10 of a 50-corpus equal a 10-corpus.
+	short := GenerateCorpus(7, 10)
+	for i := range short {
+		da, _ := scenario.Marshal(a[i])
+		db, _ := scenario.Marshal(short[i])
+		if !bytes.Equal(da, db) {
+			t.Fatalf("scenario %d depends on corpus size, not only (seed, i)", i)
+		}
+	}
+	other := GenerateCorpus(8, 10)
+	same := 0
+	for i := range other {
+		da, _ := scenario.Marshal(a[i])
+		db, _ := scenario.Marshal(other[i])
+		if bytes.Equal(da, db) {
+			same++
+		}
+	}
+	if same == len(other) {
+		t.Fatal("different seeds generated an identical corpus")
+	}
+}
+
+// TestCorpusValid: every generated scenario must evaluate — an invalid
+// corpus scenario would hide real divergences behind the both-error rule.
+func TestCorpusValid(t *testing.T) {
+	for i, spec := range GenerateCorpus(42, 300) {
+		if _, err := spec.Result(); err != nil {
+			data, _ := scenario.Marshal(spec)
+			t.Errorf("scenario %d invalid: %v\n%s", i, err, data)
+		}
+	}
+}
+
+// perturbYield is the acceptance-criteria injection: an off-by-one wafer
+// yield (0.874 instead of the 0.875 default) applied on one surface only,
+// the kind of silent constant drift the harness exists to catch.
+func perturbYield(s *scenario.Spec) {
+	for i := range s.Logic {
+		if s.Logic[i].Fab == nil {
+			s.Logic[i].Fab = &scenario.FabSpec{Yield: 0.874}
+		} else if s.Logic[i].Fab.Yield == 0 {
+			s.Logic[i].Fab.Yield = 0.874
+		}
+	}
+}
+
+// TestPerturbationCaughtAndShrunk injects the off-by-one yield, requires
+// the differential engine to catch it, and requires the shrinker to reduce
+// the diverging scenario to a minimal single-die repro that still shows the
+// drift after a round trip through the repro file.
+func TestPerturbationCaughtAndShrunk(t *testing.T) {
+	dir := t.TempDir()
+	e := New(Config{
+		Seed:     3,
+		N:        80,
+		ReproDir: dir,
+		Surfaces: []Surface{Direct{}, Perturbed{Inner: Direct{}, Mutate: perturbYield}},
+	})
+	defer e.Close()
+
+	rep, err := e.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(rep.Divergences) == 0 {
+		t.Fatal("the off-by-one yield perturbation was not caught")
+	}
+	d := rep.Divergences[0]
+	if d.Shrunk == nil {
+		t.Fatal("divergence was not shrunk")
+	}
+	if got := len(d.Shrunk.Logic); got != 1 {
+		t.Errorf("shrunk repro keeps %d logic dies, want 1", got)
+	}
+	if len(d.Shrunk.DRAM) != 0 || len(d.Shrunk.Storage) != 0 ||
+		len(d.Shrunk.Transport) != 0 || d.Shrunk.EndOfLife != nil {
+		data, _ := scenario.Marshal(d.Shrunk)
+		t.Errorf("shrunk repro is not minimal:\n%s", data)
+	}
+	if d.ReproPath == "" {
+		t.Fatal("no repro file was written")
+	}
+	data, err := os.ReadFile(d.ReproPath)
+	if err != nil {
+		t.Fatalf("reading repro: %v", err)
+	}
+	loaded, err := scenario.Unmarshal(data)
+	if err != nil {
+		t.Fatalf("repro file does not parse: %v", err)
+	}
+	if !diverges(Direct{}, Perturbed{Inner: Direct{}, Mutate: perturbYield}, loaded) {
+		t.Error("reloaded repro no longer reproduces the divergence")
+	}
+}
+
+// TestShrink: unit coverage for the greedy minimizer, independent of the
+// differential engine.
+func TestShrink(t *testing.T) {
+	big := &scenario.Spec{
+		Name: "big",
+		Logic: []scenario.LogicSpec{
+			{Name: "a", AreaMM2: 100, Node: "7nm"},
+			{Name: "b", AreaMM2: 200, Node: "5nm", Count: 4},
+		},
+		DRAM: []scenario.DRAMSpec{
+			{Name: "m0", Technology: "lpddr4", CapacityGB: 16},
+			{Name: "m1", Technology: "10nm-ddr4", CapacityGB: 32},
+		},
+		Storage: []scenario.StorageSpec{
+			{Name: "s0", Technology: "1z-nand-tlc", CapacityGB: 4096},
+			{Name: "s1", Technology: "barracuda", CapacityGB: 2000},
+		},
+		Transport: []scenario.TransportSpec{{Name: "leg", MassKg: 2, DistanceKm: 9000, Mode: "air"}},
+		EndOfLife: &scenario.EndOfLifeSpec{ProcessingKg: 1},
+		Usage:     scenario.UsageSpec{PowerW: 60, AppHours: 5000},
+	}
+	keep := func(s *scenario.Spec) bool {
+		for _, st := range s.Storage {
+			if st.CapacityGB == 4096 {
+				return true
+			}
+		}
+		return false
+	}
+	shrunk := Shrink(big, keep)
+	if !keep(shrunk) {
+		t.Fatal("shrunk spec lost the property")
+	}
+	if len(shrunk.Logic) != 0 || len(shrunk.DRAM) != 0 {
+		t.Errorf("irrelevant components survived: %d logic, %d dram", len(shrunk.Logic), len(shrunk.DRAM))
+	}
+	if len(shrunk.Storage) != 1 || shrunk.Storage[0].CapacityGB != 4096 {
+		t.Errorf("storage not minimized: %+v", shrunk.Storage)
+	}
+	if len(shrunk.Transport) != 0 || shrunk.EndOfLife != nil {
+		t.Error("transport/end-of-life survived shrinking")
+	}
+
+	// When keep does not hold on the input itself, Shrink must hand the
+	// original back untouched rather than minimize toward nothing.
+	orig := baseMutantSpec()
+	if got := Shrink(orig, func(*scenario.Spec) bool { return false }); got != orig {
+		t.Error("Shrink modified a spec whose keep predicate never held")
+	}
+}
+
+// TestReproRoundTrip: WriteRepro and LoadRepros agree, and the file name is
+// content-addressed so the same divergence never duplicates.
+func TestReproRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	spec := baseMutantSpec()
+	p1, err := WriteRepro(dir, spec)
+	if err != nil {
+		t.Fatalf("WriteRepro: %v", err)
+	}
+	p2, err := WriteRepro(dir, spec)
+	if err != nil {
+		t.Fatalf("WriteRepro (again): %v", err)
+	}
+	if p1 != p2 {
+		t.Errorf("same spec produced two repro files: %s, %s", p1, p2)
+	}
+	specs, err := LoadRepros(dir)
+	if err != nil {
+		t.Fatalf("LoadRepros: %v", err)
+	}
+	if len(specs) != 1 {
+		t.Fatalf("loaded %d repros, want 1", len(specs))
+	}
+	if specs[0].Hash() != spec.Hash() {
+		t.Error("reloaded repro has a different canonical hash")
+	}
+
+	// A missing dir is an empty corpus; a corrupt committed repro is an
+	// error — it guarded a real divergence once.
+	if specs, err := LoadRepros(dir + "/missing"); err != nil || len(specs) != 0 {
+		t.Errorf("missing dir: got %d specs, err=%v", len(specs), err)
+	}
+	if err := os.WriteFile(dir+"/repro-bad.json", []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadRepros(dir); err == nil {
+		t.Error("corrupt committed repro was silently skipped")
+	}
+}

@@ -1,0 +1,198 @@
+// The fleet refold: the fourth surface. The whole corpus is deployed as a
+// fleet — one device per scenario with a deterministic region, utilization
+// and service window — ingested twice: into a local fleet.Registry (the
+// `act fleet` path) and into the embedded actd via POST /v1/fleet/devices.
+// Every summary query must then answer byte-identically on both, and the
+// fleet's embodied total must refold to the sum of the per-scenario direct
+// assessments — the same ECF priced through a completely different
+// aggregation path (sharded running totals, dedup cache, group folds).
+
+package conform
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"act/internal/fleet"
+	"act/internal/report"
+	"act/internal/scenario"
+	"act/internal/units"
+)
+
+// fleetDeployed anchors every device's service window; determinism needs a
+// fixed date, not the wall clock.
+var fleetDeployed = time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// fleetRefold runs the corpus through both fleet surfaces and the
+// refold-consistency and amortization-cap checks.
+func (e *Engine) fleetRefold(rep *Report, corpus []*scenario.Spec) {
+	fail := func(format string, args ...any) {
+		rep.FleetFailures = append(rep.FleetFailures, fmt.Sprintf(format, args...))
+	}
+	if len(corpus) == 0 {
+		return
+	}
+	nd, err := e.fleetLines(corpus)
+	if err != nil {
+		fail("building NDJSON: %v", err)
+		return
+	}
+	rep.FleetDevices = len(corpus)
+
+	// Surface A: the local registry, the exact path `act fleet` drives.
+	local := fleet.New(fleet.Config{})
+	res, err := local.IngestNDJSON(bytes.NewReader(nd), 1<<20)
+	if err != nil {
+		fail("local ingest: %v", err)
+		return
+	}
+	if res.Upserted != len(corpus) {
+		fail("local ingest upserted %d of %d devices", res.Upserted, len(corpus))
+		return
+	}
+
+	// Surface B: the embedded actd.
+	resp, err := e.ts.Client().Post(e.ts.URL+"/v1/fleet/devices", "application/x-ndjson", bytes.NewReader(nd))
+	if err != nil {
+		fail("actd ingest: %v", err)
+		return
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fail("actd ingest answered %d: %.200s", resp.StatusCode, body)
+		return
+	}
+
+	queries := []struct {
+		name   string
+		q      fleet.Query
+		params string
+	}{
+		{"plain", fleet.Query{}, ""},
+		{"top5", fleet.Query{TopK: 5}, "?top=5"},
+		{"by-region", fleet.Query{GroupBy: "region"}, "?by=region"},
+		{"by-node", fleet.Query{GroupBy: "node"}, "?by=node"},
+		{"top3-by-region", fleet.Query{TopK: 3, GroupBy: "region"}, "?top=3&by=region"},
+	}
+	for _, qt := range queries {
+		doc, err := local.Query(qt.q)
+		if err != nil {
+			fail("%s: local query: %v", qt.name, err)
+			continue
+		}
+		var want bytes.Buffer
+		if err := report.Encode(&want, doc); err != nil {
+			fail("%s: encode: %v", qt.name, err)
+			continue
+		}
+		resp, err := e.ts.Client().Get(e.ts.URL + "/v1/fleet/summary" + qt.params)
+		if err != nil {
+			fail("%s: actd query: %v", qt.name, err)
+			continue
+		}
+		got, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			fail("%s: actd answered %d: %.200s", qt.name, resp.StatusCode, got)
+			continue
+		}
+		if !bytes.Equal(want.Bytes(), got) {
+			fail("%s: summary documents differ:\n  act fleet: %.300s\n  actd:      %.300s",
+				qt.name, want.String(), got)
+		}
+	}
+
+	// Refold consistency: the fleet's embodied total is the sum of the
+	// direct per-scenario assessments (every utilization weight and service
+	// window applies only to the share and operational terms, never ECF).
+	doc, err := local.Query(fleet.Query{})
+	if err != nil {
+		fail("consistency query: %v", err)
+		return
+	}
+	if doc.Devices != len(corpus) {
+		fail("fleet reports %d devices, want %d", doc.Devices, len(corpus))
+	}
+	sum := 0.0
+	for i, spec := range corpus {
+		r, err := spec.Result()
+		if err != nil {
+			fail("scenario %d failed direct evaluation: %v", i, err)
+			return
+		}
+		sum += r.EmbodiedTotalG
+	}
+	if !relEqual(doc.EmbodiedTotalG, sum, 1e-9) {
+		fail("fleet embodied_total_g %v does not refold to the direct sum %v", doc.EmbodiedTotalG, sum)
+	}
+	if doc.EmbodiedShareG < 0 || doc.EmbodiedShareG > doc.EmbodiedTotalG*(1+1e-12) {
+		fail("fleet embodied_share_g %v outside [0, %v]", doc.EmbodiedShareG, doc.EmbodiedTotalG)
+	}
+
+	// Amortization cap (Eq. 1): a device active for 2×LT still amortizes
+	// exactly its full ECF, never more.
+	capped := fleet.New(fleet.Config{})
+	for i, spec := range corpus {
+		dev := fleet.Device{
+			ID:          fmt.Sprintf("cap-%06d", i),
+			Region:      "united-states",
+			Deployed:    fleetDeployed,
+			Retired:     fleetDeployed.Add(2 * units.Years(spec.Lifetime())),
+			Utilization: 1,
+			Spec:        spec,
+		}
+		if _, err := capped.Upsert(dev); err != nil {
+			fail("cap fleet upsert %d: %v", i, err)
+			return
+		}
+	}
+	s := capped.Summary()
+	if s.EmbodiedShareG != s.EmbodiedTotalG {
+		fail("2×LT fleet: embodied_share_g %v != embodied_total_g %v (amortization cap)",
+			s.EmbodiedShareG, s.EmbodiedTotalG)
+	}
+}
+
+// fleetLines renders the corpus as NDJSON device lines with deterministic
+// regions, utilizations and service windows.
+func (e *Engine) fleetLines(corpus []*scenario.Spec) ([]byte, error) {
+	var buf bytes.Buffer
+	for i, spec := range corpus {
+		data, err := scenario.Marshal(spec)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %d: %w", i, err)
+		}
+		var compact bytes.Buffer
+		if err := json.Compact(&compact, data); err != nil {
+			return nil, fmt.Errorf("scenario %d: %w", i, err)
+		}
+		u := utilization(e.cfg.Seed, i)
+		ds := fleet.DeviceSpec{
+			ID:          fmt.Sprintf("dev-%06d", i),
+			Region:      region(e.cfg.Seed, i),
+			Deployed:    fleetDeployed.Format(time.RFC3339),
+			Utilization: &u,
+			Scenario:    compact.Bytes(),
+		}
+		// Two thirds of the fleet get an explicit window spanning 10% to
+		// 250% of the lifetime, exercising partial and capped amortization;
+		// the rest keep the deployed+LT default.
+		if i%3 != 0 {
+			r := newStream(e.cfg.Seed^0x77696e64, i)
+			frac := r.rangef(0.1, 2.5)
+			ds.Retired = fleetDeployed.Add(time.Duration(frac * float64(units.Years(spec.Lifetime())))).Format(time.RFC3339)
+		}
+		line, err := json.Marshal(ds)
+		if err != nil {
+			return nil, fmt.Errorf("device %d: %w", i, err)
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,320 @@
+// The metamorphic invariant suite: the paper's equations as machine-checked
+// properties over the generated corpus and the characterized tables.
+//
+//	Eq. 1  CF = OPCF + (T/LT)·ECF        — additivity of the result document
+//	Eq. 4  E_SoC = Area × CPA            — linearity in area
+//	Eq. 5  CPA = (CIfab·EPA + GPA + MPA)/Y — monotonically decreasing in Y,
+//	       abated ≤ unabated from the Table 7 GPA bounds
+//	Eq. 6–8 E_mem = CPS × Capacity       — linearity in capacity
+//	Table 2 CDP/CEP/C2EP/CE2P            — exponent relations vs EDP/EDAP
+//
+// Exactness is deliberate: doubling one float factor doubles an IEEE-754
+// product exactly (scaling by a power of two is lossless), and the
+// recomputations below repeat the model's own operation order, so most
+// checks use ==, not a tolerance. Where an algebraic identity reassociates
+// a product (C2EP = C·CEP), a 1e-12 relative tolerance is used instead.
+
+package conform
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"act/internal/fab"
+	"act/internal/memdb"
+	"act/internal/metrics"
+	"act/internal/report"
+	"act/internal/scenario"
+	"act/internal/storagedb"
+	"act/internal/units"
+)
+
+// checker accumulates invariant outcomes into the report.
+type checker struct{ rep *Report }
+
+func (c *checker) check(ok bool, format string, args ...any) {
+	c.rep.Invariants++
+	if !ok {
+		c.rep.InvariantFailures = append(c.rep.InvariantFailures, fmt.Sprintf(format, args...))
+	}
+}
+
+// relEqual compares within relative tolerance (for reassociated products).
+func relEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	den := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= tol*den
+}
+
+// CheckInvariants runs the full suite: per-scenario document invariants and
+// metamorphic doublings over the corpus, then table-level equation checks.
+func CheckInvariants(rep *Report, seed uint64, corpus []*scenario.Spec) {
+	c := &checker{rep: rep}
+	for i, spec := range corpus {
+		c.documentInvariants(i, spec)
+		c.metamorphic(i, spec)
+	}
+	c.fabInvariants()
+	c.memoryInvariants()
+	c.metricInvariants(seed)
+}
+
+// documentInvariants checks Eq. 1 on the result document itself.
+func (c *checker) documentInvariants(i int, spec *scenario.Spec) {
+	doc, err := spec.Result()
+	if err != nil {
+		c.check(false, "scenario %d: corpus scenario failed to evaluate: %v", i, err)
+		return
+	}
+	// CF = OPCF + (T/LT)·ECF, exactly as the document's own fields.
+	c.check(doc.TotalG == doc.OperationalG+doc.EmbodiedShareG,
+		"scenario %d: total_g %v != operational_g %v + embodied_share_g %v (Eq. 1)",
+		i, doc.TotalG, doc.OperationalG, doc.EmbodiedShareG)
+	// The itemized breakdown folds back to the embodied total (Eq. 3).
+	sum := 0.0
+	for _, it := range doc.Breakdown {
+		c.check(it.EmbodiedG >= 0, "scenario %d: negative breakdown item %q: %v", i, it.Name, it.EmbodiedG)
+		sum += it.EmbodiedG
+	}
+	c.check(sum == doc.EmbodiedTotalG,
+		"scenario %d: breakdown sum %v != embodied_total_g %v (Eq. 3)", i, sum, doc.EmbodiedTotalG)
+	// The amortized share is exactly total × T/LT in the model's own
+	// duration arithmetic.
+	appTime := units.Years(spec.Usage.AppHours / (365.25 * 24))
+	lifetime := units.Years(spec.Lifetime())
+	share := doc.EmbodiedTotalG * (appTime.Seconds() / lifetime.Seconds())
+	c.check(doc.EmbodiedShareG == share,
+		"scenario %d: embodied_share_g %v != total × T/LT %v", i, doc.EmbodiedShareG, share)
+	c.check(doc.EmbodiedShareG >= 0 && doc.EmbodiedShareG <= doc.EmbodiedTotalG,
+		"scenario %d: embodied share %v outside [0, %v]", i, doc.EmbodiedShareG, doc.EmbodiedTotalG)
+	c.check(doc.OperationalG >= 0, "scenario %d: negative operational_g %v", i, doc.OperationalG)
+	// T = LT ⇒ the full embodied footprint is attributed (no residual).
+	if spec.Usage.AppHours == spec.Lifetime()*365.25*24 {
+		c.check(doc.EmbodiedShareG == doc.EmbodiedTotalG,
+			"scenario %d: T=LT but embodied_share_g %v != embodied_total_g %v",
+			i, doc.EmbodiedShareG, doc.EmbodiedTotalG)
+	}
+	if doc.LifeCycle != nil {
+		sum := 0.0
+		shares := 0.0
+		for _, p := range doc.LifeCycle.Phases {
+			c.check(p.EmissionsG >= 0, "scenario %d: negative %s phase %v", i, p.Phase, p.EmissionsG)
+			sum += p.EmissionsG
+			shares += p.Share
+		}
+		c.check(sum == doc.LifeCycle.TotalG,
+			"scenario %d: phase sum %v != life-cycle total %v", i, sum, doc.LifeCycle.TotalG)
+		if doc.LifeCycle.TotalG > 0 {
+			c.check(relEqual(shares, 1, 1e-9),
+				"scenario %d: phase shares sum to %v, want 1", i, shares)
+		}
+	}
+}
+
+// metamorphic re-evaluates the scenario with one factor doubled and
+// demands the exact ×2 response the model's linearity promises.
+func (c *checker) metamorphic(i int, spec *scenario.Spec) {
+	doc, err := spec.Result()
+	if err != nil {
+		return // documentInvariants already reported it
+	}
+	// OPCF is linear in power (Eq. 2): double the draw, double the grams.
+	if p, err := cloneSpec(spec); err == nil {
+		p.Usage.PowerW *= 2
+		if doc2, err := p.Result(); err == nil {
+			c.check(doc2.OperationalG == 2*doc.OperationalG,
+				"scenario %d: 2× power_w: operational_g %v != 2×%v (Eq. 2)", i, doc2.OperationalG, doc.OperationalG)
+			c.check(doc2.EmbodiedTotalG == doc.EmbodiedTotalG,
+				"scenario %d: 2× power_w changed embodied_total_g", i)
+		} else {
+			c.check(false, "scenario %d: 2× power_w failed to evaluate: %v", i, err)
+		}
+	}
+	// E_SoC is linear in die area (Eq. 4) and E_mem in capacity (Eqs. 6–8):
+	// doubling every area and capacity exactly doubles each component item;
+	// only the packaging term (Nr·Kr, Eq. 3) stays put.
+	if p, err := cloneSpec(spec); err == nil {
+		for j := range p.Logic {
+			p.Logic[j].AreaMM2 *= 2
+		}
+		for j := range p.DRAM {
+			p.DRAM[j].CapacityGB *= 2
+		}
+		for j := range p.Storage {
+			p.Storage[j].CapacityGB *= 2
+		}
+		if doc2, err := p.Result(); err == nil && len(doc2.Breakdown) == len(doc.Breakdown) {
+			for k, it := range doc.Breakdown {
+				it2 := doc2.Breakdown[k]
+				want := 2 * it.EmbodiedG
+				if it.Kind == "packaging" {
+					want = it.EmbodiedG
+				}
+				c.check(it2.EmbodiedG == want,
+					"scenario %d: 2× area/capacity: item %q %v != %v (Eqs. 4, 6–8)", i, it.Name, it2.EmbodiedG, want)
+			}
+		} else if err != nil {
+			c.check(false, "scenario %d: 2× area/capacity failed to evaluate: %v", i, err)
+		}
+	}
+	// Transport emissions are linear in shipped mass.
+	if len(spec.Transport) > 0 && doc.LifeCycle != nil {
+		if p, err := cloneSpec(spec); err == nil {
+			for j := range p.Transport {
+				p.Transport[j].MassKg *= 2
+			}
+			if doc2, err := p.Result(); err == nil && doc2.LifeCycle != nil {
+				c.check(phaseG(doc2, "transport") == 2*phaseG(doc, "transport"),
+					"scenario %d: 2× transport mass: phase %v != 2×%v",
+					i, phaseG(doc2, "transport"), phaseG(doc, "transport"))
+			}
+		}
+	}
+}
+
+// phaseG finds a life-cycle phase's emissions by name (-1 when absent).
+func phaseG(doc report.ResultJSON, name string) float64 {
+	if doc.LifeCycle == nil {
+		return -1
+	}
+	for _, p := range doc.LifeCycle.Phases {
+		if p.Phase == name {
+			return p.EmissionsG
+		}
+	}
+	return -1
+}
+
+// fabInvariants checks Eqs. 4–5 against every Table 7 node.
+func (c *checker) fabInvariants() {
+	areas := []units.Area{units.MM2(1), units.MM2(147), units.MM2(600.5)}
+	yields := []float64{0.25, 0.5, 0.875, 1}
+	for _, params := range fab.Nodes() {
+		node := params.Node
+		f, err := fab.New(node)
+		if err != nil {
+			c.check(false, "node %s: default fab construction failed: %v", node, err)
+			continue
+		}
+		// Linearity in area under the (area-independent) fixed yield.
+		for _, a := range areas {
+			e1, err1 := f.Embodied(a)
+			e2, err2 := f.Embodied(2 * a)
+			c.check(err1 == nil && err2 == nil && e2 == 2*e1,
+				"node %s: E_SoC(2×%v) = %v, want 2×%v (Eq. 4)", node, a, e2, e1)
+		}
+		// CPA strictly decreases as yield improves, and at perfect yield
+		// equals the bare numerator CIfab·EPA + GPA + MPA.
+		var prev units.CarbonPerArea
+		for k, y := range yields {
+			fy, err := fab.New(node, fab.WithYield(fab.FixedYield(y)))
+			if err != nil {
+				c.check(false, "node %s: yield %v: %v", node, y, err)
+				continue
+			}
+			cpa, err := fy.CPA(areas[0])
+			c.check(err == nil, "node %s: CPA at yield %v: %v", node, y, err)
+			if k > 0 {
+				c.check(cpa < prev, "node %s: CPA %v at yield %v not below %v at yield %v (Eq. 5)",
+					node, cpa, y, prev, yields[k-1])
+			}
+			prev = cpa
+		}
+		numerator := f.CarbonIntensity().GramsPerKWh()*f.EPA().KWhPerCM2() +
+			f.GPA().GramsPerCM2() + f.MPA().GramsPerCM2()
+		perfect, err := fab.New(node, fab.WithYield(fab.FixedYield(1)))
+		if err == nil {
+			cpa, cerr := perfect.CPA(areas[0])
+			c.check(cerr == nil && cpa.GramsPerCM2() == numerator,
+				"node %s: CPA at yield 1 = %v, want the numerator %v (Eq. 5)", node, cpa, numerator)
+		}
+		// Abatement: the interpolation pins the Table 7 endpoints, stays
+		// within them, and never increases with better abatement — so
+		// abated CPA ≤ unabated CPA.
+		gpa95 := gpaAt(c, node, 0.95)
+		gpa99 := gpaAt(c, node, 0.99)
+		c.check(gpa95 == params.GPA95.GramsPerCM2(),
+			"node %s: GPA(0.95) = %v, want the Table 7 column %v", node, gpa95, params.GPA95)
+		c.check(gpa99 == params.GPA99.GramsPerCM2(),
+			"node %s: GPA(0.99) = %v, want the Table 7 column %v", node, gpa99, params.GPA99)
+		c.check(params.GPA99 <= params.GPA95,
+			"node %s: GPA99 %v above GPA95 %v (Table 7 ordering)", node, params.GPA99, params.GPA95)
+		prevG := math.Inf(1)
+		for _, a := range []float64{0.95, 0.96, 0.975, 0.99} {
+			g := gpaAt(c, node, a)
+			c.check(g <= prevG, "node %s: GPA rose from %v to %v as abatement improved to %v", node, prevG, g, a)
+			c.check(g >= params.GPA99.GramsPerCM2() && g <= params.GPA95.GramsPerCM2(),
+				"node %s: GPA(%v) = %v outside the Table 7 band [%v, %v]", node, a, g, params.GPA99, params.GPA95)
+			prevG = g
+		}
+	}
+}
+
+// gpaAt builds a fab at the abatement level and reads its GPA.
+func gpaAt(c *checker, node fab.Node, abatement float64) float64 {
+	f, err := fab.New(node, fab.WithAbatement(abatement))
+	if err != nil {
+		c.check(false, "node %s: abatement %v: %v", node, abatement, err)
+		return math.NaN()
+	}
+	return f.GPA().GramsPerCM2()
+}
+
+// memoryInvariants checks Eqs. 6–8 linearity for every Table 9–11 entry.
+func (c *checker) memoryInvariants() {
+	caps := []units.Capacity{units.Gigabytes(1), units.Gigabytes(32), units.Gigabytes(1000)}
+	for _, e := range memdb.Entries() {
+		for _, cap := range caps {
+			c.check(e.CPS.For(2*cap).Grams() == 2*e.CPS.For(cap).Grams(),
+				"dram %s: E(2×%v) != 2×E(%v) (Eq. 6)", e.Technology, cap, cap)
+			c.check(e.CPS.For(cap).Grams() == e.CPS.GramsPerGB()*cap.Gigabytes(),
+				"dram %s: E(%v) != CPS×capacity (Eq. 6)", e.Technology, cap)
+		}
+	}
+	for _, e := range append(storagedb.SSDs(), storagedb.HDDs()...) {
+		for _, cap := range caps {
+			c.check(e.CPS.For(2*cap).Grams() == 2*e.CPS.For(cap).Grams(),
+				"storage %s: E(2×%v) != 2×E(%v) (Eqs. 7–8)", e.Technology, cap, cap)
+		}
+	}
+}
+
+// metricInvariants checks the Table 2 exponent relations on seeded random
+// candidates: EDAP = EDP·A and CE2P = CEP·E hold exactly (same
+// left-associative product prefix), C2EP = C·CEP reassociates and gets a
+// tolerance.
+func (c *checker) metricInvariants(seed uint64) {
+	for t := 0; t < 64; t++ {
+		r := newStream(seed^0x6d657472, t)
+		cand := metrics.Candidate{
+			Name:     fmt.Sprintf("cand-%d", t),
+			Embodied: units.Grams(r.rangef(0.5, 5e6)),
+			Energy:   units.Joules(r.rangef(0.01, 1e6)),
+			Delay:    time.Duration(1+r.intn(1e9)) * time.Nanosecond,
+			Area:     units.MM2(r.rangef(1, 900)),
+		}
+		eval := func(m metrics.Metric) float64 {
+			v, err := metrics.Eval(m, cand)
+			if err != nil {
+				c.check(false, "candidate %d: %s: %v", t, m, err)
+				return math.NaN()
+			}
+			return v
+		}
+		edp, edap := eval(metrics.EDP), eval(metrics.EDAP)
+		cdp, cep := eval(metrics.CDP), eval(metrics.CEP)
+		c2ep, ce2p := eval(metrics.C2EP), eval(metrics.CE2P)
+		e := cand.Energy.Joules()
+		d := cand.Delay.Seconds()
+		cc := cand.Embodied.Grams()
+		a := cand.Area.MM2()
+		c.check(edap == edp*a, "candidate %d: EDAP %v != EDP·A %v (Table 2)", t, edap, edp*a)
+		c.check(ce2p == cep*e, "candidate %d: CE2P %v != CEP·E %v (Table 2)", t, ce2p, cep*e)
+		c.check(cdp == cc*d, "candidate %d: CDP %v != C·D %v (Table 2)", t, cdp, cc*d)
+		c.check(cep == cc*e, "candidate %d: CEP %v != C·E %v (Table 2)", t, cep, cc*e)
+		c.check(relEqual(c2ep, cc*cep, 1e-12), "candidate %d: C2EP %v != C·CEP %v (Table 2)", t, c2ep, cc*cep)
+	}
+}

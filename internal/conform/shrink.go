@@ -1,0 +1,187 @@
+// Divergence shrinking. A diverging corpus scenario is a lousy bug report
+// — a dozen components, fab overrides, transport legs. Shrink greedily
+// minimizes it while a keep predicate (still diverging) holds, restarting
+// from the head of the candidate list after every accepted simplification,
+// so the committed repro is close to the smallest spec that still shows
+// the disagreement. Repros are written to (and reloaded from) testdata/ as
+// permanent regression inputs: once a divergence is found, its minimal
+// form is re-checked by every future conformance run.
+
+package conform
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"act/internal/scenario"
+)
+
+// shrinkBudget caps keep-predicate evaluations per Shrink call; the
+// greedy restart loop converges long before this in practice.
+const shrinkBudget = 10000
+
+// Shrink returns a minimal spec for which keep still holds. When keep
+// does not hold for spec itself (a divergence that only reproduces in a
+// larger context, like a batch join), spec is returned unshrunk.
+func Shrink(spec *scenario.Spec, keep func(*scenario.Spec) bool) *scenario.Spec {
+	cur, err := cloneSpec(spec)
+	if err != nil || !keep(cur) {
+		return spec
+	}
+	budget := shrinkBudget
+	for {
+		improved := false
+		for _, cand := range candidates(cur) {
+			if budget <= 0 {
+				return cur
+			}
+			budget--
+			if keep(cand) {
+				cur = cand
+				improved = true
+				break // restart: aggressive drops first on the smaller spec
+			}
+		}
+		if !improved {
+			return cur
+		}
+	}
+}
+
+// candidates builds the one-step simplifications of cur, most aggressive
+// first: drop whole sections, then drop elements, then simplify fields to
+// their defaults or to 1.
+func candidates(cur *scenario.Spec) []*scenario.Spec {
+	var out []*scenario.Spec
+	try := func(mutate func(s *scenario.Spec) bool) {
+		c, err := cloneSpec(cur)
+		if err != nil {
+			return
+		}
+		if mutate(c) {
+			out = append(out, c)
+		}
+	}
+
+	// Whole-section drops. At least one component slice must survive or
+	// the spec trades its divergence for a validation error.
+	components := 0
+	for _, n := range []int{len(cur.Logic), len(cur.DRAM), len(cur.Storage)} {
+		if n > 0 {
+			components++
+		}
+	}
+	if components > 1 {
+		try(func(s *scenario.Spec) bool { s.Logic = nil; return len(cur.Logic) > 0 })
+		try(func(s *scenario.Spec) bool { s.DRAM = nil; return len(cur.DRAM) > 0 })
+		try(func(s *scenario.Spec) bool { s.Storage = nil; return len(cur.Storage) > 0 })
+	}
+	try(func(s *scenario.Spec) bool { s.Transport = nil; return len(cur.Transport) > 0 })
+	try(func(s *scenario.Spec) bool { s.EndOfLife = nil; return cur.EndOfLife != nil })
+
+	// Element drops, keeping at least one element per surviving slice so
+	// index-0 field paths stay meaningful.
+	for i := 1; i < len(cur.Logic); i++ {
+		i := i
+		try(func(s *scenario.Spec) bool { s.Logic = append(s.Logic[:i], s.Logic[i+1:]...); return true })
+	}
+	for i := 1; i < len(cur.DRAM); i++ {
+		i := i
+		try(func(s *scenario.Spec) bool { s.DRAM = append(s.DRAM[:i], s.DRAM[i+1:]...); return true })
+	}
+	for i := 1; i < len(cur.Storage); i++ {
+		i := i
+		try(func(s *scenario.Spec) bool { s.Storage = append(s.Storage[:i], s.Storage[i+1:]...); return true })
+	}
+	for i := 1; i < len(cur.Transport); i++ {
+		i := i
+		try(func(s *scenario.Spec) bool { s.Transport = append(s.Transport[:i], s.Transport[i+1:]...); return true })
+	}
+
+	// Field simplifications toward defaults.
+	try(func(s *scenario.Spec) bool { s.ExtraICs = 0; return cur.ExtraICs != 0 })
+	try(func(s *scenario.Spec) bool { s.LifetimeYears = 0; return cur.LifetimeYears != 0 })
+	try(func(s *scenario.Spec) bool { s.Usage.IntensityGPerKWh = 0; return cur.Usage.IntensityGPerKWh != 0 })
+	try(func(s *scenario.Spec) bool { s.Usage.PUE = 0; return cur.Usage.PUE != 0 })
+	try(func(s *scenario.Spec) bool { s.Usage.BatteryEfficiency = 0; return cur.Usage.BatteryEfficiency != 0 })
+	try(func(s *scenario.Spec) bool { s.Usage.PowerW = 1; return cur.Usage.PowerW != 1 })
+	try(func(s *scenario.Spec) bool { s.Usage.AppHours = 1; return cur.Usage.AppHours != 1 })
+	try(func(s *scenario.Spec) bool { s.Name = "repro"; return cur.Name != "repro" })
+	for i := range cur.Logic {
+		i := i
+		try(func(s *scenario.Spec) bool { s.Logic[i].Fab = nil; return cur.Logic[i].Fab != nil })
+		try(func(s *scenario.Spec) bool { s.Logic[i].Count = 0; return cur.Logic[i].Count != 0 })
+		try(func(s *scenario.Spec) bool { s.Logic[i].AreaMM2 = 1; return cur.Logic[i].AreaMM2 != 1 })
+		try(func(s *scenario.Spec) bool { s.Logic[i].Node = "7nm"; return cur.Logic[i].Node != "7nm" })
+	}
+	for i := range cur.DRAM {
+		i := i
+		try(func(s *scenario.Spec) bool { s.DRAM[i].CapacityGB = 1; return cur.DRAM[i].CapacityGB != 1 })
+		try(func(s *scenario.Spec) bool {
+			s.DRAM[i].Technology = "lpddr4"
+			return cur.DRAM[i].Technology != "lpddr4"
+		})
+	}
+	for i := range cur.Storage {
+		i := i
+		try(func(s *scenario.Spec) bool { s.Storage[i].CapacityGB = 1; return cur.Storage[i].CapacityGB != 1 })
+		try(func(s *scenario.Spec) bool {
+			s.Storage[i].Technology = "1z-nand-tlc"
+			return cur.Storage[i].Technology != "1z-nand-tlc"
+		})
+	}
+	for i := range cur.Transport {
+		i := i
+		try(func(s *scenario.Spec) bool { s.Transport[i].MassKg = 1; return cur.Transport[i].MassKg != 1 })
+		try(func(s *scenario.Spec) bool { s.Transport[i].DistanceKm = 1; return cur.Transport[i].DistanceKm != 1 })
+		try(func(s *scenario.Spec) bool { s.Transport[i].Mode = "air"; return cur.Transport[i].Mode != "air" })
+	}
+	return out
+}
+
+// WriteRepro saves the spec as dir/repro-<hash12>.json in the canonical
+// wire form. The name is derived from the canonical scenario hash, so the
+// same divergence never piles up duplicate files.
+func WriteRepro(dir string, spec *scenario.Spec) (string, error) {
+	data, err := scenario.Marshal(spec)
+	if err != nil {
+		return "", fmt.Errorf("conform: marshal repro: %w", err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, "repro-"+spec.Hash()[:12]+".json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// LoadRepros reads every committed repro-*.json under dir, sorted by
+// name. A missing dir is an empty corpus; an unparsable committed repro
+// is an error, not a skip — it guarded a real divergence once.
+func LoadRepros(dir string) ([]*scenario.Spec, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	paths, err := filepath.Glob(filepath.Join(dir, "repro-*.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	var out []*scenario.Spec
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		spec, err := scenario.Unmarshal(data)
+		if err != nil {
+			return nil, fmt.Errorf("conform: committed repro %s: %w", p, err)
+		}
+		out = append(out, spec)
+	}
+	return out, nil
+}

@@ -1,0 +1,249 @@
+package conform
+
+// The characterized tables pinned against the paper (Gupta et al., "ACT:
+// Designing Sustainable Computer Systems With an Architectural Carbon
+// Modeling Tool", ISCA 2022). Every constant the model ships is asserted
+// here verbatim, so an accidental edit to any table — a transposed digit, a
+// "harmless" rounding — fails conformance rather than silently repricing
+// every footprint. The differential harness would catch a table edit only
+// as self-consistent drift; this file anchors the absolute values.
+
+import (
+	"testing"
+
+	"act/internal/core"
+	"act/internal/fab"
+	"act/internal/intensity"
+	"act/internal/memdb"
+	"act/internal/storagedb"
+)
+
+// TestTable5EnergySources: life-cycle carbon intensity (g CO2/kWh) and
+// energy-payback time (months) per generation source, Table 5.
+func TestTable5EnergySources(t *testing.T) {
+	rows := []struct {
+		source  intensity.Source
+		gPerKWh float64
+		payback float64
+	}{
+		{intensity.Coal, 820, 2},
+		{intensity.Gas, 490, 1},
+		{intensity.Biomass, 230, 12},
+		{intensity.Solar, 41, 36},
+		{intensity.Geothermal, 38, 72},
+		{intensity.Hydropower, 24, 24},
+		{intensity.Nuclear, 12, 2},
+		{intensity.Wind, 11, 12},
+	}
+	for _, row := range rows {
+		info, err := intensity.BySource(row.source)
+		if err != nil {
+			t.Errorf("%s: %v", row.source, err)
+			continue
+		}
+		if got := info.Intensity.GramsPerKWh(); got != row.gPerKWh {
+			t.Errorf("%s intensity = %v g/kWh, want %v", row.source, got, row.gPerKWh)
+		}
+		if info.PaybackMonths != row.payback {
+			t.Errorf("%s payback = %v months, want %v", row.source, info.PaybackMonths, row.payback)
+		}
+	}
+	if got := len(intensity.Sources()); got != len(rows) {
+		t.Errorf("Table 5 has %d sources, want %d", got, len(rows))
+	}
+}
+
+// TestTable6Regions: regional grid intensities (g CO2/kWh), Table 6, plus
+// the named case-study intensities derived from Tables 5/6.
+func TestTable6Regions(t *testing.T) {
+	rows := []struct {
+		region  intensity.Region
+		gPerKWh float64
+	}{
+		{intensity.World, 301},
+		{intensity.India, 725},
+		{intensity.Australia, 597},
+		{intensity.Taiwan, 583},
+		{intensity.Singapore, 495},
+		{intensity.UnitedStates, 380},
+		{intensity.Europe, 295},
+		{intensity.Brazil, 82},
+		{intensity.Iceland, 28},
+	}
+	for _, row := range rows {
+		info, err := intensity.ByRegion(row.region)
+		if err != nil {
+			t.Errorf("%s: %v", row.region, err)
+			continue
+		}
+		if got := info.Intensity.GramsPerKWh(); got != row.gPerKWh {
+			t.Errorf("%s intensity = %v g/kWh, want %v", row.region, got, row.gPerKWh)
+		}
+	}
+	if got := len(intensity.Regions()); got != len(rows) {
+		t.Errorf("Table 6 has %d regions, want %d", got, len(rows))
+	}
+	// Named scenario intensities: US average rounded to 300 (Table 4),
+	// renewable = solar (Table 5), fab default = Taiwan (Table 6).
+	if got := intensity.USGrid.GramsPerKWh(); got != 300 {
+		t.Errorf("USGrid = %v, want the Table 4 rounded 300", got)
+	}
+	if got := intensity.CarbonFree.GramsPerKWh(); got != 0 {
+		t.Errorf("CarbonFree = %v, want 0", got)
+	}
+	if got := intensity.Renewable.GramsPerKWh(); got != 41 {
+		t.Errorf("Renewable = %v, want solar's 41", got)
+	}
+	if got := intensity.TaiwanGrid.GramsPerKWh(); got != 583 {
+		t.Errorf("TaiwanGrid = %v, want 583", got)
+	}
+	if got := intensity.CoalGrid.GramsPerKWh(); got != 820 {
+		t.Errorf("CoalGrid = %v, want coal's 820", got)
+	}
+}
+
+// TestTable7Nodes: per-node fab energy (EPA, kWh/cm²) and the gas-emissions
+// band (GPA at 95% and 99% abatement, g CO2/cm²), Table 7 (iMec IEDM'20
+// data), plus the Table 8 materials intensity and the release's default
+// yield.
+func TestTable7Nodes(t *testing.T) {
+	rows := []struct {
+		node           fab.Node
+		featureNM, epa float64
+		gpa95, gpa99   float64
+	}{
+		{fab.Node28, 28, 0.90, 175, 100},
+		{fab.Node20, 20, 1.2, 190, 110},
+		{fab.Node14, 14, 1.2, 200, 125},
+		{fab.Node10, 10, 1.475, 240, 150},
+		{fab.Node7, 7, 1.52, 350, 200},
+		{fab.Node7EUV, 7, 2.15, 350, 200},
+		{fab.Node7EUVDP, 7, 2.15, 350, 200},
+		{fab.Node5, 5, 2.75, 430, 225},
+		{fab.Node3, 3, 2.75, 470, 275},
+	}
+	nodes := fab.Nodes()
+	if len(nodes) != len(rows) {
+		t.Fatalf("Table 7 has %d nodes, want %d", len(nodes), len(rows))
+	}
+	for i, row := range rows {
+		n := nodes[i]
+		if n.Node != row.node || n.FeatureNM != row.featureNM {
+			t.Errorf("row %d is %s/%vnm, want %s/%vnm", i, n.Node, n.FeatureNM, row.node, row.featureNM)
+		}
+		if got := n.EPA.KWhPerCM2(); got != row.epa {
+			t.Errorf("%s EPA = %v kWh/cm², want %v", row.node, got, row.epa)
+		}
+		if got := n.GPA95.GramsPerCM2(); got != row.gpa95 {
+			t.Errorf("%s GPA95 = %v g/cm², want %v", row.node, got, row.gpa95)
+		}
+		if got := n.GPA99.GramsPerCM2(); got != row.gpa99 {
+			t.Errorf("%s GPA99 = %v g/cm², want %v", row.node, got, row.gpa99)
+		}
+	}
+	// Table 8: raw-material procurement, 500 g CO2/cm² (Boyd LCA).
+	if got := fab.MPA.GramsPerCM2(); got != 500 {
+		t.Errorf("MPA = %v g/cm², want 500", got)
+	}
+	// The open-source release's default wafer yield.
+	if fab.DefaultYield != 0.875 {
+		t.Errorf("DefaultYield = %v, want 0.875", fab.DefaultYield)
+	}
+}
+
+// TestTable9DRAM: carbon per GB for DRAM generations, Table 9 (SK hynix
+// fab data, black bars of Figure 7; LPDDR4 from a component-level LCA).
+func TestTable9DRAM(t *testing.T) {
+	rows := []struct {
+		tech        memdb.Technology
+		cps         float64
+		deviceLevel bool
+	}{
+		{memdb.DDR3_50nm, 600, true},
+		{memdb.DDR3_40nm, 315, true},
+		{memdb.DDR3_30nm, 230, true},
+		{memdb.LPDDR3_30nm, 201, true},
+		{memdb.LPDDR3_20nm, 184, true},
+		{memdb.LPDDR2_20nm, 159, true},
+		{memdb.LPDDR4, 48, false},
+		{memdb.DDR4_10nm, 65, true},
+	}
+	for _, row := range rows {
+		e, err := memdb.Lookup(row.tech)
+		if err != nil {
+			t.Errorf("%s: %v", row.tech, err)
+			continue
+		}
+		if got := e.CPS.GramsPerGB(); got != row.cps {
+			t.Errorf("%s CPS = %v g/GB, want %v", row.tech, got, row.cps)
+		}
+		if e.DeviceLevel != row.deviceLevel {
+			t.Errorf("%s device-level = %v, want %v", row.tech, e.DeviceLevel, row.deviceLevel)
+		}
+	}
+	if got := len(memdb.Entries()); got != len(rows) {
+		t.Errorf("Table 9 has %d rows, want %d", got, len(rows))
+	}
+}
+
+// TestTables10And11Storage: carbon per GB for SSDs (Table 10: fab-level
+// NAND characterization plus vendor LCAs) and HDDs (Table 11: Seagate
+// consumer and enterprise LCAs).
+func TestTables10And11Storage(t *testing.T) {
+	rows := []struct {
+		tech       storagedb.Technology
+		cps        float64
+		class      storagedb.Class
+		enterprise bool
+	}{
+		// Table 10 — SSDs.
+		{storagedb.NAND30nm, 30, storagedb.SSD, false},
+		{storagedb.NAND20nm, 15, storagedb.SSD, false},
+		{storagedb.NAND10nm, 10, storagedb.SSD, false},
+		{storagedb.NAND1zTLC, 5.6, storagedb.SSD, false},
+		{storagedb.NANDV3TLC, 6.3, storagedb.SSD, false},
+		{storagedb.WD2016, 24.4, storagedb.SSD, false},
+		{storagedb.WD2017, 17.9, storagedb.SSD, false},
+		{storagedb.WD2018, 12.5, storagedb.SSD, false},
+		{storagedb.WD2019, 10.7, storagedb.SSD, false},
+		{storagedb.Nytro1551, 3.95, storagedb.SSD, false},
+		{storagedb.Nytro3530, 6.21, storagedb.SSD, false},
+		{storagedb.Nytro3331, 16.92, storagedb.SSD, false},
+		// Table 11 — HDDs.
+		{storagedb.BarraCuda, 4.57, storagedb.HDD, false},
+		{storagedb.BarraCuda2, 10.32, storagedb.HDD, false},
+		{storagedb.BarraCudaPro, 2.35, storagedb.HDD, false},
+		{storagedb.FireCuda, 5.1, storagedb.HDD, false},
+		{storagedb.FireCuda2, 9.1, storagedb.HDD, false},
+		{storagedb.Exos2x14, 1.65, storagedb.HDD, true},
+		{storagedb.Exosx12, 1.14, storagedb.HDD, true},
+		{storagedb.Exosx16, 1.33, storagedb.HDD, true},
+		{storagedb.Exos15e900, 20.5, storagedb.HDD, true},
+		{storagedb.Exos10e2400, 10.3, storagedb.HDD, true},
+	}
+	for _, row := range rows {
+		e, err := storagedb.Lookup(row.tech)
+		if err != nil {
+			t.Errorf("%s: %v", row.tech, err)
+			continue
+		}
+		if got := e.CPS.GramsPerGB(); got != row.cps {
+			t.Errorf("%s CPS = %v g/GB, want %v", row.tech, got, row.cps)
+		}
+		if e.Class != row.class || e.Enterprise != row.enterprise {
+			t.Errorf("%s class/enterprise = %v/%v, want %v/%v",
+				row.tech, e.Class, e.Enterprise, row.class, row.enterprise)
+		}
+	}
+	if got := len(storagedb.SSDs()) + len(storagedb.HDDs()); got != len(rows) {
+		t.Errorf("Tables 10+11 have %d rows, want %d", got, len(rows))
+	}
+}
+
+// TestPackagingKr: Kr, the per-IC packaging footprint of Eq. 3, is 0.15 kg
+// CO2 (150 g) per the paper's packaging analysis.
+func TestPackagingKr(t *testing.T) {
+	if got := core.PackagingFootprint.Grams(); got != 150 {
+		t.Errorf("Kr = %v g, want 150 (0.15 kg CO2 per IC)", got)
+	}
+}

@@ -152,11 +152,15 @@ type PhaseReport struct {
 	Phases map[Phase]units.CO2Mass
 }
 
-// Total sums the phases.
+// Total sums the phases in life-cycle order. The fixed order matters:
+// float addition is not associative, and a map-order sum makes the total
+// (and every phase share derived from it) differ across runs in the last
+// ulp — the cross-surface conformance harness compares result documents
+// byte-for-byte and caught exactly that.
 func (r PhaseReport) Total() units.CO2Mass {
 	var g float64
-	for _, m := range r.Phases {
-		g += m.Grams()
+	for _, p := range Phases() {
+		g += r.Phases[p].Grams()
 	}
 	return units.Grams(g)
 }

@@ -128,6 +128,10 @@ func (f *Fab) GPA() units.CarbonPerArea {
 // [0.95, 0.99].
 func interpolateGPA(n NodeParams, abatement float64) units.CarbonPerArea {
 	t := (abatement - 0.95) / (0.99 - 0.95)
+	// Roundoff in (abatement − 0.95) can land t marginally outside [0, 1]
+	// even for in-range abatement, extrapolating past the characterized
+	// columns; clamp so the endpoints hit GPA95/GPA99 exactly.
+	t = min(max(t, 0), 1)
 	g := n.GPA95.GramsPerCM2() + t*(n.GPA99.GramsPerCM2()-n.GPA95.GramsPerCM2())
 	return units.GramsPerCM2(g)
 }

@@ -1,0 +1,84 @@
+package fleet
+
+// The committed FuzzFleetIngestNDJSON seeds pin the ingest stream's
+// behaviour on torn and irregular framing: a connection dropped mid-record,
+// CRLF line endings, blank lines, a final record with no newline. Ingest is
+// a JSON value stream rather than a strict line protocol, so some of these
+// are accepted where a line-based reader would balk — this table makes that
+// contract explicit and keeps the seeds from rotting.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"act/internal/acterr"
+)
+
+// loadNDJSONSeed decodes a single-argument "go test fuzz v1" corpus file.
+func loadNDJSONSeed(t *testing.T, name string) []byte {
+	t.Helper()
+	path := filepath.Join("testdata", "fuzz", "FuzzFleetIngestNDJSON", name)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading seed: %v", err)
+	}
+	lines := strings.SplitN(string(data), "\n", 3)
+	if len(lines) < 2 || strings.TrimSpace(lines[0]) != "go test fuzz v1" {
+		t.Fatalf("%s: not a go test fuzz v1 corpus file", path)
+	}
+	body := strings.TrimSpace(lines[1])
+	body = strings.TrimSuffix(strings.TrimPrefix(body, "[]byte("), ")")
+	s, err := strconv.Unquote(body)
+	if err != nil {
+		t.Fatalf("%s: unquoting seed body: %v", path, err)
+	}
+	return []byte(s)
+}
+
+func TestTornNDJSONSeedCorpus(t *testing.T) {
+	cases := []struct {
+		file         string
+		wantUpserted int
+		wantErr      bool
+		// wantErrField, when set, must appear in the error's field path so
+		// the client learns which record tore.
+		wantErrField string
+	}{
+		// First record lands, the torn second record reports its index.
+		{"torn-final-line", 1, true, "device[1]"},
+		// A newline inside a record is fine: ingest decodes a JSON value
+		// stream, not lines.
+		{"torn-mid-record", 1, false, ""},
+		{"crlf-lines", 2, false, ""},
+		{"blank-lines-interleaved", 1, false, ""},
+		{"no-trailing-newline", 1, false, ""},
+	}
+	for _, c := range cases {
+		t.Run(c.file, func(t *testing.T) {
+			data := loadNDJSONSeed(t, c.file)
+			reg := New(Config{Shards: 2})
+			res, err := reg.IngestNDJSON(bytes.NewReader(data), 64)
+			if res.Upserted != c.wantUpserted {
+				t.Errorf("upserted = %d, want %d", res.Upserted, c.wantUpserted)
+			}
+			if reg.Len() != c.wantUpserted {
+				t.Errorf("registry holds %d devices, want %d", reg.Len(), c.wantUpserted)
+			}
+			if (err != nil) != c.wantErr {
+				t.Fatalf("err = %v, wantErr %v", err, c.wantErr)
+			}
+			if err != nil {
+				if !acterr.IsInvalid(err) {
+					t.Errorf("torn stream not classified as the client's fault: %v", err)
+				}
+				if c.wantErrField != "" && !strings.Contains(err.Error(), c.wantErrField) {
+					t.Errorf("error %q does not locate %q", err, c.wantErrField)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,111 @@
+package scenario
+
+// The committed seed corpus under testdata/fuzz is the regression net for
+// wire-envelope hazards: every version-envelope shape that once mattered
+// (or plausibly will) is checked into the fuzzers' seed sets, and this file
+// pins each seed to its expected decode outcome. Without the pin, a seed
+// that goes stale — the format drifts under it, or the file rots — keeps
+// "passing" by silently no longer exercising the hazard it was written for.
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"act/internal/acterr"
+)
+
+// loadFuzzSeed decodes a single-argument "go test fuzz v1" corpus file
+// into the raw bytes the fuzz target receives.
+func loadFuzzSeed(t *testing.T, path string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading seed: %v", err)
+	}
+	lines := strings.SplitN(string(data), "\n", 3)
+	if len(lines) < 2 || strings.TrimSpace(lines[0]) != "go test fuzz v1" {
+		t.Fatalf("%s: not a go test fuzz v1 corpus file", path)
+	}
+	body := strings.TrimSpace(lines[1])
+	body = strings.TrimSuffix(strings.TrimPrefix(body, "[]byte("), ")")
+	s, err := strconv.Unquote(body)
+	if err != nil {
+		t.Fatalf("%s: unquoting seed body: %v", path, err)
+	}
+	return []byte(s)
+}
+
+// TestVersionEnvelopeSeedCorpus: each committed FuzzScenarioUnmarshal seed
+// decodes (or refuses to) exactly as the envelope contract promises.
+func TestVersionEnvelopeSeedCorpus(t *testing.T) {
+	cases := []struct {
+		file string
+		// wantOK means Unmarshal must accept the seed.
+		wantOK bool
+		// wantVersionErr means the rejection must carry the typed
+		// ErrUnsupportedVersion identity, not just any parse failure.
+		wantVersionErr bool
+	}{
+		{"version-explicit-1", true, false},
+		{"version-future-2", false, true},
+		{"version-negative", false, true},
+		{"version-huge", false, true},
+		{"version-string-typed", false, false},
+		{"envelope-unknown-field", false, false},
+		{"envelope-truncated", false, false},
+	}
+	for _, c := range cases {
+		t.Run(c.file, func(t *testing.T) {
+			data := loadFuzzSeed(t, filepath.Join("testdata", "fuzz", "FuzzScenarioUnmarshal", c.file))
+			spec, err := Unmarshal(data)
+			if c.wantOK {
+				if err != nil {
+					t.Fatalf("seed no longer accepted: %v", err)
+				}
+				if spec.Version != Version {
+					t.Errorf("accepted seed normalized to version %d, want %d", spec.Version, Version)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatal("seed accepted; it pins a rejection")
+			}
+			if got := errors.Is(err, acterr.ErrUnsupportedVersion); got != c.wantVersionErr {
+				t.Errorf("ErrUnsupportedVersion = %v, want %v (err: %v)", got, c.wantVersionErr, err)
+			}
+		})
+	}
+}
+
+// TestCanonicalKeyCorpusMirrors keeps the FuzzCanonicalKey seed set in sync
+// with its FuzzScenarioUnmarshal counterparts: both fuzzers share the wire
+// decoder, so a hazard seeded for one belongs to the other byte-for-byte.
+func TestCanonicalKeyCorpusMirrors(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzCanonicalKey")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("FuzzCanonicalKey seed corpus is empty")
+	}
+	for _, e := range entries {
+		got, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := os.ReadFile(filepath.Join("testdata", "fuzz", "FuzzScenarioUnmarshal", e.Name()))
+		if err != nil {
+			t.Errorf("%s has no FuzzScenarioUnmarshal counterpart: %v", e.Name(), err)
+			continue
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s diverged between the two seed corpora", e.Name())
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"time"
 
 	"act/internal/acterr"
 	"act/internal/core"
@@ -220,6 +221,12 @@ func (s *Spec) usage() (core.Usage, error) {
 	if ci == 0 {
 		ci = 300 // US grid default
 	}
+	if ci < 0 {
+		return core.Usage{}, fmt.Errorf("scenario: %w", acterr.Invalid("usage.intensity_g_per_kwh", "negative intensity %v", ci))
+	}
+	if s.Usage.PowerW < 0 {
+		return core.Usage{}, fmt.Errorf("scenario: %w", acterr.Invalid("usage.power_w", "negative power_w %v", s.Usage.PowerW))
+	}
 	if s.Usage.AppHours <= 0 {
 		return core.Usage{}, fmt.Errorf("scenario: %w", acterr.Invalid("usage.app_hours", "non-positive app_hours %v", s.Usage.AppHours))
 	}
@@ -255,6 +262,16 @@ func (s *Spec) Lifetime() float64 {
 	return s.LifetimeYears
 }
 
+// lifetimeDuration returns LT as a duration, rejecting a non-positive
+// lifetime with a typed error (the client's to fix, not a 500).
+func (s *Spec) lifetimeDuration() (time.Duration, error) {
+	lt := s.Lifetime()
+	if lt <= 0 {
+		return 0, fmt.Errorf("scenario: %w", acterr.Invalid("lifetime_years", "non-positive lifetime_years %v", lt))
+	}
+	return units.Years(lt), nil
+}
+
 // Assess evaluates the scenario end to end (Eq. 1).
 func (s *Spec) Assess() (core.Assessment, error) {
 	d, err := s.Device()
@@ -265,8 +282,18 @@ func (s *Spec) Assess() (core.Assessment, error) {
 	if err != nil {
 		return core.Assessment{}, err
 	}
+	lifetime, err := s.lifetimeDuration()
+	if err != nil {
+		return core.Assessment{}, err
+	}
 	appTime := units.Years(s.Usage.AppHours / (365.25 * 24))
-	return core.Footprint(d, usage, appTime, units.Years(s.Lifetime()))
+	// Compare the same durations core.Footprint compares, so the typed
+	// rejection fires exactly where the plain core one would.
+	if appTime > lifetime {
+		return core.Assessment{}, fmt.Errorf("scenario: %w",
+			acterr.Invalid("usage.app_hours", "app_hours %v exceeds the %v-year lifetime", s.Usage.AppHours, s.Lifetime()))
+	}
+	return core.Footprint(d, usage, appTime, lifetime)
 }
 
 // HasLifeCycle reports whether the scenario carries transport or
@@ -286,17 +313,42 @@ func (s *Spec) LifeCycle() (core.PhaseReport, error) {
 	if err != nil {
 		return core.PhaseReport{}, err
 	}
+	lifetime, err := s.lifetimeDuration()
+	if err != nil {
+		return core.PhaseReport{}, err
+	}
 	lc := core.LifeCycle{
 		Device:   d,
 		Use:      core.EffectiveUsage{Usage: usage, Effectiveness: 1},
-		Lifetime: units.Years(s.Lifetime()),
+		Lifetime: lifetime,
 	}
-	for _, leg := range s.Transport {
+	for i, leg := range s.Transport {
+		// Canonicalize the mode the same way CanonicalKey does — "Air" and
+		// "air" must evaluate identically or the footprint cache, keyed on
+		// the canonical form, would conflate a valid spec with an invalid
+		// one. Unknown modes and negative quantities are the client's to
+		// fix, so they are typed here rather than left to core's plain
+		// errors.
+		mode := core.TransportMode(canonName(leg.Mode))
+		switch mode {
+		case core.TransportAir, core.TransportSea, core.TransportRoad, core.TransportRail:
+		default:
+			return core.PhaseReport{}, fmt.Errorf("scenario: %w",
+				acterr.Invalid(fmt.Sprintf("transport[%d].mode", i), "unknown transport mode %q (want air, sea, road or rail)", leg.Mode))
+		}
+		if leg.MassKg < 0 {
+			return core.PhaseReport{}, fmt.Errorf("scenario: %w",
+				acterr.Invalid(fmt.Sprintf("transport[%d].mass_kg", i), "negative mass_kg %v", leg.MassKg))
+		}
+		if leg.DistanceKm < 0 {
+			return core.PhaseReport{}, fmt.Errorf("scenario: %w",
+				acterr.Invalid(fmt.Sprintf("transport[%d].distance_km", i), "negative distance_km %v", leg.DistanceKm))
+		}
 		lc.Transport = append(lc.Transport, core.TransportLeg{
 			Name:       leg.Name,
 			MassKg:     leg.MassKg,
 			DistanceKm: leg.DistanceKm,
-			Mode:       core.TransportMode(leg.Mode),
+			Mode:       mode,
 		})
 	}
 	if s.EndOfLife != nil {

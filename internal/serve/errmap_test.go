@@ -1,0 +1,111 @@
+package serve
+
+// The 400-vs-500 contract, pinned twice: writeError's classification of
+// raw error values, and the HTTP status + field path actually served for a
+// representative request of each failure class. The conformance harness
+// (internal/conform) exercises the same contract generatively; this table
+// is the human-readable specification of it.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"act/internal/acterr"
+)
+
+func TestWriteErrorClassification(t *testing.T) {
+	cases := []struct {
+		name      string
+		err       error
+		wantCode  int
+		wantField string
+	}{
+		{"plain-error", errors.New("disk on fire"), http.StatusInternalServerError, ""},
+		{"transient-after-retries", acterr.Transient(errors.New("pool sick")), http.StatusInternalServerError, ""},
+		{"wrapped-transient", fmt.Errorf("eval: %w", acterr.Transient(errors.New("x"))), http.StatusInternalServerError, ""},
+		{"deadline", context.DeadlineExceeded, http.StatusGatewayTimeout, ""},
+		{"wrapped-deadline", fmt.Errorf("batch: %w", context.DeadlineExceeded), http.StatusGatewayTimeout, ""},
+		{"invalid-field", acterr.Invalid("usage.app_hours", "non-positive"), http.StatusBadRequest, "usage.app_hours"},
+		{"invalid-no-field", acterr.Invalid("", "empty request"), http.StatusBadRequest, ""},
+		{"prefixed-batch-element", acterr.Prefix("[2]", acterr.Invalid("node", "unknown")), http.StatusBadRequest, "[2].node"},
+		{"unknown-node-sentinel", fmt.Errorf("fab: %w", acterr.ErrUnknownNode), http.StatusBadRequest, ""},
+		{"unsupported-version", &acterr.UnsupportedVersionError{Version: 9}, http.StatusBadRequest, ""},
+	}
+	s := New(Config{Logger: discardLogger()})
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			w := httptest.NewRecorder()
+			r := httptest.NewRequest(http.MethodPost, "/v1/footprint", nil)
+			s.writeError(w, r, c.err)
+			if w.Code != c.wantCode {
+				t.Errorf("code = %d, want %d", w.Code, c.wantCode)
+			}
+			e := decodeError(t, w.Body.Bytes())
+			if e.Field != c.wantField {
+				t.Errorf("field = %q, want %q", e.Field, c.wantField)
+			}
+			if e.Error == "" {
+				t.Error("error body has no message")
+			}
+		})
+	}
+}
+
+// TestFootprintStatusMapping drives one request per failure class through
+// the real handler stack and pins the served status and field path.
+func TestFootprintStatusMapping(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBatch: 3, MaxBodyBytes: 4096})
+	url := ts.URL + "/v1/footprint"
+
+	valid := `{"name": "ok", "logic": [{"name": "soc", "area_mm2": 100, "node": "7nm"}], "usage": {"power_w": 5, "app_hours": 100}}`
+	cases := []struct {
+		name      string
+		body      string
+		wantCode  int
+		wantField string
+	}{
+		{"valid", valid, http.StatusOK, ""},
+		{"unknown-node", strings.Replace(valid, `"7nm"`, `"quantum"`, 1), http.StatusBadRequest, "logic[0]"},
+		{"bad-dram-tech", `{"name": "x", "dram": [{"name": "m", "technology": "sram-9000", "capacity_gb": 8}], "usage": {"power_w": 5, "app_hours": 100}}`, http.StatusBadRequest, "dram[0].technology"},
+		{"app-hours-past-lifetime", strings.Replace(valid, `"app_hours": 100`, `"app_hours": 1e6`, 1), http.StatusBadRequest, "usage.app_hours"},
+		{"unsupported-version", `{"version": 2, ` + valid[1:], http.StatusBadRequest, ""},
+		{"unknown-wire-field", `{"bogus": 1, ` + valid[1:], http.StatusBadRequest, ""},
+		{"malformed-json", `{"name": "x"`, http.StatusBadRequest, ""},
+		{"empty-body", ``, http.StatusBadRequest, ""},
+		{"empty-batch", `[]`, http.StatusBadRequest, ""},
+		{"batch-bad-element", `[` + valid + `, {"name": "broken"}]`, http.StatusBadRequest, "[1]"},
+		{"batch-bad-element-field", `[` + valid + `, ` + strings.Replace(valid, `"app_hours": 100`, `"app_hours": -1`, 1) + `]`, http.StatusBadRequest, "[1].usage.app_hours"},
+		{"batch-over-max", `[` + valid + `,` + valid + `,` + valid + `,` + valid + `]`, http.StatusRequestEntityTooLarge, ""},
+		{"body-over-max", `{"pad": "` + strings.Repeat("x", 8192) + `"}`, http.StatusRequestEntityTooLarge, ""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			resp, data := postJSON(t, url, []byte(c.body))
+			if resp.StatusCode != c.wantCode {
+				t.Fatalf("status = %d, want %d (body %.200s)", resp.StatusCode, c.wantCode, data)
+			}
+			if c.wantCode == http.StatusOK {
+				return
+			}
+			e := decodeError(t, data)
+			if e.Field != c.wantField {
+				t.Errorf("field = %q, want %q", e.Field, c.wantField)
+			}
+		})
+	}
+
+	// Method misuse is the router's 405, not a handler error.
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/footprint = %d, want 405", resp.StatusCode)
+	}
+}

@@ -1,0 +1,98 @@
+package serve
+
+// Golden-file conformance for the /metrics exposition. Dashboards and
+// alerts key on metric names, label keys, types and bucket bounds; any of
+// those changing silently breaks monitoring without failing a single unit
+// test. This test drives a fixed traffic script through the server,
+// normalizes away the sample values (which legitimately vary) and compares
+// the full exposition shape against testdata/metrics.golden. Regenerate
+// with:
+//
+//	go test ./internal/serve/ -run TestMetricsGolden -update-metrics-golden
+
+import (
+	"bytes"
+	"flag"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+var updateMetricsGolden = flag.Bool("update-metrics-golden", false,
+	"rewrite testdata/metrics.golden from the current exposition")
+
+// sampleValue matches the trailing value of an exposition sample line.
+var sampleValue = regexp.MustCompile(`^(\S+(?:\{[^}]*\})?) [-+0-9.eE]+$`)
+
+// normalizeExposition replaces every sample value with <v>, keeping names,
+// label keys and label values (which the fixed traffic script determines)
+// intact. HELP/TYPE comment lines pass through verbatim.
+func normalizeExposition(raw []byte) []byte {
+	var out bytes.Buffer
+	for _, line := range bytes.Split(raw, []byte("\n")) {
+		if m := sampleValue.FindSubmatch(line); m != nil {
+			out.Write(m[1])
+			out.WriteString(" <v>\n")
+			continue
+		}
+		out.Write(line)
+		out.WriteByte('\n')
+	}
+	return bytes.TrimRight(out.Bytes(), "\n")
+}
+
+func TestMetricsGolden(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	// The fixed traffic script: every handler that materializes metric
+	// children fires at least once, deterministically.
+	valid := mustJSON(t, testSpec(120))
+	if resp, _ := postJSON(t, ts.URL+"/v1/footprint", valid); resp.StatusCode != http.StatusOK {
+		t.Fatalf("single footprint: %d", resp.StatusCode)
+	}
+	batch := append(append([]byte("["), valid...), ']')
+	if resp, _ := postJSON(t, ts.URL+"/v1/footprint", batch); resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch footprint: %d", resp.StatusCode)
+	}
+	if resp, _ := postJSON(t, ts.URL+"/v1/footprint", []byte(`{"name": "broken"}`)); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid footprint: %d", resp.StatusCode)
+	}
+	nd := []byte(`{"id": "m-1", "region": "iceland", "deployed": "2024-01-01", "scenario": {"name": "d", "logic": [{"name": "soc", "area_mm2": 50, "node": "7nm"}], "usage": {"power_w": 1, "app_hours": 100}}}` + "\n")
+	if resp, _ := postJSON(t, ts.URL+"/v1/fleet/devices", nd); resp.StatusCode != http.StatusOK {
+		t.Fatalf("fleet ingest: %d", resp.StatusCode)
+	}
+	resp, err := http.Get(ts.URL + "/v1/fleet/summary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := normalizeExposition([]byte(readAll(t, resp)))
+
+	goldenPath := filepath.Join("testdata", "metrics.golden")
+	if *updateMetricsGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(got, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", goldenPath)
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden (regenerate with -update-metrics-golden): %v", err)
+	}
+	want = bytes.TrimRight(want, "\n")
+	if !bytes.Equal(got, want) {
+		t.Fatalf("metrics exposition shape changed — a dashboard-breaking rename, relabel or type change.\n"+
+			"If intentional, regenerate with -update-metrics-golden and call it out in review.\n\ngot:\n%s\n\nwant:\n%s", got, want)
+	}
+}

@@ -1,0 +1,22 @@
+#!/bin/sh
+# coverfloor.sh PACKAGE FLOOR — fail if the package's statement coverage
+# drops below FLOOR percent. Integer comparison on the truncated percent,
+# so a floor of 80 means ">= 80.0%". Used by `make cover` to keep the
+# conformance harness and the wire layer from silently shedding tests.
+set -eu
+
+pkg=$1
+floor=$2
+
+out=$(go test -cover "$pkg" 2>&1) || { echo "$out"; exit 1; }
+echo "$out"
+
+pct=$(echo "$out" | sed -n 's/.*coverage: \([0-9]*\)\(\.[0-9]*\)\{0,1\}% of statements.*/\1/p' | head -n 1)
+if [ -z "$pct" ]; then
+    echo "coverfloor: no coverage figure in go test output for $pkg" >&2
+    exit 1
+fi
+if [ "$pct" -lt "$floor" ]; then
+    echo "coverfloor: $pkg coverage ${pct}% is below the ${floor}% floor" >&2
+    exit 1
+fi
