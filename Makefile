@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test verify verify-extended verify-conform verify-chaos cover bench bench-cache bench-fleet run-actd clean
+.PHONY: all build test verify verify-extended verify-conform verify-chaos cover bench bench-cache bench-fleet bench-batch bench-json run-actd clean
 
 all: build
 
@@ -27,10 +27,11 @@ verify-extended: verify
 	$(MAKE) cover
 
 # Cross-surface conformance at acceptance size: a 1000-scenario seeded
-# corpus (plus committed repros) evaluated through all four surfaces —
-# direct library, wire round trip, actd single and batch HTTP, fleet
-# refold — asserting byte-identical result documents, under the race
-# detector. Custom test-binary flags must follow the package path.
+# corpus (plus committed repros) evaluated through all five surfaces —
+# direct library, wire round trip, actd single and batch HTTP, the
+# columnar batch engine, fleet refold — asserting byte-identical result
+# documents, under the race detector. Custom test-binary flags must
+# follow the package path.
 verify-conform:
 	$(GO) test -race ./internal/conform/ -run TestConformCorpus -conform.n 1000 -conform.mutants 200
 
@@ -40,6 +41,7 @@ verify-conform:
 cover:
 	./scripts/coverfloor.sh ./internal/conform 80
 	./scripts/coverfloor.sh ./internal/scenario 85
+	./scripts/coverfloor.sh ./internal/colbatch 85
 
 # Chaos verification: rebuild with the faultinject tag (hooks compiled in)
 # and run everything — including the seeded fault storm against a live
@@ -64,6 +66,17 @@ bench-cache:
 # pins the O(shards) summary bound (<10ms) plus ingest/top-K costs.
 bench-fleet:
 	$(GO) test -run XXX -bench 'Fleet(Ingest|Summary|SummaryGrouped|TopK)' -benchmem ./internal/fleet/
+
+# The columnar-engine acceptance pair: the colbatch sweep must beat the
+# scalar cold path by >=10x per scenario at zero allocs.
+bench-batch:
+	$(GO) test -run XXX -bench 'ColBatch' -benchmem ./internal/colbatch/
+	$(GO) test -run XXX -bench 'Footprint(Cold|BatchColumnar)' -benchmem ./internal/serve/
+
+# Machine-readable benchmark snapshot: runs the footprint, fleet and
+# columnar suites and writes BENCH_6.json at the repo root.
+bench-json:
+	./scripts/bench_json.sh
 
 run-actd:
 	$(GO) run ./cmd/actd -addr :8080

@@ -26,6 +26,7 @@ import (
 // rendered tables once.
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
+	b.ReportAllocs()
 	e, err := experiments.ByID(id)
 	if err != nil {
 		b.Fatal(err)
@@ -202,6 +203,7 @@ func yearsDuration(y float64) time.Duration {
 // software profiles (the T parameter).
 func benchKernel(b *testing.B, name string) {
 	b.Helper()
+	b.ReportAllocs()
 	k, err := workloads.ByName(name)
 	if err != nil {
 		b.Fatal(err)

@@ -1,0 +1,66 @@
+// The batch subcommand: evaluate a JSON array of scenarios in one shot
+// through the columnar engine. The output is byte-identical to the body
+// actd returns for the same array POSTed to /v1/footprint — an array of
+// result documents in request order — so pipelines can swap between the
+// CLI and the service without re-parsing. A single JSON object is accepted
+// too and answered with a single result document, mirroring the service.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"act/internal/acterr"
+	"act/internal/colbatch"
+	"act/internal/scenario"
+)
+
+func runBatch(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("batch", flag.ContinueOnError)
+	path := fs.String("file", "", "path to a JSON scenario array (default: stdin)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	in := stdin
+	if *path != "" {
+		f, err := os.Open(*path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	specs, batch, err := scenario.ParseRequest(in)
+	if err != nil {
+		return err
+	}
+
+	r := colbatch.Eval(specs)
+	defer r.Close()
+	if i, err := r.FirstErr(); err != nil {
+		if batch {
+			return acterr.Prefix(fmt.Sprintf("[%d]", i), err)
+		}
+		return err
+	}
+
+	if !batch {
+		_, err := stdout.Write(r.Doc(0))
+		return err
+	}
+	var buf bytes.Buffer
+	buf.WriteByte('[')
+	for i := 0; i < r.Len(); i++ {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		buf.Write(bytes.TrimRight(r.Doc(i), "\n"))
+	}
+	buf.WriteString("]\n")
+	_, err = stdout.Write(buf.Bytes())
+	return err
+}

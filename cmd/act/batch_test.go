@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"act/internal/scenario"
+	"act/internal/serve"
+)
+
+func batchSpecs(t *testing.T, total, distinct int) [][]byte {
+	t.Helper()
+	specs := make([][]byte, total)
+	for i := range specs {
+		s := &scenario.Spec{
+			Name:  fmt.Sprintf("device-%d", i%distinct),
+			Logic: []scenario.LogicSpec{{Name: "soc", AreaMM2: float64(10 + i%distinct), Node: "7nm"}},
+			DRAM:  []scenario.DRAMSpec{{Name: "ram", Technology: "lpddr4", CapacityGB: 4}},
+			Usage: scenario.UsageSpec{PowerW: 2, AppHours: 876.6},
+		}
+		data, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs[i] = data
+	}
+	return specs
+}
+
+func joinArray(specs [][]byte) []byte {
+	var buf bytes.Buffer
+	buf.WriteByte('[')
+	for i, raw := range specs {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		buf.Write(raw)
+	}
+	buf.WriteByte(']')
+	return buf.Bytes()
+}
+
+// TestBatchByteIdentityWithService: `act batch` over a scenario array must
+// emit exactly the body actd returns for the same array POSTed to
+// /v1/footprint.
+func TestBatchByteIdentityWithService(t *testing.T) {
+	payload := joinArray(batchSpecs(t, 500, 40))
+
+	var cli bytes.Buffer
+	if err := runBatch(nil, bytes.NewReader(payload), &cli); err != nil {
+		t.Fatalf("act batch: %v", err)
+	}
+
+	srv := serve.New(serve.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/v1/footprint", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %.200s", resp.StatusCode, body)
+	}
+	if !bytes.Equal(cli.Bytes(), body) {
+		t.Fatalf("act batch output differs from the service body:\ncli  %d bytes: %.200s\nsrv  %d bytes: %.200s",
+			cli.Len(), cli.Bytes(), len(body), body)
+	}
+}
+
+// TestBatchSingleObject: a single JSON object answers with one result
+// document, identical to `act -format json`.
+func TestBatchSingleObject(t *testing.T) {
+	raw := batchSpecs(t, 1, 1)[0]
+	var batch, single bytes.Buffer
+	if err := runBatch(nil, bytes.NewReader(raw), &batch); err != nil {
+		t.Fatalf("act batch: %v", err)
+	}
+	if err := run("", "json", false, bytes.NewReader(raw), &single); err != nil {
+		t.Fatalf("act -format json: %v", err)
+	}
+	if !bytes.Equal(batch.Bytes(), single.Bytes()) {
+		t.Fatalf("batch single-object output differs from -format json:\n%s\nwant:\n%s", batch.Bytes(), single.Bytes())
+	}
+}
+
+// TestBatchErrorIndexed: an invalid item fails the batch with the item's
+// index prefixed onto the validation field path, like the service.
+func TestBatchErrorIndexed(t *testing.T) {
+	specs := batchSpecs(t, 3, 3)
+	specs[1] = []byte(`{"name":"broken","logic":[{"name":"soc","area_mm2":-1,"node":"7nm"}],"usage":{"power_w":2,"app_hours":1}}`)
+	err := runBatch(nil, bytes.NewReader(joinArray(specs)), io.Discard)
+	if err == nil {
+		t.Fatal("want an error for the invalid item")
+	}
+	if !strings.Contains(err.Error(), "[1]") {
+		t.Fatalf("error %q does not carry the item index [1]", err)
+	}
+}

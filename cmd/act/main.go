@@ -7,6 +7,7 @@
 //	act -scenario device.json [-format ascii|csv|md|json]
 //	act -example                 # print a sample scenario
 //	cat device.json | act        # read the scenario from stdin
+//	act batch -file devices.json  # JSON array in, array of results out
 //	act fleet -file fleet.ndjson [-top K] [-by region|node]
 //	act conform [-seed S] [-n N]  # cross-surface conformance harness
 //
@@ -37,6 +38,18 @@ func main() {
 			var inv *acterr.InvalidSpecError
 			if errors.As(err, &inv) && inv.Field != "" {
 				fmt.Fprintf(os.Stderr, "act: fleet field %s: %s\n", inv.Field, inv.Message())
+			} else {
+				fmt.Fprintln(os.Stderr, "act:", err)
+			}
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "batch" {
+		if err := runBatch(os.Args[2:], os.Stdin, os.Stdout); err != nil {
+			var inv *acterr.InvalidSpecError
+			if errors.As(err, &inv) && inv.Field != "" {
+				fmt.Fprintf(os.Stderr, "act: scenario field %s: %s\n", inv.Field, inv.Message())
 			} else {
 				fmt.Fprintln(os.Stderr, "act:", err)
 			}

@@ -1,0 +1,107 @@
+// Columnar evaluation: Eqs. 1-8 over the flat columns. Every arithmetic
+// expression here replicates the scalar path's operation order exactly —
+// float addition and multiplication are not associative, and the conform
+// harness compares the resulting documents byte for byte — so each line
+// cites the scalar expression it mirrors.
+
+package colbatch
+
+func growF(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// evalColumns runs the flat component loops and then the per-item
+// reductions. Bad items are skipped; their values are owned by the
+// scalar oracle.
+func (b *batch) evalColumns() {
+	// Eq. 4/5 per logic row: fab.Embodied = CPA.For(area) = cpa * (mm²/100),
+	// then Logic.Embodied scales by count: one.Grams() * float64(count).
+	b.logicEmb = growF(b.logicEmb, len(b.logicName))
+	for j := range b.logicCPA {
+		one := b.logicCPA[j] * (b.logicArea[j] / 100)
+		b.logicEmb[j] = one * float64(b.logicCnt[j])
+	}
+	// Eq. 6 per DRAM row: CPS.For(capacity) = cps * GB.
+	b.dramEmb = growF(b.dramEmb, len(b.dramName))
+	for j := range b.dramCPS {
+		b.dramEmb[j] = b.dramCPS[j] * b.dramCap[j]
+	}
+	// Eqs. 7-8 per storage row: CPS.For(capacity) = cps * GB.
+	b.storEmb = growF(b.storEmb, len(b.storName))
+	for j := range b.storCPS {
+		b.storEmb[j] = b.storCPS[j] * b.storCap[j]
+	}
+	// Transport legs: factor * (mass/1000 * distance), tonne-km first.
+	b.legEmb = growF(b.legEmb, len(b.legFactor))
+	for j := range b.legFactor {
+		b.legEmb[j] = b.legFactor[j] * (b.legMass[j] / 1000 * b.legDist[j])
+	}
+
+	for i := 0; i < b.n; i++ {
+		if b.bad[i] {
+			continue
+		}
+		// ECF (Eq. 3): Breakdown.Total sums items in append order —
+		// logic, dram, storage, packaging — and Nr counts extra ICs,
+		// modules, drives and per-logic die counts.
+		var sum float64
+		icn := int64(b.extraICs[i]) +
+			int64(b.dramOff[i+1]-b.dramOff[i]) +
+			int64(b.storOff[i+1]-b.storOff[i])
+		for j := b.logicOff[i]; j < b.logicOff[i+1]; j++ {
+			sum += b.logicEmb[j]
+			icn += int64(b.logicCnt[j])
+		}
+		for j := b.dramOff[i]; j < b.dramOff[i+1]; j++ {
+			sum += b.dramEmb[j]
+		}
+		for j := b.storOff[i]; j < b.storOff[i+1]; j++ {
+			sum += b.storEmb[j]
+		}
+		var pack float64
+		if icn > 0 {
+			pack = 150 * float64(icn) // Nr·Kr, PackagingFootprint per IC
+			sum += pack
+		}
+		b.icN[i] = icn
+		b.packG[i] = pack
+		b.embG[i] = sum
+
+		// Operational side (Eq. 2) — absent in BoM-only decodes, where
+		// lifetime stays zero.
+		if b.lifetime[i] > 0 {
+			// UsageFromPower: Energy = watts * appTime.Seconds();
+			// WallUsage scales by the effectiveness factor when one is set.
+			j0 := b.powerW[i] * b.appTime[i].Seconds()
+			wall := j0
+			if b.eff[i] != 0 {
+				wall = j0 * b.eff[i]
+			}
+			// Operational: CIuse.Emitted = ci * (J / 3.6e6).
+			b.opG[i] = b.ci[i] * (wall / 3.6e6)
+			// Eq. 1 amortization: total * (T.Seconds() / LT.Seconds()).
+			b.shareG[i] = sum * (b.appTime[i].Seconds() / b.lifetime[i].Seconds())
+		}
+
+		// Life-cycle phases: transport legs summed in order; end-of-life
+		// net = processing - credit floored at zero (zero when absent).
+		if b.hasLC[i] {
+			var tr float64
+			for j := b.legOff[i]; j < b.legOff[i+1]; j++ {
+				tr += b.legEmb[j]
+			}
+			b.trG[i] = tr
+			var eol float64
+			if b.hasEOL[i] {
+				eol = b.eolProcG[i] - b.eolCredG[i]
+				if eol < 0 {
+					eol = 0
+				}
+			}
+			b.eolG[i] = eol
+		}
+	}
+}

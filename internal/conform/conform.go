@@ -1,9 +1,9 @@
-// Package conform is the cross-surface conformance harness. Four surfaces
+// Package conform is the cross-surface conformance harness. Five surfaces
 // now price the same ACT model (Gupta et al., ISCA 2022): the library, the
-// cmd/act wire pipeline, actd's /v1/footprint (single and batch), and the
-// fleet registry's ingest→summary refold. Each grew its own spot checks;
-// none proves the four still agree as the model gains capability. This
-// package does, generatively:
+// cmd/act wire pipeline, actd's /v1/footprint (single and batch), the
+// columnar batch engine, and the fleet registry's ingest→summary refold.
+// Each grew its own spot checks; none proves they still agree as the model
+// gains capability. This package does, generatively:
 //
 //   - a seeded corpus (corpus.go) spans the characterized tables,
 //   - a differential engine (this file) runs every scenario through all
@@ -60,7 +60,7 @@ type Config struct {
 	// BatchChunk sizes the whole-corpus batch requests (default 256).
 	BatchChunk int
 	// Surfaces overrides the compared surfaces; index 0 is the reference.
-	// Default: direct, wire, actd-single, actd-batch.
+	// Default: direct, wire, actd-single, actd-batch, columnar.
 	Surfaces []Surface
 	// Logf receives progress lines (default discard).
 	Logf func(format string, args ...any)
@@ -112,6 +112,7 @@ func (d *Divergence) String() string {
 // Report is the outcome of one conformance run.
 type Report struct {
 	Scenarios    int // valid corpus size (committed repros included)
+	Surfaces     int // surfaces compared in the differential pass
 	Repros       int // committed repro inputs re-checked
 	BatchChunks  int // whole-corpus batch requests compared
 	SpecMutants  int // spec-level mutant trials
@@ -159,8 +160,8 @@ func (r *Report) Summary() string {
 		status = fmt.Sprintf("FAIL (%d differential, %d mutant, %d invariant, %d fleet)",
 			len(r.Divergences), len(r.MutantFailures), len(r.InvariantFailures), len(r.FleetFailures))
 	}
-	return fmt.Sprintf("conform: %d scenarios (%d repros) x 4 surfaces, %d batch chunks, %d+%d mutants, %d invariant checks, %d fleet devices: %s",
-		r.Scenarios, r.Repros, r.BatchChunks, r.SpecMutants, r.WireMutants, r.Invariants, r.FleetDevices, status)
+	return fmt.Sprintf("conform: %d scenarios (%d repros) x %d surfaces, %d batch chunks, %d+%d mutants, %d invariant checks, %d fleet devices: %s",
+		r.Scenarios, r.Repros, r.Surfaces, r.BatchChunks, r.SpecMutants, r.WireMutants, r.Invariants, r.FleetDevices, status)
 }
 
 // Engine owns the shared actd instance the HTTP surfaces talk to and runs
@@ -192,6 +193,7 @@ func New(cfg Config) *Engine {
 			WireRoundTrip{},
 			httpSingle{client: ts.Client(), url: ts.URL + "/v1/footprint"},
 			httpBatchOne{client: ts.Client(), url: ts.URL + "/v1/footprint"},
+			Columnar{},
 		}
 	}
 	return e
@@ -212,7 +214,7 @@ func (e *Engine) Client() *http.Client { return e.ts.Client() }
 // return is reserved for harness trouble (an unreachable server, an
 // unwritable repro dir); model disagreements land in the Report.
 func (e *Engine) Run() (*Report, error) {
-	rep := &Report{}
+	rep := &Report{Surfaces: len(e.surfaces)}
 	corpus := GenerateCorpus(e.cfg.Seed, e.cfg.N)
 
 	repros, err := LoadRepros(e.cfg.ReproDir)

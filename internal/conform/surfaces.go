@@ -1,7 +1,7 @@
-// The four evaluation surfaces. Each one prices a scenario end-to-end the
+// The five evaluation surfaces. Each one prices a scenario end-to-end the
 // way a real client would — the library directly, the CLI's wire round
-// trip, and actd's single and batch /v1/footprint — and hands back the
-// canonical result document bytes. The differential engine asserts those
+// trip, actd's single and batch /v1/footprint, and the in-process columnar
+// batch engine — and hands back the canonical result document bytes. The differential engine asserts those
 // byte slices identical, so any drift between surfaces (an encoder change,
 // a lossy wire round trip, a cache returning a stale shape) shows up as a
 // diff on a concrete scenario rather than a dashboard discrepancy.
@@ -15,6 +15,7 @@ import (
 	"io"
 	"net/http"
 
+	"act/internal/colbatch"
 	"act/internal/report"
 	"act/internal/scenario"
 )
@@ -63,6 +64,26 @@ func (WireRoundTrip) Eval(spec *scenario.Spec) ([]byte, error) {
 		return nil, err
 	}
 	return Direct{}.Eval(parsed)
+}
+
+// Columnar is the in-process columnar batch engine: the spec runs as a
+// one-element colbatch batch, exercising the SoA decode, the preresolved
+// table rows and the hand-rolled encoder. The engine's own fallback rule
+// ("anything it cannot prove valid goes to the scalar oracle") is exactly
+// what this surface audits: an accepted item whose document drifts from
+// Direct's bytes is a columnar encoder or evaluator bug.
+type Columnar struct{}
+
+func (Columnar) Name() string { return "columnar" }
+
+func (Columnar) Eval(spec *scenario.Spec) ([]byte, error) {
+	r := colbatch.Eval([]*scenario.Spec{spec})
+	defer r.Close()
+	if err := r.Err(0); err != nil {
+		return nil, err
+	}
+	// The document lives in a pooled arena reclaimed by Close.
+	return bytes.Clone(r.Doc(0)), nil
 }
 
 // HTTPError is a non-200 answer from an actd surface, carrying the typed

@@ -39,6 +39,7 @@ func benchDevice(b *testing.B) *Device {
 
 func BenchmarkEmbodied(b *testing.B) {
 	d := benchDevice(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Embodied(d); err != nil {
@@ -51,6 +52,7 @@ func BenchmarkFootprint(b *testing.B) {
 	d := benchDevice(b)
 	u := UsageFromPower(units.Watts(3), time.Hour, intensity.USGrid)
 	lt := units.Years(3)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Footprint(d, u, time.Hour, lt); err != nil {
@@ -75,6 +77,7 @@ func BenchmarkLifeCycleAssess(b *testing.B) {
 		Use:       eu,
 		Lifetime:  units.Years(3),
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := lc.Assess(); err != nil {

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -115,4 +116,21 @@ func BenchmarkFleetTopK(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkFleetRecompute reprices the full million-device registry: the
+// deduped BoM set re-evaluates through the columnar engine, then every
+// shard refolds in canonical order. This is the one O(devices) mutation;
+// the acceptance bound is single-digit seconds per recompute at 1M devices.
+func BenchmarkFleetRecompute(b *testing.B) {
+	reg := millionFleet(b)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := reg.Recompute(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)*1_000_000/b.Elapsed().Seconds(), "devices/s")
 }

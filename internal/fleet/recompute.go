@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 
+	"act/internal/colbatch"
 	"act/internal/parsweep"
 	"act/internal/scenario"
 )
@@ -54,10 +55,29 @@ func (r *Registry) recomputeLocked(ctx context.Context) error {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	vals, err := parsweep.MapErrCtx(ctx, r.cfg.Workers, keys, func(_ context.Context, _ int, key string) (float64, error) {
-		return embodiedOf(reps[key])
-	})
-	if err != nil {
+	// Reprice the deduped BoM set through the columnar engine: contiguous
+	// chunks of the sorted key list fan across the pool, each evaluated as
+	// one column batch. EmbodiedTotals reports a chunk's lowest-index item
+	// error and chunks are ascending, so the surfaced error is the same
+	// lowest-key one the per-key fan-out reported.
+	vals := make([]float64, len(keys))
+	specs := make([]*scenario.Spec, len(keys))
+	for i, k := range keys {
+		specs[i] = reps[k]
+	}
+	type span struct{ start, end int }
+	nChunks := (len(keys) + colbatch.DefaultChunk - 1) / colbatch.DefaultChunk
+	chunks := make([]span, nChunks)
+	for c := range chunks {
+		start := c * colbatch.DefaultChunk
+		chunks[c] = span{start, min(start+colbatch.DefaultChunk, len(keys))}
+	}
+	if _, err := parsweep.MapErrCtx(ctx, r.cfg.Workers, chunks, func(ctx context.Context, _ int, ch span) (struct{}, error) {
+		if err := ctx.Err(); err != nil {
+			return struct{}{}, err
+		}
+		return struct{}{}, colbatch.EmbodiedTotals(specs[ch.start:ch.end], vals[ch.start:ch.end])
+	}); err != nil {
 		return fmt.Errorf("fleet: recompute: %w", err)
 	}
 	embodied := make(map[string]float64, len(keys))

@@ -87,6 +87,13 @@ func MapErrCtx[T, R any](ctx context.Context, workers int, items []T, fn func(ct
 	})
 }
 
+// ItemError wraps an item's failure with its index, the way the pool
+// reports item errors. Exported for callers that fan out coarser units
+// (chunks of items, say) but report failures per item in the same shape.
+func ItemError(i int, err error) error {
+	return fmt.Errorf("parsweep: item %d: %w", i, err)
+}
+
 // MapN is MapErrCtx over the index range [0, n) for work that is naturally
 // indexed rather than materialized as a slice (e.g. Monte Carlo sample
 // streams).
@@ -155,12 +162,12 @@ func MapN[R any](ctx context.Context, workers, n int, fn func(ctx context.Contex
 						}
 					}()
 					if err := faultinject.Visit(ctx, faultinject.SitePoolWorker); err != nil {
-						fail(i, fmt.Errorf("parsweep: item %d: %w", i, err))
+						fail(i, ItemError(i, err))
 						return
 					}
 					v, err := fn(ctx, i)
 					if err != nil {
-						fail(i, fmt.Errorf("parsweep: item %d: %w", i, err))
+						fail(i, ItemError(i, err))
 						return
 					}
 					out[i] = v

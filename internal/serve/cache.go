@@ -109,6 +109,24 @@ func (c *Cache[V]) Do(ctx context.Context, key string, fn func(ctx context.Conte
 	return v, false, err
 }
 
+// Get returns the resident value for key, bumping its recency. Unlike Do
+// it never waits on a flight — the columnar batch path probes residency
+// up front and dedupes the misses itself.
+func (c *Cache[V]) Get(key string) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*lruEntry[V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Put stores a computed value without flight coordination, for callers
+// that evaluated the key outside Do (the columnar batch path).
+func (c *Cache[V]) Put(key string, v V) { c.store(key, v) }
+
 // finish removes the flight and wakes its waiters.
 func (c *Cache[V]) finish(key string, f *flight[V]) {
 	c.mu.Lock()

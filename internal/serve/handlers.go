@@ -44,19 +44,28 @@ func (s *Server) handleFootprint(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	results, err := resilience.Retry(r.Context(), s.retryPolicy(uint64(len(specs))),
-		func(ctx context.Context, _ int) ([]json.RawMessage, error) {
-			return parsweep.MapErrCtx(ctx, s.cfg.Workers, specs,
-				func(ctx context.Context, i int, spec *scenario.Spec) (json.RawMessage, error) {
-					s.mPoolDepth.Inc()
-					defer s.mPoolDepth.Dec()
-					raw, err := s.evalOne(ctx, spec)
-					if err != nil && batch {
-						return nil, acterr.Prefix(fmt.Sprintf("[%d]", i), err)
-					}
-					return raw, err
-				})
-		})
+	// Batches run through the columnar engine (cache-probe, dedupe,
+	// column-chunk fan-out); single objects keep the scalar evalOne path,
+	// which stays the conformance oracle for the columnar one. A batch
+	// that fails with a transient infrastructure fault is retried whole —
+	// results cached by the failed attempt make the replay cheap.
+	var results []json.RawMessage
+	if batch {
+		results, err = resilience.Retry(r.Context(), s.retryPolicy(uint64(len(specs))),
+			func(ctx context.Context, _ int) ([]json.RawMessage, error) {
+				return s.evalBatchColumnar(ctx, specs)
+			})
+	} else {
+		results, err = resilience.Retry(r.Context(), s.retryPolicy(uint64(len(specs))),
+			func(ctx context.Context, _ int) ([]json.RawMessage, error) {
+				return parsweep.MapErrCtx(ctx, s.cfg.Workers, specs,
+					func(ctx context.Context, i int, spec *scenario.Spec) (json.RawMessage, error) {
+						s.mPoolDepth.Inc()
+						defer s.mPoolDepth.Dec()
+						return s.evalOne(ctx, spec)
+					})
+			})
+	}
 	if err != nil {
 		s.writeError(w, r, err)
 		return
@@ -67,7 +76,8 @@ func (s *Server) handleFootprint(w http.ResponseWriter, r *http.Request) {
 		_, _ = w.Write(results[0])
 		return
 	}
-	var buf bytes.Buffer
+	buf := getBuf()
+	defer putBuf(buf)
 	buf.WriteByte('[')
 	for i, raw := range results {
 		if i > 0 {
@@ -112,13 +122,17 @@ func (s *Server) evalOne(ctx context.Context, spec *scenario.Spec) (json.RawMess
 				if err != nil {
 					return nil, err
 				}
-				var buf bytes.Buffer
-				enc := json.NewEncoder(&buf)
+				// Encode through a pooled buffer, then copy into a
+				// right-sized slice: the cache retains the document, the
+				// buffer's spare capacity goes back to the pool.
+				buf := getBuf()
+				defer putBuf(buf)
+				enc := json.NewEncoder(buf)
 				enc.SetIndent("", "  ")
 				if err := enc.Encode(res); err != nil {
 					return nil, err
 				}
-				return buf.Bytes(), nil
+				return json.RawMessage(bytes.Clone(buf.Bytes())), nil
 			})
 			return outcome{raw, hit}, err
 		})

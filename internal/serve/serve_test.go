@@ -559,3 +559,49 @@ func BenchmarkFootprintCached(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkFootprintBatchColumnar drives the batch handler's columnar path
+// with 512 distinct scenarios per iteration and residency disabled, so
+// every item is a fresh columnar evaluation (the batch analog of
+// BenchmarkFootprintCold).
+func BenchmarkFootprintBatchColumnar(b *testing.B) {
+	s := New(Config{CacheSize: -1, Logger: discardLogger()})
+	specs := make([]*scenario.Spec, 512)
+	for i := range specs {
+		specs[i] = testSpec(float64(10 + i))
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.evalBatchColumnar(ctx, specs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)*float64(len(specs))/b.Elapsed().Seconds(), "scenarios/s")
+}
+
+// TestBatchHandlerAllocsDropped pins the batch handler's allocation win:
+// the scalar path costs dozens of heap allocations per cold evaluation
+// (result structs, encoder state, buffers); the columnar path's steady
+// state is the per-item response clone plus amortized batch bookkeeping.
+func TestBatchHandlerAllocsDropped(t *testing.T) {
+	s := New(Config{CacheSize: -1, Logger: discardLogger()})
+	specs := make([]*scenario.Spec, 256)
+	for i := range specs {
+		specs[i] = testSpec(float64(10 + i))
+	}
+	ctx := context.Background()
+	if _, err := s.evalBatchColumnar(ctx, specs); err != nil { // warm pools + resolver caches
+		t.Fatal(err)
+	}
+	perBatch := testing.AllocsPerRun(10, func() {
+		if _, err := s.evalBatchColumnar(ctx, specs); err != nil {
+			t.Fatal(err)
+		}
+	})
+	perItem := perBatch / float64(len(specs))
+	if perItem >= 16 {
+		t.Fatalf("columnar batch path allocates %.1f allocs/item (%.0f per %d-item batch); want well under the scalar path's ~54", perItem, perBatch, len(specs))
+	}
+}

@@ -1,0 +1,83 @@
+#!/bin/sh
+# bench_json.sh — machine-readable benchmark snapshot for the footprint
+# hot path. Runs the serve footprint pair, the fleet acceptance suite and
+# the columnar-engine benchmarks with -benchmem and writes BENCH_6.json at
+# the repo root: one record per benchmark (ns/op, B/op, allocs/op, custom
+# metrics) plus the frozen pre-columnar scalar baseline the >=10x batch
+# speedup target is measured against. Driven by `make bench-json`.
+set -eu
+
+cd "$(dirname "$0")/.."
+out=BENCH_6.json
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+run() {
+    pkg=$1
+    pattern=$2
+    shift 2
+    echo "bench_json: $pkg -bench $pattern $*" >&2
+    go test -run XXX -bench "$pattern" -benchmem "$@" "./$pkg/" \
+        | awk -v pkg="$pkg" '/^Benchmark/ { printf "%s %s\n", pkg, $0 }' >> "$tmp"
+}
+
+# The serve pair plus the columnar batch analog of the cold path.
+run internal/serve 'Footprint(Cold|Cached|BatchColumnar)$'
+# Fleet ingest and the O(shards) summary over the million-device registry.
+run internal/fleet 'Fleet(Ingest|Summary)$'
+# Full million-device reprice: seconds per op, so one measured iteration.
+run internal/fleet 'FleetRecompute$' -benchtime 2x -timeout 300s
+# The columnar engine itself.
+run internal/colbatch 'ColBatch'
+
+awk -v goversion="$(go version | sed 's/^go version //')" '
+BEGIN {
+    printf "{\n"
+    printf "  \"schema\": \"act-bench/1\",\n"
+    printf "  \"go\": \"%s\",\n", goversion
+    printf "  \"source\": \"scripts/bench_json.sh\",\n"
+    # Scalar baseline frozen at the commit before the columnar engine
+    # landed (same host class, go1.24 linux/amd64): the cold path cost
+    # 22975 ns and 54 allocs per scenario. The >=10x batch target in
+    # speedup_vs_baseline compares ColBatchEvalSweep ns/op against it.
+    printf "  \"baseline_pre_columnar\": {\n"
+    printf "    \"BenchmarkFootprintCold\": {\"ns_per_op\": 22975, \"bytes_per_op\": 8841, \"allocs_per_op\": 54},\n"
+    printf "    \"BenchmarkFootprintCached\": {\"ns_per_op\": 1155, \"bytes_per_op\": 512, \"allocs_per_op\": 1}\n"
+    printf "  },\n"
+    printf "  \"benchmarks\": [\n"
+    first = 1
+}
+{
+    pkg = $1
+    name = $2
+    sub(/-[0-9]+$/, "", name)
+    iters = $3
+    ns = ""; bytes = ""; allocs = ""; extra = ""; scen = ""
+    for (i = 4; i < NF; i += 2) {
+        v = $i; u = $(i + 1)
+        if (u == "ns/op")          ns = v
+        else if (u == "B/op")      bytes = v
+        else if (u == "allocs/op") allocs = v
+        else {
+            if (u == "scenarios/s") scen = v
+            gsub(/"/, "", u)
+            extra = extra sprintf("%s\"%s\": %s", extra == "" ? "" : ", ", u, v)
+        }
+    }
+    if (!first) printf ",\n"
+    first = 0
+    printf "    {\"package\": \"%s\", \"name\": \"%s\", \"iterations\": %s", pkg, name, iters
+    if (ns != "")     printf ", \"ns_per_op\": %s", ns
+    if (bytes != "")  printf ", \"bytes_per_op\": %s", bytes
+    if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+    # Per-scenario speedup against the frozen scalar cold baseline, from
+    # the reported scenarios/s throughput metric.
+    if (scen != "" && (name == "BenchmarkColBatchEvalSweep" || name == "BenchmarkFootprintBatchColumnar"))
+        printf ", \"speedup_vs_baseline\": %.2f", 22975e-9 * scen
+    if (extra != "")  printf ", \"metrics\": {%s}", extra
+    printf "}"
+}
+END { printf "\n  ]\n}\n" }
+' "$tmp" > "$out"
+
+echo "bench_json: wrote $out" >&2
