@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test verify verify-extended verify-conform verify-chaos cover bench bench-cache bench-fleet bench-batch bench-json run-actd clean
+.PHONY: all build test verify verify-extended verify-conform verify-chaos cover bench bench-cache bench-fleet bench-batch bench-json bench-export run-actd clean
 
 all: build
 
@@ -19,10 +19,13 @@ verify: build
 	$(GO) test ./...
 
 # Extended verification: race detector across the concurrent paths
-# (sweep pool, footprint cache, graceful drain), then the full-size
-# cross-surface conformance run and the model-layer coverage floor.
+# (sweep pool, footprint cache, graceful drain), the telemetry exporter
+# hammered twice (scheduler, failover, backpressure drops), then the
+# full-size cross-surface conformance run and the model-layer coverage
+# floor.
 verify-extended: verify
 	$(GO) test -race ./...
+	$(GO) test -race -count=2 ./internal/export/
 	$(MAKE) verify-conform
 	$(MAKE) cover
 
@@ -77,6 +80,12 @@ bench-batch:
 # columnar suites and writes BENCH_6.json at the repo root.
 bench-json:
 	./scripts/bench_json.sh
+
+# Exporter acceptance snapshot: the million-device telemetry tick
+# (lines/sec, payload size, end-to-end flush latency vs the 10s push
+# interval), written to BENCH_7.json at the repo root.
+bench-export:
+	./scripts/bench_export.sh
 
 run-actd:
 	$(GO) run ./cmd/actd -addr :8080

@@ -1,7 +1,7 @@
 // The fleet subcommand: load an NDJSON fleet file into an in-process
 // fleet registry and print the aggregate summary document.
 //
-//	act fleet -file fleet.ndjson [-top K] [-by region|node] [-shards N]
+//	act fleet -file fleet.ndjson [-top K] [-by region|node|class] [-shards N]
 //	cat fleet.ndjson | act fleet
 //
 // The output is the exact byte stream actd serves from
@@ -24,7 +24,7 @@ func runFleet(args []string, stdin io.Reader, stdout io.Writer) error {
 	var (
 		file   = fs.String("file", "", "path to an NDJSON fleet file (default: stdin)")
 		top    = fs.Int("top", 0, "include the K largest per-device emitters")
-		by     = fs.String("by", "", "add per-group rows: region or node")
+		by     = fs.String("by", "", "add per-group rows: region, node or class")
 		shards = fs.Int("shards", 0, "registry shard count (0 = default 64)")
 	)
 	if err := fs.Parse(args); err != nil {

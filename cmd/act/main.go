@@ -8,7 +8,8 @@
 //	act -example                 # print a sample scenario
 //	cat device.json | act        # read the scenario from stdin
 //	act batch -file devices.json  # JSON array in, array of results out
-//	act fleet -file fleet.ndjson [-top K] [-by region|node]
+//	act fleet -file fleet.ndjson [-top K] [-by region|node|class]
+//	act export -file fleet.ndjson [-at RFC3339]  # one telemetry snapshot, line protocol
 //	act conform [-seed S] [-n N]  # cross-surface conformance harness
 //
 // The json format emits the same result document actd serves from
@@ -50,6 +51,18 @@ func main() {
 			var inv *acterr.InvalidSpecError
 			if errors.As(err, &inv) && inv.Field != "" {
 				fmt.Fprintf(os.Stderr, "act: scenario field %s: %s\n", inv.Field, inv.Message())
+			} else {
+				fmt.Fprintln(os.Stderr, "act:", err)
+			}
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "export" {
+		if err := runExport(os.Args[2:], os.Stdin, os.Stdout); err != nil {
+			var inv *acterr.InvalidSpecError
+			if errors.As(err, &inv) && inv.Field != "" {
+				fmt.Fprintf(os.Stderr, "act: fleet field %s: %s\n", inv.Field, inv.Message())
 			} else {
 				fmt.Fprintln(os.Stderr, "act:", err)
 			}

@@ -9,15 +9,19 @@
 //	     [-timeout 30s] [-grace 15s] [-max-inflight N] [-max-queue N]
 //	     [-retries N] [-breaker-threshold N] [-breaker-open 5s]
 //	     [-fleet-shards N] [-fleet-snapshot PATH] [-fleet-wal PATH]
+//	     [-export-url URL[,URL...]] [-export-interval 10s]
+//	     [-export-rate BYTES/S] [-export-queue-depth N] [-export-workers N]
 //
 // Endpoints:
 //
 //	POST   /v1/footprint          evaluate one scenario object or a batch array
 //	POST   /v1/sweep              rank candidates / Pareto frontier
 //	POST   /v1/fleet/devices      ingest NDJSON fleet devices
-//	GET    /v1/fleet/summary      fleet-wide totals (?top=K&by=region|node)
+//	GET    /v1/fleet/summary      fleet-wide totals (?top=K&by=region|node|class)
 //	DELETE /v1/fleet/devices/{id} unregister one device
 //	POST   /v1/fleet/recompute    re-price the fleet against current tables
+//	GET    /v1/export/config      telemetry exporter tuning (404 without -export-url)
+//	PUT    /v1/export/config      retune interval/rate under optimistic concurrency
 //	GET    /healthz               liveness (always 200 while the process serves)
 //	GET    /readyz                readiness (503 while draining or a breaker is open)
 //	GET    /metrics               Prometheus text metrics
@@ -27,10 +31,16 @@
 // appends to the log, and a graceful shutdown checkpoints a fresh
 // snapshot and truncates the log.
 //
+// With -export-url actd pushes fleet carbon telemetry (Prometheus line
+// protocol, gzip) to the named collector endpoints every -export-interval,
+// failing over between them in order. The exporter's own health lands in
+// /metrics (act_export_* series).
+//
 // Overload is shed before work is accepted: beyond -max-inflight running
 // requests plus -max-queue waiters, requests get 429 with Retry-After.
 // SIGINT/SIGTERM start a graceful drain: new requests get 503, in-flight
-// requests finish (up to -grace), then the process exits.
+// requests finish (up to -grace), the exporter emits one final tick and
+// drains its queue, then the process exits.
 package main
 
 import (
@@ -40,9 +50,11 @@ import (
 	"log/slog"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"act/internal/export"
 	"act/internal/serve"
 )
 
@@ -62,6 +74,11 @@ func main() {
 		flShards   = flag.Int("fleet-shards", 0, "fleet registry shard count (0 = default 64)")
 		flSnapshot = flag.String("fleet-snapshot", "", "fleet snapshot path (empty = no snapshot persistence)")
 		flWAL      = flag.String("fleet-wal", "", "fleet write-ahead log path (empty = no logging)")
+		expURLs    = flag.String("export-url", "", "telemetry collector URLs, comma-separated in failover order (empty = no export)")
+		expEvery   = flag.Duration("export-interval", 10*time.Second, "telemetry push interval")
+		expRate    = flag.Int("export-rate", 0, "telemetry egress budget in bytes/sec (0 = unlimited)")
+		expQueue   = flag.Int("export-queue-depth", 0, "pending telemetry payloads before drop-oldest (0 = default 64)")
+		expWorkers = flag.Int("export-workers", 0, "telemetry delivery workers (0 = default 2)")
 	)
 	flag.Parse()
 
@@ -78,19 +95,68 @@ func main() {
 		BreakerOpenFor:   *brkOpenFor,
 		FleetShards:      *flShards,
 	}
-	if err := run(cfg, *grace, *flSnapshot, *flWAL); err != nil {
+	exp := exportConfig{
+		urls:       splitURLs(*expURLs),
+		interval:   *expEvery,
+		rate:       *expRate,
+		queueDepth: *expQueue,
+		workers:    *expWorkers,
+	}
+	if err := run(cfg, *grace, *flSnapshot, *flWAL, exp); err != nil {
 		fmt.Fprintln(os.Stderr, "actd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(cfg serve.Config, grace time.Duration, fleetSnapshot, fleetWAL string) error {
+// exportConfig carries the -export-* flags into run.
+type exportConfig struct {
+	urls       []string
+	interval   time.Duration
+	rate       int
+	queueDepth int
+	workers    int
+}
+
+// splitURLs parses the comma-separated -export-url list, dropping empty
+// elements so a trailing comma is harmless.
+func splitURLs(s string) []string {
+	var urls []string
+	for _, u := range strings.Split(s, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	return urls
+}
+
+func run(cfg serve.Config, grace time.Duration, fleetSnapshot, fleetWAL string, expCfg exportConfig) error {
 	log := slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	cfg.Logger = log
 	srv := serve.New(cfg)
 
 	if err := srv.OpenFleet(context.Background(), fleetSnapshot, fleetWAL); err != nil {
 		return fmt.Errorf("fleet state: %w", err)
+	}
+
+	var exporter *export.Exporter
+	if len(expCfg.urls) > 0 {
+		var err error
+		exporter, err = export.New(export.Config{
+			URLs:            expCfg.urls,
+			Interval:        expCfg.interval,
+			RateBytesPerSec: expCfg.rate,
+			QueueDepth:      expCfg.queueDepth,
+			Workers:         expCfg.workers,
+			Metrics:         export.NewMetrics(srv.MetricsRegistry()),
+			Logger:          log,
+		}, &export.FleetGenerator{Reg: srv.Fleet()})
+		if err != nil {
+			return fmt.Errorf("telemetry exporter: %w", err)
+		}
+		srv.AttachExporter(exporter)
+		exporter.Start()
+		log.Info("telemetry exporter started",
+			"urls", expCfg.urls, "interval", expCfg.interval.String())
 	}
 
 	errc := make(chan error, 1)
@@ -108,6 +174,14 @@ func run(cfg serve.Config, grace time.Duration, fleetSnapshot, fleetWAL string) 
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
 			return fmt.Errorf("shutdown: %w", err)
+		}
+		// The HTTP drain finished, so the fleet is quiescent: the
+		// exporter's final tick captures its last state, then the queue
+		// drains within what is left of the grace window.
+		if exporter != nil {
+			if err := exporter.FlushAndDrain(ctx); err != nil {
+				log.Error("telemetry exporter drain", "error", err)
+			}
 		}
 		if fleetSnapshot != "" {
 			if err := srv.SaveFleetSnapshot(fleetSnapshot); err != nil {

@@ -133,6 +133,7 @@ func (e *Engine) fleetRefold(rep *Report, corpus []*scenario.Spec) {
 	if doc.EmbodiedShareG < 0 || doc.EmbodiedShareG > doc.EmbodiedTotalG*(1+1e-12) {
 		fail("fleet embodied_share_g %v outside [0, %v]", doc.EmbodiedShareG, doc.EmbodiedTotalG)
 	}
+	e.exportRefold(fail, local, doc)
 
 	// Amortization cap (Eq. 1): a device active for 2×LT still amortizes
 	// exactly its full ECF, never more.

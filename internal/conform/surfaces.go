@@ -101,10 +101,14 @@ func (e *HTTPError) Error() string {
 	return fmt.Sprintf("http %d: %s", e.Code, e.Message)
 }
 
-// errorBody mirrors actd's errorResponse wire shape.
+// errorBody mirrors actd's unified v1 error envelope:
+// {"error":{"code","field","message","request_id"}}.
 type errorBody struct {
-	Error string `json:"error"`
-	Field string `json:"field,omitempty"`
+	Error struct {
+		Code    string `json:"code"`
+		Field   string `json:"field,omitempty"`
+		Message string `json:"message"`
+	} `json:"error"`
 }
 
 // httpSingle POSTs one scenario object to actd's /v1/footprint.
@@ -135,10 +139,10 @@ func (h httpSingle) post(body []byte) ([]byte, error) {
 	}
 	if resp.StatusCode != http.StatusOK {
 		var eb errorBody
-		if jerr := json.Unmarshal(out, &eb); jerr != nil {
+		if jerr := json.Unmarshal(out, &eb); jerr != nil || eb.Error.Code == "" {
 			return nil, &HTTPError{Code: resp.StatusCode, Message: string(out)}
 		}
-		return nil, &HTTPError{Code: resp.StatusCode, Field: eb.Field, Message: eb.Error}
+		return nil, &HTTPError{Code: resp.StatusCode, Field: eb.Error.Field, Message: eb.Error.Message}
 	}
 	return out, nil
 }

@@ -1,0 +1,45 @@
+// The compressor pool: a bounded set of workers popping payloads off the
+// queue, gzipping each into a pooled buffer with a reused gzip.Writer, and
+// handing the compressed bytes to the endpoint pool. Compression and
+// delivery share the worker — a payload's latency budget is one worker's
+// pipeline, and the queue (not goroutine pileup) is the only buffering.
+
+package export
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"fmt"
+	"sync"
+
+	"act/internal/faultinject"
+)
+
+// gzPool recycles gzip writers; Reset rebinds one to a fresh buffer.
+var gzPool = sync.Pool{
+	New: func() any { return gzip.NewWriter(nil) },
+}
+
+// compress gzips raw into a pooled buffer. The caller owns the returned
+// buffer and must putBuf it after delivery.
+func compress(ctx context.Context, raw []byte) (*bytes.Buffer, error) {
+	if err := faultinject.Visit(ctx, faultinject.SiteExportCompress); err != nil {
+		return nil, fmt.Errorf("export: compress: %w", err)
+	}
+	out := getBuf()
+	zw := gzPool.Get().(*gzip.Writer)
+	zw.Reset(out)
+	if _, err := zw.Write(raw); err != nil {
+		gzPool.Put(zw)
+		putBuf(out)
+		return nil, fmt.Errorf("export: compress: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		gzPool.Put(zw)
+		putBuf(out)
+		return nil, fmt.Errorf("export: compress: %w", err)
+	}
+	gzPool.Put(zw)
+	return out, nil
+}

@@ -1,0 +1,208 @@
+// Delivery: a token bucket pacing egress bytes, and an endpoint pool with
+// per-endpoint circuit breakers. Sends prefer the lowest-indexed healthy
+// endpoint (primary-with-failover, not round-robin): a tripped breaker
+// gates an endpoint out of rotation until its open window lapses, and the
+// pool walks to the next one. Only when every endpoint rejects does a
+// payload fail — and the exporter counts it dropped rather than blocking.
+
+package export
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"act/internal/faultinject"
+	"act/internal/resilience"
+)
+
+// Doer is the HTTP client seam (http.Client satisfies it; tests inject
+// failures without a listener).
+type Doer interface {
+	Do(*http.Request) (*http.Response, error)
+}
+
+// tokenBucket paces bytes/sec with a burst of one bucket. take blocks
+// until the bucket covers n bytes or ctx is done; a zero rate disables
+// pacing. The clock is injected so tests run on a virtual timeline.
+type tokenBucket struct {
+	mu      sync.Mutex
+	rate    float64 // tokens (bytes) per second
+	burst   float64
+	tokens  float64
+	last    time.Time
+	now     func() time.Time
+	sleepFn func(ctx context.Context, d time.Duration) error
+}
+
+func newTokenBucket(bytesPerSec int, now func() time.Time) *tokenBucket {
+	b := &tokenBucket{
+		rate:  float64(bytesPerSec),
+		burst: float64(bytesPerSec),
+		now:   now,
+	}
+	b.tokens = b.burst
+	b.last = now()
+	b.sleepFn = func(ctx context.Context, d time.Duration) error {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-t.C:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return b
+}
+
+// setRate retunes the pacing at runtime; zero disables. The bucket and
+// burst re-anchor to the new rate.
+func (b *tokenBucket) setRate(bytesPerSec int) {
+	b.mu.Lock()
+	b.rate = float64(bytesPerSec)
+	b.burst = float64(bytesPerSec)
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.last = b.now()
+	b.mu.Unlock()
+}
+
+// take acquires n tokens, sleeping for the refill when short. Requests
+// larger than one burst are allowed through at the pace of whole-bucket
+// refills rather than rejected — a single oversized payload must still be
+// deliverable.
+func (b *tokenBucket) take(ctx context.Context, n int) error {
+	if b == nil || b.rate <= 0 {
+		return nil
+	}
+	need := float64(n)
+	for {
+		b.mu.Lock()
+		now := b.now()
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		b.last = now
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		if b.tokens >= need || (need > b.burst && b.tokens >= b.burst) {
+			b.tokens -= need
+			b.mu.Unlock()
+			return nil
+		}
+		short := need
+		if short > b.burst {
+			short = b.burst
+		}
+		wait := time.Duration((short - b.tokens) / b.rate * float64(time.Second))
+		b.mu.Unlock()
+		if wait < time.Millisecond {
+			wait = time.Millisecond
+		}
+		if err := b.sleepFn(ctx, wait); err != nil {
+			return err
+		}
+	}
+}
+
+// endpoint is one delivery target with its health gate.
+type endpoint struct {
+	url string
+	brk *resilience.Breaker
+}
+
+// endpointPool fails over across endpoints in priority order.
+type endpointPool struct {
+	eps     []*endpoint
+	client  Doer
+	bucket  *tokenBucket
+	timeout time.Duration
+
+	onSend func(url string, ok bool) // per-attempt accounting
+}
+
+func newEndpointPool(urls []string, client Doer, bucket *tokenBucket, timeout time.Duration, breakerCfg resilience.BreakerConfig) *endpointPool {
+	p := &endpointPool{client: client, bucket: bucket, timeout: timeout}
+	for _, u := range urls {
+		p.eps = append(p.eps, &endpoint{url: u, brk: resilience.NewBreaker(breakerCfg)})
+	}
+	return p
+}
+
+// send delivers one gzipped payload to the first healthy endpoint that
+// accepts it. Every attempt passes the attempt's breaker; an endpoint
+// whose breaker is open is skipped without an attempt. The error reports
+// the last attempt's failure (or total unavailability).
+func (p *endpointPool) send(ctx context.Context, body []byte) error {
+	if err := p.bucket.take(ctx, len(body)); err != nil {
+		return fmt.Errorf("export: rate limit wait: %w", err)
+	}
+	var lastErr error
+	attempted := false
+	for _, ep := range p.eps {
+		done, err := ep.brk.Allow()
+		if err != nil {
+			continue // health-gated out; try the next endpoint
+		}
+		attempted = true
+		err = p.post(ctx, ep.url, body)
+		done(err == nil)
+		if p.onSend != nil {
+			p.onSend(ep.url, err == nil)
+		}
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+	}
+	if !attempted {
+		return fmt.Errorf("export: all %d endpoints unavailable (breakers open)", len(p.eps))
+	}
+	return lastErr
+}
+
+// post performs one HTTP delivery attempt.
+func (p *endpointPool) post(ctx context.Context, url string, body []byte) error {
+	if err := faultinject.Visit(ctx, faultinject.SiteExportSend); err != nil {
+		return fmt.Errorf("export: send %s: %w", url, err)
+	}
+	if p.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, p.timeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("export: send %s: %w", url, err)
+	}
+	req.Header.Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	req.Header.Set("Content-Encoding", "gzip")
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("export: send %s: %w", url, err)
+	}
+	// Drain so the transport can reuse the connection.
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("export: send %s: status %d", url, resp.StatusCode)
+	}
+	return nil
+}
+
+// healthy reports how many endpoints are currently in rotation (breaker
+// not open) — surfaced as a self-metric gauge.
+func (p *endpointPool) healthy() int {
+	n := 0
+	for _, ep := range p.eps {
+		if ep.brk.State() != resilience.Open {
+			n++
+		}
+	}
+	return n
+}

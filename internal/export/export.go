@@ -1,0 +1,334 @@
+// Package export is actd's push telemetry pipeline: a per-generator
+// interval scheduler emits the fleet's carbon accounting as Prometheus
+// exposition lines into pooled buffers, a bounded queue absorbs backend
+// slowness by shedding the oldest payload (never by blocking a registry
+// walk), and a small worker pool gzips and delivers to an endpoint pool
+// with per-endpoint circuit breakers and token-bucket egress pacing.
+//
+// The pipeline is pull-free on the hot side: one emission tick costs
+// O(shards + groups) against the fleet registry's incremental aggregates,
+// so a 1M-device fleet exports on a 10s interval without a per-device
+// scan. Delivery failure degrades to counted staleness — samples drop
+// oldest-first and act_export_drops_total says so — never to memory growth
+// or ingest stalls.
+package export
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"act/internal/resilience"
+)
+
+// Config tunes an Exporter. Zero fields take the documented defaults.
+type Config struct {
+	// URLs are the delivery targets in priority order (required). The
+	// first healthy endpoint gets every payload; later ones are failover.
+	URLs []string
+	// Interval is the emission period (default 10s).
+	Interval time.Duration
+	// QueueDepth bounds payloads awaiting delivery (default 64); overflow
+	// drops the oldest.
+	QueueDepth int
+	// Workers is the compressor/sender pool size (default 2).
+	Workers int
+	// RateBytesPerSec paces compressed egress (default 0: unpaced).
+	RateBytesPerSec int
+	// SendTimeout bounds one delivery attempt (default 10s).
+	SendTimeout time.Duration
+	// BreakerThreshold trips an endpoint out of rotation after that many
+	// consecutive failures (default 3); BreakerOpenFor is how long it
+	// stays gated (default 15s).
+	BreakerThreshold int
+	BreakerOpenFor   time.Duration
+	// Client is the HTTP seam (default a plain http.Client; tests inject
+	// failures without a listener).
+	Client Doer
+	// Metrics receives self-instrumentation (nil: unobserved).
+	Metrics *Metrics
+	// Logger receives delivery-failure logs (nil: silent).
+	Logger *slog.Logger
+	// Now is the clock, overridable in tests (default time.Now).
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Interval == 0 {
+		c.Interval = 10 * time.Second
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.Workers == 0 {
+		c.Workers = 2
+	}
+	if c.SendTimeout == 0 {
+		c.SendTimeout = 10 * time.Second
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerOpenFor == 0 {
+		c.BreakerOpenFor = 15 * time.Second
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{}
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Exporter runs the pipeline. Build with New, run with Start, stop with
+// FlushAndDrain. All methods are safe for concurrent use.
+type Exporter struct {
+	cfg     Config
+	gens    []Generator
+	sched   *schedule
+	q       *queue
+	pool    *endpointPool
+	metrics *Metrics
+	log     *slog.Logger
+
+	intervalNs atomic.Int64 // current emission interval, for the config API
+	rateBps    atomic.Int64
+
+	ctx     context.Context // cancels in-flight sends on abandoned drain
+	cancel  context.CancelFunc
+	stopCh  chan struct{}
+	started atomic.Bool
+	stopped atomic.Bool
+	wg      sync.WaitGroup
+}
+
+// New builds an Exporter over the given generators.
+func New(cfg Config, gens ...Generator) (*Exporter, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.URLs) == 0 {
+		return nil, fmt.Errorf("export: no endpoint URLs configured")
+	}
+	if len(gens) == 0 {
+		return nil, fmt.Errorf("export: no generators configured")
+	}
+	e := &Exporter{
+		cfg:     cfg,
+		gens:    gens,
+		sched:   newSchedule(),
+		metrics: cfg.Metrics,
+		log:     cfg.Logger,
+		stopCh:  make(chan struct{}),
+	}
+	e.ctx, e.cancel = context.WithCancel(context.Background())
+	e.q = newQueue(cfg.QueueDepth, func(p *payload) {
+		e.metrics.drop(dropQueueFull)
+		p.release()
+	})
+	bucket := newTokenBucket(cfg.RateBytesPerSec, cfg.Now)
+	e.rateBps.Store(int64(cfg.RateBytesPerSec))
+	e.pool = newEndpointPool(cfg.URLs, cfg.Client, bucket, cfg.SendTimeout,
+		resilience.BreakerConfig{
+			FailureThreshold: cfg.BreakerThreshold,
+			OpenFor:          cfg.BreakerOpenFor,
+			Now:              cfg.Now,
+		})
+	e.pool.onSend = e.metrics.send
+	e.intervalNs.Store(int64(cfg.Interval))
+	now := cfg.Now()
+	for _, g := range gens {
+		e.sched.add(g, cfg.Interval, now)
+	}
+	return e, nil
+}
+
+// Start launches the scheduler and worker goroutines. It may be called
+// once.
+func (e *Exporter) Start() {
+	if !e.started.CompareAndSwap(false, true) {
+		return
+	}
+	e.wg.Add(1 + e.cfg.Workers)
+	go e.schedLoop()
+	for i := 0; i < e.cfg.Workers; i++ {
+		go e.workLoop()
+	}
+}
+
+// schedLoop is the single scheduling goroutine: pop due generators, emit,
+// sleep until the earliest deadline or a wake (interval change).
+func (e *Exporter) schedLoop() {
+	defer e.wg.Done()
+	for {
+		fired, wait := e.sched.due(e.cfg.Now())
+		for _, f := range fired {
+			e.emit(f)
+		}
+		var timerC <-chan time.Time
+		var timer *time.Timer
+		if wait > 0 {
+			timer = time.NewTimer(wait)
+			timerC = timer.C
+		}
+		select {
+		case <-e.stopCh:
+			if timer != nil {
+				timer.Stop()
+			}
+			return
+		case <-e.sched.wake:
+		case <-timerC:
+		}
+		if timer != nil {
+			timer.Stop()
+		}
+	}
+}
+
+// emit runs one generator tick into a pooled buffer and enqueues the
+// payload. An emission failure is counted and logged, never fatal: the
+// next tick retries by construction.
+func (e *Exporter) emit(f firedTick) {
+	e.metrics.tick(f.gen.Name())
+	buf := getBuf()
+	if err := f.gen.Emit(buf, f.at); err != nil {
+		e.metrics.emitError()
+		if e.log != nil {
+			e.log.Warn("export emit failed", "generator", f.gen.Name(), "error", err)
+		}
+		putBuf(buf)
+		return
+	}
+	e.metrics.emitted(bytes.Count(buf.Bytes(), []byte("\n")), buf.Len())
+	if !e.q.push(&payload{gen: f.gen.Name(), at: f.at, buf: buf}) {
+		e.metrics.drop(dropShutdown)
+		putBuf(buf)
+	}
+}
+
+// workLoop pops payloads, compresses and delivers them until the queue is
+// closed and drained.
+func (e *Exporter) workLoop() {
+	defer e.wg.Done()
+	for {
+		p, ok := e.q.pop()
+		if !ok {
+			return
+		}
+		e.deliver(p)
+	}
+}
+
+func (e *Exporter) deliver(p *payload) {
+	defer p.release()
+	gz, err := compress(e.ctx, p.buf.Bytes())
+	if err != nil {
+		e.metrics.drop(dropCompress)
+		if e.log != nil {
+			e.log.Warn("export compress failed", "generator", p.gen, "error", err)
+		}
+		return
+	}
+	defer putBuf(gz)
+	e.metrics.compressed(gz.Len())
+	if err := e.pool.send(e.ctx, gz.Bytes()); err != nil {
+		e.metrics.drop(dropSendFailed)
+		if e.log != nil {
+			e.log.Warn("export send failed", "generator", p.gen, "error", err)
+		}
+		return
+	}
+	e.metrics.flush(e.cfg.Now().Sub(p.at).Seconds())
+}
+
+// FlushAndDrain stops the pipeline gracefully: the scheduler halts, every
+// generator emits one final tick (so the tail of the series is not lost to
+// shutdown timing), and the workers drain the queue. If ctx lapses first,
+// in-flight sends are cancelled and whatever remains queued is dropped
+// (counted under reason="shutdown").
+func (e *Exporter) FlushAndDrain(ctx context.Context) error {
+	if !e.stopped.CompareAndSwap(false, true) {
+		return nil
+	}
+	close(e.stopCh)
+	if e.started.Load() {
+		// One final emission per generator, stamped now.
+		now := e.cfg.Now()
+		for _, g := range e.gens {
+			e.emit(firedTick{gen: g, at: now})
+		}
+	}
+	e.q.close()
+	done := make(chan struct{})
+	go func() {
+		e.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		e.cancel()
+		<-done
+		for {
+			p, ok := e.q.pop()
+			if !ok {
+				break
+			}
+			e.metrics.drop(dropShutdown)
+			p.release()
+		}
+		return ctx.Err()
+	}
+}
+
+// Interval reports the current emission interval.
+func (e *Exporter) Interval() time.Duration {
+	return time.Duration(e.intervalNs.Load())
+}
+
+// SetInterval retunes every generator's emission period at runtime (the
+// PUT /v1/export/config path). The next tick is one new interval away.
+func (e *Exporter) SetInterval(d time.Duration) error {
+	if d <= 0 {
+		return fmt.Errorf("export: non-positive interval %v", d)
+	}
+	e.intervalNs.Store(int64(d))
+	e.sched.setInterval(d, e.cfg.Now())
+	return nil
+}
+
+// RateBytesPerSec reports the current egress pacing (0 = unpaced).
+func (e *Exporter) RateBytesPerSec() int {
+	return int(e.rateBps.Load())
+}
+
+// SetRateBytesPerSec retunes egress pacing at runtime (0 disables).
+func (e *Exporter) SetRateBytesPerSec(n int) error {
+	if n < 0 {
+		return fmt.Errorf("export: negative rate %d", n)
+	}
+	e.rateBps.Store(int64(n))
+	e.pool.bucket.setRate(n)
+	return nil
+}
+
+// URLs reports the configured endpoints in priority order.
+func (e *Exporter) URLs() []string {
+	urls := make([]string, len(e.pool.eps))
+	for i, ep := range e.pool.eps {
+		urls[i] = ep.url
+	}
+	return urls
+}
+
+// QueueDepth reports payloads currently awaiting delivery (gauge hook).
+func (e *Exporter) QueueDepth() int { return e.q.depth() }
+
+// HealthyEndpoints reports endpoints currently in rotation (gauge hook).
+func (e *Exporter) HealthyEndpoints() int { return e.pool.healthy() }

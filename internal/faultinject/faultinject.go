@@ -40,6 +40,14 @@ const (
 	// shard's frame is written, so chaos tests can fail a snapshot
 	// mid-stream and assert no torn state survives.
 	SiteFleetSnapshot = "fleet.snapshot.write"
+	// SiteExportCompress fires in a telemetry compressor worker before a
+	// payload is gzipped, so chaos tests can fail or stall compression and
+	// assert the queue sheds instead of blocking generators.
+	SiteExportCompress = "export.compress"
+	// SiteExportSend fires in the exporter's endpoint pool immediately
+	// before an HTTP delivery attempt, so chaos tests can fail sends and
+	// assert failover, breaker trips and drop accounting.
+	SiteExportSend = "export.send"
 )
 
 // Fault is what a hook asks the site to do, applied in order: sleep for

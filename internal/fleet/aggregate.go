@@ -19,7 +19,7 @@ type Query struct {
 	// TopK asks for the K largest per-device emitters (0 omits the
 	// section).
 	TopK int
-	// GroupBy adds per-group rows: "region" or "node" ("" omits).
+	// GroupBy adds per-group rows: "region", "node" or "class" ("" omits).
 	GroupBy string
 }
 
@@ -30,10 +30,10 @@ func (q Query) Validate() error {
 		return acterr.Invalid("top", "negative top-K %d", q.TopK)
 	}
 	switch q.GroupBy {
-	case "", "region", "node":
+	case "", "region", "node", "class":
 		return nil
 	}
-	return acterr.Invalid("by", "unknown grouping %q (want region or node)", q.GroupBy)
+	return acterr.Invalid("by", "unknown grouping %q (want region, node or class)", q.GroupBy)
 }
 
 // Summary returns the aggregate fleet document from the incremental
@@ -61,8 +61,11 @@ func (r *Registry) Query(q Query) (report.FleetSummaryJSON, error) {
 		doc.OperationalG += sh.agg.operationalG
 		if q.GroupBy != "" {
 			dim := sh.byRegion
-			if q.GroupBy == "node" {
+			switch q.GroupBy {
+			case "node":
 				dim = sh.byNode
+			case "class":
+				dim = sh.byClass
 			}
 			for key, g := range dim {
 				m, ok := groups[key]

@@ -136,5 +136,6 @@ func decodeRecord(d *reader) (*record, error) {
 	}
 	rec.dev.Spec = spec
 	rec.key = spec.CanonicalKey()
+	rec.class = canonClass(spec.Name)
 	return rec, nil
 }

@@ -119,7 +119,12 @@ type record struct {
 	key string
 	// node is the canonical primary process node (the first logic die's,
 	// snapped), the group-by-node dimension; "" for logic-less devices.
-	node    string
+	node string
+	// class is the canonical device-class name (the scenario's device
+	// name), the group-by-class dimension the telemetry exporter keys its
+	// per-class series on. Derived from the spec, so it is never persisted:
+	// restore and replay rebuild it from the scenario bytes.
+	class   string
 	contrib contribution
 }
 
@@ -151,6 +156,7 @@ type shard struct {
 	agg      aggregate
 	byRegion map[string]*groupAgg
 	byNode   map[string]*groupAgg
+	byClass  map[string]*groupAgg
 }
 
 func newShard() *shard {
@@ -158,6 +164,7 @@ func newShard() *shard {
 		recs:     map[string]*record{},
 		byRegion: map[string]*groupAgg{},
 		byNode:   map[string]*groupAgg{},
+		byClass:  map[string]*groupAgg{},
 	}
 }
 
@@ -168,6 +175,7 @@ func (sh *shard) applyLocked(rec *record, sign float64) {
 	sh.agg.devices += int64(sign)
 	applyGroup(sh.byRegion, canonRegion(rec.dev.Region), rec.contrib, sign)
 	applyGroup(sh.byNode, rec.node, rec.contrib, sign)
+	applyGroup(sh.byClass, rec.class, rec.contrib, sign)
 }
 
 func applyGroup(dim map[string]*groupAgg, key string, c contribution, sign float64) {
@@ -336,6 +344,7 @@ func (r *Registry) evaluate(dev *Device) (*record, error) {
 		specJSON: specJSON,
 		key:      key,
 		node:     node,
+		class:    canonClass(dev.Spec.Name),
 		contrib:  contributionOf(dev, embodiedG, ci),
 	}, nil
 }
@@ -436,6 +445,12 @@ func primaryNode(spec *scenario.Spec) (string, error) {
 
 // canonRegion normalizes a region name the way the intensity tables do.
 func canonRegion(s string) string {
+	return strings.ToLower(strings.TrimSpace(s))
+}
+
+// canonClass normalizes a device-class name (the scenario's device name)
+// the same way, so "Mobile-Phone" and "mobile-phone " group together.
+func canonClass(s string) string {
 	return strings.ToLower(strings.TrimSpace(s))
 }
 

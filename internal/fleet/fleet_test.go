@@ -265,6 +265,69 @@ func TestGroupByAndTopK(t *testing.T) {
 	}
 }
 
+func TestGroupByClass(t *testing.T) {
+	reg := New(Config{Shards: 4})
+	for i := 0; i < 6; i++ {
+		// Two devices per BoM; the class key is the canonicalized device
+		// name, so bom-0, bom-1, bom-2 give three class groups.
+		dev := testDevice(fmt.Sprintf("dev-%d", i), i%3, "united-states")
+		if _, err := reg.Upsert(dev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Class names canonicalize: "BOM-0  " groups with "bom-0".
+	shouty := testDevice("dev-shouty", 0, "europe")
+	shouty.Spec.Name = "BOM-0  "
+	if _, err := reg.Upsert(shouty); err != nil {
+		t.Fatal(err)
+	}
+
+	doc, err := reg.Query(Query{GroupBy: "class"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.GroupBy != "class" || len(doc.Groups) != 3 {
+		t.Fatalf("class groups = %+v, want 3 under group_by=class", doc.Groups)
+	}
+	byKey := map[string]int{}
+	var sumShare, sumOp float64
+	for _, g := range doc.Groups {
+		byKey[g.Key] = g.Devices
+		sumShare += g.EmbodiedShareG
+		sumOp += g.OperationalG
+	}
+	if byKey["bom-0"] != 3 || byKey["bom-1"] != 2 || byKey["bom-2"] != 2 {
+		t.Fatalf("class device counts = %v, want bom-0:3 bom-1:2 bom-2:2", byKey)
+	}
+	if math.Abs(sumShare-doc.EmbodiedShareG) > 1e-6 || math.Abs(sumOp-doc.OperationalG) > 1e-6 {
+		t.Fatalf("class totals (%v, %v) do not sum to fleet totals (%v, %v)",
+			sumShare, sumOp, doc.EmbodiedShareG, doc.OperationalG)
+	}
+
+	// Removal unwinds the class fold; the last member evicts the group.
+	if _, err := reg.Remove("dev-shouty"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Remove("dev-2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Remove("dev-5"); err != nil {
+		t.Fatal(err)
+	}
+	doc, err = reg.Query(Query{GroupBy: "class"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Groups) != 2 {
+		t.Fatalf("after removals class groups = %+v, want bom-0 and bom-1 only", doc.Groups)
+	}
+	for _, g := range doc.Groups {
+		if g.Key == "bom-2" {
+			t.Fatalf("emptied class group bom-2 survived: %+v", g)
+		}
+	}
+}
+
 func TestQueryValidation(t *testing.T) {
 	reg := New(Config{})
 	if _, err := reg.Query(Query{TopK: -1}); !acterr.IsInvalid(err) {

@@ -82,6 +82,66 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	}
 }
 
+// TestRestoreRebuildsClassGroups checks that the class dimension — derived
+// from the scenario name, never persisted — is rebuilt on restore: the
+// same groups, with the same device counts and totals close to the live
+// fold (the rebuild folds in sorted-record order, so the sums may differ
+// in the last ulp).
+func TestRestoreRebuildsClassGroups(t *testing.T) {
+	reg := goldenFleet(t)
+	var snap bytes.Buffer
+	if err := reg.Snapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	reg2 := New(Config{Shards: 2})
+	if _, err := reg2.Restore(bytes.NewReader(snap.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+
+	live, err := reg.Query(Query{GroupBy: "class"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := reg2.Query(Query{GroupBy: "class"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(live.Groups) == 0 {
+		t.Fatal("fixture fleet produced no class groups")
+	}
+	if len(restored.Groups) != len(live.Groups) {
+		t.Fatalf("restored class groups = %d, want %d", len(restored.Groups), len(live.Groups))
+	}
+	for i, g := range live.Groups {
+		r := restored.Groups[i]
+		if r.Key != g.Key || r.Devices != g.Devices {
+			t.Fatalf("group %d: got %q/%d devices, want %q/%d", i, r.Key, r.Devices, g.Key, g.Devices)
+		}
+		if !closeEnough(r.TotalG, g.TotalG) {
+			t.Fatalf("group %q: restored total %v, want %v", g.Key, r.TotalG, g.TotalG)
+		}
+	}
+}
+
+// closeEnough tolerates last-ulp drift from fold-order differences.
+func closeEnough(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	diff := a - b
+	if diff < 0 {
+		diff = -diff
+	}
+	return diff <= 1e-9*(abs(a)+abs(b))
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
 // TestSummaryGolden pins the full summary document (totals, groups, top
 // emitters) for the fixed fleet against a committed golden file, so an
 // accidental change to the aggregation math or the document encoding

@@ -105,6 +105,7 @@ func (r *Registry) recomputeLocked(ctx context.Context) error {
 				specJSON: old.specJSON,
 				key:      old.key,
 				node:     old.node,
+				class:    old.class,
 				contrib:  contributionOf(&old.dev, embodied[old.key], ci),
 			}
 			ns.recs[id] = rec

@@ -199,6 +199,12 @@ func decodeShard(d *reader) (*shard, error) {
 			return nil, err
 		}
 		sh.recs[rec.dev.ID] = rec
+		// The class dimension is derived from the scenario, not persisted:
+		// rebuild it here, folding in the stream's sorted-by-id record order
+		// so a restore is deterministic. (Unlike the persisted byRegion and
+		// byNode maps, the fold order differs from live apply order, so a
+		// restored class sum may differ from the live one in the last ulp.)
+		applyGroup(sh.byClass, rec.class, rec.contrib, +1)
 	}
 	sh.agg.devices = int64(d.u64())
 	sh.agg.embodiedG = d.f64()

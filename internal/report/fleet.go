@@ -43,7 +43,7 @@ type FleetSummaryJSON struct {
 	EmbodiedShareG float64 `json:"embodied_share_g"`
 	OperationalG   float64 `json:"operational_g"`
 	TotalG         float64 `json:"total_g"`
-	// GroupBy names the grouping dimension ("region" or "node") when
+	// GroupBy names the grouping dimension ("region", "node" or "class") when
 	// Groups is present.
 	GroupBy string            `json:"group_by,omitempty"`
 	Groups  []FleetGroupJSON  `json:"groups,omitempty"`

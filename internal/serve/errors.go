@@ -1,0 +1,119 @@
+// The unified v1 error envelope. Every non-2xx API response carries the
+// same JSON shape:
+//
+//	{"error": {"code": "...", "field": "...", "message": "...", "request_id": "..."}}
+//
+// code is a stable machine-readable class (the closed set below), field is
+// the offending request field when the failure is a validation error, and
+// request_id attributes the failure to one request in the server logs.
+// Every handler funnels through writeError (typed-error classification) or
+// writeErrorCode (explicit status), so the envelope cannot drift between
+// routes.
+
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+
+	"act/internal/acterr"
+)
+
+// The closed set of machine-readable error codes the v1 API serves.
+const (
+	// codeInvalidArgument: the request is the client's to fix (400).
+	codeInvalidArgument = "invalid_argument"
+	// codeUnsupportedVersion: a wire-envelope version this binary does not
+	// speak (400).
+	codeUnsupportedVersion = "unsupported_version"
+	// codeTooLarge: body, batch or ingest over the configured limit (413).
+	codeTooLarge = "too_large"
+	// codeNotFound: the named resource does not exist (404).
+	codeNotFound = "not_found"
+	// codeConflict: a versioned update lost the race (409).
+	codeConflict = "conflict"
+	// codeOverloaded: shed before any work was accepted (429).
+	codeOverloaded = "overloaded"
+	// codeUnavailable: draining or a circuit breaker is open (503).
+	codeUnavailable = "unavailable"
+	// codeTimeout: the request deadline lapsed after work was accepted (504).
+	codeTimeout = "timeout"
+	// codeInternal: an internal fault — a panic, or a transient fault that
+	// survived the retry budget (500).
+	codeInternal = "internal"
+)
+
+// errorDetail is the envelope's inner object.
+type errorDetail struct {
+	Code string `json:"code"`
+	// Field is the offending request field path when the failure is a
+	// validation error ("logic[0].node", "query.top").
+	Field     string `json:"field,omitempty"`
+	Message   string `json:"message"`
+	RequestID string `json:"request_id,omitempty"`
+}
+
+// errorResponse is the JSON error body for every non-2xx API response.
+type errorResponse struct {
+	Error errorDetail `json:"error"`
+}
+
+// writeErrorCode writes the envelope with an explicit status and code —
+// the path for failures that are not typed errors (limits, routing,
+// middleware rejections).
+func (s *Server) writeErrorCode(w http.ResponseWriter, r *http.Request, status int, code, field, message string) {
+	writeJSON(w, status, errorResponse{Error: errorDetail{
+		Code:      code,
+		Field:     field,
+		Message:   message,
+		RequestID: RequestIDFrom(r.Context()),
+	}})
+}
+
+// writeError classifies a typed error into its status and code: deadline
+// lapses are 504/timeout, client-fixable spec problems are 400 with
+// invalid_argument (or unsupported_version), everything else — including
+// transient faults that survived the retry budget — is 500/internal.
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, err error) {
+	status := http.StatusInternalServerError
+	det := errorDetail{Code: codeInternal, Message: err.Error()}
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+		det.Code = codeTimeout
+		det.Message = "request timed out: " + err.Error()
+	case acterr.IsInvalid(err):
+		status = http.StatusBadRequest
+		det.Code = codeInvalidArgument
+		if errors.Is(err, acterr.ErrUnsupportedVersion) {
+			det.Code = codeUnsupportedVersion
+		}
+		var inv *acterr.InvalidSpecError
+		if errors.As(err, &inv) {
+			det.Field = inv.Field
+		}
+	}
+	det.RequestID = RequestIDFrom(r.Context())
+	writeJSON(w, status, errorResponse{Error: det})
+}
+
+// writeBadRequest answers 400 for a request that failed before any typed
+// validation could run (unparseable body, unknown wire field): whatever
+// the error, it is the client's to fix. A typed error in the chain still
+// contributes its field path and version code.
+func (s *Server) writeBadRequest(w http.ResponseWriter, r *http.Request, err error) {
+	det := errorDetail{
+		Code:      codeInvalidArgument,
+		Message:   err.Error(),
+		RequestID: RequestIDFrom(r.Context()),
+	}
+	if errors.Is(err, acterr.ErrUnsupportedVersion) {
+		det.Code = codeUnsupportedVersion
+	}
+	var inv *acterr.InvalidSpecError
+	if errors.As(err, &inv) {
+		det.Field = inv.Field
+	}
+	writeJSON(w, http.StatusBadRequest, errorResponse{Error: det})
+}

@@ -1,0 +1,126 @@
+package serve
+
+// The /v1/export/config contract: GET answers the live exporter tuning,
+// PUT retunes it under optimistic concurrency, and a server without an
+// exporter attached answers 404 on both. The validation failure classes
+// live in TestErrorContractAllRoutes; these tests pin the happy paths and
+// the version discipline.
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeExporter is an in-memory exporterControl for tests.
+type fakeExporter struct {
+	interval time.Duration
+	rate     int
+	urls     []string
+}
+
+func (f *fakeExporter) Interval() time.Duration           { return f.interval }
+func (f *fakeExporter) SetInterval(d time.Duration) error { f.interval = d; return nil }
+func (f *fakeExporter) RateBytesPerSec() int              { return f.rate }
+func (f *fakeExporter) SetRateBytesPerSec(n int) error    { f.rate = n; return nil }
+func (f *fakeExporter) URLs() []string                    { return f.urls }
+
+func getExportConfig(t *testing.T, url string) (int, exportConfigJSON) {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/export/config")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	var doc exportConfigJSON
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal([]byte(body), &doc); err != nil {
+			t.Fatalf("decoding config: %v (body %s)", err, body)
+		}
+	}
+	return resp.StatusCode, doc
+}
+
+func putExportConfig(t *testing.T, url, body string) (*http.Response, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPut, url+"/v1/export/config", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, readAll(t, resp)
+}
+
+func TestExportConfigNotConfigured(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	if code, _ := getExportConfig(t, ts.URL); code != http.StatusNotFound {
+		t.Errorf("GET without exporter = %d, want 404", code)
+	}
+	resp, body := putExportConfig(t, ts.URL, `{"version":1,"interval_ms":1000}`)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("PUT without exporter = %d, want 404 (body %s)", resp.StatusCode, body)
+	}
+}
+
+func TestExportConfigRoundTrip(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	fake := &fakeExporter{
+		interval: 10 * time.Second,
+		rate:     4096,
+		urls:     []string{"http://collector-a:9009", "http://collector-b:9009"},
+	}
+	s.AttachExporter(fake)
+
+	code, doc := getExportConfig(t, ts.URL)
+	if code != http.StatusOK {
+		t.Fatalf("GET = %d, want 200", code)
+	}
+	if doc.Version != 1 || doc.IntervalMS != 10000 || doc.RateBytesPerSec != 4096 || len(doc.URLs) != 2 {
+		t.Fatalf("GET doc = %+v", doc)
+	}
+
+	// A PUT echoing the read version applies and bumps.
+	resp, body := putExportConfig(t, ts.URL,
+		`{"version":1,"interval_ms":30000,"rate_bytes_per_sec":8192}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("PUT = %d (body %s)", resp.StatusCode, body)
+	}
+	var after exportConfigJSON
+	if err := json.Unmarshal([]byte(body), &after); err != nil {
+		t.Fatal(err)
+	}
+	if after.Version != 2 || after.IntervalMS != 30000 || after.RateBytesPerSec != 8192 {
+		t.Fatalf("PUT answered %+v", after)
+	}
+	if fake.interval != 30*time.Second || fake.rate != 8192 {
+		t.Fatalf("exporter not retuned: interval=%v rate=%d", fake.interval, fake.rate)
+	}
+
+	// Replaying the same version loses the race: the document moved on.
+	resp, body = putExportConfig(t, ts.URL,
+		`{"version":1,"interval_ms":5000}`)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("stale PUT = %d, want 409 (body %s)", resp.StatusCode, body)
+	}
+	e := decodeError(t, []byte(body))
+	if e.Code != codeConflict || e.Field != "version" {
+		t.Errorf("stale PUT envelope = %+v", e)
+	}
+	if fake.interval != 30*time.Second {
+		t.Errorf("stale PUT retuned the exporter to %v", fake.interval)
+	}
+
+	// GET reflects the bumped version; the next well-versioned PUT works.
+	if _, doc := getExportConfig(t, ts.URL); doc.Version != 2 {
+		t.Fatalf("version after PUT = %d, want 2", doc.Version)
+	}
+	resp, body = putExportConfig(t, ts.URL, `{"version":2,"interval_ms":5000}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second PUT = %d (body %s)", resp.StatusCode, body)
+	}
+}

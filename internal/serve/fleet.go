@@ -15,7 +15,6 @@ import (
 	"io/fs"
 	"net/http"
 	"os"
-	"strconv"
 	"time"
 
 	"act/internal/acterr"
@@ -44,14 +43,11 @@ func (s *Server) handleFleetIngest(w http.ResponseWriter, r *http.Request) {
 		switch {
 		case errors.As(err, &tooBig):
 			s.mFleetIngest.With("invalid").Add(1)
-			s.writeJSONError(w, r, http.StatusRequestEntityTooLarge, errorResponse{
-				Error: fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit),
-			})
+			s.writeErrorCode(w, r, http.StatusRequestEntityTooLarge, codeTooLarge, "",
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
 		case errors.Is(err, fleet.ErrTooMany):
 			s.mFleetIngest.With("invalid").Add(1)
-			s.writeJSONError(w, r, http.StatusRequestEntityTooLarge, errorResponse{
-				Error: err.Error(),
-			})
+			s.writeErrorCode(w, r, http.StatusRequestEntityTooLarge, codeTooLarge, "", err.Error())
 		case acterr.IsInvalid(err):
 			s.mFleetIngest.With("invalid").Add(1)
 			s.writeError(w, r, err)
@@ -65,17 +61,13 @@ func (s *Server) handleFleetIngest(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleFleetSummary answers the aggregate fleet document. Optional query
-// parameters: top=K adds the K largest per-device emitters, by=region|node
+// parameters: top=K adds the K largest per-device emitters, by=region|node|class
 // adds per-group rows.
 func (s *Server) handleFleetSummary(w http.ResponseWriter, r *http.Request) {
-	q := fleet.Query{GroupBy: r.URL.Query().Get("by")}
-	if v := r.URL.Query().Get("top"); v != "" {
-		n, err := strconv.Atoi(v)
-		if err != nil {
-			s.writeError(w, r, acterr.Invalid("top", "cannot parse top-K %q", v))
-			return
-		}
-		q.TopK = n
+	q, err := bindFleetQuery(r.URL.Query())
+	if err != nil {
+		s.writeError(w, r, err)
+		return
 	}
 	doc, err := s.fleet.Query(q)
 	if err != nil {
@@ -83,7 +75,7 @@ func (s *Server) handleFleetSummary(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	_ = report.Encode(w, doc)
+	s.encodeBody(w, r, doc)
 }
 
 // handleFleetDelete unregisters one device by id; 404 when absent.
@@ -95,9 +87,8 @@ func (s *Server) handleFleetDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !found {
-		s.writeJSONError(w, r, http.StatusNotFound, errorResponse{
-			Error: fmt.Sprintf("no device %q", id),
-		})
+		s.writeErrorCode(w, r, http.StatusNotFound, codeNotFound, "",
+			fmt.Sprintf("no device %q", id))
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"removed": id})
@@ -112,7 +103,22 @@ func (s *Server) handleFleetRecompute(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	_ = report.Encode(w, s.fleet.Summary())
+	s.encodeBody(w, r, s.fleet.Summary())
+}
+
+// encodeBody writes a canonical result document onto a response whose
+// status line is already committed (implicitly 200 on first write). A
+// failure here cannot change the status anymore — it means the client went
+// away or the connection broke mid-body — so it is logged and counted
+// (actd_response_encode_errors_total) rather than discarded.
+func (s *Server) encodeBody(w http.ResponseWriter, r *http.Request, doc any) {
+	if err := report.Encode(w, doc); err != nil {
+		s.mEncodeErrors.Inc()
+		s.log.Warn("response body encode failed",
+			"path", r.URL.Path,
+			"request_id", RequestIDFrom(r.Context()),
+			"error", err)
+	}
 }
 
 // recomputeFleet runs one observed recomputation.

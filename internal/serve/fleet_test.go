@@ -134,14 +134,12 @@ func TestFleetAPIErrors(t *testing.T) {
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Fatalf("status = %d, body %s", resp.StatusCode, body)
 		}
-		var e struct {
-			Field string `json:"field"`
-		}
-		if err := json.Unmarshal(body, &e); err != nil {
-			t.Fatal(err)
-		}
+		e := decodeError(t, body)
 		if e.Field != "device[0].deployed" {
 			t.Fatalf("field = %q, want device[0].deployed", e.Field)
+		}
+		if e.Code != codeInvalidArgument {
+			t.Fatalf("code = %q, want %q", e.Code, codeInvalidArgument)
 		}
 	})
 

@@ -9,7 +9,6 @@ import (
 	"hash/fnv"
 	"net/http"
 
-	"act/internal/acterr"
 	"act/internal/parsweep"
 	"act/internal/resilience"
 	"act/internal/scenario"
@@ -28,19 +27,17 @@ func (s *Server) handleFootprint(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			s.writeJSONError(w, r, http.StatusRequestEntityTooLarge, errorResponse{
-				Error: fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit),
-			})
+			s.writeErrorCode(w, r, http.StatusRequestEntityTooLarge, codeTooLarge, "",
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
 			return
 		}
 		// Anything else unparseable is the client's to fix, typed or not.
-		s.writeJSONError(w, r, http.StatusBadRequest, toErrorResponse(err))
+		s.writeBadRequest(w, r, err)
 		return
 	}
 	if len(specs) > s.cfg.MaxBatch {
-		s.writeJSONError(w, r, http.StatusRequestEntityTooLarge, errorResponse{
-			Error: fmt.Sprintf("batch of %d scenarios exceeds the limit of %d", len(specs), s.cfg.MaxBatch),
-		})
+		s.writeErrorCode(w, r, http.StatusRequestEntityTooLarge, codeTooLarge, "",
+			fmt.Sprintf("batch of %d scenarios exceeds the limit of %d", len(specs), s.cfg.MaxBatch))
 		return
 	}
 
@@ -152,15 +149,4 @@ func fnvHash(s string) uint64 {
 	h := fnv.New64a()
 	_, _ = h.Write([]byte(s))
 	return h.Sum64()
-}
-
-// toErrorResponse builds the error body, lifting the field path out of a
-// typed validation error when there is one.
-func toErrorResponse(err error) errorResponse {
-	resp := errorResponse{Error: err.Error()}
-	var inv *acterr.InvalidSpecError
-	if errors.As(err, &inv) {
-		resp.Field = inv.Field
-	}
-	return resp
 }

@@ -1,0 +1,35 @@
+// The shared query binder: every v1 route that accepts the fleet query
+// parameters (top=K, by=dimension) parses them through bindFleetQuery, so
+// the parameter names, the typed 400s and the field paths in the error
+// envelope ("query.top", "query.by") cannot drift between routes.
+
+package serve
+
+import (
+	"net/url"
+	"strconv"
+
+	"act/internal/acterr"
+	"act/internal/fleet"
+)
+
+// bindFleetQuery parses top= and by= into a validated fleet.Query. Every
+// failure is a typed acterr.InvalidSpecError rooted at "query.", so the
+// HTTP layer answers 400 with the offending parameter named.
+func bindFleetQuery(vals url.Values) (fleet.Query, error) {
+	var q fleet.Query
+	if v := vals.Get("top"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return q, acterr.Invalid("query.top", "cannot parse top-K %q", v)
+		}
+		q.TopK = n
+	}
+	q.GroupBy = vals.Get("by")
+	if err := q.Validate(); err != nil {
+		// Validate's field paths are bare parameter names; re-root them
+		// under "query." so the envelope points at the request surface.
+		return q, acterr.Prefix("query", err)
+	}
+	return q, nil
+}

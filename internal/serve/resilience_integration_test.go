@@ -83,8 +83,8 @@ func TestRequestIDMinting(t *testing.T) {
 	if err := json.Unmarshal([]byte(body), &e); err != nil {
 		t.Fatalf("error body not JSON: %v (%s)", err, body)
 	}
-	if e.RequestID != "client-abc-123" {
-		t.Errorf("error body request_id = %q, want the request's id", e.RequestID)
+	if e.Error.RequestID != "client-abc-123" {
+		t.Errorf("error body request_id = %q, want the request's id", e.Error.RequestID)
 	}
 
 	req, _ = http.NewRequest("POST", ts.URL+"/v1/footprint", strings.NewReader("{}"))
@@ -192,7 +192,7 @@ func TestCancelledBatchReleasesWorkers(t *testing.T) {
 		t.Fatalf("status = %d, want 504; body %.200s", resp.StatusCode, body)
 	}
 	var e errorResponse
-	if err := json.Unmarshal(body, &e); err != nil || e.RequestID == "" {
+	if err := json.Unmarshal(body, &e); err != nil || e.Error.RequestID == "" {
 		t.Errorf("504 body missing request_id: %s", body)
 	}
 

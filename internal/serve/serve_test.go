@@ -84,13 +84,16 @@ func postJSON(t *testing.T, url string, body []byte) (*http.Response, []byte) {
 	return resp, data
 }
 
-func decodeError(t *testing.T, data []byte) errorResponse {
+func decodeError(t *testing.T, data []byte) errorDetail {
 	t.Helper()
 	var e errorResponse
 	if err := json.Unmarshal(data, &e); err != nil {
 		t.Fatalf("error body %q is not JSON: %v", data, err)
 	}
-	return e
+	if e.Error.Code == "" {
+		t.Fatalf("error body %q missing the machine-readable code", data)
+	}
+	return e.Error
 }
 
 func TestFootprintSingle(t *testing.T) {
@@ -140,7 +143,7 @@ func TestFootprintMalformed(t *testing.T) {
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("status = %d, want 400; body %s", resp.StatusCode, body)
 	}
-	if e := decodeError(t, body); e.Error == "" {
+	if e := decodeError(t, body); e.Message == "" {
 		t.Error("error body missing the error message")
 	}
 }
@@ -161,8 +164,8 @@ func TestFootprintUnsupportedVersion(t *testing.T) {
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("status = %d, want 400; body %s", resp.StatusCode, body)
 	}
-	if e := decodeError(t, body); !strings.Contains(e.Error, "version 9") {
-		t.Errorf("error %q does not name the bad version", e.Error)
+	if e := decodeError(t, body); !strings.Contains(e.Message, "version 9") {
+		t.Errorf("error %q does not name the bad version", e.Message)
 	}
 }
 
@@ -199,8 +202,8 @@ func TestFootprintTimeout(t *testing.T) {
 	if resp.StatusCode != http.StatusGatewayTimeout {
 		t.Fatalf("status = %d, want 504; body %s", resp.StatusCode, body)
 	}
-	if e := decodeError(t, body); !strings.Contains(e.Error, "timed out") {
-		t.Errorf("error %q does not mention the timeout", e.Error)
+	if e := decodeError(t, body); !strings.Contains(e.Message, "timed out") {
+		t.Errorf("error %q does not mention the timeout", e.Message)
 	}
 }
 
@@ -300,7 +303,7 @@ func TestSweepBadRequests(t *testing.T) {
 				t.Fatalf("status = %d, want 400; body %s", resp.StatusCode, body)
 			}
 			if e := decodeError(t, body); tc.wantField != "" && e.Field != tc.wantField {
-				t.Errorf("field = %q, want %q (error: %s)", e.Field, tc.wantField, e.Error)
+				t.Errorf("field = %q, want %q (error: %s)", e.Field, tc.wantField, e.Message)
 			}
 		})
 	}
@@ -492,9 +495,17 @@ func TestGracefulDrain(t *testing.T) {
 		}()
 	}
 
-	// Wait until at least one request is genuinely in flight, then drain.
+	// Wait until traffic is genuinely flowing, then drain. The in-flight
+	// gauge alone is flaky to sample: with warm caches a whole batch can
+	// finish inside the poll sleep, so a completed request counts too.
 	deadline := time.Now().Add(5 * time.Second)
 	for s.mInflight.Value() == 0 {
+		mu.Lock()
+		done := complete
+		mu.Unlock()
+		if done > 0 {
+			break
+		}
 		if time.Now().After(deadline) {
 			t.Fatal("no request went in flight")
 		}

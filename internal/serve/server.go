@@ -51,7 +51,6 @@ import (
 	"sync/atomic"
 	"time"
 
-	"act/internal/acterr"
 	"act/internal/fleet"
 	"act/internal/resilience"
 )
@@ -166,6 +165,10 @@ type Server struct {
 
 	mFleetIngest    *CounterVec // actd_fleet_ingest_total{code}
 	mFleetRecompute *Histogram  // actd_fleet_recompute_seconds
+	mEncodeErrors   *Counter    // actd_response_encode_errors_total
+
+	exporter         exporterControl // nil unless AttachExporter
+	exportCfgVersion atomic.Int64
 }
 
 // New builds a Server from the config. Call ListenAndServe (or Serve on an
@@ -213,6 +216,8 @@ func New(cfg Config) *Server {
 		"Fleet ingest outcomes, by device disposition.", "code")
 	s.mFleetRecompute = s.reg.NewHistogram("actd_fleet_recompute_seconds",
 		"Latency of full fleet recomputations in seconds.", DefaultLatencyBuckets)
+	s.mEncodeErrors = s.reg.NewCounter("actd_response_encode_errors_total",
+		"Response bodies that failed to encode after the status line was committed.")
 
 	if cfg.MaxInFlight > 0 {
 		s.admit = resilience.NewAdmission(resilience.AdmissionConfig{
@@ -251,6 +256,8 @@ func New(cfg Config) *Server {
 	s.mux.Handle("GET /v1/fleet/summary", s.api("fleet_summary", s.handleFleetSummary))
 	s.mux.Handle("DELETE /v1/fleet/devices/{id}", s.api("fleet_delete", s.handleFleetDelete))
 	s.mux.Handle("POST /v1/fleet/recompute", s.api("fleet_recompute", s.handleFleetRecompute))
+	s.mux.Handle("GET /v1/export/config", s.api("export_config", s.handleExportConfigGet))
+	s.mux.Handle("PUT /v1/export/config", s.api("export_config", s.handleExportConfigPut))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -332,7 +339,7 @@ func (s *Server) api(name string, h func(http.ResponseWriter, *http.Request)) ht
 // and the handler. It always writes a complete response to rec.
 func (s *Server) dispatch(name string, rec *statusRecorder, r *http.Request, h func(http.ResponseWriter, *http.Request)) {
 	if s.draining.Load() {
-		s.writeJSONError(rec, r, http.StatusServiceUnavailable, errorResponse{Error: "server is draining"})
+		s.writeErrorCode(rec, r, http.StatusServiceUnavailable, codeUnavailable, "", "server is draining")
 		return
 	}
 
@@ -352,9 +359,8 @@ func (s *Server) dispatch(name string, rec *statusRecorder, r *http.Request, h f
 			shed, _ := resilience.IsShed(err)
 			s.mShed.With(shed.Reason).Add(1)
 			rec.Header().Set("Retry-After", retryAfterSeconds(shed.RetryAfter))
-			s.writeJSONError(rec, r, http.StatusTooManyRequests, errorResponse{
-				Error: "overloaded: " + shed.Error(),
-			})
+			s.writeErrorCode(rec, r, http.StatusTooManyRequests, codeOverloaded, "",
+				"overloaded: "+shed.Error())
 			return
 		}
 		defer release()
@@ -368,9 +374,8 @@ func (s *Server) dispatch(name string, rec *statusRecorder, r *http.Request, h f
 			if ra := brk.RetryAfter(); ra > 0 {
 				rec.Header().Set("Retry-After", retryAfterSeconds(ra))
 			}
-			s.writeJSONError(rec, r, http.StatusServiceUnavailable, errorResponse{
-				Error: "service temporarily unavailable: " + err.Error(),
-			})
+			s.writeErrorCode(rec, r, http.StatusServiceUnavailable, codeUnavailable, "",
+				"service temporarily unavailable: "+err.Error())
 			return
 		}
 		// The panic barrier below runs first (deferred later), so rec.code
@@ -389,9 +394,8 @@ func (s *Server) dispatch(name string, rec *statusRecorder, r *http.Request, h f
 				"stack", string(debug.Stack()),
 			)
 			if !rec.wrote {
-				s.writeJSONError(rec, r, http.StatusInternalServerError, errorResponse{
-					Error: "internal error",
-				})
+				s.writeErrorCode(rec, r, http.StatusInternalServerError, codeInternal, "",
+					"internal error")
 			} else {
 				rec.code = http.StatusInternalServerError // for metrics/breaker
 			}
@@ -431,50 +435,12 @@ func (r *statusRecorder) Write(p []byte) (int, error) {
 	return r.ResponseWriter.Write(p)
 }
 
-// errorResponse is the JSON error body for every non-2xx API response.
-type errorResponse struct {
-	Error string `json:"error"`
-	// Field is the offending scenario field path when the failure is a
-	// validation error ("logic[0].node", "[3].usage.app_hours").
-	Field string `json:"field,omitempty"`
-	// RequestID attributes the failure to one request in the server logs.
-	RequestID string `json:"request_id,omitempty"`
-}
-
 // writeJSON writes v as the response with the given status code.
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
 	_ = enc.Encode(v)
-}
-
-// writeJSONError writes an error body with the request id filled in.
-func (s *Server) writeJSONError(w http.ResponseWriter, r *http.Request, code int, resp errorResponse) {
-	if resp.RequestID == "" {
-		resp.RequestID = RequestIDFrom(r.Context())
-	}
-	writeJSON(w, code, resp)
-}
-
-// writeError classifies err into an HTTP status and writes the error body:
-// client-fixable spec problems are 400, timeouts 504, everything else
-// (including transient faults that survived the retry budget) 500.
-func (s *Server) writeError(w http.ResponseWriter, r *http.Request, err error) {
-	resp := errorResponse{Error: err.Error()}
-	code := http.StatusInternalServerError
-	switch {
-	case errors.Is(err, context.DeadlineExceeded):
-		code = http.StatusGatewayTimeout
-		resp.Error = "request timed out: " + err.Error()
-	case acterr.IsInvalid(err):
-		code = http.StatusBadRequest
-		var inv *acterr.InvalidSpecError
-		if errors.As(err, &inv) {
-			resp.Field = inv.Field
-		}
-	}
-	s.writeJSONError(w, r, code, resp)
 }
 
 // handleHealthz is the liveness probe: 200 for as long as the process can

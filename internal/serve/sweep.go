@@ -66,14 +66,20 @@ var builtinObjectives = map[string]dse.Objective{
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err != nil {
-		s.writeJSONError(w, r, http.StatusBadRequest, errorResponse{Error: "reading request body: " + err.Error()})
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.writeErrorCode(w, r, http.StatusRequestEntityTooLarge, codeTooLarge, "",
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+			return
+		}
+		s.writeBadRequest(w, r, fmt.Errorf("reading request body: %w", err))
 		return
 	}
 	var req sweepRequest
 	dec := json.NewDecoder(strings.NewReader(string(body)))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		s.writeJSONError(w, r, http.StatusBadRequest, errorResponse{Error: "parsing sweep request: " + err.Error()})
+		s.writeBadRequest(w, r, fmt.Errorf("parsing sweep request: %w", err))
 		return
 	}
 	if req.Version != 0 && req.Version != scenario.Version {

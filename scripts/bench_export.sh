@@ -1,0 +1,66 @@
+#!/bin/sh
+# bench_export.sh — machine-readable acceptance snapshot for the telemetry
+# exporter. Runs the million-device export benchmarks (generator walk +
+# line-protocol emit, and the full emit→gzip→HTTP flush) and writes
+# BENCH_7.json at the repo root: lines/sec, per-tick payload size and the
+# end-to-end flush latency, plus the acceptance bound they are measured
+# against (one tick must fit far inside the 10s default push interval at
+# 1M devices). Driven by `make bench-export`.
+set -eu
+
+cd "$(dirname "$0")/.."
+out=BENCH_7.json
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+echo "bench_export: internal/export -bench Export(Emit|Flush)1M" >&2
+go test -run XXX -bench 'Export(Emit|Flush)1M' -benchmem -benchtime 10x -timeout 600s ./internal/export/ \
+    | awk '/^Benchmark/ { printf "internal/export %s\n", $0 }' > "$tmp"
+
+awk -v goversion="$(go version | sed 's/^go version //')" '
+BEGIN {
+    printf "{\n"
+    printf "  \"schema\": \"act-bench/1\",\n"
+    printf "  \"go\": \"%s\",\n", goversion
+    printf "  \"source\": \"scripts/bench_export.sh\",\n"
+    # The exporter acceptance bound: a 1M-device fleet pushed at the 10s
+    # default interval, with the whole tick (walk + emit + gzip + POST)
+    # bounded well under the interval so a slow collector backs up the
+    # bounded queue, never the shard walk.
+    printf "  \"target\": {\"devices\": 1000000, \"interval_s\": 10},\n"
+    printf "  \"benchmarks\": [\n"
+    first = 1
+}
+{
+    pkg = $1
+    name = $2
+    sub(/-[0-9]+$/, "", name)
+    iters = $3
+    ns = ""; bytes = ""; allocs = ""; extra = ""; flush = ""
+    for (i = 4; i < NF; i += 2) {
+        v = $i; u = $(i + 1)
+        if (u == "ns/op")          ns = v
+        else if (u == "B/op")      bytes = v
+        else if (u == "allocs/op") allocs = v
+        else {
+            if (u == "flush-s/op") flush = v
+            gsub(/"/, "", u); gsub(/\//, "_per_", u); gsub(/-/, "_", u)
+            extra = extra sprintf("%s\"%s\": %s", extra == "" ? "" : ", ", u, v)
+        }
+    }
+    if (!first) printf ",\n"
+    first = 0
+    printf "    {\"package\": \"%s\", \"name\": \"%s\", \"iterations\": %s", pkg, name, iters
+    if (ns != "")     printf ", \"ns_per_op\": %s", ns
+    if (bytes != "")  printf ", \"bytes_per_op\": %s", bytes
+    if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+    # Headroom against the push interval: interval_s / flush-s per tick.
+    if (flush != "" && flush + 0 > 0)
+        printf ", \"interval_headroom\": %.0f", 10 / flush
+    if (extra != "")  printf ", \"metrics\": {%s}", extra
+    printf "}"
+}
+END { printf "\n  ]\n}\n" }
+' "$tmp" > "$out"
+
+echo "bench_export: wrote $out" >&2
