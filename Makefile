@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test verify verify-extended verify-conform verify-chaos cover bench bench-cache bench-fleet bench-batch bench-json bench-export run-actd clean
+.PHONY: all build test verify verify-extended verify-conform verify-chaos verify-crash cover bench bench-cache bench-fleet bench-batch bench-json bench-export run-actd clean
 
 all: build
 
@@ -27,6 +27,7 @@ verify-extended: verify
 	$(GO) test -race ./...
 	$(GO) test -race -count=2 ./internal/export/
 	$(MAKE) verify-conform
+	$(MAKE) verify-crash
 	$(MAKE) cover
 
 # Cross-surface conformance at acceptance size: a 1000-scenario seeded
@@ -54,9 +55,20 @@ cover:
 verify-chaos:
 	$(GO) vet -tags faultinject ./...
 	$(GO) test -race -tags faultinject ./...
+	$(MAKE) verify-crash
 	$(GO) test -run FuzzFleetIngestNDJSON -fuzz FuzzFleetIngestNDJSON -fuzztime 10s ./internal/fleet/
+	$(GO) test -run FuzzWALSegmentReplay -fuzz FuzzWALSegmentReplay -fuzztime 10s ./internal/fleet/
 	$(GO) test -run FuzzScenarioUnmarshal -fuzz FuzzScenarioUnmarshal -fuzztime 10s ./internal/scenario/
 	$(GO) test -run FuzzCanonicalKey -fuzz FuzzCanonicalKey -fuzztime 10s ./internal/scenario/
+
+# Crash-consistency harness: a seeded 200+-operation trace against the
+# MemFS-backed fleet store, power-cycled after every single filesystem
+# operation (and again inside recovery), each time asserting the
+# recovered registry refolds byte-identically to the in-memory oracle.
+# Runs under the race detector with the fault-injection sites compiled
+# in, so the vfs.sync/fleet.wal.rotate/fleet.compact hooks build too.
+verify-crash:
+	$(GO) test -race -tags faultinject -run 'TestCrash|TestStore|FuzzWALSegmentReplay' ./internal/fleet/ ./internal/vfs/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -8,7 +8,8 @@
 //	actd [-addr :8080] [-workers N] [-max-batch N] [-cache-size N]
 //	     [-timeout 30s] [-grace 15s] [-max-inflight N] [-max-queue N]
 //	     [-retries N] [-breaker-threshold N] [-breaker-open 5s]
-//	     [-fleet-shards N] [-fleet-snapshot PATH] [-fleet-wal PATH]
+//	     [-fleet-shards N] [-fleet-snapshot PATH] [-fleet-wal DIR]
+//	     [-fleet-wal-segment-bytes N] [-fleet-compact-interval 5m]
 //	     [-export-url URL[,URL...]] [-export-interval 10s]
 //	     [-export-rate BYTES/S] [-export-queue-depth N] [-export-workers N]
 //
@@ -27,9 +28,15 @@
 //	GET    /metrics               Prometheus text metrics
 //
 // With -fleet-snapshot/-fleet-wal the fleet registry is durable: boot
-// restores the snapshot and replays the write-ahead log, every mutation
-// appends to the log, and a graceful shutdown checkpoints a fresh
-// snapshot and truncates the log.
+// restores the snapshot and replays the write-ahead log segments in
+// -fleet-wal (quarantining corrupt ones rather than refusing to start),
+// every mutation appends to a checksummed segment, segments rotate past
+// -fleet-wal-segment-bytes, and every -fleet-compact-interval (and on
+// graceful shutdown) the log is compacted into a fresh snapshot. A
+// pre-segmentation single-file WAL at the -fleet-wal path is migrated
+// automatically. If the disk fails (ENOSPC, fsync errors) actd degrades
+// to read-only — /readyz turns 503, writes answer the `degraded` error
+// code — and heals itself once the compactor's probe succeeds.
 //
 // With -export-url actd pushes fleet carbon telemetry (Prometheus line
 // protocol, gzip) to the named collector endpoints every -export-interval,
@@ -72,8 +79,10 @@ func main() {
 		brkThresh  = flag.Int("breaker-threshold", 0, "consecutive 5xx before a handler's breaker opens (0 = default 5, negative disables)")
 		brkOpenFor = flag.Duration("breaker-open", 0, "how long an open breaker rejects before probing (0 = default 5s)")
 		flShards   = flag.Int("fleet-shards", 0, "fleet registry shard count (0 = default 64)")
-		flSnapshot = flag.String("fleet-snapshot", "", "fleet snapshot path (empty = no snapshot persistence)")
-		flWAL      = flag.String("fleet-wal", "", "fleet write-ahead log path (empty = no logging)")
+		flSnapshot = flag.String("fleet-snapshot", "", "fleet snapshot path (empty = in-memory fleet)")
+		flWAL      = flag.String("fleet-wal", "", "fleet write-ahead log directory (empty = in-memory fleet)")
+		flSegBytes = flag.Int64("fleet-wal-segment-bytes", 0, "rotate WAL segments past this size (0 = default 4 MiB)")
+		flCompact  = flag.Duration("fleet-compact-interval", 5*time.Minute, "background WAL compaction cadence (0 disables)")
 		expURLs    = flag.String("export-url", "", "telemetry collector URLs, comma-separated in failover order (empty = no export)")
 		expEvery   = flag.Duration("export-interval", 10*time.Second, "telemetry push interval")
 		expRate    = flag.Int("export-rate", 0, "telemetry egress budget in bytes/sec (0 = unlimited)")
@@ -102,7 +111,13 @@ func main() {
 		queueDepth: *expQueue,
 		workers:    *expWorkers,
 	}
-	if err := run(cfg, *grace, *flSnapshot, *flWAL, exp); err != nil {
+	durability := serve.FleetDurability{
+		SnapshotPath:    *flSnapshot,
+		WALDir:          *flWAL,
+		SegmentBytes:    *flSegBytes,
+		CompactInterval: *flCompact,
+	}
+	if err := run(cfg, *grace, durability, exp); err != nil {
 		fmt.Fprintln(os.Stderr, "actd:", err)
 		os.Exit(1)
 	}
@@ -129,12 +144,12 @@ func splitURLs(s string) []string {
 	return urls
 }
 
-func run(cfg serve.Config, grace time.Duration, fleetSnapshot, fleetWAL string, expCfg exportConfig) error {
+func run(cfg serve.Config, grace time.Duration, durability serve.FleetDurability, expCfg exportConfig) error {
 	log := slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	cfg.Logger = log
 	srv := serve.New(cfg)
 
-	if err := srv.OpenFleet(context.Background(), fleetSnapshot, fleetWAL); err != nil {
+	if err := srv.OpenFleet(context.Background(), durability); err != nil {
 		return fmt.Errorf("fleet state: %w", err)
 	}
 
@@ -183,10 +198,11 @@ func run(cfg serve.Config, grace time.Duration, fleetSnapshot, fleetWAL string, 
 				log.Error("telemetry exporter drain", "error", err)
 			}
 		}
-		if fleetSnapshot != "" {
-			if err := srv.SaveFleetSnapshot(fleetSnapshot); err != nil {
-				return fmt.Errorf("fleet snapshot: %w", err)
-			}
+		if err := srv.CheckpointFleet(); err != nil {
+			// A failed final checkpoint is not data loss — the previous
+			// snapshot plus the WAL segments remain the durable truth — so
+			// log it and keep shutting down.
+			log.Error("fleet final checkpoint", "error", err)
 		}
 		if err := srv.CloseFleet(); err != nil {
 			return fmt.Errorf("fleet close: %w", err)

@@ -11,6 +11,7 @@ package conform
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -21,6 +22,7 @@ import (
 	"act/internal/report"
 	"act/internal/scenario"
 	"act/internal/units"
+	"act/internal/vfs"
 )
 
 // fleetDeployed anchors every device's service window; determinism needs a
@@ -134,6 +136,7 @@ func (e *Engine) fleetRefold(rep *Report, corpus []*scenario.Spec) {
 		fail("fleet embodied_share_g %v outside [0, %v]", doc.EmbodiedShareG, doc.EmbodiedTotalG)
 	}
 	e.exportRefold(fail, local, doc)
+	e.durabilityRefold(fail, nd, local)
 
 	// Amortization cap (Eq. 1): a device active for 2×LT still amortizes
 	// exactly its full ECF, never more.
@@ -156,6 +159,85 @@ func (e *Engine) fleetRefold(rep *Report, corpus []*scenario.Spec) {
 	if s.EmbodiedShareG != s.EmbodiedTotalG {
 		fail("2×LT fleet: embodied_share_g %v != embodied_total_g %v (amortization cap)",
 			s.EmbodiedShareG, s.EmbodiedTotalG)
+	}
+}
+
+// durabilityRefold is the durable surface: the same NDJSON folds into a
+// registry mounted on a MemFS-backed store, with a checkpoint mid-stream
+// and a power cycle at the end. The recovered registry must answer the
+// summary queries byte-identically to the purely in-memory registry —
+// the persistence layer (snapshot envelope, segment replay, compaction
+// floor) must never touch a float bit.
+func (e *Engine) durabilityRefold(fail func(string, ...any), nd []byte, want *fleet.Registry) {
+	const snapPath, walDir = "conform/fleet.snap", "conform/wal"
+	m := vfs.NewMemFS()
+	reg := fleet.New(fleet.Config{})
+	st, err := fleet.OpenStore(context.Background(), reg, fleet.StoreConfig{
+		FS: m, SnapshotPath: snapPath, WALDir: walDir, SegmentBytes: 64 << 10,
+	})
+	if err != nil {
+		fail("durable open: %v", err)
+		return
+	}
+	// Split the stream so the recovered state folds from a snapshot AND
+	// replayed segments, not from either alone.
+	lines := bytes.SplitAfter(nd, []byte("\n"))
+	half := bytes.Join(lines[:len(lines)/2], nil)
+	rest := bytes.Join(lines[len(lines)/2:], nil)
+	if _, err := reg.IngestNDJSON(bytes.NewReader(half), 1<<20); err != nil {
+		fail("durable ingest (pre-checkpoint): %v", err)
+		return
+	}
+	if err := st.Checkpoint(); err != nil {
+		fail("durable checkpoint: %v", err)
+		return
+	}
+	if _, err := reg.IngestNDJSON(bytes.NewReader(rest), 1<<20); err != nil {
+		fail("durable ingest (post-checkpoint): %v", err)
+		return
+	}
+	if err := st.Close(); err != nil {
+		fail("durable close: %v", err)
+		return
+	}
+
+	m.Crash()
+	recovered := fleet.New(fleet.Config{})
+	st2, err := fleet.OpenStore(context.Background(), recovered, fleet.StoreConfig{
+		FS: m, SnapshotPath: snapPath, WALDir: walDir, SegmentBytes: 64 << 10,
+	})
+	if err != nil {
+		fail("durable reopen: %v", err)
+		return
+	}
+	defer st2.Close()
+	if n := st2.QuarantinedTotal(); n != 0 {
+		fail("durable reopen quarantined %d segments from a clean shutdown", n)
+	}
+	for _, q := range []fleet.Query{{}, {TopK: 3, GroupBy: "region"}} {
+		wantDoc, err := want.Query(q)
+		if err != nil {
+			fail("durable refold: in-memory query: %v", err)
+			return
+		}
+		gotDoc, err := recovered.Query(q)
+		if err != nil {
+			fail("durable refold: recovered query: %v", err)
+			return
+		}
+		var wantBuf, gotBuf bytes.Buffer
+		if err := report.Encode(&wantBuf, wantDoc); err != nil {
+			fail("durable refold: encode: %v", err)
+			return
+		}
+		if err := report.Encode(&gotBuf, gotDoc); err != nil {
+			fail("durable refold: encode: %v", err)
+			return
+		}
+		if !bytes.Equal(wantBuf.Bytes(), gotBuf.Bytes()) {
+			fail("durable refold: recovered summary differs (top=%d by=%q):\n  memory:    %.300s\n  recovered: %.300s",
+				q.TopK, q.GroupBy, wantBuf.String(), gotBuf.String())
+		}
 	}
 }
 

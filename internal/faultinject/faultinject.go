@@ -48,6 +48,17 @@ const (
 	// before an HTTP delivery attempt, so chaos tests can fail sends and
 	// assert failover, breaker trips and drop accounting.
 	SiteExportSend = "export.send"
+	// SiteWALRotate fires when the fleet WAL is about to seal the active
+	// segment and open its successor, so chaos tests can fail a rotation
+	// and assert the store degrades instead of splitting history.
+	SiteWALRotate = "fleet.wal.rotate"
+	// SiteFleetCompact fires at the start of a fleet store checkpoint
+	// (compaction), before the fresh snapshot is written.
+	SiteFleetCompact = "fleet.compact"
+	// SiteVFSSync fires before every durability barrier — file fsync and
+	// directory fsync — in the vfs layer, so chaos tests can fail the
+	// exact syscall power-loss safety depends on.
+	SiteVFSSync = "vfs.sync"
 )
 
 // Fault is what a hook asks the site to do, applied in order: sleep for

@@ -1,0 +1,276 @@
+// The crash-consistency harness: run a seeded, deterministic trace of
+// registry operations against a MemFS-backed store, crash after every
+// single filesystem operation the trace performs, reopen, and prove the
+// recovered registry refolds byte-identically to an in-memory oracle.
+//
+// The oracle invariant: after crashing at filesystem op k, the trace
+// acknowledged some prefix of its mutating operations; recovery must
+// land on exactly the oracle state after that prefix — or, when the
+// crash interrupted a mutation whose WAL frame had already (perhaps
+// partially, then fully via the torn-tail model) reached the platter, on
+// the state one mutation later. Nothing else: not an op dropped from the
+// middle, not a stale total, not a single differing float bit.
+
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+
+	"act/internal/units"
+	"act/internal/vfs"
+)
+
+// crashOp is one trace step.
+type crashOp struct {
+	kind string // "upsert" | "remove" | "checkpoint"
+	dev  Device
+	id   string
+}
+
+// crashTrace builds the seeded operation trace: ≥200 mutating operations
+// mixing upserts (fresh and replacing), removes (present and absent),
+// and periodic checkpoints, across 6 BoMs, 4 regions and varying
+// windows. Deterministic by construction — no RNG, just arithmetic on
+// the index — so every run visits identical crash points.
+func crashTrace() []crashOp {
+	regions := []string{"united-states", "europe", "india", "world"}
+	var ops []crashOp
+	for i := 0; i < 210; i++ {
+		switch {
+		case i%23 == 11: // sprinkle removes, some of absent ids
+			ops = append(ops, crashOp{kind: "remove", id: fmt.Sprintf("dev-%02d", (i*7)%40)})
+		default:
+			dev := testDevice(fmt.Sprintf("dev-%02d", i%40), i%6, regions[i%len(regions)])
+			dev.Retired = testEpoch.Add(units.Years(0.5 + float64(i%5)))
+			dev.Utilization = 0.1 + 0.2*float64(i%4)
+			ops = append(ops, crashOp{kind: "upsert", dev: dev})
+		}
+		if i%35 == 34 {
+			ops = append(ops, crashOp{kind: "checkpoint"})
+		}
+	}
+	return ops
+}
+
+// isMutation reports whether the op advances the oracle index.
+func (op crashOp) isMutation() bool { return op.kind != "checkpoint" }
+
+// applyToOracle applies a mutating op to the plain in-memory registry.
+func (op crashOp) applyToOracle(t *testing.T, oracle *Registry) {
+	t.Helper()
+	switch op.kind {
+	case "upsert":
+		if _, err := oracle.Upsert(op.dev); err != nil {
+			t.Fatalf("oracle upsert: %v", err)
+		}
+	case "remove":
+		if _, err := oracle.Remove(op.id); err != nil {
+			t.Fatalf("oracle remove: %v", err)
+		}
+	}
+}
+
+// runCrashTrace opens a store on m and executes the trace until the
+// first error (the armed crash). It reports how many mutating operations
+// were acknowledged and, if the failed operation was itself a mutation,
+// which one it was (its WAL frame may still have reached the platter).
+func runCrashTrace(t *testing.T, m *vfs.MemFS, ops []crashOp, segBytes int64) (acked int, inflight *crashOp) {
+	t.Helper()
+	reg := New(Config{Shards: 8})
+	st, err := OpenStore(context.Background(), reg, StoreConfig{
+		FS: m, SnapshotPath: testSnapPath, WALDir: testWALDir, SegmentBytes: segBytes,
+	})
+	if err != nil {
+		return 0, nil // crash landed inside recovery/open itself
+	}
+	defer st.Close()
+	for i := range ops {
+		op := &ops[i]
+		var err error
+		switch op.kind {
+		case "upsert":
+			_, err = reg.Upsert(op.dev)
+		case "remove":
+			_, err = reg.Remove(op.id)
+		case "checkpoint":
+			err = st.Checkpoint()
+		}
+		if err != nil {
+			if op.isMutation() {
+				return acked, op
+			}
+			return acked, nil
+		}
+		if op.isMutation() {
+			acked++
+		}
+	}
+	return acked, nil
+}
+
+// TestCrashAfterEveryVFSOp is the harness. It first runs the trace on a
+// pristine MemFS to count the filesystem operations it performs, then
+// replays it once per crash point k in [1, total]: arm the crash at op
+// k, run until the store fails, power-cycle, reopen, and compare the
+// recovered summary byte-for-byte against the oracle prefix.
+func TestCrashAfterEveryVFSOp(t *testing.T) {
+	ops := crashTrace()
+	if n := len(ops); n < 200 {
+		t.Fatalf("trace has %d ops, want ≥200", n)
+	}
+	const segBytes = 2048 // small segments: rotations and compactions under fire
+
+	// Oracle prefix states: oracleSum[i] is the summary after the first i
+	// mutating operations.
+	oracle := New(Config{Shards: 8})
+	oracleSum := [][]byte{summaryBytes(t, oracle)}
+	for _, op := range ops {
+		if !op.isMutation() {
+			continue
+		}
+		op.applyToOracle(t, oracle)
+		oracleSum = append(oracleSum, summaryBytes(t, oracle))
+	}
+
+	// Dry run: count the trace's filesystem footprint.
+	dry := vfs.NewMemFS()
+	if acked, _ := runCrashTrace(t, dry, ops, segBytes); acked != len(oracleSum)-1 {
+		t.Fatalf("dry run acked %d mutations, want %d", acked, len(oracleSum)-1)
+	}
+	total := dry.Ops()
+	if total < len(ops) {
+		t.Fatalf("implausible vfs op count %d for %d trace ops", total, len(ops))
+	}
+	if testing.Short() {
+		t.Logf("short mode: sampling every 7th of %d crash points", total)
+	}
+
+	for k := 1; k <= total; k++ {
+		if testing.Short() && k%7 != 1 {
+			continue
+		}
+		m := vfs.NewMemFS()
+		m.SetTornSeed(uint64(k)) // deterministic per crash point, varied across them
+		m.SetCrashAfter(k)
+		acked, inflight := runCrashTrace(t, m, ops, segBytes)
+
+		m.Crash()
+		reg := New(Config{Shards: 8})
+		st, err := OpenStore(context.Background(), reg, StoreConfig{
+			FS: m, SnapshotPath: testSnapPath, WALDir: testWALDir, SegmentBytes: segBytes,
+		})
+		if err != nil {
+			t.Fatalf("crash@%d: reopen failed: %v", k, err)
+		}
+		if n := st.QuarantinedTotal(); n != 0 {
+			t.Fatalf("crash@%d: pure power loss quarantined %d segments", k, n)
+		}
+		got := summaryBytes(t, reg)
+
+		if bytes.Equal(got, oracleSum[acked]) {
+			_ = st.Close()
+			continue
+		}
+		// The crash hit a mutation mid-flight; its frame may have survived
+		// in full. Then — and only then — the recovered state is one
+		// mutation ahead.
+		if inflight != nil {
+			next := New(Config{Shards: 8})
+			replayOracle(t, next, ops, acked, inflight)
+			if bytes.Equal(got, summaryBytes(t, next)) {
+				_ = st.Close()
+				continue
+			}
+		}
+		t.Fatalf("crash@%d: recovered state matches neither oracle[%d] nor oracle[%d]+inflight (inflight=%v)",
+			k, acked, acked, inflight != nil)
+	}
+}
+
+// replayOracle rebuilds the oracle state after `acked` mutations plus
+// the in-flight one.
+func replayOracle(t *testing.T, reg *Registry, ops []crashOp, acked int, inflight *crashOp) {
+	t.Helper()
+	n := 0
+	for i := range ops {
+		op := &ops[i]
+		if !op.isMutation() {
+			continue
+		}
+		if n == acked {
+			inflight.applyToOracle(t, reg)
+			return
+		}
+		op.applyToOracle(t, reg)
+		n++
+	}
+	inflight.applyToOracle(t, reg)
+}
+
+// TestCrashDuringRecovery layers a second crash on top of the first:
+// crash mid-trace, then crash again during the recovery that follows,
+// then recover for real. Double-fault recovery must be as byte-exact as
+// single-fault.
+func TestCrashDuringRecovery(t *testing.T) {
+	ops := crashTrace()
+	const segBytes = 2048
+	// First crash: deep in the trace, plenty of segments on disk.
+	m := vfs.NewMemFS()
+	m.SetTornSeed(99)
+	firstTotal := func() int {
+		dry := vfs.NewMemFS()
+		runCrashTrace(t, dry, ops, segBytes)
+		return dry.Ops()
+	}()
+	m.SetCrashAfter(firstTotal * 3 / 4)
+	acked, inflight := runCrashTrace(t, m, ops, segBytes)
+	m.Crash()
+
+	// Count recovery's own filesystem footprint, then re-crash inside it
+	// at a few points.
+	preOps := m.Ops()
+	reg := New(Config{Shards: 8})
+	if _, err := OpenStore(context.Background(), reg, StoreConfig{
+		FS: m, SnapshotPath: testSnapPath, WALDir: testWALDir, SegmentBytes: segBytes,
+	}); err != nil {
+		t.Fatalf("baseline recovery failed: %v", err)
+	}
+	want := summaryBytes(t, reg)
+	recoveryOps := m.Ops() - preOps
+
+	for frac := 1; frac <= 3; frac++ {
+		m2 := vfs.NewMemFS()
+		m2.SetTornSeed(99)
+		m2.SetCrashAfter(firstTotal * 3 / 4)
+		a2, i2 := runCrashTrace(t, m2, ops, segBytes)
+		if a2 != acked || (i2 == nil) != (inflight == nil) {
+			t.Fatalf("determinism broke: acked %d vs %d", a2, acked)
+		}
+		m2.Crash()
+		m2.SetCrashAfter(m2.Ops() + recoveryOps*frac/4 + 1)
+		reg2 := New(Config{Shards: 8})
+		if _, err := OpenStore(context.Background(), reg2, StoreConfig{
+			FS: m2, SnapshotPath: testSnapPath, WALDir: testWALDir, SegmentBytes: segBytes,
+		}); err == nil {
+			// Recovery mutates little; the crash point may land past its
+			// last filesystem op, in which case it simply succeeded.
+			if got := summaryBytes(t, reg2); !bytes.Equal(got, want) {
+				t.Fatalf("recovery-crash %d/4: survived but diverged", frac)
+			}
+			continue
+		}
+		m2.Crash()
+		reg3 := New(Config{Shards: 8})
+		if _, err := OpenStore(context.Background(), reg3, StoreConfig{
+			FS: m2, SnapshotPath: testSnapPath, WALDir: testWALDir, SegmentBytes: segBytes,
+		}); err != nil {
+			t.Fatalf("recovery-crash %d/4: second recovery failed: %v", frac, err)
+		}
+		if got := summaryBytes(t, reg3); !bytes.Equal(got, want) {
+			t.Fatalf("recovery-crash %d/4: double-fault recovery diverged", frac)
+		}
+	}
+}

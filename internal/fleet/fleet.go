@@ -276,7 +276,7 @@ type Registry struct {
 	shards []*shard
 	evals  evalCache
 	count  atomic.Int64
-	log    *walWriter // nil until AttachLog
+	log    WALAppender // nil until AttachLog/AttachWAL
 }
 
 // New builds an empty registry.
@@ -379,7 +379,7 @@ func (r *Registry) apply(rec *record, logIt bool) (replaced bool, err error) {
 		return false, fmt.Errorf("fleet: shard apply: %w", err)
 	}
 	if logIt && r.log != nil {
-		if err := r.log.append(encodeUpsert(rec)); err != nil {
+		if err := r.log.Append(encodeUpsert(rec)); err != nil {
 			return false, fmt.Errorf("fleet: write-ahead log: %w", err)
 		}
 	}
@@ -418,7 +418,7 @@ func (r *Registry) remove(id string, logIt bool) (bool, error) {
 		return false, fmt.Errorf("fleet: shard apply: %w", err)
 	}
 	if logIt && r.log != nil {
-		if err := r.log.append(encodeRemove(id)); err != nil {
+		if err := r.log.Append(encodeRemove(id)); err != nil {
 			return false, fmt.Errorf("fleet: write-ahead log: %w", err)
 		}
 	}

@@ -31,7 +31,7 @@ func (r *Registry) Recompute(ctx context.Context) error {
 		return err
 	}
 	if r.log != nil {
-		if err := r.log.append([]byte{opRecompute}); err != nil {
+		if err := r.log.Append([]byte{opRecompute}); err != nil {
 			return fmt.Errorf("fleet: write-ahead log: %w", err)
 		}
 	}

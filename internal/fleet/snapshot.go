@@ -264,3 +264,15 @@ func (r *Registry) Checkpoint(w io.Writer, reset func() error) error {
 	}
 	return nil
 }
+
+// CheckpointFunc runs fn with the registry write-locked, handing it a
+// snapshot function bound to that lock. The segmented store (persist.go)
+// uses it to order an entire compaction — rotate the WAL, stream the
+// snapshot, rename it in — as one atomic section: because appends need
+// the read lock, no operation can land between the rotation that fixes
+// the snapshot's replay floor and the snapshot that justifies it.
+func (r *Registry) CheckpointFunc(fn func(snapshot func(w io.Writer) error) error) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return fn(func(w io.Writer) error { return r.snapshotLocked(w) })
+}

@@ -42,7 +42,40 @@ const (
 	opUpsert    = 1
 	opRemove    = 2
 	opRecompute = 3
+	// opSeal terminates a finished WAL segment (walseg.go): its payload is
+	// the segment's frame count and rolling checksum. It never reaches
+	// applyFrame — segment replay consumes it as the end-of-segment marker.
+	opSeal = 4
 )
+
+// WALAppender is the write-ahead sink a Registry logs mutations to: the
+// in-process buffer writer below, or the segmented on-disk WAL
+// (walseg.go). Append must be atomic — a frame is either fully
+// acknowledged or reported failed with the log positioned to accept the
+// next frame — and safe for concurrent use.
+type WALAppender interface {
+	Append(payload []byte) error
+}
+
+// errCorruptFrame classifies a frame that is structurally complete but
+// wrong — checksum mismatch, implausible length, empty payload. Distinct
+// from a torn tail (io.EOF / io.ErrUnexpectedEOF), which is the expected
+// signature of a crash mid-append: torn tails are truncated away, corrupt
+// frames quarantine the segment.
+var errCorruptFrame = errors.New("fleet: corrupt wal frame")
+
+// frameBytes wraps a payload in the wire frame: u32 length | payload |
+// u64 FNV-64a of the payload. Append and segment replay share it so the
+// rolling segment checksum hashes identical bytes on both sides.
+func frameBytes(payload []byte) []byte {
+	frame := make([]byte, 0, len(payload)+12)
+	frame = appendU32(frame, uint32(len(payload)))
+	frame = append(frame, payload...)
+	h := fnv.New64a()
+	_, _ = h.Write(payload)
+	frame = appendU64(frame, h.Sum64())
+	return frame
+}
 
 // walWriter serializes frame appends to the underlying writer.
 type walWriter struct {
@@ -50,15 +83,10 @@ type walWriter struct {
 	w  io.Writer
 }
 
-// append frames the payload and writes it in one Write call, so a torn
+// Append frames the payload and writes it in one Write call, so a torn
 // tail can only come from the storage layer, not from interleaving.
-func (l *walWriter) append(payload []byte) error {
-	frame := make([]byte, 0, len(payload)+12)
-	frame = appendU32(frame, uint32(len(payload)))
-	frame = append(frame, payload...)
-	h := fnv.New64a()
-	_, _ = h.Write(payload)
-	frame = appendU64(frame, h.Sum64())
+func (l *walWriter) Append(payload []byte) error {
+	frame := frameBytes(payload)
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if _, err := l.w.Write(frame); err != nil {
@@ -81,13 +109,20 @@ func encodeRemove(id string) []byte {
 // Restore and Replay — the log should record only operations newer than
 // the state already loaded. Passing nil detaches.
 func (r *Registry) AttachLog(w io.Writer) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	if w == nil {
-		r.log = nil
+		r.AttachWAL(nil)
 		return
 	}
-	r.log = &walWriter{w: w}
+	r.AttachWAL(&walWriter{w: w})
+}
+
+// AttachWAL starts logging every subsequent mutation to a. Like
+// AttachLog, attach only after the state a recovery loaded is complete.
+// Passing nil detaches.
+func (r *Registry) AttachWAL(a WALAppender) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.log = a
 }
 
 // Replay applies a write-ahead log to the registry. It returns the number
@@ -126,12 +161,12 @@ func readFrame(rd io.Reader) (payload []byte, frameLen int64, err error) {
 		return nil, 0, d.err
 	}
 	if len(payload) == 0 {
-		return nil, 0, fmt.Errorf("empty frame")
+		return nil, 0, fmt.Errorf("%w: empty frame", errCorruptFrame)
 	}
 	h := fnv.New64a()
 	_, _ = h.Write(payload)
 	if h.Sum64() != sum {
-		return nil, 0, fmt.Errorf("frame checksum mismatch")
+		return nil, 0, fmt.Errorf("%w: frame checksum mismatch", errCorruptFrame)
 	}
 	return payload, int64(len(payload)) + 12, nil
 }

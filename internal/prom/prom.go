@@ -255,6 +255,31 @@ type GaugeFunc struct {
 	fn         func() int64
 }
 
+// CounterFunc is a callback-backed counter: the value is read at render
+// time from a source that already counts monotonically (recoveries,
+// quarantines), so there is no second copy to keep in sync.
+type CounterFunc struct {
+	name, help string
+	fn         func() int64
+}
+
+// NewCounterFunc creates and registers a callback counter. The callback
+// must be monotonically non-decreasing for the series to obey counter
+// semantics.
+func (r *Registry) NewCounterFunc(name, help string, fn func() int64) *CounterFunc {
+	c := &CounterFunc{name: name, help: help, fn: fn}
+	r.register(c)
+	return c
+}
+
+// Value returns the callback's current value.
+func (c *CounterFunc) Value() int64 { return c.fn() }
+
+func (c *CounterFunc) render(b *strings.Builder) {
+	header(b, c.name, c.help, "counter")
+	fmt.Fprintf(b, "%s %d\n", c.name, c.fn())
+}
+
 // NewGaugeFunc creates and registers a callback gauge.
 func (r *Registry) NewGaugeFunc(name, help string, fn func() int64) *GaugeFunc {
 	g := &GaugeFunc{name: name, help: help, fn: fn}

@@ -21,6 +21,7 @@ import (
 	"testing"
 
 	"act/internal/acterr"
+	"act/internal/fleet"
 )
 
 func TestWriteErrorClassification(t *testing.T) {
@@ -36,6 +37,8 @@ func TestWriteErrorClassification(t *testing.T) {
 		{"wrapped-transient", fmt.Errorf("eval: %w", acterr.Transient(errors.New("x"))), http.StatusInternalServerError, codeInternal, ""},
 		{"deadline", context.DeadlineExceeded, http.StatusGatewayTimeout, codeTimeout, ""},
 		{"wrapped-deadline", fmt.Errorf("batch: %w", context.DeadlineExceeded), http.StatusGatewayTimeout, codeTimeout, ""},
+		{"degraded-store", fleet.ErrDegraded, http.StatusServiceUnavailable, codeDegraded, ""},
+		{"wrapped-degraded", fmt.Errorf("fleet: write-ahead log: %w", fleet.ErrDegraded), http.StatusServiceUnavailable, codeDegraded, ""},
 		{"invalid-field", acterr.Invalid("usage.app_hours", "non-positive"), http.StatusBadRequest, codeInvalidArgument, "usage.app_hours"},
 		{"invalid-no-field", acterr.Invalid("", "empty request"), http.StatusBadRequest, codeInvalidArgument, ""},
 		{"prefixed-batch-element", acterr.Prefix("[2]", acterr.Invalid("node", "unknown")), http.StatusBadRequest, codeInvalidArgument, "[2].node"},
@@ -227,6 +230,9 @@ func TestErrorEnvelopeGolden(t *testing.T) {
 		{codeUnavailable, func(w http.ResponseWriter, r *http.Request) {
 			s.writeErrorCode(w, r, http.StatusServiceUnavailable, codeUnavailable, "",
 				"server is draining")
+		}},
+		{codeDegraded, func(w http.ResponseWriter, r *http.Request) {
+			s.writeError(w, r, fmt.Errorf("fleet: write-ahead log: %w", fleet.ErrDegraded))
 		}},
 		{codeTimeout, func(w http.ResponseWriter, r *http.Request) {
 			s.writeError(w, r, context.DeadlineExceeded)

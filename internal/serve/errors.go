@@ -18,6 +18,7 @@ import (
 	"net/http"
 
 	"act/internal/acterr"
+	"act/internal/fleet"
 )
 
 // The closed set of machine-readable error codes the v1 API serves.
@@ -37,6 +38,9 @@ const (
 	codeOverloaded = "overloaded"
 	// codeUnavailable: draining or a circuit breaker is open (503).
 	codeUnavailable = "unavailable"
+	// codeDegraded: fleet persistence is degraded — the store is
+	// read-only until a probe heals it, and writes are rejected (503).
+	codeDegraded = "degraded"
 	// codeTimeout: the request deadline lapsed after work was accepted (504).
 	codeTimeout = "timeout"
 	// codeInternal: an internal fault — a panic, or a transient fault that
@@ -72,7 +76,8 @@ func (s *Server) writeErrorCode(w http.ResponseWriter, r *http.Request, status i
 }
 
 // writeError classifies a typed error into its status and code: deadline
-// lapses are 504/timeout, client-fixable spec problems are 400 with
+// lapses are 504/timeout, degraded-persistence rejections are
+// 503/degraded, client-fixable spec problems are 400 with
 // invalid_argument (or unsupported_version), everything else — including
 // transient faults that survived the retry budget — is 500/internal.
 func (s *Server) writeError(w http.ResponseWriter, r *http.Request, err error) {
@@ -83,6 +88,9 @@ func (s *Server) writeError(w http.ResponseWriter, r *http.Request, err error) {
 		status = http.StatusGatewayTimeout
 		det.Code = codeTimeout
 		det.Message = "request timed out: " + err.Error()
+	case errors.Is(err, fleet.ErrDegraded):
+		status = http.StatusServiceUnavailable
+		det.Code = codeDegraded
 	case acterr.IsInvalid(err):
 		status = http.StatusBadRequest
 		det.Code = codeInvalidArgument

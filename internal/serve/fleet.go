@@ -11,15 +11,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"io"
-	"io/fs"
 	"net/http"
-	"os"
 	"time"
 
 	"act/internal/acterr"
 	"act/internal/fleet"
 	"act/internal/report"
+	"act/internal/vfs"
 )
 
 // Fleet exposes the server's fleet registry (tests and cmd/actd).
@@ -129,115 +127,145 @@ func (s *Server) recomputeFleet(ctx context.Context) error {
 	return err
 }
 
-// OpenFleet loads fleet state from disk and arranges durability for
-// everything that follows: restore the snapshot (if one exists), replay
-// the write-ahead log's tail (truncating a torn final frame), attach the
-// log appender, and — when the snapshot was written against different
-// model tables than this binary carries — recompute. Either path may be
-// "" to skip it; with both "" the fleet is purely in-memory.
-func (s *Server) OpenFleet(ctx context.Context, snapshotPath, walPath string) error {
-	if snapshotPath != "" {
-		f, err := os.Open(snapshotPath)
-		switch {
-		case err == nil:
-			stale, rerr := s.fleet.Restore(f)
-			f.Close()
-			if rerr != nil {
-				return rerr
-			}
-			s.log.Info("fleet snapshot restored",
-				"path", snapshotPath, "devices", s.fleet.Len(), "stale", stale)
-			if stale {
-				defer func() {
-					// Deferred so the WAL is attached first: the recompute is
-					// then logged and survives a crash before the next snapshot.
-					if err := s.recomputeFleet(ctx); err != nil {
-						s.log.Error("fleet recompute after stale restore", "error", err)
-					}
-				}()
-			}
-		case errors.Is(err, fs.ErrNotExist):
-			// First boot: nothing to restore.
-		default:
-			return err
-		}
-	}
-	if walPath != "" {
-		f, err := os.OpenFile(walPath, os.O_CREATE|os.O_RDWR, 0o644)
-		if err != nil {
-			return err
-		}
-		applied, offset, err := s.fleet.Replay(ctx, f)
-		if err != nil {
-			f.Close()
-			return err
-		}
-		// Drop a torn final frame so the appender continues from the last
-		// complete one.
-		if err := f.Truncate(offset); err != nil {
-			f.Close()
-			return err
-		}
-		if _, err := f.Seek(offset, io.SeekStart); err != nil {
-			f.Close()
-			return err
-		}
-		s.fleetWAL = f
-		s.fleet.AttachLog(f)
-		if applied > 0 {
-			s.log.Info("fleet write-ahead log replayed",
-				"path", walPath, "operations", applied, "devices", s.fleet.Len())
-		}
-	}
-	return nil
+// FleetDurability configures the fleet store actd mounts under the
+// registry: a snapshot file plus a directory of checksummed write-ahead
+// log segments. The zero value (both paths empty) keeps the fleet purely
+// in-memory.
+type FleetDurability struct {
+	// SnapshotPath is the checkpoint file ("" with WALDir also "" =
+	// in-memory fleet).
+	SnapshotPath string
+	// WALDir is the segment directory. A pre-segmentation single-file WAL
+	// at this path is migrated into it on first boot.
+	WALDir string
+	// SegmentBytes rotates the active segment past this size (0 = the
+	// store default).
+	SegmentBytes int64
+	// CompactInterval runs background checkpoints (and degraded-mode
+	// probes) this often; 0 disables the compactor — checkpoints then
+	// happen only on shutdown or via CheckpointFleet.
+	CompactInterval time.Duration
+	// FS overrides the filesystem (tests inject vfs.MemFS; nil = the
+	// real disk).
+	FS vfs.FS
 }
 
-// SaveFleetSnapshot checkpoints the fleet to path: the snapshot is written
-// to a temporary sibling, synced, renamed into place, and the write-ahead
-// log truncated — the last three under the registry lock, so no operation
-// slips between the snapshot and the log reset.
-func (s *Server) SaveFleetSnapshot(path string) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	err = s.fleet.Checkpoint(f, func() error {
-		if err := f.Sync(); err != nil {
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-		if err := os.Rename(tmp, path); err != nil {
-			return err
-		}
-		if s.fleetWAL == nil {
-			return nil
-		}
-		if err := s.fleetWAL.Truncate(0); err != nil {
-			return err
-		}
-		_, err := s.fleetWAL.Seek(0, io.SeekStart)
-		return err
-	})
-	if err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	s.log.Info("fleet snapshot saved", "path", path, "devices", s.fleet.Len())
-	return nil
-}
-
-// CloseFleet releases the write-ahead log handle (after SaveFleetSnapshot
-// on shutdown).
-func (s *Server) CloseFleet() error {
-	if s.fleetWAL == nil {
+// OpenFleet mounts durable storage under the fleet registry: restore the
+// snapshot, replay the write-ahead log segments (quarantining corrupt
+// ones), attach the appender, and — when the snapshot was written against
+// different model tables than this binary carries — recompute. With
+// CompactInterval set it also starts the background compactor.
+func (s *Server) OpenFleet(ctx context.Context, d FleetDurability) error {
+	if d.SnapshotPath == "" && d.WALDir == "" {
 		return nil
 	}
-	err := s.fleetWAL.Close()
-	s.fleetWAL = nil
-	s.fleet.AttachLog(nil)
-	return err
+	if d.SnapshotPath == "" || d.WALDir == "" {
+		return errors.New("fleet durability needs both a snapshot path and a WAL directory")
+	}
+	st, err := fleet.OpenStore(ctx, s.fleet, fleet.StoreConfig{
+		FS:           d.FS,
+		SnapshotPath: d.SnapshotPath,
+		WALDir:       d.WALDir,
+		SegmentBytes: d.SegmentBytes,
+		Logf: func(format string, args ...any) {
+			s.log.Warn("fleet store: " + fmt.Sprintf(format, args...))
+		},
+		OnQuarantine: func(name, reason string) {
+			s.log.Error("fleet wal segment quarantined", "segment", name, "reason", reason)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	s.fleetStore.Store(st)
+	s.log.Info("fleet store opened",
+		"snapshot", d.SnapshotPath, "wal_dir", d.WALDir,
+		"devices", s.fleet.Len(), "wal_segments", st.WALSegments(),
+		"quarantined", st.QuarantinedTotal(), "stale", st.Stale())
+	if st.Stale() {
+		// The WAL is already attached, so the recompute is logged and
+		// survives a crash before the next checkpoint.
+		if err := s.recomputeFleet(ctx); err != nil {
+			s.log.Error("fleet recompute after stale restore", "error", err)
+		}
+	}
+	if d.CompactInterval > 0 {
+		s.compactor = startFleetCompactor(s, st, d.CompactInterval)
+	}
+	return nil
+}
+
+// FleetStore exposes the mounted fleet store (nil while in-memory) for
+// tests and cmd/actd.
+func (s *Server) FleetStore() *fleet.Store { return s.fleetStore.Load() }
+
+// CheckpointFleet folds the write-ahead log into a fresh snapshot and
+// drops the covered segments. A no-op without a mounted store.
+func (s *Server) CheckpointFleet() error {
+	st := s.fleetStore.Load()
+	if st == nil {
+		return nil
+	}
+	if err := st.Checkpoint(); err != nil {
+		return err
+	}
+	s.log.Info("fleet checkpoint saved",
+		"devices", s.fleet.Len(), "wal_segments", st.WALSegments())
+	return nil
+}
+
+// CloseFleet stops the compactor and releases the store (after
+// CheckpointFleet on shutdown). A no-op without a mounted store.
+func (s *Server) CloseFleet() error {
+	if s.compactor != nil {
+		s.compactor.stop()
+		s.compactor = nil
+	}
+	st := s.fleetStore.Load()
+	if st == nil {
+		return nil
+	}
+	s.fleetStore.Store(nil)
+	return st.Close()
+}
+
+// fleetCompactor periodically checkpoints the store so the WAL directory
+// stays bounded, and — while the store is degraded — probes for recovery
+// so a transient full disk or failed fsync heals without a restart.
+type fleetCompactor struct {
+	stopc chan struct{}
+	done  chan struct{}
+}
+
+func startFleetCompactor(s *Server, st *fleet.Store, every time.Duration) *fleetCompactor {
+	c := &fleetCompactor{stopc: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(c.done)
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-c.stopc:
+				return
+			case <-t.C:
+				if down, reason := st.Degraded(); down {
+					if err := st.Probe(); err != nil {
+						s.log.Warn("fleet persistence still degraded",
+							"reason", reason, "probe_error", err.Error())
+						continue
+					}
+					s.log.Info("fleet persistence recovered", "was", reason)
+				}
+				if err := st.Checkpoint(); err != nil {
+					s.log.Error("fleet compaction", "error", err)
+				}
+			}
+		}
+	}()
+	return c
+}
+
+func (c *fleetCompactor) stop() {
+	close(c.stopc)
+	<-c.done
 }

@@ -11,6 +11,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"act/internal/vfs"
 )
 
 // fleetLine renders one NDJSON device over the shared testSpec shape.
@@ -223,18 +225,36 @@ func TestFleetMetricsExposition(t *testing.T) {
 	}
 }
 
+// fleetSummaryBody fetches the canonical grouped summary bytes.
+func fleetSummaryBody(t *testing.T, ts string) []byte {
+	t.Helper()
+	resp, err := http.Get(ts + "/v1/fleet/summary?top=3&by=region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
 // TestFleetPersistenceAcrossRestart is the durability acceptance path: a
-// server with a snapshot and a write-ahead log is killed (state saved),
-// a second server boots from the same paths, and its summary is
-// byte-identical — including mutations that only ever hit the log.
+// server with a snapshot and a segmented write-ahead log is killed
+// (state checkpointed), a second server boots from the same paths, and
+// its summary is byte-identical — including mutations that only ever hit
+// the log.
 func TestFleetPersistenceAcrossRestart(t *testing.T) {
 	dir := t.TempDir()
-	snap := filepath.Join(dir, "fleet.snapshot")
-	wal := filepath.Join(dir, "fleet.wal")
+	d := FleetDurability{
+		SnapshotPath: filepath.Join(dir, "fleet.snap"),
+		WALDir:       filepath.Join(dir, "wal"),
+	}
 	ctx := context.Background()
 
 	s1, ts1 := newTestServer(t, Config{})
-	if err := s1.OpenFleet(ctx, snap, wal); err != nil {
+	if err := s1.OpenFleet(ctx, d); err != nil {
 		t.Fatal(err)
 	}
 	if resp := ingestFleet(t, ts1.URL, strings.Join([]string{
@@ -243,59 +263,47 @@ func TestFleetPersistenceAcrossRestart(t *testing.T) {
 	}, "\n")); resp.StatusCode != http.StatusOK {
 		t.Fatalf("ingest status = %d", resp.StatusCode)
 	}
-	if err := s1.SaveFleetSnapshot(snap); err != nil {
+	if err := s1.CheckpointFleet(); err != nil {
 		t.Fatal(err)
 	}
-	// Post-snapshot traffic lands only in the write-ahead log.
+	// Post-checkpoint traffic lands only in the write-ahead log.
 	if resp := ingestFleet(t, ts1.URL, fleetLine(t, "c", 30, "india")); resp.StatusCode != http.StatusOK {
 		t.Fatalf("ingest status = %d", resp.StatusCode)
 	}
-	want, err := http.Get(ts1.URL + "/v1/fleet/summary?top=3&by=region")
-	if err != nil {
-		t.Fatal(err)
-	}
-	wantBody, _ := io.ReadAll(want.Body)
-	want.Body.Close()
+	wantBody := fleetSummaryBody(t, ts1.URL)
 	if err := s1.CloseFleet(); err != nil {
 		t.Fatal(err)
 	}
 
 	// "Restart": a fresh server boots from the same paths.
 	s2, ts2 := newTestServer(t, Config{})
-	if err := s2.OpenFleet(ctx, snap, wal); err != nil {
+	if err := s2.OpenFleet(ctx, d); err != nil {
 		t.Fatal(err)
 	}
-	got, err := http.Get(ts2.URL + "/v1/fleet/summary?top=3&by=region")
-	if err != nil {
-		t.Fatal(err)
-	}
-	gotBody, _ := io.ReadAll(got.Body)
-	got.Body.Close()
-	if !bytes.Equal(gotBody, wantBody) {
+	if gotBody := fleetSummaryBody(t, ts2.URL); !bytes.Equal(gotBody, wantBody) {
 		t.Fatalf("summary after restart differs:\n%s\nwant:\n%s", gotBody, wantBody)
 	}
 	if err := s2.CloseFleet(); err != nil {
 		t.Fatal(err)
 	}
 
-	// The snapshot file round-trips byte-identically through a checkpoint
-	// of the restored state.
+	// A checkpoint of the restored state folds device c (log-only so far)
+	// into a fresh snapshot and drops the covered segments.
 	s3, _ := newTestServer(t, Config{})
-	if err := s3.OpenFleet(ctx, snap, wal); err != nil {
+	if err := s3.OpenFleet(ctx, d); err != nil {
 		t.Fatal(err)
 	}
-	before, err := os.ReadFile(snap)
+	before, err := os.ReadFile(d.SnapshotPath)
 	if err != nil {
 		t.Fatal(err)
 	}
-	// The WAL holds device c; checkpointing folds it into the new snapshot.
-	if err := s3.SaveFleetSnapshot(snap); err != nil {
+	if err := s3.CheckpointFleet(); err != nil {
 		t.Fatal(err)
 	}
-	if fi, err := os.Stat(wal); err != nil || fi.Size() != 0 {
-		t.Fatalf("write-ahead log not truncated after checkpoint: %v, %d bytes", err, fi.Size())
+	if n := s3.FleetStore().WALSegments(); n != 1 {
+		t.Fatalf("WAL has %d segments after checkpoint, want 1 fresh one", n)
 	}
-	after, err := os.ReadFile(snap)
+	after, err := os.ReadFile(d.SnapshotPath)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -309,16 +317,154 @@ func TestFleetPersistenceAcrossRestart(t *testing.T) {
 	// Final boot from the checkpointed snapshot alone reproduces the
 	// summary bytes again.
 	s4, ts4 := newTestServer(t, Config{})
-	if err := s4.OpenFleet(ctx, snap, wal); err != nil {
+	if err := s4.OpenFleet(ctx, d); err != nil {
 		t.Fatal(err)
 	}
-	final, err := http.Get(ts4.URL + "/v1/fleet/summary?top=3&by=region")
+	defer s4.CloseFleet()
+	if finalBody := fleetSummaryBody(t, ts4.URL); !bytes.Equal(finalBody, wantBody) {
+		t.Fatalf("summary after checkpointed restart differs:\n%s\nwant:\n%s", finalBody, wantBody)
+	}
+}
+
+// TestFleetLegacyWALMigration boots a server whose -fleet-wal path holds
+// a pre-segmentation single-file WAL, as a deployment upgrading in place
+// would. The file must migrate into the segment directory, replay, and
+// retire at the first checkpoint.
+func TestFleetLegacyWALMigration(t *testing.T) {
+	dir := t.TempDir()
+	d := FleetDurability{
+		SnapshotPath: filepath.Join(dir, "fleet.snap"),
+		WALDir:       filepath.Join(dir, "fleet.wal"),
+	}
+	ctx := context.Background()
+
+	// An old server writes the single-file WAL at the future WALDir path.
+	s1, ts1 := newTestServer(t, Config{})
+	mem := s1.Fleet()
+	legacy, err := os.OpenFile(d.WALDir, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		t.Fatal(err)
 	}
-	finalBody, _ := io.ReadAll(final.Body)
-	final.Body.Close()
-	if !bytes.Equal(finalBody, wantBody) {
-		t.Fatalf("summary after checkpointed restart differs:\n%s\nwant:\n%s", finalBody, wantBody)
+	mem.AttachLog(legacy)
+	if resp := ingestFleet(t, ts1.URL, strings.Join([]string{
+		fleetLine(t, "a", 10, "united-states"),
+		fleetLine(t, "b", 20, "europe"),
+	}, "\n")); resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status = %d", resp.StatusCode)
+	}
+	wantBody := fleetSummaryBody(t, ts1.URL)
+	mem.AttachLog(nil)
+	if err := legacy.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The new server mounts the same path as its WAL directory.
+	s2, ts2 := newTestServer(t, Config{})
+	if err := s2.OpenFleet(ctx, d); err != nil {
+		t.Fatal(err)
+	}
+	defer s2.CloseFleet()
+	if gotBody := fleetSummaryBody(t, ts2.URL); !bytes.Equal(gotBody, wantBody) {
+		t.Fatalf("summary after migration differs:\n%s\nwant:\n%s", gotBody, wantBody)
+	}
+	if err := s2.CheckpointFleet(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(d.WALDir, "legacy.wal")); !os.IsNotExist(err) {
+		t.Fatalf("legacy WAL not retired after checkpoint: %v", err)
+	}
+}
+
+// TestFleetDegradedEndToEnd is the acceptance path for degrade-and-heal:
+// the disk fills mid-traffic, the next write answers 503 with the
+// `degraded` envelope code, /readyz flips to degraded while /metrics
+// keeps serving (the exporter must keep ticking), and once space returns
+// a probe restores writability with no acknowledged data lost.
+func TestFleetDegradedEndToEnd(t *testing.T) {
+	m := vfs.NewMemFS()
+	s, ts := newTestServer(t, Config{})
+	d := FleetDurability{SnapshotPath: "data/fleet.snap", WALDir: "data/wal", FS: m}
+	if err := s.OpenFleet(context.Background(), d); err != nil {
+		t.Fatal(err)
+	}
+	defer s.CloseFleet()
+
+	if resp := ingestFleet(t, ts.URL, fleetLine(t, "a", 10, "united-states")); resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status = %d", resp.StatusCode)
+	}
+	wantBody := fleetSummaryBody(t, ts.URL)
+
+	// The disk fills. The next write must be rejected with the degraded
+	// code — not half-applied, not a 500.
+	m.SetDiskCap(m.Used())
+	resp := ingestFleet(t, ts.URL, fleetLine(t, "b", 20, "europe"))
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("write on full disk: status = %d, body %s", resp.StatusCode, body)
+	}
+	if e := decodeError(t, body); e.Code != codeDegraded {
+		t.Fatalf("write on full disk: code = %q, want %q", e.Code, codeDegraded)
+	}
+
+	// Readiness reports the degradation; liveness and metrics keep
+	// serving so operators can see it.
+	ready, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var readyBody struct {
+		Status string `json:"status"`
+		Reason string `json:"reason"`
+	}
+	if err := json.NewDecoder(ready.Body).Decode(&readyBody); err != nil {
+		t.Fatal(err)
+	}
+	ready.Body.Close()
+	if ready.StatusCode != http.StatusServiceUnavailable || readyBody.Status != "degraded" || readyBody.Reason == "" {
+		t.Fatalf("readyz while degraded: status %d, body %+v", ready.StatusCode, readyBody)
+	}
+	metrics, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exposition, _ := io.ReadAll(metrics.Body)
+	metrics.Body.Close()
+	if metrics.StatusCode != http.StatusOK || !strings.Contains(string(exposition), "actd_fleet_degraded 1") {
+		t.Fatalf("metrics while degraded: status %d, missing actd_fleet_degraded 1", metrics.StatusCode)
+	}
+	// Reads still answer — degraded means read-only, not down.
+	if got := fleetSummaryBody(t, ts.URL); !bytes.Equal(got, wantBody) {
+		t.Fatal("summary changed while degraded: a rejected write half-applied")
+	}
+
+	// Space returns; the probe (the compactor's job in production) heals
+	// the store and writes flow again.
+	m.SetDiskCap(0)
+	if err := s.FleetStore().Probe(); err != nil {
+		t.Fatalf("probe after space returned: %v", err)
+	}
+	if ready, err := http.Get(ts.URL + "/readyz"); err != nil || ready.StatusCode != http.StatusOK {
+		t.Fatalf("readyz after heal: %v %d", err, ready.StatusCode)
+	} else {
+		ready.Body.Close()
+	}
+	if resp := ingestFleet(t, ts.URL, fleetLine(t, "b", 20, "europe")); resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest after heal: status = %d", resp.StatusCode)
+	}
+
+	// Nothing acknowledged was lost across the whole episode: a restart
+	// from the same MemFS replays both acknowledged devices.
+	want := fleetSummaryBody(t, ts.URL)
+	if err := s.CloseFleet(); err != nil {
+		t.Fatal(err)
+	}
+	m.Crash()
+	s2, ts2 := newTestServer(t, Config{})
+	if err := s2.OpenFleet(context.Background(), d); err != nil {
+		t.Fatal(err)
+	}
+	defer s2.CloseFleet()
+	if got := fleetSummaryBody(t, ts2.URL); !bytes.Equal(got, want) {
+		t.Fatal("state diverged across the degrade/heal/restart episode")
 	}
 }

@@ -10,13 +10,14 @@ import "act/internal/prom"
 
 // Instrument aliases: the serve names are the prom types.
 type (
-	Registry   = prom.Registry
-	Counter    = prom.Counter
-	CounterVec = prom.CounterVec
-	Gauge      = prom.Gauge
-	GaugeVec   = prom.GaugeVec
-	GaugeFunc  = prom.GaugeFunc
-	Histogram  = prom.Histogram
+	Registry    = prom.Registry
+	Counter     = prom.Counter
+	CounterFunc = prom.CounterFunc
+	CounterVec  = prom.CounterVec
+	Gauge       = prom.Gauge
+	GaugeVec    = prom.GaugeVec
+	GaugeFunc   = prom.GaugeFunc
+	Histogram   = prom.Histogram
 )
 
 // NewRegistry creates an empty instrument registry.

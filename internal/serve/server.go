@@ -149,8 +149,9 @@ type Server struct {
 	breakers map[string]*resilience.Breaker // per API handler; nil when disabled
 	reqIDs   *reqIDSource
 
-	fleet    *fleet.Registry
-	fleetWAL *os.File // nil until OpenFleet attaches a write-ahead log
+	fleet      *fleet.Registry
+	fleetStore atomic.Pointer[fleet.Store] // nil until OpenFleet attaches durability
+	compactor  *fleetCompactor             // nil unless OpenFleet started one
 
 	mRequests     *CounterVec // actd_requests_total{handler,code}
 	mLatency      *Histogram  // actd_request_duration_seconds
@@ -211,6 +212,36 @@ func New(cfg Config) *Server {
 	s.reg.NewGaugeFunc("actd_fleet_devices",
 		"Devices registered in the fleet registry.", func() int64 {
 			return int64(s.fleet.Len())
+		})
+	s.reg.NewGaugeFunc("actd_fleet_wal_segments",
+		"Write-ahead log segments on disk (0 when the fleet is in-memory).", func() int64 {
+			if st := s.fleetStore.Load(); st != nil {
+				return int64(st.WALSegments())
+			}
+			return 0
+		})
+	s.reg.NewGaugeFunc("actd_fleet_wal_bytes",
+		"Total bytes across write-ahead log segments.", func() int64 {
+			if st := s.fleetStore.Load(); st != nil {
+				return st.WALBytes()
+			}
+			return 0
+		})
+	s.reg.NewCounterFunc("actd_fleet_recovery_quarantined_total",
+		"Corrupt write-ahead log segments quarantined by recovery since boot.", func() int64 {
+			if st := s.fleetStore.Load(); st != nil {
+				return st.QuarantinedTotal()
+			}
+			return 0
+		})
+	s.reg.NewGaugeFunc("actd_fleet_degraded",
+		"1 while fleet persistence is degraded and writes are rejected, else 0.", func() int64 {
+			if st := s.fleetStore.Load(); st != nil {
+				if down, _ := st.Degraded(); down {
+					return 1
+				}
+			}
+			return 0
 		})
 	s.mFleetIngest = s.reg.NewCounterVec("actd_fleet_ingest_total",
 		"Fleet ingest outcomes, by device disposition.", "code")
@@ -450,13 +481,23 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// handleReadyz is the readiness probe: 503 while draining or while any
-// handler's circuit breaker is open, so load balancers route around a
-// server that would only shed or reject; 200 otherwise.
+// handleReadyz is the readiness probe: 503 while draining, while fleet
+// persistence is degraded (the store is read-only until a probe heals
+// it), or while any handler's circuit breaker is open, so load balancers
+// route around a server that would only shed or reject; 200 otherwise.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 		return
+	}
+	if st := s.fleetStore.Load(); st != nil {
+		if down, reason := st.Degraded(); down {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+				"status": "degraded",
+				"reason": reason,
+			})
+			return
+		}
 	}
 	for name, brk := range s.breakers {
 		if brk.State() == resilience.Open {
