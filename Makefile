@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test verify verify-extended verify-conform verify-chaos verify-crash cover bench bench-cache bench-fleet bench-batch bench-json bench-export run-actd clean
+.PHONY: all build test verify verify-extended verify-conform verify-chaos verify-crash cover bench bench-cache bench-fleet bench-batch bench-json bench-export bench-script run-actd clean
 
 all: build
 
@@ -31,9 +31,10 @@ verify-extended: verify
 	$(MAKE) cover
 
 # Cross-surface conformance at acceptance size: a 1000-scenario seeded
-# corpus (plus committed repros) evaluated through all five surfaces —
+# corpus (plus committed repros) evaluated through all six surfaces —
 # direct library, wire round trip, actd single and batch HTTP, the
-# columnar batch engine, fleet refold — asserting byte-identical result
+# columnar batch engine, the sandboxed script interpreter, plus the
+# fleet refold — asserting byte-identical result
 # documents, under the race detector. Custom test-binary flags must
 # follow the package path.
 verify-conform:
@@ -46,12 +47,16 @@ cover:
 	./scripts/coverfloor.sh ./internal/conform 80
 	./scripts/coverfloor.sh ./internal/scenario 85
 	./scripts/coverfloor.sh ./internal/colbatch 85
+	./scripts/coverfloor.sh ./internal/script 85
 
 # Chaos verification: rebuild with the faultinject tag (hooks compiled in)
 # and run everything — including the seeded fault storm against a live
-# actd and the fleet shard/snapshot chaos suite — under the race
-# detector, then give each fuzzer a short budget beyond its committed
-# seed corpus: the fleet ingest stream and both wire-envelope fuzzers.
+# actd (now with /v1/script traffic and the script.eval site) and the
+# fleet shard/snapshot chaos suite — under the race detector, then give
+# each fuzzer a short budget beyond its committed seed corpus: the fleet
+# ingest stream, both wire-envelope fuzzers, and the script interpreter's
+# parse/eval pair (the eval fuzzer runs whole adversarial programs under
+# tight budgets and must terminate without panics or hangs).
 verify-chaos:
 	$(GO) vet -tags faultinject ./...
 	$(GO) test -race -tags faultinject ./...
@@ -60,6 +65,8 @@ verify-chaos:
 	$(GO) test -run FuzzWALSegmentReplay -fuzz FuzzWALSegmentReplay -fuzztime 10s ./internal/fleet/
 	$(GO) test -run FuzzScenarioUnmarshal -fuzz FuzzScenarioUnmarshal -fuzztime 10s ./internal/scenario/
 	$(GO) test -run FuzzCanonicalKey -fuzz FuzzCanonicalKey -fuzztime 10s ./internal/scenario/
+	$(GO) test -run FuzzScriptParse -fuzz FuzzScriptParse -fuzztime 10s ./internal/script/
+	$(GO) test -run FuzzScriptEval -fuzz FuzzScriptEval -fuzztime 10s ./internal/script/
 
 # Crash-consistency harness: a seeded 200+-operation trace against the
 # MemFS-backed fleet store, power-cycled after every single filesystem
@@ -98,6 +105,12 @@ bench-json:
 # interval), written to BENCH_7.json at the repo root.
 bench-export:
 	./scripts/bench_export.sh
+
+# Scripting sandbox overhead snapshot: the same 1000-scenario sweep
+# priced through a script program versus the direct colbatch path,
+# written to BENCH_9.json at the repo root.
+bench-script:
+	./scripts/bench_script.sh
 
 run-actd:
 	$(GO) run ./cmd/actd -addr :8080

@@ -12,7 +12,7 @@ func TestRunConform(t *testing.T) {
 		t.Fatalf("runConform: %v\n%s", err, out.String())
 	}
 	got := out.String()
-	for _, want := range []string{"conform:", "25 scenarios", "5 surfaces", "ok"} {
+	for _, want := range []string{"conform:", "25 scenarios", "6 surfaces", "ok"} {
 		if !strings.Contains(got, want) {
 			t.Errorf("summary missing %q:\n%s", want, got)
 		}

@@ -11,6 +11,7 @@
 //	act fleet -file fleet.ndjson [-top K] [-by region|node|class]
 //	act export -file fleet.ndjson [-at RFC3339]  # one telemetry snapshot, line protocol
 //	act conform [-seed S] [-n N]  # cross-surface conformance harness
+//	act script -file prog.act [-max-steps N] [-max-bytes N] [-timeout 5s]
 //
 // The json format emits the same result document actd serves from
 // POST /v1/footprint, byte for byte, so pipelines can swap between the CLI
@@ -72,6 +73,13 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "conform" {
 		if err := runConform(os.Args[2:], os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "act:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "script" {
+		if err := runScript(os.Args[2:], os.Stdin, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "act:", err)
 			os.Exit(1)
 		}

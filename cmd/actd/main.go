@@ -12,11 +12,13 @@
 //	     [-fleet-wal-segment-bytes N] [-fleet-compact-interval 5m]
 //	     [-export-url URL[,URL...]] [-export-interval 10s]
 //	     [-export-rate BYTES/S] [-export-queue-depth N] [-export-workers N]
+//	     [-script-max-steps N] [-script-max-bytes N] [-script-timeout 5s]
 //
 // Endpoints:
 //
 //	POST   /v1/footprint          evaluate one scenario object or a batch array
 //	POST   /v1/sweep              rank candidates / Pareto frontier
+//	POST   /v1/script             run a sandboxed scenario program under budgets
 //	POST   /v1/fleet/devices      ingest NDJSON fleet devices
 //	GET    /v1/fleet/summary      fleet-wide totals (?top=K&by=region|node|class)
 //	DELETE /v1/fleet/devices/{id} unregister one device
@@ -88,6 +90,9 @@ func main() {
 		expRate    = flag.Int("export-rate", 0, "telemetry egress budget in bytes/sec (0 = unlimited)")
 		expQueue   = flag.Int("export-queue-depth", 0, "pending telemetry payloads before drop-oldest (0 = default 64)")
 		expWorkers = flag.Int("export-workers", 0, "telemetry delivery workers (0 = default 2)")
+		scSteps    = flag.Int64("script-max-steps", 0, "evaluator steps per /v1/script program (0 = default 5000000, negative disables)")
+		scBytes    = flag.Int64("script-max-bytes", 0, "allocation estimate per /v1/script program in bytes (0 = default 16 MiB, negative disables)")
+		scTimeout  = flag.Duration("script-timeout", 0, "wall-clock budget per /v1/script program (0 = default 5s)")
 	)
 	flag.Parse()
 
@@ -103,6 +108,9 @@ func main() {
 		BreakerThreshold: *brkThresh,
 		BreakerOpenFor:   *brkOpenFor,
 		FleetShards:      *flShards,
+		ScriptMaxSteps:   *scSteps,
+		ScriptMaxBytes:   *scBytes,
+		ScriptTimeout:    *scTimeout,
 	}
 	exp := exportConfig{
 		urls:       splitURLs(*expURLs),

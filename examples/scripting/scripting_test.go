@@ -1,0 +1,69 @@
+// Golden tests for the committed case-study scripts: each .act file runs
+// through the sandboxed interpreter under default budgets and its full
+// result envelope must match testdata/<name>.golden byte for byte. The
+// envelopes are what `act script -file examples/scripting/<name>.act`
+// prints, so the goldens double as documented example output. Regenerate
+// with:
+//
+//	go test ./examples/scripting/ -run TestCaseStudyGoldens -update-scripting-golden
+
+package scripting
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"act/internal/script"
+)
+
+var updateGolden = flag.Bool("update-scripting-golden", false,
+	"rewrite testdata/*.golden from the current interpreter output")
+
+func TestCaseStudyGoldens(t *testing.T) {
+	files, err := filepath.Glob("*.act")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 3 {
+		t.Fatalf("expected the 3 committed case studies, found %v", files)
+	}
+	for _, file := range files {
+		name := file[:len(file)-len(".act")]
+		t.Run(name, func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := script.Eval(context.Background(), string(src), script.Options{})
+			if err != nil {
+				t.Fatalf("evaluating %s: %v", file, err)
+			}
+			var got bytes.Buffer
+			if err := res.Encode(&got); err != nil {
+				t.Fatal(err)
+			}
+			goldenPath := filepath.Join("testdata", name+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(goldenPath, got.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("rewrote %s", goldenPath)
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("reading golden (regenerate with -update-scripting-golden): %v", err)
+			}
+			if !bytes.Equal(got.Bytes(), want) {
+				t.Errorf("%s output drifted from its golden.\n got:\n%s\nwant:\n%s", file, got.Bytes(), want)
+			}
+		})
+	}
+}

@@ -112,6 +112,35 @@ func IsInvalid(err error) bool {
 		errors.Is(err, ErrUnsupportedVersion)
 }
 
+// BudgetError reports an exhausted script resource budget: the evaluator
+// cut an untrusted program off at a hard limit (step count, allocation
+// estimate, wall-clock deadline, call depth). It is deterministic and the
+// client's to fix — shrink the program or raise the budget — so actd maps
+// it to 400 with the `script_budget` envelope code, never to a retryable
+// 5xx. Matched with errors.As / IsBudget.
+type BudgetError struct {
+	// Resource names the exhausted budget: "steps", "alloc", "deadline"
+	// or "depth".
+	Resource string
+	// Limit is the configured cap in the resource's unit (steps, bytes,
+	// nanoseconds, frames). Zero when the unit has no meaningful scalar.
+	Limit int64
+}
+
+func (e *BudgetError) Error() string {
+	if e.Limit > 0 {
+		return fmt.Sprintf("script budget exhausted: %s limit %d reached", e.Resource, e.Limit)
+	}
+	return fmt.Sprintf("script budget exhausted: %s limit reached", e.Resource)
+}
+
+// IsBudget reports whether err carries a BudgetError anywhere in its
+// chain — the "program hit a hard resource limit" class.
+func IsBudget(err error) bool {
+	var b *BudgetError
+	return errors.As(err, &b)
+}
+
 // TransientError marks a failure as transient infrastructure trouble — a
 // fault in the worker pool, the footprint cache, or a characterization
 // lookup that is expected to succeed if simply tried again. The resilience

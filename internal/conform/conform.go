@@ -1,7 +1,8 @@
-// Package conform is the cross-surface conformance harness. Five surfaces
+// Package conform is the cross-surface conformance harness. Six surfaces
 // now price the same ACT model (Gupta et al., ISCA 2022): the library, the
 // cmd/act wire pipeline, actd's /v1/footprint (single and batch), the
-// columnar batch engine, and the fleet registry's ingest→summary refold.
+// columnar batch engine, the sandboxed script interpreter, and the fleet
+// registry's ingest→summary refold.
 // Each grew its own spot checks; none proves they still agree as the model
 // gains capability. This package does, generatively:
 //
@@ -60,7 +61,7 @@ type Config struct {
 	// BatchChunk sizes the whole-corpus batch requests (default 256).
 	BatchChunk int
 	// Surfaces overrides the compared surfaces; index 0 is the reference.
-	// Default: direct, wire, actd-single, actd-batch, columnar.
+	// Default: direct, wire, actd-single, actd-batch, columnar, script.
 	Surfaces []Surface
 	// Logf receives progress lines (default discard).
 	Logf func(format string, args ...any)
@@ -194,6 +195,7 @@ func New(cfg Config) *Engine {
 			httpSingle{client: ts.Client(), url: ts.URL + "/v1/footprint"},
 			httpBatchOne{client: ts.Client(), url: ts.URL + "/v1/footprint"},
 			Columnar{},
+			ScriptSurface{},
 		}
 	}
 	return e

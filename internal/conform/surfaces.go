@@ -1,7 +1,8 @@
-// The five evaluation surfaces. Each one prices a scenario end-to-end the
+// The six evaluation surfaces. Each one prices a scenario end-to-end the
 // way a real client would — the library directly, the CLI's wire round
-// trip, actd's single and batch /v1/footprint, and the in-process columnar
-// batch engine — and hands back the canonical result document bytes. The differential engine asserts those
+// trip, actd's single and batch /v1/footprint, the in-process columnar
+// batch engine, and the sandboxed script interpreter — and hands back the
+// canonical result document bytes. The differential engine asserts those
 // byte slices identical, so any drift between surfaces (an encoder change,
 // a lossy wire round trip, a cache returning a stale shape) shows up as a
 // diff on a concrete scenario rather than a dashboard discrepancy.
@@ -10,6 +11,7 @@ package conform
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -18,6 +20,7 @@ import (
 	"act/internal/colbatch"
 	"act/internal/report"
 	"act/internal/scenario"
+	"act/internal/script"
 )
 
 // Surface evaluates one scenario into the canonical result document (the
@@ -84,6 +87,32 @@ func (Columnar) Eval(spec *scenario.Spec) ([]byte, error) {
 	}
 	// The document lives in a pooled arena reclaimed by Close.
 	return bytes.Clone(r.Doc(0)), nil
+}
+
+// ScriptSurface is the sandboxed interpreter path: the spec is pasted into
+// a one-expression program as a map literal and priced through the
+// footprint_doc host call, which returns the canonical result document as
+// a script string. Any drift in the interpreter's JSON round trip (map
+// literal decode, host-call spec rebuild, document pass-through) shows up
+// here as a byte diff against Direct.
+type ScriptSurface struct{}
+
+func (ScriptSurface) Name() string { return "script" }
+
+func (ScriptSurface) Eval(spec *scenario.Spec) ([]byte, error) {
+	data, err := scenario.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	res, err := script.Eval(context.Background(), "footprint_doc("+string(data)+")", script.Options{})
+	if err != nil {
+		return nil, err
+	}
+	doc, ok := res.Value.(string)
+	if !ok {
+		return nil, fmt.Errorf("conform: footprint_doc returned %T, want string", res.Value)
+	}
+	return []byte(doc), nil
 }
 
 // HTTPError is a non-200 answer from an actd surface, carrying the typed

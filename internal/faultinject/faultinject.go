@@ -59,6 +59,11 @@ const (
 	// directory fsync — in the vfs layer, so chaos tests can fail the
 	// exact syscall power-loss safety depends on.
 	SiteVFSSync = "vfs.sync"
+	// SiteScriptEval fires at the top of every sandboxed script
+	// evaluation, before the program runs, so chaos tests can fail or
+	// stall untrusted-script evaluation and assert the serving layer
+	// retries transients and answers from the status taxonomy.
+	SiteScriptEval = "script.eval"
 )
 
 // Fault is what a hook asks the site to do, applied in order: sleep for

@@ -1,0 +1,44 @@
+package script
+
+import "fmt"
+
+// Pos is a 1-based source position.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Error is a script-level failure — a lex/parse error or a runtime fault
+// the program itself caused (type mismatch, unknown name, index out of
+// range, invalid scenario passed to footprint). It is the client's to
+// fix; actd maps it to 400 with the `invalid_script` envelope code.
+// Resource-limit cutoffs are *acterr.BudgetError instead, never this.
+type Error struct {
+	// Pos locates the failure in the source when known; the zero Pos
+	// means "no position" (e.g. a source-size rejection).
+	Pos Pos
+	// Msg describes the failure.
+	Msg string
+	// Err is the optional underlying cause, exposed via Unwrap.
+	Err error
+}
+
+func (e *Error) Error() string {
+	msg := e.Msg
+	if msg == "" && e.Err != nil {
+		msg = e.Err.Error()
+	}
+	if e.Pos.Line > 0 {
+		return fmt.Sprintf("script:%s: %s", e.Pos, msg)
+	}
+	return "script: " + msg
+}
+
+func (e *Error) Unwrap() error { return e.Err }
+
+// errAt builds a positioned script error.
+func errAt(pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

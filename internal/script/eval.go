@@ -1,0 +1,698 @@
+package script
+
+import (
+	"context"
+	"math"
+
+	"act/internal/acterr"
+)
+
+// env is one lexical scope.
+type env struct {
+	parent *env
+	vars   map[string]Value
+}
+
+func newEnv(parent *env) *env {
+	return &env{parent: parent, vars: map[string]Value{}}
+}
+
+func (e *env) lookup(name string) (Value, bool) {
+	for s := e; s != nil; s = s.parent {
+		if v, ok := s.vars[name]; ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// assign overwrites the nearest existing binding; reports false if none.
+func (e *env) assign(name string, v Value) bool {
+	for s := e; s != nil; s = s.parent {
+		if _, ok := s.vars[name]; ok {
+			s.vars[name] = v
+			return true
+		}
+	}
+	return false
+}
+
+// Control-flow sentinels, carried as errors through the evaluator and
+// consumed by the loop/function that owns them.
+type ctrlReturn struct{ val Value }
+type ctrlBreak struct{}
+type ctrlContinue struct{}
+
+func (ctrlReturn) Error() string   { return "return outside function" }
+func (ctrlBreak) Error() string    { return "break outside loop" }
+func (ctrlContinue) Error() string { return "continue outside loop" }
+
+// ctxCheckInterval is how many budget steps pass between context polls.
+// Small enough that a deadline cuts a tight loop off promptly, large
+// enough that the poll is amortized to noise.
+const ctxCheckInterval = 1024
+
+// interp is one evaluation's state. It is single-goroutine; nothing here
+// needs locking, and the evaluator never spawns goroutines, so a cut-off
+// program leaks none.
+type interp struct {
+	ctx      context.Context // budget-bounded context (outer + script timeout)
+	outerCtx context.Context // the caller's context, unwrapped
+	budget   Budget
+	steps    int64
+	alloc    int64
+	depth    int
+	untilCtx int // steps until the next context poll
+	emits    []Emit
+	globals  *env
+}
+
+// step charges n evaluator steps and polls the context every
+// ctxCheckInterval steps.
+func (in *interp) step(n int64) error {
+	in.steps += n
+	if in.budget.MaxSteps > 0 && in.steps > in.budget.MaxSteps {
+		return &acterr.BudgetError{Resource: "steps", Limit: in.budget.MaxSteps}
+	}
+	in.untilCtx -= int(n)
+	if in.untilCtx <= 0 {
+		in.untilCtx = ctxCheckInterval
+		return in.checkCtx()
+	}
+	return nil
+}
+
+// checkCtx polls the evaluation context. The caller's own deadline or
+// cancellation outranks the script budget: only when the outer context is
+// still live is Done attributed to the script's wall-clock budget.
+func (in *interp) checkCtx() error {
+	select {
+	case <-in.ctx.Done():
+		if err := in.outerCtx.Err(); err != nil {
+			return err
+		}
+		return &acterr.BudgetError{Resource: "deadline", Limit: int64(in.budget.Timeout)}
+	default:
+		return nil
+	}
+}
+
+// charge adds n bytes to the allocation estimate and enforces the cap.
+func (in *interp) charge(n int64) error {
+	in.alloc += n
+	if in.budget.MaxAllocBytes > 0 && in.alloc > in.budget.MaxAllocBytes {
+		return &acterr.BudgetError{Resource: "alloc", Limit: in.budget.MaxAllocBytes}
+	}
+	return nil
+}
+
+// chargeValue charges the full estimated size of v.
+func (in *interp) chargeValue(v Value) error {
+	n, err := sizeOf(v, 0)
+	if err != nil {
+		return err
+	}
+	return in.charge(n)
+}
+
+// run executes a parsed program: statements in order, the value of the
+// last top-level expression statement (or an explicit top-level return)
+// is the program's value.
+func (in *interp) run(prog []stmt) (Value, error) {
+	in.untilCtx = ctxCheckInterval
+	in.globals = newEnv(nil)
+	registerBuiltins(in.globals)
+	registerHost(in.globals)
+	top := newEnv(in.globals)
+	var last Value
+	for _, s := range prog {
+		v, has, err := in.execStmt(top, s)
+		if err != nil {
+			if r, ok := err.(ctrlReturn); ok {
+				return r.val, nil
+			}
+			if _, ok := err.(ctrlBreak); ok {
+				return nil, errAt(s.stmtPos(), "break outside a loop")
+			}
+			if _, ok := err.(ctrlContinue); ok {
+				return nil, errAt(s.stmtPos(), "continue outside a loop")
+			}
+			return nil, err
+		}
+		if has {
+			last = v
+		}
+	}
+	return last, nil
+}
+
+// execBlock runs a statement list in a fresh child scope.
+func (in *interp) execBlock(parent *env, body []stmt) error {
+	scope := newEnv(parent)
+	for _, s := range body {
+		if _, _, err := in.execStmt(scope, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// execStmt executes one statement. The Value/bool pair reports the value
+// of an expression statement (for program-result tracking at top level).
+func (in *interp) execStmt(scope *env, s stmt) (Value, bool, error) {
+	if err := in.step(1); err != nil {
+		return nil, false, err
+	}
+	switch st := s.(type) {
+	case *letStmt:
+		v, err := in.evalExpr(scope, st.val)
+		if err != nil {
+			return nil, false, err
+		}
+		scope.vars[st.name] = v
+		return nil, false, nil
+	case *assignStmt:
+		return nil, false, in.execAssign(scope, st)
+	case *exprStmt:
+		v, err := in.evalExpr(scope, st.x)
+		if err != nil {
+			return nil, false, err
+		}
+		return v, true, nil
+	case *ifStmt:
+		cond, err := in.evalExpr(scope, st.cond)
+		if err != nil {
+			return nil, false, err
+		}
+		b, ok := cond.(bool)
+		if !ok {
+			return nil, false, errAt(st.cond.exprPos(), "if condition must be a bool, got %s", typeName(cond))
+		}
+		if b {
+			return nil, false, in.execBlock(scope, st.then)
+		}
+		if st.els != nil {
+			return nil, false, in.execBlock(scope, st.els)
+		}
+		return nil, false, nil
+	case *whileStmt:
+		for {
+			cond, err := in.evalExpr(scope, st.cond)
+			if err != nil {
+				return nil, false, err
+			}
+			b, ok := cond.(bool)
+			if !ok {
+				return nil, false, errAt(st.cond.exprPos(), "for condition must be a bool, got %s", typeName(cond))
+			}
+			if !b {
+				return nil, false, nil
+			}
+			if err := in.execBlock(scope, st.body); err != nil {
+				if _, ok := err.(ctrlBreak); ok {
+					return nil, false, nil
+				}
+				if _, ok := err.(ctrlContinue); ok {
+					continue
+				}
+				return nil, false, err
+			}
+			if err := in.step(1); err != nil {
+				return nil, false, err
+			}
+		}
+	case *forInStmt:
+		return nil, false, in.execForIn(scope, st)
+	case *returnStmt:
+		var v Value
+		if st.val != nil {
+			var err error
+			if v, err = in.evalExpr(scope, st.val); err != nil {
+				return nil, false, err
+			}
+		}
+		return nil, false, ctrlReturn{val: v}
+	case *breakStmt:
+		return nil, false, ctrlBreak{}
+	case *continueStmt:
+		return nil, false, ctrlContinue{}
+	default:
+		return nil, false, errAt(s.stmtPos(), "internal: unknown statement %T", s)
+	}
+}
+
+func (in *interp) execForIn(scope *env, st *forInStmt) error {
+	x, err := in.evalExpr(scope, st.x)
+	if err != nil {
+		return err
+	}
+	iter := func(k, v Value) error {
+		if err := in.step(1); err != nil {
+			return err
+		}
+		body := newEnv(scope)
+		if st.k != "" {
+			body.vars[st.k] = k
+			body.vars[st.v] = v
+		} else {
+			body.vars[st.v] = v
+		}
+		for _, s := range st.body {
+			if _, _, err := in.execStmt(body, s); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	loop := func(f func() error) error {
+		err := f()
+		if err != nil {
+			if _, ok := err.(ctrlBreak); ok {
+				return errStopIteration
+			}
+			if _, ok := err.(ctrlContinue); ok {
+				return nil
+			}
+		}
+		return err
+	}
+	switch seq := x.(type) {
+	case *List:
+		for i, e := range seq.Elems {
+			if err := loop(func() error { return iter(float64(i), e) }); err != nil {
+				if err == errStopIteration {
+					return nil
+				}
+				return err
+			}
+		}
+		return nil
+	case *Map:
+		// Iterate a snapshot of the key order so the body may mutate
+		// the map without corrupting the walk.
+		keys := make([]string, len(seq.keys))
+		copy(keys, seq.keys)
+		if err := in.charge(int64(16 * len(keys))); err != nil {
+			return err
+		}
+		for _, k := range keys {
+			v, ok := seq.vals[k]
+			if !ok {
+				continue
+			}
+			if err := loop(func() error { return iter(k, v) }); err != nil {
+				if err == errStopIteration {
+					return nil
+				}
+				return err
+			}
+		}
+		return nil
+	case string:
+		for _, r := range seq {
+			r := r
+			if err := loop(func() error { return iter(nil, string(r)) }); err != nil {
+				if err == errStopIteration {
+					return nil
+				}
+				return err
+			}
+		}
+		return nil
+	default:
+		return errAt(st.x.exprPos(), "cannot iterate over a %s", typeName(x))
+	}
+}
+
+// errStopIteration is an internal marker used only inside execForIn.
+var errStopIteration = &Error{Msg: "internal: stop iteration"}
+
+func (in *interp) execAssign(scope *env, st *assignStmt) error {
+	v, err := in.evalExpr(scope, st.val)
+	if err != nil {
+		return err
+	}
+	switch t := st.target.(type) {
+	case *identExpr:
+		if !scope.assign(t.name, v) {
+			return errAt(t.pos, "cannot assign to undefined variable %q (declare it with let)", t.name)
+		}
+		return nil
+	case *indexExpr:
+		container, err := in.evalExpr(scope, t.x)
+		if err != nil {
+			return err
+		}
+		idx, err := in.evalExpr(scope, t.idx)
+		if err != nil {
+			return err
+		}
+		switch c := container.(type) {
+		case *List:
+			i, err := listIndex(t.pos, idx, len(c.Elems))
+			if err != nil {
+				return err
+			}
+			c.Elems[i] = v
+			return nil
+		case *Map:
+			k, ok := idx.(string)
+			if !ok {
+				return errAt(t.pos, "map key must be a string, got %s", typeName(idx))
+			}
+			if _, exists := c.Get(k); !exists {
+				if err := in.charge(32 + int64(len(k))); err != nil {
+					return err
+				}
+			}
+			c.Set(k, v)
+			return nil
+		default:
+			return errAt(t.pos, "cannot index-assign into a %s", typeName(container))
+		}
+	default:
+		return errAt(st.pos, "internal: bad assignment target %T", st.target)
+	}
+}
+
+// listIndex validates a numeric index against a list of length n.
+func listIndex(pos Pos, idx Value, n int) (int, error) {
+	f, ok := idx.(float64)
+	if !ok {
+		return 0, errAt(pos, "list index must be a number, got %s", typeName(idx))
+	}
+	i := int(f)
+	if float64(i) != f {
+		return 0, errAt(pos, "list index must be an integer, got %v", f)
+	}
+	if i < 0 || i >= n {
+		return 0, errAt(pos, "list index %d out of range (len %d)", i, n)
+	}
+	return i, nil
+}
+
+func (in *interp) evalExpr(scope *env, e expr) (Value, error) {
+	if err := in.step(1); err != nil {
+		return nil, err
+	}
+	switch ex := e.(type) {
+	case *numLit:
+		return ex.val, nil
+	case *strLit:
+		return ex.val, nil
+	case *boolLit:
+		return ex.val, nil
+	case *nilLit:
+		return nil, nil
+	case *identExpr:
+		v, ok := scope.lookup(ex.name)
+		if !ok {
+			return nil, errAt(ex.pos, "undefined name %q", ex.name)
+		}
+		return v, nil
+	case *listLit:
+		if err := in.charge(24 + 16*int64(len(ex.elems))); err != nil {
+			return nil, err
+		}
+		out := &List{Elems: make([]Value, 0, len(ex.elems))}
+		for _, el := range ex.elems {
+			v, err := in.evalExpr(scope, el)
+			if err != nil {
+				return nil, err
+			}
+			out.Elems = append(out.Elems, v)
+		}
+		return out, nil
+	case *mapLit:
+		out := NewMap()
+		for i, kx := range ex.keys {
+			k := kx.(*strLit).val
+			if err := in.charge(32 + int64(len(k))); err != nil {
+				return nil, err
+			}
+			v, err := in.evalExpr(scope, ex.vals[i])
+			if err != nil {
+				return nil, err
+			}
+			if _, dup := out.Get(k); dup {
+				return nil, errAt(kx.exprPos(), "duplicate map key %q", k)
+			}
+			out.Set(k, v)
+		}
+		return out, nil
+	case *indexExpr:
+		return in.evalIndex(scope, ex)
+	case *callExpr:
+		return in.evalCall(scope, ex)
+	case *unaryExpr:
+		return in.evalUnary(scope, ex)
+	case *binExpr:
+		return in.evalBinary(scope, ex)
+	case *fnLit:
+		return &Func{name: ex.name, params: ex.params, body: ex.body, env: scope}, nil
+	default:
+		return nil, errAt(e.exprPos(), "internal: unknown expression %T", e)
+	}
+}
+
+func (in *interp) evalIndex(scope *env, ex *indexExpr) (Value, error) {
+	container, err := in.evalExpr(scope, ex.x)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := in.evalExpr(scope, ex.idx)
+	if err != nil {
+		return nil, err
+	}
+	switch c := container.(type) {
+	case *List:
+		i, err := listIndex(ex.pos, idx, len(c.Elems))
+		if err != nil {
+			return nil, err
+		}
+		return c.Elems[i], nil
+	case *Map:
+		k, ok := idx.(string)
+		if !ok {
+			return nil, errAt(ex.pos, "map key must be a string, got %s", typeName(idx))
+		}
+		v, ok := c.Get(k)
+		if !ok {
+			return nil, errAt(ex.pos, "map has no key %q", k)
+		}
+		return v, nil
+	case string:
+		i, err := listIndex(ex.pos, idx, len(c))
+		if err != nil {
+			return nil, err
+		}
+		return string(c[i]), nil
+	default:
+		return nil, errAt(ex.pos, "cannot index a %s", typeName(container))
+	}
+}
+
+func (in *interp) evalCall(scope *env, ex *callExpr) (Value, error) {
+	fv, err := in.evalExpr(scope, ex.fn)
+	if err != nil {
+		return nil, err
+	}
+	args := make([]Value, len(ex.args))
+	for i, a := range ex.args {
+		if args[i], err = in.evalExpr(scope, a); err != nil {
+			return nil, err
+		}
+	}
+	switch f := fv.(type) {
+	case *Builtin:
+		// Builtins run host code: poll the context at the boundary so a
+		// deadline cuts off even a single long host call promptly.
+		if err := in.checkCtx(); err != nil {
+			return nil, err
+		}
+		return f.fn(in, ex.pos, args)
+	case *Func:
+		if len(args) != len(f.params) {
+			return nil, errAt(ex.pos, "%s takes %d argument(s), got %d", fnName(f), len(f.params), len(args))
+		}
+		in.depth++
+		if in.budget.MaxDepth > 0 && in.depth > in.budget.MaxDepth {
+			in.depth--
+			return nil, &acterr.BudgetError{Resource: "depth", Limit: int64(in.budget.MaxDepth)}
+		}
+		defer func() { in.depth-- }()
+		frame := newEnv(f.env)
+		for i, p := range f.params {
+			frame.vars[p] = args[i]
+		}
+		for _, s := range f.body {
+			if _, _, err := in.execStmt(frame, s); err != nil {
+				if r, ok := err.(ctrlReturn); ok {
+					return r.val, nil
+				}
+				// A call is a control-flow boundary: break/continue may
+				// not escape the function that contains them.
+				if _, ok := err.(ctrlBreak); ok {
+					return nil, errAt(s.stmtPos(), "break outside a loop")
+				}
+				if _, ok := err.(ctrlContinue); ok {
+					return nil, errAt(s.stmtPos(), "continue outside a loop")
+				}
+				return nil, err
+			}
+		}
+		return nil, nil
+	default:
+		return nil, errAt(ex.pos, "cannot call a %s", typeName(fv))
+	}
+}
+
+func fnName(f *Func) string {
+	if f.name == "" {
+		return "function"
+	}
+	return "function " + f.name
+}
+
+func (in *interp) evalUnary(scope *env, ex *unaryExpr) (Value, error) {
+	v, err := in.evalExpr(scope, ex.x)
+	if err != nil {
+		return nil, err
+	}
+	switch ex.op {
+	case "-":
+		f, ok := v.(float64)
+		if !ok {
+			return nil, errAt(ex.pos, "unary - needs a number, got %s", typeName(v))
+		}
+		return -f, nil
+	case "!":
+		b, ok := v.(bool)
+		if !ok {
+			return nil, errAt(ex.pos, "! needs a bool, got %s", typeName(v))
+		}
+		return !b, nil
+	default:
+		return nil, errAt(ex.pos, "internal: unknown unary %q", ex.op)
+	}
+}
+
+func (in *interp) evalBinary(scope *env, ex *binExpr) (Value, error) {
+	// Short-circuit logic first.
+	if ex.op == "&&" || ex.op == "||" {
+		l, err := in.evalExpr(scope, ex.x)
+		if err != nil {
+			return nil, err
+		}
+		lb, ok := l.(bool)
+		if !ok {
+			return nil, errAt(ex.pos, "%s needs bool operands, got %s", ex.op, typeName(l))
+		}
+		if (ex.op == "&&" && !lb) || (ex.op == "||" && lb) {
+			return lb, nil
+		}
+		r, err := in.evalExpr(scope, ex.y)
+		if err != nil {
+			return nil, err
+		}
+		rb, ok := r.(bool)
+		if !ok {
+			return nil, errAt(ex.pos, "%s needs bool operands, got %s", ex.op, typeName(r))
+		}
+		return rb, nil
+	}
+	l, err := in.evalExpr(scope, ex.x)
+	if err != nil {
+		return nil, err
+	}
+	r, err := in.evalExpr(scope, ex.y)
+	if err != nil {
+		return nil, err
+	}
+	switch ex.op {
+	case "==", "!=":
+		eq, err := deepEqual(l, r, 0)
+		if err != nil {
+			return nil, err
+		}
+		if ex.op == "!=" {
+			return !eq, nil
+		}
+		return eq, nil
+	case "+":
+		if lf, ok := l.(float64); ok {
+			rf, ok := r.(float64)
+			if !ok {
+				return nil, errAt(ex.pos, "cannot add number and %s", typeName(r))
+			}
+			return lf + rf, nil
+		}
+		if ls, ok := l.(string); ok {
+			rs, ok := r.(string)
+			if !ok {
+				return nil, errAt(ex.pos, "cannot add string and %s", typeName(r))
+			}
+			if err := in.charge(16 + int64(len(ls)+len(rs))); err != nil {
+				return nil, err
+			}
+			return ls + rs, nil
+		}
+		return nil, errAt(ex.pos, "+ needs numbers or strings, got %s", typeName(l))
+	case "-", "*", "/", "%":
+		lf, ok := l.(float64)
+		if !ok {
+			return nil, errAt(ex.pos, "%s needs numbers, got %s", ex.op, typeName(l))
+		}
+		rf, ok := r.(float64)
+		if !ok {
+			return nil, errAt(ex.pos, "%s needs numbers, got %s", ex.op, typeName(r))
+		}
+		switch ex.op {
+		case "-":
+			return lf - rf, nil
+		case "*":
+			return lf * rf, nil
+		case "/":
+			if rf == 0 {
+				return nil, errAt(ex.pos, "division by zero")
+			}
+			return lf / rf, nil
+		default: // %
+			if rf == 0 {
+				return nil, errAt(ex.pos, "modulo by zero")
+			}
+			return math.Mod(lf, rf), nil
+		}
+	case "<", "<=", ">", ">=":
+		if lf, ok := l.(float64); ok {
+			rf, ok := r.(float64)
+			if !ok {
+				return nil, errAt(ex.pos, "cannot compare number with %s", typeName(r))
+			}
+			return compareOrd(ex.op, lf < rf, lf == rf), nil
+		}
+		if ls, ok := l.(string); ok {
+			rs, ok := r.(string)
+			if !ok {
+				return nil, errAt(ex.pos, "cannot compare string with %s", typeName(r))
+			}
+			return compareOrd(ex.op, ls < rs, ls == rs), nil
+		}
+		return nil, errAt(ex.pos, "%s needs numbers or strings, got %s", ex.op, typeName(l))
+	default:
+		return nil, errAt(ex.pos, "internal: unknown operator %q", ex.op)
+	}
+}
+
+func compareOrd(op string, less, eq bool) bool {
+	switch op {
+	case "<":
+		return less
+	case "<=":
+		return less || eq
+	case ">":
+		return !less && !eq
+	default: // >=
+		return !less
+	}
+}

@@ -1,0 +1,282 @@
+package script
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// evalValue runs src with default budgets and returns the program value.
+func evalValue(t *testing.T, src string) Value {
+	t.Helper()
+	res, err := Eval(context.Background(), src, Options{})
+	if err != nil {
+		t.Fatalf("Eval(%q): %v", src, err)
+	}
+	return res.Value
+}
+
+// evalErr runs src and returns the error, failing if it succeeds.
+func evalErr(t *testing.T, src string) error {
+	t.Helper()
+	_, err := Eval(context.Background(), src, Options{})
+	if err == nil {
+		t.Fatalf("Eval(%q) unexpectedly succeeded", src)
+	}
+	return err
+}
+
+func TestEvalExpressions(t *testing.T) {
+	cases := []struct {
+		src  string
+		want Value
+	}{
+		{"1 + 2 * 3", 7.0},
+		{"(1 + 2) * 3", 9.0},
+		{"7 % 3", 1.0},
+		{"2 * -3", -6.0},
+		{"10 / 4", 2.5},
+		{`"a" + "b"`, "ab"},
+		{"1 < 2", true},
+		{`"a" < "b"`, true},
+		{"3 >= 3", true},
+		{"1 == 1.0", true},
+		{"[1, 2] == [1, 2]", true},
+		{`{"a": 1} == {"a": 1}`, true},
+		{`{"a": 1} == {"a": 2}`, false},
+		{"nil == nil", true},
+		{"1 != 2", true},
+		{"true && false", false},
+		{"true || false", true},
+		{"not false", true},
+		{"true and true", true},
+		{"false or true", true},
+		{"!true", false},
+		{"-(-5)", 5.0},
+		{`len("abc")`, 3.0},
+		{"len([1, 2])", 2.0},
+		{`len({"a": 1})`, 1.0},
+		{`"abc"[1]`, "b"},
+		{"min(3, 1, 2)", 1.0},
+		{"max([3, 1, 2])", 3.0},
+		{"abs(-2.5)", 2.5},
+		{"floor(1.9)", 1.0},
+		{"ceil(1.1)", 2.0},
+		{"round(2.5)", 3.0},
+		{"sqrt(16)", 4.0},
+		{"pow(2, 10)", 1024.0},
+		{`num("3.5")`, 3.5},
+		{"num(true)", 1.0},
+		{`str(42)`, "42"},
+		{`join(["a", "b"], "-")`, "a-b"},
+		{`format("%.2f", 1.0/3.0)`, "0.33"},
+		{`sum(range(1, 4))`, 6.0},
+		{"len(range(0, 1, 0.25))", 4.0},
+		{`has({"a": 1}, "a")`, true},
+		{`has({"a": 1}, "b")`, false},
+		{`sort([3, 1, 2])[0]`, 1.0},
+		{`sort([{"v": 3}, {"v": 1}], "v")[0].v`, 1.0},
+	}
+	for _, c := range cases {
+		got := evalValue(t, c.src)
+		eq, err := deepEqual(got, c.want, 0)
+		if err != nil || !eq {
+			t.Errorf("Eval(%q) = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestEvalStatements(t *testing.T) {
+	cases := []struct {
+		src  string
+		want Value
+	}{
+		{"let x = 1\nx = x + 1\nx", 2.0},
+		{"let l = [1]\nl[0] = 9\nl[0]", 9.0},
+		{`let m = {"a": 1}` + "\n" + `m["b"] = 2` + "\n" + "m.a + m.b", 3.0},
+		{`let m = {"a": 1}` + "\n" + "m.a = 5\nm.a", 5.0},
+		{"let s = 0\nfor i in range(10) { s = s + i }\ns", 45.0},
+		{"let s = 0\nfor i, v in [10, 20] { s = s + i * v }\ns", 20.0},
+		{"let s = \"\"\nfor k, v in ({\"x\": 1, \"y\": 2}) { s = s + k }\ns", "xy"},
+		{"let s = \"\"\nfor c in \"héllo\" { s = c + s }\nlen(s)", 6.0},
+		{"let i = 0\nfor i < 5 { i = i + 2 }\ni", 6.0},
+		{"let s = 0\nfor i in range(10) { if i == 3 { break }\ns = s + i }\ns", 3.0},
+		{"let s = 0\nfor i in range(5) { if i % 2 == 0 { continue }\ns = s + i }\ns", 4.0},
+		{"fn add(a, b) { return a + b }\nadd(2, 3)", 5.0},
+		{"fn f() { }\nf()", nil},
+		{"let g = fn(x) { return x * 2 }\ng(21)", 42.0},
+		{"fn outer() { let n = 10\nreturn fn(x) { return x + n } }\nouter()(5)", 15.0},
+		{"fn fib(n) { if n < 2 { return n }\nreturn fib(n-1) + fib(n-2) }\nfib(12)", 144.0},
+		{"let r = nil\nif 2 > 1 { r = \"a\" } else { r = \"b\" }\nr", "a"},
+		{"let r = nil\nif 1 > 2 { r = 1 } else if 2 > 2 { r = 2 } else { r = 3 }\nr", 3.0},
+		{"return 7\n8", 7.0},
+		{"5\n", 5.0},
+		{"", nil},
+		// Loop bodies get a fresh scope per iteration; let inside does
+		// not leak out, and closures capture the iteration variable.
+		{"let fs = []\nfor i in range(3) { fs = append(fs, fn() { return i }) }\nfs[0]() + fs[1]() + fs[2]()", 3.0},
+	}
+	for _, c := range cases {
+		got := evalValue(t, c.src)
+		eq, err := deepEqual(got, c.want, 0)
+		if err != nil || !eq {
+			t.Errorf("Eval(%q) = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestEvalRuntimeErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		frag string
+	}{
+		{"x", `undefined name "x"`},
+		{"x = 1", "undefined variable"},
+		{"1 + \"a\"", "cannot add"},
+		{"\"a\" - 1", "- needs numbers"},
+		{"1 / 0", "division by zero"},
+		{"1 % 0", "modulo by zero"},
+		{"if 1 { }", "must be a bool"},
+		{"for 1 { }", "must be a bool"},
+		{"1 && true", "needs bool"},
+		{"true && 1", "needs bool"},
+		{"!5", "needs a bool"},
+		{"-\"a\"", "needs a number"},
+		{"[1][2]", "out of range"},
+		{"[1][-1]", "out of range"},
+		{"[1][0.5]", "must be an integer"},
+		{`{"a": 1}["b"]`, `no key "b"`},
+		{`{"a": 1}[0]`, "key must be a string"},
+		{"5[0]", "cannot index"},
+		{"nil()", "cannot call"},
+		{"fn f(a) { }\nf()", "takes 1 argument"},
+		{"for x in 5 { }", "cannot iterate"},
+		{"break", "break outside a loop"},
+		{"continue", "continue outside a loop"},
+		{"fn f() { break }\nfor i in range(3) { f() }", "break outside"},
+		{"len(5)", "len needs"},
+		{"sum([1, \"a\"])", "list of numbers"},
+		{"sort([true])", "sort can order"},
+		{"range(0, 1, 0)", "non-zero"},
+		{"num(\"zzz\")", "cannot parse"},
+		{`{"a": 1, "a": 2}`, "duplicate map key"},
+		{"1 < \"a\"", "cannot compare"},
+	}
+	for _, c := range cases {
+		err := evalErr(t, c.src)
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("Eval(%q) error %q does not mention %q", c.src, err, c.frag)
+		}
+		var se *Error
+		if !asError(err, &se) {
+			t.Errorf("Eval(%q) error is %T, want *script.Error", c.src, err)
+		}
+	}
+}
+
+func TestEvalCycleDetected(t *testing.T) {
+	// A self-referential list must fail with a depth error on equality
+	// and encoding, not recurse forever.
+	src := "let l = []\nappend(l, l)\nl == l"
+	if v := evalValue(t, src); v != true {
+		// identity fast path: l == l short-circuits by pointer
+		t.Fatalf("identity compare = %v", v)
+	}
+	res, err := Eval(context.Background(), "let l = []\nappend(l, l)\nl", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := res.Encode(&sb); err == nil {
+		t.Fatal("encoding a cyclic value succeeded")
+	} else if !strings.Contains(err.Error(), "nests deeper") {
+		t.Fatalf("unexpected encode error: %v", err)
+	}
+}
+
+func TestEnvelopeEncode(t *testing.T) {
+	res, err := Eval(context.Background(), `emit("pi", 3.5)
+emit("tags", ["a", "b"])
+{"answer": 42}`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := res.Encode(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := `{
+  "output": {
+    "answer": 42
+  },
+  "emits": [
+    {
+      "name": "pi",
+      "value": 3.5
+    },
+    {
+      "name": "tags",
+      "value": [
+        "a",
+        "b"
+      ]
+    }
+  ],
+  "steps": ` // step count asserted deterministic below, not pinned here
+	if !strings.HasPrefix(got, want) {
+		t.Fatalf("envelope mismatch:\ngot:\n%s\nwant prefix:\n%s", got, want)
+	}
+	if !strings.HasSuffix(got, "\n}\n") {
+		t.Fatalf("envelope must end with newline-brace-newline, got %q", got[len(got)-4:])
+	}
+
+	// Determinism: the same program costs the same steps every time.
+	res2, err := Eval(context.Background(), `emit("pi", 3.5)
+emit("tags", ["a", "b"])
+{"answer": 42}`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Steps != res.Steps {
+		t.Fatalf("step count not deterministic: %d vs %d", res.Steps, res2.Steps)
+	}
+
+	// No emits: the emits key is omitted entirely.
+	res3, err := Eval(context.Background(), "1", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb3 strings.Builder
+	if err := res3.Encode(&sb3); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb3.String(), "emits") {
+		t.Fatalf("emit-less envelope mentions emits: %s", sb3.String())
+	}
+}
+
+func TestEvalSourceSizeCap(t *testing.T) {
+	src := "let x = 1\n" + strings.Repeat("# padding comment line\n", 100)
+	_, err := Eval(context.Background(), src, Options{Budget: Budget{MaxSourceBytes: 64}})
+	if err == nil {
+		t.Fatal("oversized source accepted")
+	}
+	if !strings.Contains(err.Error(), "over the 64-byte limit") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestEvalEmitSnapshotIsolated(t *testing.T) {
+	res, err := Eval(context.Background(), `let l = [1]
+emit("snap", l)
+l[0] = 99
+l`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := res.Emits[0].Value.(*List)
+	if snap.Elems[0] != 1.0 {
+		t.Fatalf("emit snapshot mutated after the fact: %v", snap.Elems[0])
+	}
+}

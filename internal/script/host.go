@@ -1,0 +1,473 @@
+package script
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"act/internal/acterr"
+	"act/internal/colbatch"
+	"act/internal/metrics"
+	"act/internal/report"
+	"act/internal/scenario"
+	"act/internal/units"
+)
+
+// Host-call surcharges, in budget steps. A model evaluation is orders of
+// magnitude more work than an AST node, so host calls bill accordingly —
+// the step budget then bounds host work too, not just interpreter work.
+const (
+	stepsPerFootprint = 100
+	stepsPerCandidate = 10
+)
+
+// hostChunk is how many scenarios one colbatch call evaluates between
+// context polls, so a deadline can cancel mid-host-call on large sweeps.
+const hostChunk = colbatch.DefaultChunk
+
+// registerHost installs the model-facing builtins.
+func registerHost(scope *env) {
+	for _, b := range []*Builtin{
+		{name: "footprint", fn: hostFootprint},
+		{name: "footprint_doc", fn: hostFootprintDoc},
+		{name: "pareto", fn: hostPareto},
+		{name: "rank", fn: hostRank},
+		{name: "emit", fn: hostEmit},
+	} {
+		scope.vars[b.name] = b
+	}
+}
+
+// specFromValue converts a script map into a wire scenario through the
+// strict decoder, so scripts get exactly the validation surface of the
+// HTTP and CLI layers (unknown fields rejected, same error texts).
+func specFromValue(pos Pos, v Value) (*scenario.Spec, error) {
+	m, ok := v.(*Map)
+	if !ok {
+		return nil, errAt(pos, "footprint needs a scenario map or a list of them, got %s", typeName(v))
+	}
+	data, err := appendValueCompact(nil, m, 0)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := scenario.Unmarshal(data)
+	if err != nil {
+		return nil, &Error{Pos: pos, Msg: fmt.Sprintf("invalid scenario: %v", err), Err: err}
+	}
+	return spec, nil
+}
+
+// decodeDoc parses a canonical result document into script values,
+// preserving the document's key order so script output stays as
+// deterministic as the document itself.
+func decodeDoc(in *interp, doc []byte) (Value, error) {
+	if err := in.charge(int64(len(doc)) * 2); err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(doc))
+	dec.UseNumber()
+	v, err := decodeOrdered(dec, 0)
+	if err != nil {
+		return nil, &Error{Msg: fmt.Sprintf("internal: decoding result document: %v", err), Err: err}
+	}
+	return v, nil
+}
+
+// decodeOrdered rebuilds one JSON value from a decoder token stream,
+// keeping object key order.
+func decodeOrdered(dec *json.Decoder, depth int) (Value, error) {
+	if depth > maxValueDepth {
+		return nil, errTooDeep
+	}
+	tok, err := dec.Token()
+	if err != nil {
+		return nil, err
+	}
+	return decodeOrderedFrom(dec, tok, depth)
+}
+
+func decodeOrderedFrom(dec *json.Decoder, tok json.Token, depth int) (Value, error) {
+	switch t := tok.(type) {
+	case json.Delim:
+		switch t {
+		case '{':
+			m := NewMap()
+			for dec.More() {
+				keyTok, err := dec.Token()
+				if err != nil {
+					return nil, err
+				}
+				key, ok := keyTok.(string)
+				if !ok {
+					return nil, fmt.Errorf("object key is %T", keyTok)
+				}
+				v, err := decodeOrdered(dec, depth+1)
+				if err != nil {
+					return nil, err
+				}
+				m.Set(key, v)
+			}
+			if _, err := dec.Token(); err != nil { // consume '}'
+				return nil, err
+			}
+			return m, nil
+		case '[':
+			l := &List{}
+			for dec.More() {
+				v, err := decodeOrdered(dec, depth+1)
+				if err != nil {
+					return nil, err
+				}
+				l.Elems = append(l.Elems, v)
+			}
+			if _, err := dec.Token(); err != nil { // consume ']'
+				return nil, err
+			}
+			return l, nil
+		default:
+			return nil, fmt.Errorf("unexpected delimiter %v", t)
+		}
+	case json.Number:
+		f, err := t.Float64()
+		if err != nil {
+			return nil, err
+		}
+		return f, nil
+	case string:
+		return t, nil
+	case bool:
+		return t, nil
+	case nil:
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("unexpected token %T", tok)
+	}
+}
+
+// evalSpecDoc runs one scenario through the model and returns the
+// canonical result document — the same bytes every other surface emits.
+func evalSpecDoc(spec *scenario.Spec) ([]byte, error) {
+	res, err := spec.Result()
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := report.Encode(&buf, res); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// hostFootprint is footprint(spec-map) → result map, or
+// footprint(list-of-spec-maps) → list of result maps. The list form runs
+// through the columnar batch engine in chunks, polling the context
+// between chunks so deadlines cancel mid-call.
+func hostFootprint(in *interp, pos Pos, args []Value) (Value, error) {
+	if err := argCount("footprint", pos, args, 1, 1); err != nil {
+		return nil, err
+	}
+	if l, ok := args[0].(*List); ok {
+		return footprintBatch(in, pos, l)
+	}
+	if err := in.step(stepsPerFootprint); err != nil {
+		return nil, err
+	}
+	spec, err := specFromValue(pos, args[0])
+	if err != nil {
+		return nil, err
+	}
+	doc, err := evalSpecDoc(spec)
+	if err != nil {
+		return nil, hostEvalError(pos, err)
+	}
+	return decodeDoc(in, doc)
+}
+
+func footprintBatch(in *interp, pos Pos, l *List) (Value, error) {
+	if err := in.step(stepsPerFootprint * int64(len(l.Elems))); err != nil {
+		return nil, err
+	}
+	specs := make([]*scenario.Spec, len(l.Elems))
+	for i, e := range l.Elems {
+		// Spec conversion is JSON-priced per element; poll the context so a
+		// deadline cancels during conversion of a huge list, not after it.
+		if i%hostChunk == 0 {
+			if err := in.checkCtx(); err != nil {
+				return nil, err
+			}
+		}
+		spec, err := specFromValue(pos, e)
+		if err != nil {
+			if se, ok := err.(*Error); ok {
+				se.Msg = fmt.Sprintf("scenario [%d]: %s", i, strings.TrimPrefix(se.Msg, "invalid scenario: "))
+				if se.Msg == fmt.Sprintf("scenario [%d]: ", i) {
+					se.Msg = fmt.Sprintf("scenario [%d]: invalid", i)
+				}
+				return nil, se
+			}
+			return nil, err
+		}
+		specs[i] = spec
+	}
+	out := &List{Elems: make([]Value, 0, len(specs))}
+	if err := in.charge(24 + 16*int64(len(specs))); err != nil {
+		return nil, err
+	}
+	for lo := 0; lo < len(specs); lo += hostChunk {
+		// The poll between chunks is what lets a deadline cancel a
+		// large sweep mid-host-call rather than after it.
+		if err := in.checkCtx(); err != nil {
+			return nil, err
+		}
+		hi := lo + hostChunk
+		if hi > len(specs) {
+			hi = len(specs)
+		}
+		res := colbatch.Eval(specs[lo:hi])
+		for i := 0; i < res.Len(); i++ {
+			if err := res.Err(i); err != nil {
+				res.Close()
+				return nil, hostEvalError(pos, fmt.Errorf("scenario [%d]: %w", lo+i, err))
+			}
+			v, err := decodeDoc(in, res.Doc(i))
+			if err != nil {
+				res.Close()
+				return nil, err
+			}
+			out.Elems = append(out.Elems, v)
+		}
+		res.Close()
+	}
+	return out, nil
+}
+
+// hostFootprintDoc is footprint_doc(spec-map) → the canonical result
+// document as a string, byte-identical to what POST /v1/footprint and
+// `act` emit for the same scenario. This is the primitive the
+// conformance surface leans on.
+func hostFootprintDoc(in *interp, pos Pos, args []Value) (Value, error) {
+	if err := argCount("footprint_doc", pos, args, 1, 1); err != nil {
+		return nil, err
+	}
+	if err := in.step(stepsPerFootprint); err != nil {
+		return nil, err
+	}
+	if err := in.checkCtx(); err != nil {
+		return nil, err
+	}
+	spec, err := specFromValue(pos, args[0])
+	if err != nil {
+		return nil, err
+	}
+	doc, err := evalSpecDoc(spec)
+	if err != nil {
+		return nil, hostEvalError(pos, err)
+	}
+	if err := in.charge(16 + int64(len(doc))); err != nil {
+		return nil, err
+	}
+	return string(doc), nil
+}
+
+// hostEvalError wraps a model-evaluation failure. Validation failures
+// (unknown node, bad field) become script errors — the program passed a
+// bad scenario; infrastructure errors pass through untouched so the
+// serving layer can classify them (transient retry, timeout).
+func hostEvalError(pos Pos, err error) error {
+	if acterr.IsInvalid(err) {
+		return &Error{Pos: pos, Msg: err.Error(), Err: err}
+	}
+	return err
+}
+
+// hostPareto is pareto(points, fields) → the non-dominated subset of
+// points (maps) under lower-is-better on every named numeric field,
+// preserving input order.
+func hostPareto(in *interp, pos Pos, args []Value) (Value, error) {
+	if err := argCount("pareto", pos, args, 2, 2); err != nil {
+		return nil, err
+	}
+	pts, err := wantList("pareto", pos, args[0])
+	if err != nil {
+		return nil, err
+	}
+	fl, err := wantList("pareto", pos, args[1])
+	if err != nil {
+		return nil, err
+	}
+	if len(fl.Elems) == 0 {
+		return nil, errAt(pos, "pareto needs at least one field name")
+	}
+	fields := make([]string, len(fl.Elems))
+	for i, f := range fl.Elems {
+		s, ok := f.(string)
+		if !ok {
+			return nil, errAt(pos, "pareto field names must be strings, got %s", typeName(f))
+		}
+		fields[i] = s
+	}
+	n := len(pts.Elems)
+	// Dominance is O(n²·fields); bill it so the step budget bounds it.
+	if err := in.step(int64(n) * int64(n) * int64(len(fields)) / 4); err != nil {
+		return nil, err
+	}
+	coords := make([][]float64, n)
+	for i, p := range pts.Elems {
+		m, ok := p.(*Map)
+		if !ok {
+			return nil, errAt(pos, "pareto points must be maps, got %s", typeName(p))
+		}
+		row := make([]float64, len(fields))
+		for j, f := range fields {
+			v, ok := m.Get(f)
+			if !ok {
+				return nil, errAt(pos, "pareto point [%d] has no field %q", i, f)
+			}
+			x, ok := v.(float64)
+			if !ok {
+				return nil, errAt(pos, "pareto field %q of point [%d] is a %s, need a number", f, i, typeName(v))
+			}
+			row[j] = x
+		}
+		coords[i] = row
+	}
+	dominates := func(a, b []float64) bool {
+		strict := false
+		for j := range a {
+			if a[j] > b[j] {
+				return false
+			}
+			if a[j] < b[j] {
+				strict = true
+			}
+		}
+		return strict
+	}
+	out := &List{}
+	for i := 0; i < n; i++ {
+		dominated := false
+		for j := 0; j < n && !dominated; j++ {
+			if i != j && dominates(coords[j], coords[i]) {
+				dominated = true
+			}
+		}
+		if !dominated {
+			out.Elems = append(out.Elems, pts.Elems[i])
+		}
+	}
+	if err := in.charge(24 + 16*int64(len(out.Elems))); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// hostRank is rank(metric, candidates) → candidates scored and sorted
+// best-first under a Table 2 metric, mirroring the POST /v1/sweep rank
+// section. Candidates are maps with name / embodied_g / energy_j /
+// delay_s / area_mm2 fields (area optional unless the metric needs it).
+func hostRank(in *interp, pos Pos, args []Value) (Value, error) {
+	if err := argCount("rank", pos, args, 2, 2); err != nil {
+		return nil, err
+	}
+	name, err := wantString("rank", pos, args[0])
+	if err != nil {
+		return nil, err
+	}
+	l, err := wantList("rank", pos, args[1])
+	if err != nil {
+		return nil, err
+	}
+	if err := in.step(stepsPerCandidate * int64(len(l.Elems))); err != nil {
+		return nil, err
+	}
+	m := metrics.Metric(strings.ToUpper(strings.TrimSpace(name)))
+	cands := make([]metrics.Candidate, len(l.Elems))
+	for i, e := range l.Elems {
+		cm, ok := e.(*Map)
+		if !ok {
+			return nil, errAt(pos, "rank candidates must be maps, got %s", typeName(e))
+		}
+		c := metrics.Candidate{}
+		if v, ok := cm.Get("name"); ok {
+			if s, ok := v.(string); ok {
+				c.Name = s
+			}
+		}
+		if c.Name == "" {
+			return nil, errAt(pos, "rank candidate [%d] needs a \"name\" string", i)
+		}
+		num := func(field string) (float64, error) {
+			v, ok := cm.Get(field)
+			if !ok {
+				return 0, nil
+			}
+			f, ok := v.(float64)
+			if !ok {
+				return 0, errAt(pos, "rank candidate [%d] field %q is a %s, need a number", i, field, typeName(v))
+			}
+			return f, nil
+		}
+		eg, err := num("embodied_g")
+		if err != nil {
+			return nil, err
+		}
+		ej, err := num("energy_j")
+		if err != nil {
+			return nil, err
+		}
+		ds, err := num("delay_s")
+		if err != nil {
+			return nil, err
+		}
+		am, err := num("area_mm2")
+		if err != nil {
+			return nil, err
+		}
+		c.Embodied = units.Grams(eg)
+		c.Energy = units.Joules(ej)
+		c.Delay = time.Duration(ds * float64(time.Second))
+		c.Area = units.MM2(am)
+		if err := c.Validate(); err != nil {
+			return nil, errAt(pos, "rank candidate [%d]: %v", i, err)
+		}
+		cands[i] = c
+	}
+	ranked, err := metrics.Rank(m, cands)
+	if err != nil {
+		return nil, errAt(pos, "rank: %v", err)
+	}
+	out := &List{Elems: make([]Value, 0, len(ranked))}
+	if err := in.charge(24 + 96*int64(len(ranked))); err != nil {
+		return nil, err
+	}
+	for _, sc := range ranked {
+		row := NewMap()
+		row.Set("name", sc.Candidate.Name)
+		row.Set("value", sc.Value)
+		out.Elems = append(out.Elems, row)
+	}
+	return out, nil
+}
+
+// hostEmit is emit(name, value): appends a named deep-copied snapshot to
+// the result envelope's emits list.
+func hostEmit(in *interp, pos Pos, args []Value) (Value, error) {
+	if err := argCount("emit", pos, args, 2, 2); err != nil {
+		return nil, err
+	}
+	name, err := wantString("emit", pos, args[0])
+	if err != nil {
+		return nil, err
+	}
+	if err := in.chargeValue(args[1]); err != nil {
+		return nil, err
+	}
+	snap, err := deepCopy(args[1], 0)
+	if err != nil {
+		return nil, err
+	}
+	in.emits = append(in.emits, Emit{Name: name, Value: snap})
+	return nil, nil
+}

@@ -1,0 +1,136 @@
+package script
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseAccepts(t *testing.T) {
+	good := []string{
+		"",
+		"1",
+		"1 + 2 * 3 - 4 / 5 % 6",
+		"-1.5e-3",
+		`"hello\nworldé"`,
+		"true && false || !true",
+		"true and false or not true",
+		"let x = 1",
+		"let x = [1, 2, 3][0]",
+		`let m = {"a": 1, b: [2, 3], "c": {"d": nil}}`,
+		"m.a.b[0]",
+		"x = 5",
+		"m[\"k\"] = 5",
+		"m.k = 5",
+		"if a < b { let c = 1 } else if a > b { let c = 2 } else { }",
+		"for x in xs { emit(\"x\", x) }",
+		"for i, v in xs { }",
+		"for k, v in m { }",
+		"for i < 10 { i = i + 1 }",
+		"fn f(a, b) { return a + b }",
+		"let g = fn(x) { return x }",
+		"f(1, g(2))",
+		"for x in xs { if x > 1 { break }\ncontinue }",
+		"return 5",
+		"# comment\n1 // another\n",
+		"1; 2; 3",
+		"[\n  1,\n  2\n]",
+		"(1 +\n 2)",
+		"{\n  \"version\": 1,\n  \"name\": \"x\"\n}",
+		`fn fib(n) { if n < 2 { return n }
+return fib(n-1) + fib(n-2) }`,
+	}
+	for _, src := range good {
+		if _, err := Parse(src); err != nil {
+			t.Errorf("Parse(%q) failed: %v", src, err)
+		}
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	bad := []struct {
+		src  string
+		frag string // expected substring of the error
+	}{
+		{"1 +", "unexpected"},
+		{"(1", `expected ")"`},
+		{"[1", "unterminated list"},
+		{`{"a": 1`, "unterminated map"},
+		{`{"a" 1}`, `expected ":"`},
+		{`{"a": 1, "a": 2}`, ""}, // duplicate key is a runtime error, parses fine
+		{`"abc`, "unterminated string"},
+		{`"\q"`, `invalid escape`},
+		{`"\u12g4"`, `invalid \u escape`},
+		{"1.e3", "digit required"},
+		{"1e", "digit required"},
+		{"let = 1", "expected variable name"},
+		{"let for = 1", "expected variable name"},
+		{"fn f(a, a) { }", "duplicate parameter"},
+		{"fn f(1) { }", "expected parameter name"},
+		{"if x { ", "unterminated block"},
+		{"1 = 2", "cannot assign"},
+		{"f(1,, 2)", "unexpected"},
+		{"if {\"a\": 1} { }", "map literal not allowed here"},
+		{"@", "unexpected character"},
+		{"else", "unexpected keyword"},
+		{"1 2", "expected end of statement"},
+		{"x.1", "expected field name"},
+	}
+	for _, c := range bad {
+		if c.frag == "" {
+			continue
+		}
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("Parse(%q) unexpectedly succeeded", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("Parse(%q) error %q does not mention %q", c.src, err, c.frag)
+		}
+		var se *Error
+		if !asError(err, &se) {
+			t.Errorf("Parse(%q) error is %T, want *script.Error", c.src, err)
+		}
+	}
+}
+
+func TestParseDepthCapped(t *testing.T) {
+	deep := strings.Repeat("(", 10_000) + "1" + strings.Repeat(")", 10_000)
+	_, err := Parse(deep)
+	if err == nil {
+		t.Fatal("deeply nested program parsed")
+	}
+	if !strings.Contains(err.Error(), "nests deeper") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestParseErrorPositions(t *testing.T) {
+	_, err := Parse("let x = 1\nlet y = @")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	se, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error is %T", err)
+	}
+	if se.Pos.Line != 2 {
+		t.Fatalf("error at line %d, want 2 (%v)", se.Pos.Line, err)
+	}
+}
+
+// asError is a local errors.As shim keeping the test file stdlib-light.
+func asError(err error, target **Error) bool {
+	for err != nil {
+		if e, ok := err.(*Error); ok {
+			*target = e
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}

@@ -4,8 +4,8 @@
 //
 //	go test -race -tags faultinject ./internal/serve/
 //
-// (make verify-chaos). Hooks at the three injection sites — cache compute,
-// pool worker, memdb lookup — throw latency, transient errors and panics
+// (make verify-chaos). Hooks at the four injection sites — cache compute,
+// pool worker, memdb lookup, script eval — throw latency, transient errors and panics
 // from a deterministic PRNG while concurrent clients hammer the API. The
 // assertions are the resilience contract: every request answers with a
 // status from the taxonomy, nothing deadlocks, no goroutine outlives the
@@ -14,6 +14,8 @@
 package serve
 
 import (
+	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"net/http"
@@ -26,6 +28,7 @@ import (
 	"act/internal/acterr"
 	"act/internal/faultinject"
 	"act/internal/scenario"
+	"act/internal/script"
 )
 
 // chaosRNG is a splitmix64 stream behind a mutex: hooks fire from many
@@ -78,6 +81,15 @@ func registerStorm(rng *chaosRNG) {
 		}
 		return faultinject.Fault{}
 	})
+	faultinject.Register(faultinject.SiteScriptEval, func(string) faultinject.Fault {
+		switch p := rng.pct(); {
+		case p < 10:
+			return faultinject.Fault{Err: acterr.Transient(errors.New("injected script fault"))}
+		case p < 25:
+			return faultinject.Fault{Latency: 150 * time.Microsecond}
+		}
+		return faultinject.Fault{}
+	})
 }
 
 // TestChaosStorm is the headline chaos run. Faults are injected at every
@@ -117,17 +129,22 @@ func TestChaosStorm(t *testing.T) {
 		go func(c int) {
 			defer wg.Done()
 			for i := 0; i < rounds; i++ {
+				url := ts.URL + "/v1/footprint"
 				var body []byte
-				if i%2 == 0 {
+				switch i % 3 {
+				case 0:
 					body = mustJSON(t, testSpec(float64(50+c)))
-				} else {
+				case 1:
 					specs := make([]*scenario.Spec, 20)
 					for j := range specs {
 						specs[j] = testSpec(float64(100 + c*100 + j))
 					}
 					body = mustJSON(t, specs)
+				default:
+					url = ts.URL + "/v1/script"
+					body = scriptBody(t, fmt.Sprintf("sum(range(%d))", 10+c))
 				}
-				resp, err := http.Post(ts.URL+"/v1/footprint", "application/json",
+				resp, err := http.Post(url, "application/json",
 					strings.NewReader(string(body)))
 				if err != nil {
 					t.Errorf("client %d: transport error: %v", c, err)
@@ -154,13 +171,15 @@ func TestChaosStorm(t *testing.T) {
 			}
 		}
 	}
-	t.Logf("storm statuses: %v; fired: cache=%d pool=%d memdb=%d",
+	t.Logf("storm statuses: %v; fired: cache=%d pool=%d memdb=%d script=%d",
 		saw,
 		faultinject.Fired(faultinject.SiteCacheCompute),
 		faultinject.Fired(faultinject.SitePoolWorker),
-		faultinject.Fired(faultinject.SiteMemdbLookup))
+		faultinject.Fired(faultinject.SiteMemdbLookup),
+		faultinject.Fired(faultinject.SiteScriptEval))
 	if faultinject.Fired(faultinject.SiteCacheCompute) == 0 ||
-		faultinject.Fired(faultinject.SitePoolWorker) == 0 {
+		faultinject.Fired(faultinject.SitePoolWorker) == 0 ||
+		faultinject.Fired(faultinject.SiteScriptEval) == 0 {
 		t.Error("fault storm never fired at a primary site — the chaos run tested nothing")
 	}
 
@@ -180,6 +199,33 @@ func TestChaosStorm(t *testing.T) {
 		}
 		if time.Now().After(deadline) {
 			t.Fatalf("service did not recover after faults cleared: status %d, body %.200s",
+				resp.StatusCode, body)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The script surface recovers the same way: once faults clear the
+	// envelope must match a direct library evaluation byte for byte.
+	src := "sum(range(10))"
+	res, err := script.Eval(context.Background(), src, script.Options{})
+	if err != nil {
+		t.Fatalf("clean library eval: %v", err)
+	}
+	var wantScript bytes.Buffer
+	if err := res.Encode(&wantScript); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(2 * time.Second)
+	for {
+		resp, body := postJSON(t, ts.URL+"/v1/script", scriptBody(t, src))
+		if resp.StatusCode == http.StatusOK {
+			if string(body) != wantScript.String() {
+				t.Fatalf("post-storm script result not byte-identical:\n got %.200q\nwant %.200q", body, wantScript.Bytes())
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("script surface did not recover after faults cleared: status %d, body %.200s",
 				resp.StatusCode, body)
 		}
 		time.Sleep(10 * time.Millisecond)

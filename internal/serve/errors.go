@@ -46,6 +46,13 @@ const (
 	// codeInternal: an internal fault — a panic, or a transient fault that
 	// survived the retry budget (500).
 	codeInternal = "internal"
+	// codeInvalidScript: a /v1/script program failed to parse or faulted
+	// at runtime — the program is the client's to fix (400).
+	codeInvalidScript = "invalid_script"
+	// codeScriptBudget: a /v1/script program was cut off at a hard
+	// resource budget (steps, allocation, deadline, depth). Determinis-
+	// tic, so also the client's to fix: shrink the program (400).
+	codeScriptBudget = "script_budget"
 )
 
 // errorDetail is the envelope's inner object.

@@ -59,6 +59,12 @@ func TestMetricsGolden(t *testing.T) {
 	if resp, _ := postJSON(t, ts.URL+"/v1/footprint", []byte(`{"name": "broken"}`)); resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("invalid footprint: %d", resp.StatusCode)
 	}
+	if resp, _ := postJSON(t, ts.URL+"/v1/script", scriptBody(t, `sum(range(10))`)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("script ok: %d", resp.StatusCode)
+	}
+	if resp, _ := postJSON(t, ts.URL+"/v1/script", scriptBody(t, `let = 3`)); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("script invalid: %d", resp.StatusCode)
+	}
 	nd := []byte(`{"id": "m-1", "region": "iceland", "deployed": "2024-01-01", "scenario": {"name": "d", "logic": [{"name": "soc", "area_mm2": 50, "node": "7nm"}], "usage": {"power_w": 1, "app_hours": 100}}}` + "\n")
 	if resp, _ := postJSON(t, ts.URL+"/v1/fleet/devices", nd); resp.StatusCode != http.StatusOK {
 		t.Fatalf("fleet ingest: %d", resp.StatusCode)

@@ -9,6 +9,7 @@
 //
 //	POST /v1/footprint  one scenario object or a batch array of them
 //	POST /v1/sweep      metric rankings / Pareto frontier over candidates
+//	POST /v1/script     a sandboxed scenario program under hard budgets
 //	GET  /healthz       liveness (always 200 while the process serves)
 //	GET  /readyz        readiness (503 while draining or a breaker is open)
 //	GET  /metrics       Prometheus text exposition
@@ -96,6 +97,16 @@ type Config struct {
 	// FleetResolver maps fleet device regions to operational grid
 	// intensity (default the paper's Table 6 averages).
 	FleetResolver fleet.IntensityResolver
+
+	// ScriptMaxSteps caps evaluator steps per /v1/script program
+	// (default script.DefaultMaxSteps; negative disables the cap).
+	ScriptMaxSteps int64
+	// ScriptMaxBytes caps a script's allocation estimate in bytes
+	// (default script.DefaultMaxAllocBytes; negative disables the cap).
+	ScriptMaxBytes int64
+	// ScriptTimeout is the per-script wall-clock budget, independent of
+	// (and bounded by) RequestTimeout (default script.DefaultTimeout).
+	ScriptTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -167,6 +178,10 @@ type Server struct {
 	mFleetIngest    *CounterVec // actd_fleet_ingest_total{code}
 	mFleetRecompute *Histogram  // actd_fleet_recompute_seconds
 	mEncodeErrors   *Counter    // actd_response_encode_errors_total
+
+	mScriptEvals    *CounterVec // actd_script_evals_total{code}
+	mScriptSteps    *Histogram  // actd_script_steps
+	mScriptDuration *Histogram  // actd_script_duration_seconds
 
 	exporter         exporterControl // nil unless AttachExporter
 	exportCfgVersion atomic.Int64
@@ -249,6 +264,13 @@ func New(cfg Config) *Server {
 		"Latency of full fleet recomputations in seconds.", DefaultLatencyBuckets)
 	s.mEncodeErrors = s.reg.NewCounter("actd_response_encode_errors_total",
 		"Response bodies that failed to encode after the status line was committed.")
+	s.mScriptEvals = s.reg.NewCounterVec("actd_script_evals_total",
+		"Sandboxed script evaluations, by outcome code.", "code")
+	s.mScriptSteps = s.reg.NewHistogram("actd_script_steps",
+		"Evaluator steps consumed per successful script.",
+		[]float64{100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000})
+	s.mScriptDuration = s.reg.NewHistogram("actd_script_duration_seconds",
+		"Sandboxed script evaluation latency in seconds.", DefaultLatencyBuckets)
 
 	if cfg.MaxInFlight > 0 {
 		s.admit = resilience.NewAdmission(resilience.AdmissionConfig{
@@ -266,7 +288,7 @@ func New(cfg Config) *Server {
 
 	if cfg.BreakerThreshold > 0 {
 		s.breakers = map[string]*resilience.Breaker{}
-		for _, name := range []string{"footprint", "sweep", "fleet_ingest", "fleet_recompute"} {
+		for _, name := range []string{"footprint", "sweep", "script", "fleet_ingest", "fleet_recompute"} {
 			name := name
 			s.mBreakerState.With(name).Store(int64(resilience.Closed))
 			s.breakers[name] = resilience.NewBreaker(resilience.BreakerConfig{
@@ -283,6 +305,7 @@ func New(cfg Config) *Server {
 
 	s.mux.Handle("POST /v1/footprint", s.api("footprint", s.handleFootprint))
 	s.mux.Handle("POST /v1/sweep", s.api("sweep", s.handleSweep))
+	s.mux.Handle("POST /v1/script", s.api("script", s.handleScript))
 	s.mux.Handle("POST /v1/fleet/devices", s.api("fleet_ingest", s.handleFleetIngest))
 	s.mux.Handle("GET /v1/fleet/summary", s.api("fleet_summary", s.handleFleetSummary))
 	s.mux.Handle("DELETE /v1/fleet/devices/{id}", s.api("fleet_delete", s.handleFleetDelete))

@@ -1,0 +1,70 @@
+#!/bin/sh
+# bench_script.sh — machine-readable snapshot of the scripting sandbox
+# overhead. Runs the BenchmarkScriptSweep1k / BenchmarkDirectSweep1k
+# acceptance pair (the same 1000-scenario sweep priced through a script
+# program versus the direct colbatch path) with -benchmem and writes
+# BENCH_9.json at the repo root: one record per benchmark plus the
+# script-vs-direct overhead ratio. Driven by `make bench-script`.
+set -eu
+
+cd "$(dirname "$0")/.."
+out=BENCH_9.json
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+echo "bench_script: internal/script -bench Sweep1k" >&2
+go test -run XXX -bench 'Sweep1k$' -benchmem ./internal/script/ \
+    | awk '/^Benchmark/ { printf "internal/script %s\n", $0 }' >> "$tmp"
+
+awk -v goversion="$(go version | sed 's/^go version //')" '
+BEGIN {
+    printf "{\n"
+    printf "  \"schema\": \"act-bench/1\",\n"
+    printf "  \"go\": \"%s\",\n", goversion
+    printf "  \"source\": \"scripts/bench_script.sh\",\n"
+    printf "  \"sweep_scenarios\": 1000,\n"
+    printf "  \"benchmarks\": [\n"
+    first = 1
+}
+{
+    pkg = $1
+    name = $2
+    sub(/-[0-9]+$/, "", name)
+    iters = $3
+    ns = ""; bytes = ""; allocs = ""; extra = ""
+    for (i = 4; i < NF; i += 2) {
+        v = $i; u = $(i + 1)
+        if (u == "ns/op")          ns = v
+        else if (u == "B/op")      bytes = v
+        else if (u == "allocs/op") allocs = v
+        else {
+            gsub(/"/, "", u)
+            extra = extra sprintf("%s\"%s\": %s", extra == "" ? "" : ", ", u, v)
+        }
+    }
+    if (name == "BenchmarkScriptSweep1k") script_ns = ns
+    if (name == "BenchmarkDirectSweep1k") direct_ns = ns
+    if (!first) printf ",\n"
+    first = 0
+    printf "    {\"package\": \"%s\", \"name\": \"%s\", \"iterations\": %s", pkg, name, iters
+    if (ns != "")     printf ", \"ns_per_op\": %s", ns
+    if (bytes != "")  printf ", \"bytes_per_op\": %s", bytes
+    if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+    if (extra != "")  printf ", \"metrics\": {%s}", extra
+    printf "}"
+}
+END {
+    printf "\n  ],\n"
+    # The sandbox tax: whole-sweep wall time through the interpreter over
+    # the direct colbatch path. The pricing inside is the identical
+    # columnar engine; the delta is the in-language construction loop,
+    # document decode, and budget accounting.
+    if (script_ns != "" && direct_ns != "" && direct_ns + 0 > 0)
+        printf "  \"script_overhead_x\": %.2f\n", script_ns / direct_ns
+    else
+        printf "  \"script_overhead_x\": null\n"
+    printf "}\n"
+}
+' "$tmp" > "$out"
+
+echo "bench_script: wrote $out" >&2
