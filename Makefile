@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test verify verify-extended verify-conform verify-chaos verify-crash cover bench bench-cache bench-fleet bench-batch bench-json bench-export bench-script run-actd clean
+.PHONY: all build test verify verify-extended verify-conform verify-cluster verify-chaos verify-crash cover bench bench-cache bench-fleet bench-batch bench-json bench-export bench-script bench-cluster run-actd clean
 
 all: build
 
@@ -27,27 +27,40 @@ verify-extended: verify
 	$(GO) test -race ./...
 	$(GO) test -race -count=2 ./internal/export/
 	$(MAKE) verify-conform
+	$(MAKE) verify-cluster
 	$(MAKE) verify-crash
 	$(MAKE) cover
 
 # Cross-surface conformance at acceptance size: a 1000-scenario seeded
-# corpus (plus committed repros) evaluated through all six surfaces —
+# corpus (plus committed repros) evaluated through every surface —
 # direct library, wire round trip, actd single and batch HTTP, the
-# columnar batch engine, the sandboxed script interpreter, plus the
-# fleet refold — asserting byte-identical result
-# documents, under the race detector. Custom test-binary flags must
-# follow the package path.
+# columnar batch engine, the sandboxed script interpreter, the fleet
+# refold, plus the 3-node cluster scatter-gather — asserting
+# byte-identical result documents, under the race detector. Custom
+# test-binary flags must follow the package path.
 verify-conform:
 	$(GO) test -race ./internal/conform/ -run TestConformCorpus -conform.n 1000 -conform.mutants 200
 
+# Cluster conformance at acceptance size: the full cluster test suite,
+# then a 3-node in-process cluster refolding the 1000-scenario corpus
+# byte-identically against the single-node oracle — including the 2PC
+# recompute, the partial-quorum envelope and a snapshot-shipped node
+# replacement — under the race detector.
+verify-cluster:
+	$(GO) test -race ./internal/cluster/
+	$(GO) test -race ./internal/conform/ -run TestClusterConformance -conform.n 1000
+
 # Coverage floor on the conformance harness and the wire layer it leans
 # on: the harness only protects what it executes, so its own coverage
-# regressing is a conformance gap, not a style nit.
+# regressing is a conformance gap, not a style nit. The cluster and
+# fleet floors pin the scatter-gather layer and the registry it folds.
 cover:
 	./scripts/coverfloor.sh ./internal/conform 80
 	./scripts/coverfloor.sh ./internal/scenario 85
 	./scripts/coverfloor.sh ./internal/colbatch 85
 	./scripts/coverfloor.sh ./internal/script 85
+	./scripts/coverfloor.sh ./internal/cluster 85
+	./scripts/coverfloor.sh ./internal/fleet 83
 
 # Chaos verification: rebuild with the faultinject tag (hooks compiled in)
 # and run everything — including the seeded fault storm against a live
@@ -111,6 +124,13 @@ bench-export:
 # written to BENCH_9.json at the repo root.
 bench-script:
 	./scripts/bench_script.sh
+
+# Cluster acceptance snapshot: the 1M-device scatter-gather summary on a
+# 3-member in-process cluster versus the same fleet on one node, written
+# to BENCH_10.json at the repo root. Fails if cluster costs more than
+# 10x single-node.
+bench-cluster:
+	./scripts/bench_cluster.sh
 
 run-actd:
 	$(GO) run ./cmd/actd -addr :8080

@@ -98,3 +98,78 @@ func TestFleetByteIdentityWithService(t *testing.T) {
 		})
 	}
 }
+
+// TestFleetPeersByteIdentity: `act fleet -peers` against a running
+// cluster must print the exact bytes any member serves from
+// GET /v1/fleet/summary — and therefore the exact bytes `act fleet`
+// prints for the same fleet file. One fleet, three surfaces (file fold,
+// cluster scatter-gather, client-side partial fold), one byte stream.
+func TestFleetPeersByteIdentity(t *testing.T) {
+	ndjson := fleetNDJSON(t, 180, 6)
+
+	const members = 3
+	srvs := make([]*serve.Server, members)
+	urls := make([]string, members)
+	for i := range srvs {
+		srvs[i] = serve.New(serve.Config{})
+		ts := httptest.NewServer(srvs[i].Handler())
+		defer ts.Close()
+		urls[i] = ts.URL
+	}
+	for i, s := range srvs {
+		if err := s.EnableCluster(serve.ClusterConfig{Self: urls[i], Peers: urls}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := http.Post(urls[0]+"/v1/fleet/devices", "application/x-ndjson", bytes.NewReader(ndjson))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status = %d, body %.200s", resp.StatusCode, body)
+	}
+
+	peerList := urls[0] + "," + urls[1] + "," + urls[2]
+	for _, tc := range []struct {
+		name  string
+		args  []string
+		query string
+	}{
+		{"summary", nil, ""},
+		{"top", []string{"-top", "5"}, "?top=5"},
+		{"by-region", []string{"-by", "region"}, "?by=region"},
+		{"top-by-node", []string{"-top", "3", "-by", "node"}, "?top=3&by=node"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var local, peers bytes.Buffer
+			if err := runFleet(tc.args, bytes.NewReader(ndjson), &local); err != nil {
+				t.Fatalf("act fleet (file): %v", err)
+			}
+			if err := runFleet(append([]string{"-peers", peerList}, tc.args...), nil, &peers); err != nil {
+				t.Fatalf("act fleet -peers: %v", err)
+			}
+			if !bytes.Equal(local.Bytes(), peers.Bytes()) {
+				t.Fatalf("-peers fold differs from the file fold:\n%s\nwant:\n%s", peers.Bytes(), local.Bytes())
+			}
+			resp, err := http.Get(urls[1] + "/v1/fleet/summary" + tc.query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			got, _ := io.ReadAll(resp.Body)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status = %d, body %.200s", resp.StatusCode, got)
+			}
+			if !bytes.Equal(got, peers.Bytes()) {
+				t.Fatalf("-peers fold differs from the cluster summary:\n%s\nwant:\n%s", peers.Bytes(), got)
+			}
+		})
+	}
+
+	// -file and -peers together is a usage error, not a silent pick.
+	if err := runFleet([]string{"-peers", peerList, "-file", "x.ndjson"}, nil, io.Discard); err == nil {
+		t.Error("-file with -peers was accepted")
+	}
+}

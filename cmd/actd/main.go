@@ -13,6 +13,7 @@
 //	     [-export-url URL[,URL...]] [-export-interval 10s]
 //	     [-export-rate BYTES/S] [-export-queue-depth N] [-export-workers N]
 //	     [-script-max-steps N] [-script-max-bytes N] [-script-timeout 5s]
+//	     [-cluster-peers URL[,URL...] -cluster-self URL] [-cluster-vnodes N]
 //
 // Endpoints:
 //
@@ -39,6 +40,17 @@
 // automatically. If the disk fails (ENOSPC, fsync errors) actd degrades
 // to read-only — /readyz turns 503, writes answer the `degraded` error
 // code — and heals itself once the compactor's probe succeeds.
+//
+// With -cluster-peers (the full membership, this member included) and
+// -cluster-self (this member's own base URL from that list) actd runs as
+// one member of a static multi-node cluster: devices are placed across
+// members by consistent hashing, ingests and deletes are routed to the
+// owning member, summaries scatter-gather per-member shard aggregates and
+// refold them byte-identically to a single node holding the whole fleet,
+// and /v1/fleet/recompute runs a cluster-wide two-phase recompute. With a
+// member unreachable, summaries answer 206 with the `partial` error code
+// and the reachable members' fold. Every member must be started with the
+// same -cluster-peers list and the same -fleet-shards count.
 //
 // With -export-url actd pushes fleet carbon telemetry (Prometheus line
 // protocol, gzip) to the named collector endpoints every -export-interval,
@@ -93,6 +105,9 @@ func main() {
 		scSteps    = flag.Int64("script-max-steps", 0, "evaluator steps per /v1/script program (0 = default 5000000, negative disables)")
 		scBytes    = flag.Int64("script-max-bytes", 0, "allocation estimate per /v1/script program in bytes (0 = default 16 MiB, negative disables)")
 		scTimeout  = flag.Duration("script-timeout", 0, "wall-clock budget per /v1/script program (0 = default 5s)")
+		clPeers    = flag.String("cluster-peers", "", "comma-separated base URLs of every cluster member, this one included (empty = single-node)")
+		clSelf     = flag.String("cluster-self", "", "this member's base URL as listed in -cluster-peers")
+		clVnodes   = flag.Int("cluster-vnodes", 0, "consistent-hash virtual nodes per member (0 = default 512)")
 	)
 	flag.Parse()
 
@@ -125,7 +140,12 @@ func main() {
 		SegmentBytes:    *flSegBytes,
 		CompactInterval: *flCompact,
 	}
-	if err := run(cfg, *grace, durability, exp); err != nil {
+	clusterCfg := serve.ClusterConfig{
+		Self:   *clSelf,
+		Peers:  splitURLs(*clPeers),
+		Vnodes: *clVnodes,
+	}
+	if err := run(cfg, *grace, durability, exp, clusterCfg); err != nil {
 		fmt.Fprintln(os.Stderr, "actd:", err)
 		os.Exit(1)
 	}
@@ -152,13 +172,21 @@ func splitURLs(s string) []string {
 	return urls
 }
 
-func run(cfg serve.Config, grace time.Duration, durability serve.FleetDurability, expCfg exportConfig) error {
+func run(cfg serve.Config, grace time.Duration, durability serve.FleetDurability, expCfg exportConfig, clusterCfg serve.ClusterConfig) error {
 	log := slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	cfg.Logger = log
 	srv := serve.New(cfg)
 
 	if err := srv.OpenFleet(context.Background(), durability); err != nil {
 		return fmt.Errorf("fleet state: %w", err)
+	}
+
+	if len(clusterCfg.Peers) > 0 || clusterCfg.Self != "" {
+		if err := srv.EnableCluster(clusterCfg); err != nil {
+			return fmt.Errorf("cluster: %w", err)
+		}
+		log.Info("cluster mode enabled",
+			"self", clusterCfg.Self, "members", len(clusterCfg.Peers))
 	}
 
 	var exporter *export.Exporter

@@ -1,0 +1,679 @@
+// In-process multi-node tests: N serve.Servers behind httptest
+// listeners, clustered over loopback, checked against a single-node
+// oracle for byte identity. The swapHandler lets a test "kill" a node
+// (every request answers 503) and later heal it or swap in a
+// replacement server at the same URL — node replacement without
+// rebinding ports.
+
+package cluster_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"act/internal/cluster"
+	"act/internal/fleet"
+	"act/internal/report"
+	"act/internal/scenario"
+	"act/internal/serve"
+)
+
+// swapHandler is a mutable HTTP front: swap the inner handler to
+// replace a node, mark it down to simulate a dead one.
+type swapHandler struct {
+	mu   sync.RWMutex
+	h    http.Handler
+	down bool
+}
+
+func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	h, down := s.h, s.down
+	s.mu.RUnlock()
+	if down {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte(`{"error":{"code":"unavailable","message":"node down (test)"}}`))
+		return
+	}
+	h.ServeHTTP(w, r)
+}
+
+func (s *swapHandler) setDown(d bool) {
+	s.mu.Lock()
+	s.down = d
+	s.mu.Unlock()
+}
+
+func (s *swapHandler) swap(h http.Handler) {
+	s.mu.Lock()
+	s.h = h
+	s.mu.Unlock()
+}
+
+type testNode struct {
+	srv *serve.Server
+	sh  *swapHandler
+	ts  *httptest.Server
+}
+
+type testCluster struct {
+	nodes []*testNode
+	urls  []string
+}
+
+func quietConfig() serve.Config {
+	return serve.Config{
+		Workers:          2,
+		Logger:           slog.New(slog.NewTextHandler(io.Discard, nil)),
+		BreakerOpenFor:   150 * time.Millisecond,
+		BreakerThreshold: 3,
+	}
+}
+
+// newTestCluster builds an n-node loopback cluster. mutate, when
+// non-nil, adjusts each node's serve.Config before construction.
+func newTestCluster(t *testing.T, n int, mutate func(*serve.Config)) *testCluster {
+	t.Helper()
+	tc := &testCluster{}
+	for i := 0; i < n; i++ {
+		cfg := quietConfig()
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		srv := serve.New(cfg)
+		sh := &swapHandler{h: srv.Handler()}
+		ts := httptest.NewServer(sh)
+		t.Cleanup(ts.Close)
+		tc.nodes = append(tc.nodes, &testNode{srv: srv, sh: sh, ts: ts})
+		tc.urls = append(tc.urls, ts.URL)
+	}
+	for _, nd := range tc.nodes {
+		self := nd.ts.URL
+		if err := nd.srv.EnableCluster(serve.ClusterConfig{Self: self, Peers: tc.urls}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tc
+}
+
+// newOracle builds the single-node reference actd.
+func newOracle(t *testing.T) (*serve.Server, *httptest.Server) {
+	t.Helper()
+	srv := serve.New(quietConfig())
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+// fleetNDJSON renders n devices over `distinct` BoM shapes, with mixed
+// regions, utilizations and retirement windows.
+func fleetNDJSON(t *testing.T, n, distinct int) []byte {
+	t.Helper()
+	regions := []string{"united-states", "europe", "india", "world"}
+	specs := make([][]byte, distinct)
+	for i := range specs {
+		raw, err := scenario.Marshal(&scenario.Spec{
+			Name:  fmt.Sprintf("bom-%d", i),
+			Logic: []scenario.LogicSpec{{Name: "soc", AreaMM2: float64(10 + i), Node: "7nm"}},
+			DRAM:  []scenario.DRAMSpec{{Name: "ram", Technology: "lpddr4", CapacityGB: 4}},
+			Usage: scenario.UsageSpec{PowerW: 2, AppHours: 876.6},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs[i] = raw
+	}
+	var b bytes.Buffer
+	for i := 0; i < n; i++ {
+		retired := ""
+		if i%3 == 0 {
+			retired = `,"retired":"2026-07-01"`
+		}
+		fmt.Fprintf(&b, `{"id":"dev-%05d","region":%q,"deployed":"2024-01-01"%s,"utilization":%g,"scenario":%s}`+"\n",
+			i, regions[i%len(regions)], retired, 0.25+float64(i%4)*0.2, specs[i%distinct])
+	}
+	return b.Bytes()
+}
+
+func post(t *testing.T, url string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/x-ndjson", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+func get(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+var summaryVariants = []string{"", "?top=5", "?by=region", "?by=node", "?by=class", "?top=3&by=region"}
+
+// TestClusterSummaryByteIdentity is the heart of the PR: a 3-node
+// cluster ingests a scattered fleet and answers every summary variant —
+// from every member — with exactly the bytes the single-node oracle
+// serves for the same fleet.
+func TestClusterSummaryByteIdentity(t *testing.T) {
+	tc := newTestCluster(t, 3, nil)
+	oracle, ots := newOracle(t)
+
+	lines := fleetNDJSON(t, 300, 12)
+	if resp, body := post(t, ots.URL+"/v1/fleet/devices", lines); resp.StatusCode != 200 {
+		t.Fatalf("oracle ingest: %d %s", resp.StatusCode, body)
+	}
+	resp, body := post(t, tc.urls[0]+"/v1/fleet/devices", lines)
+	if resp.StatusCode != 200 {
+		t.Fatalf("cluster ingest: %d %s", resp.StatusCode, body)
+	}
+	var res struct {
+		Upserted int `json:"upserted"`
+		Replaced int `json:"replaced"`
+	}
+	if err := json.Unmarshal(body, &res); err != nil || res.Upserted != 300 || res.Replaced != 0 {
+		t.Fatalf("cluster ingest result %s (err %v)", body, err)
+	}
+
+	// Placement sanity: the fleet actually scattered, and nothing was
+	// double-applied.
+	total := 0
+	for i, nd := range tc.nodes {
+		n := nd.srv.Fleet().Len()
+		if n == 0 {
+			t.Errorf("node %d holds no devices — placement did not scatter", i)
+		}
+		total += n
+	}
+	if total != 300 {
+		t.Fatalf("devices across nodes = %d, want 300", total)
+	}
+	if oracle.Fleet().Len() != 300 {
+		t.Fatalf("oracle holds %d devices", oracle.Fleet().Len())
+	}
+
+	for _, v := range summaryVariants {
+		_, want := get(t, ots.URL+"/v1/fleet/summary"+v)
+		for ni, u := range tc.urls {
+			resp, got := get(t, u+"/v1/fleet/summary"+v)
+			if resp.StatusCode != 200 {
+				t.Fatalf("node %d summary%s: %d %s", ni, v, resp.StatusCode, got)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("node %d summary%s diverges from oracle\n got: %s\nwant: %s", ni, v, got, want)
+			}
+		}
+	}
+
+	// The fold-from-partials path (what `act fleet -peers` runs) must
+	// produce the same bytes again.
+	doc, missing, err := tc.nodes[1].srv.Cluster().Summary(context.Background(), fleet.Query{TopK: 5, GroupBy: "region"})
+	if err != nil || len(missing) != 0 {
+		t.Fatalf("direct Summary: %v missing=%v", err, missing)
+	}
+	_, want := get(t, ots.URL+"/v1/fleet/summary?top=5&by=region")
+	var buf bytes.Buffer
+	if err := report.Encode(&buf, doc); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("folded doc diverges from oracle\n got: %s\nwant: %s", buf.Bytes(), want)
+	}
+}
+
+// TestClusterDeleteRouting: deletes route to the owning member whatever
+// node takes the request, 404s are relayed, and a forwarded hop landing
+// on a non-owner answers conflict instead of looping.
+func TestClusterDeleteRouting(t *testing.T) {
+	tc := newTestCluster(t, 3, nil)
+	lines := fleetNDJSON(t, 60, 4)
+	if resp, body := post(t, tc.urls[0]+"/v1/fleet/devices", lines); resp.StatusCode != 200 {
+		t.Fatalf("ingest: %d %s", resp.StatusCode, body)
+	}
+
+	// Find a device NOT owned by node 0, so the delete must proxy.
+	c0 := tc.nodes[0].srv.Cluster()
+	remote := ""
+	for i := 0; i < 60; i++ {
+		id := fmt.Sprintf("dev-%05d", i)
+		if c0.OwnerOf(id) != c0.Self() {
+			remote = id
+			break
+		}
+	}
+	if remote == "" {
+		t.Fatal("no remotely-owned device found")
+	}
+	ownerURL := c0.OwnerOf(remote)
+	before := 0
+	for _, nd := range tc.nodes {
+		if nd.ts.URL == ownerURL {
+			before = nd.srv.Fleet().Len()
+		}
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, tc.urls[0]+"/v1/fleet/devices/"+remote, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body), remote) {
+		t.Fatalf("proxied delete: %d %s", resp.StatusCode, body)
+	}
+	for _, nd := range tc.nodes {
+		if nd.ts.URL == ownerURL && nd.srv.Fleet().Len() != before-1 {
+			t.Errorf("owner count = %d, want %d", nd.srv.Fleet().Len(), before-1)
+		}
+	}
+
+	// Deleting it again 404s through the same proxy path.
+	req, _ = http.NewRequest(http.MethodDelete, tc.urls[0]+"/v1/fleet/devices/"+remote, nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 404 || !strings.Contains(string(body), "not_found") {
+		t.Fatalf("second delete: %d %s", resp.StatusCode, body)
+	}
+
+	// Hop guard: a forwarded delete for a device this node does not own
+	// answers 409 rather than forwarding again.
+	req, _ = http.NewRequest(http.MethodDelete, tc.urls[0]+"/v1/fleet/devices/"+remote, nil)
+	req.Header.Set(cluster.ForwardedHeader, "1")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 409 || !strings.Contains(string(body), "conflict") {
+		t.Fatalf("forwarded non-owner delete: %d %s (want 409 conflict)", resp.StatusCode, body)
+	}
+}
+
+// TestClusterIngestErrors: scattered ingest keeps the single-node error
+// taxonomy — indexed validation failures (remapped to global stream
+// positions), malformed JSON, and the batch bound.
+func TestClusterIngestErrors(t *testing.T) {
+	tc := newTestCluster(t, 3, func(c *serve.Config) { c.MaxBatch = 50 })
+
+	good := fleetNDJSON(t, 10, 2)
+	bad := []byte(`{"id":"dev-bad","region":"europe","scenario":{"version":1,"name":"x"}}` + "\n")
+	stream := append(append([]byte{}, good...), bad...)
+	resp, body := post(t, tc.urls[0]+"/v1/fleet/devices", stream)
+	if resp.StatusCode != 400 {
+		t.Fatalf("invalid record: %d %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), `"field":"device[10]`) {
+		t.Errorf("error field not remapped to global index: %s", body)
+	}
+	// The 10 valid records before the failure are applied.
+	total := 0
+	for _, nd := range tc.nodes {
+		total += nd.srv.Fleet().Len()
+	}
+	if total != 10 {
+		t.Errorf("applied device count = %d, want 10", total)
+	}
+
+	resp, body = post(t, tc.urls[0]+"/v1/fleet/devices", []byte(`{"id":"x",`))
+	if resp.StatusCode != 400 || !strings.Contains(string(body), "device[0]") {
+		t.Fatalf("malformed JSON: %d %s", resp.StatusCode, body)
+	}
+
+	resp, body = post(t, tc.urls[0]+"/v1/fleet/devices", fleetNDJSON(t, 60, 2))
+	if resp.StatusCode != 413 || !strings.Contains(string(body), "too_large") {
+		t.Fatalf("over batch bound: %d %s", resp.StatusCode, body)
+	}
+}
+
+// TestClusterRecompute runs the two-phase recompute and checks the
+// response document and every member's epoch.
+func TestClusterRecompute(t *testing.T) {
+	tc := newTestCluster(t, 3, nil)
+	_, ots := newOracle(t)
+
+	lines := fleetNDJSON(t, 120, 6)
+	post(t, ots.URL+"/v1/fleet/devices", lines)
+	post(t, tc.urls[0]+"/v1/fleet/devices", lines)
+
+	_, want := post(t, ots.URL+"/v1/fleet/recompute", nil)
+	resp, got := post(t, tc.urls[1]+"/v1/fleet/recompute", nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("cluster recompute: %d %s", resp.StatusCode, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("recompute summary diverges\n got: %s\nwant: %s", got, want)
+	}
+	for i, nd := range tc.nodes {
+		if e := nd.srv.Cluster().Epoch(); e != 1 {
+			t.Errorf("node %d epoch = %d, want 1", i, e)
+		}
+	}
+
+	// A second round advances the epoch everywhere again.
+	if resp, body := post(t, tc.urls[2]+"/v1/fleet/recompute", nil); resp.StatusCode != 200 {
+		t.Fatalf("second recompute: %d %s", resp.StatusCode, body)
+	}
+	for i, nd := range tc.nodes {
+		if e := nd.srv.Cluster().Epoch(); e != 2 {
+			t.Errorf("node %d epoch = %d, want 2", i, e)
+		}
+	}
+
+	// Summaries after the recompute still match the oracle byte for byte.
+	_, want = get(t, ots.URL+"/v1/fleet/summary?top=4&by=node")
+	_, got = get(t, tc.urls[2]+"/v1/fleet/summary?top=4&by=node")
+	if !bytes.Equal(got, want) {
+		t.Errorf("post-recompute summary diverges\n got: %s\nwant: %s", got, want)
+	}
+}
+
+// TestClusterPartialQuorum: with a member down, summaries answer 206
+// with the partial envelope code and the reachable-node fold; once the
+// member heals, full byte-identical summaries resume.
+func TestClusterPartialQuorum(t *testing.T) {
+	tc := newTestCluster(t, 3, nil)
+	_, ots := newOracle(t)
+	lines := fleetNDJSON(t, 150, 6)
+	post(t, ots.URL+"/v1/fleet/devices", lines)
+	post(t, tc.urls[0]+"/v1/fleet/devices", lines)
+	_, want := get(t, ots.URL+"/v1/fleet/summary")
+
+	deadIdx := 2
+	deadDevices := tc.nodes[deadIdx].srv.Fleet().Len()
+	tc.nodes[deadIdx].sh.setDown(true)
+
+	resp, body := get(t, tc.urls[0]+"/v1/fleet/summary")
+	if resp.StatusCode != http.StatusPartialContent {
+		t.Fatalf("summary with a dead member: %d %s", resp.StatusCode, body)
+	}
+	var partial struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+		Summary struct {
+			Devices int `json:"devices"`
+		} `json:"summary"`
+	}
+	if err := json.Unmarshal(body, &partial); err != nil {
+		t.Fatal(err)
+	}
+	if partial.Error.Code != "partial" {
+		t.Errorf("envelope code = %q, want partial", partial.Error.Code)
+	}
+	if !strings.Contains(partial.Error.Message, tc.urls[deadIdx]) {
+		t.Errorf("message does not name the dead member: %s", partial.Error.Message)
+	}
+	if got, wantN := partial.Summary.Devices, 150-deadDevices; got != wantN {
+		t.Errorf("partial fold devices = %d, want %d (reachable members only)", got, wantN)
+	}
+
+	// Heal. The peer breakers may have opened; full service resumes once
+	// they re-probe.
+	tc.nodes[deadIdx].sh.setDown(false)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, got := get(t, tc.urls[0]+"/v1/fleet/summary")
+		if resp.StatusCode == 200 {
+			if !bytes.Equal(got, want) {
+				t.Fatalf("post-heal summary diverges\n got: %s\nwant: %s", got, want)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cluster did not heal: %d %s", resp.StatusCode, got)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestClusterSeedReplacement replaces a member: a fresh server seeds
+// from the outgoing node's snapshot ship (adopting its recompute
+// epoch), swaps in at the same URL, and the cluster refolds
+// byte-identically.
+func TestClusterSeedReplacement(t *testing.T) {
+	tc := newTestCluster(t, 3, nil)
+	_, ots := newOracle(t)
+	lines := fleetNDJSON(t, 200, 8)
+	post(t, ots.URL+"/v1/fleet/devices", lines)
+	post(t, tc.urls[0]+"/v1/fleet/devices", lines)
+
+	// A recompute first, so the replacement must adopt a nonzero epoch.
+	post(t, ots.URL+"/v1/fleet/recompute", nil)
+	if resp, body := post(t, tc.urls[1]+"/v1/fleet/recompute", nil); resp.StatusCode != 200 {
+		t.Fatalf("recompute: %d %s", resp.StatusCode, body)
+	}
+
+	old := tc.nodes[2]
+	repl := serve.New(quietConfig())
+	if err := repl.EnableCluster(serve.ClusterConfig{Self: tc.urls[2], Peers: tc.urls}); err != nil {
+		t.Fatal(err)
+	}
+	if err := repl.Cluster().SeedFrom(context.Background(), tc.urls[2]); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := repl.Fleet().Len(), old.srv.Fleet().Len(); got != want {
+		t.Fatalf("replacement holds %d devices, outgoing node %d", got, want)
+	}
+	if got := repl.Cluster().Epoch(); got != 1 {
+		t.Fatalf("replacement epoch = %d, want 1 (adopted from ship)", got)
+	}
+	old.sh.swap(repl.Handler())
+
+	_, want := get(t, ots.URL+"/v1/fleet/summary?top=5&by=region")
+	_, got := get(t, tc.urls[0]+"/v1/fleet/summary?top=5&by=region")
+	if !bytes.Equal(got, want) {
+		t.Errorf("post-replacement summary diverges\n got: %s\nwant: %s", got, want)
+	}
+}
+
+// TestRequestIDSpansIngestHop pins the fix this PR ships: the request
+// id is minted once per inbound request and FORWARDED on routed
+// inter-node hops, so one id spans the coordinator and the owner.
+func TestRequestIDSpansIngestHop(t *testing.T) {
+	tc := newTestCluster(t, 2, nil)
+
+	// Record the forwarded hop's request id at node 1.
+	var mu sync.Mutex
+	seen := map[string]string{} // path -> request id
+	inner := tc.nodes[1].sh.h
+	tc.nodes[1].sh.swap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get(cluster.ForwardedHeader) != "" {
+			mu.Lock()
+			seen[r.URL.Path] = r.Header.Get("X-Request-Id")
+			mu.Unlock()
+		}
+		inner.ServeHTTP(w, r)
+	}))
+
+	// A device owned by node 1, ingested via node 0, with a caller-chosen
+	// request id.
+	c0 := tc.nodes[0].srv.Cluster()
+	id := ""
+	for i := 0; i < 200; i++ {
+		cand := fmt.Sprintf("dev-%05d", i)
+		if c0.OwnerOf(cand) == tc.urls[1] {
+			id = cand
+			break
+		}
+	}
+	if id == "" {
+		t.Fatal("no node-1-owned id found")
+	}
+	var line bytes.Buffer
+	spec, err := scenario.Marshal(&scenario.Spec{
+		Name:  "bom",
+		Logic: []scenario.LogicSpec{{Name: "soc", AreaMM2: 12, Node: "7nm"}},
+		Usage: scenario.UsageSpec{PowerW: 2, AppHours: 876.6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(&line, `{"id":%q,"region":"europe","deployed":"2024-01-01","scenario":%s}`, id, spec)
+
+	req, _ := http.NewRequest(http.MethodPost, tc.urls[0]+"/v1/fleet/devices", &line)
+	req.Header.Set("X-Request-Id", "span-test-0001")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("ingest: %d %s", resp.StatusCode, body)
+	}
+	mu.Lock()
+	got := seen["/v1/fleet/devices"]
+	mu.Unlock()
+	if got != "span-test-0001" {
+		t.Errorf("forwarded hop carried request id %q, want span-test-0001", got)
+	}
+}
+
+// TestClusterRoutes404WithoutCluster: the inter-node surface stays dark
+// in single-node mode.
+func TestClusterRoutes404WithoutCluster(t *testing.T) {
+	srv := serve.New(quietConfig())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, body := get(t, ts.URL+"/v1/cluster/partial")
+	if resp.StatusCode != 404 || !strings.Contains(string(body), "not enabled") {
+		t.Fatalf("partial without cluster: %d %s", resp.StatusCode, body)
+	}
+}
+
+// TestFetchPartialsFold covers the CLI gather: FetchPartials over plain
+// HTTP plus a client-side Fold must reproduce the cluster summary bytes,
+// and an unreachable member fails the whole gather rather than folding a
+// partial fleet silently.
+func TestFetchPartialsFold(t *testing.T) {
+	tc := newTestCluster(t, 2, nil)
+	lines := fleetNDJSON(t, 80, 5)
+	if resp, body := post(t, tc.urls[0]+"/v1/fleet/devices", lines); resp.StatusCode != 200 {
+		t.Fatalf("ingest: %d %s", resp.StatusCode, body)
+	}
+
+	partials, err := cluster.FetchPartials(context.Background(), nil, tc.urls, 4, "node")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(partials) != 2 {
+		t.Fatalf("fetched %d partials, want 2", len(partials))
+	}
+	doc, err := cluster.Fold(fleet.Query{TopK: 4, GroupBy: "node"}, partials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := report.Encode(&got, doc); err != nil {
+		t.Fatal(err)
+	}
+	_, want := get(t, tc.urls[1]+"/v1/fleet/summary?top=4&by=node")
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Errorf("fetched fold diverges from the cluster summary\n got: %s\nwant: %s", got.Bytes(), want)
+	}
+
+	if _, err := cluster.FetchPartials(context.Background(), nil, nil, 0, ""); err == nil {
+		t.Error("empty peer list fetched")
+	}
+	if _, err := cluster.FetchPartials(context.Background(), nil, []string{"not a url"}, 0, ""); err == nil {
+		t.Error("unparseable peer fetched")
+	}
+	tc.nodes[1].sh.setDown(true)
+	if _, err := cluster.FetchPartials(context.Background(), nil, tc.urls, 0, ""); err == nil {
+		t.Error("gather with a dead member succeeded — the CLI fold must be all-or-nothing")
+	}
+}
+
+// TestClusterRecomputeAbortsOnDeadMember: the prepare wave cannot reach a
+// dead member, so the coordinator aborts — no member's epoch moves — and
+// after the member heals the same recompute commits everywhere.
+func TestClusterRecomputeAbortsOnDeadMember(t *testing.T) {
+	tc := newTestCluster(t, 2, nil)
+	lines := fleetNDJSON(t, 50, 4)
+	if resp, body := post(t, tc.urls[0]+"/v1/fleet/devices", lines); resp.StatusCode != 200 {
+		t.Fatalf("ingest: %d %s", resp.StatusCode, body)
+	}
+
+	tc.nodes[1].sh.setDown(true)
+	resp, body := post(t, tc.urls[0]+"/v1/fleet/recompute", nil)
+	if resp.StatusCode == 200 {
+		t.Fatalf("recompute with a dead member answered 200: %s", body)
+	}
+	for i, nd := range tc.nodes {
+		if e := nd.srv.Cluster().Epoch(); e != 0 {
+			t.Errorf("node %d epoch = %d after an aborted recompute, want 0", i, e)
+		}
+	}
+
+	// Heal; the peer breaker may be open, so retry within its window.
+	tc.nodes[1].sh.setDown(false)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, body = post(t, tc.urls[0]+"/v1/fleet/recompute", nil)
+		if resp.StatusCode == 200 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("recompute did not recover: %d %s", resp.StatusCode, body)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	for i, nd := range tc.nodes {
+		if e := nd.srv.Cluster().Epoch(); e != 1 {
+			t.Errorf("node %d epoch = %d after the healed recompute, want 1", i, e)
+		}
+	}
+}
+
+// TestSeedFromErrors: seeding refuses bad bases, dead sources, and
+// non-cluster servers, without touching the local registry.
+func TestSeedFromErrors(t *testing.T) {
+	tc := newTestCluster(t, 2, nil)
+	c := tc.nodes[0].srv.Cluster()
+	ctx := context.Background()
+
+	if err := c.SeedFrom(ctx, "not a url"); err == nil {
+		t.Error("bad base URL accepted")
+	}
+	if err := c.SeedFrom(ctx, "http://127.0.0.1:1"); err == nil {
+		t.Error("unreachable source accepted")
+	}
+	plain := serve.New(quietConfig())
+	ts := httptest.NewServer(plain.Handler())
+	defer ts.Close()
+	if err := c.SeedFrom(ctx, ts.URL); err == nil {
+		t.Error("seeding from a non-cluster server succeeded")
+	}
+}

@@ -1,0 +1,174 @@
+package cluster
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateRingGolden = flag.Bool("update-ring-golden", false,
+	"rewrite testdata/ring_layout.golden from the current placement function")
+
+// TestRingBalance pins the load-balance contract of the default vnode
+// count: at one million synthetic keys the busiest member of a 3, 5 and
+// 8 node ring carries less than 1.15x the mean share. The hash function
+// is fixed, so this is a deterministic property, not a statistical one —
+// if it fails, the vnode default (or the hash) changed.
+func TestRingBalance(t *testing.T) {
+	const keys = 1_000_000
+	for _, nodes := range []int{3, 5, 8} {
+		members := make([]string, nodes)
+		for i := range members {
+			members[i] = fmt.Sprintf("http://node-%d:8080", i)
+		}
+		r, err := NewRing(members, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := map[string]int{}
+		for i := 0; i < keys; i++ {
+			counts[r.Owner(fmt.Sprintf("key-%07d", i))]++
+		}
+		mean := float64(keys) / float64(nodes)
+		for _, m := range members {
+			share := float64(counts[m]) / mean
+			if share >= 1.15 {
+				t.Errorf("%d nodes: %s holds %.4fx the mean share (want < 1.15)", nodes, m, share)
+			}
+			if counts[m] == 0 {
+				t.Errorf("%d nodes: %s owns no keys", nodes, m)
+			}
+		}
+		t.Logf("%d nodes: counts=%v mean=%.0f", nodes, counts, mean)
+	}
+}
+
+// TestRingMinimalMovement pins consistent hashing's reason to exist:
+// adding a member only moves keys TO the new member, removing one only
+// moves keys FROM it — every other key keeps its owner.
+func TestRingMinimalMovement(t *testing.T) {
+	const keys = 200_000
+	base := []string{"node-a", "node-b", "node-c", "node-d", "node-e"}
+	before, err := NewRing(base, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	joined, err := NewRing(append(append([]string(nil), base...), "node-f"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("key-%07d", i)
+		ob, oa := before.Owner(k), joined.Owner(k)
+		if ob == oa {
+			continue
+		}
+		moved++
+		if oa != "node-f" {
+			t.Fatalf("join moved %q from %s to %s — only moves to the joining node are allowed", k, ob, oa)
+		}
+	}
+	// The joiner should take roughly 1/6 of the keys; far more means the
+	// ring reshuffled, far less means the joiner is underweighted.
+	if frac := float64(moved) / keys; frac < 1.0/12 || frac > 1.0/3 {
+		t.Errorf("join moved %.3f of keys (want around 1/6)", frac)
+	}
+
+	left, err := NewRing(base[:4], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved = 0
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("key-%07d", i)
+		ob, oa := before.Owner(k), left.Owner(k)
+		if ob == oa {
+			continue
+		}
+		moved++
+		if ob != "node-e" {
+			t.Fatalf("leave moved %q from %s to %s — only the leaver's keys may move", k, ob, oa)
+		}
+	}
+	if frac := float64(moved) / keys; frac < 1.0/10 || frac > 1.0/3 {
+		t.Errorf("leave moved %.3f of keys (want around 1/5)", frac)
+	}
+}
+
+// TestRingGoldenLayout pins the exact ring layout for a small fixed
+// membership. Any change to the point hash, the vnode key derivation or
+// the sort order re-places every device in every running cluster, so it
+// must show up as a diff against the committed golden.
+func TestRingGoldenLayout(t *testing.T) {
+	r, err := NewRing([]string{"node-a", "node-b", "node-c"}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := r.Layout()
+	path := filepath.Join("testdata", "ring_layout.golden")
+	if *updateRingGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden (regenerate with -update-ring-golden): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("ring layout changed — this re-places every device in every running cluster.\nIf intentional, regenerate with -update-ring-golden and call it out in review.\ngot:\n%swant:\n%s", got, want)
+	}
+}
+
+// TestRingValidation covers the constructor's refusals and vnode
+// defaulting.
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Error("empty membership accepted")
+	}
+	if _, err := NewRing([]string{"a", "b", "a"}, 0); err == nil {
+		t.Error("duplicate member accepted")
+	}
+	r, err := NewRing([]string{"a"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Vnodes() != DefaultVnodes {
+		t.Errorf("vnodes = %d, want default %d", r.Vnodes(), DefaultVnodes)
+	}
+	if got := r.Owner("anything"); got != "a" {
+		t.Errorf("single-member ring owner = %q", got)
+	}
+	if n := r.Nodes(); len(n) != 1 || n[0] != "a" {
+		t.Errorf("Nodes() = %v", n)
+	}
+}
+
+// TestOwnerShardStability pins a handful of shard-to-owner picks so a
+// change in the shard key derivation is caught even when the layout
+// golden (which hashes member names, not shard keys) would miss it.
+func TestOwnerShardStability(t *testing.T) {
+	r, err := NewRing([]string{"node-a", "node-b", "node-c"}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owners := make(map[string]int)
+	for i := 0; i < 64; i++ {
+		owners[r.OwnerShard(i)]++
+	}
+	for _, m := range r.Nodes() {
+		if owners[m] == 0 {
+			t.Errorf("member %s owns no shards of 64 (distribution %v)", m, owners)
+		}
+	}
+	if r.OwnerShard(0) != r.Owner(shardKey(0)) {
+		t.Error("OwnerShard and Owner(shardKey) disagree")
+	}
+}

@@ -1,8 +1,9 @@
-// Package conform is the cross-surface conformance harness. Six surfaces
+// Package conform is the cross-surface conformance harness. Seven surfaces
 // now price the same ACT model (Gupta et al., ISCA 2022): the library, the
 // cmd/act wire pipeline, actd's /v1/footprint (single and batch), the
-// columnar batch engine, the sandboxed script interpreter, and the fleet
-// registry's ingest→summary refold.
+// columnar batch engine, the sandboxed script interpreter, the fleet
+// registry's ingest→summary refold, and the multi-node cluster's
+// scatter-gather refold (cluster_refold.go).
 // Each grew its own spot checks; none proves they still agree as the model
 // gains capability. This package does, generatively:
 //
@@ -121,16 +122,21 @@ type Report struct {
 	Invariants   int // invariant checks evaluated
 	FleetDevices int // devices pushed through the fleet refold
 
+	ClusterNodes   int // members in the cluster refold (0 = surface skipped)
+	ClusterDevices int // devices scattered through the cluster refold
+
 	Divergences       []*Divergence
 	MutantFailures    []string
 	InvariantFailures []string
 	FleetFailures     []string
+	ClusterFailures   []string
 }
 
 // Ok reports whether every check passed.
 func (r *Report) Ok() bool {
 	return len(r.Divergences) == 0 && len(r.MutantFailures) == 0 &&
-		len(r.InvariantFailures) == 0 && len(r.FleetFailures) == 0
+		len(r.InvariantFailures) == 0 && len(r.FleetFailures) == 0 &&
+		len(r.ClusterFailures) == 0
 }
 
 // Failures renders every failure, one block per finding.
@@ -151,6 +157,9 @@ func (r *Report) Failures() string {
 	for _, m := range r.FleetFailures {
 		fmt.Fprintf(&b, "[fleet] %s\n", m)
 	}
+	for _, m := range r.ClusterFailures {
+		fmt.Fprintf(&b, "[cluster] %s\n", m)
+	}
 	return b.String()
 }
 
@@ -158,11 +167,11 @@ func (r *Report) Failures() string {
 func (r *Report) Summary() string {
 	status := "ok"
 	if !r.Ok() {
-		status = fmt.Sprintf("FAIL (%d differential, %d mutant, %d invariant, %d fleet)",
-			len(r.Divergences), len(r.MutantFailures), len(r.InvariantFailures), len(r.FleetFailures))
+		status = fmt.Sprintf("FAIL (%d differential, %d mutant, %d invariant, %d fleet, %d cluster)",
+			len(r.Divergences), len(r.MutantFailures), len(r.InvariantFailures), len(r.FleetFailures), len(r.ClusterFailures))
 	}
-	return fmt.Sprintf("conform: %d scenarios (%d repros) x %d surfaces, %d batch chunks, %d+%d mutants, %d invariant checks, %d fleet devices: %s",
-		r.Scenarios, r.Repros, r.Surfaces, r.BatchChunks, r.SpecMutants, r.WireMutants, r.Invariants, r.FleetDevices, status)
+	return fmt.Sprintf("conform: %d scenarios (%d repros) x %d surfaces, %d batch chunks, %d+%d mutants, %d invariant checks, %d fleet devices, %d cluster devices over %d nodes: %s",
+		r.Scenarios, r.Repros, r.Surfaces, r.BatchChunks, r.SpecMutants, r.WireMutants, r.Invariants, r.FleetDevices, r.ClusterDevices, r.ClusterNodes, status)
 }
 
 // Engine owns the shared actd instance the HTTP surfaces talk to and runs
@@ -239,6 +248,9 @@ func (e *Engine) Run() (*Report, error) {
 
 	e.cfg.Logf("conform: fleet refold over %d devices", len(corpus))
 	e.fleetRefold(rep, corpus)
+
+	e.cfg.Logf("conform: cluster refold over %d devices across %d nodes", len(corpus), clusterMembers)
+	e.clusterRefold(rep, corpus)
 
 	e.cfg.Logf("conform: invariant suite")
 	CheckInvariants(rep, e.cfg.Seed, corpus)

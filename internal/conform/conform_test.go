@@ -54,7 +54,33 @@ func TestConformCorpus(t *testing.T) {
 	if rep.FleetDevices != *conformN {
 		t.Errorf("fleet refold covered %d devices, want %d", rep.FleetDevices, *conformN)
 	}
+	if rep.ClusterDevices != *conformN {
+		t.Errorf("cluster refold covered %d devices, want %d", rep.ClusterDevices, *conformN)
+	}
 	t.Log(rep.Summary())
+}
+
+// TestClusterConformance runs the seventh surface on its own: the corpus
+// fleet scattered across an in-process cluster must refold byte-identically
+// to the single-node oracle, survive a recompute, degrade to the partial
+// envelope while a member is dead, and return to byte-identity after a
+// snapshot-seeded replacement. `make verify-cluster` raises -conform.n to
+// the full 1000-scenario corpus under -race.
+func TestClusterConformance(t *testing.T) {
+	e := New(Config{Seed: 1, N: *conformN, Logf: t.Logf})
+	defer e.Close()
+
+	rep := &Report{}
+	e.clusterRefold(rep, GenerateCorpus(e.cfg.Seed, e.cfg.N))
+	if len(rep.ClusterFailures) != 0 {
+		t.Fatalf("cluster refold failures:\n%s", rep.Failures())
+	}
+	if rep.ClusterNodes != clusterMembers {
+		t.Errorf("refold ran on %d members, want %d", rep.ClusterNodes, clusterMembers)
+	}
+	if rep.ClusterDevices != *conformN {
+		t.Errorf("refold scattered %d devices, want %d", rep.ClusterDevices, *conformN)
+	}
 }
 
 // TestCorpusDeterminism: the same seed reproduces the same corpus

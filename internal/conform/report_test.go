@@ -1,0 +1,217 @@
+package conform
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"act/internal/scenario"
+)
+
+// TestReportFailureRendering pins the failure-report shape the CLI and CI
+// logs print: the one-line Summary flips to FAIL with per-category counts,
+// and Failures renders one tagged block per finding (with the repro path
+// when a shrunk repro was written). The harness only reaches these paths
+// on a real divergence, so they get exercised here directly.
+func TestReportFailureRendering(t *testing.T) {
+	d := &Divergence{
+		Surface:   "actd-single",
+		Index:     7,
+		Want:      "{\"total_g\": 1}\n",
+		Got:       "{\"total_g\": 2}\n",
+		ReproPath: "testdata/repro-deadbeef.json",
+	}
+	if s := d.String(); !strings.Contains(s, "scenario 7 diverges on actd-single") {
+		t.Errorf("Divergence.String = %q", s)
+	}
+
+	rep := &Report{
+		Scenarios: 10, Surfaces: 7, Repros: 1, BatchChunks: 2,
+		SpecMutants: 3, WireMutants: 4, Invariants: 5,
+		FleetDevices: 10, ClusterDevices: 10, ClusterNodes: 3,
+		Divergences:       []*Divergence{d},
+		MutantFailures:    []string{"mutant m"},
+		InvariantFailures: []string{"invariant i"},
+		FleetFailures:     []string{"fleet f"},
+		ClusterFailures:   []string{"cluster c"},
+	}
+	if rep.Ok() {
+		t.Fatal("Ok() = true for a report with failures in every category")
+	}
+	sum := rep.Summary()
+	if !strings.Contains(sum, "FAIL (1 differential, 1 mutant, 1 invariant, 1 fleet, 1 cluster)") {
+		t.Errorf("Summary = %q", sum)
+	}
+	fails := rep.Failures()
+	for _, want := range []string{
+		"[differential] scenario 7 diverges on actd-single",
+		"repro: testdata/repro-deadbeef.json",
+		"[mutant] mutant m",
+		"[invariant] invariant i",
+		"[fleet] fleet f",
+		"[cluster] cluster c",
+	} {
+		if !strings.Contains(fails, want) {
+			t.Errorf("Failures() missing %q in:\n%s", want, fails)
+		}
+	}
+
+	if ok := (&Report{}).Ok(); !ok {
+		t.Error("Ok() = false for an empty report")
+	}
+	if sum := (&Report{}).Summary(); !strings.Contains(sum, ": ok") {
+		t.Errorf("empty-report Summary = %q", sum)
+	}
+}
+
+// TestSurfaceNames pins the surface names the divergence reports key on —
+// surfaceByName resolves shrink targets by these strings, so a rename
+// silently orphans committed divergence reports.
+func TestSurfaceNames(t *testing.T) {
+	for name, s := range map[string]Surface{
+		"direct":      Direct{},
+		"wire":        WireRoundTrip{},
+		"columnar":    Columnar{},
+		"script":      ScriptSurface{},
+		"actd-single": httpSingle{},
+		"actd-batch":  httpBatchOne{},
+	} {
+		if got := s.Name(); got != name {
+			t.Errorf("Name() = %q, want %q", got, name)
+		}
+	}
+	p := Perturbed{Inner: Direct{}, Mutate: func(*scenario.Spec) {}}
+	if got := p.Name(); got != "direct+perturbed" {
+		t.Errorf("Perturbed.Name() = %q", got)
+	}
+}
+
+// TestSurfaceEvalRejectsInvalidSpec drives every in-process surface over a
+// spec the model must reject; outcomeOf normalizes all of them into the
+// "error: " form the differential pass treats as agreement.
+func TestSurfaceEvalRejectsInvalidSpec(t *testing.T) {
+	bad := &scenario.Spec{} // no name, no components: invalid on every surface
+	for _, s := range []Surface{Direct{}, WireRoundTrip{}, Columnar{}, ScriptSurface{}} {
+		if _, err := s.Eval(bad); err == nil {
+			t.Errorf("%s.Eval accepted an empty spec", s.Name())
+		}
+		if out := outcomeOf(s, bad); !strings.HasPrefix(out, "error: ") {
+			t.Errorf("outcomeOf(%s, bad) = %q, want error form", s.Name(), out)
+		}
+	}
+}
+
+// TestHTTPErrorRendering covers both HTTPError forms (with and without the
+// typed field path) that mutant classification matches on.
+func TestHTTPErrorRendering(t *testing.T) {
+	withField := &HTTPError{Code: 400, Field: "logic[0].node", Message: "unknown node"}
+	if got := withField.Error(); got != "http 400: logic[0].node: unknown node" {
+		t.Errorf("Error() = %q", got)
+	}
+	bare := &HTTPError{Code: 503, Message: "draining"}
+	if got := bare.Error(); got != "http 503: draining" {
+		t.Errorf("Error() = %q", got)
+	}
+}
+
+// TestHTTPSurfaceErrorPaths exercises the actd-surface client against the
+// answers the differential pass never sees in a passing run: enveloped
+// errors, garbage error bodies, non-array batch answers, wrong-size batch
+// answers, and a dead server.
+func TestHTTPSurfaceErrorPaths(t *testing.T) {
+	spec := GenerateCorpus(1, 1)[0]
+
+	serve := func(status int, body string) *httptest.Server {
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.WriteHeader(status)
+			w.Write([]byte(body))
+		}))
+	}
+
+	ts := serve(400, `{"error":{"code":"invalid_argument","field":"usage.app_hours","message":"nope"}}`)
+	defer ts.Close()
+	_, err := httpSingle{client: ts.Client(), url: ts.URL}.Eval(spec)
+	he, ok := err.(*HTTPError)
+	if !ok || he.Field != "usage.app_hours" {
+		t.Fatalf("enveloped 400 gave %v, want HTTPError with field", err)
+	}
+
+	garbage := serve(500, "not json at all")
+	defer garbage.Close()
+	_, err = httpSingle{client: garbage.Client(), url: garbage.URL}.Eval(spec)
+	he, ok = err.(*HTTPError)
+	if !ok || he.Field != "" || !strings.Contains(he.Message, "not json") {
+		t.Fatalf("garbage 500 gave %v, want raw-body HTTPError", err)
+	}
+
+	notArray := serve(200, `{"not": "an array"}`)
+	defer notArray.Close()
+	if _, err := (httpBatchOne{client: notArray.Client(), url: notArray.URL}).Eval(spec); err == nil ||
+		!strings.Contains(err.Error(), "not a JSON array") {
+		t.Fatalf("non-array batch answer gave %v", err)
+	}
+
+	twoElems := serve(200, `[{"a":1},{"b":2}]`)
+	defer twoElems.Close()
+	if _, err := (httpBatchOne{client: twoElems.Client(), url: twoElems.URL}).Eval(spec); err == nil ||
+		!strings.Contains(err.Error(), "answered 2 elements") {
+		t.Fatalf("two-element batch answer gave %v", err)
+	}
+
+	dead := serve(200, "")
+	deadURL := dead.URL
+	dead.Close()
+	if _, err := (httpSingle{client: &http.Client{}, url: deadURL}).Eval(spec); err == nil {
+		t.Fatal("dead server Eval succeeded")
+	}
+}
+
+// TestSurfaceByName covers the shrink-target resolution table: direct
+// lookups, the batch-chunk alias onto the one-element batch surface, and
+// the unknown-name miss.
+func TestSurfaceByName(t *testing.T) {
+	e := New(Config{Seed: 1, N: 1})
+	defer e.Close()
+
+	if e.URL() == "" {
+		t.Error("URL() is empty")
+	}
+	if e.Client() == nil {
+		t.Error("Client() is nil")
+	}
+	if s := e.surfaceByName("direct"); s == nil || s.Name() != "direct" {
+		t.Errorf("surfaceByName(direct) = %v", s)
+	}
+	if s := e.surfaceByName("actd-batch-chunk"); s == nil || s.Name() != "actd-batch" {
+		t.Errorf("surfaceByName(actd-batch-chunk) = %v, want the actd-batch alias", s)
+	}
+	if s := e.surfaceByName("no-such-surface"); s != nil {
+		t.Errorf("surfaceByName(no-such-surface) = %v, want nil", s)
+	}
+}
+
+// TestWriteReproUnwritableDir pins the harness-trouble error path: a repro
+// dir that cannot be created must surface as an error, not a silent skip.
+func TestWriteReproUnwritableDir(t *testing.T) {
+	spec := GenerateCorpus(1, 1)[0]
+	blocker := filepath.Join(t.TempDir(), "blocker")
+	if _, err := WriteRepro(blocker, spec); err != nil {
+		t.Fatalf("WriteRepro into a fresh dir: %v", err)
+	}
+	// A regular file where the dir should go makes MkdirAll fail.
+	file := filepath.Join(blocker, "repro-")
+	if _, err := WriteRepro(filepath.Join(blocker, findRepro(t, blocker)), spec); err == nil {
+		t.Fatalf("WriteRepro under a file path succeeded (%s)", file)
+	}
+}
+
+func findRepro(t *testing.T, dir string) string {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join(dir, "repro-*.json"))
+	if err != nil || len(paths) != 1 {
+		t.Fatalf("glob %s: %v %v", dir, paths, err)
+	}
+	return filepath.Base(paths[0])
+}

@@ -14,9 +14,11 @@ import (
 	"io"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"act/internal/faultinject"
+	"act/internal/reqid"
 	"act/internal/resilience"
 )
 
@@ -124,6 +126,13 @@ type endpointPool struct {
 	timeout time.Duration
 
 	onSend func(url string, ok bool) // per-attempt accounting
+
+	// sendSeq numbers minted delivery ids: a background export tick has no
+	// inbound request to inherit an X-Request-Id from, so each delivery
+	// mints "export-N". Triggered deliveries (a config PUT with flush)
+	// forward the inbound request's id instead, so one id spans the
+	// client's request and the export it caused.
+	sendSeq atomic.Uint64
 }
 
 func newEndpointPool(urls []string, client Doer, bucket *tokenBucket, timeout time.Duration, breakerCfg resilience.BreakerConfig) *endpointPool {
@@ -182,6 +191,13 @@ func (p *endpointPool) post(ctx context.Context, url string, body []byte) error 
 	}
 	req.Header.Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	req.Header.Set("Content-Encoding", "gzip")
+	// One id per outbound delivery: the inbound request's own when this
+	// export was request-triggered, a minted one for background ticks.
+	if reqid.From(ctx) == "" {
+		req.Header.Set(reqid.Header, fmt.Sprintf("export-%06d", p.sendSeq.Add(1)))
+	} else {
+		reqid.Forward(ctx, req.Header)
+	}
 	resp, err := p.client.Do(req)
 	if err != nil {
 		return fmt.Errorf("export: send %s: %w", url, err)

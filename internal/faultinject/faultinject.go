@@ -64,6 +64,17 @@ const (
 	// stall untrusted-script evaluation and assert the serving layer
 	// retries transients and answers from the status taxonomy.
 	SiteScriptEval = "script.eval"
+	// SiteClusterRPC fires in the cluster peer client immediately before
+	// each inter-node HTTP attempt (retries revisit it), so chaos tests
+	// can fail scatter-gather legs and assert partial-quorum answers,
+	// transient-only retries and per-peer breaker trips.
+	SiteClusterRPC = "cluster.rpc"
+	// SiteClusterFold fires at the top of the cluster summary fold, after
+	// the per-node partials are gathered but before they are merged, so
+	// chaos tests can fail the fold itself and assert the coordinator
+	// answers from the status taxonomy rather than serving a torn
+	// document.
+	SiteClusterFold = "cluster.fold"
 )
 
 // Fault is what a hook asks the site to do, applied in order: sleep for

@@ -276,7 +276,11 @@ type Registry struct {
 	shards []*shard
 	evals  evalCache
 	count  atomic.Int64
-	log    WALAppender // nil until AttachLog/AttachWAL
+	// gen counts structural mutations (upsert, remove, restore, recompute
+	// install). A staged recompute remembers the generation it priced and
+	// restages at commit if mutations landed in between.
+	gen atomic.Uint64
+	log WALAppender // nil until AttachLog/AttachWAL
 }
 
 // New builds an empty registry.
@@ -389,6 +393,7 @@ func (r *Registry) apply(rec *record, logIt bool) (replaced bool, err error) {
 	} else {
 		r.count.Add(1)
 	}
+	r.gen.Add(1)
 	sh.recs[rec.dev.ID] = rec
 	sh.applyLocked(rec, +1)
 	r.evals.retain(rec.key, rec.contrib.embodiedG)
@@ -425,6 +430,7 @@ func (r *Registry) remove(id string, logIt bool) (bool, error) {
 	delete(sh.recs, id)
 	sh.applyLocked(rec, -1)
 	r.count.Add(-1)
+	r.gen.Add(1)
 	r.evals.release(rec.key)
 	return true, nil
 }

@@ -106,6 +106,7 @@ type Store struct {
 
 	mu          sync.Mutex // serializes checkpoints and probes
 	quarantined atomic.Int64
+	floor       atomic.Uint64 // first WAL seq not covered by the snapshot
 	stale       bool
 }
 
@@ -132,6 +133,7 @@ func OpenStore(ctx context.Context, reg *Registry, cfg StoreConfig) (*Store, err
 	if err != nil {
 		return nil, err
 	}
+	s.floor.Store(floor)
 	if !legacyCovered {
 		if err := s.replayLegacy(ctx); err != nil {
 			return nil, err
@@ -471,6 +473,7 @@ func (s *Store) Checkpoint() error {
 		return err
 	}
 	// The snapshot is durable; history below the floor is dead weight.
+	s.floor.Store(floor)
 	if err := s.w.DropBelow(floor); err != nil {
 		return err
 	}

@@ -38,9 +38,75 @@ func (r *Registry) Recompute(ctx context.Context) error {
 	return nil
 }
 
-// recomputeLocked does the work with r.mu write-held (no readers hold
-// shard locks, so shard state is touched directly).
+// StagedRecompute is a repriced-but-not-installed registry state, the
+// prepare half of the cluster's two-phase recompute: every node stages
+// its repricing first, and only when every member prepared cleanly does
+// the coordinator commit the swap — so a summary fold never mixes shard
+// totals priced under different model tables.
+type StagedRecompute struct {
+	r      *Registry
+	gen    uint64
+	shards []*shard
+	evals  map[string]*evalEntry
+	count  int64
+}
+
+// PrepareRecompute reprices the whole registry against the current model
+// tables into a staged copy, leaving the live state untouched. Commit
+// installs it; Abort discards it. The registry stays fully usable in
+// between — if mutations land before Commit, the commit restages under
+// its own lock rather than installing a stale pricing.
+func (r *Registry) PrepareRecompute(ctx context.Context) (*StagedRecompute, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	staged, evals, count, err := r.stageLocked(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &StagedRecompute{r: r, gen: r.gen.Load(), shards: staged, evals: evals, count: count}, nil
+}
+
+// Commit installs the staged state, restaging first when the registry
+// mutated since Prepare. The install is logged like a plain Recompute so
+// a durable registry replays it.
+func (s *StagedRecompute) Commit(ctx context.Context) error {
+	r := s.r
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.gen.Load() != s.gen {
+		staged, evals, count, err := r.stageLocked(ctx)
+		if err != nil {
+			return err
+		}
+		s.shards, s.evals, s.count = staged, evals, count
+	}
+	r.installLocked(s.shards, s.evals, s.count)
+	if r.log != nil {
+		if err := r.log.Append([]byte{opRecompute}); err != nil {
+			return fmt.Errorf("fleet: write-ahead log: %w", err)
+		}
+	}
+	return nil
+}
+
+// Abort discards the staged state. Safe to call after a failed Commit.
+func (s *StagedRecompute) Abort() { s.shards, s.evals = nil, nil }
+
+// recomputeLocked stages and installs in one step — the single-node
+// path. The caller write-holds r.mu (no readers hold shard locks, so
+// shard state is touched directly).
 func (r *Registry) recomputeLocked(ctx context.Context) error {
+	staged, evals, count, err := r.stageLocked(ctx)
+	if err != nil {
+		return err
+	}
+	r.installLocked(staged, evals, count)
+	return nil
+}
+
+// stageLocked reprices every record into fresh replacement shards
+// without touching the live ones. The caller write-holds r.mu.
+func (r *Registry) stageLocked(ctx context.Context) ([]*shard, map[string]*evalEntry, int64, error) {
 	// One representative spec per distinct BoM, evaluated once each.
 	reps := map[string]*scenario.Spec{}
 	for _, sh := range r.shards {
@@ -78,7 +144,7 @@ func (r *Registry) recomputeLocked(ctx context.Context) error {
 		}
 		return struct{}{}, colbatch.EmbodiedTotals(specs[ch.start:ch.end], vals[ch.start:ch.end])
 	}); err != nil {
-		return fmt.Errorf("fleet: recompute: %w", err)
+		return nil, nil, 0, fmt.Errorf("fleet: recompute: %w", err)
 	}
 	embodied := make(map[string]float64, len(keys))
 	for i, k := range keys {
@@ -114,13 +180,12 @@ func (r *Registry) recomputeLocked(ctx context.Context) error {
 		return ns, nil
 	})
 	if err != nil {
-		return err
+		return nil, nil, 0, err
 	}
 
 	entries := map[string]*evalEntry{}
 	var count int64
-	for i, ns := range staged {
-		r.shards[i] = ns
+	for _, ns := range staged {
 		count += ns.agg.devices
 		for _, rec := range ns.recs {
 			e, ok := entries[rec.key]
@@ -131,7 +196,13 @@ func (r *Registry) recomputeLocked(ctx context.Context) error {
 			e.refs++
 		}
 	}
+	return staged, entries, count, nil
+}
+
+// installLocked swaps the staged shards in. The caller write-holds r.mu.
+func (r *Registry) installLocked(staged []*shard, entries map[string]*evalEntry, count int64) {
+	copy(r.shards, staged)
 	r.evals.reset(entries)
 	r.count.Store(count)
-	return nil
+	r.gen.Add(1)
 }

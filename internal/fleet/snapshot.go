@@ -183,6 +183,7 @@ func (r *Registry) Restore(rd io.Reader) (stale bool, err error) {
 	r.cfg.Shards = int(shardCount)
 	r.evals.reset(entries)
 	r.count.Store(count)
+	r.gen.Add(1)
 	r.mu.Unlock()
 	return fp != memdb.Fingerprint(), nil
 }

@@ -1,0 +1,42 @@
+// Package reqid carries the per-request correlation id through contexts,
+// shared by every layer that makes or serves HTTP: actd mints (or adopts)
+// an X-Request-Id per inbound request, and every outbound call made on
+// behalf of that request — inter-node cluster RPCs, proxied ingest hops,
+// telemetry deliveries — forwards the same id, so one id spans the whole
+// distributed call tree in the logs of every node it touched.
+//
+// The package exists (rather than living in internal/serve) because the
+// serving layer imports the cluster layer: cluster RPCs need to read the
+// id from the context without importing serve back.
+package reqid
+
+import (
+	"context"
+	"net/http"
+)
+
+// Header is the wire header the id travels on.
+const Header = "X-Request-Id"
+
+type ctxKey struct{}
+
+// From returns the request id carried by ctx, or "" when there is none.
+func From(ctx context.Context) string {
+	id, _ := ctx.Value(ctxKey{}).(string)
+	return id
+}
+
+// With returns ctx carrying id.
+func With(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ctxKey{}, id)
+}
+
+// Forward stamps the context's request id onto an outbound request, if the
+// context carries one. Calls that are not on behalf of an inbound request
+// (a background telemetry tick, a CLI invocation) are left unstamped for
+// the receiver to mint.
+func Forward(ctx context.Context, h http.Header) {
+	if id := From(ctx); id != "" {
+		h.Set(Header, id)
+	}
+}

@@ -1,0 +1,278 @@
+// Cluster mode. EnableCluster attaches a cluster.Cluster to the server,
+// after which the public fleet routes behave cluster-wide: ingest
+// scatters to owners, summaries scatter-gather-and-fold, deletes proxy
+// to the owner, and recompute runs the two-phase protocol across the
+// membership. The private /v1/cluster/* routes are the inter-node
+// surface — always registered, answering 404 until cluster mode is on.
+//
+// Partial quorum: when some members are unreachable, a summary still
+// answers — HTTP 206 with the closed envelope code "partial" riding
+// next to the reachable-node fold — so operators keep visibility into
+// the surviving fleet during an outage instead of getting nothing.
+
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"act/internal/acterr"
+	"act/internal/cluster"
+	"act/internal/fleet"
+	"act/internal/report"
+	"act/internal/resilience"
+)
+
+// ClusterConfig is the actd-facing cluster configuration (cmd/actd
+// flags; everything else — registry, resilience settings, metrics — is
+// wired from the server's own config).
+type ClusterConfig struct {
+	// Self is this node's base URL as the membership names it.
+	Self string
+	// Peers is the full static membership, self included.
+	Peers []string
+	// Vnodes is the consistent-hash replication factor (0 = default).
+	Vnodes int
+}
+
+// EnableCluster switches the server into cluster mode. Call it before
+// serving traffic (cmd/actd does, and the conformance harness enables it
+// before the first request).
+func (s *Server) EnableCluster(cc ClusterConfig) error {
+	c, err := cluster.New(cluster.Config{
+		Self:             cc.Self,
+		Peers:            cc.Peers,
+		Vnodes:           cc.Vnodes,
+		Registry:         s.fleet,
+		RetryAttempts:    s.cfg.RetryAttempts,
+		BreakerThreshold: s.cfg.BreakerThreshold,
+		BreakerOpenFor:   s.cfg.BreakerOpenFor,
+		OnPeerBreakerChange: func(peer string, from, to resilience.State) {
+			s.mClusterPeerState.With(peer).Store(int64(to))
+			s.log.Warn("cluster peer breaker state change",
+				"peer", peer, "from", from.String(), "to", to.String())
+		},
+		Logf: func(format string, args ...any) {
+			s.log.Info(fmt.Sprintf(format, args...))
+		},
+	})
+	if err != nil {
+		return err
+	}
+	for _, m := range c.Members() {
+		if m != c.Self() {
+			s.mClusterPeerState.With(m).Store(int64(resilience.Closed))
+		}
+	}
+	s.cluster.Store(c)
+	s.log.Info("cluster mode enabled",
+		"self", c.Self(), "members", len(c.Members()), "vnodes", c.Ring().Vnodes())
+	return nil
+}
+
+// Cluster returns the attached cluster engine, nil in single-node mode.
+func (s *Server) Cluster() *cluster.Cluster { return s.cluster.Load() }
+
+// forwarded reports whether r is a routed member-to-member hop; such
+// requests must be handled locally, never re-forwarded.
+func forwarded(r *http.Request) bool { return r.Header.Get(cluster.ForwardedHeader) != "" }
+
+// clusterFor returns the cluster engine when this request should take
+// the cluster path: cluster mode on and not already a forwarded hop.
+func (s *Server) clusterFor(r *http.Request) *cluster.Cluster {
+	c := s.cluster.Load()
+	if c == nil || forwarded(r) {
+		return nil
+	}
+	return c
+}
+
+// partialSummaryResponse is the 206 body: the error envelope naming the
+// unreachable members next to the reachable-node fold.
+type partialSummaryResponse struct {
+	Error   errorDetail             `json:"error"`
+	Summary report.FleetSummaryJSON `json:"summary"`
+}
+
+// writePartialSummary answers a degraded scatter-gather.
+func (s *Server) writePartialSummary(w http.ResponseWriter, r *http.Request, doc report.FleetSummaryJSON, missing []string) {
+	s.mClusterScatter.With("partial").Add(1)
+	writeJSON(w, http.StatusPartialContent, partialSummaryResponse{
+		Error: errorDetail{
+			Code:      codePartial,
+			Message:   fmt.Sprintf("summary folded without %d unreachable member(s): %v", len(missing), missing),
+			RequestID: RequestIDFrom(r.Context()),
+		},
+		Summary: doc,
+	})
+}
+
+// writeClusterError classifies a cluster-path failure: typed conflicts
+// are 409, transient faults (dead peers, open breakers, injected chaos)
+// are 503 unavailable, everything else takes the standard taxonomy.
+func (s *Server) writeClusterError(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case cluster.IsConflict(err):
+		s.writeErrorCode(w, r, http.StatusConflict, codeConflict, "", err.Error())
+	case errors.Is(err, cluster.ErrEpochMixed):
+		s.writeErrorCode(w, r, http.StatusServiceUnavailable, codeUnavailable, "", err.Error())
+	case acterr.IsTransient(err):
+		s.writeErrorCode(w, r, http.StatusServiceUnavailable, codeUnavailable, "", err.Error())
+	default:
+		s.writeError(w, r, err)
+	}
+}
+
+// requireCluster 404s the private inter-node routes while cluster mode
+// is off.
+func (s *Server) requireCluster(w http.ResponseWriter, r *http.Request) *cluster.Cluster {
+	c := s.cluster.Load()
+	if c == nil {
+		s.writeErrorCode(w, r, http.StatusNotFound, codeNotFound, "", "cluster mode is not enabled")
+	}
+	return c
+}
+
+// handleClusterPartial serves this node's scatter-gather contribution:
+// GET /v1/cluster/partial?top=K&by=DIM. The partial carries only the
+// group dimension named by `by` — the fold reads exactly one, so the
+// coordinator asks for exactly one.
+func (s *Server) handleClusterPartial(w http.ResponseWriter, r *http.Request) {
+	c := s.requireCluster(w, r)
+	if c == nil {
+		return
+	}
+	topK := 0
+	if v := r.URL.Query().Get("top"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			s.writeErrorCode(w, r, http.StatusBadRequest, codeInvalidArgument, "top",
+				fmt.Sprintf("cannot parse top-K %q", v))
+			return
+		}
+		topK = n
+	}
+	groupBy := r.URL.Query().Get("by")
+	if err := (fleet.Query{GroupBy: groupBy}).Validate(); err != nil {
+		s.writeErrorCode(w, r, http.StatusBadRequest, codeInvalidArgument, "by",
+			fmt.Sprintf("unknown group dimension %q", groupBy))
+		return
+	}
+	p, err := c.LocalPartial(topK, groupBy)
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, p)
+}
+
+// handleClusterSnapshot ships this node's full fleet state inside the
+// durable-store envelope — the node-replacement transfer. With a store
+// mounted it checkpoints first so the shipped WAL floor is honest.
+func (s *Server) handleClusterSnapshot(w http.ResponseWriter, r *http.Request) {
+	c := s.requireCluster(w, r)
+	if c == nil {
+		return
+	}
+	var floor uint64
+	if st := s.fleetStore.Load(); st != nil {
+		if err := s.CheckpointFleet(); err != nil {
+			s.writeError(w, r, err)
+			return
+		}
+		floor = st.Floor()
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(cluster.EpochHeader, strconv.FormatUint(c.Epoch(), 10))
+	if err := s.fleet.WriteShip(w, floor); err != nil {
+		// The status line is committed; all we can do is count and log.
+		s.mEncodeErrors.Inc()
+		s.log.Warn("cluster snapshot ship failed mid-stream",
+			"request_id", RequestIDFrom(r.Context()), "error", err)
+	}
+}
+
+// clusterRecomputeBody decodes the prepare/commit/abort control message.
+func clusterRecomputeBody(r *http.Request) (epoch, fingerprint uint64, err error) {
+	var msg struct {
+		Epoch       uint64 `json:"epoch"`
+		Fingerprint uint64 `json:"fingerprint"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&msg); err != nil {
+		return 0, 0, err
+	}
+	return msg.Epoch, msg.Fingerprint, nil
+}
+
+// handleClusterPrepare stages a repricing: phase one of the two-phase
+// recompute.
+func (s *Server) handleClusterPrepare(w http.ResponseWriter, r *http.Request) {
+	c := s.requireCluster(w, r)
+	if c == nil {
+		return
+	}
+	epoch, fp, err := clusterRecomputeBody(r)
+	if err != nil {
+		s.writeErrorCode(w, r, http.StatusBadRequest, codeInvalidArgument, "", err.Error())
+		return
+	}
+	if err := c.PrepareLocal(r.Context(), epoch, fp); err != nil {
+		s.writeClusterError(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"prepared": epoch})
+}
+
+// handleClusterCommit installs a staged repricing: phase two.
+func (s *Server) handleClusterCommit(w http.ResponseWriter, r *http.Request) {
+	c := s.requireCluster(w, r)
+	if c == nil {
+		return
+	}
+	epoch, _, err := clusterRecomputeBody(r)
+	if err != nil {
+		s.writeErrorCode(w, r, http.StatusBadRequest, codeInvalidArgument, "", err.Error())
+		return
+	}
+	if err := c.CommitLocal(r.Context(), epoch); err != nil {
+		s.writeClusterError(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"committed": epoch})
+}
+
+// handleClusterAbort discards a staged repricing.
+func (s *Server) handleClusterAbort(w http.ResponseWriter, r *http.Request) {
+	c := s.requireCluster(w, r)
+	if c == nil {
+		return
+	}
+	epoch, _, err := clusterRecomputeBody(r)
+	if err != nil {
+		s.writeErrorCode(w, r, http.StatusBadRequest, codeInvalidArgument, "", err.Error())
+		return
+	}
+	c.AbortLocal(epoch)
+	writeJSON(w, http.StatusOK, map[string]any{"aborted": epoch})
+}
+
+// clusterSummary runs the scatter-gather-fold path for the public
+// summary route (and the recompute route's response document).
+func (s *Server) clusterSummary(w http.ResponseWriter, r *http.Request, c *cluster.Cluster, q fleet.Query) {
+	doc, missing, err := c.Summary(r.Context(), q)
+	if err != nil {
+		s.mClusterScatter.With("error").Add(1)
+		s.writeClusterError(w, r, err)
+		return
+	}
+	if len(missing) > 0 {
+		s.writePartialSummary(w, r, doc, missing)
+		return
+	}
+	s.mClusterScatter.With("full").Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	s.encodeBody(w, r, doc)
+}

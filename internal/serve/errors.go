@@ -46,6 +46,12 @@ const (
 	// codeInternal: an internal fault — a panic, or a transient fault that
 	// survived the retry budget (500).
 	codeInternal = "internal"
+	// codePartial: a cluster scatter-gather answered from the reachable
+	// members only — some nodes were unreachable, so the document under-
+	// counts their devices (206). The envelope rides next to the folded
+	// summary; a client that needs the full fleet retries once the
+	// missing members heal.
+	codePartial = "partial"
 	// codeInvalidScript: a /v1/script program failed to parse or faulted
 	// at runtime — the program is the client's to fix (400).
 	codeInvalidScript = "invalid_script"

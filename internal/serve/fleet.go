@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"act/internal/acterr"
+	"act/internal/cluster"
 	"act/internal/fleet"
 	"act/internal/report"
 	"act/internal/vfs"
@@ -29,7 +30,20 @@ func (s *Server) Fleet() *fleet.Registry { return s.fleet }
 // Outcome counts land in actd_fleet_ingest_total{code}: created, replaced,
 // invalid (a 4xx the client can fix), error (an internal fault).
 func (s *Server) handleFleetIngest(w http.ResponseWriter, r *http.Request) {
-	res, err := s.fleet.IngestNDJSON(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes), s.cfg.MaxBatch)
+	var (
+		res       fleet.IngestResult
+		err       error
+		clustered bool
+	)
+	if c := s.clusterFor(r); c != nil {
+		clustered = true
+		// Cluster coordinator: decode here, scatter each record to its
+		// owning member (this node included). Forwarded hops fall through
+		// to the local path below — a member never re-forwards.
+		res, err = c.Ingest(r.Context(), http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes), s.cfg.MaxBatch)
+	} else {
+		res, err = s.fleet.IngestNDJSON(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes), s.cfg.MaxBatch)
+	}
 	if created := res.Upserted - res.Replaced; created > 0 {
 		s.mFleetIngest.With("created").Add(uint64(created))
 	}
@@ -51,7 +65,13 @@ func (s *Server) handleFleetIngest(w http.ResponseWriter, r *http.Request) {
 			s.writeError(w, r, err)
 		default:
 			s.mFleetIngest.With("error").Add(1)
-			s.writeError(w, r, err)
+			if clustered {
+				// A dead owner or open peer breaker is the cluster's
+				// unavailability, not an internal fault.
+				s.writeClusterError(w, r, err)
+			} else {
+				s.writeError(w, r, err)
+			}
 		}
 		return
 	}
@@ -67,6 +87,10 @@ func (s *Server) handleFleetSummary(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, err)
 		return
 	}
+	if c := s.clusterFor(r); c != nil {
+		s.clusterSummary(w, r, c, q)
+		return
+	}
 	doc, err := s.fleet.Query(q)
 	if err != nil {
 		s.writeError(w, r, err)
@@ -79,6 +103,25 @@ func (s *Server) handleFleetSummary(w http.ResponseWriter, r *http.Request) {
 // handleFleetDelete unregisters one device by id; 404 when absent.
 func (s *Server) handleFleetDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	if c := s.cluster.Load(); c != nil && !c.IsLocal(id) {
+		if forwarded(r) {
+			// The sender thought we own this device; we disagree. A second
+			// hop could loop forever, so answer conflict instead.
+			s.writeClusterError(w, r, cluster.ErrNotOwner)
+			return
+		}
+		status, body, err := c.ProxyDelete(r.Context(), c.OwnerOf(id), id)
+		if err != nil {
+			s.writeClusterError(w, r, err)
+			return
+		}
+		// Relay the owner's verbatim answer. The forwarded request carried
+		// our X-Request-Id, so the relayed body's request_id matches ours.
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		_, _ = w.Write(body)
+		return
+	}
 	found, err := s.fleet.Remove(id)
 	if err != nil {
 		s.writeError(w, r, err)
@@ -96,6 +139,19 @@ func (s *Server) handleFleetDelete(w http.ResponseWriter, r *http.Request) {
 // current model tables and answers with the fresh summary. Latency lands
 // in actd_fleet_recompute_seconds.
 func (s *Server) handleFleetRecompute(w http.ResponseWriter, r *http.Request) {
+	if c := s.clusterFor(r); c != nil {
+		// Two-phase coordinator: prepare on every member, then commit, then
+		// answer the cluster-wide summary.
+		start := time.Now()
+		err := c.Recompute(r.Context())
+		s.mFleetRecompute.Observe(time.Since(start).Seconds())
+		if err != nil {
+			s.writeClusterError(w, r, err)
+			return
+		}
+		s.clusterSummary(w, r, c, fleet.Query{})
+		return
+	}
 	if err := s.recomputeFleet(r.Context()); err != nil {
 		s.writeError(w, r, err)
 		return

@@ -1,8 +1,11 @@
 // Request-ID propagation. Every API request carries an X-Request-Id: the
-// client's own (when it sends a sane one) or a server-generated id. The id
-// rides the request context, appears in the response headers, in every
-// structured log line, and in every JSON error body — which is what makes
-// a failure in a thousand-request chaos run attributable to one request.
+// client's own (when it sends a sane one) or a server-generated id,
+// minted ONCE per inbound request. The id rides the request context
+// (internal/reqid, so the cluster and export layers can forward it on
+// their outbound calls without importing serve), appears in the response
+// headers, in every structured log line, and in every JSON error body —
+// which is what makes a failure in a thousand-request chaos run, or a
+// proxied cross-node ingest hop, attributable to one request.
 
 package serve
 
@@ -13,19 +16,16 @@ import (
 	"fmt"
 	"net/http"
 	"sync/atomic"
-)
 
-type reqIDKey struct{}
+	"act/internal/reqid"
+)
 
 // RequestIDFrom returns the request id carried by ctx, or "" outside a
 // request.
-func RequestIDFrom(ctx context.Context) string {
-	id, _ := ctx.Value(reqIDKey{}).(string)
-	return id
-}
+func RequestIDFrom(ctx context.Context) string { return reqid.From(ctx) }
 
 func withRequestID(ctx context.Context, id string) context.Context {
-	return context.WithValue(ctx, reqIDKey{}, id)
+	return reqid.With(ctx, id)
 }
 
 // reqIDSource mints process-unique request ids: a random per-server nonce

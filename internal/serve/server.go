@@ -52,6 +52,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"act/internal/cluster"
 	"act/internal/fleet"
 	"act/internal/resilience"
 )
@@ -163,6 +164,7 @@ type Server struct {
 	fleet      *fleet.Registry
 	fleetStore atomic.Pointer[fleet.Store] // nil until OpenFleet attaches durability
 	compactor  *fleetCompactor             // nil unless OpenFleet started one
+	cluster    atomic.Pointer[cluster.Cluster] // nil until EnableCluster
 
 	mRequests     *CounterVec // actd_requests_total{handler,code}
 	mLatency      *Histogram  // actd_request_duration_seconds
@@ -178,6 +180,9 @@ type Server struct {
 	mFleetIngest    *CounterVec // actd_fleet_ingest_total{code}
 	mFleetRecompute *Histogram  // actd_fleet_recompute_seconds
 	mEncodeErrors   *Counter    // actd_response_encode_errors_total
+
+	mClusterPeerState *GaugeVec   // actd_cluster_peer_breaker_state{peer}
+	mClusterScatter   *CounterVec // actd_cluster_scatter_total{outcome}
 
 	mScriptEvals    *CounterVec // actd_script_evals_total{code}
 	mScriptSteps    *Histogram  // actd_script_steps
@@ -264,6 +269,10 @@ func New(cfg Config) *Server {
 		"Latency of full fleet recomputations in seconds.", DefaultLatencyBuckets)
 	s.mEncodeErrors = s.reg.NewCounter("actd_response_encode_errors_total",
 		"Response bodies that failed to encode after the status line was committed.")
+	s.mClusterPeerState = s.reg.NewGaugeVec("actd_cluster_peer_breaker_state",
+		"Per-peer cluster RPC breaker position (0 closed, 1 open, 2 half-open).", "peer")
+	s.mClusterScatter = s.reg.NewCounterVec("actd_cluster_scatter_total",
+		"Cluster scatter-gather summaries, by outcome (full, partial, error).", "outcome")
 	s.mScriptEvals = s.reg.NewCounterVec("actd_script_evals_total",
 		"Sandboxed script evaluations, by outcome code.", "code")
 	s.mScriptSteps = s.reg.NewHistogram("actd_script_steps",
@@ -310,6 +319,11 @@ func New(cfg Config) *Server {
 	s.mux.Handle("GET /v1/fleet/summary", s.api("fleet_summary", s.handleFleetSummary))
 	s.mux.Handle("DELETE /v1/fleet/devices/{id}", s.api("fleet_delete", s.handleFleetDelete))
 	s.mux.Handle("POST /v1/fleet/recompute", s.api("fleet_recompute", s.handleFleetRecompute))
+	s.mux.Handle("GET /v1/cluster/partial", s.api("cluster_partial", s.handleClusterPartial))
+	s.mux.Handle("GET /v1/cluster/snapshot", s.api("cluster_snapshot", s.handleClusterSnapshot))
+	s.mux.Handle("POST /v1/cluster/recompute/prepare", s.api("cluster_prepare", s.handleClusterPrepare))
+	s.mux.Handle("POST /v1/cluster/recompute/commit", s.api("cluster_commit", s.handleClusterCommit))
+	s.mux.Handle("POST /v1/cluster/recompute/abort", s.api("cluster_abort", s.handleClusterAbort))
 	s.mux.Handle("GET /v1/export/config", s.api("export_config", s.handleExportConfigGet))
 	s.mux.Handle("PUT /v1/export/config", s.api("export_config", s.handleExportConfigPut))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)

@@ -1,0 +1,83 @@
+#!/bin/sh
+# bench_cluster.sh — the cluster acceptance benchmark. Runs the 1M-device
+# summary benchmarks from internal/cluster (3 in-process members vs one
+# node holding the whole fleet, both over the full HTTP path) and writes
+# BENCH_10.json at the repo root. The acceptance bound is
+# cluster_vs_single <= 10: the scatter-gather fold may cost at most 10x
+# the single-node O(shards) fold. The ratio comes from the interleaved
+# ClusterVsSingle benchmark — each iteration times both paths
+# back-to-back, so machine-load drift cancels out of the ratio instead
+# of deciding it. The script exits non-zero when the bound is missed.
+# Driven by `make bench-cluster`.
+#
+# All three benchmarks share one in-process setup (the 2M upserts
+# dominate the wall clock, ~1 min); -benchtime is iteration-pinned so
+# runs compare equal sample counts.
+set -eu
+
+cd "$(dirname "$0")/.."
+out=BENCH_10.json
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+pkg=internal/cluster
+echo "bench_cluster: $pkg -bench 1M (1M devices, 3 members; setup takes ~1 min)" >&2
+go test -run XXX -bench '1M$' -benchmem -benchtime 1000x -timeout 900s "./$pkg/" \
+    | awk -v pkg="$pkg" '/^Benchmark/ { printf "%s %s\n", pkg, $0 }' >> "$tmp"
+
+awk -v goversion="$(go version | sed 's/^go version //')" '
+BEGIN {
+    printf "{\n"
+    printf "  \"schema\": \"act-bench/1\",\n"
+    printf "  \"go\": \"%s\",\n", goversion
+    printf "  \"source\": \"scripts/bench_cluster.sh\",\n"
+    printf "  \"devices\": 1000000,\n"
+    printf "  \"members\": 3,\n"
+    printf "  \"max_ratio\": 10,\n"
+    printf "  \"benchmarks\": [\n"
+    first = 1
+}
+{
+    pkg = $1
+    name = $2
+    sub(/-[0-9]+$/, "", name)
+    iters = $3
+    ns = ""; bytes = ""; allocs = ""; extra = ""
+    for (i = 4; i < NF; i += 2) {
+        v = $i; u = $(i + 1)
+        if (u == "ns/op")          ns = v
+        else if (u == "B/op")      bytes = v
+        else if (u == "allocs/op") allocs = v
+        else {
+            if (u == "cluster_vs_single") ratio = v
+            gsub(/"/, "", u)
+            extra = extra sprintf("%s\"%s\": %s", extra == "" ? "" : ", ", u, v)
+        }
+    }
+    if (!first) printf ",\n"
+    first = 0
+    printf "    {\"package\": \"%s\", \"name\": \"%s\", \"iterations\": %s", pkg, name, iters
+    if (ns != "")     printf ", \"ns_per_op\": %s", ns
+    if (bytes != "")  printf ", \"bytes_per_op\": %s", bytes
+    if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+    if (extra != "")  printf ", \"metrics\": {%s}", extra
+    printf "}"
+}
+END {
+    printf "\n  ],\n"
+    if (ratio == "") {
+        printf "  \"error\": \"no cluster_vs_single metric reported\"\n}\n"
+        exit 1
+    }
+    printf "  \"cluster_vs_single\": %.2f,\n", ratio
+    printf "  \"pass\": %s\n", (ratio + 0 <= 10 ? "true" : "false")
+    printf "}\n"
+    if (ratio + 0 > 10) {
+        printf "bench_cluster: FAIL: cluster/single ratio %.2f exceeds 10\n", ratio > "/dev/stderr"
+        exit 1
+    }
+    printf "bench_cluster: cluster/single ratio %.2f (bound 10)\n", ratio > "/dev/stderr"
+}
+' "$tmp" > "$out"
+
+echo "bench_cluster: wrote $out" >&2
